@@ -1,0 +1,53 @@
+//! Attack economics: how little bandwidth sustains the mask population.
+//!
+//! §2 calls the covert stream "low-bandwidth (1–2 Mbps)". The arithmetic:
+//! every megaflow must be touched once per idle window (10 s default),
+//! so sustaining `E` entries costs `E / idle` packets per second of
+//! minimum-size frames — for the 8192-mask attack, under half a megabit.
+
+use pi_core::SimTime;
+
+/// Packets/second needed to refresh `entries` within `idle_timeout`.
+pub fn refresh_pps(entries: u64, idle_timeout: SimTime) -> f64 {
+    let secs = idle_timeout.as_secs_f64();
+    assert!(secs > 0.0, "idle timeout must be positive");
+    entries as f64 / secs
+}
+
+/// Bits/second of `frame_bytes` frames needed to refresh `entries`
+/// within `idle_timeout`.
+pub fn min_refresh_bandwidth_bps(entries: u64, idle_timeout: SimTime, frame_bytes: usize) -> f64 {
+    refresh_pps(entries, idle_timeout) * frame_bytes as f64 * 8.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_scale_fits_the_budget() {
+        // 8192-mask attack: 9537 entries, 10 s idle, 64-byte frames.
+        let bw = min_refresh_bandwidth_bps(9537, SimTime::from_secs(10), 64);
+        assert!(
+            bw < 1_000_000.0,
+            "refresh alone must cost well under 1 Mb/s, got {bw}"
+        );
+        // Even with half the budget spent refreshing twice per window,
+        // a 2 Mb/s stream has room for the scan packets.
+        assert!(2.0 * bw < 2_000_000.0);
+    }
+
+    #[test]
+    fn refresh_pps_scales_linearly() {
+        let idle = SimTime::from_secs(10);
+        assert_eq!(refresh_pps(100, idle), 10.0);
+        assert_eq!(refresh_pps(8192, idle), 819.2);
+        assert_eq!(refresh_pps(8192, SimTime::from_secs(5)), 1638.4);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_idle_timeout_panics() {
+        refresh_pps(1, SimTime::ZERO);
+    }
+}

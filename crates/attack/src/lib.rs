@@ -1,0 +1,41 @@
+//! # pi-attack — the policy-injection attack
+//!
+//! The paper's contribution, §2: "(i) the capability to define ACLs
+//! between our pods/VMs (this is provided by the CMS); (ii) a set of
+//! malicious ACLs; and (iii) an adversarial packet sequence, which will
+//! trash the MF with excess entries and masks."
+//!
+//! * [`AttackSpec`] / [`MaliciousAcl`] — ingredient (ii): innocuous-
+//!   looking whitelist policies in each CMS dialect whose complement
+//!   decomposition maximises megaflow masks.
+//! * [`predict::predicted_mask_count`] — the analytical model: masks
+//!   multiply per field (32 · 16 = 512 for Kubernetes/OpenStack,
+//!   32 · 16 · 16 = 8192 with Calico's source ports).
+//! * [`CovertSequence`] — ingredient (iii): one packet per prefix-length
+//!   combination, populating every reachable mask, plus an endless
+//!   *scan* stream of unique allowed packets that each walk (nearly) the
+//!   whole subtable list.
+//! * [`AttackSchedule`] — pacing within a covert bandwidth budget
+//!   (paper: 1–2 Mb/s): populate, then refresh every entry inside the
+//!   revalidator's idle window, spending the rest on scans.
+//!
+//! Everything here is *tenant-legal*: the policies pass CMS validation
+//! and the packets are ordinary traffic addressed to the attacker's own
+//! pod.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod acl;
+pub mod amplify;
+pub mod covert;
+pub mod economics;
+pub mod predict;
+pub mod schedule;
+
+pub use acl::{AttackSpec, MaliciousAcl};
+pub use amplify::MultiPodAttack;
+pub use covert::{AttackTarget, CovertSequence, FieldTarget};
+pub use economics::{min_refresh_bandwidth_bps, refresh_pps};
+pub use predict::predicted_mask_count;
+pub use schedule::AttackSchedule;

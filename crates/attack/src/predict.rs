@@ -1,0 +1,89 @@
+//! Analytical mask-count prediction, validated against the datapath.
+//!
+//! §2's claim "our technique can be applied to an arbitrary number of
+//! protocol fields, each resulting in a significant increase in the
+//! number of MF entries and masks" is quantified here: the number of
+//! distinct megaflow masks reachable from a flow table equals the
+//! product, over trie-enabled fields, of the number of distinct
+//! un-wildcarding depths the field's prefix trie can emit.
+
+use pi_classifier::FlowTable;
+use pi_core::Field;
+
+/// Predicts the number of distinct megaflow masks the slow path can
+/// generate for `table` with tries on `trie_fields`.
+///
+/// Fields whose constraints are not CIDR-shaped (or that have no trie)
+/// contribute a constant factor of 1: their mask bits are identical in
+/// every generated megaflow. (Delegates to the shared implementation in
+/// `pi-classifier`, which the defender's admission check uses too.)
+pub fn predicted_mask_count(table: &FlowTable, trie_fields: &[Field]) -> u64 {
+    pi_classifier::table::reachable_megaflow_mask_count(table, trie_fields)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pi_classifier::table::whitelist_with_default_deny;
+    use pi_core::{FlowKey, FlowMask, MaskedKey};
+
+    const TRIE_FIELDS: [Field; 4] = [Field::IpSrc, Field::IpDst, Field::TpSrc, Field::TpDst];
+
+    fn allow(ip: [u8; 4], ip_len: u8, dst_port: Option<u16>, src_port: Option<u16>) -> MaskedKey {
+        let key = FlowKey::tcp(ip, [0, 0, 0, 0], src_port.unwrap_or(0), dst_port.unwrap_or(0));
+        let mut mask = FlowMask::default().with_prefix(Field::IpSrc, ip_len);
+        if dst_port.is_some() {
+            mask = mask.with_exact(Field::TpDst);
+        }
+        if src_port.is_some() {
+            mask = mask.with_exact(Field::TpSrc);
+        }
+        MaskedKey::new(key.clone(), mask)
+    }
+
+    #[test]
+    fn paper_numbers() {
+        // Fig. 2: single /8 source → 8 masks.
+        let fig2 = whitelist_with_default_deny(&[allow([10, 0, 0, 0], 8, None, None)]);
+        assert_eq!(predicted_mask_count(&fig2, &TRIE_FIELDS), 8);
+        // §2: ip_src (/32) × dst port → 512.
+        let k8s = whitelist_with_default_deny(&[allow([203, 0, 113, 7], 32, Some(443), None)]);
+        assert_eq!(predicted_mask_count(&k8s, &TRIE_FIELDS), 512);
+        // §2: + src port (Calico) → 8192.
+        let calico =
+            whitelist_with_default_deny(&[allow([203, 0, 113, 7], 32, Some(443), Some(4444))]);
+        assert_eq!(predicted_mask_count(&calico, &TRIE_FIELDS), 8192);
+    }
+
+    #[test]
+    fn empty_table_is_one_mask() {
+        assert_eq!(predicted_mask_count(&FlowTable::new(), &TRIE_FIELDS), 1);
+    }
+
+    #[test]
+    fn tries_disabled_means_constant_masks() {
+        let table = whitelist_with_default_deny(&[allow([203, 0, 113, 7], 32, Some(443), None)]);
+        assert_eq!(predicted_mask_count(&table, &[]), 1);
+        // Only the IP trie enabled: the port contributes ×1.
+        assert_eq!(predicted_mask_count(&table, &[Field::IpSrc]), 32);
+    }
+
+    #[test]
+    fn multiple_allow_rules_union_their_depths() {
+        // Two /8 allows with different first bits: divergence depths are
+        // shared, roughly |union of reachable sets|.
+        let table = whitelist_with_default_deny(&[
+            allow([10, 0, 0, 0], 8, None, None),  // 0000 1010…
+            allow([192, 0, 0, 0], 8, None, None), // 1100 0000…
+        ]);
+        let predicted = predicted_mask_count(&table, &TRIE_FIELDS);
+        // Brute-force the trie outcomes over all first octets.
+        let tries = table.build_tries(&[Field::IpSrc]);
+        let trie = &tries.get(Field::IpSrc).unwrap().trie;
+        let mut seen = std::collections::BTreeSet::new();
+        for o in 0u64..=255 {
+            seen.insert(trie.unwildcard_bits(o << 24));
+        }
+        assert_eq!(predicted, seen.len() as u64);
+    }
+}

@@ -1,0 +1,259 @@
+//! Attack pacing: a [`TrafficSource`] emitting the covert stream.
+//!
+//! Three concerns share the bandwidth budget:
+//! 1. **Populate** — emit every populate packet once, as fast as the
+//!    budget allows (masks appear within seconds of attack start, the
+//!    Fig. 3 cliff at t = 60 s).
+//! 2. **Refresh** — touch every megaflow entry once per refresh
+//!    interval (default half the idle timeout) so the revalidator never
+//!    reclaims a mask.
+//! 3. **Scan** — spend whatever remains on unique allow-rule packets
+//!    that each force a near-full subtable walk (the CPU amplifier).
+
+use pi_core::SimTime;
+use pi_traffic::{GenPacket, TrafficSource};
+
+use crate::covert::CovertSequence;
+
+/// The paced attack stream.
+#[derive(Debug, Clone)]
+pub struct AttackSchedule {
+    seq: CovertSequence,
+    /// Covert budget, bits/second.
+    bandwidth_bps: f64,
+    /// Frame size used for budget accounting (the attack wants small
+    /// frames: pps is what matters, bytes are the cost).
+    frame_bytes: usize,
+    /// Attack start time (Fig. 3: 60 s).
+    start: SimTime,
+    /// Refresh period for the populate set.
+    refresh_interval: SimTime,
+    /// Whether to spend spare budget on scan packets.
+    scan_enabled: bool,
+
+    // State.
+    active_ns: u64,
+    emitted: u64,
+    populate_cursor: u64,
+    refresh_cursor: u64,
+    refresh_credit: f64,
+    scan_counter: u64,
+    label: String,
+}
+
+impl AttackSchedule {
+    /// A schedule for `seq` within `bandwidth_bps`, starting at `start`.
+    pub fn new(seq: CovertSequence, bandwidth_bps: f64, start: SimTime) -> Self {
+        AttackSchedule {
+            seq,
+            bandwidth_bps,
+            frame_bytes: 64,
+            start,
+            refresh_interval: SimTime::from_secs(5),
+            scan_enabled: true,
+            active_ns: 0,
+            emitted: 0,
+            populate_cursor: 0,
+            refresh_cursor: 0,
+            refresh_credit: 0.0,
+            scan_counter: 0,
+            label: "attack".to_string(),
+        }
+    }
+
+    /// Overrides the refresh interval (must stay below the datapath's
+    /// idle timeout for the attack to persist).
+    #[must_use]
+    pub fn refresh_every(mut self, interval: SimTime) -> Self {
+        self.refresh_interval = interval;
+        self
+    }
+
+    /// Disables the scan stream (populate + refresh only) — used by the
+    /// covert-bandwidth experiment to isolate refresh economics.
+    #[must_use]
+    pub fn without_scan(mut self) -> Self {
+        self.scan_enabled = false;
+        self
+    }
+
+    /// Frame size for budget accounting.
+    #[must_use]
+    pub fn frame_size(mut self, bytes: usize) -> Self {
+        self.frame_bytes = bytes;
+        self
+    }
+
+    /// Packets/second the budget affords.
+    pub fn pps(&self) -> f64 {
+        self.bandwidth_bps / (self.frame_bytes as f64 * 8.0)
+    }
+
+    /// True once every populate packet has been sent at least once.
+    pub fn populated(&self) -> bool {
+        self.populate_cursor >= self.seq.packet_count()
+    }
+
+    /// The covert sequence driving this schedule.
+    pub fn sequence(&self) -> &CovertSequence {
+        &self.seq
+    }
+}
+
+impl TrafficSource for AttackSchedule {
+    fn generate(&mut self, from: SimTime, to: SimTime, out: &mut Vec<GenPacket>) {
+        let from = from.max(self.start);
+        if from >= to {
+            return;
+        }
+        let dt_ns = (to - from).as_nanos();
+        self.active_ns += dt_ns;
+        let target = (self.pps() * self.active_ns as f64 / 1e9).floor() as u64;
+        let mut slots = target.saturating_sub(self.emitted);
+        self.emitted = target;
+
+        // Refresh credit accrues regardless of phase; it is only spent
+        // once the populate pass finished.
+        let refresh_pps =
+            self.seq.packet_count() as f64 / self.refresh_interval.as_secs_f64();
+        self.refresh_credit += refresh_pps * dt_ns as f64 / 1e9;
+
+        let frame = self.frame_bytes;
+        while slots > 0 {
+            slots -= 1;
+            let key = if self.populate_cursor < self.seq.packet_count() {
+                let k = self.seq.populate_packet(self.populate_cursor);
+                self.populate_cursor += 1;
+                k
+            } else if self.refresh_credit >= 1.0 {
+                self.refresh_credit -= 1.0;
+                let k = self.seq.populate_packet(self.refresh_cursor);
+                self.refresh_cursor = (self.refresh_cursor + 1) % self.seq.packet_count();
+                k
+            } else if self.scan_enabled {
+                self.scan_counter += 1;
+                self.seq.scan_packet(self.scan_counter)
+            } else {
+                break; // nothing to spend budget on
+            };
+            out.push(GenPacket { key, bytes: frame });
+        }
+    }
+
+    fn label(&self) -> &str {
+        &self.label
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::acl::AttackSpec;
+    use pi_cms::PolicyDialect;
+
+    fn schedule(bw: f64) -> AttackSchedule {
+        let target = AttackSpec::masks_512(PolicyDialect::Kubernetes).build_target(0x0a000042);
+        AttackSchedule::new(CovertSequence::new(target), bw, SimTime::from_secs(60))
+    }
+
+    fn drive(s: &mut AttackSchedule, from_s: u64, to_s: u64) -> Vec<GenPacket> {
+        let mut out = Vec::new();
+        for ms in from_s * 1000..to_s * 1000 {
+            s.generate(
+                SimTime::from_millis(ms),
+                SimTime::from_millis(ms + 1),
+                &mut out,
+            );
+        }
+        out
+    }
+
+    #[test]
+    fn silent_before_start() {
+        let mut s = schedule(2e6);
+        let out = drive(&mut s, 0, 60);
+        assert!(out.is_empty());
+        assert!(!s.populated());
+    }
+
+    #[test]
+    fn budget_is_respected() {
+        let mut s = schedule(2e6);
+        let out = drive(&mut s, 60, 70);
+        let bits: usize = out.iter().map(|p| p.bytes * 8).sum();
+        let bps = bits as f64 / 10.0;
+        assert!(
+            (bps - 2e6).abs() / 2e6 < 0.01,
+            "offered {bps} b/s vs 2 Mb/s budget"
+        );
+    }
+
+    #[test]
+    fn populate_happens_first_and_fast() {
+        let mut s = schedule(2e6);
+        // 2 Mb/s of 64-B frames ≈ 3906 pps; 561 populate packets < 1 s.
+        let out = drive(&mut s, 60, 61);
+        assert!(s.populated());
+        let expected: Vec<_> = s.sequence().populate_packets().collect();
+        assert_eq!(&out[..expected.len()].iter().map(|p| p.key).collect::<Vec<_>>(), &expected);
+    }
+
+    #[test]
+    fn steady_state_mixes_refresh_and_scan() {
+        let mut s = schedule(2e6);
+        drive(&mut s, 60, 62); // populate done
+        let out = drive(&mut s, 62, 72); // 10 s of steady state
+        let populate_set: std::collections::HashSet<_> =
+            s.sequence().populate_packets().collect();
+        let refreshes = out.iter().filter(|p| populate_set.contains(&p.key)).count();
+        let scans = out.len() - refreshes;
+        // Refresh: 561 packets / 5 s × 10 s ≈ 1122.
+        assert!(
+            (1000..1300).contains(&refreshes),
+            "refreshes = {refreshes}"
+        );
+        assert!(scans > 10_000, "scan stream should dominate: {scans}");
+        // Every populate packet refreshed at least once in 10 s.
+        let refreshed: std::collections::HashSet<_> = out
+            .iter()
+            .filter(|p| populate_set.contains(&p.key))
+            .map(|p| p.key)
+            .collect();
+        assert_eq!(refreshed.len(), populate_set.len());
+    }
+
+    #[test]
+    fn without_scan_stays_minimal() {
+        let mut s = schedule(2e6).without_scan();
+        drive(&mut s, 60, 62);
+        let out = drive(&mut s, 62, 72);
+        // Only refreshes: ≈ 561/5 × 10 ≈ 1122 packets in 10 s.
+        assert!(out.len() < 1500, "got {} packets", out.len());
+        assert!(!out.is_empty());
+    }
+
+    #[test]
+    fn tiny_budget_still_sustains_refresh() {
+        // 0.5 Mb/s ≈ 977 pps ≫ 561/5 s — populate slower, but refresh
+        // fits (E6's point).
+        let mut s = schedule(0.5e6);
+        drive(&mut s, 60, 63);
+        assert!(s.populated(), "populate must finish within seconds");
+    }
+
+    #[test]
+    fn scan_packets_are_unique_across_ticks() {
+        let mut s = schedule(2e6);
+        drive(&mut s, 60, 61);
+        let out = drive(&mut s, 61, 63);
+        let populate_set: std::collections::HashSet<_> =
+            s.sequence().populate_packets().collect();
+        let scan_keys: Vec<_> = out
+            .iter()
+            .map(|p| p.key)
+            .filter(|k| !populate_set.contains(k))
+            .collect();
+        let distinct: std::collections::HashSet<_> = scan_keys.iter().collect();
+        assert_eq!(distinct.len(), scan_keys.len(), "scans must never repeat");
+    }
+}

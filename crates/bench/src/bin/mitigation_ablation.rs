@@ -1,0 +1,146 @@
+//! E7 — the demo-discussion defenses, quantified on three axes:
+//!
+//! 1. **attacked capacity** — fast-path pps under the covert probe
+//!    workload (the amplification axis);
+//! 2. **late-victim probes** — subtable walk length for a hot flow that
+//!    starts *after* the masks exist (the victim-experience axis);
+//! 3. **admission verdict** — whether the policy installs at all.
+
+use pi_attack::{AttackSpec, CovertSequence};
+use pi_bench::{compile_spec, results_dir};
+use pi_cms::PolicyDialect;
+use pi_classifier::Action;
+use pi_core::{Field, FlowKey, SimTime};
+use pi_datapath::{DpConfig, VSwitch};
+use pi_metrics::CsvTable;
+use pi_mitigation::{hit_sort_config, staged_config, CachelessSwitch, CompiledAcl, MaskBudget};
+use pi_sim::measure_capacity;
+
+const CPU: u64 = 1_200_000_000;
+const TRIE_FIELDS: [Field; 4] = [Field::IpSrc, Field::IpDst, Field::TpSrc, Field::TpDst];
+
+/// Probe walk length for a hot victim flow arriving after the attack.
+fn late_victim_probes(dp: DpConfig, spec: &AttackSpec) -> usize {
+    let victim_ip = u32::from_be_bytes([10, 1, 0, 10]);
+    let attacker_ip = u32::from_be_bytes([10, 1, 0, 66]);
+    let mut sw = VSwitch::new(DpConfig {
+        emc_enabled: false, // isolate the megaflow walk
+        ..dp
+    });
+    sw.attach_pod(victim_ip, 1);
+    sw.attach_pod(attacker_ip, 2);
+    sw.install_acl(attacker_ip, compile_spec(spec));
+    let seq = CovertSequence::new(spec.build_target(attacker_ip));
+    for (i, p) in seq.populate_packets().enumerate() {
+        sw.process(&p, SimTime::from_millis(2 + i as u64));
+    }
+    let mut last = 0;
+    for sport in 0..5_000u16 {
+        let mut k = FlowKey::tcp([10, 0, 0, 10], [10, 1, 0, 10], 40_000, 5201);
+        k.tp_src = 10_000 + (sport % 50);
+        last = sw.process(&k, SimTime::from_secs(40)).path.probes();
+    }
+    last
+}
+
+fn main() {
+    let spec = AttackSpec::masks_512(PolicyDialect::Kubernetes);
+    println!("defense ablation vs the 512-mask Kubernetes injection\n");
+    let mut csv = CsvTable::new(&[
+        "defense",
+        "masks",
+        "attacked_capacity_pps",
+        "capacity_vs_none",
+        "late_victim_probes",
+        "policy_admitted",
+    ]);
+
+    // None.
+    let (unattacked, none_cap) = measure_capacity(DpConfig::default(), CPU, &spec, 2_000);
+    let none_probes = late_victim_probes(DpConfig::default(), &spec);
+    csv.push_row(&[
+        "none".into(),
+        none_cap.masks.to_string(),
+        format!("{:.0}", none_cap.capacity_pps),
+        "1.00".into(),
+        none_probes.to_string(),
+        "yes".into(),
+    ]);
+
+    // Staged lookup.
+    let (_, staged_cap) = measure_capacity(staged_config(DpConfig::default()), CPU, &spec, 2_000);
+    let staged_probes = late_victim_probes(staged_config(DpConfig::default()), &spec);
+    csv.push_row(&[
+        "staged lookup".into(),
+        staged_cap.masks.to_string(),
+        format!("{:.0}", staged_cap.capacity_pps),
+        format!("{:.2}", staged_cap.capacity_pps / none_cap.capacity_pps),
+        staged_probes.to_string(),
+        "yes".into(),
+    ]);
+
+    // Hit-count sorting.
+    let (_, sort_cap) = measure_capacity(hit_sort_config(DpConfig::default()), CPU, &spec, 5_000);
+    let sort_probes = late_victim_probes(hit_sort_config(DpConfig::default()), &spec);
+    csv.push_row(&[
+        "hit-count sorting".into(),
+        sort_cap.masks.to_string(),
+        format!("{:.0}", sort_cap.capacity_pps),
+        format!("{:.2}", sort_cap.capacity_pps / none_cap.capacity_pps),
+        sort_probes.to_string(),
+        "yes".into(),
+    ]);
+
+    // Mask budget (admission control).
+    let admitted = MaskBudget::default()
+        .check(&compile_spec(&spec), &TRIE_FIELDS)
+        .admitted();
+    // Policy never installs, so the datapath stays at its unattacked
+    // capacity and a late victim walks its own subtable only.
+    csv.push_row(&[
+        "mask budget (256)".into(),
+        unattacked.masks.to_string(),
+        format!("{:.0}", unattacked.capacity_pps),
+        format!("{:.2}", unattacked.capacity_pps / none_cap.capacity_pps),
+        "1".into(),
+        if admitted { "yes (BUG)" } else { "no — rejected" }.into(),
+    ]);
+
+    // Cache-less compiled datapath.
+    let mut cless = CachelessSwitch::new();
+    let pod_ip = u32::from_be_bytes([10, 1, 0, 66]);
+    cless.attach_pod(pod_ip, 1, CompiledAcl::compile(&compile_spec(&spec), Action::Deny));
+    let seq = CovertSequence::new(spec.build_target(pod_ip));
+    for p in seq.populate_packets() {
+        cless.process(&p);
+    }
+    let (p0, c0) = cless.totals();
+    for n in 0..20_000 {
+        cless.process(&seq.scan_packet(n));
+    }
+    let (p1, c1) = cless.totals();
+    let avg = (c1 - c0) as f64 / (p1 - p0) as f64;
+    let cless_pps = CPU as f64 / avg;
+    csv.push_row(&[
+        "cache-less compiled".into(),
+        "0".into(),
+        format!("{cless_pps:.0}"),
+        format!("{:.0}", cless_pps / none_cap.capacity_pps),
+        "0".into(),
+        "yes".into(),
+    ]);
+
+    println!("{}", csv.to_aligned_text());
+    println!(
+        "reading:\n\
+         • staged lookup cuts the per-probe constant (≈3×) but the walk stays O(masks);\n\
+         • hit-count sorting rescues hot victims (probes → 1) and even the probe\n\
+           workload itself, but the covert miss path still walks everything;\n\
+         • the mask budget refuses the policy outright (trade-off: caps legitimate\n\
+           fine-grained policies too);\n\
+         • the compiled datapath is structurally immune — cost is policy-bounded."
+    );
+    let path = results_dir().join("mitigation_ablation.csv");
+    csv.write_csv(&path).expect("write csv");
+    println!("CSV written to {}", path.display());
+}

@@ -1,0 +1,64 @@
+//! # pi-bench — experiment harness
+//!
+//! One binary per paper artefact (see DESIGN.md §4 and EXPERIMENTS.md):
+//!
+//! | binary | artefact |
+//! |---|---|
+//! | `fig2_decomposition` | Fig. 2a/2b — the ACL and its megaflow table |
+//! | `mask_sweep` | §2 claims E3/E4 — capacity vs mask count, 512/8192 rows |
+//! | `fig3_timeseries` | Fig. 3 — victim throughput + masks over 150 s |
+//! | `covert_bandwidth` | E6 — how little bandwidth sustains the attack |
+//! | `mitigation_ablation` | E7 — the demo-discussion defenses, quantified |
+//! | `field_scaling` | E8 — the ∏ field-width mask law |
+//!
+//! Run with `--release`; each prints an aligned table / ASCII figure and
+//! writes a CSV under `results/`.
+//!
+//! `cargo bench -p pi-bench` runs the criterion microbenchmarks of the
+//! underlying mechanisms (TSS walk, EMC, tries, slow path, compiled
+//! ACLs).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::path::PathBuf;
+
+/// Resolves the shared results directory (`<workspace>/results`),
+/// creating it if needed.
+pub fn results_dir() -> PathBuf {
+    let dir = std::env::var("PI_RESULTS_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| {
+            PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+                .join("../..")
+                .join("results")
+        });
+    std::fs::create_dir_all(&dir).expect("create results dir");
+    dir
+}
+
+/// Compiles an [`pi_attack::AttackSpec`] through the CMS compiler —
+/// shared by the experiment binaries.
+pub fn compile_spec(spec: &pi_attack::AttackSpec) -> pi_classifier::FlowTable {
+    use pi_cms::PolicyCompiler;
+    match spec.build_policy() {
+        pi_attack::MaliciousAcl::K8s(p) => PolicyCompiler.compile_k8s(&p),
+        pi_attack::MaliciousAcl::OpenStack(p) => PolicyCompiler.compile_security_group(&p),
+        pi_attack::MaliciousAcl::Calico(p) => PolicyCompiler.compile_calico(&p),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn results_dir_is_creatable() {
+        let d = super::results_dir();
+        assert!(d.exists());
+    }
+
+    #[test]
+    fn compile_spec_produces_whitelist_plus_deny() {
+        let spec = pi_attack::AttackSpec::masks_8192();
+        assert_eq!(super::compile_spec(&spec).len(), 2);
+    }
+}

@@ -1,0 +1,66 @@
+//! Packet-processing actions.
+
+use std::fmt;
+
+/// What to do with a matching packet.
+///
+/// ACL compilation only produces [`Action::Allow`] and [`Action::Deny`];
+/// the forwarding layers use [`Action::Output`]. `Controller` models an
+/// explicit punt to the management plane (not used by the attack, present
+/// for completeness of the pipeline model).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Action {
+    /// Permit the packet (continue through the pipeline).
+    Allow,
+    /// Drop the packet per policy.
+    Deny,
+    /// Forward out of the given port.
+    Output(u32),
+    /// Punt to the controller / management plane.
+    Controller,
+}
+
+impl Action {
+    /// True for actions that let the packet continue (Allow/Output).
+    pub fn permits(&self) -> bool {
+        matches!(self, Action::Allow | Action::Output(_))
+    }
+
+    /// True for the policy-drop action.
+    pub fn denies(&self) -> bool {
+        matches!(self, Action::Deny)
+    }
+}
+
+impl fmt::Display for Action {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Action::Allow => f.write_str("allow"),
+            Action::Deny => f.write_str("deny"),
+            Action::Output(p) => write!(f, "output:{p}"),
+            Action::Controller => f.write_str("controller"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn permit_and_deny_predicates() {
+        assert!(Action::Allow.permits());
+        assert!(Action::Output(3).permits());
+        assert!(!Action::Deny.permits());
+        assert!(!Action::Controller.permits());
+        assert!(Action::Deny.denies());
+        assert!(!Action::Allow.denies());
+    }
+
+    #[test]
+    fn display_matches_paper_vocabulary() {
+        assert_eq!(Action::Allow.to_string(), "allow");
+        assert_eq!(Action::Deny.to_string(), "deny");
+        assert_eq!(Action::Output(7).to_string(), "output:7");
+    }
+}

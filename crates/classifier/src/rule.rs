@@ -1,0 +1,95 @@
+//! Flow-table rules.
+
+use std::fmt;
+
+use pi_core::{FlowKey, MaskedKey};
+
+use crate::action::Action;
+
+/// Identifies a rule within its [`crate::FlowTable`].
+///
+/// Ids are the table's insertion sequence numbers: smaller id ⇒ added
+/// earlier, which is the tie-break the paper's §2 describes ("if multiple
+/// rules in the flow table match, the one added first will be applied").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RuleId(pub u64);
+
+/// One wildcard rule: match + priority + action.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rule {
+    /// Stable identity / insertion sequence number.
+    pub id: RuleId,
+    /// The wildcard match.
+    pub matcher: MaskedKey,
+    /// Priority; larger wins. ACL compilation uses 2 levels (whitelist
+    /// above the default-deny), but arbitrary values are supported.
+    pub priority: u32,
+    /// Action applied on match.
+    pub action: Action,
+}
+
+impl Rule {
+    /// True if `packet` satisfies this rule's match.
+    pub fn matches(&self, packet: &FlowKey) -> bool {
+        self.matcher.matches(packet)
+    }
+
+    /// Ordering key under OVS semantics: higher priority first, then
+    /// earlier insertion. `a.precedence() > b.precedence()` ⇔ a wins.
+    pub fn precedence(&self) -> (u32, std::cmp::Reverse<u64>) {
+        (self.priority, std::cmp::Reverse(self.id.0))
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "#{} prio={} {} -> {}",
+            self.id.0, self.priority, self.matcher, self.action
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pi_core::{Field, FlowMask};
+
+    fn rule(id: u64, priority: u32) -> Rule {
+        Rule {
+            id: RuleId(id),
+            matcher: MaskedKey::new(
+                FlowKey::tcp([10, 0, 0, 0], [0, 0, 0, 0], 0, 0),
+                FlowMask::default().with_prefix(Field::IpSrc, 8),
+            ),
+            priority,
+            action: Action::Allow,
+        }
+    }
+
+    #[test]
+    fn precedence_prefers_priority_then_earlier_insertion() {
+        let older_low = rule(1, 10);
+        let newer_high = rule(2, 20);
+        let newer_low = rule(3, 10);
+        assert!(newer_high.precedence() > older_low.precedence());
+        assert!(older_low.precedence() > newer_low.precedence());
+    }
+
+    #[test]
+    fn matches_delegates_to_masked_key() {
+        let r = rule(1, 0);
+        assert!(r.matches(&FlowKey::tcp([10, 9, 9, 9], [1, 1, 1, 1], 5, 6)));
+        assert!(!r.matches(&FlowKey::tcp([11, 0, 0, 0], [1, 1, 1, 1], 5, 6)));
+    }
+
+    #[test]
+    fn display_shows_identity() {
+        let r = rule(42, 7);
+        let s = r.to_string();
+        assert!(s.contains("#42"));
+        assert!(s.contains("prio=7"));
+        assert!(s.contains("allow"));
+    }
+}

@@ -1,0 +1,430 @@
+//! Per-field binary prefix tries.
+//!
+//! Open vSwitch consults a trie of the prefixes appearing in the flow
+//! table to decide **how many bits of a field the megaflow entry must
+//! match** to stay faithful to the table. This is the engine behind the
+//! paper's Fig. 2b: proving that a packet does *not* fall under the
+//! `00001010/8` allow rule requires only the bits up to and including the
+//! first position where the packet diverges from the stored prefix —
+//! hence the complement of one 8-bit value decomposes into 8 masks of
+//! lengths 1..=8.
+//!
+//! The trie is deliberately uncompressed (fields are ≤ 48 bits; paths are
+//! short) and insert-only: the slow path rebuilds tries from a table
+//! snapshot when policies change, which matches how rarely real flow
+//! tables mutate compared to packet arrivals.
+
+use pi_core::Field;
+
+/// One node: two children and a "a stored prefix ends here" marker.
+#[derive(Debug, Clone, Default)]
+struct Node {
+    children: [Option<u32>; 2],
+    is_end: bool,
+}
+
+impl Node {
+    fn is_leaf(&self) -> bool {
+        self.children[0].is_none() && self.children[1].is_none()
+    }
+}
+
+/// A binary trie over the MSB-first bit strings of one field's prefixes.
+#[derive(Debug, Clone)]
+pub struct PrefixTrie {
+    field: Field,
+    nodes: Vec<Node>,
+    count: usize,
+}
+
+impl PrefixTrie {
+    /// An empty trie for `field`.
+    pub fn new(field: Field) -> Self {
+        PrefixTrie {
+            field,
+            nodes: vec![Node::default()], // root
+            count: 0,
+        }
+    }
+
+    /// The field this trie indexes.
+    pub fn field(&self) -> Field {
+        self.field
+    }
+
+    /// Number of distinct stored prefixes.
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    /// True if no prefixes are stored.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Inserts the prefix formed by the `len` most significant bits of
+    /// `value`. Idempotent for duplicates.
+    ///
+    /// # Panics
+    /// Panics if `len` is 0 or exceeds the field width (a rule whose mask
+    /// is zero on this field contributes no prefix and must not be
+    /// inserted).
+    pub fn insert(&mut self, value: u64, len: u8) {
+        assert!(len >= 1, "zero-length prefixes are not stored");
+        assert!(len <= self.field.width(), "prefix longer than field");
+        let mut node = 0usize;
+        for d in 0..len {
+            let bit = self.field.bit_msb(value, d) as usize;
+            node = match self.nodes[node].children[bit] {
+                Some(c) => c as usize,
+                None => {
+                    let idx = self.nodes.len() as u32;
+                    self.nodes.push(Node::default());
+                    self.nodes[node].children[bit] = Some(idx);
+                    idx as usize
+                }
+            };
+        }
+        if !self.nodes[node].is_end {
+            self.nodes[node].is_end = true;
+            self.count += 1;
+        }
+    }
+
+    /// True if exactly this prefix is stored.
+    pub fn contains(&self, value: u64, len: u8) -> bool {
+        let mut node = 0usize;
+        for d in 0..len {
+            let bit = self.field.bit_msb(value, d) as usize;
+            match self.nodes[node].children[bit] {
+                Some(c) => node = c as usize,
+                None => return false,
+            }
+        }
+        self.nodes[node].is_end
+    }
+
+    /// Length of the longest stored prefix that `value` falls under.
+    pub fn longest_match(&self, value: u64) -> Option<u8> {
+        let mut node = 0usize;
+        let mut best = None;
+        for d in 0..self.field.width() {
+            if self.nodes[node].is_end {
+                best = Some(d);
+            }
+            let bit = self.field.bit_msb(value, d) as usize;
+            match self.nodes[node].children[bit] {
+                Some(c) => node = c as usize,
+                None => return best,
+            }
+        }
+        if self.nodes[node].is_end {
+            best = Some(self.field.width());
+        }
+        best
+    }
+
+    /// The minimal number of most-significant bits of `value` a cache
+    /// entry must match so that *which stored prefixes `value` falls
+    /// under* is fully determined — OVS's `trie_lookup` un-wildcarding
+    /// bound, the quantity behind Fig. 2b.
+    ///
+    /// * Returns 0 for an empty trie (no rule constrains the field).
+    /// * If the walk diverges from every stored prefix at depth `d`
+    ///   (0-based) while longer prefixes continue on a sibling branch,
+    ///   `d + 1` bits are needed: bits 0..=d prove the mismatch.
+    /// * If the walk ends at a node with no deeper prefixes, the length
+    ///   of the longest matched prefix suffices.
+    pub fn unwildcard_bits(&self, value: u64) -> u8 {
+        if self.is_empty() {
+            return 0;
+        }
+        let mut node = 0usize;
+        let mut longest = 0u8;
+        for d in 0..self.field.width() {
+            if self.nodes[node].is_end {
+                longest = d;
+            }
+            if self.nodes[node].is_leaf() {
+                // Nothing deeper anywhere below: the longest matched
+                // prefix is the only constraint.
+                return longest;
+            }
+            let bit = self.field.bit_msb(value, d) as usize;
+            match self.nodes[node].children[bit] {
+                Some(c) => node = c as usize,
+                // Deeper prefixes exist only on the sibling branch; bit d
+                // proves the packet diverges from all of them.
+                None => return d + 1,
+            }
+        }
+        // Followed stored prefixes through the full field width.
+        if self.nodes[node].is_end {
+            longest = self.field.width();
+        }
+        longest
+    }
+
+    /// Removes every prefix.
+    pub fn clear(&mut self) {
+        self.nodes.clear();
+        self.nodes.push(Node::default());
+        self.count = 0;
+    }
+
+    /// Every value [`PrefixTrie::unwildcard_bits`] can return for some
+    /// input — i.e. the set of megaflow prefix lengths this field can
+    /// contribute. The attack's mask-count prediction multiplies the
+    /// sizes of these sets across fields (`pi-attack::predict`).
+    ///
+    /// Derivation: a walk returns `d + 1` exactly at a node of depth `d`
+    /// with exactly one child (the packet can take the missing side),
+    /// and returns a longest-match length `d` exactly at a prefix-end
+    /// leaf of depth `d`. An empty trie returns only 0.
+    pub fn reachable_unwildcard_bits(&self) -> std::collections::BTreeSet<u8> {
+        let mut out = std::collections::BTreeSet::new();
+        if self.is_empty() {
+            out.insert(0);
+            return out;
+        }
+        let mut stack: Vec<(usize, u8)> = vec![(0, 0)];
+        while let Some((n, depth)) = stack.pop() {
+            let node = &self.nodes[n];
+            let child_count =
+                node.children.iter().filter(|c| c.is_some()).count();
+            if node.is_end && child_count == 0 {
+                out.insert(depth);
+            }
+            if child_count == 1 && depth < self.field.width() {
+                out.insert(depth + 1);
+            }
+            for c in node.children.into_iter().flatten() {
+                stack.push((c as usize, depth + 1));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's toy: a single 8-bit field (modelled on IpProto, the
+    /// only 8-bit field) with the allow-rule value 00001010.
+    fn toy_trie() -> PrefixTrie {
+        let mut t = PrefixTrie::new(Field::IpProto);
+        t.insert(0b0000_1010, 8);
+        t
+    }
+
+    #[test]
+    fn empty_trie_needs_no_bits() {
+        let t = PrefixTrie::new(Field::IpSrc);
+        assert_eq!(t.unwildcard_bits(0xdead_beef), 0);
+        assert!(t.is_empty());
+        assert_eq!(t.longest_match(42), None);
+    }
+
+    #[test]
+    fn figure_2b_decomposition() {
+        // Exactly the paper's table: for each deny row, the number of
+        // mask bits equals (shared prefix with 00001010) + 1; the allow
+        // value itself needs all 8.
+        let t = toy_trie();
+        let cases: [(u8, u8); 9] = [
+            (0b0000_1010, 8), // allow: full match
+            (0b1000_0000, 1), // differs at bit 0
+            (0b0100_0000, 2),
+            (0b0010_0000, 3),
+            (0b0001_0000, 4),
+            (0b0000_0000, 5),
+            (0b0000_1100, 6),
+            (0b0000_1000, 7),
+            (0b0000_1011, 8), // differs at the last bit
+        ];
+        for (value, expected) in cases {
+            assert_eq!(
+                t.unwildcard_bits(value as u64),
+                expected,
+                "value {value:08b}"
+            );
+        }
+    }
+
+    #[test]
+    fn inside_short_prefix_needs_prefix_len_bits() {
+        // allow 10.0.0.0/8 on the real 32-bit field.
+        let mut t = PrefixTrie::new(Field::IpSrc);
+        t.insert(0x0a00_0000, 8);
+        // In-prefix packets: 8 bits, regardless of host bits.
+        assert_eq!(t.unwildcard_bits(0x0a01_0203), 8);
+        assert_eq!(t.unwildcard_bits(0x0aff_ffff), 8);
+        // Out-of-prefix: divergence point + 1.
+        assert_eq!(t.unwildcard_bits(0x8000_0000), 1); // bit 0 differs
+        assert_eq!(t.unwildcard_bits(0x0b00_0000), 8); // differs at bit 7
+        assert_eq!(t.unwildcard_bits(0x0800_0000), 7); // 00001_0.. vs 00001_0? bit 6
+    }
+
+    #[test]
+    fn nested_prefixes() {
+        // 00/2 and 00001010/8 (toy field): packets inside /2 but outside
+        // /8 need divergence+1; fully matching needs 8; inside /2 along
+        // the /8 path but diverging later still counts correctly.
+        let mut t = PrefixTrie::new(Field::IpProto);
+        t.insert(0b0000_0000, 2);
+        t.insert(0b0000_1010, 8);
+        assert_eq!(t.unwildcard_bits(0b0010_0000), 3); // diverge at bit 2
+        assert_eq!(t.unwildcard_bits(0b0000_1010), 8); // full match
+        assert_eq!(t.unwildcard_bits(0b0000_1011), 8); // diverge at bit 7
+        assert_eq!(t.unwildcard_bits(0b1000_0000), 1); // outside /2, bit 0
+        // Inside /2, diverging from /8 at bit 4.
+        assert_eq!(t.unwildcard_bits(0b0001_0000), 4);
+    }
+
+    #[test]
+    fn sibling_prefixes_at_same_length() {
+        let mut t = PrefixTrie::new(Field::TpDst);
+        t.insert(80, 16);
+        t.insert(443, 16);
+        // 80 = 0b0000000001010000, 443 = 0b0000000110111011.
+        assert_eq!(t.unwildcard_bits(80), 16);
+        assert_eq!(t.unwildcard_bits(443), 16);
+        // 8080 = 0b0001111110010000: diverges from both at bit 3.
+        assert_eq!(t.unwildcard_bits(8080), 4);
+        // 0x8000: diverges at bit 0.
+        assert_eq!(t.unwildcard_bits(0x8000), 1);
+    }
+
+    #[test]
+    fn insert_is_idempotent() {
+        let mut t = toy_trie();
+        assert_eq!(t.len(), 1);
+        t.insert(0b0000_1010, 8);
+        assert_eq!(t.len(), 1);
+        t.insert(0b0000_1010, 4); // genuinely new (shorter) prefix
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn contains_and_longest_match() {
+        let mut t = PrefixTrie::new(Field::IpSrc);
+        t.insert(0x0a00_0000, 8);
+        t.insert(0x0a01_0000, 16);
+        assert!(t.contains(0x0a00_0000, 8));
+        assert!(t.contains(0x0a01_0000, 16));
+        assert!(!t.contains(0x0a00_0000, 16));
+        assert!(!t.contains(0x0b00_0000, 8));
+        assert_eq!(t.longest_match(0x0a01_ffff), Some(16));
+        assert_eq!(t.longest_match(0x0a02_ffff), Some(8));
+        assert_eq!(t.longest_match(0x0b00_0000), None);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut t = toy_trie();
+        t.clear();
+        assert!(t.is_empty());
+        assert_eq!(t.unwildcard_bits(0), 0);
+        t.insert(1, 8);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-length")]
+    fn zero_length_insert_panics() {
+        PrefixTrie::new(Field::IpSrc).insert(0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "longer than field")]
+    fn overlong_insert_panics() {
+        PrefixTrie::new(Field::TpDst).insert(0, 17);
+    }
+
+    #[test]
+    fn reachable_bits_single_full_prefix() {
+        // /32 exact on a 32-bit field: every length 1..=32 reachable —
+        // the paper's per-field factor of 32.
+        let mut t = PrefixTrie::new(Field::IpSrc);
+        t.insert(0x0a00_0001, 32);
+        let r = t.reachable_unwildcard_bits();
+        assert_eq!(r.len(), 32);
+        assert_eq!(r.iter().copied().collect::<Vec<_>>(), (1..=32).collect::<Vec<_>>());
+        // 16-bit port, exact: factor 16.
+        let mut p = PrefixTrie::new(Field::TpDst);
+        p.insert(80, 16);
+        assert_eq!(p.reachable_unwildcard_bits().len(), 16);
+    }
+
+    #[test]
+    fn reachable_bits_short_prefix() {
+        // /8 allow rule: lengths 1..=8 (Fig. 2's 8 masks).
+        let mut t = PrefixTrie::new(Field::IpSrc);
+        t.insert(0x0a00_0000, 8);
+        assert_eq!(
+            t.reachable_unwildcard_bits().iter().copied().collect::<Vec<_>>(),
+            (1..=8).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn reachable_bits_empty_and_nested() {
+        assert_eq!(
+            PrefixTrie::new(Field::IpSrc)
+                .reachable_unwildcard_bits()
+                .iter()
+                .copied()
+                .collect::<Vec<_>>(),
+            vec![0]
+        );
+        // Nested /2 + /8 (toy field): {1..8} but NOT 2 — values inside
+        // the /2 following the /8 path that diverge at depth 2 need 3
+        // bits, and nothing returns exactly 2… except values diverging
+        // at depth 1 get 2. Verify against brute force.
+        let mut t = PrefixTrie::new(Field::IpProto);
+        t.insert(0b0000_0000, 2);
+        t.insert(0b0000_1010, 8);
+        let predicted = t.reachable_unwildcard_bits();
+        let mut actual = std::collections::BTreeSet::new();
+        for v in 0u64..256 {
+            actual.insert(t.unwildcard_bits(v));
+        }
+        assert_eq!(predicted, actual);
+    }
+
+    #[test]
+    fn reachable_bits_matches_brute_force_for_sibling_ports() {
+        let mut t = PrefixTrie::new(Field::TpDst);
+        t.insert(80, 16);
+        t.insert(443, 16);
+        t.insert(8000, 12);
+        let predicted = t.reachable_unwildcard_bits();
+        let mut actual = std::collections::BTreeSet::new();
+        for v in 0u64..65536 {
+            actual.insert(t.unwildcard_bits(v));
+        }
+        assert_eq!(predicted, actual);
+    }
+
+    #[test]
+    fn exhaustive_toy_complement_produces_each_length_once() {
+        // Over all 256 values of the toy field: the allow value needs 8
+        // bits; among the other 255, exactly 2^(8-l) values need l bits
+        // for l in 1..=8 (the complement decomposition of Fig. 2b).
+        let t = toy_trie();
+        let mut by_len = [0usize; 9];
+        for v in 0u64..256 {
+            by_len[t.unwildcard_bits(v) as usize] += 1;
+        }
+        assert_eq!(by_len[0], 0);
+        for l in 1..=7u32 {
+            assert_eq!(
+                by_len[l as usize], 1usize << (8 - l),
+                "values needing {l} bits"
+            );
+        }
+        // Length 8: the allow value itself + its last-bit neighbour.
+        assert_eq!(by_len[8], 2);
+    }
+}

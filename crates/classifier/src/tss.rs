@@ -1,0 +1,711 @@
+//! Tuple Space Search — the classifier under attack.
+//!
+//! TSS keeps one hash table ("subtable") per distinct wildcard mask.
+//! Lookup masks the packet key with each subtable's mask in turn and
+//! probes that subtable's hash; with non-overlapping entries (the
+//! megaflow invariant) the first hit is the answer. Hash lookup is O(1),
+//! but the subtable walk is **linear in the number of distinct masks** —
+//! the algorithmic deficiency the paper exploits (§2: "the TSS algorithm
+//! still has to iterate through all hashes assigned to different masks,
+//! rendering TSS a costly linear search when there are lots of masks").
+//!
+//! The implementation is generic over the entry payload `V` so the same
+//! engine serves as the megaflow cache store (`V = MegaflowEntry`) and as
+//! a general classifier in tests.
+
+use std::collections::HashMap;
+
+use pi_core::{FlowKey, FlowMask, MaskedKey};
+
+use crate::staged::StagedIndex;
+
+/// How the subtable list is ordered for the sequential walk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubtableOrder {
+    /// Masks are probed in the order they first appeared (OVS default
+    /// behaviour absent the priority sorter). This is the configuration
+    /// the paper attacks.
+    Insertion,
+    /// Subtables are periodically re-sorted by descending hit count, the
+    /// countermeasure OVS ships as "subtable priority sorting". Victims
+    /// with hot flows float toward the front of the walk.
+    HitCountDescending {
+        /// Re-sort after this many lookups.
+        resort_every: u64,
+    },
+}
+
+/// One hash table of same-mask entries.
+#[derive(Debug, Clone)]
+struct Subtable<V> {
+    mask: FlowMask,
+    entries: HashMap<FlowKey, V>,
+    /// Hits since creation (drives `HitCountDescending`).
+    hits: u64,
+    /// Optional staged membership index.
+    staged: Option<StagedIndex>,
+    /// Hash work of one full (non-staged) probe, in stage units: the
+    /// number of protocol stages with mask bits (≥ 1). A staged probe
+    /// that aborts at stage `k` costs `k` of these units.
+    full_probe_cost: usize,
+}
+
+impl<V> Subtable<V> {
+    fn new(mask: FlowMask, staged_enabled: bool) -> Self {
+        let staged_probe = StagedIndex::new(&mask);
+        let full_probe_cost = staged_probe.stage_count().max(1);
+        Subtable {
+            mask,
+            entries: HashMap::new(),
+            hits: 0,
+            staged: staged_enabled.then_some(staged_probe),
+            full_probe_cost,
+        }
+    }
+}
+
+/// Counters accumulated across lookups.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TssStats {
+    /// Total lookups performed (hit or miss).
+    pub lookups: u64,
+    /// Total subtables probed across all lookups.
+    pub subtables_probed: u64,
+    /// Total stage checks performed (≥ probes when staged lookup is on;
+    /// equals probes otherwise).
+    pub stage_checks: u64,
+    /// Lookups that found an entry.
+    pub hits: u64,
+}
+
+impl TssStats {
+    /// Mean subtables probed per lookup.
+    pub fn avg_probes(&self) -> f64 {
+        if self.lookups == 0 {
+            0.0
+        } else {
+            self.subtables_probed as f64 / self.lookups as f64
+        }
+    }
+}
+
+/// The outcome of a single lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LookupOutcome<T> {
+    /// The first matching entry's payload, if any.
+    pub value: Option<T>,
+    /// How many subtables were visited (each visit costs a hash of the
+    /// packet key under that subtable's mask).
+    pub probes: usize,
+    /// Stage checks performed (= probes without staged lookup).
+    pub stage_checks: usize,
+}
+
+/// A Tuple Space Search classifier / cache store.
+#[derive(Debug, Clone)]
+pub struct TupleSpaceSearch<V> {
+    subtables: Vec<Subtable<V>>,
+    /// Probe order: indices into `subtables`.
+    order: Vec<usize>,
+    /// mask → index into `subtables`.
+    index: HashMap<FlowMask, usize>,
+    entry_count: usize,
+    ordering: SubtableOrder,
+    staged_enabled: bool,
+    stats: TssStats,
+    lookups_since_resort: u64,
+}
+
+impl<V> Default for TupleSpaceSearch<V> {
+    fn default() -> Self {
+        Self::new(SubtableOrder::Insertion)
+    }
+}
+
+impl<V> TupleSpaceSearch<V> {
+    /// An empty classifier with the given subtable ordering strategy.
+    pub fn new(ordering: SubtableOrder) -> Self {
+        TupleSpaceSearch {
+            subtables: Vec::new(),
+            order: Vec::new(),
+            index: HashMap::new(),
+            entry_count: 0,
+            ordering,
+            staged_enabled: false,
+            stats: TssStats::default(),
+            lookups_since_resort: 0,
+        }
+    }
+
+    /// Enables staged lookup for subtables created *after* this call
+    /// (intended to be set at construction time).
+    pub fn with_staged_lookup(mut self) -> Self {
+        self.staged_enabled = true;
+        self
+    }
+
+    /// Total entries across all subtables.
+    pub fn len(&self) -> usize {
+        self.entry_count
+    }
+
+    /// True if no entries are stored.
+    pub fn is_empty(&self) -> bool {
+        self.entry_count == 0
+    }
+
+    /// Number of subtables — the paper's "#masks", the attack's target.
+    pub fn subtable_count(&self) -> usize {
+        self.subtables.len()
+    }
+
+    /// The distinct masks currently present, in probe order.
+    pub fn masks(&self) -> Vec<FlowMask> {
+        self.order.iter().map(|&i| self.subtables[i].mask).collect()
+    }
+
+    /// Accumulated lookup statistics.
+    pub fn stats(&self) -> TssStats {
+        self.stats
+    }
+
+    /// Resets the statistics counters.
+    pub fn reset_stats(&mut self) {
+        self.stats = TssStats::default();
+    }
+
+    /// Inserts an entry; returns the previous payload if the masked key
+    /// was already present. Creates the subtable on first use of a mask.
+    pub fn insert(&mut self, mk: MaskedKey, value: V) -> Option<V> {
+        let idx = match self.index.get(mk.mask()) {
+            Some(&i) => i,
+            None => {
+                let i = self.subtables.len();
+                self.subtables
+                    .push(Subtable::new(*mk.mask(), self.staged_enabled));
+                self.order.push(i);
+                self.index.insert(*mk.mask(), i);
+                i
+            }
+        };
+        let st = &mut self.subtables[idx];
+        let prev = st.entries.insert(*mk.key(), value);
+        if prev.is_none() {
+            self.entry_count += 1;
+            if let Some(staged) = &mut st.staged {
+                staged.insert(mk.key());
+            }
+        }
+        prev
+    }
+
+    /// Fetches an entry by exact masked key.
+    pub fn get(&self, mk: &MaskedKey) -> Option<&V> {
+        let &i = self.index.get(mk.mask())?;
+        self.subtables[i].entries.get(mk.key())
+    }
+
+    /// Mutable fetch by exact masked key.
+    pub fn get_mut(&mut self, mk: &MaskedKey) -> Option<&mut V> {
+        let &i = self.index.get(mk.mask())?;
+        self.subtables[i].entries.get_mut(mk.key())
+    }
+
+    /// Removes an entry by masked key; drops the subtable if it empties.
+    pub fn remove(&mut self, mk: &MaskedKey) -> Option<V> {
+        let &idx = self.index.get(mk.mask())?;
+        let st = &mut self.subtables[idx];
+        let removed = st.entries.remove(mk.key());
+        if removed.is_some() {
+            self.entry_count -= 1;
+            if let Some(staged) = &mut st.staged {
+                staged.remove(mk.key());
+            }
+            if st.entries.is_empty() {
+                self.remove_subtable(idx);
+            }
+        }
+        removed
+    }
+
+    fn remove_subtable(&mut self, idx: usize) {
+        let last = self.subtables.len() - 1;
+        self.index.remove(&self.subtables[idx].mask);
+        self.subtables.swap_remove(idx);
+        self.order.retain(|&i| i != idx);
+        if idx != last {
+            // The subtable formerly at `last` now lives at `idx`.
+            self.index.insert(self.subtables[idx].mask, idx);
+            for o in self.order.iter_mut() {
+                if *o == last {
+                    *o = idx;
+                }
+            }
+        }
+    }
+
+    /// Sequential-walk lookup **without** touching hit counters or stats
+    /// — the pure variant used by tests and diagnostics.
+    pub fn peek(&self, packet: &FlowKey) -> LookupOutcome<&V> {
+        let mut probes = 0;
+        let mut stage_checks = 0;
+        for &i in &self.order {
+            let st = &self.subtables[i];
+            probes += 1;
+            if let Some(staged) = &st.staged {
+                let (may, stages) = staged.probe(packet);
+                stage_checks += stages;
+                if !may {
+                    continue;
+                }
+            } else {
+                stage_checks += st.full_probe_cost;
+            }
+            let masked = st.mask.apply(packet);
+            if let Some(v) = st.entries.get(&masked) {
+                return LookupOutcome {
+                    value: Some(v),
+                    probes,
+                    stage_checks,
+                };
+            }
+        }
+        LookupOutcome {
+            value: None,
+            probes,
+            stage_checks,
+        }
+    }
+
+    /// Sequential-walk lookup, updating hit counters and statistics and
+    /// periodically re-sorting subtables when hit-count ordering is
+    /// enabled. Returns a *clone-free* outcome by index; use
+    /// [`TupleSpaceSearch::lookup`] for the common case.
+    pub fn lookup_mut(&mut self, packet: &FlowKey) -> LookupOutcome<&mut V> {
+        self.maybe_resort();
+        self.stats.lookups += 1;
+        self.lookups_since_resort += 1;
+
+        let mut probes = 0;
+        let mut stage_checks = 0;
+        let mut found: Option<(usize, FlowKey)> = None;
+        for &i in &self.order {
+            let st = &mut self.subtables[i];
+            probes += 1;
+            if let Some(staged) = &st.staged {
+                let (may, stages) = staged.probe(packet);
+                stage_checks += stages;
+                if !may {
+                    continue;
+                }
+            } else {
+                stage_checks += st.full_probe_cost;
+            }
+            let masked = st.mask.apply(packet);
+            if st.entries.contains_key(&masked) {
+                st.hits += 1;
+                found = Some((i, masked));
+                break;
+            }
+        }
+
+        self.stats.subtables_probed += probes as u64;
+        self.stats.stage_checks += stage_checks as u64;
+        match found {
+            Some((i, masked)) => {
+                self.stats.hits += 1;
+                LookupOutcome {
+                    value: self.subtables[i].entries.get_mut(&masked),
+                    probes,
+                    stage_checks,
+                }
+            }
+            None => LookupOutcome {
+                value: None,
+                probes,
+                stage_checks,
+            },
+        }
+    }
+
+    /// Like [`TupleSpaceSearch::lookup_mut`] but returning a shared
+    /// reference.
+    pub fn lookup(&mut self, packet: &FlowKey) -> LookupOutcome<&V> {
+        let out = self.lookup_mut(packet);
+        LookupOutcome {
+            value: out.value.map(|v| &*v),
+            probes: out.probes,
+            stage_checks: out.stage_checks,
+        }
+    }
+
+    fn maybe_resort(&mut self) {
+        if let SubtableOrder::HitCountDescending { resort_every } = self.ordering {
+            if self.lookups_since_resort >= resort_every {
+                self.lookups_since_resort = 0;
+                let subtables = &self.subtables;
+                self.order
+                    .sort_by_key(|&i| std::cmp::Reverse(subtables[i].hits));
+            }
+        }
+    }
+
+    /// Scans **all** subtables and returns the best match according to
+    /// `rank` (highest wins) — the priority-aware classifier mode used
+    /// when entries may overlap.
+    pub fn lookup_best_by<K: Ord>(
+        &self,
+        packet: &FlowKey,
+        mut rank: impl FnMut(&V) -> K,
+    ) -> LookupOutcome<&V> {
+        let mut probes = 0;
+        let mut best: Option<(&V, K)> = None;
+        for &i in &self.order {
+            let st = &self.subtables[i];
+            probes += 1;
+            let masked = st.mask.apply(packet);
+            if let Some(v) = st.entries.get(&masked) {
+                let k = rank(v);
+                if best.as_ref().map(|(_, bk)| k > *bk).unwrap_or(true) {
+                    best = Some((v, k));
+                }
+            }
+        }
+        LookupOutcome {
+            value: best.map(|(v, _)| v),
+            probes,
+            stage_checks: probes,
+        }
+    }
+
+    /// Keeps only the entries for which `keep` returns true (revalidator
+    /// sweeps); empty subtables are dropped.
+    pub fn retain(&mut self, mut keep: impl FnMut(&MaskedKey, &mut V) -> bool) {
+        let mut doomed_subtables = Vec::new();
+        for (idx, st) in self.subtables.iter_mut().enumerate() {
+            let mask = st.mask;
+            let staged = &mut st.staged;
+            let before = st.entries.len();
+            st.entries.retain(|k, v| {
+                let mk = MaskedKey::new(*k, mask);
+                let kept = keep(&mk, v);
+                if !kept {
+                    if let Some(s) = staged {
+                        s.remove(k);
+                    }
+                }
+                kept
+            });
+            self.entry_count -= before - st.entries.len();
+            if st.entries.is_empty() {
+                doomed_subtables.push(idx);
+            }
+        }
+        // Remove from the back so earlier indices stay valid.
+        for idx in doomed_subtables.into_iter().rev() {
+            self.remove_subtable(idx);
+        }
+    }
+
+    /// Iterates `(masked key, payload)` over every entry (subtable order,
+    /// then arbitrary hash order within a subtable).
+    pub fn iter(&self) -> impl Iterator<Item = (MaskedKey, &V)> {
+        self.subtables.iter().flat_map(|st| {
+            let mask = st.mask;
+            st.entries
+                .iter()
+                .map(move |(k, v)| (MaskedKey::new(*k, mask), v))
+        })
+    }
+
+    /// Removes everything.
+    pub fn clear(&mut self) {
+        self.subtables.clear();
+        self.order.clear();
+        self.index.clear();
+        self.entry_count = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pi_core::Field;
+
+    fn prefix_mk(ip: [u8; 4], len: u8) -> MaskedKey {
+        MaskedKey::new(
+            FlowKey::tcp(ip, [0, 0, 0, 0], 0, 0),
+            pi_core::FlowMask::default().with_prefix(Field::IpSrc, len),
+        )
+    }
+
+    #[test]
+    fn insert_lookup_hit() {
+        let mut tss = TupleSpaceSearch::default();
+        tss.insert(prefix_mk([10, 0, 0, 0], 8), "ten");
+        tss.insert(prefix_mk([11, 0, 0, 0], 16), "eleven");
+        let out = tss.lookup(&FlowKey::tcp([10, 5, 5, 5], [1, 1, 1, 1], 3, 4));
+        assert_eq!(out.value, Some(&"ten"));
+        assert_eq!(tss.subtable_count(), 2);
+        assert_eq!(tss.len(), 2);
+    }
+
+    #[test]
+    fn same_mask_shares_subtable() {
+        let mut tss = TupleSpaceSearch::default();
+        for b in 0u8..50 {
+            tss.insert(prefix_mk([b, 0, 0, 0], 8), b);
+        }
+        assert_eq!(tss.subtable_count(), 1);
+        assert_eq!(tss.len(), 50);
+        // One subtable ⇒ one probe regardless of entry count.
+        let out = tss.lookup(&FlowKey::tcp([30, 1, 1, 1], [0, 0, 0, 0], 0, 0));
+        assert_eq!(out.value, Some(&30));
+        assert_eq!(out.probes, 1);
+    }
+
+    #[test]
+    fn probe_count_grows_with_masks_on_miss() {
+        // The attack's mechanism in miniature: distinct masks force a
+        // linear walk.
+        let mut tss = TupleSpaceSearch::default();
+        for len in 1..=32u8 {
+            tss.insert(prefix_mk([10, 0, 0, 0], len), len);
+        }
+        assert_eq!(tss.subtable_count(), 32);
+        let miss = tss.lookup(&FlowKey::tcp([128, 0, 0, 1], [0, 0, 0, 0], 0, 0));
+        assert_eq!(miss.value, None);
+        assert_eq!(miss.probes, 32, "a miss visits every subtable");
+    }
+
+    #[test]
+    fn first_match_in_order_wins() {
+        let mut tss = TupleSpaceSearch::default();
+        tss.insert(prefix_mk([10, 0, 0, 0], 8), "eight");
+        tss.insert(prefix_mk([10, 0, 0, 0], 16), "sixteen");
+        // Both match 10.0.x.x; insertion order probes /8 first.
+        let out = tss.lookup(&FlowKey::tcp([10, 0, 7, 7], [0, 0, 0, 0], 0, 0));
+        assert_eq!(out.value, Some(&"eight"));
+        assert_eq!(out.probes, 1);
+    }
+
+    #[test]
+    fn replace_returns_previous() {
+        let mut tss = TupleSpaceSearch::default();
+        assert_eq!(tss.insert(prefix_mk([10, 0, 0, 0], 8), 1), None);
+        assert_eq!(tss.insert(prefix_mk([10, 0, 0, 0], 8), 2), Some(1));
+        assert_eq!(tss.len(), 1);
+    }
+
+    #[test]
+    fn remove_drops_empty_subtable_and_reindexes() {
+        let mut tss = TupleSpaceSearch::default();
+        let a = prefix_mk([10, 0, 0, 0], 8);
+        let b = prefix_mk([10, 1, 0, 0], 16);
+        let c = prefix_mk([10, 1, 1, 0], 24);
+        tss.insert(a, 'a');
+        tss.insert(b, 'b');
+        tss.insert(c, 'c');
+        assert_eq!(tss.subtable_count(), 3);
+        assert_eq!(tss.remove(&a), Some('a'));
+        assert_eq!(tss.subtable_count(), 2);
+        // The swap_remove moved subtable c; lookups must still work.
+        let out = tss.lookup(&FlowKey::tcp([10, 1, 1, 5], [0, 0, 0, 0], 0, 0));
+        assert_eq!(out.value, Some(&'b')); // /16 matches 10.1.x.x
+        let out = tss.peek(&FlowKey::tcp([10, 2, 0, 1], [0, 0, 0, 0], 0, 0));
+        assert_eq!(out.value, None);
+        assert_eq!(tss.remove(&b), Some('b'));
+        assert_eq!(tss.remove(&c), Some('c'));
+        assert_eq!(tss.subtable_count(), 0);
+        assert!(tss.is_empty());
+        assert_eq!(tss.remove(&a), None);
+    }
+
+    #[test]
+    fn get_and_get_mut() {
+        let mut tss = TupleSpaceSearch::default();
+        let mk = prefix_mk([10, 0, 0, 0], 8);
+        tss.insert(mk, 5);
+        assert_eq!(tss.get(&mk), Some(&5));
+        *tss.get_mut(&mk).unwrap() += 1;
+        assert_eq!(tss.get(&mk), Some(&6));
+        assert_eq!(tss.get(&prefix_mk([11, 0, 0, 0], 8)), None);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut tss = TupleSpaceSearch::default();
+        tss.insert(prefix_mk([10, 0, 0, 0], 8), ());
+        tss.insert(prefix_mk([11, 0, 0, 0], 16), ());
+        let hit_key = FlowKey::tcp([10, 0, 0, 1], [0, 0, 0, 0], 0, 0);
+        let miss_key = FlowKey::tcp([200, 0, 0, 1], [0, 0, 0, 0], 0, 0);
+        tss.lookup(&hit_key);
+        tss.lookup(&miss_key);
+        let s = tss.stats();
+        assert_eq!(s.lookups, 2);
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.subtables_probed, 1 + 2);
+        assert!(s.avg_probes() > 1.0);
+        tss.reset_stats();
+        assert_eq!(tss.stats(), TssStats::default());
+    }
+
+    #[test]
+    fn peek_does_not_touch_stats() {
+        let mut tss = TupleSpaceSearch::default();
+        tss.insert(prefix_mk([10, 0, 0, 0], 8), ());
+        tss.peek(&FlowKey::tcp([10, 0, 0, 1], [0, 0, 0, 0], 0, 0));
+        assert_eq!(tss.stats().lookups, 0);
+    }
+
+    #[test]
+    fn hit_count_ordering_floats_hot_subtable_forward() {
+        let mut tss = TupleSpaceSearch::new(SubtableOrder::HitCountDescending {
+            resort_every: 10,
+        });
+        // 20 cold masks inserted first…
+        for len in 1..=20u8 {
+            tss.insert(prefix_mk([10, 0, 0, 0], len), len);
+        }
+        // …then a hot /32 entry probed last in insertion order.
+        let hot_key = FlowKey::tcp([200, 9, 9, 9], [0, 0, 0, 0], 0, 0);
+        tss.insert(prefix_mk([200, 9, 9, 9], 32), 99);
+        let cold_probes = tss.lookup(&hot_key).probes;
+        assert_eq!(cold_probes, 21);
+        // Hammer the hot entry past the resort threshold.
+        for _ in 0..30 {
+            tss.lookup(&hot_key);
+        }
+        let warm_probes = tss.lookup(&hot_key).probes;
+        assert_eq!(warm_probes, 1, "hot subtable must be probed first");
+    }
+
+    #[test]
+    fn insertion_order_never_resorts() {
+        let mut tss = TupleSpaceSearch::default();
+        for len in 1..=5u8 {
+            tss.insert(prefix_mk([10, 0, 0, 0], len), len);
+        }
+        let key = FlowKey::tcp([10, 0, 0, 1], [0, 0, 0, 0], 0, 0);
+        for _ in 0..100 {
+            tss.lookup(&key);
+        }
+        // /1 still probed first (10.0.0.1 matches it: first bit 0).
+        assert_eq!(tss.lookup(&key).probes, 1);
+        assert_eq!(tss.lookup(&key).value, Some(&1));
+    }
+
+    #[test]
+    fn lookup_best_by_scans_everything() {
+        let mut tss = TupleSpaceSearch::default();
+        tss.insert(prefix_mk([10, 0, 0, 0], 8), 1u32); // low rank
+        tss.insert(prefix_mk([10, 0, 0, 0], 16), 7u32); // high rank
+        let key = FlowKey::tcp([10, 0, 3, 3], [0, 0, 0, 0], 0, 0);
+        let out = tss.lookup_best_by(&key, |v| *v);
+        assert_eq!(out.value, Some(&7));
+        assert_eq!(out.probes, 2, "best-match mode cannot early-exit");
+    }
+
+    #[test]
+    fn retain_sweeps_and_drops_subtables() {
+        let mut tss = TupleSpaceSearch::default();
+        for len in 1..=8u8 {
+            tss.insert(prefix_mk([10, 0, 0, 0], len), len);
+        }
+        tss.retain(|_, v| *v % 2 == 0);
+        assert_eq!(tss.len(), 4);
+        assert_eq!(tss.subtable_count(), 4);
+        let masks = tss.masks();
+        assert!(masks
+            .iter()
+            .all(|m| m.field(Field::IpSrc).count_ones() % 2 == 0));
+    }
+
+    #[test]
+    fn iter_visits_all_entries() {
+        let mut tss = TupleSpaceSearch::default();
+        tss.insert(prefix_mk([10, 0, 0, 0], 8), 1);
+        tss.insert(prefix_mk([11, 0, 0, 0], 8), 2);
+        tss.insert(prefix_mk([12, 0, 0, 0], 16), 3);
+        let mut values: Vec<i32> = tss.iter().map(|(_, v)| *v).collect();
+        values.sort_unstable();
+        assert_eq!(values, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut tss = TupleSpaceSearch::default();
+        tss.insert(prefix_mk([10, 0, 0, 0], 8), ());
+        tss.clear();
+        assert!(tss.is_empty());
+        assert_eq!(tss.subtable_count(), 0);
+        assert_eq!(tss.peek(&FlowKey::default()).probes, 0);
+    }
+
+    #[test]
+    fn staged_lookup_reduces_stage_checks_on_metadata_mismatch() {
+        let mut tss = TupleSpaceSearch::default().with_staged_lookup();
+        // Entries pinned to in_port 1, matching ip+port too.
+        for len in 1..=16u8 {
+            let mk = MaskedKey::new(
+                FlowKey::tcp([10, 0, 0, 0], [0, 0, 0, 0], 0, 80).with(Field::InPort, 1),
+                pi_core::FlowMask::default()
+                    .with_exact(Field::InPort)
+                    .with_prefix(Field::IpSrc, len)
+                    .with_exact(Field::TpDst),
+            );
+            tss.insert(mk, len);
+        }
+        // A packet from a different port fails every subtable at stage 1
+        // of 3 — probes stay 16, but stage checks are 16, not 48.
+        let mut foreign = FlowKey::tcp([10, 0, 0, 1], [0, 0, 0, 0], 0, 80);
+        foreign.in_port = 2;
+        let out = tss.lookup(&foreign);
+        assert_eq!(out.value, None);
+        assert_eq!(out.probes, 16);
+        assert_eq!(out.stage_checks, 16, "1 stage unit per aborted probe");
+        // Without staged lookup the same walk hashes each subtable's full
+        // 3-stage mask: 3 units per probe.
+        let mut plain = TupleSpaceSearch::default();
+        for len in 1..=16u8 {
+            let mk = MaskedKey::new(
+                FlowKey::tcp([10, 0, 0, 0], [0, 0, 0, 0], 0, 80).with(Field::InPort, 1),
+                pi_core::FlowMask::default()
+                    .with_exact(Field::InPort)
+                    .with_prefix(Field::IpSrc, len)
+                    .with_exact(Field::TpDst),
+            );
+            plain.insert(mk, len);
+        }
+        let out_plain = plain.lookup(&foreign);
+        assert_eq!(out_plain.probes, 16);
+        assert_eq!(out_plain.stage_checks, 48, "full hash work per probe");
+        // When the mismatch is only at the last stage, staged lookup
+        // saves nothing: same-port wrong-dst-port packet.
+        let same_port_wrong_dst = FlowKey::tcp([10, 0, 0, 1], [0, 0, 0, 0], 0, 81)
+            .with(Field::InPort, 1);
+        let staged_out = tss.lookup(&same_port_wrong_dst);
+        let plain_out = plain.lookup(&same_port_wrong_dst);
+        assert_eq!(staged_out.value, None);
+        assert_eq!(plain_out.value, None);
+        assert_eq!(staged_out.stage_checks, 48);
+        assert_eq!(plain_out.stage_checks, 48);
+    }
+
+    #[test]
+    fn staged_lookup_hits_still_found() {
+        let mut tss = TupleSpaceSearch::default().with_staged_lookup();
+        let mk = MaskedKey::new(
+            FlowKey::tcp([10, 0, 0, 1], [0, 0, 0, 0], 5, 80).with(Field::InPort, 1),
+            pi_core::FlowMask::default()
+                .with_exact(Field::InPort)
+                .with_exact(Field::IpSrc)
+                .with_exact(Field::TpDst),
+        );
+        tss.insert(mk, "hit");
+        let pkt = FlowKey::tcp([10, 0, 0, 1], [9, 9, 9, 9], 1234, 80).with(Field::InPort, 1);
+        assert_eq!(tss.lookup(&pkt).value, Some(&"hit"));
+        tss.remove(&mk);
+        assert_eq!(tss.lookup(&pkt).value, None);
+    }
+}

@@ -1,0 +1,161 @@
+//! Property test: Tuple Space Search agrees with the linear reference
+//! classifier (DESIGN.md invariant 2).
+//!
+//! Two regimes are pinned:
+//! * **Non-overlapping entries** (the megaflow invariant): first-match
+//!   TSS lookup must equal linear classification.
+//! * **Arbitrary overlapping rules**: priority-aware TSS
+//!   (`lookup_best_by`) must equal linear classification under OVS
+//!   precedence.
+
+use pi_classifier::{Action, FlowTable, LinearClassifier, TupleSpaceSearch};
+use pi_core::{Field, FlowKey, FlowMask, MaskedKey};
+use proptest::prelude::*;
+
+/// A restricted rule universe that makes accidental matches likely
+/// enough to be interesting: ip_src prefixes over four /8 roots plus
+/// optional exact tp_dst from a small port set.
+fn arb_masked_key() -> impl Strategy<Value = MaskedKey> {
+    (
+        0u8..4,      // which /8 root
+        0u8..=32,    // ip prefix length
+        0u8..3,      // port selector: 0 = wildcard
+        any::<u32>(), // host bits
+    )
+        .prop_map(|(root, len, port_sel, host)| {
+            let ip = ((10 + root as u32) << 24) | (host & 0x00ff_ffff);
+            let mut mask = FlowMask::default();
+            if len > 0 {
+                mask = mask.with_prefix(Field::IpSrc, len);
+            }
+            let mut key = FlowKey::tcp(
+                std::net::Ipv4Addr::from(ip),
+                [192, 168, 0, 1],
+                0,
+                0,
+            );
+            if port_sel > 0 {
+                mask = mask.with_exact(Field::TpDst);
+                key.tp_dst = [80u16, 443][port_sel as usize - 1];
+            }
+            MaskedKey::new(key, mask)
+        })
+}
+
+fn arb_packet() -> impl Strategy<Value = FlowKey> {
+    (0u8..6, any::<u32>(), proptest::sample::select(vec![80u16, 443, 8080])).prop_map(
+        |(root, host, port)| {
+            let ip = ((9 + root as u32) << 24) | (host & 0x00ff_ffff);
+            FlowKey::tcp(std::net::Ipv4Addr::from(ip), [192, 168, 0, 1], 1234, port)
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Non-overlapping regime: build disjoint exact-ish entries, compare
+    /// first-match TSS against a table of the same rules.
+    #[test]
+    fn tss_equals_linear_on_non_overlapping(
+        seeds in proptest::collection::vec(arb_masked_key(), 1..40),
+        packets in proptest::collection::vec(arb_packet(), 1..40),
+    ) {
+        // Keep only mutually non-overlapping masked keys (greedy filter).
+        let mut chosen: Vec<MaskedKey> = Vec::new();
+        for mk in seeds {
+            if chosen.iter().all(|c| !c.overlaps(&mk)) {
+                chosen.push(mk);
+            }
+        }
+        let mut tss = TupleSpaceSearch::default();
+        let mut table = FlowTable::new();
+        for (i, mk) in chosen.iter().enumerate() {
+            tss.insert(*mk, i);
+            table.insert(*mk, 0, if i % 2 == 0 { Action::Allow } else { Action::Deny });
+        }
+        let linear = LinearClassifier::new(&table);
+        for pkt in &packets {
+            let tss_hit = tss.peek(pkt).value.copied();
+            let lin_hit = linear.classify(pkt).map(|r| r.id.0 as usize);
+            // Rule ids equal insertion sequence = our payload indices.
+            prop_assert_eq!(tss_hit, lin_hit, "packet {}", pkt);
+        }
+    }
+
+    /// Overlapping regime: same rules in both engines; priority-aware
+    /// TSS must reproduce linear's precedence choice exactly.
+    #[test]
+    fn priority_tss_equals_linear_on_overlapping(
+        entries in proptest::collection::vec((arb_masked_key(), 0u32..4), 1..40),
+        packets in proptest::collection::vec(arb_packet(), 1..40),
+    ) {
+        let mut tss: TupleSpaceSearch<(u32, u64)> = TupleSpaceSearch::default();
+        let mut table = FlowTable::new();
+        for (mk, prio) in &entries {
+            let id = table.insert(*mk, *prio, Action::Allow);
+            // TSS with identical (mask,key) collides; keep the winner the
+            // same way OVS would: higher (priority, earlier id) stays.
+            match tss.get_mut(mk) {
+                Some(existing) => {
+                    let candidate = (*prio, u64::MAX - id.0);
+                    if candidate > *existing {
+                        *existing = candidate;
+                    }
+                }
+                None => {
+                    tss.insert(*mk, (*prio, u64::MAX - id.0));
+                }
+            }
+        }
+        let linear = LinearClassifier::new(&table);
+        for pkt in &packets {
+            let tss_best = tss.lookup_best_by(pkt, |v| *v).value.copied();
+            let lin_best = linear
+                .classify(pkt)
+                .map(|r| (r.priority, u64::MAX - r.id.0));
+            prop_assert_eq!(tss_best, lin_best, "packet {}", pkt);
+        }
+    }
+
+    /// Mask-count law for the classifier: the number of subtables equals
+    /// the number of distinct masks inserted.
+    #[test]
+    fn subtable_count_equals_distinct_masks(
+        entries in proptest::collection::vec(arb_masked_key(), 1..60),
+    ) {
+        let mut tss = TupleSpaceSearch::default();
+        let mut distinct: Vec<FlowMask> = Vec::new();
+        for mk in &entries {
+            tss.insert(*mk, ());
+            if !distinct.contains(mk.mask()) {
+                distinct.push(*mk.mask());
+            }
+        }
+        prop_assert_eq!(tss.subtable_count(), distinct.len());
+    }
+
+    /// Removal restores the exact pre-insertion observable state.
+    #[test]
+    fn insert_remove_is_identity(
+        base in proptest::collection::vec(arb_masked_key(), 0..20),
+        extra in arb_masked_key(),
+        probes in proptest::collection::vec(arb_packet(), 1..20),
+    ) {
+        let mut tss = TupleSpaceSearch::default();
+        for (i, mk) in base.iter().enumerate() {
+            tss.insert(*mk, i as u64);
+        }
+        let before: Vec<Option<u64>> =
+            probes.iter().map(|p| tss.peek(p).value.copied()).collect();
+        let had = tss.get(&extra).copied();
+        tss.insert(extra, 999_999);
+        match had {
+            Some(v) => { tss.insert(extra, v); }
+            None => { tss.remove(&extra); }
+        }
+        let after: Vec<Option<u64>> =
+            probes.iter().map(|p| tss.peek(p).value.copied()).collect();
+        prop_assert_eq!(before, after);
+    }
+}

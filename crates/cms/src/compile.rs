@@ -1,0 +1,337 @@
+//! Policy → flow table compilation.
+//!
+//! Every dialect compiles to the same shape (paper §1: "even the
+//! simplest Whitelist + Default-Deny type of ACLs"): one `Allow` rule per
+//! (source-prefix × protocol × port-prefix …) combination at priority 1,
+//! and a catch-all `Deny` at priority 0 added last. All rules match
+//! `eth_type == IPv4`; protocol-specific rules also pin `ip_proto`.
+
+use pi_classifier::{Action, FlowTable};
+use pi_core::key::ETHERTYPE_IPV4;
+use pi_core::{Field, FlowKey, FlowMask, MaskedKey};
+
+use crate::net::{port_range_to_prefixes, Cidr, PortRange};
+use crate::policy::{CalicoPolicy, NetworkPolicy, SecurityGroup};
+
+/// Priority assigned to compiled whitelist entries (deny is 0).
+pub const COMPILED_PRIORITY_ALLOW: u32 = 1;
+
+/// Stateless policy compiler.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PolicyCompiler;
+
+/// One whitelist conjunct before table insertion.
+#[derive(Debug, Clone, Copy)]
+struct AllowTerm {
+    src: Option<Cidr>,
+    proto: Option<u8>,
+    dst_port: Option<(u16, u8)>,
+    src_port: Option<(u16, u8)>,
+}
+
+impl AllowTerm {
+    fn to_masked_key(self) -> MaskedKey {
+        let mut key = FlowKey {
+            eth_type: ETHERTYPE_IPV4,
+            ..Default::default()
+        };
+        let mut mask = FlowMask::default().with_exact(Field::EthType);
+        if let Some(cidr) = self.src {
+            key.ip_src = cidr.addr;
+            mask = mask.with_prefix(Field::IpSrc, cidr.len);
+        }
+        if let Some(p) = self.proto {
+            key.ip_proto = p;
+            mask = mask.with_exact(Field::IpProto);
+        }
+        if let Some((v, len)) = self.dst_port {
+            key.tp_dst = v;
+            mask = mask.with_prefix(Field::TpDst, len);
+        }
+        if let Some((v, len)) = self.src_port {
+            key.tp_src = v;
+            mask = mask.with_prefix(Field::TpSrc, len);
+        }
+        MaskedKey::new(key, mask)
+    }
+}
+
+fn build_table(terms: Vec<AllowTerm>) -> FlowTable {
+    let mut table = FlowTable::new();
+    for t in terms {
+        table.insert(t.to_masked_key(), COMPILED_PRIORITY_ALLOW, Action::Allow);
+    }
+    // Default deny, added last (paper §2: first-added wins among equals,
+    // and at priority 0 it loses to every whitelist rule anyway).
+    table.insert(MaskedKey::wildcard(), 0, Action::Deny);
+    table
+}
+
+/// Port-range expansion: `None`/all → single unconstrained term.
+fn expand_ports(range: Option<PortRange>) -> Vec<Option<(u16, u8)>> {
+    match range {
+        None => vec![None],
+        Some(r) if r.is_all() => vec![None],
+        Some(r) => port_range_to_prefixes(r).into_iter().map(Some).collect(),
+    }
+}
+
+impl PolicyCompiler {
+    /// Compiles a Kubernetes NetworkPolicy.
+    pub fn compile_k8s(&self, policy: &NetworkPolicy) -> FlowTable {
+        let mut terms = Vec::new();
+        for rule in &policy.ingress {
+            let sources: Vec<Option<Cidr>> = if rule.from.is_empty() {
+                vec![None]
+            } else {
+                rule.from.iter().copied().map(Some).collect()
+            };
+            let port_terms: Vec<(Option<u8>, Option<(u16, u8)>)> = if rule.ports.is_empty() {
+                vec![(None, None)]
+            } else {
+                rule.ports
+                    .iter()
+                    .flat_map(|(proto, port)| {
+                        proto.numbers().iter().map(move |&n| {
+                            (Some(n), port.map(|p| (p, 16)))
+                        })
+                    })
+                    .collect()
+            };
+            for src in &sources {
+                for (proto, dst_port) in &port_terms {
+                    terms.push(AllowTerm {
+                        src: *src,
+                        proto: *proto,
+                        dst_port: *dst_port,
+                        src_port: None,
+                    });
+                }
+            }
+        }
+        build_table(terms)
+    }
+
+    /// Compiles an OpenStack security group.
+    pub fn compile_security_group(&self, sg: &SecurityGroup) -> FlowTable {
+        let mut terms = Vec::new();
+        for rule in &sg.rules {
+            for &proto in rule.protocol.numbers() {
+                for dst_port in expand_ports(rule.dst_ports) {
+                    terms.push(AllowTerm {
+                        src: Some(rule.remote),
+                        proto: Some(proto),
+                        dst_port,
+                        src_port: None,
+                    });
+                }
+            }
+        }
+        build_table(terms)
+    }
+
+    /// Compiles a Calico policy (the source-port-capable dialect).
+    pub fn compile_calico(&self, policy: &CalicoPolicy) -> FlowTable {
+        let mut terms = Vec::new();
+        for rule in &policy.rules {
+            let sources: Vec<Option<Cidr>> = if rule.src_nets.is_empty() {
+                vec![None]
+            } else {
+                rule.src_nets.iter().copied().map(Some).collect()
+            };
+            let dst_ports: Vec<Option<(u16, u8)>> = if rule.dst_ports.is_empty() {
+                vec![None]
+            } else {
+                rule.dst_ports
+                    .iter()
+                    .flat_map(|r| expand_ports(Some(*r)))
+                    .collect()
+            };
+            let src_ports: Vec<Option<(u16, u8)>> = if rule.src_ports.is_empty() {
+                vec![None]
+            } else {
+                rule.src_ports
+                    .iter()
+                    .flat_map(|r| expand_ports(Some(*r)))
+                    .collect()
+            };
+            for &proto in rule.protocol.numbers() {
+                for src in &sources {
+                    for dst_port in &dst_ports {
+                        for src_port in &src_ports {
+                            terms.push(AllowTerm {
+                                src: *src,
+                                proto: Some(proto),
+                                dst_port: *dst_port,
+                                src_port: *src_port,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        build_table(terms)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::net::Protocol;
+    use crate::policy::{CalicoRule, IngressRule, SgRule};
+    use pi_classifier::LinearClassifier;
+
+    fn classify(table: &FlowTable, key: &FlowKey) -> Action {
+        LinearClassifier::new(table)
+            .classify(key)
+            .map(|r| r.action)
+            .unwrap_or(Action::Deny)
+    }
+
+    fn tcp(ip: [u8; 4], sport: u16, dport: u16) -> FlowKey {
+        FlowKey::tcp(ip, [10, 0, 0, 99], sport, dport)
+    }
+
+    #[test]
+    fn k8s_paper_example_compiles_to_two_rules() {
+        let policy = NetworkPolicy::allow_from_cidr("fig2", "10.0.0.0/8".parse().unwrap());
+        let table = PolicyCompiler.compile_k8s(&policy);
+        assert_eq!(table.len(), 2);
+        assert_eq!(classify(&table, &tcp([10, 1, 2, 3], 5, 80)), Action::Allow);
+        assert_eq!(classify(&table, &tcp([11, 1, 2, 3], 5, 80)), Action::Deny);
+    }
+
+    #[test]
+    fn k8s_with_dst_port() {
+        let policy = NetworkPolicy {
+            name: "web".into(),
+            ingress: vec![IngressRule {
+                from: vec!["10.0.0.0/8".parse().unwrap()],
+                ports: vec![(Protocol::Tcp, Some(80))],
+            }],
+        };
+        let table = PolicyCompiler.compile_k8s(&policy);
+        assert_eq!(classify(&table, &tcp([10, 0, 0, 1], 5, 80)), Action::Allow);
+        assert_eq!(classify(&table, &tcp([10, 0, 0, 1], 5, 81)), Action::Deny);
+        // UDP to 80 is denied (protocol pinned).
+        let udp = FlowKey::udp([10, 0, 0, 1], [10, 0, 0, 99], 5, 80);
+        assert_eq!(classify(&table, &udp), Action::Deny);
+    }
+
+    #[test]
+    fn k8s_any_protocol_expands_to_tcp_and_udp() {
+        let policy = NetworkPolicy {
+            name: "dns".into(),
+            ingress: vec![IngressRule {
+                from: vec![],
+                ports: vec![(Protocol::Any, Some(53))],
+            }],
+        };
+        let table = PolicyCompiler.compile_k8s(&policy);
+        // 2 allows (tcp, udp) + deny.
+        assert_eq!(table.len(), 3);
+        assert_eq!(classify(&table, &tcp([1, 1, 1, 1], 5, 53)), Action::Allow);
+        let udp = FlowKey::udp([1, 1, 1, 1], [2, 2, 2, 2], 5, 53);
+        assert_eq!(classify(&table, &udp), Action::Allow);
+    }
+
+    #[test]
+    fn k8s_empty_ingress_denies_everything() {
+        let policy = NetworkPolicy {
+            name: "isolate".into(),
+            ingress: vec![],
+        };
+        let table = PolicyCompiler.compile_k8s(&policy);
+        assert_eq!(table.len(), 1); // just the deny
+        assert_eq!(classify(&table, &tcp([10, 0, 0, 1], 5, 80)), Action::Deny);
+    }
+
+    #[test]
+    fn security_group_with_port_range() {
+        let sg = SecurityGroup {
+            name: "app".into(),
+            rules: vec![SgRule {
+                remote: "192.168.0.0/16".parse().unwrap(),
+                protocol: Protocol::Tcp,
+                dst_ports: Some(PortRange::new(8080, 8083).unwrap()),
+            }],
+        };
+        let table = PolicyCompiler.compile_security_group(&sg);
+        // 8080–8083 is one aligned /14 prefix + deny.
+        assert_eq!(table.len(), 2);
+        for port in 8080..=8083 {
+            assert_eq!(
+                classify(&table, &tcp([192, 168, 1, 1], 5, port)),
+                Action::Allow
+            );
+        }
+        assert_eq!(
+            classify(&table, &tcp([192, 168, 1, 1], 5, 8084)),
+            Action::Deny
+        );
+        assert_eq!(classify(&table, &tcp([10, 0, 0, 1], 5, 8080)), Action::Deny);
+    }
+
+    #[test]
+    fn calico_with_source_ports() {
+        let policy = CalicoPolicy {
+            name: "attack-shape".into(),
+            rules: vec![CalicoRule {
+                protocol: Protocol::Tcp,
+                src_nets: vec![Cidr::host([10, 0, 0, 1])],
+                src_ports: vec![PortRange::single(4444)],
+                dst_ports: vec![PortRange::single(80)],
+            }],
+        };
+        let table = PolicyCompiler.compile_calico(&policy);
+        assert_eq!(table.len(), 2);
+        assert_eq!(
+            classify(&table, &tcp([10, 0, 0, 1], 4444, 80)),
+            Action::Allow
+        );
+        assert_eq!(
+            classify(&table, &tcp([10, 0, 0, 1], 4445, 80)),
+            Action::Deny,
+            "source port must be enforced"
+        );
+        // The compiled table's active fields include TpSrc — the
+        // attack-surface difference, observable structurally.
+        assert!(table
+            .active_fields()
+            .contains(&pi_core::Field::TpSrc));
+    }
+
+    #[test]
+    fn k8s_and_sg_tables_never_touch_source_ports() {
+        let k8s = PolicyCompiler.compile_k8s(&NetworkPolicy {
+            name: "x".into(),
+            ingress: vec![IngressRule {
+                from: vec!["10.0.0.0/8".parse().unwrap()],
+                ports: vec![(Protocol::Tcp, Some(80))],
+            }],
+        });
+        assert!(!k8s.active_fields().contains(&pi_core::Field::TpSrc));
+        let sg = PolicyCompiler.compile_security_group(&SecurityGroup {
+            name: "y".into(),
+            rules: vec![SgRule {
+                remote: Cidr::ANY,
+                protocol: Protocol::Any,
+                dst_ports: Some(PortRange::single(443)),
+            }],
+        });
+        assert!(!sg.active_fields().contains(&pi_core::Field::TpSrc));
+    }
+
+    #[test]
+    fn deny_rule_is_always_last_and_lowest() {
+        let table = PolicyCompiler.compile_k8s(&NetworkPolicy::allow_from_cidr(
+            "p",
+            "10.0.0.0/8".parse().unwrap(),
+        ));
+        let rules: Vec<_> = table.iter().collect();
+        let last = rules.last().unwrap();
+        assert_eq!(last.action, Action::Deny);
+        assert_eq!(last.priority, 0);
+        assert!(last.matcher.mask().is_wildcard_all());
+    }
+}

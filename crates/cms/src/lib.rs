@@ -1,0 +1,36 @@
+//! # pi-cms — the cloud management system model
+//!
+//! The attack's entry point is not the switch but the **CMS**: a tenant
+//! uses the official, sanctioned policy API — Kubernetes NetworkPolicy,
+//! OpenStack security groups, or Calico policies — to install ACLs on
+//! its own pods, and the CMS compiles them into whitelist + default-deny
+//! flow tables at the hypervisor switch's virtual ports (paper §2 and
+//! Fig. 1).
+//!
+//! This crate models exactly that surface:
+//!
+//! * [`Cloud`] — tenants, nodes, pods, virtual ports, address allocation.
+//! * Policy dialects ([`NetworkPolicy`], [`SecurityGroup`],
+//!   [`CalicoPolicy`]) — structurally encoding what each CMS lets a
+//!   tenant express. The decisive difference for the attack: Kubernetes
+//!   and OpenStack can match the IP source and the L4 **destination**
+//!   port (⇒ up to 32·16 = 512 megaflow masks), while Calico also
+//!   exposes the L4 **source** port (⇒ 32·16·16 = 8192, the full-blown
+//!   DoS of Fig. 3).
+//! * [`PolicyCompiler`] — dialect → [`pi_classifier::FlowTable`],
+//!   including textbook range-to-prefix decomposition for port ranges.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cloud;
+pub mod compile;
+pub mod net;
+pub mod policy;
+
+pub use cloud::{Cloud, CmsError, NodeId, Pod, PodId, TenantId};
+pub use compile::{PolicyCompiler, COMPILED_PRIORITY_ALLOW};
+pub use net::{port_range_to_prefixes, Cidr, PortRange, Protocol};
+pub use policy::{
+    CalicoPolicy, CalicoRule, IngressRule, NetworkPolicy, PolicyDialect, SecurityGroup, SgRule,
+};

@@ -1,0 +1,162 @@
+//! The three policy dialects a tenant can speak.
+//!
+//! The types are deliberately *structural* about what each CMS permits:
+//! a [`NetworkPolicy`] (Kubernetes) or [`SecurityGroup`] (OpenStack)
+//! simply has no field for source ports, while a [`CalicoRule`] does.
+//! That one extra field is what upgrades the attack from 512 to 8192
+//! megaflow masks (paper §2).
+
+use crate::net::{Cidr, PortRange, Protocol};
+
+/// Which CMS accepted a policy (used for reporting and validation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PolicyDialect {
+    /// Kubernetes NetworkPolicy (ipBlock + destination ports).
+    Kubernetes,
+    /// OpenStack security group (remote prefix + destination port range).
+    OpenStack,
+    /// Calico network policy (adds source-port matching).
+    Calico,
+}
+
+impl std::fmt::Display for PolicyDialect {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            PolicyDialect::Kubernetes => "kubernetes",
+            PolicyDialect::OpenStack => "openstack",
+            PolicyDialect::Calico => "calico",
+        })
+    }
+}
+
+// ---------------------------------------------------------------------
+// Kubernetes
+
+/// One ingress clause: traffic from any of `from`, to any of `ports`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IngressRule {
+    /// Source ipBlocks; empty means "any source".
+    pub from: Vec<Cidr>,
+    /// `(protocol, destination port)`; `None` port means all ports;
+    /// empty vector means "all traffic" (any protocol, any port).
+    pub ports: Vec<(Protocol, Option<u16>)>,
+}
+
+/// A Kubernetes `NetworkPolicy` restricted to the ingress/ipBlock
+/// features the paper uses. Selecting a pod makes it *isolated*: only
+/// whitelisted traffic is admitted (whitelist + default-deny).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NetworkPolicy {
+    /// Object name (reporting only).
+    pub name: String,
+    /// Ingress whitelist clauses.
+    pub ingress: Vec<IngressRule>,
+}
+
+impl NetworkPolicy {
+    /// The paper's first example: allow from `10.0.0.0/8`, nothing else.
+    pub fn allow_from_cidr(name: &str, cidr: Cidr) -> Self {
+        NetworkPolicy {
+            name: name.to_string(),
+            ingress: vec![IngressRule {
+                from: vec![cidr],
+                ports: Vec::new(),
+            }],
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// OpenStack
+
+/// One security-group rule (ingress only — egress is irrelevant to the
+/// attack).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SgRule {
+    /// Remote (source) prefix.
+    pub remote: Cidr,
+    /// Protocol.
+    pub protocol: Protocol,
+    /// Destination port range; `None` = all ports.
+    pub dst_ports: Option<PortRange>,
+}
+
+/// An OpenStack security group.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SecurityGroup {
+    /// Group name.
+    pub name: String,
+    /// Ingress rules (whitelist; the default-deny is implicit).
+    pub rules: Vec<SgRule>,
+}
+
+// ---------------------------------------------------------------------
+// Calico
+
+/// One Calico allow rule. The `src_ports` field is the capability
+/// Kubernetes/OpenStack lack.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CalicoRule {
+    /// Protocol.
+    pub protocol: Protocol,
+    /// Source networks; empty = any.
+    pub src_nets: Vec<Cidr>,
+    /// Source port ranges; empty = any. **The 8192-mask enabler.**
+    pub src_ports: Vec<PortRange>,
+    /// Destination port ranges; empty = any.
+    pub dst_ports: Vec<PortRange>,
+}
+
+/// A Calico network policy (allow rules + implicit default deny).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CalicoPolicy {
+    /// Policy name.
+    pub name: String,
+    /// Allow rules.
+    pub rules: Vec<CalicoRule>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn k8s_helper_builds_paper_example() {
+        let p = NetworkPolicy::allow_from_cidr("fig2", "10.0.0.0/8".parse().unwrap());
+        assert_eq!(p.ingress.len(), 1);
+        assert_eq!(p.ingress[0].from[0].to_string(), "10.0.0.0/8");
+        assert!(p.ingress[0].ports.is_empty());
+    }
+
+    #[test]
+    fn dialect_display() {
+        assert_eq!(PolicyDialect::Kubernetes.to_string(), "kubernetes");
+        assert_eq!(PolicyDialect::OpenStack.to_string(), "openstack");
+        assert_eq!(PolicyDialect::Calico.to_string(), "calico");
+    }
+
+    #[test]
+    fn dialects_are_structurally_distinct() {
+        // The type system itself documents the attack surface: only
+        // CalicoRule has src_ports. This test is the living assertion
+        // that the K8s/OpenStack types stay source-port-free.
+        let calico = CalicoRule {
+            protocol: Protocol::Tcp,
+            src_nets: vec![Cidr::ANY],
+            src_ports: vec![PortRange::single(1000)],
+            dst_ports: vec![PortRange::single(80)],
+        };
+        assert_eq!(calico.src_ports.len(), 1);
+        // NetworkPolicy/SgRule: no src port field exists — nothing to
+        // assert beyond construction compiling.
+        let _k8s = IngressRule {
+            from: vec![Cidr::ANY],
+            ports: vec![(Protocol::Tcp, Some(80))],
+        };
+        let _sg = SgRule {
+            remote: Cidr::ANY,
+            protocol: Protocol::Tcp,
+            dst_ports: Some(PortRange::single(80)),
+        };
+    }
+}

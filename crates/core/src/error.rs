@@ -1,0 +1,105 @@
+//! Workspace-wide error type.
+
+use std::fmt;
+
+/// Errors produced by the foundational layers.
+///
+/// Higher crates define their own richer error enums and convert into or
+/// wrap `CoreError` where the failure originates down here.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// A textual address (MAC or IPv4) failed to parse.
+    ParseAddr(String),
+    /// A field value exceeded the field's bit width
+    /// (e.g. writing `0x1_0000` into a 16-bit port).
+    ValueOutOfRange {
+        /// The field being written, by name.
+        field: &'static str,
+        /// The offending value.
+        value: u64,
+        /// The field's width in bits.
+        width: u8,
+    },
+    /// A prefix length exceeded the field's bit width.
+    PrefixTooLong {
+        /// The field, by name.
+        field: &'static str,
+        /// The requested prefix length.
+        len: u8,
+        /// The field's width in bits.
+        width: u8,
+    },
+    /// A buffer was too short to hold or parse a packet.
+    Truncated {
+        /// What was being parsed or emitted.
+        what: &'static str,
+        /// Bytes required.
+        needed: usize,
+        /// Bytes available.
+        got: usize,
+    },
+    /// A malformed packet (bad version, header length, checksum…).
+    Malformed(&'static str),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::ParseAddr(s) => write!(f, "cannot parse address {s:?}"),
+            CoreError::ValueOutOfRange {
+                field,
+                value,
+                width,
+            } => write!(
+                f,
+                "value {value:#x} does not fit the {width}-bit field {field}"
+            ),
+            CoreError::PrefixTooLong { field, len, width } => {
+                write!(f, "prefix /{len} too long for the {width}-bit field {field}")
+            }
+            CoreError::Truncated { what, needed, got } => {
+                write!(f, "{what}: buffer too short ({got} bytes, need {needed})")
+            }
+            CoreError::Malformed(what) => write!(f, "malformed packet: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = CoreError::ValueOutOfRange {
+            field: "tp_src",
+            value: 0x1_0000,
+            width: 16,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("tp_src"));
+        assert!(msg.contains("16-bit"));
+
+        let e = CoreError::Truncated {
+            what: "ipv4 header",
+            needed: 20,
+            got: 7,
+        };
+        assert!(e.to_string().contains("need 20"));
+
+        let e = CoreError::PrefixTooLong {
+            field: "ip_src",
+            len: 40,
+            width: 32,
+        };
+        assert!(e.to_string().contains("/40"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&CoreError::Malformed("x"));
+    }
+}

@@ -1,0 +1,45 @@
+//! # pi-core — foundational types for the policy-injection reproduction
+//!
+//! This crate is the bottom of the workspace dependency graph. It defines
+//! the vocabulary every other crate speaks:
+//!
+//! * [`FlowKey`] — the parsed header tuple an OVS-style datapath matches on
+//!   (ingress port, Ethernet addresses and type, the IPv4 5-tuple plus
+//!   TOS/TTL).
+//! * [`FlowMask`] — a per-*bit* wildcard mask over the same fields. Tuple
+//!   Space Search groups cache entries by their mask, so masks — not rules —
+//!   are the currency of the attack this workspace reproduces.
+//! * [`MaskedKey`] — a canonical `(key & mask, mask)` pair with the overlap
+//!   and containment predicates the classifier and the megaflow cache need.
+//! * [`Field`] / [`FieldSpec`] — a reflection layer giving uniform `u64`
+//!   access to every header field, used by the prefix tries and by the
+//!   slow path's un-wildcarding logic.
+//! * [`SimTime`] — nanosecond-resolution simulated time.
+//! * [`SplitMix64`] — a tiny deterministic RNG so that core algorithms can
+//!   be randomized reproducibly without external dependencies.
+//!
+//! Nothing in this crate allocates per packet; `FlowKey` and `FlowMask` are
+//! plain `Copy` structs, mirroring the fixed-size `struct flow` /
+//! `struct flow_wildcards` pair in Open vSwitch.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod addr;
+pub mod error;
+pub mod fields;
+pub mod key;
+pub mod mask;
+pub mod rng;
+pub mod time;
+
+pub use addr::MacAddr;
+pub use error::CoreError;
+pub use fields::{Field, FieldSpec, Stage, ALL_FIELDS};
+pub use key::FlowKey;
+pub use mask::{FlowMask, MaskedKey};
+pub use rng::SplitMix64;
+pub use time::SimTime;
+
+/// Convenience result alias used across the workspace.
+pub type Result<T> = std::result::Result<T, CoreError>;

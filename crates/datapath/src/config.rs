@@ -1,0 +1,100 @@
+//! Datapath configuration.
+
+use pi_classifier::SubtableOrder;
+use pi_core::{Field, SimTime};
+
+/// Tunables of one virtual switch, with defaults matching the OVS
+/// deployment the paper attacks.
+#[derive(Debug, Clone)]
+pub struct DpConfig {
+    /// Whether the first-level exact-match cache exists at all (the
+    /// cache-less ablation turns it off).
+    pub emc_enabled: bool,
+    /// Microflow cache capacity in entries (OVS EMC default: 8192).
+    pub emc_entries: usize,
+    /// Set associativity of the microflow cache (OVS: 2-way).
+    pub emc_ways: usize,
+    /// Probability of inserting a flow into the microflow cache after a
+    /// megaflow hit. OVS-DPDK ships 1/100 to bound insertion overhead;
+    /// 1.0 makes small tests deterministic.
+    pub emc_insert_prob: f64,
+    /// Maximum megaflow entries before installs are refused (OVS
+    /// `flow-limit`, default 200 000).
+    pub flow_limit: usize,
+    /// Megaflow idle timeout (OVS default 10 s) — evicted by the
+    /// revalidator if unused this long. Sets the covert refresh
+    /// bandwidth the attack needs (paper: 1–2 Mb/s).
+    pub idle_timeout: SimTime,
+    /// Fields with prefix tries enabled for megaflow generation. The
+    /// paper's mask counts (8 / 512 / 8192) require tries on the IP
+    /// source and the L4 ports, matching the demo's OVS configuration.
+    pub trie_fields: Vec<Field>,
+    /// Enables staged subtable lookup (mitigation ablation).
+    pub staged_lookup: bool,
+    /// Subtable walk order (mitigation ablation uses hit-count sorting).
+    pub subtable_order: SubtableOrder,
+    /// Seed for the datapath's internal randomness (EMC way eviction,
+    /// probabilistic insertion).
+    pub seed: u64,
+}
+
+impl Default for DpConfig {
+    fn default() -> Self {
+        DpConfig {
+            emc_enabled: true,
+            emc_entries: 8192,
+            emc_ways: 2,
+            emc_insert_prob: 1.0,
+            flow_limit: 200_000,
+            idle_timeout: SimTime::from_secs(10),
+            trie_fields: vec![Field::IpSrc, Field::IpDst, Field::TpSrc, Field::TpDst],
+            staged_lookup: false,
+            subtable_order: SubtableOrder::Insertion,
+            seed: 0x5eed_0f_0e5,
+        }
+    }
+}
+
+impl DpConfig {
+    /// OVS-DPDK-flavoured defaults: probabilistic EMC insertion.
+    pub fn dpdk_like() -> Self {
+        DpConfig {
+            emc_insert_prob: 0.01,
+            ..Self::default()
+        }
+    }
+
+    /// The cache-less configuration used by the mitigation comparison.
+    pub fn no_emc() -> Self {
+        DpConfig {
+            emc_enabled: false,
+            ..Self::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_deployment() {
+        let c = DpConfig::default();
+        assert!(c.emc_enabled);
+        assert_eq!(c.emc_entries, 8192);
+        assert_eq!(c.emc_ways, 2);
+        assert_eq!(c.flow_limit, 200_000);
+        assert_eq!(c.idle_timeout, SimTime::from_secs(10));
+        assert!(c.trie_fields.contains(&Field::IpSrc));
+        assert!(c.trie_fields.contains(&Field::TpSrc));
+        assert!(c.trie_fields.contains(&Field::TpDst));
+        assert!(!c.staged_lookup);
+        assert_eq!(c.subtable_order, SubtableOrder::Insertion);
+    }
+
+    #[test]
+    fn variants() {
+        assert_eq!(DpConfig::dpdk_like().emc_insert_prob, 0.01);
+        assert!(!DpConfig::no_emc().emc_enabled);
+    }
+}

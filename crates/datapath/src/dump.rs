@@ -1,0 +1,171 @@
+//! Operator-facing cache introspection, `ovs-dpctl dump-flows` style.
+//!
+//! The paper's demo audience watches the megaflow count climb; an
+//! operator debugging a live incident needs the flows themselves. These
+//! helpers render the megaflow cache in a familiar text format and
+//! summarise the mask population (the first thing to look at when a
+//! node's softirq load is unexplained).
+
+use std::fmt::Write as _;
+
+use pi_core::{Field, SimTime, ALL_FIELDS};
+
+use crate::vswitch::VSwitch;
+
+/// Renders every megaflow as one `ovs-dpctl`-flavoured line:
+/// `field(value/mask),… actions:<action> used:<age> packets:<hits>`.
+/// Lines are sorted for stable output.
+pub fn dump_flows(switch: &VSwitch, now: SimTime) -> String {
+    let mut lines: Vec<String> = switch
+        .megaflows()
+        .iter()
+        .map(|(mk, entry)| {
+            let mut line = String::new();
+            for f in ALL_FIELDS {
+                let mask = mk.mask().field(f);
+                if mask == 0 {
+                    continue;
+                }
+                let value = mk.key().field(f);
+                if f == Field::IpSrc || f == Field::IpDst {
+                    let _ = write!(
+                        line,
+                        "{}({}/{}),",
+                        f.name(),
+                        std::net::Ipv4Addr::from(value as u32),
+                        std::net::Ipv4Addr::from(mask as u32)
+                    );
+                } else if mask == f.full_mask() {
+                    let _ = write!(line, "{}({}),", f.name(), value);
+                } else {
+                    let _ = write!(line, "{}({:#x}/{:#x}),", f.name(), value, mask);
+                }
+            }
+            let age = now.saturating_sub(entry.last_used);
+            let _ = write!(
+                line,
+                " actions:{} used:{} packets:{}",
+                entry.action, age, entry.hits
+            );
+            line
+        })
+        .collect();
+    lines.sort();
+    lines.join("\n")
+}
+
+/// One row of the mask summary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MaskSummaryRow {
+    /// Human-readable mask shape (e.g. `ip_src/8,tp_dst`).
+    pub mask: String,
+    /// Entries under this mask.
+    pub entries: usize,
+    /// Total hits across those entries.
+    pub hits: u64,
+}
+
+/// Groups the cache by mask, descending by entry count — the
+/// "who is filling my subtable vector" view.
+pub fn mask_summary(switch: &VSwitch) -> Vec<MaskSummaryRow> {
+    use std::collections::BTreeMap;
+    let mut rows: BTreeMap<String, (usize, u64)> = BTreeMap::new();
+    for (mk, entry) in switch.megaflows().iter() {
+        let r = rows.entry(mk.mask().to_string()).or_default();
+        r.0 += 1;
+        r.1 += entry.hits;
+    }
+    let mut out: Vec<MaskSummaryRow> = rows
+        .into_iter()
+        .map(|(mask, (entries, hits))| MaskSummaryRow {
+            mask,
+            entries,
+            hits,
+        })
+        .collect();
+    out.sort_by_key(|r| std::cmp::Reverse(r.entries));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DpConfig;
+    use pi_classifier::table::whitelist_with_default_deny;
+    use pi_core::{FlowKey, FlowMask, MaskedKey};
+
+    fn switch_with_traffic() -> VSwitch {
+        let pod = u32::from_be_bytes([10, 1, 0, 66]);
+        let mut sw = VSwitch::new(DpConfig {
+            trie_fields: vec![Field::IpSrc],
+            ..DpConfig::default()
+        });
+        sw.attach_pod(pod, 1);
+        let allow = MaskedKey::new(
+            FlowKey::tcp([10, 0, 0, 0], [0, 0, 0, 0], 0, 0),
+            FlowMask::default().with_prefix(Field::IpSrc, 8),
+        );
+        sw.install_acl(pod, whitelist_with_default_deny(&[allow]));
+        sw.process(
+            &FlowKey::tcp([10, 2, 3, 4], [10, 1, 0, 66], 5, 80),
+            SimTime::from_secs(1),
+        );
+        sw.process(
+            &FlowKey::tcp([128, 0, 0, 1], [10, 1, 0, 66], 5, 80),
+            SimTime::from_secs(2),
+        );
+        sw
+    }
+
+    #[test]
+    fn dump_contains_masks_actions_and_ages() {
+        let sw = switch_with_traffic();
+        let dump = dump_flows(&sw, SimTime::from_secs(3));
+        let lines: Vec<&str> = dump.lines().collect();
+        assert_eq!(lines.len(), 2);
+        // The allowed /8 flow.
+        assert!(
+            dump.contains("ip_src(10.0.0.0/255.0.0.0)"),
+            "dump:\n{dump}"
+        );
+        assert!(dump.contains("actions:allow"));
+        // The denied /1 flow.
+        assert!(dump.contains("ip_src(128.0.0.0/128.0.0.0)"));
+        assert!(dump.contains("actions:deny"));
+        // ip_dst pinned by routing on every line.
+        assert!(lines.iter().all(|l| l.contains("ip_dst(10.1.0.66/255.255.255.255)")));
+        // Ages rendered from `now`.
+        assert!(dump.contains("used:2.000s") || dump.contains("used:1.000s"));
+    }
+
+    #[test]
+    fn mask_summary_groups_and_sorts() {
+        let mut sw = switch_with_traffic();
+        // Add another entry under the same /8 mask.
+        sw.process(
+            &FlowKey::tcp([10, 9, 9, 9], [10, 1, 0, 66], 5, 80),
+            SimTime::from_secs(2),
+        );
+        // All 10.x traffic shares the /8 megaflow → 1 entry, but the
+        // second denied packet differs: send one more deny at /2 depth.
+        sw.process(
+            &FlowKey::tcp([64, 0, 0, 1], [10, 1, 0, 66], 5, 80),
+            SimTime::from_secs(2),
+        );
+        let summary = mask_summary(&sw);
+        assert!(summary.len() >= 2);
+        let total_entries: usize = summary.iter().map(|r| r.entries).sum();
+        assert_eq!(total_entries, sw.megaflow_count());
+        // Sorted descending by entries.
+        for w in summary.windows(2) {
+            assert!(w[0].entries >= w[1].entries);
+        }
+    }
+
+    #[test]
+    fn empty_switch_dumps_empty() {
+        let sw = VSwitch::new(DpConfig::default());
+        assert!(dump_flows(&sw, SimTime::ZERO).is_empty());
+        assert!(mask_summary(&sw).is_empty());
+    }
+}

@@ -1,0 +1,45 @@
+//! # pi-datapath — the OVS-like virtual switch under attack
+//!
+//! Reproduces the Open vSwitch processing pipeline the paper targets
+//! (§2, "The Open vSwitch pipeline"):
+//!
+//! 1. **Microflow cache** ([`MicroflowCache`]) — a bounded, hash-indexed
+//!    exact-match store over the full flow key. First line of defence;
+//!    the attack thrashes it with unique covert packets.
+//! 2. **Megaflow cache** ([`MegaflowCache`]) — wildcard entries grouped
+//!    by mask in a Tuple Space Search; lookup walks subtables linearly.
+//!    This is the structure whose mask count the attack inflates.
+//! 3. **Slow path** ([`SlowPath`]) — full flow-table classification plus
+//!    *megaflow generation*: trie-guided minimal un-wildcarding that
+//!    produces exactly the paper's Fig. 2b decomposition.
+//!
+//! [`VSwitch`] ties the levels together per packet and reports which path
+//! was taken and how many CPU cycles it cost under a calibrated
+//! [`CostModel`]; the [`Revalidator`] implements idle timeout and flow
+//! limits, which set the covert bandwidth the attacker needs.
+//!
+//! The cycle accounting is mechanical — cycles are a linear function of
+//! the counted hash probes, stage checks, rules examined — so throughput
+//! collapse in the simulator is a *consequence* of the data structure
+//! dynamics, never scripted.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod cost;
+pub mod dump;
+pub mod emc;
+pub mod megaflow;
+pub mod revalidator;
+pub mod slowpath;
+pub mod vswitch;
+
+pub use config::DpConfig;
+pub use dump::{dump_flows, mask_summary};
+pub use cost::CostModel;
+pub use emc::MicroflowCache;
+pub use megaflow::{InstallOutcome, MegaflowCache, MegaflowEntry};
+pub use revalidator::{Revalidator, RevalidatorReport};
+pub use slowpath::SlowPath;
+pub use vswitch::{PathTaken, ProcessOutcome, SwitchStats, VSwitch};

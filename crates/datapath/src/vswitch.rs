@@ -1,0 +1,654 @@
+//! The virtual switch: the full three-level pipeline per packet.
+//!
+//! Pipeline semantics follow the paper's Fig. 1: pods attach to virtual
+//! ports, and a pod's ACL protects traffic **to** that pod
+//! (microsegmentation is ingress whitelisting — the compiled rules match
+//! `ip_src`, which only makes sense enforced at the destination). The
+//! slow path therefore (1) routes on the destination IP to find the
+//! target vport and (2) classifies against that pod's ACL; generated
+//! megaflows pin `ip_dst` exactly and carry the ACL's un-wildcarded
+//! fields (Fig. 2b).
+//!
+//! Both caches are **shared across all ports and tenants** — the
+//! isolation gap the attack exploits: masks created by feeding one
+//! tenant's ACL are walked by every other tenant's packets.
+
+use std::collections::HashMap;
+
+use pi_classifier::{Action, FlowTable};
+use pi_core::{Field, FlowKey, SimTime, SplitMix64};
+use pi_packet::extract_flow_key;
+
+use crate::config::DpConfig;
+use crate::cost::CostModel;
+use crate::emc::MicroflowCache;
+use crate::megaflow::{InstallOutcome, MegaflowCache};
+use crate::revalidator::{Revalidator, RevalidatorReport};
+use crate::slowpath::SlowPath;
+
+/// Which level of the pipeline resolved a packet, with the cost-bearing
+/// counters of that path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PathTaken {
+    /// Exact-match cache hit.
+    MicroflowHit,
+    /// Megaflow (TSS) hit after `probes` subtable visits.
+    MegaflowHit {
+        /// Subtables visited.
+        probes: usize,
+        /// Stage-hash units of work.
+        stage_checks: usize,
+        /// Whether the microflow cache was probed first (and missed).
+        emc_probed: bool,
+        /// Whether the flow was promoted into the microflow cache.
+        emc_inserted: bool,
+    },
+    /// Full slow-path upcall.
+    Upcall {
+        /// Subtables visited during the (missing) megaflow lookup.
+        probes: usize,
+        /// Stage-hash units of work.
+        stage_checks: usize,
+        /// Rules scanned by linear classification.
+        rules_examined: usize,
+        /// Whether a megaflow was installed (false ⇒ flow limit hit).
+        installed: bool,
+        /// Whether the microflow cache was probed first (and missed).
+        emc_probed: bool,
+        /// Whether the flow was promoted into the microflow cache.
+        emc_inserted: bool,
+    },
+}
+
+impl PathTaken {
+    /// True for the cheapest (microflow) path.
+    pub fn is_microflow(&self) -> bool {
+        matches!(self, PathTaken::MicroflowHit)
+    }
+
+    /// True for a megaflow hit.
+    pub fn is_megaflow(&self) -> bool {
+        matches!(self, PathTaken::MegaflowHit { .. })
+    }
+
+    /// True for an upcall.
+    pub fn is_upcall(&self) -> bool {
+        matches!(self, PathTaken::Upcall { .. })
+    }
+
+    /// Subtables probed on this path (0 for a microflow hit).
+    pub fn probes(&self) -> usize {
+        match self {
+            PathTaken::MicroflowHit => 0,
+            PathTaken::MegaflowHit { probes, .. } | PathTaken::Upcall { probes, .. } => *probes,
+        }
+    }
+}
+
+/// Per-packet processing result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProcessOutcome {
+    /// The policy verdict.
+    pub verdict: Action,
+    /// Destination vport when the verdict permits delivery.
+    pub output: Option<u32>,
+    /// Which pipeline level resolved the packet.
+    pub path: PathTaken,
+    /// CPU cycles charged (parse + path) under the switch's cost model.
+    pub cycles: u64,
+}
+
+/// Aggregate switch statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SwitchStats {
+    /// Packets processed.
+    pub packets: u64,
+    /// Microflow-cache hits.
+    pub microflow_hits: u64,
+    /// Megaflow-cache hits.
+    pub megaflow_hits: u64,
+    /// Slow-path upcalls.
+    pub upcalls: u64,
+    /// Packets denied by policy (or unroutable).
+    pub policy_drops: u64,
+    /// Total cycles consumed.
+    pub cycles: u64,
+    /// Total subtable probes across all fast-path lookups.
+    pub subtable_probes: u64,
+}
+
+impl SwitchStats {
+    /// Mean cycles per packet.
+    pub fn avg_cycles(&self) -> f64 {
+        if self.packets == 0 {
+            0.0
+        } else {
+            self.cycles as f64 / self.packets as f64
+        }
+    }
+
+    /// Mean subtable probes per packet (the attack's fingerprint).
+    pub fn avg_probes(&self) -> f64 {
+        if self.packets == 0 {
+            0.0
+        } else {
+            self.subtable_probes as f64 / self.packets as f64
+        }
+    }
+}
+
+/// One pod attachment: vport + the pod's ingress policy.
+#[derive(Debug, Clone)]
+struct PodPort {
+    vport: u32,
+    slowpath: SlowPath,
+}
+
+/// An OVS-like virtual switch: shared microflow + megaflow caches in
+/// front of per-pod ingress ACL slow paths.
+#[derive(Debug)]
+pub struct VSwitch {
+    config: DpConfig,
+    cost: CostModel,
+    emc: MicroflowCache,
+    mfc: MegaflowCache,
+    revalidator: Revalidator,
+    /// Destination IP (host order) → pod port.
+    routes: HashMap<u32, PodPort>,
+    /// Bumped on policy changes / evictions to invalidate the EMC.
+    generation: u64,
+    stats: SwitchStats,
+    rng: SplitMix64,
+}
+
+impl VSwitch {
+    /// Builds a switch from a configuration, with the default cost model.
+    pub fn new(config: DpConfig) -> Self {
+        Self::with_cost_model(config, CostModel::default())
+    }
+
+    /// Builds a switch with an explicit cost model.
+    pub fn with_cost_model(config: DpConfig, cost: CostModel) -> Self {
+        let emc = MicroflowCache::new(
+            config.emc_entries,
+            config.emc_ways,
+            config.emc_insert_prob,
+            config.seed ^ 0xe3c,
+        );
+        let mfc = MegaflowCache::new(
+            config.flow_limit,
+            config.subtable_order,
+            config.staged_lookup,
+        );
+        let revalidator = Revalidator::new(SimTime::from_secs(1), config.idle_timeout);
+        let rng = SplitMix64::new(config.seed ^ 0x575);
+        VSwitch {
+            config,
+            cost,
+            emc,
+            mfc,
+            revalidator,
+            routes: HashMap::new(),
+            generation: 0,
+            stats: SwitchStats::default(),
+            rng,
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &DpConfig {
+        &self.config
+    }
+
+    /// The cycle cost model in force.
+    pub fn cost_model(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// Attaches a pod: traffic to `ip` is delivered out of `vport`,
+    /// initially with no ACL (everything allowed).
+    pub fn attach_pod(&mut self, ip: u32, vport: u32) {
+        self.routes.insert(
+            ip,
+            PodPort {
+                vport,
+                slowpath: SlowPath::permissive(Action::Allow),
+            },
+        );
+        self.invalidate_caches();
+    }
+
+    /// Installs (or replaces) the ingress ACL protecting the pod at
+    /// `ip`. This is the CMS's hand-off point — and the attacker's
+    /// (§2: "the attacker installs ACLs at the virtual ports").
+    ///
+    /// Returns false if no pod is attached at `ip`.
+    pub fn install_acl(&mut self, ip: u32, table: FlowTable) -> bool {
+        let trie_fields = self.config.trie_fields.clone();
+        let installed = match self.routes.get_mut(&ip) {
+            Some(port) => {
+                port.slowpath = SlowPath::new(table, &trie_fields, Action::Deny);
+                true
+            }
+            None => false,
+        };
+        if installed {
+            self.invalidate_caches();
+        }
+        installed
+    }
+
+    /// Removes the ACL at `ip` (pod reverts to allow-all).
+    pub fn remove_acl(&mut self, ip: u32) -> bool {
+        let removed = match self.routes.get_mut(&ip) {
+            Some(port) => {
+                port.slowpath = SlowPath::permissive(Action::Allow);
+                true
+            }
+            None => false,
+        };
+        if removed {
+            self.invalidate_caches();
+        }
+        removed
+    }
+
+    fn invalidate_caches(&mut self) {
+        self.mfc.clear();
+        self.generation += 1;
+    }
+
+    /// The megaflow mask count — Fig. 3's right-hand axis.
+    pub fn mask_count(&self) -> usize {
+        self.mfc.mask_count()
+    }
+
+    /// The megaflow entry count.
+    pub fn megaflow_count(&self) -> usize {
+        self.mfc.len()
+    }
+
+    /// Switch statistics so far.
+    pub fn stats(&self) -> SwitchStats {
+        self.stats
+    }
+
+    /// Resets packet/cycle counters (not the caches).
+    pub fn reset_stats(&mut self) {
+        self.stats = SwitchStats::default();
+    }
+
+    /// EMC statistics.
+    pub fn emc_stats(&self) -> crate::emc::EmcStats {
+        self.emc.stats()
+    }
+
+    /// MFC statistics.
+    pub fn mfc_stats(&self) -> crate::megaflow::MfcStats {
+        self.mfc.stats()
+    }
+
+    /// Read access to the megaflow cache for diagnostics.
+    pub fn megaflows(&self) -> &MegaflowCache {
+        &self.mfc
+    }
+
+    /// Runs the revalidator if due (call once per simulated tick).
+    pub fn revalidate(&mut self, now: SimTime) -> Option<RevalidatorReport> {
+        let report = self.revalidator.maybe_sweep(&mut self.mfc, now);
+        if let Some(r) = &report {
+            if r.evicted_idle > 0 {
+                // Conservative EMC invalidation: evicted megaflows may
+                // back EMC entries.
+                self.generation += 1;
+            }
+        }
+        report
+    }
+
+    /// Processes a raw frame arriving on `in_port`.
+    pub fn process_frame(
+        &mut self,
+        frame: &[u8],
+        in_port: u32,
+        now: SimTime,
+    ) -> pi_core::Result<ProcessOutcome> {
+        let key = extract_flow_key(frame, in_port)?;
+        Ok(self.process(&key, now))
+    }
+
+    /// Processes a pre-parsed flow key (the simulator's hot path — the
+    /// parse cost is still charged).
+    pub fn process(&mut self, key: &FlowKey, now: SimTime) -> ProcessOutcome {
+        self.stats.packets += 1;
+
+        // Level 1: microflow cache.
+        let emc_probed = self.config.emc_enabled;
+        if emc_probed {
+            if let Some(action) = self.emc.lookup(key, self.generation, now) {
+                return self.finish(action, PathTaken::MicroflowHit, key);
+            }
+        }
+
+        // Level 2: megaflow cache.
+        let out = self.mfc.lookup(key, now);
+        self.stats.subtable_probes += out.probes as u64;
+        if let Some(action) = out.value {
+            let emc_inserted = emc_probed && self.emc.insert(key, action, self.generation, now);
+            let path = PathTaken::MegaflowHit {
+                probes: out.probes,
+                stage_checks: out.stage_checks,
+                emc_probed,
+                emc_inserted,
+            };
+            return self.finish(action, path, key);
+        }
+
+        // Level 3: upcall — route on ip_dst, then the pod's ingress ACL.
+        let (action, acl_mask, rules_examined) = match self.routes.get(&key.ip_dst) {
+            Some(port) => {
+                let up = port.slowpath.process_upcall(key);
+                (up.action, *up.megaflow.mask(), up.rules_examined)
+            }
+            // Unroutable destination: drop; the megaflow needs only the
+            // destination address to stay sound.
+            None => (Action::Deny, pi_core::FlowMask::WILDCARD, 0),
+        };
+        // Routing consulted the destination IP: pin it exactly.
+        let mut mask = acl_mask;
+        mask.unwildcard(Field::IpDst, Field::IpDst.full_mask());
+        let megaflow = pi_core::MaskedKey::new(*key, mask);
+
+        let installed = matches!(
+            self.mfc.install(megaflow, action, now),
+            InstallOutcome::Installed
+        );
+        let emc_inserted = emc_probed && self.emc.insert(key, action, self.generation, now);
+        let path = PathTaken::Upcall {
+            probes: out.probes,
+            stage_checks: out.stage_checks,
+            rules_examined,
+            installed,
+            emc_probed,
+            emc_inserted,
+        };
+        self.finish(action, path, key)
+    }
+
+    fn finish(&mut self, verdict: Action, path: PathTaken, key: &FlowKey) -> ProcessOutcome {
+        match &path {
+            PathTaken::MicroflowHit => self.stats.microflow_hits += 1,
+            PathTaken::MegaflowHit { .. } => self.stats.megaflow_hits += 1,
+            PathTaken::Upcall { .. } => self.stats.upcalls += 1,
+        }
+        let output = if verdict.permits() {
+            self.routes.get(&key.ip_dst).map(|p| p.vport)
+        } else {
+            None
+        };
+        if output.is_none() {
+            self.stats.policy_drops += 1;
+        }
+        let cycles = self.cost.packet_cycles(&path);
+        self.stats.cycles += cycles;
+        ProcessOutcome {
+            verdict,
+            output,
+            path,
+            cycles,
+        }
+    }
+
+    /// Deterministic tie-break helper for tests that need switch-side
+    /// randomness (kept so config seeding covers all state).
+    pub fn rng(&mut self) -> &mut SplitMix64 {
+        &mut self.rng
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pi_classifier::table::whitelist_with_default_deny;
+    use pi_core::{FlowMask, MaskedKey};
+
+    const POD_IP: [u8; 4] = [10, 0, 0, 99];
+    const POD_VPORT: u32 = 3;
+
+    /// Pod at 10.0.0.99:vport3 with "allow from 10.0.0.0/8, deny rest".
+    fn switch_with_fig2_acl() -> VSwitch {
+        let mut sw = VSwitch::new(DpConfig {
+            trie_fields: vec![Field::IpSrc],
+            ..DpConfig::default()
+        });
+        sw.attach_pod(u32::from_be_bytes(POD_IP), POD_VPORT);
+        let allow = MaskedKey::new(
+            FlowKey::tcp([10, 0, 0, 0], [0, 0, 0, 0], 0, 0),
+            FlowMask::default().with_prefix(Field::IpSrc, 8),
+        );
+        sw.install_acl(
+            u32::from_be_bytes(POD_IP),
+            whitelist_with_default_deny(&[allow]),
+        );
+        sw
+    }
+
+    fn pkt(src: [u8; 4], tp_src: u16) -> FlowKey {
+        FlowKey::tcp(src, POD_IP, tp_src, 5201)
+    }
+
+    #[test]
+    fn first_packet_upcalls_then_microflow_hits() {
+        let mut sw = switch_with_fig2_acl();
+        let t = SimTime::from_millis(1);
+        let p = pkt([10, 1, 1, 1], 1000);
+        let o1 = sw.process(&p, t);
+        assert!(o1.path.is_upcall());
+        assert_eq!(o1.verdict, Action::Allow);
+        assert_eq!(o1.output, Some(POD_VPORT));
+        let o2 = sw.process(&p, t + SimTime::from_millis(1));
+        assert!(o2.path.is_microflow());
+        assert!(o2.cycles < o1.cycles);
+        let s = sw.stats();
+        assert_eq!(s.upcalls, 1);
+        assert_eq!(s.microflow_hits, 1);
+        assert_eq!(s.packets, 2);
+    }
+
+    #[test]
+    fn same_megaflow_different_key_hits_megaflow() {
+        let mut sw = switch_with_fig2_acl();
+        let t = SimTime::from_millis(1);
+        sw.process(&pkt([10, 1, 1, 1], 1000), t);
+        // Different host, same /8 and wildcarded ports: EMC misses
+        // (different exact key) but the /8 megaflow matches.
+        let o = sw.process(&pkt([10, 2, 2, 2], 2000), t);
+        assert!(o.path.is_megaflow());
+        assert_eq!(o.verdict, Action::Allow);
+    }
+
+    #[test]
+    fn deny_verdicts_counted_as_policy_drops() {
+        let mut sw = switch_with_fig2_acl();
+        let o = sw.process(&pkt([99, 1, 1, 1], 1000), SimTime::ZERO);
+        assert_eq!(o.verdict, Action::Deny);
+        assert_eq!(o.output, None);
+        assert_eq!(sw.stats().policy_drops, 1);
+    }
+
+    #[test]
+    fn fig2b_masks_accumulate_per_divergence_depth() {
+        // Feeding the 8 complement packets of Fig. 2b (first-octet
+        // divergence at depths 1..8) plus one allow packet produces
+        // exactly 8 distinct megaflow masks (the allow /8 mask equals the
+        // depth-8 deny mask).
+        let mut sw = switch_with_fig2_acl();
+        let t = SimTime::ZERO;
+        let first_octets = [128u8, 64, 32, 16, 0, 12, 8, 11]; // depths 1..8
+        for o in first_octets {
+            sw.process(&pkt([o, 0, 0, 1], 1), t);
+        }
+        sw.process(&pkt([10, 0, 0, 1], 1), t); // allow
+        assert_eq!(sw.mask_count(), 8, "Fig. 2b: 8 masks");
+        assert_eq!(sw.megaflow_count(), 9, "Fig. 2b: 9 entries");
+    }
+
+    #[test]
+    fn unroutable_destination_denies_without_polluting() {
+        let mut sw = switch_with_fig2_acl();
+        let stray = FlowKey::tcp([10, 1, 1, 1], [172, 16, 0, 1], 1, 1);
+        let o = sw.process(&stray, SimTime::ZERO);
+        assert_eq!(o.verdict, Action::Deny);
+        // The unroutable megaflow pins ip_dst only — one extra mask.
+        assert_eq!(sw.mask_count(), 1);
+        // And it must not swallow traffic to the real pod.
+        let o2 = sw.process(&pkt([10, 1, 1, 1], 1), SimTime::ZERO);
+        assert_eq!(o2.verdict, Action::Allow);
+    }
+
+    #[test]
+    fn pod_without_acl_allows_everything_with_one_mask() {
+        let mut sw = VSwitch::new(DpConfig::default());
+        sw.attach_pod(u32::from_be_bytes([10, 0, 0, 5]), 9);
+        let p = FlowKey::tcp([1, 2, 3, 4], [10, 0, 0, 5], 7, 8);
+        let q = FlowKey::udp([9, 9, 9, 9], [10, 0, 0, 5], 53, 53);
+        assert_eq!(sw.process(&p, SimTime::ZERO).verdict, Action::Allow);
+        assert_eq!(sw.process(&q, SimTime::ZERO).verdict, Action::Allow);
+        assert_eq!(sw.mask_count(), 1, "single ip_dst-only mask");
+        assert_eq!(sw.megaflow_count(), 1);
+    }
+
+    #[test]
+    fn acl_install_flushes_caches() {
+        let mut sw = switch_with_fig2_acl();
+        let p = pkt([10, 1, 1, 1], 1000);
+        sw.process(&p, SimTime::ZERO);
+        assert_eq!(sw.megaflow_count(), 1);
+        // Replace the ACL with deny-everything.
+        assert!(sw.install_acl(
+            u32::from_be_bytes(POD_IP),
+            whitelist_with_default_deny(&[])
+        ));
+        assert_eq!(sw.megaflow_count(), 0);
+        let o = sw.process(&p, SimTime::ZERO);
+        assert!(o.path.is_upcall(), "EMC must not serve stale verdicts");
+        assert_eq!(o.verdict, Action::Deny);
+    }
+
+    #[test]
+    fn remove_acl_restores_allow_all() {
+        let mut sw = switch_with_fig2_acl();
+        let denied = pkt([99, 1, 1, 1], 1);
+        assert_eq!(sw.process(&denied, SimTime::ZERO).verdict, Action::Deny);
+        assert!(sw.remove_acl(u32::from_be_bytes(POD_IP)));
+        assert_eq!(sw.process(&denied, SimTime::ZERO).verdict, Action::Allow);
+        assert!(!sw.remove_acl(0xdead_beef));
+    }
+
+    #[test]
+    fn install_acl_on_unknown_ip_fails() {
+        let mut sw = VSwitch::new(DpConfig::default());
+        assert!(!sw.install_acl(0x0a000001, whitelist_with_default_deny(&[])));
+    }
+
+    #[test]
+    fn revalidation_evicts_idle_and_invalidates_emc() {
+        let mut sw = switch_with_fig2_acl();
+        let p = pkt([10, 1, 1, 1], 1000);
+        sw.process(&p, SimTime::ZERO);
+        assert_eq!(sw.megaflow_count(), 1);
+        // 15 s later, the flow has idled out (timeout 10 s).
+        let report = sw.revalidate(SimTime::from_secs(15)).unwrap();
+        assert_eq!(report.evicted_idle, 1);
+        assert_eq!(sw.megaflow_count(), 0);
+        let o = sw.process(&p, SimTime::from_secs(15));
+        assert!(o.path.is_upcall(), "EMC generation must have advanced");
+    }
+
+    #[test]
+    fn process_frame_parses_then_processes() {
+        let mut sw = switch_with_fig2_acl();
+        let key = pkt([10, 3, 3, 3], 777);
+        let frame = pi_packet::PacketBuilder::new().build(&key).unwrap();
+        let o = sw.process_frame(&frame, 1, SimTime::ZERO).unwrap();
+        assert_eq!(o.verdict, Action::Allow);
+        assert!(sw.process_frame(&frame[..7], 1, SimTime::ZERO).is_err());
+    }
+
+    #[test]
+    fn cycles_accumulate_in_stats() {
+        let mut sw = switch_with_fig2_acl();
+        let p = pkt([10, 1, 1, 1], 1000);
+        let o1 = sw.process(&p, SimTime::ZERO);
+        let o2 = sw.process(&p, SimTime::ZERO);
+        assert_eq!(sw.stats().cycles, o1.cycles + o2.cycles);
+        assert!(sw.stats().avg_cycles() > 0.0);
+        sw.reset_stats();
+        assert_eq!(sw.stats().packets, 0);
+    }
+
+    #[test]
+    fn emc_disabled_paths_skip_microflow() {
+        let mut sw = VSwitch::new(DpConfig {
+            emc_enabled: false,
+            trie_fields: vec![Field::IpSrc],
+            ..DpConfig::default()
+        });
+        sw.attach_pod(u32::from_be_bytes(POD_IP), POD_VPORT);
+        let allow = MaskedKey::new(
+            FlowKey::tcp([10, 0, 0, 0], [0, 0, 0, 0], 0, 0),
+            FlowMask::default().with_prefix(Field::IpSrc, 8),
+        );
+        sw.install_acl(
+            u32::from_be_bytes(POD_IP),
+            whitelist_with_default_deny(&[allow]),
+        );
+        let p = pkt([10, 1, 1, 1], 1000);
+        sw.process(&p, SimTime::ZERO);
+        let o = sw.process(&p, SimTime::ZERO);
+        assert!(o.path.is_megaflow(), "no EMC ⇒ repeat packets hit MFC");
+        match o.path {
+            PathTaken::MegaflowHit { emc_probed, .. } => assert!(!emc_probed),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn two_pods_isolated_policies() {
+        // The shared-cache property: pod A's ACL masks sit in the same
+        // subtable list pod B's traffic walks.
+        let mut sw = VSwitch::new(DpConfig {
+            trie_fields: vec![Field::IpSrc],
+            ..DpConfig::default()
+        });
+        let a_ip = u32::from_be_bytes([10, 0, 0, 1]);
+        let b_ip = u32::from_be_bytes([10, 0, 0, 2]);
+        sw.attach_pod(a_ip, 1);
+        sw.attach_pod(b_ip, 2);
+        // A allows only 10/8; B allows everything (no ACL).
+        let allow = MaskedKey::new(
+            FlowKey::tcp([10, 0, 0, 0], [0, 0, 0, 0], 0, 0),
+            FlowMask::default().with_prefix(Field::IpSrc, 8),
+        );
+        sw.install_acl(a_ip, whitelist_with_default_deny(&[allow]));
+        // Build masks at A by sending divergent sources.
+        for oct in [128u8, 64, 32, 16] {
+            let p = FlowKey::tcp([oct, 0, 0, 1], [10, 0, 0, 1], 1, 1);
+            assert_eq!(sw.process(&p, SimTime::ZERO).verdict, Action::Deny);
+        }
+        let masks_after_attack_on_a = sw.mask_count();
+        assert_eq!(masks_after_attack_on_a, 4);
+        // B's traffic now probes those subtables too (shared cache):
+        // a fresh flow to B misses all of A's subtables first.
+        let to_b = FlowKey::tcp([172, 16, 0, 1], [10, 0, 0, 2], 5, 5);
+        let o = sw.process(&to_b, SimTime::ZERO);
+        assert!(o.path.is_upcall());
+        match o.path {
+            PathTaken::Upcall { probes, .. } => {
+                assert_eq!(probes, masks_after_attack_on_a, "walked A's masks")
+            }
+            _ => unreachable!(),
+        }
+        assert_eq!(o.verdict, Action::Allow);
+    }
+}

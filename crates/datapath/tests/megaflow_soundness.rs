@@ -1,0 +1,143 @@
+//! Property tests for megaflow generation (DESIGN.md invariants 3–5).
+//!
+//! Invariant 3 (soundness): for every generated megaflow `(k, m, a)` and
+//! every packet `p` with `p & m == k`, slow-path classification of `p`
+//! yields `a`. The cache may be coarse or fine, but it must never change
+//! what the flow table would have said.
+//!
+//! Invariant 4 (non-overlap): megaflows generated from the same table
+//! never disagree on a shared packet.
+
+use pi_classifier::table::whitelist_with_default_deny;
+use pi_classifier::Action;
+use pi_core::{Field, FlowKey, FlowMask, MaskedKey, SplitMix64};
+use pi_datapath::SlowPath;
+use proptest::prelude::*;
+
+/// Whitelists over ip_src prefixes and optional exact ports — the shape
+/// every CMS dialect compiles to.
+fn arb_whitelist() -> impl Strategy<Value = Vec<MaskedKey>> {
+    proptest::collection::vec(
+        (
+            any::<u32>(), // ip value
+            1u8..=32,     // ip prefix len
+            prop_oneof![
+                Just(None),
+                (1u16..1024).prop_map(Some) // exact tp_dst
+            ],
+            prop_oneof![
+                Just(None),
+                (1u16..1024).prop_map(Some) // exact tp_src
+            ],
+        )
+            .prop_map(|(ip, len, dst, src)| {
+                let mut key = FlowKey::tcp(std::net::Ipv4Addr::from(ip), [0, 0, 0, 0], 0, 0);
+                let mut mask = FlowMask::default().with_prefix(Field::IpSrc, len);
+                if let Some(d) = dst {
+                    key.tp_dst = d;
+                    mask = mask.with_exact(Field::TpDst);
+                }
+                if let Some(s) = src {
+                    key.tp_src = s;
+                    mask = mask.with_exact(Field::TpSrc);
+                }
+                MaskedKey::new(key, mask)
+            }),
+        1..6,
+    )
+}
+
+fn arb_packet() -> impl Strategy<Value = FlowKey> {
+    (any::<u32>(), any::<u16>(), any::<u16>()).prop_map(|(ip, s, d)| {
+        FlowKey::tcp(std::net::Ipv4Addr::from(ip), [10, 0, 0, 9], s, d)
+    })
+}
+
+const TRIE_FIELDS: [Field; 3] = [Field::IpSrc, Field::TpSrc, Field::TpDst];
+
+/// Randomised matching packets for a masked key: wildcarded bits filled
+/// from a seeded RNG.
+fn random_matching_packets(mk: &MaskedKey, seed: u64, n: usize) -> Vec<FlowKey> {
+    let mut rng = SplitMix64::new(seed);
+    (0..n)
+        .map(|_| {
+            let mut p = *mk.key();
+            for f in pi_core::ALL_FIELDS {
+                let mask = mk.mask().field(f);
+                let free = f.full_mask() & !mask;
+                let v = (p.field(f) & mask) | (rng.next_u64() & free);
+                p.set_field(f, v).unwrap();
+            }
+            p
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Invariant 3: every packet covered by a generated megaflow gets
+    /// the same verdict the slow path gives.
+    #[test]
+    fn megaflow_soundness(whitelist in arb_whitelist(), trigger in arb_packet(), seed in any::<u64>()) {
+        let sp = SlowPath::new(
+            whitelist_with_default_deny(&whitelist),
+            &TRIE_FIELDS,
+            Action::Deny,
+        );
+        let up = sp.process_upcall(&trigger);
+        // The triggering packet itself must be covered and agree.
+        prop_assert!(up.megaflow.matches(&trigger));
+        prop_assert_eq!(sp.classify(&trigger).0, up.action);
+        // And so must arbitrary packets in the megaflow's cover.
+        for p in random_matching_packets(&up.megaflow, seed, 16) {
+            prop_assert!(up.megaflow.matches(&p));
+            prop_assert_eq!(
+                sp.classify(&p).0,
+                up.action,
+                "megaflow {} overgeneralises: packet {} differs from trigger {}",
+                up.megaflow, p, trigger
+            );
+        }
+    }
+
+    /// Invariant 4: megaflows generated for different packets either
+    /// don't overlap, or carry the same verdict (overlap with equal
+    /// verdicts is harmless; OVS guarantees full disjointness only per
+    /// identical mask, where hash replacement applies).
+    #[test]
+    fn megaflows_never_conflict(whitelist in arb_whitelist(), a in arb_packet(), b in arb_packet()) {
+        let sp = SlowPath::new(
+            whitelist_with_default_deny(&whitelist),
+            &TRIE_FIELDS,
+            Action::Deny,
+        );
+        let ua = sp.process_upcall(&a);
+        let ub = sp.process_upcall(&b);
+        if ua.megaflow.overlaps(&ub.megaflow) {
+            prop_assert_eq!(
+                ua.action, ub.action,
+                "overlapping megaflows {} / {} with different verdicts",
+                ua.megaflow, ub.megaflow
+            );
+        }
+        // Same packet twice is deterministic.
+        let ua2 = sp.process_upcall(&a);
+        prop_assert_eq!(ua.megaflow, ua2.megaflow);
+        prop_assert_eq!(ua.action, ua2.action);
+    }
+
+    /// The megaflow always covers its triggering packet and is maximal
+    /// in the weak sense that it never exceeds the table's active bits.
+    #[test]
+    fn megaflow_mask_bounded_by_active_bits(whitelist in arb_whitelist(), p in arb_packet()) {
+        let table = whitelist_with_default_deny(&whitelist);
+        let active = table.active_mask();
+        let sp = SlowPath::new(table, &TRIE_FIELDS, Action::Deny);
+        let up = sp.process_upcall(&p);
+        prop_assert!(
+            up.megaflow.mask().is_subset_of(&active),
+            "unwildcarded bits outside any rule's mask"
+        );
+    }
+}

@@ -1,0 +1,195 @@
+//! CSV export for experiment results.
+
+use std::io::Write;
+use std::path::Path;
+
+use crate::series::TimeSeries;
+
+/// An in-memory table with CSV (and aligned-text) rendering.
+#[derive(Debug, Clone)]
+pub struct CsvTable {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl CsvTable {
+    /// A table with the given column headers.
+    pub fn new(headers: &[&str]) -> Self {
+        CsvTable {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header count).
+    pub fn push_row(&mut self, cells: &[String]) {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width must match headers"
+        );
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Convenience for numeric rows.
+    pub fn push_numeric_row(&mut self, cells: &[f64]) {
+        self.push_row(
+            &cells
+                .iter()
+                .map(|v| {
+                    if v.fract() == 0.0 && v.abs() < 1e15 {
+                        format!("{}", *v as i64)
+                    } else {
+                        format!("{v:.4}")
+                    }
+                })
+                .collect::<Vec<_>>(),
+        );
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Builds a table from aligned time series (shared time column).
+    /// Series are sampled by index: all series must have equal length.
+    pub fn from_series(series: &[&TimeSeries]) -> Self {
+        assert!(!series.is_empty(), "need at least one series");
+        let n = series[0].len();
+        assert!(
+            series.iter().all(|s| s.len() == n),
+            "series must be aligned"
+        );
+        let mut headers = vec!["time_s".to_string()];
+        headers.extend(series.iter().map(|s| s.name().to_string()));
+        let mut table = CsvTable {
+            headers,
+            rows: Vec::new(),
+        };
+        let columns: Vec<Vec<(pi_core::SimTime, f64)>> =
+            series.iter().map(|s| s.iter().collect()).collect();
+        for i in 0..n {
+            let mut row = vec![format!("{:.3}", columns[0][i].0.as_secs_f64())];
+            for col in &columns {
+                row.push(format!("{:.6}", col[i].1));
+            }
+            table.rows.push(row);
+        }
+        table
+    }
+
+    /// Renders as CSV.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.headers.join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Writes CSV to a file.
+    pub fn write_csv(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        let mut f = std::fs::File::create(path)?;
+        f.write_all(self.to_csv().as_bytes())
+    }
+
+    /// Renders as an aligned text table for terminal output.
+    pub fn to_aligned_text(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let render_row = |cells: &[String]| -> String {
+            cells
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        let mut out = render_row(&self.headers);
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&render_row(row));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pi_core::SimTime;
+
+    #[test]
+    fn csv_round_trip_shape() {
+        let mut t = CsvTable::new(&["masks", "throughput"]);
+        t.push_numeric_row(&[512.0, 0.104]);
+        t.push_numeric_row(&[8192.0, 0.0071]);
+        let csv = t.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "masks,throughput");
+        assert_eq!(lines[1], "512,0.1040");
+        assert_eq!(lines.len(), 3);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_panics() {
+        let mut t = CsvTable::new(&["a", "b"]);
+        t.push_row(&["only one".to_string()]);
+    }
+
+    #[test]
+    fn from_series_aligns_columns() {
+        let mut a = TimeSeries::new("victim_gbps");
+        let mut b = TimeSeries::new("masks");
+        for i in 0..5u64 {
+            a.push(SimTime::from_secs(i), 1.0 - i as f64 * 0.1);
+            b.push(SimTime::from_secs(i), (i * 100) as f64);
+        }
+        let t = CsvTable::from_series(&[&a, &b]);
+        let csv = t.to_csv();
+        assert!(csv.starts_with("time_s,victim_gbps,masks\n"));
+        assert_eq!(csv.lines().count(), 6);
+        assert!(csv.contains("4.000,0.600000,400.000000"));
+    }
+
+    #[test]
+    fn aligned_text_is_padded() {
+        let mut t = CsvTable::new(&["x", "value"]);
+        t.push_row(&["1".into(), "2".into()]);
+        let txt = t.to_aligned_text();
+        let lines: Vec<&str> = txt.lines().collect();
+        assert_eq!(lines[0].len(), lines[2].len());
+        assert!(lines[1].starts_with('-'));
+    }
+
+    #[test]
+    fn write_csv_creates_file() {
+        let dir = std::env::temp_dir().join("pi_metrics_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("out.csv");
+        let mut t = CsvTable::new(&["a"]);
+        t.push_numeric_row(&[1.0]);
+        t.write_csv(&path).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(content, "a\n1\n");
+        std::fs::remove_file(path).ok();
+    }
+}

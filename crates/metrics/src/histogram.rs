@@ -1,0 +1,135 @@
+//! Log-bucketed histograms (per-packet cycle costs, probe counts…).
+
+/// A base-2 log-bucketed histogram of `u64` samples.
+///
+/// Bucket `i` holds samples in `[2^i, 2^(i+1))`; bucket 0 also holds 0.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    buckets: [u64; 64],
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: [0; 64],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    /// Records a sample.
+    pub fn record(&mut self, v: u64) {
+        let b = if v == 0 { 0 } else { 63 - v.leading_zeros() as usize };
+        self.buckets[b] += 1;
+        self.count += 1;
+        self.sum += v;
+        self.max = self.max.max(v);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of samples (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Largest recorded sample.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Approximate quantile: the upper bound of the bucket where the
+    /// q-quantile falls. `q` in `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64;
+        let mut seen = 0;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank.max(1) {
+                return 1u64 << (i + 1).min(63);
+            }
+        }
+        self.max
+    }
+
+    /// Non-empty buckets as `(lower_bound, count)`.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| **n > 0)
+            .map(|(i, n)| (if i == 0 { 0 } else { 1u64 << i }, *n))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_stats() {
+        let mut h = Histogram::new();
+        for v in [0u64, 1, 2, 3, 100, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.max(), 1000);
+        assert!((h.mean() - (1106.0 / 6.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantiles_are_bucket_bounded() {
+        let mut h = Histogram::new();
+        for _ in 0..99 {
+            h.record(10);
+        }
+        h.record(100_000);
+        // p50 lands in the bucket of 10 ([8,16)) → upper bound 16.
+        assert_eq!(h.quantile(0.5), 16);
+        // p100 reaches the big sample's bucket.
+        assert!(h.quantile(1.0) >= 100_000 / 2);
+    }
+
+    #[test]
+    fn empty_histogram() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.quantile(0.99), 0);
+        assert!(h.nonzero_buckets().is_empty());
+    }
+
+    #[test]
+    fn buckets_cover_powers_of_two() {
+        let mut h = Histogram::new();
+        h.record(0);
+        h.record(1);
+        h.record(7);
+        h.record(8);
+        let buckets = h.nonzero_buckets();
+        // 0 and 1 share bucket 0; 7 in [4,8); 8 in [8,16).
+        assert_eq!(buckets, vec![(0, 2), (4, 1), (8, 1)]);
+    }
+}

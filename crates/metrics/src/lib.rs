@@ -1,0 +1,21 @@
+//! # pi-metrics — measurement toolkit
+//!
+//! Dependency-free counters, time series, histograms, summaries, CSV
+//! export and terminal plotting. Every experiment binary in `pi-bench`
+//! reports through these types, so the output formats are uniform and
+//! the figures are regenerable as CSV + ASCII art.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod csv;
+pub mod histogram;
+pub mod plot;
+pub mod series;
+pub mod summary;
+
+pub use csv::CsvTable;
+pub use histogram::Histogram;
+pub use plot::ascii_plot;
+pub use series::TimeSeries;
+pub use summary::Summary;

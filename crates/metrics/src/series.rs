@@ -1,0 +1,162 @@
+//! Sampled time series.
+
+use pi_core::SimTime;
+
+/// A named `(time, value)` series.
+#[derive(Debug, Clone, Default)]
+pub struct TimeSeries {
+    name: String,
+    points: Vec<(SimTime, f64)>,
+}
+
+impl TimeSeries {
+    /// An empty series.
+    pub fn new(name: &str) -> Self {
+        TimeSeries {
+            name: name.to_string(),
+            points: Vec::new(),
+        }
+    }
+
+    /// The series name (CSV column header).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Appends a sample. Samples should be pushed in time order; this is
+    /// checked in debug builds.
+    pub fn push(&mut self, t: SimTime, v: f64) {
+        debug_assert!(
+            self.points.last().map(|(lt, _)| *lt <= t).unwrap_or(true),
+            "samples must be time-ordered"
+        );
+        self.points.push((t, v));
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True if no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Iterates `(time, value)`.
+    pub fn iter(&self) -> impl Iterator<Item = (SimTime, f64)> + '_ {
+        self.points.iter().copied()
+    }
+
+    /// The values only.
+    pub fn values(&self) -> impl Iterator<Item = f64> + '_ {
+        self.points.iter().map(|(_, v)| *v)
+    }
+
+    /// Last value, if any.
+    pub fn last(&self) -> Option<(SimTime, f64)> {
+        self.points.last().copied()
+    }
+
+    /// Mean over all samples (0 for an empty series).
+    pub fn mean(&self) -> f64 {
+        if self.points.is_empty() {
+            0.0
+        } else {
+            self.values().sum::<f64>() / self.points.len() as f64
+        }
+    }
+
+    /// Mean over samples with `from <= t < to`.
+    pub fn mean_between(&self, from: SimTime, to: SimTime) -> f64 {
+        let vals: Vec<f64> = self
+            .points
+            .iter()
+            .filter(|(t, _)| *t >= from && *t < to)
+            .map(|(_, v)| *v)
+            .collect();
+        if vals.is_empty() {
+            0.0
+        } else {
+            vals.iter().sum::<f64>() / vals.len() as f64
+        }
+    }
+
+    /// Maximum value (NaN-free input assumed; 0 for empty).
+    pub fn max(&self) -> f64 {
+        self.values().fold(0.0, f64::max)
+    }
+
+    /// Minimum value (0 for empty).
+    pub fn min(&self) -> f64 {
+        if self.points.is_empty() {
+            0.0
+        } else {
+            self.values().fold(f64::INFINITY, f64::min)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series() -> TimeSeries {
+        let mut s = TimeSeries::new("throughput");
+        for i in 0..10u64 {
+            s.push(SimTime::from_secs(i), i as f64);
+        }
+        s
+    }
+
+    #[test]
+    fn push_and_read_back() {
+        let s = series();
+        assert_eq!(s.len(), 10);
+        assert_eq!(s.name(), "throughput");
+        assert_eq!(s.last(), Some((SimTime::from_secs(9), 9.0)));
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn statistics() {
+        let s = series();
+        assert_eq!(s.mean(), 4.5);
+        assert_eq!(s.max(), 9.0);
+        assert_eq!(s.min(), 0.0);
+    }
+
+    #[test]
+    fn windowed_mean() {
+        let s = series();
+        // Samples at t = 2, 3, 4 → mean 3.
+        assert_eq!(
+            s.mean_between(SimTime::from_secs(2), SimTime::from_secs(5)),
+            3.0
+        );
+        // Empty window.
+        assert_eq!(
+            s.mean_between(SimTime::from_secs(100), SimTime::from_secs(200)),
+            0.0
+        );
+    }
+
+    #[test]
+    fn empty_series_is_calm() {
+        let s = TimeSeries::new("x");
+        assert!(s.is_empty());
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.max(), 0.0);
+        assert_eq!(s.min(), 0.0);
+        assert_eq!(s.last(), None);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "time-ordered")]
+    fn out_of_order_push_panics_in_debug() {
+        let mut s = TimeSeries::new("x");
+        s.push(SimTime::from_secs(5), 1.0);
+        s.push(SimTime::from_secs(1), 2.0);
+    }
+}

@@ -1,0 +1,36 @@
+//! # pi-mitigation — defenses against policy injection
+//!
+//! The paper's demo discussion lists "potential work-in-progress
+//! mitigation techniques and their trade-offs (e.g., joint
+//! troubleshooting techniques by tenants and provider, improved
+//! heuristics in OVS, flow cache-less softswitches)". This crate
+//! implements one representative of each family so the ablation
+//! experiment (EXPERIMENTS.md E7) can quantify them:
+//!
+//! * [`MaskBudget`] — **admission control**: predict a policy's
+//!   reachable mask count *before* installing it and refuse pathological
+//!   ones. Cheap, exact against this attack, but rejects some legitimate
+//!   fine-grained policies (the trade-off).
+//! * [`hit_sort_config`] / [`staged_config`] — **improved heuristics**:
+//!   OVS's subtable hit-count sorting protects hot victim flows; staged
+//!   lookup shrinks the per-subtable cost constant. Both attenuate
+//!   without fixing the O(#masks) walk.
+//! * [`CompiledAcl`] / [`CachelessSwitch`] — **cache-less datapath**
+//!   (the ESwitch / dataplane-specialisation line the paper cites):
+//!   classification cost depends only on the policy, never on traffic,
+//!   so the covert stream has nothing to amplify.
+//! * [`attribution`] — **detection**: per-destination mask accounting
+//!   that names the pod (hence tenant) whose ACL carries the explosion.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod attribution;
+pub mod budget;
+pub mod compiled;
+pub mod heuristics;
+
+pub use attribution::{attribute_masks, detect_offenders, MaskAttribution};
+pub use budget::{AdmissionDecision, MaskBudget};
+pub use compiled::{CachelessSwitch, CompiledAcl};
+pub use heuristics::{hit_sort_config, staged_config};

@@ -1,0 +1,226 @@
+//! One-stop packet construction.
+//!
+//! The traffic generators and the attack's covert-sequence generator both
+//! need to turn "a flow key plus a size" into real bytes on the wire.
+//! [`PacketBuilder`] does that in one allocation, emitting a fully
+//! checksummed Ethernet/IPv4/TCP-or-UDP frame that [`crate::extract_flow_key`]
+//! parses back to the identical key (a property test pins this).
+
+use pi_core::key::{IPPROTO_TCP, IPPROTO_UDP};
+use pi_core::FlowKey;
+
+use crate::ethernet::{self, EthernetFrame, EthernetRepr};
+use crate::ipv4::{self, Ipv4Packet, Ipv4Repr};
+use crate::tcp::{self, TcpRepr, TcpSegment};
+use crate::udp::{self, UdpDatagram, UdpRepr};
+use crate::ETHERNET_MIN_FRAME_LEN;
+
+/// Builds wire-format frames from flow keys.
+///
+/// ```
+/// use pi_core::FlowKey;
+/// use pi_packet::{PacketBuilder, extract_flow_key};
+///
+/// let key = FlowKey::tcp([10, 0, 0, 1], [10, 0, 0, 2], 40000, 80);
+/// let frame = PacketBuilder::new().payload_len(100).build(&key).unwrap();
+/// let parsed = extract_flow_key(&frame, key.in_port).unwrap();
+/// assert_eq!(parsed, key);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PacketBuilder {
+    payload_len: usize,
+    tcp_flags: u8,
+    pad_to_min: bool,
+}
+
+impl Default for PacketBuilder {
+    fn default() -> Self {
+        PacketBuilder {
+            payload_len: 0,
+            tcp_flags: tcp::flags::ACK,
+            pad_to_min: true,
+        }
+    }
+}
+
+impl PacketBuilder {
+    /// A builder with defaults: empty payload, ACK flag, frames padded to
+    /// the Ethernet minimum.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the transport payload length in bytes.
+    #[must_use]
+    pub fn payload_len(mut self, len: usize) -> Self {
+        self.payload_len = len;
+        self
+    }
+
+    /// Sets TCP flags (ignored for UDP keys).
+    #[must_use]
+    pub fn tcp_flags(mut self, flags: u8) -> Self {
+        self.tcp_flags = flags;
+        self
+    }
+
+    /// Disables padding to the 60-byte Ethernet minimum (useful when a
+    /// test wants exact control of frame size).
+    #[must_use]
+    pub fn no_padding(mut self) -> Self {
+        self.pad_to_min = false;
+        self
+    }
+
+    /// The frame length that [`PacketBuilder::build`] will produce for a
+    /// given key, before minimum-length padding.
+    pub fn frame_len(&self, key: &FlowKey) -> usize {
+        let l4 = if key.ip_proto == IPPROTO_TCP {
+            tcp::HEADER_LEN
+        } else {
+            udp::HEADER_LEN
+        };
+        ethernet::HEADER_LEN + ipv4::HEADER_LEN + l4 + self.payload_len
+    }
+
+    /// Builds a complete frame realising `key`.
+    ///
+    /// Returns an error for keys that are not IPv4 TCP/UDP (the only
+    /// traffic this workspace models).
+    pub fn build(&self, key: &FlowKey) -> pi_core::Result<Vec<u8>> {
+        if key.eth_type != pi_core::key::ETHERTYPE_IPV4 {
+            return Err(pi_core::CoreError::Malformed("builder: not IPv4"));
+        }
+        if key.ip_proto != IPPROTO_TCP && key.ip_proto != IPPROTO_UDP {
+            return Err(pi_core::CoreError::Malformed("builder: not TCP/UDP"));
+        }
+
+        let mut len = self.frame_len(key);
+        if self.pad_to_min && len < ETHERNET_MIN_FRAME_LEN {
+            len = ETHERNET_MIN_FRAME_LEN;
+        }
+        let mut buf = vec![0u8; len];
+
+        // L2
+        let eth_repr = EthernetRepr {
+            src: key.eth_src,
+            dst: key.eth_dst,
+            ethertype: key.eth_type,
+        };
+        let mut eth = EthernetFrame::new_unchecked(&mut buf[..]);
+        eth_repr.emit(&mut eth);
+
+        // L3
+        let l4_len = if key.ip_proto == IPPROTO_TCP {
+            tcp::HEADER_LEN
+        } else {
+            udp::HEADER_LEN
+        } + self.payload_len;
+        let ip_repr = Ipv4Repr {
+            src: key.ip_src,
+            dst: key.ip_dst,
+            protocol: key.ip_proto,
+            tos: key.ip_tos,
+            ttl: key.ip_ttl,
+            payload_len: l4_len,
+        };
+        let ip_start = ethernet::HEADER_LEN;
+        let ip_end = ip_start + ipv4::HEADER_LEN + l4_len;
+        let mut ip = Ipv4Packet::new_unchecked(&mut buf[ip_start..ip_end]);
+        ip_repr.emit(&mut ip);
+
+        // L4
+        let l4_start = ip_start + ipv4::HEADER_LEN;
+        if key.ip_proto == IPPROTO_TCP {
+            let repr = TcpRepr {
+                src_port: key.tp_src,
+                dst_port: key.tp_dst,
+                seq: 0,
+                ack: 0,
+                flags: self.tcp_flags,
+                window: 65535,
+                payload_len: self.payload_len,
+            };
+            let mut seg = TcpSegment::new_unchecked(&mut buf[l4_start..ip_end]);
+            repr.emit(&mut seg, key.ip_src, key.ip_dst);
+        } else {
+            let repr = UdpRepr {
+                src_port: key.tp_src,
+                dst_port: key.tp_dst,
+                payload_len: self.payload_len,
+            };
+            let mut dgram = UdpDatagram::new_unchecked(&mut buf[l4_start..ip_end]);
+            repr.emit(&mut dgram, key.ip_src, key.ip_dst);
+        }
+
+        Ok(buf)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::extract_flow_key;
+
+    #[test]
+    fn tcp_build_extract_round_trip() {
+        let key = FlowKey::tcp([10, 1, 2, 3], [10, 4, 5, 6], 33000, 443)
+            .with(pi_core::Field::InPort, 5);
+        let frame = PacketBuilder::new().payload_len(64).build(&key).unwrap();
+        assert_eq!(extract_flow_key(&frame, 5).unwrap(), key);
+    }
+
+    #[test]
+    fn udp_build_extract_round_trip() {
+        let key = FlowKey::udp([192, 168, 1, 1], [8, 8, 4, 4], 5353, 53);
+        let frame = PacketBuilder::new().payload_len(12).build(&key).unwrap();
+        assert_eq!(extract_flow_key(&frame, 0).unwrap(), key);
+    }
+
+    #[test]
+    fn pads_small_frames_to_minimum() {
+        let key = FlowKey::udp([1, 1, 1, 1], [2, 2, 2, 2], 1, 2);
+        let frame = PacketBuilder::new().build(&key).unwrap();
+        assert_eq!(frame.len(), ETHERNET_MIN_FRAME_LEN);
+        // Padding must not confuse extraction.
+        let parsed = extract_flow_key(&frame, 0).unwrap();
+        assert_eq!(parsed.tp_dst, 2);
+    }
+
+    #[test]
+    fn no_padding_gives_exact_length() {
+        let key = FlowKey::udp([1, 1, 1, 1], [2, 2, 2, 2], 1, 2);
+        let frame = PacketBuilder::new().no_padding().build(&key).unwrap();
+        assert_eq!(frame.len(), 14 + 20 + 8);
+    }
+
+    #[test]
+    fn frame_len_prediction_matches() {
+        let key = FlowKey::tcp([1, 1, 1, 1], [2, 2, 2, 2], 1, 2);
+        let b = PacketBuilder::new().payload_len(1000);
+        assert_eq!(b.frame_len(&key), 14 + 20 + 20 + 1000);
+        let frame = b.build(&key).unwrap();
+        assert_eq!(frame.len(), b.frame_len(&key));
+    }
+
+    #[test]
+    fn rejects_non_ip_keys() {
+        let mut key = FlowKey::tcp([1, 1, 1, 1], [2, 2, 2, 2], 1, 2);
+        key.eth_type = 0x0806; // ARP
+        assert!(PacketBuilder::new().build(&key).is_err());
+        let mut key2 = FlowKey::tcp([1, 1, 1, 1], [2, 2, 2, 2], 1, 2);
+        key2.ip_proto = 1; // ICMP
+        assert!(PacketBuilder::new().build(&key2).is_err());
+    }
+
+    #[test]
+    fn tcp_flags_propagate() {
+        let key = FlowKey::tcp([1, 1, 1, 1], [2, 2, 2, 2], 1, 2);
+        let frame = PacketBuilder::new()
+            .tcp_flags(crate::tcp::flags::SYN)
+            .build(&key)
+            .unwrap();
+        let seg = TcpSegment::new_checked(&frame[34..54]).unwrap();
+        assert_eq!(seg.flags(), crate::tcp::flags::SYN);
+    }
+}

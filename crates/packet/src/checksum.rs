@@ -1,0 +1,113 @@
+//! The Internet checksum (RFC 1071) and the TCP/UDP pseudo-header.
+
+/// Computes the one's-complement sum of `data`, folded to 16 bits, without
+/// the final inversion. Compose partial sums with [`combine`].
+pub fn sum(data: &[u8]) -> u32 {
+    let mut acc: u32 = 0;
+    let mut chunks = data.chunks_exact(2);
+    for c in &mut chunks {
+        acc += u32::from(u16::from_be_bytes([c[0], c[1]]));
+    }
+    if let [last] = chunks.remainder() {
+        acc += u32::from(u16::from_be_bytes([*last, 0]));
+    }
+    acc
+}
+
+/// Folds a 32-bit accumulator into a 16-bit one's-complement value.
+pub fn fold(mut acc: u32) -> u16 {
+    while acc > 0xffff {
+        acc = (acc & 0xffff) + (acc >> 16);
+    }
+    acc as u16
+}
+
+/// Combines partial sums (order-independent).
+pub fn combine(a: u32, b: u32) -> u32 {
+    a + b
+}
+
+/// The finished Internet checksum of `data`: folded, inverted.
+pub fn checksum(data: &[u8]) -> u16 {
+    !fold(sum(data))
+}
+
+/// Partial sum of the IPv4 pseudo-header used by TCP and UDP checksums.
+///
+/// `src`/`dst` are host-order IPv4 addresses, `proto` the IP protocol
+/// number, `len` the transport header+payload length.
+pub fn pseudo_header_sum(src: u32, dst: u32, proto: u8, len: u16) -> u32 {
+    sum(&src.to_be_bytes())
+        + sum(&dst.to_be_bytes())
+        + u32::from(proto)
+        + u32::from(len)
+}
+
+/// Verifies a checksummed region: the folded sum over data that *includes*
+/// the checksum field must be `0xffff` (all ones before inversion).
+pub fn verify(data_including_checksum: &[u8], pseudo: u32) -> bool {
+    fold(sum(data_including_checksum) + pseudo) == 0xffff
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rfc1071_example() {
+        // RFC 1071 §3 example words: 0x0001 0xf203 0xf4f5 0xf6f7
+        let data = [0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7];
+        // Sum = 0x2ddf0 → fold → 0xddf2, checksum = !0xddf2 = 0x220d.
+        assert_eq!(fold(sum(&data)), 0xddf2);
+        assert_eq!(checksum(&data), 0x220d);
+    }
+
+    #[test]
+    fn odd_length_pads_with_zero() {
+        assert_eq!(sum(&[0xab]), sum(&[0xab, 0x00]));
+        assert_eq!(checksum(&[0x12, 0x34, 0x56]), checksum(&[0x12, 0x34, 0x56, 0x00]));
+    }
+
+    #[test]
+    fn empty_checksum() {
+        assert_eq!(checksum(&[]), 0xffff);
+    }
+
+    #[test]
+    fn inserting_checksum_verifies() {
+        let mut data = vec![0x45u8, 0x00, 0x00, 0x1c, 0x00, 0x01, 0x00, 0x00, 0x40, 0x11, 0, 0, 10, 0, 0, 1, 10, 0, 0, 2];
+        let c = checksum(&data);
+        data[10] = (c >> 8) as u8;
+        data[11] = (c & 0xff) as u8;
+        assert!(verify(&data, 0));
+    }
+
+    #[test]
+    fn verify_detects_corruption() {
+        let mut data = vec![0u8; 20];
+        data[0] = 0x45;
+        let c = checksum(&data);
+        data[10] = (c >> 8) as u8;
+        data[11] = (c & 0xff) as u8;
+        assert!(verify(&data, 0));
+        data[3] ^= 0x01;
+        assert!(!verify(&data, 0));
+    }
+
+    #[test]
+    fn pseudo_header_changes_checksum() {
+        let payload = [1u8, 2, 3, 4];
+        let p1 = pseudo_header_sum(0x0a000001, 0x0a000002, 17, 4);
+        let p2 = pseudo_header_sum(0x0a000001, 0x0a000003, 17, 4);
+        assert_ne!(fold(sum(&payload) + p1), fold(sum(&payload) + p2));
+    }
+
+    #[test]
+    fn combine_is_order_independent() {
+        let a = sum(&[1, 2, 3, 4]);
+        let b = sum(&[5, 6]);
+        assert_eq!(fold(combine(a, b)), fold(combine(b, a)));
+        // Splitting data at an even boundary must not change the sum.
+        assert_eq!(fold(sum(&[1, 2, 3, 4, 5, 6])), fold(combine(a, b)));
+    }
+}

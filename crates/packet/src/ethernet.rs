@@ -1,0 +1,192 @@
+//! Ethernet II frames.
+
+use pi_core::{CoreError, MacAddr};
+
+/// Byte offsets within an Ethernet II header.
+mod field {
+    pub const DST: core::ops::Range<usize> = 0..6;
+    pub const SRC: core::ops::Range<usize> = 6..12;
+    pub const ETHERTYPE: core::ops::Range<usize> = 12..14;
+    pub const PAYLOAD: usize = 14;
+}
+
+/// Length of the Ethernet II header.
+pub const HEADER_LEN: usize = field::PAYLOAD;
+
+/// A typed view over a buffer containing an Ethernet II frame.
+///
+/// ```
+/// use pi_packet::EthernetFrame;
+/// let bytes = [0u8; 14];
+/// let frame = EthernetFrame::new_checked(&bytes[..]).unwrap();
+/// assert_eq!(frame.ethertype(), 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct EthernetFrame<T: AsRef<[u8]>> {
+    buffer: T,
+}
+
+impl<T: AsRef<[u8]>> EthernetFrame<T> {
+    /// Wraps a buffer without checking its length.
+    ///
+    /// Accessors will panic on a short buffer; prefer
+    /// [`EthernetFrame::new_checked`] on untrusted input.
+    pub const fn new_unchecked(buffer: T) -> Self {
+        EthernetFrame { buffer }
+    }
+
+    /// Wraps a buffer, ensuring it is long enough for the header.
+    pub fn new_checked(buffer: T) -> pi_core::Result<Self> {
+        let got = buffer.as_ref().len();
+        if got < HEADER_LEN {
+            return Err(CoreError::Truncated {
+                what: "ethernet header",
+                needed: HEADER_LEN,
+                got,
+            });
+        }
+        Ok(EthernetFrame { buffer })
+    }
+
+    /// Consumes the view, returning the underlying buffer.
+    pub fn into_inner(self) -> T {
+        self.buffer
+    }
+
+    /// Destination MAC address.
+    pub fn dst_addr(&self) -> MacAddr {
+        let b = self.buffer.as_ref();
+        MacAddr([b[0], b[1], b[2], b[3], b[4], b[5]])
+    }
+
+    /// Source MAC address.
+    pub fn src_addr(&self) -> MacAddr {
+        let b = self.buffer.as_ref();
+        MacAddr([b[6], b[7], b[8], b[9], b[10], b[11]])
+    }
+
+    /// Ethertype field.
+    pub fn ethertype(&self) -> u16 {
+        let b = self.buffer.as_ref();
+        u16::from_be_bytes([b[field::ETHERTYPE.start], b[field::ETHERTYPE.start + 1]])
+    }
+
+    /// The payload following the header.
+    pub fn payload(&self) -> &[u8] {
+        &self.buffer.as_ref()[field::PAYLOAD..]
+    }
+}
+
+impl<T: AsRef<[u8]> + AsMut<[u8]>> EthernetFrame<T> {
+    /// Sets the destination MAC address.
+    pub fn set_dst_addr(&mut self, addr: MacAddr) {
+        self.buffer.as_mut()[field::DST].copy_from_slice(&addr.0);
+    }
+
+    /// Sets the source MAC address.
+    pub fn set_src_addr(&mut self, addr: MacAddr) {
+        self.buffer.as_mut()[field::SRC].copy_from_slice(&addr.0);
+    }
+
+    /// Sets the ethertype.
+    pub fn set_ethertype(&mut self, ethertype: u16) {
+        self.buffer.as_mut()[field::ETHERTYPE].copy_from_slice(&ethertype.to_be_bytes());
+    }
+
+    /// Mutable access to the payload.
+    pub fn payload_mut(&mut self) -> &mut [u8] {
+        &mut self.buffer.as_mut()[field::PAYLOAD..]
+    }
+}
+
+/// A parsed, plain-old-data representation of an Ethernet header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EthernetRepr {
+    /// Source address.
+    pub src: MacAddr,
+    /// Destination address.
+    pub dst: MacAddr,
+    /// Ethertype of the payload.
+    pub ethertype: u16,
+}
+
+impl EthernetRepr {
+    /// Parses a frame view into a repr.
+    pub fn parse<T: AsRef<[u8]>>(frame: &EthernetFrame<T>) -> pi_core::Result<Self> {
+        Ok(EthernetRepr {
+            src: frame.src_addr(),
+            dst: frame.dst_addr(),
+            ethertype: frame.ethertype(),
+        })
+    }
+
+    /// The header length this repr will emit.
+    pub const fn header_len(&self) -> usize {
+        HEADER_LEN
+    }
+
+    /// Writes this header into a frame view.
+    pub fn emit<T: AsRef<[u8]> + AsMut<[u8]>>(&self, frame: &mut EthernetFrame<T>) {
+        frame.set_src_addr(self.src);
+        frame.set_dst_addr(self.dst);
+        frame.set_ethertype(self.ethertype);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    static SAMPLE: [u8; 18] = [
+        0xff, 0xff, 0xff, 0xff, 0xff, 0xff, // dst
+        0x52, 0x54, 0x00, 0x12, 0x34, 0x56, // src
+        0x08, 0x00, // ethertype: IPv4
+        0xde, 0xad, 0xbe, 0xef, // payload
+    ];
+
+    #[test]
+    fn parse_sample() {
+        let frame = EthernetFrame::new_checked(&SAMPLE[..]).unwrap();
+        assert_eq!(frame.dst_addr(), MacAddr::BROADCAST);
+        assert_eq!(frame.src_addr().to_string(), "52:54:00:12:34:56");
+        assert_eq!(frame.ethertype(), 0x0800);
+        assert_eq!(frame.payload(), &[0xde, 0xad, 0xbe, 0xef]);
+    }
+
+    #[test]
+    fn new_checked_rejects_short() {
+        let err = EthernetFrame::new_checked(&SAMPLE[..10]).unwrap_err();
+        assert!(matches!(err, CoreError::Truncated { needed: 14, got: 10, .. }));
+    }
+
+    #[test]
+    fn repr_round_trip() {
+        let frame = EthernetFrame::new_checked(&SAMPLE[..]).unwrap();
+        let repr = EthernetRepr::parse(&frame).unwrap();
+        let mut out = vec![0u8; repr.header_len() + 4];
+        let mut new_frame = EthernetFrame::new_unchecked(&mut out[..]);
+        repr.emit(&mut new_frame);
+        new_frame.payload_mut().copy_from_slice(&[0xde, 0xad, 0xbe, 0xef]);
+        assert_eq!(&out[..], &SAMPLE[..]);
+    }
+
+    #[test]
+    fn mutators_round_trip() {
+        let mut buf = [0u8; 14];
+        let mut frame = EthernetFrame::new_unchecked(&mut buf[..]);
+        let src = MacAddr::from_id(7);
+        let dst = MacAddr::from_id(9);
+        frame.set_src_addr(src);
+        frame.set_dst_addr(dst);
+        frame.set_ethertype(0x86dd);
+        assert_eq!(frame.src_addr(), src);
+        assert_eq!(frame.dst_addr(), dst);
+        assert_eq!(frame.ethertype(), 0x86dd);
+    }
+
+    #[test]
+    fn into_inner_returns_buffer() {
+        let frame = EthernetFrame::new_checked(SAMPLE.to_vec()).unwrap();
+        assert_eq!(frame.into_inner(), SAMPLE.to_vec());
+    }
+}

@@ -1,0 +1,117 @@
+//! Flow-key extraction — the datapath's single-pass parser.
+//!
+//! This is the analogue of Open vSwitch's `flow_extract()`: given raw
+//! frame bytes and the ingress port, produce the [`FlowKey`] every cache
+//! level matches on. Parsing is strict about structure (truncation, bad
+//! versions) but does **not** verify checksums — a real fast path doesn't
+//! either; checksum verification belongs to the endpoints.
+
+use pi_core::key::{ETHERTYPE_IPV4, IPPROTO_TCP, IPPROTO_UDP};
+use pi_core::FlowKey;
+
+use crate::ethernet::{self, EthernetFrame};
+use crate::ipv4::Ipv4Packet;
+use crate::tcp::TcpSegment;
+use crate::udp::UdpDatagram;
+
+/// Parses a frame into a [`FlowKey`].
+///
+/// Non-IPv4 frames and non-TCP/UDP protocols still produce a key (with
+/// the transport fields zeroed) — a switch must classify *every* packet —
+/// but structurally broken packets (truncated headers) are errors.
+pub fn extract_flow_key(frame: &[u8], in_port: u32) -> pi_core::Result<FlowKey> {
+    let eth = EthernetFrame::new_checked(frame)?;
+    let mut key = FlowKey {
+        in_port,
+        eth_src: eth.src_addr(),
+        eth_dst: eth.dst_addr(),
+        eth_type: eth.ethertype(),
+        ..Default::default()
+    };
+
+    if key.eth_type != ETHERTYPE_IPV4 {
+        return Ok(key);
+    }
+
+    let ip = Ipv4Packet::new_checked(&frame[ethernet::HEADER_LEN..])?;
+    key.ip_src = ip.src_addr();
+    key.ip_dst = ip.dst_addr();
+    key.ip_proto = ip.protocol();
+    key.ip_tos = ip.tos();
+    key.ip_ttl = ip.ttl();
+
+    match key.ip_proto {
+        IPPROTO_TCP => {
+            let seg = TcpSegment::new_checked(ip.payload())?;
+            key.tp_src = seg.src_port();
+            key.tp_dst = seg.dst_port();
+        }
+        IPPROTO_UDP => {
+            let dgram = UdpDatagram::new_checked(ip.payload())?;
+            key.tp_src = dgram.src_port();
+            key.tp_dst = dgram.dst_port();
+        }
+        _ => {}
+    }
+
+    Ok(key)
+}
+
+/// Convenience check used by tests and the simulator: whether a frame is
+/// well-formed enough for the datapath to process at all.
+pub fn is_extractable(frame: &[u8], in_port: u32) -> bool {
+    extract_flow_key(frame, in_port).is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PacketBuilder;
+
+    #[test]
+    fn non_ip_frame_yields_l2_only_key() {
+        let mut frame = vec![0u8; 60];
+        frame[12] = 0x08;
+        frame[13] = 0x06; // ARP
+        let key = extract_flow_key(&frame, 9).unwrap();
+        assert_eq!(key.in_port, 9);
+        assert_eq!(key.eth_type, 0x0806);
+        assert_eq!(key.ip_src, 0);
+        assert_eq!(key.tp_dst, 0);
+    }
+
+    #[test]
+    fn icmp_yields_l3_key_without_ports() {
+        let tcp_key = FlowKey::tcp([10, 0, 0, 1], [10, 0, 0, 2], 1, 2);
+        let mut frame = PacketBuilder::new().build(&tcp_key).unwrap();
+        frame[23] = 1; // protocol = ICMP (checksum now wrong; extractor ignores)
+        let key = extract_flow_key(&frame, 0).unwrap();
+        assert_eq!(key.ip_proto, 1);
+        assert_eq!(key.tp_src, 0);
+        assert_eq!(key.tp_dst, 0);
+        assert_eq!(key.ip_src, 0x0a00_0001);
+    }
+
+    #[test]
+    fn truncated_l4_is_error() {
+        let tcp_key = FlowKey::tcp([10, 0, 0, 1], [10, 0, 0, 2], 1, 2);
+        let frame = PacketBuilder::new().no_padding().build(&tcp_key).unwrap();
+        // Cut into the TCP header — but keep ip total_len claiming more.
+        assert!(extract_flow_key(&frame[..40], 0).is_err());
+    }
+
+    #[test]
+    fn truncated_ethernet_is_error() {
+        assert!(extract_flow_key(&[0u8; 13], 0).is_err());
+        assert!(is_extractable(&[0u8; 14], 0));
+        assert!(!is_extractable(&[0u8; 5], 0));
+    }
+
+    #[test]
+    fn in_port_is_metadata_not_parsed() {
+        let key = FlowKey::udp([1, 2, 3, 4], [5, 6, 7, 8], 100, 200);
+        let frame = PacketBuilder::new().build(&key).unwrap();
+        assert_eq!(extract_flow_key(&frame, 1).unwrap().in_port, 1);
+        assert_eq!(extract_flow_key(&frame, 77).unwrap().in_port, 77);
+    }
+}

@@ -1,0 +1,357 @@
+//! IPv4 packets.
+
+use pi_core::CoreError;
+
+use crate::checksum;
+
+/// Byte offsets within the fixed IPv4 header.
+mod field {
+    use core::ops::Range;
+    pub const VER_IHL: usize = 0;
+    pub const TOS: usize = 1;
+    pub const TOTAL_LEN: Range<usize> = 2..4;
+    pub const IDENT: Range<usize> = 4..6;
+    pub const FLAGS_FRAG: Range<usize> = 6..8;
+    pub const TTL: usize = 8;
+    pub const PROTOCOL: usize = 9;
+    pub const CHECKSUM: Range<usize> = 10..12;
+    pub const SRC: Range<usize> = 12..16;
+    pub const DST: Range<usize> = 16..20;
+}
+
+/// Length of an IPv4 header without options.
+pub const HEADER_LEN: usize = 20;
+
+/// A typed view over a buffer containing an IPv4 packet.
+#[derive(Debug, Clone)]
+pub struct Ipv4Packet<T: AsRef<[u8]>> {
+    buffer: T,
+}
+
+impl<T: AsRef<[u8]>> Ipv4Packet<T> {
+    /// Wraps a buffer without validation; accessors may panic on short
+    /// buffers.
+    pub const fn new_unchecked(buffer: T) -> Self {
+        Ipv4Packet { buffer }
+    }
+
+    /// Wraps a buffer, validating length, version and header length.
+    pub fn new_checked(buffer: T) -> pi_core::Result<Self> {
+        let len = buffer.as_ref().len();
+        if len < HEADER_LEN {
+            return Err(CoreError::Truncated {
+                what: "ipv4 header",
+                needed: HEADER_LEN,
+                got: len,
+            });
+        }
+        let packet = Ipv4Packet { buffer };
+        if packet.version() != 4 {
+            return Err(CoreError::Malformed("ipv4 version"));
+        }
+        let header_len = packet.header_len() as usize;
+        if header_len < HEADER_LEN || header_len > len {
+            return Err(CoreError::Malformed("ipv4 header length"));
+        }
+        if (packet.total_len() as usize) < header_len {
+            return Err(CoreError::Malformed("ipv4 total length"));
+        }
+        Ok(packet)
+    }
+
+    /// Consumes the view, returning the underlying buffer.
+    pub fn into_inner(self) -> T {
+        self.buffer
+    }
+
+    /// IP version (must be 4).
+    pub fn version(&self) -> u8 {
+        self.buffer.as_ref()[field::VER_IHL] >> 4
+    }
+
+    /// Header length in bytes (IHL × 4).
+    pub fn header_len(&self) -> u8 {
+        (self.buffer.as_ref()[field::VER_IHL] & 0x0f) * 4
+    }
+
+    /// TOS byte.
+    pub fn tos(&self) -> u8 {
+        self.buffer.as_ref()[field::TOS]
+    }
+
+    /// Total packet length (header + payload).
+    pub fn total_len(&self) -> u16 {
+        let b = self.buffer.as_ref();
+        u16::from_be_bytes([b[field::TOTAL_LEN.start], b[field::TOTAL_LEN.start + 1]])
+    }
+
+    /// Identification field.
+    pub fn ident(&self) -> u16 {
+        let b = self.buffer.as_ref();
+        u16::from_be_bytes([b[field::IDENT.start], b[field::IDENT.start + 1]])
+    }
+
+    /// TTL.
+    pub fn ttl(&self) -> u8 {
+        self.buffer.as_ref()[field::TTL]
+    }
+
+    /// IP protocol number.
+    pub fn protocol(&self) -> u8 {
+        self.buffer.as_ref()[field::PROTOCOL]
+    }
+
+    /// Header checksum field.
+    pub fn header_checksum(&self) -> u16 {
+        let b = self.buffer.as_ref();
+        u16::from_be_bytes([b[field::CHECKSUM.start], b[field::CHECKSUM.start + 1]])
+    }
+
+    /// Source address, host byte order.
+    pub fn src_addr(&self) -> u32 {
+        let b = self.buffer.as_ref();
+        u32::from_be_bytes([b[12], b[13], b[14], b[15]])
+    }
+
+    /// Destination address, host byte order.
+    pub fn dst_addr(&self) -> u32 {
+        let b = self.buffer.as_ref();
+        u32::from_be_bytes([b[16], b[17], b[18], b[19]])
+    }
+
+    /// True if the header checksum is valid.
+    pub fn verify_checksum(&self) -> bool {
+        let hl = self.header_len() as usize;
+        checksum::fold(checksum::sum(&self.buffer.as_ref()[..hl])) == 0xffff
+    }
+
+    /// The transport payload (respects `total_len`, tolerating trailing
+    /// padding in the buffer, e.g. Ethernet minimum-frame padding).
+    pub fn payload(&self) -> &[u8] {
+        let hl = self.header_len() as usize;
+        let total = (self.total_len() as usize).min(self.buffer.as_ref().len());
+        &self.buffer.as_ref()[hl..total]
+    }
+}
+
+impl<T: AsRef<[u8]> + AsMut<[u8]>> Ipv4Packet<T> {
+    /// Sets version and header length (IHL in bytes).
+    pub fn set_version_and_header_len(&mut self, header_len: u8) {
+        debug_assert!(header_len % 4 == 0 && header_len >= 20);
+        self.buffer.as_mut()[field::VER_IHL] = 0x40 | (header_len / 4);
+    }
+
+    /// Sets the TOS byte.
+    pub fn set_tos(&mut self, tos: u8) {
+        self.buffer.as_mut()[field::TOS] = tos;
+    }
+
+    /// Sets the total length.
+    pub fn set_total_len(&mut self, len: u16) {
+        self.buffer.as_mut()[field::TOTAL_LEN].copy_from_slice(&len.to_be_bytes());
+    }
+
+    /// Sets the identification field.
+    pub fn set_ident(&mut self, ident: u16) {
+        self.buffer.as_mut()[field::IDENT].copy_from_slice(&ident.to_be_bytes());
+    }
+
+    /// Clears flags and fragment offset (no fragmentation modelled).
+    pub fn set_no_fragment(&mut self) {
+        // DF set, offset 0 — typical for the traffic this workspace models.
+        self.buffer.as_mut()[field::FLAGS_FRAG].copy_from_slice(&0x4000u16.to_be_bytes());
+    }
+
+    /// Sets the TTL.
+    pub fn set_ttl(&mut self, ttl: u8) {
+        self.buffer.as_mut()[field::TTL] = ttl;
+    }
+
+    /// Sets the protocol number.
+    pub fn set_protocol(&mut self, proto: u8) {
+        self.buffer.as_mut()[field::PROTOCOL] = proto;
+    }
+
+    /// Sets the source address (host byte order).
+    pub fn set_src_addr(&mut self, addr: u32) {
+        self.buffer.as_mut()[field::SRC].copy_from_slice(&addr.to_be_bytes());
+    }
+
+    /// Sets the destination address (host byte order).
+    pub fn set_dst_addr(&mut self, addr: u32) {
+        self.buffer.as_mut()[field::DST].copy_from_slice(&addr.to_be_bytes());
+    }
+
+    /// Computes and stores the header checksum.
+    pub fn fill_checksum(&mut self) {
+        self.buffer.as_mut()[field::CHECKSUM].copy_from_slice(&[0, 0]);
+        let hl = self.header_len() as usize;
+        let c = checksum::checksum(&self.buffer.as_ref()[..hl]);
+        self.buffer.as_mut()[field::CHECKSUM].copy_from_slice(&c.to_be_bytes());
+    }
+
+    /// Mutable transport payload.
+    pub fn payload_mut(&mut self) -> &mut [u8] {
+        let hl = self.header_len() as usize;
+        let total = (self.total_len() as usize).min(self.buffer.as_ref().len());
+        &mut self.buffer.as_mut()[hl..total]
+    }
+}
+
+/// A parsed, plain-old-data representation of an IPv4 header
+/// (options are not modelled; packets with options parse but reprs
+/// re-emit a 20-byte header).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Ipv4Repr {
+    /// Source address, host order.
+    pub src: u32,
+    /// Destination address, host order.
+    pub dst: u32,
+    /// Protocol number.
+    pub protocol: u8,
+    /// TOS byte.
+    pub tos: u8,
+    /// TTL.
+    pub ttl: u8,
+    /// Transport payload length in bytes.
+    pub payload_len: usize,
+}
+
+impl Ipv4Repr {
+    /// Parses and validates a packet view (checksum included).
+    pub fn parse<T: AsRef<[u8]>>(packet: &Ipv4Packet<T>) -> pi_core::Result<Self> {
+        if !packet.verify_checksum() {
+            return Err(CoreError::Malformed("ipv4 checksum"));
+        }
+        Ok(Ipv4Repr {
+            src: packet.src_addr(),
+            dst: packet.dst_addr(),
+            protocol: packet.protocol(),
+            tos: packet.tos(),
+            ttl: packet.ttl(),
+            payload_len: packet.total_len() as usize - packet.header_len() as usize,
+        })
+    }
+
+    /// The header length this repr emits (no options).
+    pub const fn header_len(&self) -> usize {
+        HEADER_LEN
+    }
+
+    /// Total length (header + payload) this repr describes.
+    pub fn total_len(&self) -> usize {
+        self.header_len() + self.payload_len
+    }
+
+    /// Writes this header into a packet view and fills the checksum.
+    pub fn emit<T: AsRef<[u8]> + AsMut<[u8]>>(&self, packet: &mut Ipv4Packet<T>) {
+        packet.set_version_and_header_len(HEADER_LEN as u8);
+        packet.set_tos(self.tos);
+        packet.set_total_len(self.total_len() as u16);
+        packet.set_ident(0);
+        packet.set_no_fragment();
+        packet.set_ttl(self.ttl);
+        packet.set_protocol(self.protocol);
+        packet.set_src_addr(self.src);
+        packet.set_dst_addr(self.dst);
+        packet.fill_checksum();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<u8> {
+        let repr = Ipv4Repr {
+            src: 0x0a00_0001,
+            dst: 0x0a00_0002,
+            protocol: 17,
+            tos: 0,
+            ttl: 64,
+            payload_len: 8,
+        };
+        let mut buf = vec![0u8; repr.total_len()];
+        let mut packet = Ipv4Packet::new_unchecked(&mut buf[..]);
+        repr.emit(&mut packet);
+        buf
+    }
+
+    #[test]
+    fn emit_then_parse_round_trips() {
+        let buf = sample();
+        let packet = Ipv4Packet::new_checked(&buf[..]).unwrap();
+        assert!(packet.verify_checksum());
+        let repr = Ipv4Repr::parse(&packet).unwrap();
+        assert_eq!(repr.src, 0x0a00_0001);
+        assert_eq!(repr.dst, 0x0a00_0002);
+        assert_eq!(repr.protocol, 17);
+        assert_eq!(repr.ttl, 64);
+        assert_eq!(repr.payload_len, 8);
+    }
+
+    #[test]
+    fn checked_rejects_bad_version() {
+        let mut buf = sample();
+        buf[0] = 0x65; // version 6
+        assert!(matches!(
+            Ipv4Packet::new_checked(&buf[..]).unwrap_err(),
+            CoreError::Malformed("ipv4 version")
+        ));
+    }
+
+    #[test]
+    fn checked_rejects_short_buffer() {
+        let buf = sample();
+        assert!(Ipv4Packet::new_checked(&buf[..10]).is_err());
+    }
+
+    #[test]
+    fn checked_rejects_bad_ihl() {
+        let mut buf = sample();
+        buf[0] = 0x44; // IHL = 16 bytes < 20
+        assert!(Ipv4Packet::new_checked(&buf[..]).is_err());
+        let mut buf2 = sample();
+        buf2[0] = 0x4f; // IHL = 60 > buffer
+        assert!(Ipv4Packet::new_checked(&buf2[..]).is_err());
+    }
+
+    #[test]
+    fn parse_rejects_corrupt_checksum() {
+        let mut buf = sample();
+        buf[15] ^= 1; // flip a bit of src addr without re-checksumming
+        let packet = Ipv4Packet::new_checked(&buf[..]).unwrap();
+        assert!(!packet.verify_checksum());
+        assert!(Ipv4Repr::parse(&packet).is_err());
+    }
+
+    #[test]
+    fn payload_respects_total_len_with_padding() {
+        let mut buf = sample();
+        buf.extend_from_slice(&[0xaa; 22]); // Ethernet-style padding
+        let packet = Ipv4Packet::new_checked(&buf[..]).unwrap();
+        assert_eq!(packet.payload().len(), 8);
+    }
+
+    #[test]
+    fn mutators_round_trip() {
+        let mut buf = vec![0u8; 28];
+        let mut p = Ipv4Packet::new_unchecked(&mut buf[..]);
+        p.set_version_and_header_len(20);
+        p.set_tos(0x10);
+        p.set_total_len(28);
+        p.set_ttl(3);
+        p.set_protocol(6);
+        p.set_src_addr(0xc0a80001);
+        p.set_dst_addr(0x08080808);
+        p.fill_checksum();
+        assert_eq!(p.version(), 4);
+        assert_eq!(p.header_len(), 20);
+        assert_eq!(p.tos(), 0x10);
+        assert_eq!(p.ttl(), 3);
+        assert_eq!(p.protocol(), 6);
+        assert_eq!(p.src_addr(), 0xc0a80001);
+        assert_eq!(p.dst_addr(), 0x08080808);
+        assert!(p.verify_checksum());
+    }
+}

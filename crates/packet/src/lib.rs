@@ -1,0 +1,39 @@
+//! # pi-packet — wire formats for the policy-injection reproduction
+//!
+//! Ethernet II, IPv4, TCP and UDP in the smoltcp idiom:
+//!
+//! * **Wrapper views** — `EthernetFrame<T: AsRef<[u8]>>` and friends are
+//!   zero-copy typed windows over a byte buffer with checked field
+//!   accessors. Mutation happens in place through `AsMut<[u8]>`.
+//! * **`Repr` structs** — plain-old-data summaries of one header with
+//!   `parse` (validate + lift) and `emit` (serialise) methods.
+//! * No heap allocation on the parse path; builders allocate exactly one
+//!   `Vec<u8>` per packet.
+//!
+//! The datapath only needs [`extract_flow_key`], which parses an entire
+//! frame into a [`pi_core::FlowKey`] in one pass — this is the moral
+//! equivalent of OVS's `flow_extract()`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod checksum;
+pub mod ethernet;
+pub mod extract;
+pub mod ipv4;
+pub mod tcp;
+pub mod udp;
+
+pub use builder::PacketBuilder;
+pub use ethernet::{EthernetFrame, EthernetRepr};
+pub use extract::extract_flow_key;
+pub use ipv4::{Ipv4Packet, Ipv4Repr};
+pub use tcp::{TcpRepr, TcpSegment};
+pub use udp::{UdpDatagram, UdpRepr};
+
+/// Minimum Ethernet frame length before the FCS (64 B wire minimum minus
+/// the 4-byte FCS, which we do not model).
+pub const ETHERNET_MIN_FRAME_LEN: usize = 60;
+/// Conventional Ethernet MTU (maximum IP packet size).
+pub const ETHERNET_MTU: usize = 1500;

@@ -1,0 +1,346 @@
+//! TCP segments (the subset the dataplane cares about: ports, flags,
+//! sequence numbers; options are accepted but not interpreted).
+
+use pi_core::CoreError;
+
+use crate::checksum;
+
+mod field {
+    use core::ops::Range;
+    pub const SRC_PORT: Range<usize> = 0..2;
+    pub const DST_PORT: Range<usize> = 2..4;
+    pub const SEQ: Range<usize> = 4..8;
+    pub const ACK: Range<usize> = 8..12;
+    pub const DATA_OFF: usize = 12;
+    pub const FLAGS: usize = 13;
+    pub const WINDOW: Range<usize> = 14..16;
+    pub const CHECKSUM: Range<usize> = 16..18;
+    pub const URGENT: Range<usize> = 18..20;
+}
+
+/// Length of a TCP header without options.
+pub const HEADER_LEN: usize = 20;
+
+/// TCP flag bits (low byte of the flags field).
+pub mod flags {
+    /// FIN: sender is done.
+    pub const FIN: u8 = 0x01;
+    /// SYN: connection setup.
+    pub const SYN: u8 = 0x02;
+    /// RST: reset.
+    pub const RST: u8 = 0x04;
+    /// PSH: push.
+    pub const PSH: u8 = 0x08;
+    /// ACK: acknowledgement valid.
+    pub const ACK: u8 = 0x10;
+}
+
+/// A typed view over a buffer containing a TCP segment.
+#[derive(Debug, Clone)]
+pub struct TcpSegment<T: AsRef<[u8]>> {
+    buffer: T,
+}
+
+impl<T: AsRef<[u8]>> TcpSegment<T> {
+    /// Wraps a buffer without validation.
+    pub const fn new_unchecked(buffer: T) -> Self {
+        TcpSegment { buffer }
+    }
+
+    /// Wraps a buffer, validating lengths.
+    pub fn new_checked(buffer: T) -> pi_core::Result<Self> {
+        let got = buffer.as_ref().len();
+        if got < HEADER_LEN {
+            return Err(CoreError::Truncated {
+                what: "tcp header",
+                needed: HEADER_LEN,
+                got,
+            });
+        }
+        let seg = TcpSegment { buffer };
+        let hl = seg.header_len() as usize;
+        if hl < HEADER_LEN || hl > seg.buffer.as_ref().len() {
+            return Err(CoreError::Malformed("tcp data offset"));
+        }
+        Ok(seg)
+    }
+
+    /// Consumes the view, returning the underlying buffer.
+    pub fn into_inner(self) -> T {
+        self.buffer
+    }
+
+    /// Source port.
+    pub fn src_port(&self) -> u16 {
+        let b = self.buffer.as_ref();
+        u16::from_be_bytes([b[0], b[1]])
+    }
+
+    /// Destination port.
+    pub fn dst_port(&self) -> u16 {
+        let b = self.buffer.as_ref();
+        u16::from_be_bytes([b[2], b[3]])
+    }
+
+    /// Sequence number.
+    pub fn seq(&self) -> u32 {
+        let b = self.buffer.as_ref();
+        u32::from_be_bytes([b[4], b[5], b[6], b[7]])
+    }
+
+    /// Acknowledgement number.
+    pub fn ack(&self) -> u32 {
+        let b = self.buffer.as_ref();
+        u32::from_be_bytes([b[8], b[9], b[10], b[11]])
+    }
+
+    /// Header length in bytes (data offset × 4).
+    pub fn header_len(&self) -> u8 {
+        (self.buffer.as_ref()[field::DATA_OFF] >> 4) * 4
+    }
+
+    /// Flag bits.
+    pub fn flags(&self) -> u8 {
+        self.buffer.as_ref()[field::FLAGS]
+    }
+
+    /// Receive window.
+    pub fn window(&self) -> u16 {
+        let b = self.buffer.as_ref();
+        u16::from_be_bytes([b[14], b[15]])
+    }
+
+    /// Checksum field.
+    pub fn checksum_field(&self) -> u16 {
+        let b = self.buffer.as_ref();
+        u16::from_be_bytes([b[16], b[17]])
+    }
+
+    /// Payload after the (possibly option-bearing) header.
+    pub fn payload(&self) -> &[u8] {
+        &self.buffer.as_ref()[self.header_len() as usize..]
+    }
+
+    /// Verifies the checksum against an IPv4 pseudo-header.
+    pub fn verify_checksum(&self, src: u32, dst: u32) -> bool {
+        let data = self.buffer.as_ref();
+        let pseudo = checksum::pseudo_header_sum(src, dst, 6, data.len() as u16);
+        checksum::verify(data, pseudo)
+    }
+}
+
+impl<T: AsRef<[u8]> + AsMut<[u8]>> TcpSegment<T> {
+    /// Sets the source port.
+    pub fn set_src_port(&mut self, port: u16) {
+        self.buffer.as_mut()[field::SRC_PORT].copy_from_slice(&port.to_be_bytes());
+    }
+
+    /// Sets the destination port.
+    pub fn set_dst_port(&mut self, port: u16) {
+        self.buffer.as_mut()[field::DST_PORT].copy_from_slice(&port.to_be_bytes());
+    }
+
+    /// Sets the sequence number.
+    pub fn set_seq(&mut self, seq: u32) {
+        self.buffer.as_mut()[field::SEQ].copy_from_slice(&seq.to_be_bytes());
+    }
+
+    /// Sets the acknowledgement number.
+    pub fn set_ack(&mut self, ack: u32) {
+        self.buffer.as_mut()[field::ACK].copy_from_slice(&ack.to_be_bytes());
+    }
+
+    /// Sets the header length in bytes (must be a multiple of 4 ≥ 20).
+    pub fn set_header_len(&mut self, len: u8) {
+        debug_assert!(len % 4 == 0 && len >= 20);
+        self.buffer.as_mut()[field::DATA_OFF] = (len / 4) << 4;
+    }
+
+    /// Sets the flag bits.
+    pub fn set_flags(&mut self, flags: u8) {
+        self.buffer.as_mut()[field::FLAGS] = flags;
+    }
+
+    /// Sets the receive window.
+    pub fn set_window(&mut self, win: u16) {
+        self.buffer.as_mut()[field::WINDOW].copy_from_slice(&win.to_be_bytes());
+    }
+
+    /// Zeroes the urgent pointer.
+    pub fn clear_urgent(&mut self) {
+        self.buffer.as_mut()[field::URGENT].copy_from_slice(&[0, 0]);
+    }
+
+    /// Computes and stores the checksum over the given pseudo-header.
+    pub fn fill_checksum(&mut self, src: u32, dst: u32) {
+        self.buffer.as_mut()[field::CHECKSUM].copy_from_slice(&[0, 0]);
+        let data = self.buffer.as_ref();
+        let pseudo = checksum::pseudo_header_sum(src, dst, 6, data.len() as u16);
+        let c = !checksum::fold(checksum::sum(data) + pseudo);
+        self.buffer.as_mut()[field::CHECKSUM].copy_from_slice(&c.to_be_bytes());
+    }
+
+    /// Mutable payload.
+    pub fn payload_mut(&mut self) -> &mut [u8] {
+        let hl = self.header_len() as usize;
+        &mut self.buffer.as_mut()[hl..]
+    }
+}
+
+/// A parsed, plain-old-data representation of a TCP header (no options).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TcpRepr {
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// Sequence number.
+    pub seq: u32,
+    /// Acknowledgement number.
+    pub ack: u32,
+    /// Flag bits.
+    pub flags: u8,
+    /// Receive window.
+    pub window: u16,
+    /// Payload length in bytes.
+    pub payload_len: usize,
+}
+
+impl TcpRepr {
+    /// Parses a segment view, verifying its checksum.
+    pub fn parse<T: AsRef<[u8]>>(
+        seg: &TcpSegment<T>,
+        src: u32,
+        dst: u32,
+    ) -> pi_core::Result<Self> {
+        if !seg.verify_checksum(src, dst) {
+            return Err(CoreError::Malformed("tcp checksum"));
+        }
+        Ok(TcpRepr {
+            src_port: seg.src_port(),
+            dst_port: seg.dst_port(),
+            seq: seg.seq(),
+            ack: seg.ack(),
+            flags: seg.flags(),
+            window: seg.window(),
+            payload_len: seg.payload().len(),
+        })
+    }
+
+    /// Header length emitted by this repr (no options).
+    pub const fn header_len(&self) -> usize {
+        HEADER_LEN
+    }
+
+    /// Writes the header and checksum into a segment view.
+    pub fn emit<T: AsRef<[u8]> + AsMut<[u8]>>(
+        &self,
+        seg: &mut TcpSegment<T>,
+        src: u32,
+        dst: u32,
+    ) {
+        seg.set_src_port(self.src_port);
+        seg.set_dst_port(self.dst_port);
+        seg.set_seq(self.seq);
+        seg.set_ack(self.ack);
+        seg.set_header_len(HEADER_LEN as u8);
+        seg.set_flags(self.flags);
+        seg.set_window(self.window);
+        seg.clear_urgent();
+        seg.fill_checksum(src, dst);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: u32 = 0xc0a8_0001;
+    const DST: u32 = 0xc0a8_0002;
+
+    fn sample(payload: &[u8]) -> Vec<u8> {
+        let repr = TcpRepr {
+            src_port: 45000,
+            dst_port: 5201, // iperf
+            seq: 0x1000_0000,
+            ack: 0x2000_0000,
+            flags: flags::ACK | flags::PSH,
+            window: 65535,
+            payload_len: payload.len(),
+        };
+        let mut buf = vec![0u8; HEADER_LEN + payload.len()];
+        buf[HEADER_LEN..].copy_from_slice(payload);
+        let mut seg = TcpSegment::new_unchecked(&mut buf[..]);
+        repr.emit(&mut seg, SRC, DST);
+        buf
+    }
+
+    #[test]
+    fn emit_parse_round_trip() {
+        let buf = sample(b"bulk data");
+        let seg = TcpSegment::new_checked(&buf[..]).unwrap();
+        let repr = TcpRepr::parse(&seg, SRC, DST).unwrap();
+        assert_eq!(repr.src_port, 45000);
+        assert_eq!(repr.dst_port, 5201);
+        assert_eq!(repr.seq, 0x1000_0000);
+        assert_eq!(repr.flags, flags::ACK | flags::PSH);
+        assert_eq!(repr.payload_len, 9);
+        assert_eq!(seg.payload(), b"bulk data");
+    }
+
+    #[test]
+    fn checksum_binds_payload_and_addresses() {
+        let mut buf = sample(b"abcd");
+        {
+            let seg = TcpSegment::new_checked(&buf[..]).unwrap();
+            assert!(seg.verify_checksum(SRC, DST));
+            assert!(!seg.verify_checksum(SRC ^ 1, DST));
+        }
+        buf[HEADER_LEN] ^= 0xff; // corrupt payload
+        let seg = TcpSegment::new_checked(&buf[..]).unwrap();
+        assert!(!seg.verify_checksum(SRC, DST));
+        assert!(TcpRepr::parse(&seg, SRC, DST).is_err());
+    }
+
+    #[test]
+    fn checked_rejects_bad_data_offset() {
+        let mut buf = sample(b"");
+        buf[12] = 0x20; // data offset 8 bytes < 20
+        assert!(TcpSegment::new_checked(&buf[..]).is_err());
+        let mut buf2 = sample(b"");
+        buf2[12] = 0xf0; // 60 bytes > buffer
+        assert!(TcpSegment::new_checked(&buf2[..]).is_err());
+    }
+
+    #[test]
+    fn checked_rejects_truncated() {
+        assert!(TcpSegment::new_checked(&[0u8; 19][..]).is_err());
+    }
+
+    #[test]
+    fn options_skipped_in_payload() {
+        // Hand-build a segment with a 24-byte header (one 4-byte option).
+        let mut buf = vec![0u8; 24 + 3];
+        {
+            let mut seg = TcpSegment::new_unchecked(&mut buf[..]);
+            seg.set_src_port(1);
+            seg.set_dst_port(2);
+            seg.set_header_len(24);
+        }
+        buf[24..].copy_from_slice(b"xyz");
+        let mut seg = TcpSegment::new_unchecked(&mut buf[..]);
+        seg.fill_checksum(SRC, DST);
+        let seg = TcpSegment::new_checked(&buf[..]).unwrap();
+        assert_eq!(seg.header_len(), 24);
+        assert_eq!(seg.payload(), b"xyz");
+        assert!(seg.verify_checksum(SRC, DST));
+    }
+
+    #[test]
+    fn flag_helpers() {
+        let buf = sample(b"");
+        let seg = TcpSegment::new_checked(&buf[..]).unwrap();
+        assert_ne!(seg.flags() & flags::ACK, 0);
+        assert_eq!(seg.flags() & flags::SYN, 0);
+    }
+}

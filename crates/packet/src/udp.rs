@@ -1,0 +1,254 @@
+//! UDP datagrams.
+
+use pi_core::CoreError;
+
+use crate::checksum;
+
+mod field {
+    use core::ops::Range;
+    pub const SRC_PORT: Range<usize> = 0..2;
+    pub const DST_PORT: Range<usize> = 2..4;
+    pub const LENGTH: Range<usize> = 4..6;
+    pub const CHECKSUM: Range<usize> = 6..8;
+    pub const PAYLOAD: usize = 8;
+}
+
+/// Length of a UDP header.
+pub const HEADER_LEN: usize = field::PAYLOAD;
+
+/// A typed view over a buffer containing a UDP datagram.
+#[derive(Debug, Clone)]
+pub struct UdpDatagram<T: AsRef<[u8]>> {
+    buffer: T,
+}
+
+impl<T: AsRef<[u8]>> UdpDatagram<T> {
+    /// Wraps a buffer without validation.
+    pub const fn new_unchecked(buffer: T) -> Self {
+        UdpDatagram { buffer }
+    }
+
+    /// Wraps a buffer, validating the header and length field.
+    pub fn new_checked(buffer: T) -> pi_core::Result<Self> {
+        let got = buffer.as_ref().len();
+        if got < HEADER_LEN {
+            return Err(CoreError::Truncated {
+                what: "udp header",
+                needed: HEADER_LEN,
+                got,
+            });
+        }
+        let dgram = UdpDatagram { buffer };
+        let len = dgram.length() as usize;
+        if len < HEADER_LEN || len > dgram.buffer.as_ref().len() {
+            return Err(CoreError::Malformed("udp length"));
+        }
+        Ok(dgram)
+    }
+
+    /// Consumes the view, returning the underlying buffer.
+    pub fn into_inner(self) -> T {
+        self.buffer
+    }
+
+    /// Source port.
+    pub fn src_port(&self) -> u16 {
+        let b = self.buffer.as_ref();
+        u16::from_be_bytes([b[0], b[1]])
+    }
+
+    /// Destination port.
+    pub fn dst_port(&self) -> u16 {
+        let b = self.buffer.as_ref();
+        u16::from_be_bytes([b[2], b[3]])
+    }
+
+    /// Datagram length (header + payload).
+    pub fn length(&self) -> u16 {
+        let b = self.buffer.as_ref();
+        u16::from_be_bytes([b[4], b[5]])
+    }
+
+    /// Checksum field.
+    pub fn checksum_field(&self) -> u16 {
+        let b = self.buffer.as_ref();
+        u16::from_be_bytes([b[6], b[7]])
+    }
+
+    /// Payload (respects the length field).
+    pub fn payload(&self) -> &[u8] {
+        let len = (self.length() as usize).min(self.buffer.as_ref().len());
+        &self.buffer.as_ref()[HEADER_LEN..len]
+    }
+
+    /// Verifies the checksum against an IPv4 pseudo-header (src/dst in
+    /// host order). A zero checksum means "not computed" and passes, per
+    /// RFC 768.
+    pub fn verify_checksum(&self, src: u32, dst: u32) -> bool {
+        if self.checksum_field() == 0 {
+            return true;
+        }
+        let len = self.length();
+        let data = &self.buffer.as_ref()[..len as usize];
+        checksum::verify(data, checksum::pseudo_header_sum(src, dst, 17, len))
+    }
+}
+
+impl<T: AsRef<[u8]> + AsMut<[u8]>> UdpDatagram<T> {
+    /// Sets the source port.
+    pub fn set_src_port(&mut self, port: u16) {
+        self.buffer.as_mut()[field::SRC_PORT].copy_from_slice(&port.to_be_bytes());
+    }
+
+    /// Sets the destination port.
+    pub fn set_dst_port(&mut self, port: u16) {
+        self.buffer.as_mut()[field::DST_PORT].copy_from_slice(&port.to_be_bytes());
+    }
+
+    /// Sets the length field.
+    pub fn set_length(&mut self, len: u16) {
+        self.buffer.as_mut()[field::LENGTH].copy_from_slice(&len.to_be_bytes());
+    }
+
+    /// Computes and stores the checksum over the given pseudo-header.
+    pub fn fill_checksum(&mut self, src: u32, dst: u32) {
+        self.buffer.as_mut()[field::CHECKSUM].copy_from_slice(&[0, 0]);
+        let len = self.length();
+        let pseudo = checksum::pseudo_header_sum(src, dst, 17, len);
+        let data = &self.buffer.as_ref()[..len as usize];
+        let mut c = !checksum::fold(checksum::sum(data) + pseudo);
+        if c == 0 {
+            c = 0xffff; // RFC 768: transmitted zero means "no checksum"
+        }
+        self.buffer.as_mut()[field::CHECKSUM].copy_from_slice(&c.to_be_bytes());
+    }
+
+    /// Mutable payload.
+    pub fn payload_mut(&mut self) -> &mut [u8] {
+        let len = (self.length() as usize).min(self.buffer.as_ref().len());
+        &mut self.buffer.as_mut()[HEADER_LEN..len]
+    }
+}
+
+/// A parsed, plain-old-data representation of a UDP header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UdpRepr {
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// Payload length in bytes.
+    pub payload_len: usize,
+}
+
+impl UdpRepr {
+    /// Parses a datagram view, verifying its checksum against the
+    /// pseudo-header.
+    pub fn parse<T: AsRef<[u8]>>(
+        dgram: &UdpDatagram<T>,
+        src: u32,
+        dst: u32,
+    ) -> pi_core::Result<Self> {
+        if !dgram.verify_checksum(src, dst) {
+            return Err(CoreError::Malformed("udp checksum"));
+        }
+        Ok(UdpRepr {
+            src_port: dgram.src_port(),
+            dst_port: dgram.dst_port(),
+            payload_len: dgram.length() as usize - HEADER_LEN,
+        })
+    }
+
+    /// Header length emitted by this repr.
+    pub const fn header_len(&self) -> usize {
+        HEADER_LEN
+    }
+
+    /// Writes the header and checksum into a datagram view.
+    pub fn emit<T: AsRef<[u8]> + AsMut<[u8]>>(
+        &self,
+        dgram: &mut UdpDatagram<T>,
+        src: u32,
+        dst: u32,
+    ) {
+        dgram.set_src_port(self.src_port);
+        dgram.set_dst_port(self.dst_port);
+        dgram.set_length((HEADER_LEN + self.payload_len) as u16);
+        dgram.fill_checksum(src, dst);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: u32 = 0x0a00_0001;
+    const DST: u32 = 0x0a00_0002;
+
+    fn sample(payload: &[u8]) -> Vec<u8> {
+        let repr = UdpRepr {
+            src_port: 4242,
+            dst_port: 53,
+            payload_len: payload.len(),
+        };
+        let mut buf = vec![0u8; HEADER_LEN + payload.len()];
+        buf[HEADER_LEN..].copy_from_slice(payload);
+        let mut dgram = UdpDatagram::new_unchecked(&mut buf[..]);
+        repr.emit(&mut dgram, SRC, DST);
+        buf
+    }
+
+    #[test]
+    fn emit_parse_round_trip() {
+        let buf = sample(b"query");
+        let dgram = UdpDatagram::new_checked(&buf[..]).unwrap();
+        let repr = UdpRepr::parse(&dgram, SRC, DST).unwrap();
+        assert_eq!(repr.src_port, 4242);
+        assert_eq!(repr.dst_port, 53);
+        assert_eq!(repr.payload_len, 5);
+        assert_eq!(dgram.payload(), b"query");
+    }
+
+    #[test]
+    fn checksum_binds_addresses() {
+        let buf = sample(b"data");
+        let dgram = UdpDatagram::new_checked(&buf[..]).unwrap();
+        assert!(dgram.verify_checksum(SRC, DST));
+        assert!(!dgram.verify_checksum(SRC, DST + 1));
+        assert!(UdpRepr::parse(&dgram, SRC + 5, DST).is_err());
+    }
+
+    #[test]
+    fn zero_checksum_accepted() {
+        let mut buf = sample(b"x");
+        buf[6] = 0;
+        buf[7] = 0;
+        let dgram = UdpDatagram::new_checked(&buf[..]).unwrap();
+        assert!(dgram.verify_checksum(SRC, DST));
+    }
+
+    #[test]
+    fn checked_rejects_bad_length_field() {
+        let mut buf = sample(b"abc");
+        buf[4] = 0xff;
+        buf[5] = 0xff; // length 65535 > buffer
+        assert!(UdpDatagram::new_checked(&buf[..]).is_err());
+        let mut buf2 = sample(b"abc");
+        buf2[4] = 0;
+        buf2[5] = 4; // length 4 < header
+        assert!(UdpDatagram::new_checked(&buf2[..]).is_err());
+    }
+
+    #[test]
+    fn checked_rejects_truncated() {
+        assert!(UdpDatagram::new_checked(&[0u8; 7][..]).is_err());
+    }
+
+    #[test]
+    fn empty_payload_is_valid() {
+        let buf = sample(b"");
+        let dgram = UdpDatagram::new_checked(&buf[..]).unwrap();
+        assert_eq!(dgram.payload(), b"");
+        assert_eq!(UdpRepr::parse(&dgram, SRC, DST).unwrap().payload_len, 0);
+    }
+}

@@ -1,0 +1,75 @@
+//! Property test: build ∘ extract = identity over the key space the
+//! workspace models. This is what lets every higher layer treat FlowKey
+//! and wire bytes as interchangeable.
+
+use pi_core::{Field, FlowKey, MacAddr};
+use pi_packet::{extract_flow_key, PacketBuilder};
+use proptest::prelude::*;
+
+fn arb_tcp_udp_key() -> impl Strategy<Value = FlowKey> {
+    (
+        any::<bool>(), // tcp?
+        any::<u32>(),
+        any::<u32>(),
+        any::<u16>(),
+        any::<u16>(),
+        any::<u8>(),
+        1u8..=255, // ttl ≥ 1
+        any::<u32>(),
+        proptest::array::uniform6(any::<u8>()),
+        proptest::array::uniform6(any::<u8>()),
+    )
+        .prop_map(
+            |(tcp, ip_src, ip_dst, tp_src, tp_dst, tos, ttl, in_port, mac_s, mac_d)| {
+                let mut key = if tcp {
+                    FlowKey::tcp(
+                        std::net::Ipv4Addr::from(ip_src),
+                        std::net::Ipv4Addr::from(ip_dst),
+                        tp_src,
+                        tp_dst,
+                    )
+                } else {
+                    FlowKey::udp(
+                        std::net::Ipv4Addr::from(ip_src),
+                        std::net::Ipv4Addr::from(ip_dst),
+                        tp_src,
+                        tp_dst,
+                    )
+                };
+                key.ip_tos = tos;
+                key.ip_ttl = ttl;
+                key.in_port = in_port;
+                key.eth_src = MacAddr(mac_s);
+                key.eth_dst = MacAddr(mac_d);
+                key
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn build_extract_identity(key in arb_tcp_udp_key(), payload_len in 0usize..1400) {
+        let frame = PacketBuilder::new().payload_len(payload_len).build(&key).unwrap();
+        let parsed = extract_flow_key(&frame, key.in_port).unwrap();
+        prop_assert_eq!(parsed, key);
+    }
+
+    #[test]
+    fn built_frames_never_undersized(key in arb_tcp_udp_key()) {
+        let frame = PacketBuilder::new().build(&key).unwrap();
+        prop_assert!(frame.len() >= pi_packet::ETHERNET_MIN_FRAME_LEN);
+    }
+
+    #[test]
+    fn key_field_view_consistent_after_round_trip(key in arb_tcp_udp_key()) {
+        let frame = PacketBuilder::new().build(&key).unwrap();
+        let parsed = extract_flow_key(&frame, key.in_port).unwrap();
+        for f in pi_core::ALL_FIELDS {
+            prop_assert_eq!(parsed.field(f), key.field(f), "field {} differs", f);
+        }
+        // The TOS byte is the one the generators mutate for covert marking.
+        prop_assert_eq!(parsed.field(Field::IpTos), key.ip_tos as u64);
+    }
+}

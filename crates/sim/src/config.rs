@@ -1,0 +1,79 @@
+//! Simulation parameters.
+
+use pi_core::SimTime;
+
+/// Global knobs of a simulation run.
+///
+/// The defaults model the paper's demo environment: a software switch
+/// driven by one effective datapath core, a 1 Gb/s fabric, millisecond
+/// scheduling granularity, per-second reporting (Fig. 3's sampling).
+#[derive(Debug, Clone, Copy)]
+pub struct SimConfig {
+    /// Scheduling quantum. Packets generated within a tick are processed
+    /// within that tick's budget.
+    pub tick: SimTime,
+    /// Total simulated time.
+    pub duration: SimTime,
+    /// Datapath CPU budget per node, cycles/second. Default models a
+    /// single ~1.2 GHz-effective softirq core — the resource the attack
+    /// exhausts.
+    pub cpu_cycles_per_sec: u64,
+    /// Ingress queue capacity per node, packets (NIC ring + backlog).
+    pub queue_capacity: usize,
+    /// Fabric link rate between nodes, bits/second.
+    pub link_bps: f64,
+    /// Reporting interval for the time series.
+    pub sample_interval: SimTime,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            tick: SimTime::from_millis(1),
+            duration: SimTime::from_secs(150),
+            cpu_cycles_per_sec: 1_200_000_000,
+            queue_capacity: 8_192,
+            link_bps: 1e9,
+            sample_interval: SimTime::from_secs(1),
+        }
+    }
+}
+
+impl SimConfig {
+    /// Cycles available per tick.
+    pub fn cycles_per_tick(&self) -> u64 {
+        (self.cpu_cycles_per_sec as f64 * self.tick.as_secs_f64()).round() as u64
+    }
+
+    /// Link bytes available per tick.
+    pub fn link_bytes_per_tick(&self) -> f64 {
+        self.link_bps / 8.0 * self.tick.as_secs_f64()
+    }
+
+    /// Number of whole ticks in the run.
+    pub fn tick_count(&self) -> u64 {
+        self.duration.as_nanos() / self.tick.as_nanos()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_quantities() {
+        let c = SimConfig::default();
+        assert_eq!(c.cycles_per_tick(), 1_200_000);
+        assert_eq!(c.link_bytes_per_tick(), 125_000.0);
+        assert_eq!(c.tick_count(), 150_000);
+    }
+
+    #[test]
+    fn short_run_tick_count() {
+        let c = SimConfig {
+            duration: SimTime::from_millis(10),
+            ..Default::default()
+        };
+        assert_eq!(c.tick_count(), 10);
+    }
+}

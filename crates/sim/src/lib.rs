@@ -1,0 +1,27 @@
+//! # pi-sim — the discrete-time cloud dataplane simulator
+//!
+//! Reproduces the paper's testbed (Fig. 1) in simulation: server nodes
+//! running an OVS-like [`pi_datapath::VSwitch`], pods attached to vports,
+//! a fabric link between nodes, and traffic sources feeding the whole
+//! thing tick by tick.
+//!
+//! The one modelling rule: **throughput is never scripted**. Each switch
+//! has a CPU cycle budget per tick; every packet costs what the datapath
+//! says it costs (hash probes × cycle prices); packets the budget cannot
+//! cover queue up and eventually drop. When the covert stream inflates
+//! the subtable walk, the victim's throughput collapses because the
+//! arithmetic says so.
+//!
+//! [`scenario`] packages the paper's experiments; [`engine`] is the
+//! general tick loop usable for new ones.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod engine;
+pub mod scenario;
+
+pub use config::SimConfig;
+pub use engine::{SimBuilder, SimReport, Simulation, SourceTotals, UPLINK_VPORT};
+pub use scenario::{fig3_scenario, measure_capacity, CapacityReport, Fig3Params};

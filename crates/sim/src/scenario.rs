@@ -1,0 +1,275 @@
+//! Pre-built scenarios for the paper's experiments.
+
+use pi_attack::{AttackSchedule, AttackSpec, CovertSequence};
+use pi_cms::{Cidr, IngressRule, NetworkPolicy, PolicyCompiler, Protocol};
+use pi_core::{FlowKey, SimTime};
+use pi_datapath::{DpConfig, VSwitch};
+use pi_traffic::{IperfSource, PoissonFlowSource};
+
+use crate::engine::{SimBuilder, Simulation};
+use crate::SimConfig;
+
+/// Parameters of the Fig. 3 reproduction (and its variants).
+#[derive(Debug, Clone)]
+pub struct Fig3Params {
+    /// Run length (paper: 150 s).
+    pub duration: SimTime,
+    /// Covert stream start (paper: 60 s).
+    pub attack_start: SimTime,
+    /// Covert budget (paper: 1–2 Mb/s).
+    pub attack_bandwidth_bps: f64,
+    /// The injected policy (default: the 8192-mask Calico shape).
+    pub spec: AttackSpec,
+    /// Victim link-limited rate (paper: ~1 Gb/s iperf).
+    pub victim_rate_bps: f64,
+    /// Per-node datapath CPU budget.
+    pub cpu_cycles_per_sec: u64,
+    /// Datapath configuration for both nodes.
+    pub dp: DpConfig,
+    /// Whether to add background pod-to-pod chatter.
+    pub background: bool,
+    /// Seed for the background workload.
+    pub seed: u64,
+}
+
+impl Default for Fig3Params {
+    fn default() -> Self {
+        Fig3Params {
+            duration: SimTime::from_secs(150),
+            attack_start: SimTime::from_secs(60),
+            attack_bandwidth_bps: 2e6,
+            spec: AttackSpec::masks_8192(),
+            victim_rate_bps: 1e9,
+            cpu_cycles_per_sec: SimConfig::default().cpu_cycles_per_sec,
+            dp: DpConfig::default(),
+            background: true,
+            seed: 2018,
+        }
+    }
+}
+
+/// Source/node indices of the built scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fig3Handles {
+    /// Index of the victim iperf source in the report vectors.
+    pub victim_source: usize,
+    /// Index of the attack source.
+    pub attack_source: usize,
+    /// Index of the background source, when enabled.
+    pub background_source: Option<usize>,
+    /// Node whose switch the attack saturates (the server node).
+    pub attacked_node: usize,
+}
+
+/// Builds the paper's demo topology (Fig. 1): a client node and a server
+/// node. The server node hosts the victim's service pod (with the
+/// victim's own legitimate NetworkPolicy), the attacker's pod (with the
+/// injected ACL), and a background pod; the client node originates the
+/// victim's iperf, the covert stream, and background chatter.
+pub fn fig3_scenario(params: &Fig3Params) -> (Simulation, Fig3Handles) {
+    let cfg = SimConfig {
+        duration: params.duration,
+        cpu_cycles_per_sec: params.cpu_cycles_per_sec,
+        ..SimConfig::default()
+    };
+    let mut b = SimBuilder::new(cfg);
+    let client_node = b.add_node(params.dp.clone());
+    let server_node = b.add_node(params.dp.clone());
+
+    let victim_client_ip = u32::from_be_bytes([10, 0, 0, 10]);
+    let victim_server_ip = u32::from_be_bytes([10, 1, 0, 10]);
+    let attacker_pod_ip = u32::from_be_bytes([10, 1, 0, 66]);
+    let background_ip = u32::from_be_bytes([10, 1, 0, 20]);
+
+    b.add_pod(client_node, victim_client_ip);
+    b.add_pod(server_node, victim_server_ip);
+    b.add_pod(server_node, attacker_pod_ip);
+    b.add_pod(server_node, background_ip);
+
+    // The victim's own, perfectly legitimate microsegmentation: allow
+    // cluster traffic (10/8) to the iperf port.
+    let victim_policy = NetworkPolicy {
+        name: "victim-iperf".into(),
+        ingress: vec![IngressRule {
+            from: vec![Cidr::new(u32::from_be_bytes([10, 0, 0, 0]), 8).unwrap()],
+            ports: vec![(Protocol::Tcp, Some(5201))],
+        }],
+    };
+    b.install_acl(victim_server_ip, PolicyCompiler.compile_k8s(&victim_policy));
+
+    // The injected ACL at the attacker's own pod.
+    let attack_table = match params.spec.build_policy() {
+        pi_attack::MaliciousAcl::K8s(p) => PolicyCompiler.compile_k8s(&p),
+        pi_attack::MaliciousAcl::OpenStack(p) => PolicyCompiler.compile_security_group(&p),
+        pi_attack::MaliciousAcl::Calico(p) => PolicyCompiler.compile_calico(&p),
+    };
+    b.install_acl(attacker_pod_ip, attack_table);
+
+    // Victim iperf: client → server pod.
+    let victim_key = FlowKey::tcp(
+        std::net::Ipv4Addr::from(victim_client_ip),
+        std::net::Ipv4Addr::from(victim_server_ip),
+        40_000,
+        5201,
+    );
+    let victim_source = b.add_source(
+        client_node,
+        Box::new(IperfSource::new(victim_key, 1500, params.victim_rate_bps).named("victim")),
+    );
+
+    // The covert stream, from the attacker's client-side pod.
+    let target = params.spec.build_target(attacker_pod_ip);
+    let attack_source = b.add_source(
+        client_node,
+        Box::new(AttackSchedule::new(
+            CovertSequence::new(target),
+            params.attack_bandwidth_bps,
+            params.attack_start,
+        )),
+    );
+
+    // Background chatter to the unprotected pod.
+    let background_source = params.background.then(|| {
+        b.add_source(
+            client_node,
+            Box::new(
+                PoissonFlowSource::new(
+                    (0..16u32)
+                        .map(|i| (u32::from_be_bytes([10, 0, 1, i as u8]), background_ip))
+                        .collect(),
+                    20.0,
+                    30.0,
+                    200.0,
+                    200,
+                    params.seed,
+                )
+                .named("background"),
+            ),
+        )
+    });
+
+    (
+        b.build(),
+        Fig3Handles {
+            victim_source,
+            attack_source,
+            background_source,
+            attacked_node: server_node,
+        },
+    )
+}
+
+/// Peak-capacity measurement (E3/E4): how many packets/second one
+/// datapath core sustains as a function of the injected mask count.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CapacityReport {
+    /// Megaflow masks present during the measurement.
+    pub masks: usize,
+    /// Mean cycles per packet of the probe workload.
+    pub avg_cycles: f64,
+    /// Sustainable packets/second at the configured CPU budget.
+    pub capacity_pps: f64,
+}
+
+impl CapacityReport {
+    /// Capacity expressed as Gb/s of MTU-sized frames.
+    pub fn capacity_gbps(&self, frame_bytes: usize) -> f64 {
+        self.capacity_pps * frame_bytes as f64 * 8.0 / 1e9
+    }
+}
+
+/// Measures fast-path capacity before and after populating the masks of
+/// `spec`, using the same EMC-missing probe workload for both (unique
+/// covert "scan" packets). Returns `(baseline, attacked)`.
+pub fn measure_capacity(
+    dp: DpConfig,
+    cpu_cycles_per_sec: u64,
+    spec: &AttackSpec,
+    samples: u64,
+) -> (CapacityReport, CapacityReport) {
+    let attacker_pod_ip = u32::from_be_bytes([10, 1, 0, 66]);
+    let seq = CovertSequence::new(spec.build_target(attacker_pod_ip));
+
+    // Subtable walk order is creation order, so baseline and attacked
+    // states must be built the way the attack builds them: a fresh
+    // switch each, with the populate pass (which creates the scan
+    // stream's full mask *last*) run only on the attacked one.
+    let build_switch = || {
+        let mut sw = VSwitch::new(dp.clone());
+        sw.attach_pod(attacker_pod_ip, 1);
+        let table = match spec.build_policy() {
+            pi_attack::MaliciousAcl::K8s(p) => PolicyCompiler.compile_k8s(&p),
+            pi_attack::MaliciousAcl::OpenStack(p) => PolicyCompiler.compile_security_group(&p),
+            pi_attack::MaliciousAcl::Calico(p) => PolicyCompiler.compile_calico(&p),
+        };
+        sw.install_acl(attacker_pod_ip, table);
+        sw
+    };
+    let measure = |sw: &mut VSwitch| -> CapacityReport {
+        // Warm the scan megaflow so the measurement is pure fast path.
+        sw.process(&seq.scan_packet(0), SimTime::from_secs(1));
+        let before = sw.stats();
+        for n in 0..samples {
+            sw.process(&seq.scan_packet(1 + n), SimTime::from_secs(1));
+        }
+        let after = sw.stats();
+        let avg = (after.cycles - before.cycles) as f64 / samples as f64;
+        CapacityReport {
+            masks: sw.mask_count(),
+            avg_cycles: avg,
+            capacity_pps: cpu_cycles_per_sec as f64 / avg,
+        }
+    };
+
+    let mut baseline_sw = build_switch();
+    let baseline = measure(&mut baseline_sw);
+
+    let mut attacked_sw = build_switch();
+    for (i, pkt) in seq.populate_packets().enumerate() {
+        attacked_sw.process(&pkt, SimTime::from_secs(2) + SimTime::from_millis(i as u64));
+    }
+    let attacked = measure(&mut attacked_sw);
+    (baseline, attacked)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pi_cms::PolicyDialect;
+
+    #[test]
+    fn capacity_collapses_with_masks() {
+        let spec = AttackSpec::masks_512(PolicyDialect::Kubernetes);
+        let (base, attacked) =
+            measure_capacity(DpConfig::default(), 1_200_000_000, &spec, 2_000);
+        assert!(base.masks <= 2, "baseline masks = {}", base.masks);
+        // The baseline scan's full-exact mask is itself one of the 512,
+        // so populate adds exactly the remaining 511.
+        assert_eq!(attacked.masks, 512);
+        let ratio = attacked.capacity_pps / base.capacity_pps;
+        assert!(
+            ratio < 0.05,
+            "512 masks must slash capacity: ratio = {ratio:.4} \
+             (base {:.0} pps, attacked {:.0} pps)",
+            base.capacity_pps,
+            attacked.capacity_pps
+        );
+    }
+
+    #[test]
+    fn short_fig3_smoke() {
+        // A 3-second slice of the scenario builds and runs.
+        let params = Fig3Params {
+            duration: SimTime::from_secs(3),
+            attack_start: SimTime::from_secs(1),
+            ..Default::default()
+        };
+        let (sim, handles) = fig3_scenario(&params);
+        let report = sim.run();
+        assert_eq!(report.throughput_bps.len(), 3);
+        assert!(report.source_totals[handles.victim_source].delivered > 0);
+        // Attack started at 1 s: masks on the server node must explode.
+        let masks = report.masks[handles.attacked_node].last().unwrap().1;
+        assert!(masks > 4_000.0, "masks = {masks}");
+    }
+}

@@ -1,0 +1,28 @@
+//! # pi-traffic — workload generation
+//!
+//! Deterministic, seeded packet sources for the simulator:
+//!
+//! * [`CbrSource`] — constant-rate packets of one flow (probe traffic,
+//!   covert refresh streams).
+//! * [`IperfSource`] — the paper's victim: a bulk TCP transfer with an
+//!   AIMD congestion response, so sustained loss collapses its rate the
+//!   way a real iperf session would (Fig. 3's victim line).
+//! * [`PoissonFlowSource`] — background pod-to-pod chatter: flow
+//!   arrivals are Poisson, each flow sends a bounded burst. Keeps the
+//!   caches honest in scenarios.
+//!
+//! Every source implements [`TrafficSource`]: the simulator asks for the
+//! packets of each tick interval and feeds delivery/drop counts back.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cbr;
+pub mod iperf;
+pub mod poisson;
+pub mod source;
+
+pub use cbr::CbrSource;
+pub use iperf::IperfSource;
+pub use poisson::PoissonFlowSource;
+pub use source::{GenPacket, TrafficSource};

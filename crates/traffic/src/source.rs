@@ -1,0 +1,53 @@
+//! The traffic-source abstraction.
+
+use pi_core::{FlowKey, SimTime};
+
+/// One generated packet: a flow key plus its on-wire size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GenPacket {
+    /// Parsed header tuple (what the switch classifies on).
+    pub key: FlowKey,
+    /// Frame size in bytes (what throughput is measured in).
+    pub bytes: usize,
+}
+
+/// A source of packets driven by the simulation clock.
+///
+/// The simulator calls [`TrafficSource::generate`] once per tick with
+/// the half-open interval `[from, to)` and later reports what happened
+/// to the emitted packets via [`TrafficSource::feedback`] — the hook
+/// loss-responsive sources (TCP-like) use to adapt.
+pub trait TrafficSource {
+    /// Appends every packet this source emits in `[from, to)` to `out`.
+    fn generate(&mut self, from: SimTime, to: SimTime, out: &mut Vec<GenPacket>);
+
+    /// Delivery report for the packets this source emitted during the
+    /// last tick: `delivered` reached their destination, `dropped` were
+    /// lost (policy drops are not reported here — only capacity loss).
+    fn feedback(&mut self, _delivered: u64, _dropped: u64) {}
+
+    /// A short label for reporting.
+    fn label(&self) -> &str {
+        "source"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Null;
+    impl TrafficSource for Null {
+        fn generate(&mut self, _: SimTime, _: SimTime, _: &mut Vec<GenPacket>) {}
+    }
+
+    #[test]
+    fn default_hooks_are_noops() {
+        let mut n = Null;
+        n.feedback(5, 5);
+        assert_eq!(n.label(), "source");
+        let mut v = Vec::new();
+        n.generate(SimTime::ZERO, SimTime::from_secs(1), &mut v);
+        assert!(v.is_empty());
+    }
+}

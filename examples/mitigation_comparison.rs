@@ -1,0 +1,94 @@
+//! Defenses side by side against the same 512-mask injection:
+//! baseline / staged lookup / hit sorting / admission budget /
+//! cache-less compiled datapath.
+//!
+//! ```sh
+//! cargo run --release --example mitigation_comparison
+//! ```
+
+use pi_mitigation::{hit_sort_config, staged_config, CachelessSwitch, CompiledAcl};
+use policy_injection::prelude::*;
+
+const CPU: u64 = 1_200_000_000;
+const TRIE_FIELDS: [Field; 4] = [Field::IpSrc, Field::IpDst, Field::TpSrc, Field::TpDst];
+
+fn compile(spec: &AttackSpec) -> FlowTable {
+    match spec.build_policy() {
+        MaliciousAcl::K8s(p) => PolicyCompiler.compile_k8s(&p),
+        MaliciousAcl::OpenStack(p) => PolicyCompiler.compile_security_group(&p),
+        MaliciousAcl::Calico(p) => PolicyCompiler.compile_calico(&p),
+    }
+}
+
+fn main() {
+    let spec = AttackSpec::masks_512(PolicyDialect::Kubernetes);
+    let mut out = CsvTable::new(&["defense", "masks", "attacked_capacity_pps", "vs_undefended"]);
+
+    // Undefended baseline.
+    let (_, undefended) = measure_capacity(DpConfig::default(), CPU, &spec, 1_000);
+    out.push_row(&[
+        "none".into(),
+        undefended.masks.to_string(),
+        format!("{:.0}", undefended.capacity_pps),
+        "1.00x".into(),
+    ]);
+
+    // Staged lookup: cheaper failing probes, same walk length.
+    let (_, staged) = measure_capacity(staged_config(DpConfig::default()), CPU, &spec, 1_000);
+    out.push_row(&[
+        "staged lookup".into(),
+        staged.masks.to_string(),
+        format!("{:.0}", staged.capacity_pps),
+        format!("{:.2}x", staged.capacity_pps / undefended.capacity_pps),
+    ]);
+
+    // Hit-count sorting: the probe traffic itself is the hottest thing
+    // here, so the scan subtable floats forward — good for the attacker
+    // 's own flow, and for any hot victim; the covert *miss* path is
+    // unaffected. Capacity probes measure the hot-flow case.
+    let (_, sorted) = measure_capacity(hit_sort_config(DpConfig::default()), CPU, &spec, 5_000);
+    out.push_row(&[
+        "hit-count sorting".into(),
+        sorted.masks.to_string(),
+        format!("{:.0}", sorted.capacity_pps),
+        format!("{:.2}x", sorted.capacity_pps / undefended.capacity_pps),
+    ]);
+
+    // Admission budget: the policy never gets installed.
+    let decision = MaskBudget::default().check(&compile(&spec), &TRIE_FIELDS);
+    out.push_row(&[
+        "mask budget (admission)".into(),
+        "n/a".into(),
+        "policy rejected".into(),
+        format!("{decision:?}"),
+    ]);
+
+    // Cache-less compiled datapath: cost bounded by the policy.
+    let mut cacheless = CachelessSwitch::new();
+    let pod_ip = 0x0a01_0042;
+    cacheless.attach_pod(pod_ip, 1, CompiledAcl::compile(&compile(&spec), Action::Deny));
+    let seq = CovertSequence::new(spec.build_target(pod_ip));
+    for p in seq.populate_packets() {
+        cacheless.process(&p);
+    }
+    let (p0, c0) = cacheless.totals();
+    for n in 0..10_000 {
+        cacheless.process(&seq.scan_packet(n));
+    }
+    let (p1, c1) = cacheless.totals();
+    let avg = (c1 - c0) as f64 / (p1 - p0) as f64;
+    let pps = CPU as f64 / avg;
+    out.push_row(&[
+        "cache-less compiled".into(),
+        "0".into(),
+        format!("{pps:.0}"),
+        format!("{:.0}x", pps / undefended.capacity_pps),
+    ]);
+
+    println!("defenses vs the 512-mask K8s injection (probe workload = covert scans):\n");
+    println!("{}", out.to_aligned_text());
+    println!(
+        "reading: heuristics attenuate constants; admission and compilation\n\
+         remove the attack surface — the trade-offs §2's demo discussion names."
+    );
+}

@@ -1,0 +1,74 @@
+//! Quickstart: inject the paper's ACL, feed it the covert sequence, and
+//! watch the megaflow cache degenerate — on a single switch, no
+//! simulator.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use policy_injection::prelude::*;
+
+fn main() {
+    // ── The cloud, as the CMS sees it ────────────────────────────────
+    let mut cloud = Cloud::new();
+    let attacker = cloud.add_tenant();
+    let node = cloud.add_node();
+    let pod = cloud.add_pod(attacker, node);
+    let pod_ip = cloud.pod(pod).unwrap().ip;
+
+    // ── Step 1: the "seemingly harmless" policy (paper §2) ───────────
+    // Allow one backup host to reach one service port. Any reviewer
+    // would approve it.
+    let spec = AttackSpec::masks_512(PolicyDialect::Kubernetes);
+    let acl = spec.build_policy();
+    let compiled = acl.apply(&cloud, attacker, pod).expect("CMS accepts it");
+    println!("policy accepted by the CMS: {} rules", compiled.table.len());
+    println!(
+        "predicted megaflow masks: {} (32 ip-prefix lengths × 16 port-prefix lengths)",
+        spec.predicted_masks()
+    );
+
+    // ── Step 2: install at the hypervisor switch ─────────────────────
+    let mut switch = VSwitch::new(DpConfig::default());
+    switch.attach_pod(pod_ip, compiled.vport);
+    switch.install_acl(pod_ip, compiled.table);
+
+    // ── Step 3: the adversarial packet sequence ──────────────────────
+    let seq = CovertSequence::new(spec.build_target(pod_ip));
+    println!(
+        "covert populate pass: {} packets (~{:.1} s at 2 Mb/s of 64-byte frames)",
+        seq.packet_count(),
+        seq.packet_count() as f64 / 3906.0
+    );
+    let mut now = SimTime::from_millis(1);
+    for pkt in seq.populate_packets() {
+        switch.process(&pkt, now);
+        now += SimTime::from_micros(256); // ≈ 3 906 pps
+    }
+    println!(
+        "megaflow cache after the pass: {} masks, {} entries",
+        switch.mask_count(),
+        switch.megaflow_count()
+    );
+
+    // ── Step 4: what the cache walk now costs ────────────────────────
+    let victim_like = switch.process(&seq.scan_packet(1), now);
+    println!(
+        "one fast-path lookup now probes {} subtables ({} cycles vs ~120 before)",
+        victim_like.path.probes(),
+        victim_like.cycles
+    );
+
+    // ── Step 5: would the defender have caught it? ───────────────────
+    let offenders = pi_mitigation::detect_offenders(&switch, 256);
+    for o in &offenders {
+        println!(
+            "attribution: pod {} carries {} masks over {} entries — evict its ACL",
+            std::net::Ipv4Addr::from(o.ip_dst),
+            o.masks,
+            o.entries
+        );
+    }
+    assert_eq!(switch.mask_count() as u64, spec.predicted_masks());
+    println!("analytical model confirmed: {} masks", switch.mask_count());
+}

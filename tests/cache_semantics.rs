@@ -1,0 +1,160 @@
+//! Full-stack semantic equivalence: whatever path a packet takes
+//! through the switch — microflow hit, megaflow hit, upcall — the
+//! verdict must equal ground-truth linear classification of the
+//! destination pod's ACL. The caches accelerate; they never decide.
+//!
+//! This is the strongest property the reproduction rests on: the attack
+//! works *because* the cache must stay semantically transparent while
+//! being fed adversarial state.
+
+use policy_injection::prelude::*;
+use proptest::prelude::*;
+
+/// A small universe of pods with randomly shaped whitelist policies.
+#[derive(Debug, Clone)]
+struct Universe {
+    pods: Vec<(u32, FlowTable)>,
+}
+
+fn arb_universe() -> impl Strategy<Value = Universe> {
+    proptest::collection::vec(
+        (
+            1u32..5,                       // pod host suffix
+            proptest::collection::vec(
+                (any::<u32>(), 1u8..=32, proptest::option::of(1u16..1024)),
+                0..4,
+            ),
+        ),
+        1..4,
+    )
+    .prop_map(|pods| Universe {
+        pods: pods
+            .into_iter()
+            .enumerate()
+            .map(|(i, (suffix, allows))| {
+                let ip = u32::from_be_bytes([10, 1, i as u8, suffix as u8]);
+                let whitelist: Vec<MaskedKey> = allows
+                    .into_iter()
+                    .map(|(src, len, port)| {
+                        let mut key = FlowKey::tcp(
+                            std::net::Ipv4Addr::from(src),
+                            [0, 0, 0, 0],
+                            0,
+                            port.unwrap_or(0),
+                        );
+                        let mut mask = FlowMask::default().with_prefix(Field::IpSrc, len);
+                        if port.is_some() {
+                            mask = mask.with_exact(Field::TpDst);
+                        } else {
+                            key.tp_dst = 0;
+                        }
+                        MaskedKey::new(key, mask)
+                    })
+                    .collect();
+                (
+                    ip,
+                    pi_classifier::table::whitelist_with_default_deny(&whitelist),
+                )
+            })
+            .collect(),
+    })
+}
+
+fn arb_packets(universe: &Universe) -> impl Strategy<Value = Vec<FlowKey>> {
+    let dst_ips: Vec<u32> = universe.pods.iter().map(|(ip, _)| *ip).collect();
+    proptest::collection::vec(
+        (
+            any::<u32>(),
+            proptest::sample::select(dst_ips),
+            any::<u16>(),
+            proptest::sample::select(vec![80u16, 443, 999, 5201]),
+        )
+            .prop_map(|(src, dst, sport, dport)| {
+                FlowKey::tcp(
+                    std::net::Ipv4Addr::from(src),
+                    std::net::Ipv4Addr::from(dst),
+                    sport,
+                    dport,
+                )
+            }),
+        1..200,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Random pods, random ACLs, random packet mix — replayed twice so
+    /// most packets traverse every cache level — always the linear
+    /// verdict.
+    #[test]
+    fn switch_verdicts_equal_linear_classification(
+        universe in arb_universe(),
+        packets_seed in arb_universe().prop_flat_map(|u| arb_packets(&u).prop_map(move |p| (u.clone(), p)))
+    ) {
+        // Use the independently drawn universe+packets pair.
+        let (universe2, packets) = packets_seed;
+        let _ = universe;
+        let mut sw = VSwitch::new(DpConfig::default());
+        for (i, (ip, table)) in universe2.pods.iter().enumerate() {
+            sw.attach_pod(*ip, i as u32 + 1);
+            sw.install_acl(*ip, table.clone());
+        }
+        let ground_truth = |key: &FlowKey| -> Action {
+            match universe2.pods.iter().find(|(ip, _)| *ip == key.ip_dst) {
+                Some((_, table)) => LinearClassifier::new(table)
+                    .classify(key)
+                    .map(|r| r.action)
+                    .unwrap_or(Action::Deny),
+                None => Action::Deny,
+            }
+        };
+        let mut t = SimTime::from_millis(1);
+        for round in 0..3u8 {
+            for key in &packets {
+                let out = sw.process(key, t);
+                t += SimTime::from_micros(10);
+                let expected = ground_truth(key);
+                prop_assert_eq!(
+                    out.verdict, expected,
+                    "round {} path {:?} packet {}",
+                    round, out.path, key
+                );
+            }
+        }
+        // By the third replay, identical packets must be cache hits.
+        let mut hits = 0usize;
+        for key in &packets {
+            let out = sw.process(key, t);
+            if out.path.is_microflow() || out.path.is_megaflow() {
+                hits += 1;
+            }
+            prop_assert_eq!(out.verdict, ground_truth(key));
+        }
+        prop_assert_eq!(hits, packets.len(), "everything cached by now");
+    }
+
+    /// Cache eviction (revalidation) never changes verdicts either.
+    #[test]
+    fn verdicts_stable_across_revalidation(
+        pair in arb_universe().prop_flat_map(|u| arb_packets(&u).prop_map(move |p| (u.clone(), p)))
+    ) {
+        let (universe, packets) = pair;
+        let mut sw = VSwitch::new(DpConfig::default());
+        for (i, (ip, table)) in universe.pods.iter().enumerate() {
+            sw.attach_pod(*ip, i as u32 + 1);
+            sw.install_acl(*ip, table.clone());
+        }
+        let mut verdicts_before = Vec::new();
+        for key in &packets {
+            verdicts_before.push(sw.process(key, SimTime::from_millis(1)).verdict);
+        }
+        // Idle everything out.
+        sw.revalidate(SimTime::from_secs(30));
+        prop_assert_eq!(sw.megaflow_count(), 0);
+        for (key, before) in packets.iter().zip(verdicts_before) {
+            let after = sw.process(key, SimTime::from_secs(31)).verdict;
+            prop_assert_eq!(after, before);
+        }
+    }
+}

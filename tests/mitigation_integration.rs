@@ -1,0 +1,159 @@
+//! Cross-crate mitigation integration: the defender's tools applied to
+//! the exact artefacts the attacker produces, plus property tests
+//! pinning the compiled (cache-less) datapath against the linear
+//! reference over random policies.
+
+use pi_mitigation::{attribute_masks, CompiledAcl, MaskBudget};
+use policy_injection::prelude::*;
+use proptest::prelude::*;
+
+const TRIE_FIELDS: [Field; 4] = [Field::IpSrc, Field::IpDst, Field::TpSrc, Field::TpDst];
+
+fn compile(spec: &AttackSpec) -> FlowTable {
+    match spec.build_policy() {
+        MaliciousAcl::K8s(p) => PolicyCompiler.compile_k8s(&p),
+        MaliciousAcl::OpenStack(p) => PolicyCompiler.compile_security_group(&p),
+        MaliciousAcl::Calico(p) => PolicyCompiler.compile_calico(&p),
+    }
+}
+
+/// The admission pipeline a hardened CMS would run: compile → predict →
+/// reject. The attacker's specs fail; the Fig. 3 victim's policy passes.
+#[test]
+fn hardened_cms_filters_attack_policies_only() {
+    let budget = MaskBudget::default();
+    for spec in [
+        AttackSpec::masks_512(PolicyDialect::Kubernetes),
+        AttackSpec::masks_512(PolicyDialect::OpenStack),
+        AttackSpec::masks_8192(),
+    ] {
+        assert!(
+            !budget.check(&compile(&spec), &TRIE_FIELDS).admitted(),
+            "attack spec {spec:?} must be rejected"
+        );
+    }
+    let victim = NetworkPolicy {
+        name: "victim-iperf".into(),
+        ingress: vec![pi_cms::IngressRule {
+            from: vec!["10.0.0.0/8".parse().unwrap()],
+            ports: vec![(pi_cms::Protocol::Tcp, Some(5201))],
+        }],
+    };
+    assert!(budget
+        .check(&PolicyCompiler.compile_k8s(&victim), &TRIE_FIELDS)
+        .admitted());
+}
+
+/// After the covert populate pass, attribution pinpoints the attacker's
+/// pod with the full mask count, even amid victim and background state.
+#[test]
+fn attribution_names_the_attacker_amid_noise() {
+    let victim_ip = u32::from_be_bytes([10, 1, 0, 10]);
+    let attacker_ip = u32::from_be_bytes([10, 1, 0, 66]);
+    let bg_ip = u32::from_be_bytes([10, 1, 0, 20]);
+    let mut sw = VSwitch::new(DpConfig::default());
+    sw.attach_pod(victim_ip, 1);
+    sw.attach_pod(attacker_ip, 2);
+    sw.attach_pod(bg_ip, 3);
+    let spec = AttackSpec::masks_8192();
+    sw.install_acl(attacker_ip, compile(&spec));
+    // Honest traffic to the other pods.
+    let mut t = SimTime::from_millis(1);
+    for i in 0..50u16 {
+        sw.process(
+            &FlowKey::tcp([10, 0, 0, 10], [10, 1, 0, 10], 40_000 + i, 5201),
+            t,
+        );
+        sw.process(&FlowKey::tcp([10, 0, 1, 9], [10, 1, 0, 20], 9_000 + i, 80), t);
+        t += SimTime::from_micros(10);
+    }
+    // Covert populate.
+    let seq = CovertSequence::new(spec.build_target(attacker_ip));
+    for p in seq.populate_packets() {
+        sw.process(&p, t);
+        t += SimTime::from_micros(10);
+    }
+    let report = attribute_masks(&sw);
+    assert_eq!(report[0].ip_dst, attacker_ip);
+    assert_eq!(report[0].masks, 8192);
+    let others: usize = report[1..].iter().map(|a| a.masks).sum();
+    assert!(others <= 4, "honest pods carry trivial mask counts: {others}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Compiled ACLs agree with the linear reference on random
+    /// whitelist policies and random packets — the correctness side of
+    /// the cache-less mitigation.
+    #[test]
+    fn compiled_acl_equals_linear(
+        allows in proptest::collection::vec(
+            (any::<u32>(), 1u8..=32, proptest::option::of(1u16..2048)),
+            0..6,
+        ),
+        packets in proptest::collection::vec(
+            (any::<u32>(), any::<u16>(), 1u16..2048),
+            1..60,
+        ),
+    ) {
+        let whitelist: Vec<MaskedKey> = allows
+            .iter()
+            .map(|(src, len, port)| {
+                let mut key = FlowKey::tcp(
+                    std::net::Ipv4Addr::from(*src),
+                    [0, 0, 0, 0],
+                    0,
+                    port.unwrap_or(0),
+                );
+                let mut mask = FlowMask::default().with_prefix(Field::IpSrc, *len);
+                if port.is_some() {
+                    mask = mask.with_exact(Field::TpDst);
+                } else {
+                    key.tp_dst = 0;
+                }
+                MaskedKey::new(key, mask)
+            })
+            .collect();
+        let table = pi_classifier::table::whitelist_with_default_deny(&whitelist);
+        let compiled = CompiledAcl::compile(&table, Action::Deny);
+        let linear = LinearClassifier::new(&table);
+        for (src, sport, dport) in &packets {
+            let pkt = FlowKey::tcp(
+                std::net::Ipv4Addr::from(*src),
+                [10, 1, 0, 66],
+                *sport,
+                *dport,
+            );
+            let expected = linear.classify(&pkt).map(|r| r.action).unwrap_or(Action::Deny);
+            let (got, checks) = compiled.classify(&pkt);
+            prop_assert_eq!(got, expected, "packet {}", pkt);
+            prop_assert!(checks <= compiled.worst_case_checks());
+        }
+    }
+
+    /// The mask budget is monotone: admitting at limit L implies
+    /// admitting at any L' ≥ L, and the reported prediction is
+    /// limit-independent.
+    #[test]
+    fn budget_monotonicity(ip_len in 1u8..=32, with_port in any::<bool>(), limit in 1u64..10_000) {
+        let spec = AttackSpec {
+            dialect: PolicyDialect::Kubernetes,
+            allow_src: Cidr::new(0xcb00_7107, ip_len).unwrap(),
+            dst_port: with_port.then_some(443),
+            src_port: None,
+        };
+        let table = compile(&spec);
+        let d1 = MaskBudget::new(limit).check(&table, &TRIE_FIELDS);
+        let d2 = MaskBudget::new(limit * 2).check(&table, &TRIE_FIELDS);
+        if d1.admitted() {
+            prop_assert!(d2.admitted());
+        }
+        let expected = spec.predicted_masks();
+        let reported = match d1 {
+            pi_mitigation::AdmissionDecision::Admit { predicted_masks } => predicted_masks,
+            pi_mitigation::AdmissionDecision::Reject { predicted_masks, .. } => predicted_masks,
+        };
+        prop_assert_eq!(reported, expected);
+    }
+}
