@@ -1,0 +1,31 @@
+# Workspace targets (`just`-style; plain make so it runs everywhere).
+
+CARGO ?= cargo
+
+.PHONY: build test clippy bench bench-fleet example-fleet clean
+
+build:
+	$(CARGO) build --release
+
+# Tier-1 verification (ROADMAP.md).
+test:
+	$(CARGO) build --release && $(CARGO) test -q
+
+clippy:
+	$(CARGO) clippy --workspace --all-targets -- -D warnings
+
+# Dependency-free microbenchmarks of the attack's mechanisms.
+bench:
+	$(CARGO) bench -p pi_bench
+
+# Fleet scaling sweep (hosts x workers); writes BENCH_fleet.json and
+# results/fleet_scaling.csv. Needs >= 4 cores to show the 2x+ worker
+# scaling target.
+bench-fleet:
+	$(CARGO) run --release -p pi_bench --bin fleet_scaling
+
+example-fleet:
+	$(CARGO) run --release --example fleet_blast_radius
+
+clean:
+	$(CARGO) clean

@@ -38,7 +38,7 @@ mod tests {
         if src_port.is_some() {
             mask = mask.with_exact(Field::TpSrc);
         }
-        MaskedKey::new(key.clone(), mask)
+        MaskedKey::new(key, mask)
     }
 
     #[test]

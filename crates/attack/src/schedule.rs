@@ -98,6 +98,36 @@ impl AttackSchedule {
     pub fn sequence(&self) -> &CovertSequence {
         &self.seq
     }
+
+    /// Names the schedule for reports.
+    #[must_use]
+    pub fn named(mut self, label: &str) -> Self {
+        self.label = label.to_string();
+        self
+    }
+
+    /// Fans one attack spec out across a fleet: one paced schedule per
+    /// attacker pod, each targeting its own pod's ACL, with starts
+    /// staggered by `stagger` (a synchronized fleet-wide burst is easy
+    /// to spot; a rolling one is how a patient attacker saturates many
+    /// hosts). Schedules are labelled `attack@<i>`.
+    pub fn fan_out(
+        spec: &crate::acl::AttackSpec,
+        attacker_pod_ips: &[u32],
+        bandwidth_bps: f64,
+        start: SimTime,
+        stagger: SimTime,
+    ) -> Vec<AttackSchedule> {
+        attacker_pod_ips
+            .iter()
+            .enumerate()
+            .map(|(i, &ip)| {
+                let begin = start + SimTime::from_nanos(stagger.as_nanos() * i as u64);
+                AttackSchedule::new(CovertSequence::new(spec.build_target(ip)), bandwidth_bps, begin)
+                    .named(&format!("attack@{i}"))
+            })
+            .collect()
+    }
 }
 
 impl TrafficSource for AttackSchedule {
@@ -239,6 +269,31 @@ mod tests {
         let mut s = schedule(0.5e6);
         drive(&mut s, 60, 63);
         assert!(s.populated(), "populate must finish within seconds");
+    }
+
+    #[test]
+    fn fan_out_staggers_starts_and_targets() {
+        let spec = AttackSpec::masks_512(PolicyDialect::Kubernetes);
+        let ips = [0x0a01_0042u32, 0x0a02_0042, 0x0a03_0042];
+        let mut fleet = AttackSchedule::fan_out(
+            &spec,
+            &ips,
+            2e6,
+            SimTime::from_secs(60),
+            SimTime::from_secs(10),
+        );
+        assert_eq!(fleet.len(), 3);
+        for (i, s) in fleet.iter().enumerate() {
+            assert_eq!(s.label(), format!("attack@{i}"));
+            // Each schedule aims its own pod's ACL.
+            assert_eq!(s.sequence().target().dst_ip, ips[i]);
+        }
+        // Stagger: the second attacker is still silent when the first
+        // has finished populating.
+        let out0 = drive(&mut fleet[0], 0, 65);
+        let out1 = drive(&mut fleet[1], 0, 65);
+        assert!(!out0.is_empty());
+        assert!(out1.is_empty(), "second attacker starts at 70 s");
     }
 
     #[test]

@@ -1,15 +1,18 @@
-//! Criterion microbenchmarks of the mechanisms underlying the attack.
+//! Microbenchmarks of the mechanisms underlying the attack.
 //!
 //! `tss_lookup_vs_masks` is the paper's algorithmic core measured in
 //! isolation: lookup latency against the number of subtables. The rest
 //! pin the costs the cycle model abstracts (EMC probe, trie walk, slow
 //! path, megaflow generation, compiled-ACL classification) so the cost
 //! model's relative prices can be sanity-checked against real hardware.
+//!
+//! Runs harness-free on [`pi_bench::stopwatch`] (the workspace builds
+//! offline, without criterion): `cargo bench -p pi_bench`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 
 use pi_attack::{AttackSpec, CovertSequence};
+use pi_bench::stopwatch::bench;
 use pi_classifier::{Action, PrefixTrie, SubtableOrder, TupleSpaceSearch};
 use pi_cms::{PolicyCompiler, PolicyDialect};
 use pi_core::{Field, FlowKey, FlowMask, MaskedKey, SimTime};
@@ -25,8 +28,7 @@ fn attack_table() -> pi_classifier::FlowTable {
 
 /// TSS lookup latency as a function of the number of distinct masks —
 /// the linear walk, measured.
-fn tss_lookup_vs_masks(c: &mut Criterion) {
-    let mut group = c.benchmark_group("tss_lookup_vs_masks");
+fn tss_lookup_vs_masks() {
     for &masks in &[1usize, 16, 128, 512, 2048, 8192] {
         let mut tss: TupleSpaceSearch<u32> = TupleSpaceSearch::new(SubtableOrder::Insertion);
         // Distinct masks via distinct (ip_len, port-bit) combinations.
@@ -70,120 +72,96 @@ fn tss_lookup_vs_masks(c: &mut Criterion) {
         assert_eq!(tss.subtable_count(), masks);
         // A miss walks everything — the victim's worst case.
         let miss = FlowKey::tcp([192, 168, 0, 1], [172, 16, 0, 1], 1, 1);
-        group.throughput(Throughput::Elements(1));
-        group.bench_with_input(BenchmarkId::from_parameter(masks), &masks, |b, _| {
-            b.iter(|| black_box(tss.peek(black_box(&miss)).probes))
+        bench(&format!("tss_lookup_vs_masks/{masks}"), || {
+            black_box(tss.peek(black_box(&miss)).probes)
         });
     }
-    group.finish();
 }
 
-/// One EMC-equivalent exact-match lookup (hit and miss).
-fn emc_lookup(c: &mut Criterion) {
+/// One EMC-equivalent exact-match lookup (hit).
+fn emc_lookup() {
     let mut sw = VSwitch::new(DpConfig::default());
     let pod = u32::from_be_bytes([10, 1, 0, 66]);
     sw.attach_pod(pod, 1);
     let key = FlowKey::tcp([10, 0, 0, 1], [10, 1, 0, 66], 1000, 443);
     sw.process(&key, SimTime::from_millis(1)); // warm: installs EMC entry
-    c.bench_function("switch_process_emc_hit", |b| {
-        b.iter(|| black_box(sw.process(black_box(&key), SimTime::from_millis(2)).cycles))
+    bench("switch_process_emc_hit", || {
+        black_box(sw.process(black_box(&key), SimTime::from_millis(2)).cycles)
     });
 }
 
 /// Prefix-trie un-wildcarding lookups.
-fn trie_unwildcard(c: &mut Criterion) {
+fn trie_unwildcard() {
     let mut trie = PrefixTrie::new(Field::IpSrc);
     trie.insert(0xcb00_7107, 32);
-    c.bench_function("trie_unwildcard_bits", |b| {
-        let mut v = 0u64;
-        b.iter(|| {
-            v = v.wrapping_add(0x9e37_79b9);
-            black_box(trie.unwildcard_bits(black_box(v & 0xffff_ffff)))
-        })
+    let mut v = 0u64;
+    bench("trie_unwildcard_bits", || {
+        v = v.wrapping_add(0x9e37_79b9);
+        black_box(trie.unwildcard_bits(black_box(v & 0xffff_ffff)))
     });
 }
 
 /// Slow-path upcall service: classify + generate the megaflow.
-fn slowpath_upcall(c: &mut Criterion) {
-    let sp = SlowPath::new(
-        attack_table(),
-        &[Field::IpSrc, Field::TpDst],
-        Action::Deny,
-    );
+fn slowpath_upcall() {
+    let sp = SlowPath::new(attack_table(), &[Field::IpSrc, Field::TpDst], Action::Deny);
     let pkt = FlowKey::tcp([11, 22, 33, 44], [10, 1, 0, 66], 999, 443);
-    c.bench_function("slowpath_process_upcall", |b| {
-        b.iter(|| black_box(sp.process_upcall(black_box(&pkt))))
+    bench("slowpath_process_upcall", || {
+        black_box(sp.process_upcall(black_box(&pkt)))
     });
 }
 
 /// Full covert populate pass against a live switch (installs 512 masks).
-fn covert_populate(c: &mut Criterion) {
+fn covert_populate() {
     let spec = AttackSpec::masks_512(PolicyDialect::Kubernetes);
     let pod = u32::from_be_bytes([10, 1, 0, 66]);
     let seq = CovertSequence::new(spec.build_target(pod));
     let packets: Vec<FlowKey> = seq.populate_packets().collect();
-    let mut group = c.benchmark_group("covert_populate_512");
-    group.sample_size(10);
-    group.throughput(Throughput::Elements(packets.len() as u64));
-    group.bench_function("populate_pass", |b| {
-        b.iter(|| {
-            let mut sw = VSwitch::new(DpConfig::default());
-            sw.attach_pod(pod, 1);
-            let table = match spec.build_policy() {
-                pi_attack::MaliciousAcl::K8s(p) => PolicyCompiler.compile_k8s(&p),
-                _ => unreachable!(),
-            };
-            sw.install_acl(pod, table);
-            for p in &packets {
-                sw.process(black_box(p), SimTime::from_millis(1));
-            }
-            black_box(sw.mask_count())
-        })
+    bench("covert_populate_512/populate_pass", || {
+        let mut sw = VSwitch::new(DpConfig::default());
+        sw.attach_pod(pod, 1);
+        let table = match spec.build_policy() {
+            pi_attack::MaliciousAcl::K8s(p) => PolicyCompiler.compile_k8s(&p),
+            _ => unreachable!(),
+        };
+        sw.install_acl(pod, table);
+        for p in &packets {
+            sw.process(black_box(p), SimTime::from_millis(1));
+        }
+        black_box(sw.mask_count())
     });
-    group.finish();
 }
 
 /// Compiled (cache-less) classification of the same covert traffic.
-fn compiled_acl(c: &mut Criterion) {
+fn compiled_acl() {
     let compiled = CompiledAcl::compile(&attack_table(), Action::Deny);
     let pkt = FlowKey::tcp([11, 22, 33, 44], [10, 1, 0, 66], 999, 443);
-    c.bench_function("compiled_acl_classify", |b| {
-        b.iter(|| black_box(compiled.classify(black_box(&pkt))))
+    bench("compiled_acl_classify", || {
+        black_box(compiled.classify(black_box(&pkt)))
     });
 }
 
 /// Covert sequence generation rate.
-fn covert_generation(c: &mut Criterion) {
+fn covert_generation() {
     let spec = AttackSpec::masks_8192();
     let seq = CovertSequence::new(spec.build_target(0x0a01_0042));
-    c.bench_function("covert_populate_packet_gen", |b| {
-        let mut n = 0u64;
-        b.iter(|| {
-            n = (n + 1) % seq.packet_count();
-            black_box(seq.populate_packet(n))
-        })
+    let mut n = 0u64;
+    bench("covert_populate_packet_gen", || {
+        n = (n + 1) % seq.packet_count();
+        black_box(seq.populate_packet(n))
     });
-    c.bench_function("covert_scan_packet_gen", |b| {
-        let mut n = 0u64;
-        b.iter(|| {
-            n += 1;
-            black_box(seq.scan_packet(n))
-        })
+    let mut m = 0u64;
+    bench("covert_scan_packet_gen", || {
+        m += 1;
+        black_box(seq.scan_packet(m))
     });
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default()
-        .measurement_time(std::time::Duration::from_secs(2))
-        .warm_up_time(std::time::Duration::from_millis(500));
-    targets =
-        tss_lookup_vs_masks,
-        emc_lookup,
-        trie_unwildcard,
-        slowpath_upcall,
-        covert_populate,
-        compiled_acl,
-        covert_generation
+fn main() {
+    tss_lookup_vs_masks();
+    emc_lookup();
+    trie_unwildcard();
+    slowpath_upcall();
+    covert_populate();
+    compiled_acl();
+    covert_generation();
 }
-criterion_main!(benches);

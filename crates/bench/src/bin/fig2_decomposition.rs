@@ -48,7 +48,7 @@ fn main() {
         .iter()
         .map(|(mk, e)| {
             let key_octet = (mk.key().ip_src >> 24) as u8;
-            let mask_bits = (mk.mask().field(Field::IpSrc) >> 24) as u64;
+            let mask_bits = mk.mask().field(Field::IpSrc) >> 24;
             let len = mask_bits.count_ones() as u8;
             (
                 len,

@@ -1,0 +1,159 @@
+//! `fleet_scaling` — does the sharded cluster simulator actually scale?
+//!
+//! Sweeps host count × worker threads over the `fleet_colocation`
+//! scenario (every host under active policy injection), measuring wall
+//! time and aggregate switch packets/second. Writes `BENCH_fleet.json`
+//! (path overridable via `PI_BENCH_FLEET_OUT`) plus a CSV under
+//! `results/`, and prints an aligned table.
+//!
+//! The workspace acceptance bar: ≥ 2× aggregate packets/sec going from
+//! 1 to 4 workers on the 8-host topology.
+
+use std::time::Instant;
+
+use pi_attack::AttackSpec;
+use pi_cms::PolicyDialect;
+use pi_core::SimTime;
+use pi_fleet::{fleet_colocation, ColocationParams};
+use pi_metrics::CsvTable;
+
+struct Row {
+    hosts: usize,
+    workers: usize,
+    wall_secs: f64,
+    switch_packets: u64,
+    pps: f64,
+    speedup: f64,
+}
+
+fn params(hosts: usize, workers: usize, duration_secs: u64) -> ColocationParams {
+    ColocationParams {
+        hosts,
+        victims: hosts,
+        attackers: hosts / 2,
+        spec: AttackSpec::masks_512(PolicyDialect::Kubernetes),
+        attack_start: SimTime::from_secs(1),
+        stagger: SimTime::ZERO,
+        duration: SimTime::from_secs(duration_secs),
+        workers,
+        ..Default::default()
+    }
+}
+
+/// Returns (wall seconds, switch packets, workers actually used — the
+/// engine clamps the configured count to the host count).
+fn run_once(hosts: usize, workers: usize, duration_secs: u64) -> (f64, u64, usize) {
+    let (sim, _handles) = fleet_colocation(&params(hosts, workers, duration_secs));
+    let start = Instant::now();
+    let report = sim.run();
+    (
+        start.elapsed().as_secs_f64(),
+        report.total_switch_packets(),
+        report.workers,
+    )
+}
+
+fn main() {
+    let duration_secs: u64 = std::env::var("PI_FLEET_BENCH_SECS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4);
+    let host_counts = [2usize, 4, 8];
+    let worker_counts = [1usize, 2, 4];
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    println!("fleet_scaling: {duration_secs} simulated seconds per cell, {cores} CPU core(s)");
+    if cores < 4 {
+        println!(
+            "WARNING: only {cores} core(s) available — worker scaling cannot exceed {cores}x \
+             on this machine; run on >= 4 cores to observe the 2x+ target."
+        );
+    }
+    println!();
+    println!(
+        "{:>6} {:>8} {:>12} {:>16} {:>14} {:>10}",
+        "hosts", "workers", "wall_secs", "switch_packets", "pps", "speedup"
+    );
+
+    let mut rows: Vec<Row> = Vec::new();
+    for &hosts in &host_counts {
+        let mut base_pps = 0.0;
+        for &requested in &worker_counts {
+            // The engine clamps workers to the host count; skip requests
+            // that would just re-measure an already-recorded cell.
+            if requested > hosts {
+                continue;
+            }
+            let (wall, packets, workers) = run_once(hosts, requested, duration_secs);
+            let pps = packets as f64 / wall;
+            if workers == 1 {
+                base_pps = pps;
+            }
+            let speedup = if base_pps > 0.0 { pps / base_pps } else { 1.0 };
+            println!(
+                "{:>6} {:>8} {:>12.3} {:>16} {:>14.0} {:>9.2}x",
+                hosts, workers, wall, packets, pps, speedup
+            );
+            rows.push(Row {
+                hosts,
+                workers,
+                wall_secs: wall,
+                switch_packets: packets,
+                pps,
+                speedup,
+            });
+        }
+    }
+
+    // CSV alongside the other experiment artefacts.
+    let mut csv = CsvTable::new(&[
+        "hosts",
+        "workers",
+        "wall_secs",
+        "switch_packets",
+        "pps",
+        "speedup",
+    ]);
+    for r in &rows {
+        csv.push_numeric_row(&[
+            r.hosts as f64,
+            r.workers as f64,
+            r.wall_secs,
+            r.switch_packets as f64,
+            r.pps,
+            r.speedup,
+        ]);
+    }
+    let csv_path = pi_bench::results_dir().join("fleet_scaling.csv");
+    csv.write_csv(&csv_path).expect("write csv");
+
+    // BENCH_fleet.json for the repo-level bench target.
+    let json_rows: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"hosts\": {}, \"workers\": {}, \"wall_secs\": {:.6}, \
+                 \"switch_packets\": {}, \"pps\": {:.1}, \"speedup_vs_1_worker\": {:.3}}}",
+                r.hosts, r.workers, r.wall_secs, r.switch_packets, r.pps, r.speedup
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"fleet_scaling\",\n  \"scenario\": \"fleet_colocation\",\n  \
+         \"simulated_secs_per_cell\": {},\n  \"available_cores\": {},\n  \"rows\": [\n{}\n  ]\n}}\n",
+        duration_secs,
+        cores,
+        json_rows.join(",\n")
+    );
+    let out = std::env::var("PI_BENCH_FLEET_OUT").unwrap_or_else(|_| "BENCH_fleet.json".into());
+    std::fs::write(&out, json).expect("write BENCH_fleet.json");
+    println!("\nwrote {out} and {}", csv_path.display());
+
+    let eight = |w: usize| rows.iter().find(|r| r.hosts == 8 && r.workers == w);
+    if let (Some(r1), Some(r4)) = (eight(1), eight(4)) {
+        let scaling = r4.pps / r1.pps;
+        println!("8-host 1→4 worker scaling: {scaling:.2}x");
+    }
+}

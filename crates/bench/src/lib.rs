@@ -23,6 +23,8 @@
 
 use std::path::PathBuf;
 
+pub mod stopwatch;
+
 /// Resolves the shared results directory (`<workspace>/results`),
 /// creating it if needed.
 pub fn results_dir() -> PathBuf {

@@ -1,0 +1,97 @@
+//! A dependency-free micro-benchmark harness.
+//!
+//! The workspace builds offline, so `criterion` is not available; this
+//! module provides the small subset the microbenchmarks need: warm-up,
+//! auto-calibrated iteration counts, and a uniform report line of
+//! nanoseconds/iteration plus derived throughput.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// One benchmark measurement.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Benchmark id (`group/param` style).
+    pub name: String,
+    /// Mean wall time per iteration, nanoseconds.
+    pub ns_per_iter: f64,
+    /// Iterations actually timed.
+    pub iters: u64,
+}
+
+impl Measurement {
+    /// Iterations per second implied by the mean.
+    pub fn per_sec(&self) -> f64 {
+        1e9 / self.ns_per_iter
+    }
+}
+
+/// Times `f` after a warm-up, auto-scaling the iteration count until the
+/// timed window exceeds `measure` wall time. Returns the measurement and
+/// prints one aligned report line.
+pub fn bench<R>(name: &str, mut f: impl FnMut() -> R) -> Measurement {
+    bench_for(name, Duration::from_millis(300), Duration::from_millis(100), &mut f)
+}
+
+/// [`bench`] with explicit measurement and warm-up windows.
+pub fn bench_for<R>(
+    name: &str,
+    measure: Duration,
+    warmup: Duration,
+    f: &mut impl FnMut() -> R,
+) -> Measurement {
+    // Warm up and estimate a single-iteration cost.
+    let warm_start = Instant::now();
+    let mut warm_iters: u64 = 0;
+    while warm_start.elapsed() < warmup {
+        black_box(f());
+        warm_iters += 1;
+    }
+    let est_ns = (warmup.as_nanos() as f64 / warm_iters.max(1) as f64).max(1.0);
+    // Batch so each timed batch is ~1/10 of the measurement window.
+    let batch = ((measure.as_nanos() as f64 / 10.0 / est_ns).ceil() as u64).max(1);
+
+    let mut total_iters: u64 = 0;
+    let start = Instant::now();
+    while start.elapsed() < measure {
+        for _ in 0..batch {
+            black_box(f());
+        }
+        total_iters += batch;
+    }
+    let ns_per_iter = start.elapsed().as_nanos() as f64 / total_iters as f64;
+    let m = Measurement {
+        name: name.to_string(),
+        ns_per_iter,
+        iters: total_iters,
+    };
+    println!(
+        "{:<40} {:>14.1} ns/iter {:>16.0} iter/s  ({} iters)",
+        m.name,
+        m.ns_per_iter,
+        m.per_sec(),
+        m.iters
+    );
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_measures_something_positive() {
+        let mut acc = 0u64;
+        let m = bench_for(
+            "noop",
+            Duration::from_millis(20),
+            Duration::from_millis(5),
+            &mut || {
+                acc = acc.wrapping_add(1);
+                acc
+            },
+        );
+        assert!(m.ns_per_iter > 0.0);
+        assert!(m.iters > 0);
+    }
+}

@@ -122,12 +122,7 @@ pub fn prefix_len_of_mask(field: Field, mask: u64) -> Option<u8> {
         return None;
     }
     let w = field.width();
-    for len in 1..=w {
-        if field.prefix_mask(len) == mask {
-            return Some(len);
-        }
-    }
-    None
+    (1..=w).find(|&len| field.prefix_mask(len) == mask)
 }
 
 /// A trie plus bookkeeping for one field.

@@ -1,5 +1,5 @@
-//! Property test: Tuple Space Search agrees with the linear reference
-//! classifier (DESIGN.md invariant 2).
+//! Randomised property test: Tuple Space Search agrees with the linear
+//! reference classifier (DESIGN.md invariant 2).
 //!
 //! Two regimes are pinned:
 //! * **Non-overlapping entries** (the megaflow invariant): first-match
@@ -7,60 +7,57 @@
 //! * **Arbitrary overlapping rules**: priority-aware TSS
 //!   (`lookup_best_by`) must equal linear classification under OVS
 //!   precedence.
+//!
+//! Cases are drawn from the deterministic in-house [`SplitMix64`]
+//! generator (no external dependencies) — each case index is its own
+//! reproducible seed.
 
 use pi_classifier::{Action, FlowTable, LinearClassifier, TupleSpaceSearch};
-use pi_core::{Field, FlowKey, FlowMask, MaskedKey};
-use proptest::prelude::*;
+use pi_core::{Field, FlowKey, FlowMask, MaskedKey, SplitMix64};
+
+const CASES: u64 = 256;
 
 /// A restricted rule universe that makes accidental matches likely
 /// enough to be interesting: ip_src prefixes over four /8 roots plus
 /// optional exact tp_dst from a small port set.
-fn arb_masked_key() -> impl Strategy<Value = MaskedKey> {
-    (
-        0u8..4,      // which /8 root
-        0u8..=32,    // ip prefix length
-        0u8..3,      // port selector: 0 = wildcard
-        any::<u32>(), // host bits
-    )
-        .prop_map(|(root, len, port_sel, host)| {
-            let ip = ((10 + root as u32) << 24) | (host & 0x00ff_ffff);
-            let mut mask = FlowMask::default();
-            if len > 0 {
-                mask = mask.with_prefix(Field::IpSrc, len);
-            }
-            let mut key = FlowKey::tcp(
-                std::net::Ipv4Addr::from(ip),
-                [192, 168, 0, 1],
-                0,
-                0,
-            );
-            if port_sel > 0 {
-                mask = mask.with_exact(Field::TpDst);
-                key.tp_dst = [80u16, 443][port_sel as usize - 1];
-            }
-            MaskedKey::new(key, mask)
-        })
+fn rand_masked_key(rng: &mut SplitMix64) -> MaskedKey {
+    let root = rng.gen_range(4) as u32;
+    let len = rng.gen_range(33) as u8;
+    let port_sel = rng.gen_range(3) as usize;
+    let host = rng.next_u32();
+    let ip = ((10 + root) << 24) | (host & 0x00ff_ffff);
+    let mut mask = FlowMask::default();
+    if len > 0 {
+        mask = mask.with_prefix(Field::IpSrc, len);
+    }
+    let mut key = FlowKey::tcp(std::net::Ipv4Addr::from(ip), [192, 168, 0, 1], 0, 0);
+    if port_sel > 0 {
+        mask = mask.with_exact(Field::TpDst);
+        key.tp_dst = [80u16, 443][port_sel - 1];
+    }
+    MaskedKey::new(key, mask)
 }
 
-fn arb_packet() -> impl Strategy<Value = FlowKey> {
-    (0u8..6, any::<u32>(), proptest::sample::select(vec![80u16, 443, 8080])).prop_map(
-        |(root, host, port)| {
-            let ip = ((9 + root as u32) << 24) | (host & 0x00ff_ffff);
-            FlowKey::tcp(std::net::Ipv4Addr::from(ip), [192, 168, 0, 1], 1234, port)
-        },
-    )
+fn rand_packet(rng: &mut SplitMix64) -> FlowKey {
+    let root = rng.gen_range(6) as u32;
+    let host = rng.next_u32();
+    let port = [80u16, 443, 8080][rng.gen_range(3) as usize];
+    let ip = ((9 + root) << 24) | (host & 0x00ff_ffff);
+    FlowKey::tcp(std::net::Ipv4Addr::from(ip), [192, 168, 0, 1], 1234, port)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+fn rand_vec<T>(rng: &mut SplitMix64, lo: u64, hi: u64, mut gen: impl FnMut(&mut SplitMix64) -> T) -> Vec<T> {
+    let n = lo + rng.gen_range(hi - lo);
+    (0..n).map(|_| gen(rng)).collect()
+}
 
-    /// Non-overlapping regime: build disjoint exact-ish entries, compare
-    /// first-match TSS against a table of the same rules.
-    #[test]
-    fn tss_equals_linear_on_non_overlapping(
-        seeds in proptest::collection::vec(arb_masked_key(), 1..40),
-        packets in proptest::collection::vec(arb_packet(), 1..40),
-    ) {
+/// Non-overlapping regime: build disjoint exact-ish entries, compare
+/// first-match TSS against a table of the same rules.
+#[test]
+fn tss_equals_linear_on_non_overlapping() {
+    pi_core::for_cases(CASES, 0x11, |rng| {
+        let seeds = rand_vec(rng, 1, 40, rand_masked_key);
+        let packets = rand_vec(rng, 1, 40, rand_packet);
         // Keep only mutually non-overlapping masked keys (greedy filter).
         let mut chosen: Vec<MaskedKey> = Vec::new();
         for mk in seeds {
@@ -79,17 +76,18 @@ proptest! {
             let tss_hit = tss.peek(pkt).value.copied();
             let lin_hit = linear.classify(pkt).map(|r| r.id.0 as usize);
             // Rule ids equal insertion sequence = our payload indices.
-            prop_assert_eq!(tss_hit, lin_hit, "packet {}", pkt);
+            assert_eq!(tss_hit, lin_hit, "packet {}", pkt);
         }
-    }
+    });
+}
 
-    /// Overlapping regime: same rules in both engines; priority-aware
-    /// TSS must reproduce linear's precedence choice exactly.
-    #[test]
-    fn priority_tss_equals_linear_on_overlapping(
-        entries in proptest::collection::vec((arb_masked_key(), 0u32..4), 1..40),
-        packets in proptest::collection::vec(arb_packet(), 1..40),
-    ) {
+/// Overlapping regime: same rules in both engines; priority-aware
+/// TSS must reproduce linear's precedence choice exactly.
+#[test]
+fn priority_tss_equals_linear_on_overlapping() {
+    pi_core::for_cases(CASES, 0x12, |rng| {
+        let entries = rand_vec(rng, 1, 40, |rng| (rand_masked_key(rng), rng.gen_range(4) as u32));
+        let packets = rand_vec(rng, 1, 40, rand_packet);
         let mut tss: TupleSpaceSearch<(u32, u64)> = TupleSpaceSearch::default();
         let mut table = FlowTable::new();
         for (mk, prio) in &entries {
@@ -114,16 +112,17 @@ proptest! {
             let lin_best = linear
                 .classify(pkt)
                 .map(|r| (r.priority, u64::MAX - r.id.0));
-            prop_assert_eq!(tss_best, lin_best, "packet {}", pkt);
+            assert_eq!(tss_best, lin_best, "packet {}", pkt);
         }
-    }
+    });
+}
 
-    /// Mask-count law for the classifier: the number of subtables equals
-    /// the number of distinct masks inserted.
-    #[test]
-    fn subtable_count_equals_distinct_masks(
-        entries in proptest::collection::vec(arb_masked_key(), 1..60),
-    ) {
+/// Mask-count law for the classifier: the number of subtables equals
+/// the number of distinct masks inserted.
+#[test]
+fn subtable_count_equals_distinct_masks() {
+    pi_core::for_cases(CASES, 0x13, |rng| {
+        let entries = rand_vec(rng, 1, 60, rand_masked_key);
         let mut tss = TupleSpaceSearch::default();
         let mut distinct: Vec<FlowMask> = Vec::new();
         for mk in &entries {
@@ -132,16 +131,17 @@ proptest! {
                 distinct.push(*mk.mask());
             }
         }
-        prop_assert_eq!(tss.subtable_count(), distinct.len());
-    }
+        assert_eq!(tss.subtable_count(), distinct.len());
+    });
+}
 
-    /// Removal restores the exact pre-insertion observable state.
-    #[test]
-    fn insert_remove_is_identity(
-        base in proptest::collection::vec(arb_masked_key(), 0..20),
-        extra in arb_masked_key(),
-        probes in proptest::collection::vec(arb_packet(), 1..20),
-    ) {
+/// Removal restores the exact pre-insertion observable state.
+#[test]
+fn insert_remove_is_identity() {
+    pi_core::for_cases(CASES, 0x14, |rng| {
+        let base = rand_vec(rng, 0, 20, rand_masked_key);
+        let extra = rand_masked_key(rng);
+        let probes = rand_vec(rng, 1, 20, rand_packet);
         let mut tss = TupleSpaceSearch::default();
         for (i, mk) in base.iter().enumerate() {
             tss.insert(*mk, i as u64);
@@ -151,11 +151,15 @@ proptest! {
         let had = tss.get(&extra).copied();
         tss.insert(extra, 999_999);
         match had {
-            Some(v) => { tss.insert(extra, v); }
-            None => { tss.remove(&extra); }
+            Some(v) => {
+                tss.insert(extra, v);
+            }
+            None => {
+                tss.remove(&extra);
+            }
         }
         let after: Vec<Option<u64>> =
             probes.iter().map(|p| tss.peek(p).value.copied()).collect();
-        prop_assert_eq!(before, after);
-    }
+        assert_eq!(before, after);
+    });
 }

@@ -87,6 +87,22 @@ impl fmt::Display for CmsError {
 
 impl std::error::Error for CmsError {}
 
+/// How the scheduler chooses a hosting node for new pods.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlacementStrategy {
+    /// Spread pods across nodes, least-loaded first.
+    RoundRobin,
+    /// Fill each node up to `capacity` pods before opening the next.
+    BinPacked {
+        /// Pods per node before spilling to the next node.
+        capacity: usize,
+    },
+    /// Adversarial co-location: place onto the nodes already hosting the
+    /// target tenant's pods (the attacker's launch-until-colocated
+    /// strategy from the multi-tenant DoS literature).
+    Colocate(TenantId),
+}
+
 /// The compiled artefact the CMS hands to the node agent: which port of
 /// which node gets which table.
 #[derive(Debug, Clone)]
@@ -169,6 +185,93 @@ impl Cloud {
     /// Pod lookup.
     pub fn pod(&self, id: PodId) -> Option<&Pod> {
         self.pods.get(&id)
+    }
+
+    /// All registered nodes, in id order.
+    pub fn nodes(&self) -> &[NodeId] {
+        &self.nodes
+    }
+
+    /// All pods hosted on `node`, in id order.
+    pub fn pods_on(&self, node: NodeId) -> Vec<&Pod> {
+        let mut pods: Vec<&Pod> = self.pods.values().filter(|p| p.node == node).collect();
+        pods.sort_by_key(|p| p.id);
+        pods
+    }
+
+    /// Number of pods hosted on `node` (no allocation — the placement
+    /// hot path).
+    pub fn pod_count_on(&self, node: NodeId) -> usize {
+        self.pods.values().filter(|p| p.node == node).count()
+    }
+
+    /// Provisions `count` pods for `tenant`, choosing hosting nodes via
+    /// `strategy` — the scheduler knob a fleet-scale experiment turns to
+    /// model benign spreading vs an attacker engineering co-location.
+    ///
+    /// # Panics
+    /// Panics if the cloud has no nodes.
+    pub fn place_pods(
+        &mut self,
+        tenant: TenantId,
+        count: usize,
+        strategy: PlacementStrategy,
+    ) -> Vec<PodId> {
+        assert!(!self.nodes.is_empty(), "cannot place pods in a node-less cloud");
+        (0..count)
+            .map(|_| {
+                let node = self.pick_node(tenant, &strategy);
+                self.add_pod(tenant, node)
+            })
+            .collect()
+    }
+
+    fn pick_node(&self, tenant: TenantId, strategy: &PlacementStrategy) -> NodeId {
+        match strategy {
+            // Spread: next pod goes to the least-loaded node (ties by id),
+            // which is round-robin when pods arrive one at a time.
+            PlacementStrategy::RoundRobin => *self
+                .nodes
+                .iter()
+                .min_by_key(|n| (self.pod_count_on(**n), n.0))
+                .expect("non-empty node list"),
+            // Pack: fill a node to `capacity` pods before opening the next.
+            PlacementStrategy::BinPacked { capacity } => {
+                let cap = (*capacity).max(1);
+                *self
+                    .nodes
+                    .iter()
+                    .find(|n| self.pod_count_on(**n) < cap)
+                    .unwrap_or_else(|| self.nodes.last().expect("non-empty node list"))
+            }
+            // Adversarial co-location: land on the target tenant's nodes,
+            // least-loaded-by-us first (the attacker wants coverage, not
+            // density). Falls back to round-robin when the target has no
+            // pods yet.
+            PlacementStrategy::Colocate(target) => {
+                let target_nodes: Vec<NodeId> = {
+                    let mut nodes: Vec<NodeId> =
+                        self.pods_of(*target).iter().map(|p| p.node).collect();
+                    nodes.sort();
+                    nodes.dedup();
+                    nodes
+                };
+                if target_nodes.is_empty() {
+                    return self.pick_node(tenant, &PlacementStrategy::RoundRobin);
+                }
+                *target_nodes
+                    .iter()
+                    .min_by_key(|n| {
+                        let mine = self
+                            .pods
+                            .values()
+                            .filter(|p| p.node == **n && p.tenant == tenant)
+                            .count();
+                        (mine, n.0)
+                    })
+                    .expect("non-empty target node list")
+            }
+        }
     }
 
     /// All pods of a tenant, in id order.
@@ -331,6 +434,60 @@ mod tests {
         };
         let err = cloud.apply_k8s_policy(attacker, apod, &policy).unwrap_err();
         assert!(matches!(err, CmsError::TooManyRules { got: 5, limit: 3 }));
+    }
+
+    #[test]
+    fn round_robin_placement_spreads() {
+        let mut cloud = Cloud::new();
+        let t = cloud.add_tenant();
+        for _ in 0..4 {
+            cloud.add_node();
+        }
+        let pods = cloud.place_pods(t, 8, PlacementStrategy::RoundRobin);
+        assert_eq!(pods.len(), 8);
+        for n in cloud.nodes().to_vec() {
+            assert_eq!(cloud.pods_on(n).len(), 2, "even spread on {n:?}");
+        }
+    }
+
+    #[test]
+    fn bin_packed_placement_fills_in_order() {
+        let mut cloud = Cloud::new();
+        let t = cloud.add_tenant();
+        let n0 = cloud.add_node();
+        let n1 = cloud.add_node();
+        let n2 = cloud.add_node();
+        cloud.place_pods(t, 5, PlacementStrategy::BinPacked { capacity: 2 });
+        assert_eq!(cloud.pods_on(n0).len(), 2);
+        assert_eq!(cloud.pods_on(n1).len(), 2);
+        assert_eq!(cloud.pods_on(n2).len(), 1);
+        // Overflow beyond total capacity lands on the last node.
+        cloud.place_pods(t, 3, PlacementStrategy::BinPacked { capacity: 2 });
+        assert_eq!(cloud.pods_on(n2).len(), 4);
+    }
+
+    #[test]
+    fn colocation_targets_victim_nodes() {
+        let mut cloud = Cloud::new();
+        let victim = cloud.add_tenant();
+        let attacker = cloud.add_tenant();
+        for _ in 0..6 {
+            cloud.add_node();
+        }
+        let vpods = cloud.place_pods(victim, 2, PlacementStrategy::RoundRobin);
+        let victim_nodes: Vec<NodeId> =
+            vpods.iter().map(|p| cloud.pod(*p).unwrap().node).collect();
+        let apods = cloud.place_pods(attacker, 4, PlacementStrategy::Colocate(victim));
+        for p in &apods {
+            assert!(
+                victim_nodes.contains(&cloud.pod(*p).unwrap().node),
+                "attacker pod must land on a victim node"
+            );
+        }
+        // With no victim pods, colocation degrades to round-robin.
+        let loner = cloud.add_tenant();
+        let pods = cloud.place_pods(attacker, 2, PlacementStrategy::Colocate(loner));
+        assert_eq!(pods.len(), 2);
     }
 
     #[test]

@@ -20,6 +20,9 @@ pub const COMPILED_PRIORITY_ALLOW: u32 = 1;
 #[derive(Debug, Clone, Copy, Default)]
 pub struct PolicyCompiler;
 
+/// A compiled (protocol, destination port prefix) pair.
+type PortTerm = (Option<u8>, Option<(u16, u8)>);
+
 /// One whitelist conjunct before table insertion.
 #[derive(Debug, Clone, Copy)]
 struct AllowTerm {
@@ -86,7 +89,7 @@ impl PolicyCompiler {
             } else {
                 rule.from.iter().copied().map(Some).collect()
             };
-            let port_terms: Vec<(Option<u8>, Option<(u16, u8)>)> = if rule.ports.is_empty() {
+            let port_terms: Vec<PortTerm> = if rule.ports.is_empty() {
                 vec![(None, None)]
             } else {
                 rule.ports

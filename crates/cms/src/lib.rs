@@ -28,7 +28,7 @@ pub mod compile;
 pub mod net;
 pub mod policy;
 
-pub use cloud::{Cloud, CmsError, NodeId, Pod, PodId, TenantId};
+pub use cloud::{Cloud, CmsError, NodeId, PlacementStrategy, Pod, PodId, TenantId};
 pub use compile::{PolicyCompiler, COMPILED_PRIORITY_ALLOW};
 pub use net::{port_range_to_prefixes, Cidr, PortRange, Protocol};
 pub use policy::{

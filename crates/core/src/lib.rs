@@ -15,6 +15,8 @@
 //!   access to every header field, used by the prefix tries and by the
 //!   slow path's un-wildcarding logic.
 //! * [`SimTime`] — nanosecond-resolution simulated time.
+//! * [`Port`] — typed virtual-port numbers (local pod vport vs the
+//!   fabric uplink), replacing the old raw `0xffff` sentinel.
 //! * [`SplitMix64`] — a tiny deterministic RNG so that core algorithms can
 //!   be randomized reproducibly without external dependencies.
 //!
@@ -30,6 +32,7 @@ pub mod error;
 pub mod fields;
 pub mod key;
 pub mod mask;
+pub mod port;
 pub mod rng;
 pub mod time;
 
@@ -38,7 +41,8 @@ pub use error::CoreError;
 pub use fields::{Field, FieldSpec, Stage, ALL_FIELDS};
 pub use key::FlowKey;
 pub use mask::{FlowMask, MaskedKey};
-pub use rng::SplitMix64;
+pub use port::Port;
+pub use rng::{case_rng, for_cases, SplitMix64};
 pub use time::SimTime;
 
 /// Convenience result alias used across the workspace.

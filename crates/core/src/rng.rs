@@ -86,6 +86,23 @@ impl SplitMix64 {
     }
 }
 
+/// The deterministic generator for case `case` of the randomized-test
+/// stream `tag`: every case gets its own seed, so a failure is
+/// reproducible from the `(tag, case)` pair alone.
+pub fn case_rng(tag: u64, case: u64) -> SplitMix64 {
+    SplitMix64::new(tag ^ case.wrapping_mul(0x9e37_79b9))
+}
+
+/// Runs `body` for `cases` deterministic randomized cases — the
+/// workspace's stand-in for property tests (external test frameworks
+/// are unavailable offline). Each case receives the [`case_rng`] stream
+/// for `(tag, case)`.
+pub fn for_cases(cases: u64, tag: u64, mut body: impl FnMut(&mut SplitMix64)) {
+    for case in 0..cases {
+        body(&mut case_rng(tag, case));
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,152 +1,163 @@
-//! Property-based tests of the mask algebra (DESIGN.md invariant 1).
+//! Randomised property tests of the mask algebra (DESIGN.md invariant 1).
 //!
 //! These invariants underpin everything above: if masking were not
 //! idempotent or union not monotone, the megaflow cache could silently
 //! change classification semantics.
+//!
+//! The workspace builds without external dependencies, so instead of
+//! `proptest` these run a fixed number of cases from the in-house
+//! deterministic [`SplitMix64`] generator — same coverage intent,
+//! perfectly reproducible failures (the case index pinpoints the seed).
 
-use pi_core::{Field, FlowKey, FlowMask, MaskedKey, ALL_FIELDS};
-use proptest::prelude::*;
+use pi_core::{FlowKey, FlowMask, MaskedKey, SplitMix64, ALL_FIELDS};
 
-/// Strategy: an arbitrary flow key.
-fn arb_key() -> impl Strategy<Value = FlowKey> {
-    (
-        any::<u32>(),  // in_port
-        any::<u64>(),  // eth_src (48 bits used)
-        any::<u64>(),  // eth_dst
-        any::<u16>(),  // eth_type
-        any::<u32>(),  // ip_src
-        any::<u32>(),  // ip_dst
-        (any::<u8>(), any::<u8>(), any::<u8>()),
-        any::<u16>(),  // tp_src
-        any::<u16>(),  // tp_dst
-    )
-        .prop_map(
-            |(in_port, es, ed, et, ip_s, ip_d, (proto, tos, ttl), tp_s, tp_d)| {
-                let mut k = FlowKey::default();
-                k.set_field(Field::InPort, in_port as u64).unwrap();
-                k.set_field(Field::EthSrc, es & Field::EthSrc.full_mask())
-                    .unwrap();
-                k.set_field(Field::EthDst, ed & Field::EthDst.full_mask())
-                    .unwrap();
-                k.set_field(Field::EthType, et as u64).unwrap();
-                k.set_field(Field::IpSrc, ip_s as u64).unwrap();
-                k.set_field(Field::IpDst, ip_d as u64).unwrap();
-                k.set_field(Field::IpProto, proto as u64).unwrap();
-                k.set_field(Field::IpTos, tos as u64).unwrap();
-                k.set_field(Field::IpTtl, ttl as u64).unwrap();
-                k.set_field(Field::TpSrc, tp_s as u64).unwrap();
-                k.set_field(Field::TpDst, tp_d as u64).unwrap();
-                k
-            },
-        )
+const CASES: u64 = 512;
+
+fn rand_key(rng: &mut SplitMix64) -> FlowKey {
+    let mut k = FlowKey::default();
+    for f in ALL_FIELDS {
+        k.set_field(f, rng.next_u64() & f.full_mask()).unwrap();
+    }
+    k
 }
 
-/// Strategy: an arbitrary mask (each field independently masked).
-fn arb_mask() -> impl Strategy<Value = FlowMask> {
-    proptest::collection::vec(any::<u64>(), ALL_FIELDS.len()).prop_map(|bits| {
-        let mut m = FlowMask::default();
-        for (f, b) in ALL_FIELDS.iter().zip(bits) {
-            m.set_field(*f, b & f.full_mask()).unwrap();
-        }
-        m
-    })
+fn rand_mask(rng: &mut SplitMix64) -> FlowMask {
+    let mut m = FlowMask::default();
+    for f in ALL_FIELDS {
+        m.set_field(f, rng.next_u64() & f.full_mask()).unwrap();
+    }
+    m
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(512))]
-
-    #[test]
-    fn apply_is_idempotent(key in arb_key(), mask in arb_mask()) {
+/// Runs `body` for `CASES` deterministic cases, each with its own RNG
+/// stream so failures are reproducible from the reported case index.
+#[test]
+fn apply_is_idempotent() {
+    pi_core::for_cases(CASES, 0x01, |rng| {
+        let key = rand_key(rng);
+        let mask = rand_mask(rng);
         let once = mask.apply(&key);
-        prop_assert_eq!(mask.apply(&once), once);
-    }
+        assert_eq!(mask.apply(&once), once);
+    });
+}
 
-    #[test]
-    fn union_is_commutative_associative(a in arb_mask(), b in arb_mask(), c in arb_mask()) {
-        prop_assert_eq!(a.union(&b), b.union(&a));
-        prop_assert_eq!(a.union(&b).union(&c), a.union(&b.union(&c)));
-    }
+#[test]
+fn union_is_commutative_associative() {
+    pi_core::for_cases(CASES, 0x02, |rng| {
+        let (a, b, c) = (rand_mask(rng), rand_mask(rng), rand_mask(rng));
+        assert_eq!(a.union(&b), b.union(&a));
+        assert_eq!(a.union(&b).union(&c), a.union(&b.union(&c)));
+    });
+}
 
-    #[test]
-    fn union_upper_bounds_inputs(a in arb_mask(), b in arb_mask()) {
+#[test]
+fn union_upper_bounds_inputs() {
+    pi_core::for_cases(CASES, 0x03, |rng| {
+        let (a, b) = (rand_mask(rng), rand_mask(rng));
         let u = a.union(&b);
-        prop_assert!(a.is_subset_of(&u));
-        prop_assert!(b.is_subset_of(&u));
-    }
+        assert!(a.is_subset_of(&u));
+        assert!(b.is_subset_of(&u));
+    });
+}
 
-    #[test]
-    fn subset_iff_bitwise_implication(a in arb_mask(), b in arb_mask()) {
+#[test]
+fn subset_iff_bitwise_implication() {
+    pi_core::for_cases(CASES, 0x04, |rng| {
+        let (a, b) = (rand_mask(rng), rand_mask(rng));
         let expected = ALL_FIELDS
             .iter()
             .all(|f| a.field(*f) & b.field(*f) == a.field(*f));
-        prop_assert_eq!(a.is_subset_of(&b), expected);
-    }
+        assert_eq!(a.is_subset_of(&b), expected);
+    });
+}
 
-    #[test]
-    fn wider_mask_matches_fewer_packets(key in arb_key(), pkt in arb_key(), a in arb_mask(), extra in arb_mask()) {
+#[test]
+fn wider_mask_matches_fewer_packets() {
+    pi_core::for_cases(CASES, 0x05, |rng| {
+        let key = rand_key(rng);
+        let pkt = rand_key(rng);
+        let a = rand_mask(rng);
+        let extra = rand_mask(rng);
         // Construct b ⊇ a, so matching under b implies matching under a.
         let b = a.union(&extra);
-        prop_assert!(a.is_subset_of(&b));
+        assert!(a.is_subset_of(&b));
         let mk_a = MaskedKey::new(key, a);
         let mk_b = MaskedKey::new(key, b);
         if mk_b.matches(&pkt) {
-            prop_assert!(mk_a.matches(&pkt));
+            assert!(mk_a.matches(&pkt));
         }
-    }
+    });
+}
 
-    #[test]
-    fn masked_key_matches_its_witness(key in arb_key(), mask in arb_mask()) {
+#[test]
+fn masked_key_matches_its_witness() {
+    pi_core::for_cases(CASES, 0x06, |rng| {
+        let key = rand_key(rng);
+        let mask = rand_mask(rng);
         let mk = MaskedKey::new(key, mask);
-        prop_assert!(mk.matches(&mk.witness()));
+        assert!(mk.matches(&mk.witness()));
         // And the original key matches too (canonicalisation is sound).
-        prop_assert!(mk.matches(&key));
-    }
+        assert!(mk.matches(&key));
+    });
+}
 
-    #[test]
-    fn overlap_is_symmetric_and_reflexive(k1 in arb_key(), k2 in arb_key(), m1 in arb_mask(), m2 in arb_mask()) {
-        let a = MaskedKey::new(k1, m1);
-        let b = MaskedKey::new(k2, m2);
-        prop_assert_eq!(a.overlaps(&b), b.overlaps(&a));
-        prop_assert!(a.overlaps(&a));
-    }
+#[test]
+fn overlap_is_symmetric_and_reflexive() {
+    pi_core::for_cases(CASES, 0x07, |rng| {
+        let a = MaskedKey::new(rand_key(rng), rand_mask(rng));
+        let b = MaskedKey::new(rand_key(rng), rand_mask(rng));
+        assert_eq!(a.overlaps(&b), b.overlaps(&a));
+        assert!(a.overlaps(&a));
+    });
+}
 
-    #[test]
-    fn subset_implies_overlap(k1 in arb_key(), k2 in arb_key(), m1 in arb_mask(), m2 in arb_mask()) {
-        let a = MaskedKey::new(k1, m1);
-        let b = MaskedKey::new(k2, m2);
+#[test]
+fn subset_implies_overlap() {
+    pi_core::for_cases(CASES, 0x08, |rng| {
+        let a = MaskedKey::new(rand_key(rng), rand_mask(rng));
+        let b = MaskedKey::new(rand_key(rng), rand_mask(rng));
         if a.is_subset_of(&b) {
-            prop_assert!(a.overlaps(&b));
+            assert!(a.overlaps(&b));
         }
-    }
+    });
+}
 
-    #[test]
-    fn shared_match_implies_overlap(pkt in arb_key(), k1 in arb_key(), k2 in arb_key(), m1 in arb_mask(), m2 in arb_mask()) {
-        let a = MaskedKey::new(k1, m1);
-        let b = MaskedKey::new(k2, m2);
+#[test]
+fn shared_match_implies_overlap() {
+    pi_core::for_cases(CASES, 0x09, |rng| {
+        let pkt = rand_key(rng);
+        let a = MaskedKey::new(rand_key(rng), rand_mask(rng));
+        let b = MaskedKey::new(rand_key(rng), rand_mask(rng));
         if a.matches(&pkt) && b.matches(&pkt) {
-            prop_assert!(a.overlaps(&b), "packet in both ⇒ masked keys overlap");
+            assert!(a.overlaps(&b), "packet in both ⇒ masked keys overlap");
         }
-    }
+    });
+}
 
-    #[test]
-    fn key_field_round_trip(key in arb_key()) {
+#[test]
+fn key_field_round_trip() {
+    pi_core::for_cases(CASES, 0x0a, |rng| {
+        let key = rand_key(rng);
         let mut rebuilt = FlowKey::default();
         for f in ALL_FIELDS {
             rebuilt.set_field(f, key.field(f)).unwrap();
         }
-        prop_assert_eq!(rebuilt, key);
-    }
+        assert_eq!(rebuilt, key);
+    });
+}
 
-    #[test]
-    fn significant_bits_additive_under_disjoint_union(a in arb_mask(), b in arb_mask()) {
+#[test]
+fn significant_bits_additive_under_disjoint_union() {
+    pi_core::for_cases(CASES, 0x0b, |rng| {
+        let (a, b) = (rand_mask(rng), rand_mask(rng));
         // counting |a| + |b| − |a∩b| = |a∪b| for per-bit sets
         let inter: u32 = ALL_FIELDS
             .iter()
             .map(|f| (a.field(*f) & b.field(*f)).count_ones())
             .sum();
-        prop_assert_eq!(
+        assert_eq!(
             a.union(&b).significant_bits(),
             a.significant_bits() + b.significant_bits() - inter
         );
-    }
+    });
 }

@@ -50,7 +50,7 @@ impl Default for DpConfig {
             trie_fields: vec![Field::IpSrc, Field::IpDst, Field::TpSrc, Field::TpDst],
             staged_lookup: false,
             subtable_order: SubtableOrder::Insertion,
-            seed: 0x5eed_0f_0e5,
+            seed: 0x05_eed0_f0e5,
         }
     }
 }

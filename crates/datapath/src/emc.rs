@@ -99,13 +99,11 @@ impl MicroflowCache {
     /// absent. Hits refresh the entry's LRU stamp.
     pub fn lookup(&mut self, key: &FlowKey, generation: u64, now: SimTime) -> Option<Action> {
         let base = self.set_index(key) * self.ways;
-        for slot in self.slots[base..base + self.ways].iter_mut() {
-            if let Some(e) = slot {
-                if e.generation == generation && e.key == *key {
-                    e.last_used = now;
-                    self.stats.hits += 1;
-                    return Some(e.action);
-                }
+        for e in self.slots[base..base + self.ways].iter_mut().flatten() {
+            if e.generation == generation && e.key == *key {
+                e.last_used = now;
+                self.stats.hits += 1;
+                return Some(e.action);
             }
         }
         self.stats.misses += 1;

@@ -1,0 +1,56 @@
+//! Fleet-run parameters.
+
+use pi_sim::SimConfig;
+
+/// Global knobs of a cluster run: the per-host physics of
+/// [`SimConfig`] plus the execution parallelism.
+#[derive(Debug, Clone, Copy)]
+pub struct FleetConfig {
+    /// Per-host simulation physics (tick, duration, CPU budget, queue,
+    /// fabric link rate, sampling).
+    pub sim: SimConfig,
+    /// Worker threads stepping host shards. `1` runs every shard on a
+    /// single worker; results are identical for any value (the epoch
+    /// synchronizer merges cross-host traffic in shard order).
+    pub workers: usize,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            sim: SimConfig::default(),
+            workers: 1,
+        }
+    }
+}
+
+impl FleetConfig {
+    /// A config with `workers` threads and default physics.
+    pub fn with_workers(workers: usize) -> Self {
+        FleetConfig {
+            workers,
+            ..Default::default()
+        }
+    }
+
+    /// Effective worker count (at least one).
+    pub fn effective_workers(&self) -> usize {
+        self.workers.max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn worker_count_is_clamped_to_one() {
+        assert_eq!(FleetConfig::default().effective_workers(), 1);
+        let c = FleetConfig {
+            workers: 0,
+            ..Default::default()
+        };
+        assert_eq!(c.effective_workers(), 1);
+        assert_eq!(FleetConfig::with_workers(8).effective_workers(), 8);
+    }
+}

@@ -1,0 +1,412 @@
+//! The cluster engine: builder, worker pool and the epoch loop.
+//!
+//! Execution model (rustasim-style conservative synchronization,
+//! specialised to a constant one-tick fabric latency):
+//!
+//! * every host shard is stepped once per epoch (= one simulation
+//!   tick), workers own disjoint shard sets and step them in shard-id
+//!   order;
+//! * cross-host packets and delivery receipts produced during epoch
+//!   `t` are exchanged through bounded channels and delivered at the
+//!   start of epoch `t + 1`;
+//! * the coordinator merges per-destination traffic **in sending-shard
+//!   order**, so the bytes a shard observes never depend on worker
+//!   count or thread scheduling — the property the determinism test
+//!   pins.
+
+use std::collections::HashMap;
+use std::sync::mpsc::{Receiver, SyncSender};
+use std::thread;
+
+use pi_classifier::FlowTable;
+use pi_core::{Port, SimTime};
+use pi_datapath::{CostModel, DpConfig};
+use pi_sim::NodeCell;
+use pi_traffic::TrafficSource;
+
+use crate::config::FleetConfig;
+use crate::report::FleetReport;
+use crate::shard::{FleetSlot, HostCmd, HostShard, Inbound, ShardOutput, TickCtx};
+
+/// A pod migration scheduled at build time.
+#[derive(Debug, Clone)]
+struct MigrationSpec {
+    at: SimTime,
+    ip: u32,
+    to_host: usize,
+}
+
+/// Builder for a [`FleetSim`].
+pub struct FleetBuilder {
+    cfg: FleetConfig,
+    cost: CostModel,
+    hosts: Vec<DpConfig>,
+    next_vport: Vec<u32>,
+    pods: Vec<(usize, u32, u32)>, // (host, ip, vport)
+    acls: Vec<(u32, FlowTable)>,
+    sources: Vec<(usize, Box<dyn TrafficSource + Send>)>,
+    migrations: Vec<MigrationSpec>,
+}
+
+impl FleetBuilder {
+    /// Starts a build with global parameters and the default cost model.
+    pub fn new(cfg: FleetConfig) -> Self {
+        FleetBuilder {
+            cfg,
+            cost: CostModel::default(),
+            hosts: Vec::new(),
+            next_vport: Vec::new(),
+            pods: Vec::new(),
+            acls: Vec::new(),
+            sources: Vec::new(),
+            migrations: Vec::new(),
+        }
+    }
+
+    /// Overrides the cycle cost model for every switch.
+    #[must_use]
+    pub fn cost_model(mut self, cost: CostModel) -> Self {
+        self.cost = cost;
+        self
+    }
+
+    /// Adds a host with its datapath configuration; returns the host
+    /// index (== shard id).
+    pub fn add_host(&mut self, dp: DpConfig) -> usize {
+        self.hosts.push(dp);
+        self.next_vport.push(1);
+        self.hosts.len() - 1
+    }
+
+    /// Attaches a pod with IP `ip` (host order) to `host`, allocating
+    /// its vport; returns the vport.
+    pub fn add_pod(&mut self, host: usize, ip: u32) -> u32 {
+        let vport = self.next_vport[host];
+        self.next_vport[host] += 1;
+        self.add_pod_at(host, ip, vport);
+        vport
+    }
+
+    /// Attaches a pod with a caller-chosen vport (used when the CMS has
+    /// already allocated it; see [`crate::ClusterBuilder`]).
+    pub fn add_pod_at(&mut self, host: usize, ip: u32, vport: u32) {
+        self.next_vport[host] = self.next_vport[host].max(vport + 1);
+        self.pods.push((host, ip, vport));
+    }
+
+    /// Installs an ingress ACL at the pod with IP `ip` (on its home
+    /// switch; reinstalled automatically if the pod later migrates).
+    pub fn install_acl(&mut self, ip: u32, table: FlowTable) {
+        self.acls.push((ip, table));
+    }
+
+    /// Registers a traffic source injecting at `host`; returns its
+    /// global source index (order of registration).
+    pub fn add_source(
+        &mut self,
+        host: usize,
+        source: Box<dyn TrafficSource + Send>,
+    ) -> usize {
+        self.sources.push((host, source));
+        self.sources.len() - 1
+    }
+
+    /// Schedules a live migration: at simulated time `at`, the pod at
+    /// `ip` detaches from its current host and re-attaches on
+    /// `to_host` (with its ACL, if any). Traffic in flight is tunnelled
+    /// through the old host's uplink during the switchover.
+    pub fn schedule_migration(&mut self, at: SimTime, ip: u32, to_host: usize) {
+        self.migrations.push(MigrationSpec { at, ip, to_host });
+    }
+
+    /// Finalises the topology.
+    pub fn build(self) -> FleetSim {
+        assert!(!self.hosts.is_empty(), "need at least one host");
+        let n = self.hosts.len();
+        let cfg = self.cfg;
+
+        let mut routes: HashMap<u32, usize> = HashMap::new();
+        for &(host, ip, _) in &self.pods {
+            assert!(
+                routes.insert(ip, host).is_none(),
+                "pod IPs must be unique across the fleet"
+            );
+        }
+
+        let mut nodes: Vec<NodeCell<usize>> = self
+            .hosts
+            .into_iter()
+            .map(|dp| NodeCell::new(dp, self.cost))
+            .collect();
+        for &(host, ip, vport) in &self.pods {
+            for (i, node) in nodes.iter_mut().enumerate() {
+                let raw = if i == host { vport } else { Port::Uplink.raw() };
+                node.switch_mut().attach_pod(ip, raw);
+            }
+        }
+        let mut acl_map: HashMap<u32, FlowTable> = HashMap::new();
+        for (ip, table) in self.acls {
+            let host = *routes.get(&ip).expect("ACL target pod must be attached");
+            let ok = nodes[host].switch_mut().install_acl(ip, table.clone());
+            assert!(ok, "ACL install must succeed on the home switch");
+            acl_map.insert(ip, table);
+        }
+
+        let source_home: Vec<usize> = self.sources.iter().map(|(h, _)| *h).collect();
+        let mut per_host_slots: Vec<Vec<FleetSlot>> = (0..n).map(|_| Vec::new()).collect();
+        for (global, (host, source)) in self.sources.into_iter().enumerate() {
+            per_host_slots[host].push(FleetSlot::new(global, source));
+        }
+
+        let shards: Vec<HostShard> = nodes
+            .into_iter()
+            .zip(per_host_slots)
+            .enumerate()
+            .map(|(id, (node, slots))| {
+                HostShard::new(id, node, routes.clone(), source_home.clone(), slots)
+            })
+            .collect();
+
+        // Resolve migrations into per-tick command batches.
+        let tick_ns = cfg.sim.tick.as_nanos();
+        let mut next_vport = self.next_vport;
+        let mut location = routes.clone();
+        let mut migrations = self.migrations;
+        migrations.sort_by_key(|m| m.at);
+        let mut commands: Vec<(u64, usize, HostCmd)> = Vec::new();
+        for m in migrations {
+            let tick = m.at.as_nanos() / tick_ns;
+            let from = *location
+                .get(&m.ip)
+                .expect("migrating pod must be attached");
+            if from == m.to_host {
+                continue;
+            }
+            let vport = next_vport[m.to_host];
+            next_vport[m.to_host] += 1;
+            for shard in 0..n {
+                commands.push((
+                    tick,
+                    shard,
+                    HostCmd::Route {
+                        ip: m.ip,
+                        shard: m.to_host,
+                    },
+                ));
+            }
+            commands.push((tick, from, HostCmd::DetachToUplink { ip: m.ip }));
+            commands.push((
+                tick,
+                m.to_host,
+                HostCmd::AttachLocal {
+                    ip: m.ip,
+                    vport,
+                    acl: acl_map.get(&m.ip).cloned(),
+                },
+            ));
+            location.insert(m.ip, m.to_host);
+        }
+
+        FleetSim {
+            cfg,
+            shards,
+            commands,
+        }
+    }
+}
+
+/// A runnable cluster simulation.
+pub struct FleetSim {
+    cfg: FleetConfig,
+    shards: Vec<HostShard>,
+    /// (tick, shard, command), in schedule order.
+    commands: Vec<(u64, usize, HostCmd)>,
+}
+
+enum ToWorker {
+    Tick {
+        tick: u64,
+        /// (shard, inbound, commands) for each shard this worker owns.
+        batches: Vec<(usize, Inbound, Vec<HostCmd>)>,
+    },
+    Finish,
+}
+
+enum FromWorker {
+    Ticked {
+        outputs: Vec<(usize, ShardOutput)>,
+    },
+    Done {
+        shards: Vec<HostShard>,
+    },
+}
+
+fn worker_loop(
+    mut shards: Vec<HostShard>,
+    ctx: TickCtx,
+    tick_ns: u64,
+    rx: Receiver<ToWorker>,
+    tx: SyncSender<FromWorker>,
+) {
+    loop {
+        match rx.recv().expect("coordinator hung up mid-run") {
+            ToWorker::Tick { tick, batches } => {
+                let now = SimTime::from_nanos(tick * tick_ns);
+                let next = now + SimTime::from_nanos(tick_ns);
+                let mut outputs = Vec::with_capacity(batches.len());
+                for (shard_id, inbound, cmds) in batches {
+                    let shard = shards
+                        .iter_mut()
+                        .find(|s| s.id == shard_id)
+                        .expect("worker owns the shard it is asked to step");
+                    outputs.push((shard_id, shard.tick(tick, now, next, &ctx, inbound, &cmds)));
+                }
+                tx.send(FromWorker::Ticked { outputs })
+                    .expect("coordinator hung up mid-run");
+            }
+            ToWorker::Finish => {
+                tx.send(FromWorker::Done {
+                    shards: std::mem::take(&mut shards),
+                })
+                .expect("coordinator hung up at finish");
+                return;
+            }
+        }
+    }
+}
+
+impl FleetSim {
+    /// Number of host shards.
+    pub fn host_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Runs to completion and reports.
+    pub fn run(self) -> FleetReport {
+        let FleetSim {
+            cfg,
+            shards,
+            commands,
+        } = self;
+        let n = shards.len();
+        let workers = cfg.effective_workers().min(n.max(1));
+        let sim = cfg.sim;
+        let ctx = TickCtx {
+            shards: n,
+            cycles_per_tick: sim.cycles_per_tick(),
+            link_bytes_per_tick: sim.link_bytes_per_tick(),
+            queue_capacity: sim.queue_capacity,
+            sample_every_ticks: (sim.sample_interval.as_nanos() / sim.tick.as_nanos()).max(1),
+            window_secs: sim.sample_interval.as_secs_f64(),
+            cpu_cycles_per_sec: sim.cpu_cycles_per_sec,
+        };
+        let tick_ns = sim.tick.as_nanos();
+        let ticks = sim.tick_count();
+
+        // Partition shards round-robin over workers; remember the owner
+        // of each shard id.
+        let owner: Vec<usize> = (0..n).map(|i| i % workers).collect();
+        let mut parts: Vec<Vec<HostShard>> = (0..workers).map(|_| Vec::new()).collect();
+        for shard in shards {
+            parts[shard.id % workers].push(shard);
+        }
+
+        // Bounded channels: one in-flight epoch per worker keeps the
+        // pipeline tight without unbounded buffering.
+        let mut to_workers: Vec<SyncSender<ToWorker>> = Vec::with_capacity(workers);
+        let mut from_workers: Vec<Receiver<FromWorker>> = Vec::with_capacity(workers);
+        let mut handles = Vec::with_capacity(workers);
+        for part in parts {
+            let (cmd_tx, cmd_rx) = std::sync::mpsc::sync_channel::<ToWorker>(1);
+            let (res_tx, res_rx) = std::sync::mpsc::sync_channel::<FromWorker>(1);
+            to_workers.push(cmd_tx);
+            from_workers.push(res_rx);
+            handles.push(thread::spawn(move || {
+                worker_loop(part, ctx, tick_ns, cmd_rx, res_tx)
+            }));
+        }
+
+        let mut inbounds: Vec<Inbound> = (0..n).map(|_| Inbound::default()).collect();
+        let mut cmd_cursor = 0usize;
+        for tick in 0..ticks {
+            // Commands scheduled for this epoch, already in shard order
+            // within the tick.
+            let mut tick_cmds: Vec<Vec<HostCmd>> = (0..n).map(|_| Vec::new()).collect();
+            while cmd_cursor < commands.len() && commands[cmd_cursor].0 <= tick {
+                let (_, shard, cmd) = commands[cmd_cursor].clone();
+                tick_cmds[shard].push(cmd);
+                cmd_cursor += 1;
+            }
+
+            // Dispatch: hand every worker its shards' inbound + cmds.
+            let mut batches: Vec<Vec<(usize, Inbound, Vec<HostCmd>)>> =
+                (0..workers).map(|_| Vec::new()).collect();
+            for (shard_id, inbound) in inbounds.drain(..).enumerate() {
+                batches[owner[shard_id]].push((
+                    shard_id,
+                    inbound,
+                    std::mem::take(&mut tick_cmds[shard_id]),
+                ));
+            }
+            for (w, batch) in batches.into_iter().enumerate() {
+                to_workers[w]
+                    .send(ToWorker::Tick {
+                        tick,
+                        batches: batch,
+                    })
+                    .expect("worker died mid-run");
+            }
+
+            // Barrier: collect every shard's output, then merge for the
+            // next epoch in sending-shard order.
+            let mut outputs: Vec<Option<ShardOutput>> = (0..n).map(|_| None).collect();
+            for rx in &from_workers {
+                match rx.recv().expect("worker died mid-run") {
+                    FromWorker::Ticked { outputs: outs } => {
+                        for (shard_id, out) in outs {
+                            outputs[shard_id] = Some(out);
+                        }
+                    }
+                    FromWorker::Done { .. } => unreachable!("workers only finish on request"),
+                }
+            }
+            inbounds = (0..n).map(|_| Inbound::default()).collect();
+            for output in outputs.into_iter().map(|o| o.expect("every shard stepped")) {
+                for (dst, pkts) in output.packets.into_iter().enumerate() {
+                    inbounds[dst].packets.extend(pkts);
+                }
+                for (home, receipts) in output.receipts.into_iter().enumerate() {
+                    inbounds[home].receipts.extend(receipts);
+                }
+            }
+        }
+
+        // Tear down and collect the shards back in id order.
+        for tx in &to_workers {
+            tx.send(ToWorker::Finish).expect("worker died at finish");
+        }
+        let mut final_shards: Vec<Option<HostShard>> = (0..n).map(|_| None).collect();
+        for rx in &from_workers {
+            match rx.recv().expect("worker died at finish") {
+                FromWorker::Done { shards } => {
+                    for s in shards {
+                        let id = s.id;
+                        final_shards[id] = Some(s);
+                    }
+                }
+                FromWorker::Ticked { .. } => unreachable!("no ticks outstanding at finish"),
+            }
+        }
+        for h in handles {
+            h.join().expect("worker panicked");
+        }
+
+        FleetReport::assemble(
+            workers,
+            final_shards
+                .into_iter()
+                .map(|s| s.expect("all shards returned"))
+                .collect(),
+        )
+    }
+}

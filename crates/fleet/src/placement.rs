@@ -1,0 +1,165 @@
+//! [`ClusterBuilder`]: tenant placement on top of the `pi_cms`
+//! tenant/pod model, glued to the fleet engine.
+//!
+//! The CMS owns identity (tenants, pods, IPs, vports, policy
+//! admission); the fleet engine owns execution (shards, queues, cycle
+//! budgets). The builder keeps the two consistent: every pod the cloud
+//! schedules is attached to its shard's switch, and every policy that
+//! passes CMS admission lands on the right home switch.
+
+use pi_cms::cloud::CompiledPolicy;
+use pi_cms::{Cloud, CmsError, NodeId, PlacementStrategy, Pod, PodId, TenantId};
+use pi_datapath::DpConfig;
+use pi_traffic::TrafficSource;
+
+use crate::config::FleetConfig;
+use crate::engine::{FleetBuilder, FleetSim};
+use pi_core::SimTime;
+
+/// Builds a cluster: a CMS cloud and a fleet simulation, kept in sync.
+pub struct ClusterBuilder {
+    cloud: Cloud,
+    fleet: FleetBuilder,
+}
+
+impl ClusterBuilder {
+    /// A cluster of `hosts` identical hosts.
+    pub fn new(cfg: FleetConfig, hosts: usize, dp: DpConfig) -> Self {
+        let mut cloud = Cloud::new();
+        let mut fleet = FleetBuilder::new(cfg);
+        for _ in 0..hosts {
+            let node = cloud.add_node();
+            let shard = fleet.add_host(dp.clone());
+            assert_eq!(node.0 as usize, shard, "cloud nodes mirror fleet shards");
+        }
+        ClusterBuilder { cloud, fleet }
+    }
+
+    /// The management-plane view.
+    pub fn cloud(&self) -> &Cloud {
+        &self.cloud
+    }
+
+    /// Registers a tenant.
+    pub fn add_tenant(&mut self) -> TenantId {
+        self.cloud.add_tenant()
+    }
+
+    /// Schedules `count` pods for `tenant` via `strategy` and attaches
+    /// each to its host's switch.
+    pub fn place_pods(
+        &mut self,
+        tenant: TenantId,
+        count: usize,
+        strategy: PlacementStrategy,
+    ) -> Vec<PodId> {
+        let ids = self.cloud.place_pods(tenant, count, strategy);
+        for id in &ids {
+            self.attach(*id);
+        }
+        ids
+    }
+
+    /// Schedules one pod on an explicit host (a client/probe endpoint
+    /// whose location the experiment controls).
+    pub fn place_pod_on(&mut self, tenant: TenantId, host: usize) -> PodId {
+        let id = self.cloud.add_pod(tenant, NodeId(host as u32));
+        self.attach(id);
+        id
+    }
+
+    fn attach(&mut self, id: PodId) {
+        let pod = self.cloud.pod(id).expect("pod just scheduled").clone();
+        self.fleet
+            .add_pod_at(pod.node.0 as usize, pod.ip, pod.vport);
+    }
+
+    /// Pod metadata.
+    pub fn pod(&self, id: PodId) -> &Pod {
+        self.cloud.pod(id).expect("pod exists")
+    }
+
+    /// The shard hosting `pod`.
+    pub fn host_of(&self, id: PodId) -> usize {
+        self.pod(id).node.0 as usize
+    }
+
+    /// Installs a policy that already passed CMS admission onto the
+    /// pod's home switch.
+    pub fn install_policy(&mut self, compiled: &CompiledPolicy) {
+        let ip = self.pod(compiled.pod).ip;
+        self.fleet.install_acl(ip, compiled.table.clone());
+    }
+
+    /// Tenant-applies a policy through the CMS and, on admission,
+    /// installs it — the full injection path.
+    pub fn apply_and_install(
+        &mut self,
+        tenant: TenantId,
+        pod: PodId,
+        apply: impl FnOnce(&Cloud, TenantId, PodId) -> Result<CompiledPolicy, CmsError>,
+    ) -> Result<CompiledPolicy, CmsError> {
+        let compiled = apply(&self.cloud, tenant, pod)?;
+        self.install_policy(&compiled);
+        Ok(compiled)
+    }
+
+    /// Registers a traffic source injecting at `host`; returns its
+    /// global source index.
+    pub fn add_source(
+        &mut self,
+        host: usize,
+        source: Box<dyn TrafficSource + Send>,
+    ) -> usize {
+        self.fleet.add_source(host, source)
+    }
+
+    /// Schedules a live migration of `pod` to `to_host` at `at`.
+    pub fn schedule_migration(&mut self, at: SimTime, pod: PodId, to_host: usize) {
+        let ip = self.pod(pod).ip;
+        self.fleet.schedule_migration(at, ip, to_host);
+    }
+
+    /// Finalises the cluster.
+    pub fn build(self) -> FleetSim {
+        self.fleet.build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pi_cms::NetworkPolicy;
+
+    #[test]
+    fn cloud_and_fleet_stay_in_sync() {
+        let mut cb = ClusterBuilder::new(FleetConfig::default(), 3, DpConfig::default());
+        let t = cb.add_tenant();
+        let pods = cb.place_pods(t, 6, PlacementStrategy::RoundRobin);
+        assert_eq!(pods.len(), 6);
+        let hosts: Vec<usize> = pods.iter().map(|p| cb.host_of(*p)).collect();
+        for h in 0..3 {
+            assert_eq!(hosts.iter().filter(|&&x| x == h).count(), 2);
+        }
+        let sim = cb.build();
+        assert_eq!(sim.host_count(), 3);
+    }
+
+    #[test]
+    fn policy_injection_goes_through_cms_admission() {
+        let mut cb = ClusterBuilder::new(FleetConfig::default(), 2, DpConfig::default());
+        let owner = cb.add_tenant();
+        let other = cb.add_tenant();
+        let pod = cb.place_pods(owner, 1, PlacementStrategy::RoundRobin)[0];
+        let policy = NetworkPolicy::allow_from_cidr("mine", "10.0.0.0/8".parse().unwrap());
+        let compiled = cb
+            .apply_and_install(owner, pod, |c, t, p| c.apply_k8s_policy(t, p, &policy))
+            .unwrap();
+        assert_eq!(compiled.pod, pod);
+        // The tenancy check still bites through the cluster facade.
+        let err = cb
+            .apply_and_install(other, pod, |c, t, p| c.apply_k8s_policy(t, p, &policy))
+            .unwrap_err();
+        assert!(matches!(err, CmsError::NotYourPod { .. }));
+    }
+}

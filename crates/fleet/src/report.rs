@@ -1,0 +1,170 @@
+//! Fleet-wide results: per-source and per-host series, totals, and the
+//! blast-radius metrics the multi-tenant threat model is about.
+
+use pi_core::SimTime;
+use pi_datapath::SwitchStats;
+use pi_metrics::{degradation_ratio, sum_series, TimeSeries};
+use pi_sim::SourceTotals;
+
+use crate::shard::HostShard;
+
+/// Everything a cluster run produces.
+#[derive(Debug)]
+pub struct FleetReport {
+    /// Hosts simulated.
+    pub hosts: usize,
+    /// Worker threads actually used (the configured count is clamped to
+    /// the host count).
+    pub workers: usize,
+    /// Per-source delivered throughput, bits/second (global source
+    /// order).
+    pub throughput_bps: Vec<TimeSeries>,
+    /// Per-source offered load, bits/second.
+    pub offered_bps: Vec<TimeSeries>,
+    /// Per-host distinct megaflow mask count.
+    pub masks: Vec<TimeSeries>,
+    /// Per-host megaflow entry count.
+    pub megaflows: Vec<TimeSeries>,
+    /// Per-host CPU utilisation of the datapath budget, 0–1.
+    pub cpu_util: Vec<TimeSeries>,
+    /// Final switch statistics per host.
+    pub switch_stats: Vec<SwitchStats>,
+    /// Per-source totals (global source order).
+    pub source_totals: Vec<SourceTotals>,
+}
+
+/// How far one injected policy reaches: which co-located tenants and
+/// hosts degrade.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlastRadius {
+    /// Retained-throughput ratio (after/before the attack start) per
+    /// probed source, `None` when the source offered nothing before.
+    pub ratios: Vec<(usize, Option<f64>)>,
+    /// Probed sources whose ratio fell below the degradation threshold.
+    pub degraded_sources: Vec<usize>,
+    /// Hosts whose megaflow mask count exceeded the mask threshold
+    /// after the attack start (the attack's direct footprint).
+    pub affected_hosts: Vec<usize>,
+}
+
+impl BlastRadius {
+    /// Degraded fraction of the probed sources.
+    pub fn degraded_fraction(&self) -> f64 {
+        if self.ratios.is_empty() {
+            0.0
+        } else {
+            self.degraded_sources.len() as f64 / self.ratios.len() as f64
+        }
+    }
+}
+
+impl FleetReport {
+    pub(crate) fn assemble(workers: usize, shards: Vec<HostShard>) -> FleetReport {
+        let hosts = shards.len();
+        let n_sources = shards.iter().map(|s| s.slots.len()).sum();
+        let mut throughput: Vec<Option<TimeSeries>> = (0..n_sources).map(|_| None).collect();
+        let mut offered: Vec<Option<TimeSeries>> = (0..n_sources).map(|_| None).collect();
+        let mut totals: Vec<Option<SourceTotals>> = (0..n_sources).map(|_| None).collect();
+        let mut masks = Vec::with_capacity(hosts);
+        let mut megaflows = Vec::with_capacity(hosts);
+        let mut cpu = Vec::with_capacity(hosts);
+        let mut stats = Vec::with_capacity(hosts);
+        for shard in shards {
+            stats.push(shard.stats());
+            masks.push(shard.masks);
+            megaflows.push(shard.megaflows);
+            cpu.push(shard.cpu);
+            for slot in shard.slots {
+                let g = slot.global;
+                throughput[g] = Some(slot.throughput);
+                offered[g] = Some(slot.offered);
+                totals[g] = Some(SourceTotals {
+                    label: slot.label,
+                    generated: slot.total_generated,
+                    delivered: slot.total_delivered,
+                    dropped_capacity: slot.total_dropped_capacity,
+                    dropped_policy: slot.total_dropped_policy,
+                });
+            }
+        }
+        FleetReport {
+            hosts,
+            workers,
+            throughput_bps: throughput.into_iter().map(|s| s.expect("source")).collect(),
+            offered_bps: offered.into_iter().map(|s| s.expect("source")).collect(),
+            masks,
+            megaflows,
+            cpu_util: cpu,
+            switch_stats: stats,
+            source_totals: totals.into_iter().map(|t| t.expect("source")).collect(),
+        }
+    }
+
+    /// Total packets the fleet's switches processed — the work metric
+    /// the scaling bench divides by wall time.
+    pub fn total_switch_packets(&self) -> u64 {
+        self.switch_stats.iter().map(|s| s.packets).sum()
+    }
+
+    /// Aggregate delivered throughput of the given sources.
+    pub fn aggregate_throughput(&self, sources: &[usize], name: &str) -> TimeSeries {
+        let picked: Vec<&TimeSeries> =
+            sources.iter().map(|&i| &self.throughput_bps[i]).collect();
+        sum_series(name, &picked)
+    }
+
+    /// Computes the blast radius of an attack starting at `attack_start`:
+    /// each probed source is degraded when it retains less than
+    /// `degraded_below` (e.g. 0.5) of its pre-attack throughput; a host
+    /// is affected when its mean mask count after the start exceeds
+    /// `mask_threshold`.
+    pub fn blast_radius(
+        &self,
+        attack_start: SimTime,
+        probe_sources: &[usize],
+        degraded_below: f64,
+        mask_threshold: f64,
+    ) -> BlastRadius {
+        let ratios: Vec<(usize, Option<f64>)> = probe_sources
+            .iter()
+            .map(|&i| (i, degradation_ratio(&self.throughput_bps[i], attack_start)))
+            .collect();
+        let degraded_sources = ratios
+            .iter()
+            .filter(|(_, r)| matches!(r, Some(r) if *r < degraded_below))
+            .map(|(i, _)| *i)
+            .collect();
+        let affected_hosts = self
+            .masks
+            .iter()
+            .enumerate()
+            .filter(|(_, m)| {
+                let Some((end, _)) = m.last() else {
+                    return false;
+                };
+                m.mean_between(attack_start, end + SimTime::from_nanos(1)) > mask_threshold
+            })
+            .map(|(i, _)| i)
+            .collect();
+        BlastRadius {
+            ratios,
+            degraded_sources,
+            affected_hosts,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn degraded_fraction_handles_empty() {
+        let b = BlastRadius {
+            ratios: vec![],
+            degraded_sources: vec![],
+            affected_hosts: vec![],
+        };
+        assert_eq!(b.degraded_fraction(), 0.0);
+    }
+}

@@ -1,0 +1,340 @@
+//! One host shard: a [`NodeCell`] plus the shard-local halves of the
+//! cluster protocol — routing, source accounting, outbox/receipt
+//! production and sampling.
+//!
+//! A shard never touches another shard's memory. Everything it learns
+//! about the rest of the fleet arrives in its [`Inbound`] for the tick;
+//! everything it tells the fleet leaves in its [`ShardOutput`]. That
+//! discipline is what makes worker-count-independent determinism
+//! provable: the epoch merge (in shard-id order) is the only place
+//! cross-host ordering is decided.
+
+use std::collections::HashMap;
+
+use pi_classifier::FlowTable;
+use pi_core::{Port, SimTime};
+use pi_datapath::SwitchStats;
+use pi_metrics::TimeSeries;
+use pi_sim::{NodeCell, NodePacket, Routing};
+use pi_traffic::{GenPacket, TrafficSource};
+
+/// Fixed per-tick parameters shared by every shard.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct TickCtx {
+    pub shards: usize,
+    pub cycles_per_tick: u64,
+    pub link_bytes_per_tick: f64,
+    pub queue_capacity: usize,
+    pub sample_every_ticks: u64,
+    pub window_secs: f64,
+    pub cpu_cycles_per_sec: u64,
+}
+
+/// What happened to one packet, reported back to its source's shard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Outcome {
+    Delivered { bytes: u64 },
+    DroppedCapacity,
+    DroppedPolicy,
+}
+
+/// A delivery/drop report travelling back to the source's home shard.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Receipt {
+    /// Global source index.
+    pub source: usize,
+    pub outcome: Outcome,
+}
+
+/// Everything a shard receives at the start of a tick.
+#[derive(Debug, Default)]
+pub(crate) struct Inbound {
+    /// Cross-host packets forwarded during the previous tick, already
+    /// merged in sending-shard order.
+    pub packets: Vec<NodePacket<usize>>,
+    /// Outcome reports for this shard's sources, merged the same way.
+    pub receipts: Vec<Receipt>,
+}
+
+/// Everything a shard emits during a tick.
+#[derive(Debug)]
+pub(crate) struct ShardOutput {
+    /// Outgoing packets, indexed by destination shard.
+    pub packets: Vec<Vec<NodePacket<usize>>>,
+    /// Outgoing receipts, indexed by the source's home shard.
+    pub receipts: Vec<Vec<Receipt>>,
+}
+
+impl ShardOutput {
+    fn new(shards: usize) -> Self {
+        ShardOutput {
+            packets: (0..shards).map(|_| Vec::new()).collect(),
+            receipts: (0..shards).map(|_| Vec::new()).collect(),
+        }
+    }
+}
+
+/// A topology/routing change applied at a tick boundary (pod
+/// migration). Every shard applies its command list before processing,
+/// so the fleet's view changes atomically between epochs.
+#[derive(Debug, Clone)]
+pub(crate) enum HostCmd {
+    /// Point this shard's routing map for `ip` at `shard`.
+    Route { ip: u32, shard: usize },
+    /// The pod left this host: traffic to `ip` now exits the uplink.
+    DetachToUplink { ip: u32 },
+    /// The pod arrived on this host at `vport`, with its ACL (if any).
+    AttachLocal {
+        ip: u32,
+        vport: u32,
+        acl: Option<FlowTable>,
+    },
+}
+
+/// One local traffic source and its accounting.
+pub(crate) struct FleetSlot {
+    pub global: usize,
+    pub source: Box<dyn TrafficSource + Send>,
+    pub label: String,
+    tick_delivered: u64,
+    tick_dropped: u64,
+    window_delivered_bytes: u64,
+    window_generated_bytes: u64,
+    pub total_generated: u64,
+    pub total_delivered: u64,
+    pub total_dropped_capacity: u64,
+    pub total_dropped_policy: u64,
+    pub throughput: TimeSeries,
+    pub offered: TimeSeries,
+}
+
+impl FleetSlot {
+    pub fn new(global: usize, source: Box<dyn TrafficSource + Send>) -> Self {
+        let label = format!("{}#{global}", source.label());
+        FleetSlot {
+            global,
+            source,
+            throughput: TimeSeries::new(&format!("{label}_bps")),
+            offered: TimeSeries::new(&format!("{label}_offered_bps")),
+            label,
+            tick_delivered: 0,
+            tick_dropped: 0,
+            window_delivered_bytes: 0,
+            window_generated_bytes: 0,
+            total_generated: 0,
+            total_delivered: 0,
+            total_dropped_capacity: 0,
+            total_dropped_policy: 0,
+        }
+    }
+
+    fn apply(&mut self, outcome: Outcome) {
+        match outcome {
+            Outcome::Delivered { bytes } => {
+                self.tick_delivered += 1;
+                self.total_delivered += 1;
+                self.window_delivered_bytes += bytes;
+            }
+            Outcome::DroppedCapacity => {
+                self.tick_dropped += 1;
+                self.total_dropped_capacity += 1;
+            }
+            Outcome::DroppedPolicy => {
+                self.total_dropped_policy += 1;
+            }
+        }
+    }
+}
+
+/// One host of the fleet: switch, queue, local sources, routing view.
+pub(crate) struct HostShard {
+    pub id: usize,
+    pub node: NodeCell<usize>,
+    /// Destination IP → home shard, this shard's copy.
+    pub routes: HashMap<u32, usize>,
+    /// Global source index → home shard (immutable, fleet-wide).
+    pub source_home: Vec<usize>,
+    pub slots: Vec<FleetSlot>,
+    /// Global source index → local slot index.
+    slot_index: HashMap<usize, usize>,
+    pub masks: TimeSeries,
+    pub megaflows: TimeSeries,
+    pub cpu: TimeSeries,
+    genbuf: Vec<GenPacket>,
+}
+
+impl HostShard {
+    pub fn new(
+        id: usize,
+        node: NodeCell<usize>,
+        routes: HashMap<u32, usize>,
+        source_home: Vec<usize>,
+        slots: Vec<FleetSlot>,
+    ) -> Self {
+        let slot_index = slots
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (s.global, i))
+            .collect();
+        HostShard {
+            masks: TimeSeries::new(&format!("host{id}_masks")),
+            megaflows: TimeSeries::new(&format!("host{id}_megaflows")),
+            cpu: TimeSeries::new(&format!("host{id}_cpu")),
+            id,
+            node,
+            routes,
+            source_home,
+            slots,
+            slot_index,
+            genbuf: Vec::new(),
+        }
+    }
+
+    /// Applies `outcome` for `source` — directly when the source lives
+    /// here, as an outgoing receipt otherwise.
+    fn settle(&mut self, source: usize, outcome: Outcome, out: &mut ShardOutput) {
+        let home = self.source_home[source];
+        if home == self.id {
+            let local = self.slot_index[&source];
+            self.slots[local].apply(outcome);
+        } else {
+            out.receipts[home].push(Receipt { source, outcome });
+        }
+    }
+
+    /// Runs one epoch: commands → receipts → remote arrivals →
+    /// generation → switch processing → feedback → sampling.
+    pub fn tick(
+        &mut self,
+        tick: u64,
+        now: SimTime,
+        next: SimTime,
+        ctx: &TickCtx,
+        inbound: Inbound,
+        cmds: &[HostCmd],
+    ) -> ShardOutput {
+        let mut out = ShardOutput::new(ctx.shards);
+
+        // 0. Topology changes for this epoch.
+        for cmd in cmds {
+            match cmd {
+                HostCmd::Route { ip, shard } => {
+                    self.routes.insert(*ip, *shard);
+                }
+                HostCmd::DetachToUplink { ip } => {
+                    self.node.switch_mut().attach_pod(*ip, Port::Uplink.raw());
+                }
+                HostCmd::AttachLocal { ip, vport, acl } => {
+                    self.node.switch_mut().attach_pod(*ip, *vport);
+                    if let Some(table) = acl {
+                        self.node.switch_mut().install_acl(*ip, table.clone());
+                    }
+                }
+            }
+        }
+
+        // 1. Receipts for our sources from last tick's remote outcomes.
+        for r in inbound.receipts {
+            let local = self.slot_index[&r.source];
+            self.slots[local].apply(r.outcome);
+        }
+
+        // 2. Cross-host arrivals join the ingress queue ahead of fresh
+        //    generation (they were produced a tick earlier) — the same
+        //    order the two-node engine's fabric hand-off yields.
+        for pkt in inbound.packets {
+            let source = pkt.source;
+            if !self.node.enqueue(pkt, ctx.queue_capacity) {
+                self.settle(source, Outcome::DroppedCapacity, &mut out);
+            }
+        }
+
+        // 3. Local generation.
+        for li in 0..self.slots.len() {
+            let slot = &mut self.slots[li];
+            self.genbuf.clear();
+            slot.source.generate(now, next, &mut self.genbuf);
+            slot.total_generated += self.genbuf.len() as u64;
+            for p in &self.genbuf {
+                slot.window_generated_bytes += p.bytes as u64;
+                let accepted = self.node.enqueue(
+                    NodePacket {
+                        key: p.key,
+                        bytes: p.bytes,
+                        source: slot.global,
+                    },
+                    ctx.queue_capacity,
+                );
+                if !accepted {
+                    slot.tick_dropped += 1;
+                    slot.total_dropped_capacity += 1;
+                }
+            }
+        }
+
+        // 4. Switch processing under the cycle budget; route outcomes.
+        let mut link_budget = ctx.link_bytes_per_tick;
+        let mut settlements: Vec<(usize, Outcome)> = Vec::new();
+        let routes = &self.routes;
+        self.node.step(now, ctx.cycles_per_tick, |pkt, routing| {
+            match routing {
+                Routing::Uplink => match routes.get(&pkt.key.ip_dst).copied() {
+                    Some(dst) => {
+                        if link_budget >= pkt.bytes as f64 {
+                            link_budget -= pkt.bytes as f64;
+                            out.packets[dst].push(pkt);
+                        } else {
+                            settlements.push((pkt.source, Outcome::DroppedCapacity));
+                        }
+                    }
+                    // Uplink with no hosting shard — policy drop, as in
+                    // the two-node engine.
+                    None => settlements.push((pkt.source, Outcome::DroppedPolicy)),
+                },
+                Routing::Local(_vport) => settlements.push((
+                    pkt.source,
+                    Outcome::Delivered {
+                        bytes: pkt.bytes as u64,
+                    },
+                )),
+                Routing::Denied => settlements.push((pkt.source, Outcome::DroppedPolicy)),
+            }
+        });
+        for (source, outcome) in settlements {
+            self.settle(source, outcome, &mut out);
+        }
+        self.node.revalidate(next);
+
+        // 5. Feedback to local sources.
+        for slot in self.slots.iter_mut() {
+            slot.source.feedback(slot.tick_delivered, slot.tick_dropped);
+            slot.tick_delivered = 0;
+            slot.tick_dropped = 0;
+        }
+
+        // 6. Sampling at window boundaries.
+        if (tick + 1).is_multiple_of(ctx.sample_every_ticks) {
+            let t = next;
+            for slot in self.slots.iter_mut() {
+                slot.throughput
+                    .push(t, slot.window_delivered_bytes as f64 * 8.0 / ctx.window_secs);
+                slot.offered
+                    .push(t, slot.window_generated_bytes as f64 * 8.0 / ctx.window_secs);
+                slot.window_delivered_bytes = 0;
+                slot.window_generated_bytes = 0;
+            }
+            self.masks.push(t, self.node.switch().mask_count() as f64);
+            self.megaflows
+                .push(t, self.node.switch().megaflow_count() as f64);
+            let budget_window = ctx.cpu_cycles_per_sec as f64 * ctx.window_secs;
+            self.cpu
+                .push(t, self.node.take_window_cycles() as f64 / budget_window);
+        }
+
+        out
+    }
+
+    pub fn stats(&self) -> SwitchStats {
+        self.node.switch().stats()
+    }
+}

@@ -1,0 +1,87 @@
+//! The fleet's load-bearing guarantee: for a fixed seed and topology,
+//! results are **byte-for-byte identical** for any worker count.
+//! Parallelism is an execution detail; it must never leak into the
+//! physics.
+//!
+//! The comparison is on the full debug rendering of every report
+//! component (series points, totals, switch statistics), which is as
+//! byte-for-byte as the report gets.
+
+use pi_core::SimTime;
+use pi_fleet::scenario::{fleet_colocation, fleet_migration, ColocationParams, MigrationParams};
+use pi_fleet::FleetReport;
+
+/// Renders everything except the worker count (which legitimately
+/// differs between the compared runs).
+fn fingerprint(r: &FleetReport) -> String {
+    format!(
+        "{:?}\n{:?}\n{:?}\n{:?}\n{:?}\n{:?}\n{:?}\nhosts={}",
+        r.source_totals,
+        r.throughput_bps,
+        r.offered_bps,
+        r.masks,
+        r.megaflows,
+        r.cpu_util,
+        r.switch_stats,
+        r.hosts,
+    )
+}
+
+fn colocation_params(workers: usize) -> ColocationParams {
+    ColocationParams {
+        hosts: 4,
+        victims: 4,
+        attackers: 2,
+        duration: SimTime::from_secs(8),
+        attack_start: SimTime::from_secs(2),
+        stagger: SimTime::from_secs(1),
+        workers,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn colocation_run_is_identical_for_1_and_4_workers() {
+    let serial = fleet_colocation(&colocation_params(1)).0.run();
+    let parallel = fleet_colocation(&colocation_params(4)).0.run();
+    assert_eq!(serial.workers, 1);
+    assert_eq!(parallel.workers, 4);
+    assert_eq!(
+        fingerprint(&serial),
+        fingerprint(&parallel),
+        "worker count changed simulation results"
+    );
+    // Sanity: the run actually exercised the attack (masks exploded on
+    // the attacked hosts) — a trivially idle fleet would make this test
+    // vacuous.
+    let max_masks = serial.masks.iter().map(|m| m.max()).fold(0.0, f64::max);
+    assert!(max_masks > 4_000.0, "masks = {max_masks}");
+}
+
+#[test]
+fn colocation_is_identical_for_odd_worker_counts() {
+    // 3 workers over 4 shards: unbalanced ownership, same bytes.
+    let a = fleet_colocation(&colocation_params(3)).0.run();
+    let b = fleet_colocation(&colocation_params(4)).0.run();
+    assert_eq!(fingerprint(&a), fingerprint(&b));
+}
+
+#[test]
+fn migration_run_is_identical_for_1_and_4_workers() {
+    let params = |workers| MigrationParams {
+        hosts: 4,
+        victims: 3,
+        duration: SimTime::from_secs(8),
+        attack_start: SimTime::from_secs(1),
+        migrate_at: SimTime::from_secs(4),
+        workers,
+        ..Default::default()
+    };
+    let serial = fleet_migration(&params(1)).0.run();
+    let parallel = fleet_migration(&params(4)).0.run();
+    assert_eq!(
+        fingerprint(&serial),
+        fingerprint(&parallel),
+        "worker count changed migration results"
+    );
+}

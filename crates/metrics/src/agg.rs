@@ -1,0 +1,98 @@
+//! Cross-series aggregation for fleet-scale reports.
+//!
+//! A cluster run produces one series per source and per host; blast
+//! radius and scaling analyses need them combined: pointwise sums
+//! (aggregate delivered throughput) and before/after degradation
+//! ratios around an attack start time.
+
+use pi_core::SimTime;
+
+use crate::series::TimeSeries;
+
+/// Pointwise sum of sampled series, aligned by sample index (every
+/// series produced by one run shares the sampling clock). The result
+/// takes its timestamps from the longest input; shorter inputs
+/// contribute zero beyond their end.
+pub fn sum_series(name: &str, series: &[&TimeSeries]) -> TimeSeries {
+    let mut out = TimeSeries::new(name);
+    let Some(longest) = series.iter().max_by_key(|s| s.len()) else {
+        return out;
+    };
+    let mut totals = vec![0.0f64; longest.len()];
+    for s in series {
+        for (i, v) in s.values().enumerate() {
+            totals[i] += v;
+        }
+    }
+    for ((t, _), total) in longest.iter().zip(totals) {
+        out.push(t, total);
+    }
+    out
+}
+
+/// Throughput retained across `split`: mean after / mean before.
+///
+/// 1.0 means unaffected, 0.05 means the series collapsed to 5 % of its
+/// pre-split level. Returns `None` when either window is empty or the
+/// pre-split mean is not positive (nothing to degrade).
+pub fn degradation_ratio(series: &TimeSeries, split: SimTime) -> Option<f64> {
+    let end = series.last()?.0;
+    if split >= end {
+        return None;
+    }
+    let before = series.mean_between(SimTime::ZERO, split);
+    let after = series.mean_between(split, end + SimTime::from_nanos(1));
+    if before <= 0.0 || before.is_nan() {
+        return None;
+    }
+    Some(after / before)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series(name: &str, values: &[f64]) -> TimeSeries {
+        let mut s = TimeSeries::new(name);
+        for (i, v) in values.iter().enumerate() {
+            s.push(SimTime::from_secs(i as u64 + 1), *v);
+        }
+        s
+    }
+
+    #[test]
+    fn sum_aligns_by_index_and_pads_short_inputs() {
+        let a = series("a", &[1.0, 2.0, 3.0]);
+        let b = series("b", &[10.0, 20.0]);
+        let sum = sum_series("total", &[&a, &b]);
+        assert_eq!(sum.name(), "total");
+        let vals: Vec<f64> = sum.values().collect();
+        assert_eq!(vals, vec![11.0, 22.0, 3.0]);
+        // Timestamps come from the longest input.
+        assert_eq!(sum.last().unwrap().0, SimTime::from_secs(3));
+    }
+
+    #[test]
+    fn sum_of_nothing_is_empty() {
+        assert!(sum_series("empty", &[]).is_empty());
+    }
+
+    #[test]
+    fn degradation_ratio_measures_collapse() {
+        let s = series("victim", &[100.0, 100.0, 100.0, 10.0, 10.0, 10.0]);
+        let r = degradation_ratio(&s, SimTime::from_secs(4)).unwrap();
+        assert!((r - 0.1).abs() < 1e-9, "ratio {r}");
+    }
+
+    #[test]
+    fn degradation_ratio_edge_cases() {
+        let flat = series("flat", &[5.0, 5.0, 5.0, 5.0]);
+        let r = degradation_ratio(&flat, SimTime::from_secs(2)).unwrap();
+        assert!((r - 1.0).abs() < 1e-9);
+        // Split beyond the data, zero baseline, empty series → None.
+        assert!(degradation_ratio(&flat, SimTime::from_secs(99)).is_none());
+        let zero = series("zero", &[0.0, 0.0, 0.0]);
+        assert!(degradation_ratio(&zero, SimTime::from_secs(1)).is_none());
+        assert!(degradation_ratio(&TimeSeries::new("e"), SimTime::ZERO).is_none());
+    }
+}

@@ -8,12 +8,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod agg;
 pub mod csv;
 pub mod histogram;
 pub mod plot;
 pub mod series;
 pub mod summary;
 
+pub use agg::{degradation_ratio, sum_series};
 pub use csv::CsvTable;
 pub use histogram::Histogram;
 pub use plot::ascii_plot;

@@ -137,7 +137,7 @@ impl<T: AsRef<[u8]>> Ipv4Packet<T> {
 impl<T: AsRef<[u8]> + AsMut<[u8]>> Ipv4Packet<T> {
     /// Sets version and header length (IHL in bytes).
     pub fn set_version_and_header_len(&mut self, header_len: u8) {
-        debug_assert!(header_len % 4 == 0 && header_len >= 20);
+        debug_assert!(header_len.is_multiple_of(4) && header_len >= 20);
         self.buffer.as_mut()[field::VER_IHL] = 0x40 | (header_len / 4);
     }
 
@@ -335,7 +335,7 @@ mod tests {
 
     #[test]
     fn mutators_round_trip() {
-        let mut buf = vec![0u8; 28];
+        let mut buf = [0u8; 28];
         let mut p = Ipv4Packet::new_unchecked(&mut buf[..]);
         p.set_version_and_header_len(20);
         p.set_tos(0x10);

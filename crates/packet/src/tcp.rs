@@ -152,7 +152,7 @@ impl<T: AsRef<[u8]> + AsMut<[u8]>> TcpSegment<T> {
 
     /// Sets the header length in bytes (must be a multiple of 4 ≥ 20).
     pub fn set_header_len(&mut self, len: u8) {
-        debug_assert!(len % 4 == 0 && len >= 20);
+        debug_assert!(len.is_multiple_of(4) && len >= 20);
         self.buffer.as_mut()[field::DATA_OFF] = (len / 4) << 4;
     }
 
@@ -320,7 +320,7 @@ mod tests {
     #[test]
     fn options_skipped_in_payload() {
         // Hand-build a segment with a 24-byte header (one 4-byte option).
-        let mut buf = vec![0u8; 24 + 3];
+        let mut buf = [0u8; 24 + 3];
         {
             let mut seg = TcpSegment::new_unchecked(&mut buf[..]);
             seg.set_src_port(1);

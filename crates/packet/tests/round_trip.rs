@@ -1,75 +1,82 @@
-//! Property test: build ∘ extract = identity over the key space the
-//! workspace models. This is what lets every higher layer treat FlowKey
-//! and wire bytes as interchangeable.
+//! Randomised property test: build ∘ extract = identity over the key
+//! space the workspace models. This is what lets every higher layer
+//! treat FlowKey and wire bytes as interchangeable.
+//!
+//! Cases come from the deterministic in-house [`SplitMix64`] generator
+//! (no external dependencies).
 
-use pi_core::{Field, FlowKey, MacAddr};
+use pi_core::{Field, FlowKey, MacAddr, SplitMix64};
 use pi_packet::{extract_flow_key, PacketBuilder};
-use proptest::prelude::*;
 
-fn arb_tcp_udp_key() -> impl Strategy<Value = FlowKey> {
-    (
-        any::<bool>(), // tcp?
-        any::<u32>(),
-        any::<u32>(),
-        any::<u16>(),
-        any::<u16>(),
-        any::<u8>(),
-        1u8..=255, // ttl ≥ 1
-        any::<u32>(),
-        proptest::array::uniform6(any::<u8>()),
-        proptest::array::uniform6(any::<u8>()),
-    )
-        .prop_map(
-            |(tcp, ip_src, ip_dst, tp_src, tp_dst, tos, ttl, in_port, mac_s, mac_d)| {
-                let mut key = if tcp {
-                    FlowKey::tcp(
-                        std::net::Ipv4Addr::from(ip_src),
-                        std::net::Ipv4Addr::from(ip_dst),
-                        tp_src,
-                        tp_dst,
-                    )
-                } else {
-                    FlowKey::udp(
-                        std::net::Ipv4Addr::from(ip_src),
-                        std::net::Ipv4Addr::from(ip_dst),
-                        tp_src,
-                        tp_dst,
-                    )
-                };
-                key.ip_tos = tos;
-                key.ip_ttl = ttl;
-                key.in_port = in_port;
-                key.eth_src = MacAddr(mac_s);
-                key.eth_dst = MacAddr(mac_d);
-                key
-            },
-        )
+const CASES: u64 = 256;
+
+fn rand_mac(rng: &mut SplitMix64) -> MacAddr {
+    let b = rng.next_u64().to_le_bytes();
+    MacAddr([b[0], b[1], b[2], b[3], b[4], b[5]])
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+fn rand_tcp_udp_key(rng: &mut SplitMix64) -> FlowKey {
+    let tcp = rng.gen_bool(0.5);
+    let ip_src = rng.next_u32();
+    let ip_dst = rng.next_u32();
+    let tp_src = rng.next_u32() as u16;
+    let tp_dst = rng.next_u32() as u16;
+    let mut key = if tcp {
+        FlowKey::tcp(
+            std::net::Ipv4Addr::from(ip_src),
+            std::net::Ipv4Addr::from(ip_dst),
+            tp_src,
+            tp_dst,
+        )
+    } else {
+        FlowKey::udp(
+            std::net::Ipv4Addr::from(ip_src),
+            std::net::Ipv4Addr::from(ip_dst),
+            tp_src,
+            tp_dst,
+        )
+    };
+    key.ip_tos = rng.next_u32() as u8;
+    key.ip_ttl = 1 + rng.gen_range(255) as u8; // ttl ≥ 1
+    key.in_port = rng.next_u32();
+    key.eth_src = rand_mac(rng);
+    key.eth_dst = rand_mac(rng);
+    key
+}
 
-    #[test]
-    fn build_extract_identity(key in arb_tcp_udp_key(), payload_len in 0usize..1400) {
-        let frame = PacketBuilder::new().payload_len(payload_len).build(&key).unwrap();
+#[test]
+fn build_extract_identity() {
+    pi_core::for_cases(CASES, 0x21, |rng| {
+        let key = rand_tcp_udp_key(rng);
+        let payload_len = rng.gen_range(1400) as usize;
+        let frame = PacketBuilder::new()
+            .payload_len(payload_len)
+            .build(&key)
+            .unwrap();
         let parsed = extract_flow_key(&frame, key.in_port).unwrap();
-        prop_assert_eq!(parsed, key);
-    }
+        assert_eq!(parsed, key);
+    });
+}
 
-    #[test]
-    fn built_frames_never_undersized(key in arb_tcp_udp_key()) {
+#[test]
+fn built_frames_never_undersized() {
+    pi_core::for_cases(CASES, 0x22, |rng| {
+        let key = rand_tcp_udp_key(rng);
         let frame = PacketBuilder::new().build(&key).unwrap();
-        prop_assert!(frame.len() >= pi_packet::ETHERNET_MIN_FRAME_LEN);
-    }
+        assert!(frame.len() >= pi_packet::ETHERNET_MIN_FRAME_LEN);
+    });
+}
 
-    #[test]
-    fn key_field_view_consistent_after_round_trip(key in arb_tcp_udp_key()) {
+#[test]
+fn key_field_view_consistent_after_round_trip() {
+    pi_core::for_cases(CASES, 0x23, |rng| {
+        let key = rand_tcp_udp_key(rng);
         let frame = PacketBuilder::new().build(&key).unwrap();
         let parsed = extract_flow_key(&frame, key.in_port).unwrap();
         for f in pi_core::ALL_FIELDS {
-            prop_assert_eq!(parsed.field(f), key.field(f), "field {} differs", f);
+            assert_eq!(parsed.field(f), key.field(f), "field {} differs", f);
         }
         // The TOS byte is the one the generators mutate for covert marking.
-        prop_assert_eq!(parsed.field(Field::IpTos), key.ip_tos as u64);
-    }
+        assert_eq!(parsed.field(Field::IpTos), key.ip_tos as u64);
+    });
 }

@@ -1,30 +1,19 @@
 //! The tick loop: sources → queues → switches → delivery/feedback.
+//!
+//! Per-host stepping (queue, cycle budget, routing) lives in
+//! [`crate::node`], shared with the `pi_fleet` cluster simulator; this
+//! module owns the two-node orchestration: fabric hand-off, feedback and
+//! sampling.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::HashMap;
 
 use pi_classifier::FlowTable;
-use pi_core::{FlowKey, SimTime};
-use pi_datapath::{CostModel, DpConfig, SwitchStats, VSwitch};
+use pi_core::{Port, SimTime};
+use pi_datapath::{CostModel, DpConfig, SwitchStats};
 use pi_metrics::TimeSeries;
 use pi_traffic::{GenPacket, TrafficSource};
 
-/// The vport every switch uses for "not mine, send to the fabric".
-pub const UPLINK_VPORT: u32 = 0xffff;
-
-struct QueuedPacket {
-    key: FlowKey,
-    bytes: usize,
-    source: usize,
-}
-
-struct SimNode {
-    switch: VSwitch,
-    queue: VecDeque<QueuedPacket>,
-    /// Negative carry when a packet overran the tick budget.
-    cycle_carry: i64,
-    /// Cycles spent during the current sample window.
-    window_cycles: u64,
-}
+use crate::node::{NodeCell, NodePacket, Routing};
 
 struct SourceSlot {
     source: Box<dyn TrafficSource>,
@@ -108,27 +97,22 @@ impl SimBuilder {
     /// Finalises the topology.
     pub fn build(self) -> Simulation {
         assert!(!self.dp_configs.is_empty(), "need at least one node");
-        let mut nodes: Vec<SimNode> = self
+        let mut nodes: Vec<NodeCell<usize>> = self
             .dp_configs
             .into_iter()
-            .map(|dp| SimNode {
-                switch: VSwitch::with_cost_model(dp, self.cost),
-                queue: VecDeque::new(),
-                cycle_carry: 0,
-                window_cycles: 0,
-            })
+            .map(|dp| NodeCell::new(dp, self.cost))
             .collect();
 
         let mut pod_locations = HashMap::new();
         for &(node, ip, vport) in &self.pods {
             pod_locations.insert(ip, node);
             // Local attachment.
-            nodes[node].switch.attach_pod(ip, vport);
+            nodes[node].switch_mut().attach_pod(ip, vport);
             // Remote pods are reachable via the uplink on every other
             // switch (L3 fabric forwarding, no ACL).
             for (i, other) in nodes.iter_mut().enumerate() {
                 if i != node {
-                    other.switch.attach_pod(ip, UPLINK_VPORT);
+                    other.switch_mut().attach_pod(ip, Port::Uplink.raw());
                 }
             }
         }
@@ -136,7 +120,7 @@ impl SimBuilder {
             let node = *pod_locations
                 .get(&ip)
                 .expect("ACL target pod must be attached");
-            let ok = nodes[node].switch.install_acl(ip, table);
+            let ok = nodes[node].switch_mut().install_acl(ip, table);
             assert!(ok, "ACL install must succeed on the home switch");
         }
         let sources = self
@@ -204,41 +188,45 @@ pub struct SimReport {
 /// A runnable simulation.
 pub struct Simulation {
     cfg: crate::SimConfig,
-    nodes: Vec<SimNode>,
+    nodes: Vec<NodeCell<usize>>,
     pod_locations: HashMap<u32, usize>,
     sources: Vec<SourceSlot>,
 }
 
 impl Simulation {
     /// Runs to completion and reports.
-    pub fn run(mut self) -> SimReport {
-        let cfg = self.cfg;
+    pub fn run(self) -> SimReport {
+        let Simulation {
+            cfg,
+            mut nodes,
+            pod_locations,
+            mut sources,
+        } = self;
         let ticks = cfg.tick_count();
-        let cycles_per_tick = cfg.cycles_per_tick() as i64;
+        let cycles_per_tick = cfg.cycles_per_tick();
         let link_bytes_per_tick = cfg.link_bytes_per_tick();
 
-        let mut throughput: Vec<TimeSeries> = self
-            .sources
+        let mut throughput: Vec<TimeSeries> = sources
             .iter()
             .map(|s| TimeSeries::new(&format!("{}_bps", s.label)))
             .collect();
-        let mut offered: Vec<TimeSeries> = self
-            .sources
+        let mut offered: Vec<TimeSeries> = sources
             .iter()
             .map(|s| TimeSeries::new(&format!("{}_offered_bps", s.label)))
             .collect();
-        let mut masks: Vec<TimeSeries> = (0..self.nodes.len())
+        let mut masks: Vec<TimeSeries> = (0..nodes.len())
             .map(|i| TimeSeries::new(&format!("node{i}_masks")))
             .collect();
-        let mut megaflows: Vec<TimeSeries> = (0..self.nodes.len())
+        let mut megaflows: Vec<TimeSeries> = (0..nodes.len())
             .map(|i| TimeSeries::new(&format!("node{i}_megaflows")))
             .collect();
-        let mut cpu: Vec<TimeSeries> = (0..self.nodes.len())
+        let mut cpu: Vec<TimeSeries> = (0..nodes.len())
             .map(|i| TimeSeries::new(&format!("node{i}_cpu")))
             .collect();
 
         let mut genbuf: Vec<GenPacket> = Vec::new();
-        let mut forward: Vec<Vec<QueuedPacket>> = (0..self.nodes.len()).map(|_| Vec::new()).collect();
+        let mut forward: Vec<Vec<NodePacket<usize>>> =
+            (0..nodes.len()).map(|_| Vec::new()).collect();
         let sample_every_ticks =
             (cfg.sample_interval.as_nanos() / cfg.tick.as_nanos()).max(1);
         let window_secs = cfg.sample_interval.as_secs_f64();
@@ -248,86 +236,75 @@ impl Simulation {
             let next = now + cfg.tick;
 
             // 1. Generation → origin queues.
-            for (si, slot) in self.sources.iter_mut().enumerate() {
+            for (si, slot) in sources.iter_mut().enumerate() {
                 genbuf.clear();
                 slot.source.generate(now, next, &mut genbuf);
                 slot.total_generated += genbuf.len() as u64;
                 for p in &genbuf {
                     slot.window_generated_bytes += p.bytes as u64;
-                    let node = &mut self.nodes[slot.origin];
-                    if node.queue.len() >= cfg.queue_capacity {
-                        slot.tick_dropped += 1;
-                        slot.total_dropped_capacity += 1;
-                    } else {
-                        node.queue.push_back(QueuedPacket {
+                    let accepted = nodes[slot.origin].enqueue(
+                        NodePacket {
                             key: p.key,
                             bytes: p.bytes,
                             source: si,
-                        });
+                        },
+                        cfg.queue_capacity,
+                    );
+                    if !accepted {
+                        slot.tick_dropped += 1;
+                        slot.total_dropped_capacity += 1;
                     }
                 }
             }
 
             // 2. Switch processing under the cycle budget.
-            for ni in 0..self.nodes.len() {
-                let mut budget = cycles_per_tick + self.nodes[ni].cycle_carry;
+            for node in nodes.iter_mut() {
                 let mut link_budget = link_bytes_per_tick;
-                while budget > 0 {
-                    let Some(pkt) = self.nodes[ni].queue.pop_front() else {
-                        break;
-                    };
-                    let outcome = self.nodes[ni].switch.process(&pkt.key, now);
-                    budget -= outcome.cycles as i64;
-                    self.nodes[ni].window_cycles += outcome.cycles;
-                    match outcome.output {
-                        Some(UPLINK_VPORT) => {
-                            let dst = self.pod_locations.get(&pkt.key.ip_dst).copied();
-                            if let Some(dst) = dst {
-                                if link_budget >= pkt.bytes as f64 {
-                                    link_budget -= pkt.bytes as f64;
-                                    forward[dst].push(pkt);
-                                } else {
-                                    let s = &mut self.sources[pkt.source];
-                                    s.tick_dropped += 1;
-                                    s.total_dropped_capacity += 1;
-                                }
+                node.step(now, cycles_per_tick, |pkt, routing| match routing {
+                    Routing::Uplink => {
+                        let dst = pod_locations.get(&pkt.key.ip_dst).copied();
+                        if let Some(dst) = dst {
+                            if link_budget >= pkt.bytes as f64 {
+                                link_budget -= pkt.bytes as f64;
+                                forward[dst].push(pkt);
                             } else {
-                                // Switch routed to uplink but no node
-                                // hosts the IP — treat as policy drop.
-                                self.sources[pkt.source].total_dropped_policy += 1;
+                                let s = &mut sources[pkt.source];
+                                s.tick_dropped += 1;
+                                s.total_dropped_capacity += 1;
                             }
-                        }
-                        Some(_local_vport) => {
-                            let s = &mut self.sources[pkt.source];
-                            s.tick_delivered += 1;
-                            s.total_delivered += 1;
-                            s.window_delivered_bytes += pkt.bytes as u64;
-                        }
-                        None => {
-                            self.sources[pkt.source].total_dropped_policy += 1;
+                        } else {
+                            // Switch routed to uplink but no node
+                            // hosts the IP — treat as policy drop.
+                            sources[pkt.source].total_dropped_policy += 1;
                         }
                     }
-                }
-                self.nodes[ni].cycle_carry = budget.min(0);
-                self.nodes[ni].switch.revalidate(next);
+                    Routing::Local(_vport) => {
+                        let s = &mut sources[pkt.source];
+                        s.tick_delivered += 1;
+                        s.total_delivered += 1;
+                        s.window_delivered_bytes += pkt.bytes as u64;
+                    }
+                    Routing::Denied => {
+                        sources[pkt.source].total_dropped_policy += 1;
+                    }
+                });
+                node.revalidate(next);
             }
 
             // 3. Fabric hand-off (next tick's queues).
             for (ni, pkts) in forward.iter_mut().enumerate() {
                 for pkt in pkts.drain(..) {
-                    let node = &mut self.nodes[ni];
-                    if node.queue.len() >= cfg.queue_capacity {
-                        let s = &mut self.sources[pkt.source];
+                    let source = pkt.source;
+                    if !nodes[ni].enqueue(pkt, cfg.queue_capacity) {
+                        let s = &mut sources[source];
                         s.tick_dropped += 1;
                         s.total_dropped_capacity += 1;
-                    } else {
-                        node.queue.push_back(pkt);
                     }
                 }
             }
 
             // 4. Feedback.
-            for slot in self.sources.iter_mut() {
+            for slot in sources.iter_mut() {
                 slot.source.feedback(slot.tick_delivered, slot.tick_dropped);
                 slot.tick_delivered = 0;
                 slot.tick_dropped = 0;
@@ -336,7 +313,7 @@ impl Simulation {
             // 5. Sampling.
             if (tick + 1) % sample_every_ticks == 0 {
                 let t = next;
-                for (si, slot) in self.sources.iter_mut().enumerate() {
+                for (si, slot) in sources.iter_mut().enumerate() {
                     throughput[si]
                         .push(t, slot.window_delivered_bytes as f64 * 8.0 / window_secs);
                     offered[si]
@@ -344,13 +321,11 @@ impl Simulation {
                     slot.window_delivered_bytes = 0;
                     slot.window_generated_bytes = 0;
                 }
-                for (ni, node) in self.nodes.iter_mut().enumerate() {
-                    masks[ni].push(t, node.switch.mask_count() as f64);
-                    megaflows[ni].push(t, node.switch.megaflow_count() as f64);
-                    let budget_window =
-                        cfg.cpu_cycles_per_sec as f64 * window_secs;
-                    cpu[ni].push(t, node.window_cycles as f64 / budget_window);
-                    node.window_cycles = 0;
+                for (ni, node) in nodes.iter_mut().enumerate() {
+                    masks[ni].push(t, node.switch().mask_count() as f64);
+                    megaflows[ni].push(t, node.switch().megaflow_count() as f64);
+                    let budget_window = cfg.cpu_cycles_per_sec as f64 * window_secs;
+                    cpu[ni].push(t, node.take_window_cycles() as f64 / budget_window);
                 }
             }
         }
@@ -361,9 +336,8 @@ impl Simulation {
             masks,
             megaflows,
             cpu_util: cpu,
-            switch_stats: self.nodes.iter().map(|n| n.switch.stats()).collect(),
-            source_totals: self
-                .sources
+            switch_stats: nodes.iter().map(|n| n.switch().stats()).collect(),
+            source_totals: sources
                 .iter()
                 .map(|s| SourceTotals {
                     label: s.label.clone(),
@@ -381,7 +355,8 @@ impl Simulation {
 mod tests {
     use super::*;
     use pi_classifier::table::whitelist_with_default_deny;
-    use pi_core::{Field, FlowMask, MaskedKey};
+    use pi_core::{Field, FlowKey, FlowMask, MaskedKey};
+    use pi_datapath::DpConfig;
     use pi_traffic::CbrSource;
 
     fn cfg(secs: u64) -> crate::SimConfig {

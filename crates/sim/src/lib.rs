@@ -20,8 +20,10 @@
 
 pub mod config;
 pub mod engine;
+pub mod node;
 pub mod scenario;
 
 pub use config::SimConfig;
-pub use engine::{SimBuilder, SimReport, Simulation, SourceTotals, UPLINK_VPORT};
+pub use engine::{SimBuilder, SimReport, Simulation, SourceTotals};
+pub use node::{NodeCell, NodePacket, Routing};
 pub use scenario::{fig3_scenario, measure_capacity, CapacityReport, Fig3Params};

@@ -5,9 +5,7 @@
 //! flow lengths geometric, endpoints drawn from a configured pod set —
 //! all from a seeded RNG so scenarios are reproducible.
 
-use pi_core::{FlowKey, SimTime};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use pi_core::{FlowKey, SimTime, SplitMix64};
 
 use crate::source::{GenPacket, TrafficSource};
 
@@ -32,7 +30,7 @@ pub struct PoissonFlowSource {
     /// Per-flow packet rate.
     flow_pps: f64,
     frame_bytes: usize,
-    rng: StdRng,
+    rng: SplitMix64,
     live: Vec<LiveFlow>,
     arrival_credit: f64,
     next_sport: u16,
@@ -56,7 +54,7 @@ impl PoissonFlowSource {
             mean_flow_packets,
             flow_pps,
             frame_bytes,
-            rng: StdRng::seed_from_u64(seed),
+            rng: SplitMix64::new(seed),
             live: Vec::new(),
             arrival_credit: 0.0,
             next_sport: 10_000,
@@ -77,11 +75,12 @@ impl PoissonFlowSource {
     }
 
     fn spawn_flow(&mut self) {
-        let (src, dst) = self.endpoints[self.rng.gen_range(0..self.endpoints.len())];
+        let (src, dst) =
+            self.endpoints[self.rng.gen_range(self.endpoints.len() as u64) as usize];
         let sport = self.next_sport;
         self.next_sport = self.next_sport.wrapping_add(1).max(10_000);
         // Geometric length with the configured mean, at least 1.
-        let u: f64 = self.rng.gen_range(0.0..1.0f64);
+        let u: f64 = self.rng.next_f64();
         let len = (1.0 + (-u.ln()) * (self.mean_flow_packets - 1.0)).round() as u32;
         let key = FlowKey::tcp(
             std::net::Ipv4Addr::from(src),

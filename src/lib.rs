@@ -24,6 +24,7 @@
 //! | [`pi_mitigation`] | mask budgets, OVS heuristics, cache-less datapath, detection |
 //! | [`pi_metrics`] | time series, histograms, CSV, ASCII plots |
 //! | [`pi_sim`] | the discrete-time two-node testbed of the paper's Fig. 1 |
+//! | [`pi_fleet`] | sharded multi-host cluster simulator with parallel per-host workers |
 //!
 //! ## Quick start
 //!
@@ -57,6 +58,7 @@ pub use pi_classifier;
 pub use pi_cms;
 pub use pi_core;
 pub use pi_datapath;
+pub use pi_fleet;
 pub use pi_metrics;
 pub use pi_mitigation;
 pub use pi_packet;
@@ -72,8 +74,12 @@ pub mod prelude {
     pub use pi_cms::{
         CalicoPolicy, Cidr, Cloud, NetworkPolicy, PolicyCompiler, PolicyDialect, SecurityGroup,
     };
-    pub use pi_core::{Field, FlowKey, FlowMask, MaskedKey, SimTime};
+    pub use pi_core::{Field, FlowKey, FlowMask, MaskedKey, Port, SimTime};
     pub use pi_datapath::{DpConfig, PathTaken, VSwitch};
+    pub use pi_fleet::{
+        fleet_colocation, fleet_migration, BlastRadius, ClusterBuilder, ColocationParams,
+        FleetBuilder, FleetConfig, FleetReport, MigrationParams,
+    };
     pub use pi_metrics::{ascii_plot, CsvTable, Summary, TimeSeries};
     pub use pi_mitigation::{CompiledAcl, MaskBudget};
     pub use pi_sim::{

@@ -6,9 +6,14 @@
 //! This is the strongest property the reproduction rests on: the attack
 //! works *because* the cache must stay semantically transparent while
 //! being fed adversarial state.
+//!
+//! Cases come from the deterministic in-house [`SplitMix64`] generator
+//! (no external dependencies).
 
+use pi_core::SplitMix64;
 use policy_injection::prelude::*;
-use proptest::prelude::*;
+
+const CASES: u64 = 64;
 
 /// A small universe of pods with randomly shaped whitelist policies.
 #[derive(Debug, Clone)]
@@ -16,92 +21,76 @@ struct Universe {
     pods: Vec<(u32, FlowTable)>,
 }
 
-fn arb_universe() -> impl Strategy<Value = Universe> {
-    proptest::collection::vec(
-        (
-            1u32..5,                       // pod host suffix
-            proptest::collection::vec(
-                (any::<u32>(), 1u8..=32, proptest::option::of(1u16..1024)),
-                0..4,
-            ),
-        ),
-        1..4,
-    )
-    .prop_map(|pods| Universe {
-        pods: pods
-            .into_iter()
-            .enumerate()
-            .map(|(i, (suffix, allows))| {
-                let ip = u32::from_be_bytes([10, 1, i as u8, suffix as u8]);
-                let whitelist: Vec<MaskedKey> = allows
-                    .into_iter()
-                    .map(|(src, len, port)| {
-                        let mut key = FlowKey::tcp(
-                            std::net::Ipv4Addr::from(src),
-                            [0, 0, 0, 0],
-                            0,
-                            port.unwrap_or(0),
-                        );
-                        let mut mask = FlowMask::default().with_prefix(Field::IpSrc, len);
-                        if port.is_some() {
-                            mask = mask.with_exact(Field::TpDst);
-                        } else {
-                            key.tp_dst = 0;
-                        }
-                        MaskedKey::new(key, mask)
-                    })
-                    .collect();
-                (
-                    ip,
-                    pi_classifier::table::whitelist_with_default_deny(&whitelist),
-                )
-            })
-            .collect(),
-    })
+fn rand_universe(rng: &mut SplitMix64) -> Universe {
+    let n_pods = 1 + rng.gen_range(3);
+    let pods = (0..n_pods)
+        .enumerate()
+        .map(|(i, _)| {
+            let suffix = 1 + rng.gen_range(4) as u8;
+            let ip = u32::from_be_bytes([10, 1, i as u8, suffix]);
+            let n_allows = rng.gen_range(4);
+            let whitelist: Vec<MaskedKey> = (0..n_allows)
+                .map(|_| {
+                    let src = rng.next_u32();
+                    let len = 1 + rng.gen_range(32) as u8;
+                    let port = rng.gen_bool(0.5).then(|| 1 + rng.gen_range(1023) as u16);
+                    let mut key = FlowKey::tcp(
+                        std::net::Ipv4Addr::from(src),
+                        [0, 0, 0, 0],
+                        0,
+                        port.unwrap_or(0),
+                    );
+                    let mut mask = FlowMask::default().with_prefix(Field::IpSrc, len);
+                    if port.is_some() {
+                        mask = mask.with_exact(Field::TpDst);
+                    } else {
+                        key.tp_dst = 0;
+                    }
+                    MaskedKey::new(key, mask)
+                })
+                .collect();
+            (
+                ip,
+                pi_classifier::table::whitelist_with_default_deny(&whitelist),
+            )
+        })
+        .collect();
+    Universe { pods }
 }
 
-fn arb_packets(universe: &Universe) -> impl Strategy<Value = Vec<FlowKey>> {
+fn rand_packets(rng: &mut SplitMix64, universe: &Universe) -> Vec<FlowKey> {
     let dst_ips: Vec<u32> = universe.pods.iter().map(|(ip, _)| *ip).collect();
-    proptest::collection::vec(
-        (
-            any::<u32>(),
-            proptest::sample::select(dst_ips),
-            any::<u16>(),
-            proptest::sample::select(vec![80u16, 443, 999, 5201]),
-        )
-            .prop_map(|(src, dst, sport, dport)| {
-                FlowKey::tcp(
-                    std::net::Ipv4Addr::from(src),
-                    std::net::Ipv4Addr::from(dst),
-                    sport,
-                    dport,
-                )
-            }),
-        1..200,
-    )
+    let n = 1 + rng.gen_range(199);
+    (0..n)
+        .map(|_| {
+            let src = rng.next_u32();
+            let dst = dst_ips[rng.gen_range(dst_ips.len() as u64) as usize];
+            let sport = rng.next_u32() as u16;
+            let dport = [80u16, 443, 999, 5201][rng.gen_range(4) as usize];
+            FlowKey::tcp(
+                std::net::Ipv4Addr::from(src),
+                std::net::Ipv4Addr::from(dst),
+                sport,
+                dport,
+            )
+        })
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Random pods, random ACLs, random packet mix — replayed twice so
-    /// most packets traverse every cache level — always the linear
-    /// verdict.
-    #[test]
-    fn switch_verdicts_equal_linear_classification(
-        universe in arb_universe(),
-        packets_seed in arb_universe().prop_flat_map(|u| arb_packets(&u).prop_map(move |p| (u.clone(), p)))
-    ) {
-        // Use the independently drawn universe+packets pair.
-        let (universe2, packets) = packets_seed;
-        let _ = universe;
+/// Random pods, random ACLs, random packet mix — replayed so most
+/// packets traverse every cache level — always the linear verdict.
+#[test]
+fn switch_verdicts_equal_linear_classification() {
+    pi_core::for_cases(CASES, 0x41, |rng| {
+        let universe = rand_universe(rng);
+        let packets = rand_packets(rng, &universe);
         let mut sw = VSwitch::new(DpConfig::default());
-        for (i, (ip, table)) in universe2.pods.iter().enumerate() {
+        for (i, (ip, table)) in universe.pods.iter().enumerate() {
             sw.attach_pod(*ip, i as u32 + 1);
             sw.install_acl(*ip, table.clone());
         }
         let ground_truth = |key: &FlowKey| -> Action {
-            match universe2.pods.iter().find(|(ip, _)| *ip == key.ip_dst) {
+            match universe.pods.iter().find(|(ip, _)| *ip == key.ip_dst) {
                 Some((_, table)) => LinearClassifier::new(table)
                     .classify(key)
                     .map(|r| r.action)
@@ -115,7 +104,7 @@ proptest! {
                 let out = sw.process(key, t);
                 t += SimTime::from_micros(10);
                 let expected = ground_truth(key);
-                prop_assert_eq!(
+                assert_eq!(
                     out.verdict, expected,
                     "round {} path {:?} packet {}",
                     round, out.path, key
@@ -129,17 +118,18 @@ proptest! {
             if out.path.is_microflow() || out.path.is_megaflow() {
                 hits += 1;
             }
-            prop_assert_eq!(out.verdict, ground_truth(key));
+            assert_eq!(out.verdict, ground_truth(key));
         }
-        prop_assert_eq!(hits, packets.len(), "everything cached by now");
-    }
+        assert_eq!(hits, packets.len(), "everything cached by now");
+    });
+}
 
-    /// Cache eviction (revalidation) never changes verdicts either.
-    #[test]
-    fn verdicts_stable_across_revalidation(
-        pair in arb_universe().prop_flat_map(|u| arb_packets(&u).prop_map(move |p| (u.clone(), p)))
-    ) {
-        let (universe, packets) = pair;
+/// Cache eviction (revalidation) never changes verdicts either.
+#[test]
+fn verdicts_stable_across_revalidation() {
+    pi_core::for_cases(CASES, 0x42, |rng| {
+        let universe = rand_universe(rng);
+        let packets = rand_packets(rng, &universe);
         let mut sw = VSwitch::new(DpConfig::default());
         for (i, (ip, table)) in universe.pods.iter().enumerate() {
             sw.attach_pod(*ip, i as u32 + 1);
@@ -151,10 +141,10 @@ proptest! {
         }
         // Idle everything out.
         sw.revalidate(SimTime::from_secs(30));
-        prop_assert_eq!(sw.megaflow_count(), 0);
+        assert_eq!(sw.megaflow_count(), 0);
         for (key, before) in packets.iter().zip(verdicts_before) {
             let after = sw.process(key, SimTime::from_secs(31)).verdict;
-            prop_assert_eq!(after, before);
+            assert_eq!(after, before);
         }
-    }
+    });
 }

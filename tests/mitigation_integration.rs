@@ -1,11 +1,10 @@
 //! Cross-crate mitigation integration: the defender's tools applied to
-//! the exact artefacts the attacker produces, plus property tests
-//! pinning the compiled (cache-less) datapath against the linear
+//! the exact artefacts the attacker produces, plus randomised property
+//! tests pinning the compiled (cache-less) datapath against the linear
 //! reference over random policies.
 
 use pi_mitigation::{attribute_masks, CompiledAcl, MaskBudget};
 use policy_injection::prelude::*;
-use proptest::prelude::*;
 
 const TRIE_FIELDS: [Field; 4] = [Field::IpSrc, Field::IpDst, Field::TpSrc, Field::TpDst];
 
@@ -80,39 +79,41 @@ fn attribution_names_the_attacker_amid_noise() {
     assert!(others <= 4, "honest pods carry trivial mask counts: {others}");
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
-
-    /// Compiled ACLs agree with the linear reference on random
-    /// whitelist policies and random packets — the correctness side of
-    /// the cache-less mitigation.
-    #[test]
-    fn compiled_acl_equals_linear(
-        allows in proptest::collection::vec(
-            (any::<u32>(), 1u8..=32, proptest::option::of(1u16..2048)),
-            0..6,
-        ),
-        packets in proptest::collection::vec(
-            (any::<u32>(), any::<u16>(), 1u16..2048),
-            1..60,
-        ),
-    ) {
-        let whitelist: Vec<MaskedKey> = allows
-            .iter()
-            .map(|(src, len, port)| {
+/// Compiled ACLs agree with the linear reference on random whitelist
+/// policies and random packets — the correctness side of the cache-less
+/// mitigation.
+#[test]
+fn compiled_acl_equals_linear() {
+    pi_core::for_cases(96, 0x51, |rng| {
+        let n_allows = rng.gen_range(6);
+        let whitelist: Vec<MaskedKey> = (0..n_allows)
+            .map(|_| {
+                let src = rng.next_u32();
+                let len = 1 + rng.gen_range(32) as u8;
+                let port = rng.gen_bool(0.5).then(|| 1 + rng.gen_range(2047) as u16);
                 let mut key = FlowKey::tcp(
-                    std::net::Ipv4Addr::from(*src),
+                    std::net::Ipv4Addr::from(src),
                     [0, 0, 0, 0],
                     0,
                     port.unwrap_or(0),
                 );
-                let mut mask = FlowMask::default().with_prefix(Field::IpSrc, *len);
+                let mut mask = FlowMask::default().with_prefix(Field::IpSrc, len);
                 if port.is_some() {
                     mask = mask.with_exact(Field::TpDst);
                 } else {
                     key.tp_dst = 0;
                 }
                 MaskedKey::new(key, mask)
+            })
+            .collect();
+        let n_packets = 1 + rng.gen_range(59);
+        let packets: Vec<(u32, u16, u16)> = (0..n_packets)
+            .map(|_| {
+                (
+                    rng.next_u32(),
+                    rng.next_u32() as u16,
+                    1 + rng.gen_range(2047) as u16,
+                )
             })
             .collect();
         let table = pi_classifier::table::whitelist_with_default_deny(&whitelist);
@@ -127,16 +128,20 @@ proptest! {
             );
             let expected = linear.classify(&pkt).map(|r| r.action).unwrap_or(Action::Deny);
             let (got, checks) = compiled.classify(&pkt);
-            prop_assert_eq!(got, expected, "packet {}", pkt);
-            prop_assert!(checks <= compiled.worst_case_checks());
+            assert_eq!(got, expected, "packet {}", pkt);
+            assert!(checks <= compiled.worst_case_checks());
         }
-    }
+    });
+}
 
-    /// The mask budget is monotone: admitting at limit L implies
-    /// admitting at any L' ≥ L, and the reported prediction is
-    /// limit-independent.
-    #[test]
-    fn budget_monotonicity(ip_len in 1u8..=32, with_port in any::<bool>(), limit in 1u64..10_000) {
+/// The mask budget is monotone: admitting at limit L implies admitting
+/// at any L' ≥ L, and the reported prediction is limit-independent.
+#[test]
+fn budget_monotonicity() {
+    pi_core::for_cases(96, 0x52, |rng| {
+        let ip_len = 1 + rng.gen_range(32) as u8;
+        let with_port = rng.gen_bool(0.5);
+        let limit = 1 + rng.gen_range(9_999);
         let spec = AttackSpec {
             dialect: PolicyDialect::Kubernetes,
             allow_src: Cidr::new(0xcb00_7107, ip_len).unwrap(),
@@ -147,13 +152,13 @@ proptest! {
         let d1 = MaskBudget::new(limit).check(&table, &TRIE_FIELDS);
         let d2 = MaskBudget::new(limit * 2).check(&table, &TRIE_FIELDS);
         if d1.admitted() {
-            prop_assert!(d2.admitted());
+            assert!(d2.admitted());
         }
         let expected = spec.predicted_masks();
         let reported = match d1 {
             pi_mitigation::AdmissionDecision::Admit { predicted_masks } => predicted_masks,
             pi_mitigation::AdmissionDecision::Reject { predicted_masks, .. } => predicted_masks,
         };
-        prop_assert_eq!(reported, expected);
-    }
+        assert_eq!(reported, expected);
+    });
 }
