@@ -2,7 +2,7 @@
 
 CARGO ?= cargo
 
-.PHONY: build test clippy bench bench-fleet example-fleet clean
+.PHONY: build test clippy bench bench-fleet bench-hotpath example-fleet clean
 
 build:
 	$(CARGO) build --release
@@ -23,6 +23,12 @@ bench:
 # scaling target.
 bench-fleet:
 	$(CARGO) run --release -p pi_bench --bin fleet_scaling
+
+# Per-packet pipeline throughput (single worker): pps, avg subtable
+# probes, EMC hit rate; writes BENCH_hotpath.json. See README
+# "Performance" for the before/after methodology.
+bench-hotpath:
+	$(CARGO) run --release -p pi_bench --bin hotpath
 
 example-fleet:
 	$(CARGO) run --release --example fleet_blast_radius

@@ -2,69 +2,98 @@
 //!
 //! Sweeps host count × worker threads over the `fleet_colocation`
 //! scenario (every host under active policy injection), measuring wall
-//! time and aggregate switch packets/second. Writes `BENCH_fleet.json`
-//! (path overridable via `PI_BENCH_FLEET_OUT`) plus a CSV under
-//! `results/`, and prints an aligned table.
+//! time and aggregate switch packets/second. Each cell runs through
+//! `pi_bench::stopwatch::sample` (warm-up + repeated timed runs, median
+//! and p95 reported) rather than a single wall-clock sample. Rows also
+//! record the hot-path counters — mean subtable probes per packet and
+//! the EMC hit rate — so a throughput regression is attributable to a
+//! pipeline level, not just observed.
+//!
+//! Writes `BENCH_fleet.json` (path overridable via `PI_BENCH_FLEET_OUT`)
+//! plus a CSV under `results/`, and prints an aligned table. Knobs:
+//! `PI_FLEET_BENCH_SECS` (simulated seconds per cell, default 4),
+//! `PI_FLEET_BENCH_REPEATS` (timed repeats, default 3),
+//! `PI_FLEET_BENCH_WARMUP` (warm-up runs, default 1).
 //!
 //! The workspace acceptance bar: ≥ 2× aggregate packets/sec going from
-//! 1 to 4 workers on the 8-host topology.
+//! 1 to 4 workers on the 8-host topology (needs ≥ 4 physical cores).
 
 use std::time::Instant;
 
-use pi_attack::AttackSpec;
-use pi_cms::PolicyDialect;
-use pi_core::SimTime;
-use pi_fleet::{fleet_colocation, ColocationParams};
+use pi_bench::stopwatch::{sample, SampleStats};
+use pi_fleet::fleet_colocation;
 use pi_metrics::CsvTable;
 
 struct Row {
     hosts: usize,
     workers: usize,
-    wall_secs: f64,
+    stats: SampleStats,
     switch_packets: u64,
     pps: f64,
     speedup: f64,
+    avg_probes: f64,
+    emc_hit_rate: f64,
 }
 
-fn params(hosts: usize, workers: usize, duration_secs: u64) -> ColocationParams {
-    ColocationParams {
-        hosts,
-        victims: hosts,
-        attackers: hosts / 2,
-        spec: AttackSpec::masks_512(PolicyDialect::Kubernetes),
-        attack_start: SimTime::from_secs(1),
-        stagger: SimTime::ZERO,
-        duration: SimTime::from_secs(duration_secs),
-        workers,
-        ..Default::default()
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+struct Cell {
+    stats: SampleStats,
+    switch_packets: u64,
+    workers: usize,
+    avg_probes: f64,
+    emc_hit_rate: f64,
+}
+
+/// Measures one (hosts, workers) cell: warm-up + repeated timed runs.
+/// The engine clamps the configured worker count to the host count; the
+/// clamped value is returned.
+fn run_cell(hosts: usize, workers: usize, duration_secs: u64, warmup: u32, repeats: u32) -> Cell {
+    let mut switch_packets = 0u64;
+    let mut used_workers = workers;
+    let mut avg_probes = 0.0;
+    let mut emc_hit_rate = 0.0;
+    let stats = sample(warmup, repeats, || {
+        let (sim, _handles) =
+            fleet_colocation(&pi_bench::colocation_cell(hosts, workers, duration_secs));
+        let start = Instant::now();
+        let report = sim.run();
+        let wall = start.elapsed();
+        let total = report.total_switch_stats();
+        switch_packets = total.packets;
+        used_workers = report.workers;
+        avg_probes = total.avg_probes();
+        emc_hit_rate = total.emc_hit_rate();
+        wall
+    });
+    Cell {
+        stats,
+        switch_packets,
+        workers: used_workers,
+        avg_probes,
+        emc_hit_rate,
     }
 }
 
-/// Returns (wall seconds, switch packets, workers actually used — the
-/// engine clamps the configured count to the host count).
-fn run_once(hosts: usize, workers: usize, duration_secs: u64) -> (f64, u64, usize) {
-    let (sim, _handles) = fleet_colocation(&params(hosts, workers, duration_secs));
-    let start = Instant::now();
-    let report = sim.run();
-    (
-        start.elapsed().as_secs_f64(),
-        report.total_switch_packets(),
-        report.workers,
-    )
-}
-
 fn main() {
-    let duration_secs: u64 = std::env::var("PI_FLEET_BENCH_SECS")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(4);
+    let duration_secs = env_u64("PI_FLEET_BENCH_SECS", 4);
+    let repeats = env_u64("PI_FLEET_BENCH_REPEATS", 3) as u32;
+    let warmup = env_u64("PI_FLEET_BENCH_WARMUP", 1) as u32;
     let host_counts = [2usize, 4, 8];
     let worker_counts = [1usize, 2, 4];
     let cores = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
 
-    println!("fleet_scaling: {duration_secs} simulated seconds per cell, {cores} CPU core(s)");
+    println!(
+        "fleet_scaling: {duration_secs} simulated seconds per cell, \
+         {warmup} warm-up + {repeats} timed repeats, {cores} CPU core(s)"
+    );
     if cores < 4 {
         println!(
             "WARNING: only {cores} core(s) available — worker scaling cannot exceed {cores}x \
@@ -73,8 +102,16 @@ fn main() {
     }
     println!();
     println!(
-        "{:>6} {:>8} {:>12} {:>16} {:>14} {:>10}",
-        "hosts", "workers", "wall_secs", "switch_packets", "pps", "speedup"
+        "{:>6} {:>8} {:>12} {:>12} {:>16} {:>14} {:>10} {:>11} {:>13}",
+        "hosts",
+        "workers",
+        "median_s",
+        "p95_s",
+        "switch_packets",
+        "pps",
+        "speedup",
+        "avg_probes",
+        "emc_hit_rate"
     );
 
     let mut rows: Vec<Row> = Vec::new();
@@ -86,23 +123,33 @@ fn main() {
             if requested > hosts {
                 continue;
             }
-            let (wall, packets, workers) = run_once(hosts, requested, duration_secs);
-            let pps = packets as f64 / wall;
-            if workers == 1 {
+            let cell = run_cell(hosts, requested, duration_secs, warmup, repeats);
+            let pps = cell.switch_packets as f64 / cell.stats.median_secs;
+            if cell.workers == 1 {
                 base_pps = pps;
             }
             let speedup = if base_pps > 0.0 { pps / base_pps } else { 1.0 };
             println!(
-                "{:>6} {:>8} {:>12.3} {:>16} {:>14.0} {:>9.2}x",
-                hosts, workers, wall, packets, pps, speedup
+                "{:>6} {:>8} {:>12.3} {:>12.3} {:>16} {:>14.0} {:>9.2}x {:>11.2} {:>13.4}",
+                hosts,
+                cell.workers,
+                cell.stats.median_secs,
+                cell.stats.p95_secs,
+                cell.switch_packets,
+                pps,
+                speedup,
+                cell.avg_probes,
+                cell.emc_hit_rate
             );
             rows.push(Row {
                 hosts,
-                workers,
-                wall_secs: wall,
-                switch_packets: packets,
+                workers: cell.workers,
+                stats: cell.stats,
+                switch_packets: cell.switch_packets,
                 pps,
                 speedup,
+                avg_probes: cell.avg_probes,
+                emc_hit_rate: cell.emc_hit_rate,
             });
         }
     }
@@ -111,19 +158,25 @@ fn main() {
     let mut csv = CsvTable::new(&[
         "hosts",
         "workers",
-        "wall_secs",
+        "median_wall_secs",
+        "p95_wall_secs",
         "switch_packets",
         "pps",
         "speedup",
+        "avg_subtable_probes",
+        "emc_hit_rate",
     ]);
     for r in &rows {
         csv.push_numeric_row(&[
             r.hosts as f64,
             r.workers as f64,
-            r.wall_secs,
+            r.stats.median_secs,
+            r.stats.p95_secs,
             r.switch_packets as f64,
             r.pps,
             r.speedup,
+            r.avg_probes,
+            r.emc_hit_rate,
         ]);
     }
     let csv_path = pi_bench::results_dir().join("fleet_scaling.csv");
@@ -134,16 +187,29 @@ fn main() {
         .iter()
         .map(|r| {
             format!(
-                "    {{\"hosts\": {}, \"workers\": {}, \"wall_secs\": {:.6}, \
-                 \"switch_packets\": {}, \"pps\": {:.1}, \"speedup_vs_1_worker\": {:.3}}}",
-                r.hosts, r.workers, r.wall_secs, r.switch_packets, r.pps, r.speedup
+                "    {{\"hosts\": {}, \"workers\": {}, \"median_wall_secs\": {:.6}, \
+                 \"p95_wall_secs\": {:.6}, \"switch_packets\": {}, \"pps\": {:.1}, \
+                 \"speedup_vs_1_worker\": {:.3}, \"avg_subtable_probes\": {:.3}, \
+                 \"emc_hit_rate\": {:.4}}}",
+                r.hosts,
+                r.workers,
+                r.stats.median_secs,
+                r.stats.p95_secs,
+                r.switch_packets,
+                r.pps,
+                r.speedup,
+                r.avg_probes,
+                r.emc_hit_rate
             )
         })
         .collect();
     let json = format!(
         "{{\n  \"bench\": \"fleet_scaling\",\n  \"scenario\": \"fleet_colocation\",\n  \
-         \"simulated_secs_per_cell\": {},\n  \"available_cores\": {},\n  \"rows\": [\n{}\n  ]\n}}\n",
+         \"simulated_secs_per_cell\": {},\n  \"warmup_runs\": {},\n  \"timed_repeats\": {},\n  \
+         \"available_cores\": {},\n  \"rows\": [\n{}\n  ]\n}}\n",
         duration_secs,
+        warmup,
+        repeats,
         cores,
         json_rows.join(",\n")
     );

@@ -1,0 +1,160 @@
+//! `hotpath` — throughput of the per-packet pipeline itself.
+//!
+//! Runs the `fleet_colocation` scenario single-worker (the configuration
+//! the tentpole optimisation targets: one core, every host under active
+//! policy injection) and records simulated packets/second together with
+//! the two counters that attribute a regression to a pipeline level:
+//! the mean subtable probes per packet (megaflow walk length) and the
+//! EMC hit rate (fraction of packets resolved at the exact-match cache).
+//!
+//! Wall times come from `pi_bench::stopwatch::sample` — warm-up runs
+//! followed by repeated timed runs, reported as median + p95 — because a
+//! single sample on a shared 1-core container is too noisy to compare
+//! before/after rows.
+//!
+//! Output: `BENCH_hotpath.json` (override with `PI_BENCH_HOTPATH_OUT`).
+//! Re-running **preserves rows of other variants** already in the output
+//! file and replaces only the current variant's rows — the checked-in
+//! `baseline_hashmap` rows were measured immediately before the
+//! allocation-free rebuild and cannot be regenerated, so a refresh must
+//! not destroy them. Environment knobs:
+//! * `PI_HOTPATH_VARIANT` — row label (default `flat_onepass`, or
+//!   `smoke` under `--smoke` so a quick check never replaces the full
+//!   measurement rows).
+//! * `PI_BENCH_HOTPATH_MERGE` — merge source for prior rows (default:
+//!   the output file itself, when present).
+//! * `--smoke` — tiny iteration count for CI: 1 simulated second, one
+//!   repeat, no warm-up, smallest topology only.
+
+use std::time::Instant;
+
+use pi_bench::stopwatch::{sample, SampleStats};
+use pi_fleet::fleet_colocation;
+
+struct Row {
+    variant: String,
+    hosts: usize,
+    sim_secs: u64,
+    stats: SampleStats,
+    switch_packets: u64,
+    pps: f64,
+    avg_probes: f64,
+    emc_hit_rate: f64,
+}
+
+/// Extracts the one-row-per-line contents of the `"rows": [ ... ]`
+/// array from a previous output file (our own JSON writer's shape, not
+/// a general parser), **excluding** rows labelled `drop_variant` —
+/// those are about to be re-measured and replaced.
+fn extract_other_rows(json: &str, drop_variant: &str) -> Vec<String> {
+    let Some(start) = json.find("\"rows\": [") else {
+        return Vec::new();
+    };
+    let start = start + "\"rows\": [".len();
+    let Some(end) = json[start..].rfind(']') else {
+        return Vec::new();
+    };
+    let needle = format!("\"variant\": \"{drop_variant}\"");
+    json[start..start + end]
+        .lines()
+        .map(|l| l.trim_end_matches(',').trim_end())
+        .filter(|l| !l.trim().is_empty() && !l.contains(&needle))
+        .map(String::from)
+        .collect()
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let default_variant = if smoke { "smoke" } else { "flat_onepass" };
+    let variant =
+        std::env::var("PI_HOTPATH_VARIANT").unwrap_or_else(|_| default_variant.to_string());
+    let (host_counts, sim_secs, warmup, repeats): (&[usize], u64, u32, u32) = if smoke {
+        (&[2], 1, 0, 1)
+    } else {
+        (&[2, 4, 8], 4, 1, 5)
+    };
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    println!(
+        "hotpath: variant={variant}, {sim_secs} simulated seconds per run, \
+         {warmup} warm-up + {repeats} timed repeats, {cores} CPU core(s)"
+    );
+    println!(
+        "{:>6} {:>12} {:>12} {:>16} {:>14} {:>12} {:>14}",
+        "hosts", "median_s", "p95_s", "switch_packets", "pps", "avg_probes", "emc_hit_rate"
+    );
+
+    let mut rows: Vec<Row> = Vec::new();
+    for &hosts in host_counts {
+        let mut packets = 0u64;
+        let mut avg_probes = 0.0f64;
+        let mut emc_hit_rate = 0.0f64;
+        let stats = sample(warmup, repeats, || {
+            let (sim, _handles) = fleet_colocation(&pi_bench::colocation_cell(hosts, 1, sim_secs));
+            let start = Instant::now();
+            let report = sim.run();
+            let wall = start.elapsed();
+            let total = report.total_switch_stats();
+            packets = total.packets;
+            avg_probes = total.avg_probes();
+            emc_hit_rate = total.emc_hit_rate();
+            wall
+        });
+        let pps = packets as f64 / stats.median_secs;
+        println!(
+            "{:>6} {:>12.4} {:>12.4} {:>16} {:>14.0} {:>12.2} {:>14.4}",
+            hosts, stats.median_secs, stats.p95_secs, packets, pps, avg_probes, emc_hit_rate
+        );
+        rows.push(Row {
+            variant: variant.clone(),
+            hosts,
+            sim_secs,
+            stats,
+            switch_packets: packets,
+            pps,
+            avg_probes,
+            emc_hit_rate,
+        });
+    }
+
+    let out =
+        std::env::var("PI_BENCH_HOTPATH_OUT").unwrap_or_else(|_| "BENCH_hotpath.json".into());
+    // Default merge source is the output file itself: re-running the
+    // bench refreshes this variant's rows and keeps every other
+    // variant's (the baseline rows predate the rebuild and cannot be
+    // re-measured).
+    let merge_path = std::env::var("PI_BENCH_HOTPATH_MERGE").unwrap_or_else(|_| out.clone());
+    let mut json_rows: Vec<String> = match std::fs::read_to_string(&merge_path) {
+        Ok(prev) => extract_other_rows(&prev, &variant),
+        Err(_) => Vec::new(),
+    };
+    json_rows.extend(rows.iter().map(|r| {
+        format!(
+            "    {{\"variant\": \"{}\", \"hosts\": {}, \"workers\": 1, \"sim_secs\": {}, \
+             \"warmup\": {}, \"repeats\": {}, \"median_wall_secs\": {:.6}, \
+             \"p95_wall_secs\": {:.6}, \"switch_packets\": {}, \"pps\": {:.1}, \
+             \"avg_subtable_probes\": {:.3}, \"emc_hit_rate\": {:.4}}}",
+            r.variant,
+            r.hosts,
+            r.sim_secs,
+            r.stats.warmup,
+            r.stats.repeats,
+            r.stats.median_secs,
+            r.stats.p95_secs,
+            r.switch_packets,
+            r.pps,
+            r.avg_probes,
+            r.emc_hit_rate
+        )
+    }));
+    let json = format!(
+        "{{\n  \"bench\": \"hotpath\",\n  \"scenario\": \"fleet_colocation\",\n  \
+         \"available_cores\": {},\n  \"rows\": [\n{}\n  ]\n}}\n",
+        cores,
+        json_rows.join(",\n")
+    );
+    std::fs::write(&out, json).expect("write BENCH_hotpath.json");
+    println!("\nwrote {out}");
+}

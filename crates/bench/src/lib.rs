@@ -50,6 +50,28 @@ pub fn compile_spec(spec: &pi_attack::AttackSpec) -> pi_classifier::FlowTable {
     }
 }
 
+/// The canonical `fleet_colocation` macro-bench cell shared by the
+/// `fleet_scaling` and `hotpath` binaries: every host under active
+/// 512-mask policy injection starting at t = 1 s. One definition so the
+/// two benches' `switch_packets` stay comparable cell-for-cell.
+pub fn colocation_cell(
+    hosts: usize,
+    workers: usize,
+    duration_secs: u64,
+) -> pi_fleet::ColocationParams {
+    pi_fleet::ColocationParams {
+        hosts,
+        victims: hosts,
+        attackers: hosts / 2,
+        spec: pi_attack::AttackSpec::masks_512(pi_cms::PolicyDialect::Kubernetes),
+        attack_start: pi_core::SimTime::from_secs(1),
+        stagger: pi_core::SimTime::ZERO,
+        duration: pi_core::SimTime::from_secs(duration_secs),
+        workers,
+        ..Default::default()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     #[test]

@@ -75,6 +75,66 @@ pub fn bench_for<R>(
     m
 }
 
+/// Robust statistics over repeated wall-clock samples of one workload.
+///
+/// Single-sample wall clocks are noisy (especially on shared or
+/// single-core machines); the macro-benchmarks run each cell several
+/// times after a warm-up and report the median and the p95 so outlier
+/// runs are visible instead of silently folded into a mean.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SampleStats {
+    /// Warm-up iterations executed (not timed into the stats).
+    pub warmup: u32,
+    /// Timed repeats the stats summarise.
+    pub repeats: u32,
+    /// Median wall time across repeats, seconds.
+    pub median_secs: f64,
+    /// 95th-percentile wall time across repeats, seconds (nearest-rank).
+    pub p95_secs: f64,
+    /// Fastest repeat, seconds.
+    pub min_secs: f64,
+    /// Slowest repeat, seconds.
+    pub max_secs: f64,
+}
+
+impl SampleStats {
+    /// Summarises raw per-repeat durations (empty input is a caller bug).
+    pub fn from_durations(warmup: u32, samples: &[Duration]) -> SampleStats {
+        assert!(!samples.is_empty(), "need at least one timed sample");
+        let mut secs: Vec<f64> = samples.iter().map(Duration::as_secs_f64).collect();
+        secs.sort_by(|a, b| a.total_cmp(b));
+        let n = secs.len();
+        let median = if n % 2 == 1 {
+            secs[n / 2]
+        } else {
+            (secs[n / 2 - 1] + secs[n / 2]) / 2.0
+        };
+        // Nearest-rank p95: the smallest sample ≥ 95% of the others.
+        let p95_idx = ((0.95 * n as f64).ceil() as usize).clamp(1, n) - 1;
+        SampleStats {
+            warmup,
+            repeats: n as u32,
+            median_secs: median,
+            p95_secs: secs[p95_idx],
+            min_secs: secs[0],
+            max_secs: secs[n - 1],
+        }
+    }
+}
+
+/// Runs `f` `warmup` untimed iterations, then `repeats` timed ones, and
+/// summarises the timed durations. `f` returns the wall time of the
+/// region it wants measured, so per-iteration setup (building a
+/// simulation, seeding caches) stays out of the statistics.
+pub fn sample(warmup: u32, repeats: u32, mut f: impl FnMut() -> Duration) -> SampleStats {
+    assert!(repeats >= 1, "need at least one timed repeat");
+    for _ in 0..warmup {
+        black_box(f());
+    }
+    let samples: Vec<Duration> = (0..repeats).map(|_| f()).collect();
+    SampleStats::from_durations(warmup, &samples)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -93,5 +153,46 @@ mod tests {
         );
         assert!(m.ns_per_iter > 0.0);
         assert!(m.iters > 0);
+    }
+
+    #[test]
+    fn sample_stats_median_and_p95() {
+        let ds: Vec<Duration> = [5u64, 1, 3, 2, 4]
+            .iter()
+            .map(|&s| Duration::from_secs(s))
+            .collect();
+        let s = SampleStats::from_durations(2, &ds);
+        assert_eq!(s.repeats, 5);
+        assert_eq!(s.warmup, 2);
+        assert_eq!(s.median_secs, 3.0);
+        assert_eq!(s.p95_secs, 5.0);
+        assert_eq!(s.min_secs, 1.0);
+        assert_eq!(s.max_secs, 5.0);
+        // Even count: median is the midpoint of the central pair.
+        let ds2: Vec<Duration> = [1u64, 2, 3, 4]
+            .iter()
+            .map(|&s| Duration::from_secs(s))
+            .collect();
+        let s2 = SampleStats::from_durations(0, &ds2);
+        assert_eq!(s2.median_secs, 2.5);
+    }
+
+    #[test]
+    fn sample_runs_warmup_then_repeats() {
+        let mut calls = 0u32;
+        let s = sample(2, 3, || {
+            calls += 1;
+            Duration::from_micros(calls as u64)
+        });
+        assert_eq!(calls, 5, "2 warm-up + 3 timed");
+        assert_eq!(s.repeats, 3);
+        // Timed samples are 3, 4, 5 µs.
+        assert!((s.median_secs - 4e-6).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one timed sample")]
+    fn empty_samples_panic() {
+        SampleStats::from_durations(0, &[]);
     }
 }

@@ -17,11 +17,15 @@
 //!   correctness; the mechanism behind Fig. 2b's decomposition.
 //! * [`StagedIndex`] — OVS's staged-lookup optimisation (metadata → L2 →
 //!   L3 → L4) modelled for the mitigation ablation.
+//! * [`FlatTable`] — the flat open-addressing store behind subtables and
+//!   stage sets: keyed by precomputed deterministic flow hashes
+//!   ([`pi_core::KeyWords`]), linear probing, tombstone-free removal.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod action;
+pub mod flat;
 pub mod linear;
 pub mod rule;
 pub mod staged;
@@ -30,6 +34,7 @@ pub mod trie;
 pub mod tss;
 
 pub use action::Action;
+pub use flat::FlatTable;
 pub use linear::LinearClassifier;
 pub use rule::{Rule, RuleId};
 pub use staged::StagedIndex;

@@ -12,22 +12,36 @@
 //! cheaper — but does not change its asymptotics: every victim packet
 //! still visits every subtable.
 
-use std::collections::HashMap;
+use pi_core::{FlowKey, FlowMask, KeyWords, MaskWords, Stage, ALL_FIELDS};
 
-use pi_core::{FlowKey, FlowMask, Stage, ALL_FIELDS};
+use crate::flat::FlatTable;
+
+/// One active stage of the index: the cumulative mask up to and
+/// including this stage, its precomputed words, and the multiset of
+/// cumulative-masked entry keys (entry count per key) in a flat table
+/// keyed by the deterministic flow hash.
+#[derive(Debug, Clone)]
+struct StageSet {
+    stage: Stage,
+    cum: FlowMask,
+    cum_words: MaskWords,
+    set: FlatTable<u32>,
+}
 
 /// Membership index of one subtable's entries, segmented by stage.
 ///
 /// For each stage with at least one significant bit in the subtable mask,
 /// the index keeps a multiset of entry keys masked by the *cumulative*
 /// mask up to that stage, so stage `i`'s check subsumes stages `0..i`.
+///
+/// Stage sets sit on the per-packet path (every TSS probe of a staged
+/// subtable consults them), so they use the same flat open-addressing
+/// store and one-pass masked hashing as the subtables themselves: a
+/// probe with precomputed [`KeyWords`] does no SipHash and materialises
+/// no masked key.
 #[derive(Debug, Clone)]
 pub struct StagedIndex {
-    /// Stages that actually have mask bits, in probe order, paired with
-    /// the cumulative mask up to and including that stage.
-    stages: Vec<(Stage, FlowMask)>,
-    /// Per active stage: cumulative-masked key → number of entries.
-    sets: Vec<HashMap<FlowKey, u32>>,
+    stages: Vec<StageSet>,
 }
 
 impl StagedIndex {
@@ -47,11 +61,15 @@ impl StagedIndex {
             }
             if !stage_mask.is_wildcard_all() {
                 cumulative = cumulative.union(&stage_mask);
-                stages.push((stage, cumulative));
+                stages.push(StageSet {
+                    stage,
+                    cum: cumulative,
+                    cum_words: MaskWords::of(&cumulative),
+                    set: FlatTable::new(),
+                });
             }
         }
-        let sets = vec![HashMap::new(); stages.len()];
-        StagedIndex { stages, sets }
+        StagedIndex { stages }
     }
 
     /// Number of active (non-empty-mask) stages.
@@ -59,21 +77,34 @@ impl StagedIndex {
         self.stages.len()
     }
 
+    /// The stages present, in probe order (diagnostics).
+    pub fn stages(&self) -> impl Iterator<Item = Stage> + '_ {
+        self.stages.iter().map(|s| s.stage)
+    }
+
     /// Registers an entry key (already masked by the subtable mask).
     pub fn insert(&mut self, masked_key: &FlowKey) {
-        for ((_, cum), set) in self.stages.iter().zip(self.sets.iter_mut()) {
-            *set.entry(cum.apply(masked_key)).or_insert(0) += 1;
+        for s in self.stages.iter_mut() {
+            let k = s.cum.apply(masked_key);
+            let hash = KeyWords::of(&k).full_hash();
+            match s.set.get_mut(hash, &k) {
+                Some(n) => *n += 1,
+                None => {
+                    s.set.insert(hash, k, 1);
+                }
+            }
         }
     }
 
     /// Unregisters an entry key.
     pub fn remove(&mut self, masked_key: &FlowKey) {
-        for ((_, cum), set) in self.stages.iter().zip(self.sets.iter_mut()) {
-            let k = cum.apply(masked_key);
-            if let Some(n) = set.get_mut(&k) {
+        for s in self.stages.iter_mut() {
+            let k = s.cum.apply(masked_key);
+            let hash = KeyWords::of(&k).full_hash();
+            if let Some(n) = s.set.get_mut(hash, &k) {
                 *n -= 1;
                 if *n == 0 {
-                    set.remove(&k);
+                    s.set.remove(hash, &k);
                 }
             }
         }
@@ -87,8 +118,18 @@ impl StagedIndex {
     /// `true` from the last stage is in fact definitive — the caller can
     /// treat it as a hit).
     pub fn probe(&self, packet: &FlowKey) -> (bool, usize) {
-        for (i, ((_, cum), set)) in self.stages.iter().zip(self.sets.iter()).enumerate() {
-            if !set.contains_key(&cum.apply(packet)) {
+        self.probe_with(packet, &KeyWords::of(packet))
+    }
+
+    /// [`StagedIndex::probe`] with the packet's words already extracted
+    /// (the TSS walk extracts once per packet for all subtables).
+    pub fn probe_with(&self, packet: &FlowKey, words: &KeyWords) -> (bool, usize) {
+        for (i, s) in self.stages.iter().enumerate() {
+            let hash = words.masked_hash(&s.cum_words);
+            if s.set
+                .get_by_hash(hash, |k| s.cum.key_eq(k, packet))
+                .is_none()
+            {
                 return (false, i + 1);
             }
         }

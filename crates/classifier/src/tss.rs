@@ -12,11 +12,22 @@
 //! The implementation is generic over the entry payload `V` so the same
 //! engine serves as the megaflow cache store (`V = MegaflowEntry`) and as
 //! a general classifier in tests.
+//!
+//! **Hot-path design** (the allocation-free rebuild): each subtable is a
+//! [`FlatTable`] — open addressing, power-of-two capacity, linear
+//! probing — keyed by the entry's deterministic flow hash. A lookup
+//! extracts the packet's [`KeyWords`] **once** and derives its hash
+//! under every subtable's mask with one AND-and-mix per field
+//! ([`KeyWords::masked_hash`]); no masked `FlowKey` is materialised and
+//! nothing allocates per packet. Callers that already hold the packet's
+//! words (the datapath's batch path) use the `*_with` lookup variants to
+//! skip re-extraction.
 
 use std::collections::HashMap;
 
-use pi_core::{FlowKey, FlowMask, MaskedKey};
+use pi_core::{FlowKey, FlowMask, KeyWords, MaskWords, MaskedKey};
 
+use crate::flat::FlatTable;
 use crate::staged::StagedIndex;
 
 /// How the subtable list is ordered for the sequential walk.
@@ -35,11 +46,14 @@ pub enum SubtableOrder {
     },
 }
 
-/// One hash table of same-mask entries.
+/// One flat hash table of same-mask entries.
 #[derive(Debug, Clone)]
 struct Subtable<V> {
     mask: FlowMask,
-    entries: HashMap<FlowKey, V>,
+    /// The mask's word representation, precomputed so a probe is one
+    /// masked-hash fold over the packet's words.
+    mask_words: MaskWords,
+    entries: FlatTable<V>,
     /// Hits since creation (drives `HitCountDescending`).
     hits: u64,
     /// Optional staged membership index.
@@ -56,11 +70,21 @@ impl<V> Subtable<V> {
         let full_probe_cost = staged_probe.stage_count().max(1);
         Subtable {
             mask,
-            entries: HashMap::new(),
+            mask_words: MaskWords::of(&mask),
+            entries: FlatTable::new(),
             hits: 0,
             staged: staged_enabled.then_some(staged_probe),
             full_probe_cost,
         }
+    }
+
+    /// A canonical entry key's hash: the masked key is pre-masked, so
+    /// its full hash equals its masked hash under this subtable's mask —
+    /// the invariant that lets raw packets probe with
+    /// [`KeyWords::masked_hash`].
+    #[inline]
+    fn entry_hash(key: &FlowKey) -> u64 {
+        KeyWords::of(key).full_hash()
     }
 }
 
@@ -189,7 +213,9 @@ impl<V> TupleSpaceSearch<V> {
             }
         };
         let st = &mut self.subtables[idx];
-        let prev = st.entries.insert(*mk.key(), value);
+        let prev = st
+            .entries
+            .insert(Subtable::<V>::entry_hash(mk.key()), *mk.key(), value);
         if prev.is_none() {
             self.entry_count += 1;
             if let Some(staged) = &mut st.staged {
@@ -202,20 +228,26 @@ impl<V> TupleSpaceSearch<V> {
     /// Fetches an entry by exact masked key.
     pub fn get(&self, mk: &MaskedKey) -> Option<&V> {
         let &i = self.index.get(mk.mask())?;
-        self.subtables[i].entries.get(mk.key())
+        self.subtables[i]
+            .entries
+            .get(Subtable::<V>::entry_hash(mk.key()), mk.key())
     }
 
     /// Mutable fetch by exact masked key.
     pub fn get_mut(&mut self, mk: &MaskedKey) -> Option<&mut V> {
         let &i = self.index.get(mk.mask())?;
-        self.subtables[i].entries.get_mut(mk.key())
+        self.subtables[i]
+            .entries
+            .get_mut(Subtable::<V>::entry_hash(mk.key()), mk.key())
     }
 
     /// Removes an entry by masked key; drops the subtable if it empties.
     pub fn remove(&mut self, mk: &MaskedKey) -> Option<V> {
         let &idx = self.index.get(mk.mask())?;
         let st = &mut self.subtables[idx];
-        let removed = st.entries.remove(mk.key());
+        let removed = st
+            .entries
+            .remove(Subtable::<V>::entry_hash(mk.key()), mk.key());
         if removed.is_some() {
             self.entry_count -= 1;
             if let Some(staged) = &mut st.staged {
@@ -247,13 +279,19 @@ impl<V> TupleSpaceSearch<V> {
     /// Sequential-walk lookup **without** touching hit counters or stats
     /// — the pure variant used by tests and diagnostics.
     pub fn peek(&self, packet: &FlowKey) -> LookupOutcome<&V> {
+        self.peek_with(packet, &KeyWords::of(packet))
+    }
+
+    /// [`TupleSpaceSearch::peek`] with the packet's words already
+    /// extracted (batch callers hash once per packet, not per level).
+    pub fn peek_with(&self, packet: &FlowKey, words: &KeyWords) -> LookupOutcome<&V> {
         let mut probes = 0;
         let mut stage_checks = 0;
         for &i in &self.order {
             let st = &self.subtables[i];
             probes += 1;
             if let Some(staged) = &st.staged {
-                let (may, stages) = staged.probe(packet);
+                let (may, stages) = staged.probe_with(packet, words);
                 stage_checks += stages;
                 if !may {
                     continue;
@@ -261,8 +299,8 @@ impl<V> TupleSpaceSearch<V> {
             } else {
                 stage_checks += st.full_probe_cost;
             }
-            let masked = st.mask.apply(packet);
-            if let Some(v) = st.entries.get(&masked) {
+            let hash = words.masked_hash(&st.mask_words);
+            if let Some(v) = st.entries.get_by_hash(hash, |k| st.mask.key_eq(k, packet)) {
                 return LookupOutcome {
                     value: Some(v),
                     probes,
@@ -282,18 +320,28 @@ impl<V> TupleSpaceSearch<V> {
     /// enabled. Returns a *clone-free* outcome by index; use
     /// [`TupleSpaceSearch::lookup`] for the common case.
     pub fn lookup_mut(&mut self, packet: &FlowKey) -> LookupOutcome<&mut V> {
+        self.lookup_mut_with(packet, &KeyWords::of(packet))
+    }
+
+    /// [`TupleSpaceSearch::lookup_mut`] with the packet's words already
+    /// extracted — the datapath's hot path.
+    pub fn lookup_mut_with(
+        &mut self,
+        packet: &FlowKey,
+        words: &KeyWords,
+    ) -> LookupOutcome<&mut V> {
         self.maybe_resort();
         self.stats.lookups += 1;
         self.lookups_since_resort += 1;
 
         let mut probes = 0;
         let mut stage_checks = 0;
-        let mut found: Option<(usize, FlowKey)> = None;
+        let mut found: Option<(usize, u64)> = None;
         for &i in &self.order {
             let st = &mut self.subtables[i];
             probes += 1;
             if let Some(staged) = &st.staged {
-                let (may, stages) = staged.probe(packet);
+                let (may, stages) = staged.probe_with(packet, words);
                 stage_checks += stages;
                 if !may {
                     continue;
@@ -301,10 +349,14 @@ impl<V> TupleSpaceSearch<V> {
             } else {
                 stage_checks += st.full_probe_cost;
             }
-            let masked = st.mask.apply(packet);
-            if st.entries.contains_key(&masked) {
+            let hash = words.masked_hash(&st.mask_words);
+            if st
+                .entries
+                .get_by_hash(hash, |k| st.mask.key_eq(k, packet))
+                .is_some()
+            {
                 st.hits += 1;
-                found = Some((i, masked));
+                found = Some((i, hash));
                 break;
             }
         }
@@ -312,10 +364,14 @@ impl<V> TupleSpaceSearch<V> {
         self.stats.subtables_probed += probes as u64;
         self.stats.stage_checks += stage_checks as u64;
         match found {
-            Some((i, masked)) => {
+            Some((i, hash)) => {
                 self.stats.hits += 1;
+                let st = &mut self.subtables[i];
+                let mask = st.mask;
                 LookupOutcome {
-                    value: self.subtables[i].entries.get_mut(&masked),
+                    value: st
+                        .entries
+                        .get_mut_by_hash(hash, |k| mask.key_eq(k, packet)),
                     probes,
                     stage_checks,
                 }
@@ -358,13 +414,14 @@ impl<V> TupleSpaceSearch<V> {
         packet: &FlowKey,
         mut rank: impl FnMut(&V) -> K,
     ) -> LookupOutcome<&V> {
+        let words = KeyWords::of(packet);
         let mut probes = 0;
         let mut best: Option<(&V, K)> = None;
         for &i in &self.order {
             let st = &self.subtables[i];
             probes += 1;
-            let masked = st.mask.apply(packet);
-            if let Some(v) = st.entries.get(&masked) {
+            let hash = words.masked_hash(&st.mask_words);
+            if let Some(v) = st.entries.get_by_hash(hash, |k| st.mask.key_eq(k, packet)) {
                 let k = rank(v);
                 if best.as_ref().map(|(_, bk)| k > *bk).unwrap_or(true) {
                     best = Some((v, k));

@@ -12,8 +12,9 @@
 //! generator (no external dependencies) — each case index is its own
 //! reproducible seed.
 
-use pi_classifier::{Action, FlowTable, LinearClassifier, TupleSpaceSearch};
+use pi_classifier::{Action, FlowTable, LinearClassifier, StagedIndex, TupleSpaceSearch};
 use pi_core::{Field, FlowKey, FlowMask, MaskedKey, SplitMix64};
+use std::collections::HashMap;
 
 const CASES: u64 = 256;
 
@@ -132,6 +133,150 @@ fn subtable_count_equals_distinct_masks() {
             }
         }
         assert_eq!(tss.subtable_count(), distinct.len());
+    });
+}
+
+/// A straight-line reference model of `TupleSpaceSearch` built on std
+/// `HashMap` subtables: one `(mask, HashMap)` pair per distinct mask in
+/// first-appearance order, walked sequentially, with the same stats
+/// accounting. The real engine's flat open-addressing subtables and
+/// one-pass masked hashing must be observationally indistinguishable
+/// from this — values, probe counts, stage units, and counters.
+struct ReferenceTss {
+    subtables: Vec<(FlowMask, usize, HashMap<FlowKey, u64>)>,
+    lookups: u64,
+    subtables_probed: u64,
+    stage_checks: u64,
+    hits: u64,
+}
+
+impl ReferenceTss {
+    fn new() -> Self {
+        ReferenceTss {
+            subtables: Vec::new(),
+            lookups: 0,
+            subtables_probed: 0,
+            stage_checks: 0,
+            hits: 0,
+        }
+    }
+
+    fn insert(&mut self, mk: &MaskedKey, v: u64) -> Option<u64> {
+        let pos = self.subtables.iter().position(|(m, _, _)| m == mk.mask());
+        let idx = match pos {
+            Some(i) => i,
+            None => {
+                // Full probe cost = active stage count of the mask (≥1),
+                // same rule the engine derives via StagedIndex.
+                let cost = StagedIndex::new(mk.mask()).stage_count().max(1);
+                self.subtables.push((*mk.mask(), cost, HashMap::new()));
+                self.subtables.len() - 1
+            }
+        };
+        self.subtables[idx].2.insert(*mk.key(), v)
+    }
+
+    fn remove(&mut self, mk: &MaskedKey) -> Option<u64> {
+        let idx = self.subtables.iter().position(|(m, _, _)| m == mk.mask())?;
+        let removed = self.subtables[idx].2.remove(mk.key());
+        if removed.is_some() && self.subtables[idx].2.is_empty() {
+            // Relative probe order of the survivors is preserved, like
+            // the engine's `order.retain`.
+            self.subtables.remove(idx);
+        }
+        removed
+    }
+
+    /// Sequential walk with stats, mirroring `lookup` (non-staged).
+    fn lookup(&mut self, packet: &FlowKey) -> (Option<u64>, usize, usize) {
+        self.lookups += 1;
+        let mut probes = 0;
+        let mut stage_checks = 0;
+        let mut value = None;
+        for (mask, cost, table) in &self.subtables {
+            probes += 1;
+            stage_checks += cost;
+            if let Some(v) = table.get(&mask.apply(packet)) {
+                self.hits += 1;
+                value = Some(*v);
+                break;
+            }
+        }
+        self.subtables_probed += probes as u64;
+        self.stage_checks += stage_checks as u64;
+        (value, probes, stage_checks)
+    }
+
+    fn len(&self) -> usize {
+        self.subtables.iter().map(|(_, _, t)| t.len()).sum()
+    }
+}
+
+/// Differential test: a randomized insert/remove/lookup interleaving
+/// drives the flat-subtable engine and the HashMap reference in
+/// lock-step; every observable — returned values, probe and stage
+/// counts, subtable count, entry count, masks in probe order, and the
+/// accumulated [`pi_classifier::TssStats`] — must match exactly.
+#[test]
+fn flat_subtables_match_hashmap_reference_model() {
+    pi_core::for_cases(CASES, 0x15, |rng| {
+        let mut tss: TupleSpaceSearch<u64> = TupleSpaceSearch::default();
+        let mut reference = ReferenceTss::new();
+        // Draw keys from a small pool so removes and re-inserts of the
+        // same masked key actually happen.
+        let pool = rand_vec(rng, 8, 24, rand_masked_key);
+        for op in 0..300u64 {
+            match rng.gen_range(4) {
+                0 | 1 => {
+                    let mk = *rng.choose(&pool).unwrap();
+                    assert_eq!(tss.insert(mk, op), reference.insert(&mk, op));
+                }
+                2 => {
+                    let mk = rng.choose(&pool).unwrap();
+                    assert_eq!(tss.remove(mk), reference.remove(mk));
+                }
+                _ => {
+                    let pkt = if rng.gen_bool(0.5) {
+                        // Probe a witness of a pool entry: likely hit.
+                        rng.choose(&pool).unwrap().witness()
+                    } else {
+                        rand_packet(rng)
+                    };
+                    let out = tss.lookup(&pkt);
+                    let (ref_v, ref_probes, ref_stages) = reference.lookup(&pkt);
+                    assert_eq!(out.value.copied(), ref_v, "value for {pkt}");
+                    assert_eq!(out.probes, ref_probes, "probes for {pkt}");
+                    assert_eq!(out.stage_checks, ref_stages, "stages for {pkt}");
+                }
+            }
+            assert_eq!(tss.len(), reference.len());
+            assert_eq!(tss.subtable_count(), reference.subtables.len());
+            assert_eq!(
+                tss.masks(),
+                reference
+                    .subtables
+                    .iter()
+                    .map(|(m, _, _)| *m)
+                    .collect::<Vec<_>>(),
+                "probe order must match the reference"
+            );
+            let s = tss.stats();
+            assert_eq!(s.lookups, reference.lookups);
+            assert_eq!(s.subtables_probed, reference.subtables_probed);
+            assert_eq!(s.stage_checks, reference.stage_checks);
+            assert_eq!(s.hits, reference.hits);
+        }
+        // Entry sets agree exactly at the end.
+        let mut ours: Vec<(FlowKey, u64)> = tss.iter().map(|(mk, v)| (*mk.key(), *v)).collect();
+        let mut theirs: Vec<(FlowKey, u64)> = reference
+            .subtables
+            .iter()
+            .flat_map(|(_, _, t)| t.iter().map(|(k, v)| (*k, *v)))
+            .collect();
+        let key_of = |e: &(FlowKey, u64)| (e.0.ip_src, e.0.tp_dst, e.1);
+        ours.sort_by_key(key_of);
+        theirs.sort_by_key(key_of);
+        assert_eq!(ours, theirs);
     });
 }
 

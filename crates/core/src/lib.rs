@@ -19,6 +19,9 @@
 //!   fabric uplink), replacing the old raw `0xffff` sentinel.
 //! * [`SplitMix64`] — a tiny deterministic RNG so that core algorithms can
 //!   be randomized reproducibly without external dependencies.
+//! * [`KeyWords`] / [`MaskWords`] — one-pass deterministic flow hashing
+//!   ([`hash`]): extract a packet's field words once, then derive its hash
+//!   under every subtable mask without re-hashing a masked key per probe.
 //!
 //! Nothing in this crate allocates per packet; `FlowKey` and `FlowMask` are
 //! plain `Copy` structs, mirroring the fixed-size `struct flow` /
@@ -30,6 +33,7 @@
 pub mod addr;
 pub mod error;
 pub mod fields;
+pub mod hash;
 pub mod key;
 pub mod mask;
 pub mod port;
@@ -39,6 +43,7 @@ pub mod time;
 pub use addr::MacAddr;
 pub use error::CoreError;
 pub use fields::{Field, FieldSpec, Stage, ALL_FIELDS};
+pub use hash::{flow_hash, KeyWords, MaskWords, KEY_WORDS};
 pub use key::FlowKey;
 pub use mask::{FlowMask, MaskedKey};
 pub use port::Port;

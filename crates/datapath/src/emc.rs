@@ -10,12 +10,14 @@
 //! Entries carry a generation stamp; bumping the switch generation after
 //! policy changes or megaflow evictions invalidates the whole cache in
 //! O(1), a conservative model of OVS's EMC revalidation.
-
-use std::collections::hash_map::DefaultHasher;
-use std::hash::{Hash, Hasher};
+//!
+//! Set indexing uses the deterministic one-pass flow hash
+//! ([`pi_core::flow_hash`]); the `*_hashed` entry points accept the hash
+//! precomputed by the caller, so a batch of packets is hashed exactly
+//! once for both the EMC probe and any later promotion.
 
 use pi_classifier::Action;
-use pi_core::{FlowKey, SimTime, SplitMix64};
+use pi_core::{flow_hash, FlowKey, SimTime, SplitMix64};
 
 #[derive(Debug, Clone, Copy)]
 struct EmcEntry {
@@ -89,16 +91,35 @@ impl MicroflowCache {
         self.stats
     }
 
-    fn set_index(&self, key: &FlowKey) -> usize {
-        let mut h = DefaultHasher::new();
-        key.hash(&mut h);
-        (h.finish() as usize) & (self.sets - 1)
+    /// The EMC reads its set index from a *different segment* of the
+    /// 64-bit flow hash than the flat megaflow tables (which consume the
+    /// low bits for their slot index), mirroring OVS's
+    /// `EM_FLOW_HASH_SEGS` design of indexing the EMC by distinct
+    /// segments of the RSS hash — so clustering in one structure does
+    /// not automatically imply clustering in the other.
+    const SET_SEGMENT_SHIFT: u32 = 8;
+
+    #[inline]
+    fn set_index(&self, hash: u64) -> usize {
+        ((hash >> Self::SET_SEGMENT_SHIFT) as usize) & (self.sets - 1)
     }
 
     /// Looks up `key`; entries from older generations are treated as
     /// absent. Hits refresh the entry's LRU stamp.
     pub fn lookup(&mut self, key: &FlowKey, generation: u64, now: SimTime) -> Option<Action> {
-        let base = self.set_index(key) * self.ways;
+        self.lookup_hashed(flow_hash(key), key, generation, now)
+    }
+
+    /// [`MicroflowCache::lookup`] with the key's flow hash already
+    /// computed (the datapath hashes each packet once for all levels).
+    pub fn lookup_hashed(
+        &mut self,
+        hash: u64,
+        key: &FlowKey,
+        generation: u64,
+        now: SimTime,
+    ) -> Option<Action> {
+        let base = self.set_index(hash) * self.ways;
         for e in self.slots[base..base + self.ways].iter_mut().flatten() {
             if e.generation == generation && e.key == *key {
                 e.last_used = now;
@@ -119,11 +140,24 @@ impl MicroflowCache {
         generation: u64,
         now: SimTime,
     ) -> bool {
+        self.insert_hashed(flow_hash(key), key, action, generation, now)
+    }
+
+    /// [`MicroflowCache::insert`] with the key's flow hash already
+    /// computed.
+    pub fn insert_hashed(
+        &mut self,
+        hash: u64,
+        key: &FlowKey,
+        action: Action,
+        generation: u64,
+        now: SimTime,
+    ) -> bool {
         if self.insert_prob < 1.0 && !self.rng.gen_bool(self.insert_prob) {
             self.stats.skipped_inserts += 1;
             return false;
         }
-        let base = self.set_index(key) * self.ways;
+        let base = self.set_index(hash) * self.ways;
         let set = &mut self.slots[base..base + self.ways];
 
         // Same key (refresh) or dead/free slot first.

@@ -1,7 +1,7 @@
 //! The megaflow cache: wildcard entries over Tuple Space Search.
 
 use pi_classifier::{Action, LookupOutcome, SubtableOrder, TupleSpaceSearch};
-use pi_core::{FlowKey, MaskedKey, SimTime};
+use pi_core::{FlowKey, KeyWords, MaskedKey, SimTime};
 
 /// One cached megaflow: a verdict plus usage bookkeeping for the
 /// revalidator.
@@ -94,7 +94,19 @@ impl MegaflowCache {
     /// Looks up `key`, updating the hit entry's usage stamps.
     /// The outcome's probe counts feed the cost model.
     pub fn lookup(&mut self, key: &FlowKey, now: SimTime) -> LookupOutcome<Action> {
-        let out = self.tss.lookup_mut(key);
+        self.lookup_with(key, &KeyWords::of(key), now)
+    }
+
+    /// [`MegaflowCache::lookup`] with the packet's words already
+    /// extracted, so the subtable walk re-uses the datapath's one-pass
+    /// hash work.
+    pub fn lookup_with(
+        &mut self,
+        key: &FlowKey,
+        words: &KeyWords,
+        now: SimTime,
+    ) -> LookupOutcome<Action> {
+        let out = self.tss.lookup_mut_with(key, words);
         let value = out.value.map(|e| {
             e.hits += 1;
             e.last_used = now;

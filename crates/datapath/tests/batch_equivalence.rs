@@ -1,0 +1,195 @@
+//! `VSwitch::process_batch` must be observationally identical to N
+//! sequential `VSwitch::process` calls on the same packet sequence —
+//! verdicts, routing, per-packet paths and cycles, and every stats
+//! counter (`SwitchStats`, `EmcStats`, `MfcStats`, `TssStats`). The
+//! batch path only amortises hash work; any divergence means it changed
+//! semantics (e.g. probing the EMC before an earlier packet of the same
+//! batch could promote its flow).
+
+use pi_classifier::table::whitelist_with_default_deny;
+
+use pi_core::{Field, FlowKey, FlowMask, MaskedKey, SimTime, SplitMix64};
+use pi_datapath::{DpConfig, VSwitch};
+
+const POD_A: [u8; 4] = [10, 0, 0, 99];
+const POD_B: [u8; 4] = [10, 0, 0, 100];
+
+/// Two pods; A whitelists 10/8 (so off-net sources are denied and mint
+/// new masks), B allows everything.
+fn build_switch(staged: bool) -> VSwitch {
+    let mut sw = VSwitch::new(DpConfig {
+        trie_fields: vec![Field::IpSrc],
+        staged_lookup: staged,
+        // Small EMC so collisions/evictions happen at test scale.
+        emc_entries: 64,
+        emc_ways: 2,
+        ..DpConfig::default()
+    });
+    sw.attach_pod(u32::from_be_bytes(POD_A), 1);
+    sw.attach_pod(u32::from_be_bytes(POD_B), 2);
+    let allow = MaskedKey::new(
+        FlowKey::tcp([10, 0, 0, 0], [0, 0, 0, 0], 0, 0),
+        FlowMask::default().with_prefix(Field::IpSrc, 8),
+    );
+    sw.install_acl(
+        u32::from_be_bytes(POD_A),
+        whitelist_with_default_deny(&[allow]),
+    );
+    sw
+}
+
+/// A deterministic mix of repeated flows (EMC hits), fresh allowed and
+/// denied sources (megaflow hits + upcalls), and unroutable
+/// destinations; repeats are frequent enough that packets regularly hit
+/// EMC entries promoted earlier **in the same batch**.
+fn packet_sequence(n: usize, seed: u64) -> Vec<FlowKey> {
+    let mut rng = SplitMix64::new(seed);
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let dst = if rng.gen_bool(0.8) { POD_A } else { POD_B };
+        let key = match rng.gen_range(4) {
+            // Hot flows: a handful of repeated 5-tuples.
+            0 | 1 => FlowKey::tcp(
+                [10, 0, 1, (rng.gen_range(4) + 1) as u8],
+                dst,
+                40_000 + rng.gen_range(4) as u16,
+                5201,
+            ),
+            // Fresh on-net source (allowed at A, megaflow /8).
+            2 => FlowKey::tcp(
+                [10, rng.gen_range(250) as u8 + 1, rng.next_u32() as u8, 7],
+                dst,
+                rng.gen_range(60_000) as u16 + 1,
+                5201,
+            ),
+            // Off-net source (denied at A) or unroutable destination.
+            _ => {
+                if rng.gen_bool(0.3) {
+                    FlowKey::tcp([10, 1, 1, 1], [172, 16, 0, 9], 555, 80)
+                } else {
+                    FlowKey::tcp(
+                        [(rng.gen_range(100) + 100) as u8, 0, 0, 1],
+                        dst,
+                        1000,
+                        5201,
+                    )
+                }
+            }
+        };
+        out.push(key);
+    }
+    out
+}
+
+fn assert_same_state(seq: &VSwitch, bat: &VSwitch) {
+    assert_eq!(seq.stats(), bat.stats(), "SwitchStats diverged");
+    assert_eq!(seq.emc_stats(), bat.emc_stats(), "EmcStats diverged");
+    assert_eq!(seq.mfc_stats(), bat.mfc_stats(), "MfcStats diverged");
+    assert_eq!(
+        seq.megaflows().tss_stats(),
+        bat.megaflows().tss_stats(),
+        "TssStats diverged"
+    );
+    assert_eq!(seq.mask_count(), bat.mask_count());
+    assert_eq!(seq.megaflow_count(), bat.megaflow_count());
+}
+
+fn run_equivalence(staged: bool) {
+    let keys = packet_sequence(500, 0xba7c ^ staged as u64);
+    let mut sequential = build_switch(staged);
+    let mut batched = build_switch(staged);
+
+    let mut expected = Vec::with_capacity(keys.len());
+    let mut t = SimTime::from_millis(1);
+    for k in &keys {
+        expected.push(sequential.process(k, t));
+        t += SimTime::from_micros(3);
+    }
+
+    // The batch API sees the keys in arbitrary-size runs (exercising
+    // sub-batch boundaries at BATCH_SIZE) — but each packet must get
+    // the same per-packet timestamp the sequential run used.
+    let mut got = Vec::with_capacity(keys.len());
+    let mut t = SimTime::from_millis(1);
+    for chunk in keys.chunks(97) {
+        // One process_batch call per constant-time window is the real
+        // usage; replicate per-packet times by calling per run of equal
+        // timestamps — here timestamps advance per packet, so feed the
+        // batch one packet-timestamp pair at a time via chunk loops.
+        let mut idx = 0;
+        while idx < chunk.len() {
+            let n = batched.process_batch(&chunk[idx..idx + 1], t, |_, out| {
+                got.push(out);
+                true
+            });
+            assert_eq!(n, 1);
+            t += SimTime::from_micros(3);
+            idx += 1;
+        }
+    }
+    assert_eq!(expected, got, "per-packet outcomes diverged");
+    assert_same_state(&sequential, &batched);
+}
+
+/// Same timestamps, one packet per batch call: pure API equivalence.
+#[test]
+fn single_packet_batches_equal_sequential() {
+    run_equivalence(false);
+    run_equivalence(true);
+}
+
+/// Whole-sequence batches at a fixed timestamp: verdicts, paths and all
+/// counters must equal sequential processing at that same timestamp —
+/// including packets that EMC-hit entries promoted by earlier packets
+/// of the *same* `process_batch` call.
+#[test]
+fn large_batches_equal_sequential_at_fixed_time() {
+    for staged in [false, true] {
+        let keys = packet_sequence(800, 0x5e9 ^ staged as u64);
+        let now = SimTime::from_millis(5);
+
+        let mut sequential = build_switch(staged);
+        let expected: Vec<_> = keys.iter().map(|k| sequential.process(k, now)).collect();
+
+        let mut batched = build_switch(staged);
+        let mut got = Vec::with_capacity(keys.len());
+        // 800 packets in one call = 25 internal sub-batches of 32.
+        let n = batched.process_batch(&keys, now, |i, out| {
+            assert_eq!(i, got.len(), "sink must see packets in order");
+            got.push(out);
+            true
+        });
+        assert_eq!(n, keys.len());
+        assert_eq!(expected, got);
+        assert_same_state(&sequential, &batched);
+
+        // Microflow hits must actually occur within batches for the
+        // equivalence to mean anything.
+        let emc_hits = got.iter().filter(|o| o.path.is_microflow()).count();
+        assert!(emc_hits > 100, "want intra-batch EMC traffic, got {emc_hits}");
+    }
+}
+
+/// A sink returning `false` stops the batch mid-run: exactly the
+/// processed prefix is charged, later packets leave no trace.
+#[test]
+fn early_stop_processes_exact_prefix() {
+    let keys = packet_sequence(100, 0x57);
+    let now = SimTime::from_millis(9);
+    let stop_after = 37usize;
+
+    let mut sequential = build_switch(false);
+    for k in keys.iter().take(stop_after) {
+        sequential.process(k, now);
+    }
+
+    let mut batched = build_switch(false);
+    let mut seen = 0usize;
+    let n = batched.process_batch(&keys, now, |_, _| {
+        seen += 1;
+        seen < stop_after
+    });
+    assert_eq!(n, stop_after);
+    assert_eq!(seen, stop_after);
+    assert_same_state(&sequential, &batched);
+}

@@ -106,6 +106,35 @@ impl FleetReport {
         self.switch_stats.iter().map(|s| s.packets).sum()
     }
 
+    /// Fleet-wide switch counters (per-host stats summed) — the benches
+    /// derive avg probes/packet and the EMC hit rate from this so perf
+    /// regressions are attributable to a pipeline level.
+    pub fn total_switch_stats(&self) -> SwitchStats {
+        let mut total = SwitchStats::default();
+        for s in &self.switch_stats {
+            // Exhaustive destructuring (no `..`): adding a field to
+            // SwitchStats must fail to compile here rather than be
+            // silently dropped from the fleet aggregate.
+            let SwitchStats {
+                packets,
+                microflow_hits,
+                megaflow_hits,
+                upcalls,
+                policy_drops,
+                cycles,
+                subtable_probes,
+            } = *s;
+            total.packets += packets;
+            total.microflow_hits += microflow_hits;
+            total.megaflow_hits += megaflow_hits;
+            total.upcalls += upcalls;
+            total.policy_drops += policy_drops;
+            total.cycles += cycles;
+            total.subtable_probes += subtable_probes;
+        }
+        total
+    }
+
     /// Aggregate delivered throughput of the given sources.
     pub fn aggregate_throughput(&self, sources: &[usize], name: &str) -> TimeSeries {
         let picked: Vec<&TimeSeries> =
