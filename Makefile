@@ -2,7 +2,7 @@
 
 CARGO ?= cargo
 
-.PHONY: build test clippy bench bench-fleet bench-hotpath example-fleet clean
+.PHONY: build test fmt-check clippy bench bench-fleet bench-hotpath bench-upcall example-fleet clean
 
 build:
 	$(CARGO) build --release
@@ -10,6 +10,9 @@ build:
 # Tier-1 verification (ROADMAP.md).
 test:
 	$(CARGO) build --release && $(CARGO) test -q
+
+fmt-check:
+	$(CARGO) fmt --check
 
 clippy:
 	$(CARGO) clippy --workspace --all-targets -- -D warnings
@@ -29,6 +32,12 @@ bench-fleet:
 # "Performance" for the before/after methodology.
 bench-hotpath:
 	$(CARGO) run --release -p pi_bench --bin hotpath
+
+# Handler-saturation sweep: victim pps / upcall drop rate / install
+# latency under inline vs bounded vs fair-share slow paths; writes
+# BENCH_upcall.json. See README "Slow-path pipeline".
+bench-upcall:
+	$(CARGO) run --release -p pi_bench --bin upcall_saturation
 
 example-fleet:
 	$(CARGO) run --release --example fleet_blast_radius

@@ -11,8 +11,8 @@ use pi_core::key::IPPROTO_TCP;
 use pi_core::Field;
 
 use pi_cms::{
-    CalicoPolicy, CalicoRule, Cidr, IngressRule, NetworkPolicy, PolicyDialect, PortRange,
-    Protocol, SecurityGroup,
+    CalicoPolicy, CalicoRule, Cidr, IngressRule, NetworkPolicy, PolicyDialect, PortRange, Protocol,
+    SecurityGroup,
 };
 
 use crate::covert::{AttackTarget, FieldTarget};

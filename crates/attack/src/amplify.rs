@@ -155,10 +155,8 @@ mod tests {
     fn mixed_dialects_do_add_masks() {
         // One pod with dst-port-only, one adding src ports: the second
         // field set strictly contains new shapes.
-        let mut attack = MultiPodAttack::uniform(
-            &ips(1),
-            AttackSpec::masks_512(PolicyDialect::Kubernetes),
-        );
+        let mut attack =
+            MultiPodAttack::uniform(&ips(1), AttackSpec::masks_512(PolicyDialect::Kubernetes));
         attack
             .specs
             .push((u32::from_be_bytes([10, 1, 1, 99]), AttackSpec::masks_8192()));

@@ -89,7 +89,11 @@ impl CovertSequence {
 
     /// Number of populate packets: ∏ (prefix_lenᶠ + 1).
     pub fn packet_count(&self) -> u64 {
-        self.target.fields.iter().map(|f| f.variant_count()).product()
+        self.target
+            .fields
+            .iter()
+            .map(|f| f.variant_count())
+            .product()
     }
 
     /// Number of distinct megaflow masks the populate pass creates:

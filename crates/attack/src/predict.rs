@@ -30,7 +30,12 @@ mod tests {
     const TRIE_FIELDS: [Field; 4] = [Field::IpSrc, Field::IpDst, Field::TpSrc, Field::TpDst];
 
     fn allow(ip: [u8; 4], ip_len: u8, dst_port: Option<u16>, src_port: Option<u16>) -> MaskedKey {
-        let key = FlowKey::tcp(ip, [0, 0, 0, 0], src_port.unwrap_or(0), dst_port.unwrap_or(0));
+        let key = FlowKey::tcp(
+            ip,
+            [0, 0, 0, 0],
+            src_port.unwrap_or(0),
+            dst_port.unwrap_or(0),
+        );
         let mut mask = FlowMask::default().with_prefix(Field::IpSrc, ip_len);
         if dst_port.is_some() {
             mask = mask.with_exact(Field::TpDst);

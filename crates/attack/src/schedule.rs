@@ -9,16 +9,37 @@
 //!    reclaims a mask.
 //! 3. **Scan** — spend whatever remains on unique allow-rule packets
 //!    that each force a near-full subtable walk (the CPU amplifier).
+//!
+//! [`AttackSchedule::upcall_flood`] switches the schedule to a second
+//! attack mode aimed at the *bounded slow path* instead of the fast
+//! path: every emitted packet targets a never-before-seen destination,
+//! so each one is a guaranteed megaflow miss that must upcall. Paced at
+//! any rate above the handler service rate, the stream keeps its upcall
+//! queue pinned at capacity and keeps the handler cycle budget busy —
+//! starving co-located tenants' flow setups (and, once the flow limit
+//! fills, their installs too).
 
 use pi_core::SimTime;
 use pi_traffic::{GenPacket, TrafficSource};
 
 use crate::covert::CovertSequence;
 
+/// What the paced budget is spent on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// Populate + refresh + scan against the injected ACL's masks (the
+    /// paper's fast-path attack).
+    Covert,
+    /// Unique-destination spray: every packet upcalls, pinning the
+    /// bounded slow-path pipeline at capacity.
+    UpcallFlood,
+}
+
 /// The paced attack stream.
 #[derive(Debug, Clone)]
 pub struct AttackSchedule {
     seq: CovertSequence,
+    mode: Mode,
     /// Covert budget, bits/second.
     bandwidth_bps: f64,
     /// Frame size used for budget accounting (the attack wants small
@@ -46,6 +67,7 @@ impl AttackSchedule {
     pub fn new(seq: CovertSequence, bandwidth_bps: f64, start: SimTime) -> Self {
         AttackSchedule {
             seq,
+            mode: Mode::Covert,
             bandwidth_bps,
             frame_bytes: 64,
             start,
@@ -82,6 +104,30 @@ impl AttackSchedule {
     pub fn frame_size(mut self, bytes: usize) -> Self {
         self.frame_bytes = bytes;
         self
+    }
+
+    /// Switches the schedule to the upcall-flood mode: the whole budget
+    /// goes to unique-destination packets (a rolling spray through an
+    /// off-cluster block), each of which is a guaranteed megaflow miss
+    /// that must be serviced by a slow-path handler. Paced above the
+    /// handler service rate, the flood pins the bounded upcall queue at
+    /// capacity and monopolises the per-step handler budget; the mask
+    /// machinery (populate/refresh/scan) is not used.
+    #[must_use]
+    pub fn upcall_flood(mut self) -> Self {
+        self.mode = Mode::UpcallFlood;
+        self
+    }
+
+    /// The `n`-th flood packet: unique destination (172.16/12-style
+    /// spray) and a rolling source port, so no cache level ever absorbs
+    /// the stream. The source address is derived from the attacker pod
+    /// so fanned-out floods stay distinguishable in dumps.
+    fn flood_packet(&self, n: u64) -> pi_core::FlowKey {
+        let dst = 0xac10_0000u32 | (n as u32 & 0x000f_ffff);
+        let src = 0x0a00_4200u32 | (self.seq.target().dst_ip & 0xff);
+        let sport = 1024 + (n % 60_000) as u16;
+        pi_core::FlowKey::tcp(src.to_be_bytes(), dst.to_be_bytes(), sport, 7)
     }
 
     /// Packets/second the budget affords.
@@ -123,8 +169,12 @@ impl AttackSchedule {
             .enumerate()
             .map(|(i, &ip)| {
                 let begin = start + SimTime::from_nanos(stagger.as_nanos() * i as u64);
-                AttackSchedule::new(CovertSequence::new(spec.build_target(ip)), bandwidth_bps, begin)
-                    .named(&format!("attack@{i}"))
+                AttackSchedule::new(
+                    CovertSequence::new(spec.build_target(ip)),
+                    bandwidth_bps,
+                    begin,
+                )
+                .named(&format!("attack@{i}"))
             })
             .collect()
     }
@@ -142,10 +192,22 @@ impl TrafficSource for AttackSchedule {
         let mut slots = target.saturating_sub(self.emitted);
         self.emitted = target;
 
+        if self.mode == Mode::UpcallFlood {
+            // The whole budget is spent on guaranteed-miss packets; the
+            // steady pace (anything above the handler service rate)
+            // keeps the upcall queue pinned at capacity.
+            let frame = self.frame_bytes;
+            for _ in 0..slots {
+                let key = self.flood_packet(self.scan_counter);
+                self.scan_counter += 1;
+                out.push(GenPacket { key, bytes: frame });
+            }
+            return;
+        }
+
         // Refresh credit accrues regardless of phase; it is only spent
         // once the populate pass finished.
-        let refresh_pps =
-            self.seq.packet_count() as f64 / self.refresh_interval.as_secs_f64();
+        let refresh_pps = self.seq.packet_count() as f64 / self.refresh_interval.as_secs_f64();
         self.refresh_credit += refresh_pps * dt_ns as f64 / 1e9;
 
         let frame = self.frame_bytes;
@@ -225,7 +287,13 @@ mod tests {
         let out = drive(&mut s, 60, 61);
         assert!(s.populated());
         let expected: Vec<_> = s.sequence().populate_packets().collect();
-        assert_eq!(&out[..expected.len()].iter().map(|p| p.key).collect::<Vec<_>>(), &expected);
+        assert_eq!(
+            &out[..expected.len()]
+                .iter()
+                .map(|p| p.key)
+                .collect::<Vec<_>>(),
+            &expected
+        );
     }
 
     #[test]
@@ -233,15 +301,11 @@ mod tests {
         let mut s = schedule(2e6);
         drive(&mut s, 60, 62); // populate done
         let out = drive(&mut s, 62, 72); // 10 s of steady state
-        let populate_set: std::collections::HashSet<_> =
-            s.sequence().populate_packets().collect();
+        let populate_set: std::collections::HashSet<_> = s.sequence().populate_packets().collect();
         let refreshes = out.iter().filter(|p| populate_set.contains(&p.key)).count();
         let scans = out.len() - refreshes;
         // Refresh: 561 packets / 5 s × 10 s ≈ 1122.
-        assert!(
-            (1000..1300).contains(&refreshes),
-            "refreshes = {refreshes}"
-        );
+        assert!((1000..1300).contains(&refreshes), "refreshes = {refreshes}");
         assert!(scans > 10_000, "scan stream should dominate: {scans}");
         // Every populate packet refreshed at least once in 10 s.
         let refreshed: std::collections::HashSet<_> = out
@@ -269,6 +333,24 @@ mod tests {
         let mut s = schedule(0.5e6);
         drive(&mut s, 60, 63);
         assert!(s.populated(), "populate must finish within seconds");
+    }
+
+    #[test]
+    fn upcall_flood_emits_unique_destinations_at_full_budget() {
+        let mut s = schedule(2e6).upcall_flood();
+        assert!(drive(&mut s, 0, 60).is_empty(), "silent before start");
+        let out = drive(&mut s, 60, 70);
+        // Budget still binds: 2 Mb/s of 64-B frames ≈ 3906 pps.
+        let bps = out.iter().map(|p| p.bytes * 8).sum::<usize>() as f64 / 10.0;
+        assert!((bps - 2e6).abs() / 2e6 < 0.01, "offered {bps} b/s");
+        // Every packet is a brand-new flow to a brand-new destination.
+        let dsts: std::collections::HashSet<_> = out.iter().map(|p| p.key.ip_dst).collect();
+        assert_eq!(dsts.len(), out.len(), "destinations never repeat");
+        for p in &out {
+            assert_eq!(p.key.ip_dst & 0xfff0_0000, 0xac10_0000, "off-cluster spray");
+        }
+        // No populate/refresh machinery runs in flood mode.
+        assert!(!s.populated());
     }
 
     #[test]
@@ -301,8 +383,7 @@ mod tests {
         let mut s = schedule(2e6);
         drive(&mut s, 60, 61);
         let out = drive(&mut s, 61, 63);
-        let populate_set: std::collections::HashSet<_> =
-            s.sequence().populate_packets().collect();
+        let populate_set: std::collections::HashSet<_> = s.sequence().populate_packets().collect();
         let scan_keys: Vec<_> = out
             .iter()
             .map(|p| p.key)

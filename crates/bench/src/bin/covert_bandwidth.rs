@@ -51,7 +51,11 @@ fn main() {
         "target: keep all 512 masks ({} entries) alive; idle timeout 10 s, 64-B frames",
         seq.packet_count()
     );
-    println!("analytic refresh minimum: {:.0} b/s ({:.3} Mb/s)\n", analytic, analytic / 1e6);
+    println!(
+        "analytic refresh minimum: {:.0} b/s ({:.3} Mb/s)\n",
+        analytic,
+        analytic / 1e6
+    );
 
     let mut csv = CsvTable::new(&["budget_mbps", "offered_mbps", "masks_alive", "sustained"]);
     println!(

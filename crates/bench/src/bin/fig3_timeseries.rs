@@ -57,8 +57,8 @@ fn main() {
         "server CPU during attack: {:.0}%",
         cpu.mean_between(SimTime::from_secs(75), params.duration) * 100.0
     );
-    let attack_offered =
-        report.offered_bps[handles.attack_source].mean_between(params.attack_start, params.duration);
+    let attack_offered = report.offered_bps[handles.attack_source]
+        .mean_between(params.attack_start, params.duration);
     println!("covert stream        : {:.2} Mb/s", attack_offered / 1e6);
 
     // CSV with the figure's series.

@@ -119,8 +119,7 @@ fn main() {
         });
     }
 
-    let out =
-        std::env::var("PI_BENCH_HOTPATH_OUT").unwrap_or_else(|_| "BENCH_hotpath.json".into());
+    let out = std::env::var("PI_BENCH_HOTPATH_OUT").unwrap_or_else(|_| "BENCH_hotpath.json".into());
     // Default merge source is the output file itself: re-running the
     // bench refreshes this variant's rows and keeps every other
     // variant's (the baseline rows predate the rebuild and cannot be

@@ -74,10 +74,7 @@ fn main() {
             "ip/32+dport (paper 512)",
             AttackSpec::masks_512(PolicyDialect::Kubernetes),
         ),
-        (
-            "ip/32+dport+sport (paper 8192)",
-            AttackSpec::masks_8192(),
-        ),
+        ("ip/32+dport+sport (paper 8192)", AttackSpec::masks_8192()),
     ];
 
     let mut baseline_pps: Option<f64> = None;

@@ -8,8 +8,8 @@
 
 use pi_attack::{AttackSpec, CovertSequence};
 use pi_bench::{compile_spec, results_dir};
-use pi_cms::PolicyDialect;
 use pi_classifier::Action;
+use pi_cms::PolicyDialect;
 use pi_core::{Field, FlowKey, SimTime};
 use pi_datapath::{DpConfig, VSwitch};
 use pi_metrics::CsvTable;
@@ -103,13 +103,22 @@ fn main() {
         format!("{:.0}", unattacked.capacity_pps),
         format!("{:.2}", unattacked.capacity_pps / none_cap.capacity_pps),
         "1".into(),
-        if admitted { "yes (BUG)" } else { "no — rejected" }.into(),
+        if admitted {
+            "yes (BUG)"
+        } else {
+            "no — rejected"
+        }
+        .into(),
     ]);
 
     // Cache-less compiled datapath.
     let mut cless = CachelessSwitch::new();
     let pod_ip = u32::from_be_bytes([10, 1, 0, 66]);
-    cless.attach_pod(pod_ip, 1, CompiledAcl::compile(&compile_spec(&spec), Action::Deny));
+    cless.attach_pod(
+        pod_ip,
+        1,
+        CompiledAcl::compile(&compile_spec(&spec), Action::Deny),
+    );
     let seq = CovertSequence::new(spec.build_target(pod_ip));
     for p in seq.populate_packets() {
         cless.process(&p);

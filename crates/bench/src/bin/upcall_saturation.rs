@@ -1,0 +1,140 @@
+//! `upcall_saturation` — the bounded slow path under a paced flood.
+//!
+//! Runs the single-node handler-saturation scenario
+//! ([`pi_sim::upcall_saturation_scenario`]) in three configurations and
+//! records what happens to a connection-churn victim whose every flow
+//! needs a slow-path handler:
+//!
+//! * `inline` — the historical synchronous slow path (no queue to
+//!   saturate; the baseline the bounded rows are judged against);
+//! * `bounded` — the bounded pipeline with no fairness: the attacker's
+//!   destination-spray flood monopolises the handler budget and the
+//!   victim's upcalls tail-drop;
+//! * `fair_share` — the same pipeline with the per-port flow-setup
+//!   quota ([`pi_mitigation::upcall_fair_share_config`]'s knob): the
+//!   victim's drop rate returns to ~0 while the flood keeps
+//!   tail-dropping its own traffic.
+//!
+//! Per row: victim delivered pps, victim upcall-drop rate, mean install
+//! latency in handler steps, and the pipeline's queue high-water mark.
+//! The scenario metrics are fully deterministic, so one run per row
+//! suffices (no wall-clock sampling involved).
+//!
+//! Output: `BENCH_upcall.json` (override with `PI_BENCH_UPCALL_OUT`).
+//! `--smoke` shrinks the run to two simulated seconds for CI (the
+//! victim starts at t = 1 s, so its effective window is one second).
+//! Drop rates are computed over `generated`, which includes the few
+//! connections still parked in the pipeline when the clock stops (see
+//! `SourceTotals` — totals don't conserve at the run boundary).
+
+use pi_core::SimTime;
+use pi_sim::{upcall_saturation_scenario, UpcallSaturationParams};
+
+struct Row {
+    mode: &'static str,
+    victim_offered: u64,
+    victim_delivered: u64,
+    victim_pps: f64,
+    victim_upcall_drops: u64,
+    victim_drop_rate: f64,
+    attacker_upcall_drops: u64,
+    mean_install_latency_steps: f64,
+    max_queue_depth: usize,
+    upcalls_handled: u64,
+}
+
+fn run_mode(mode: &'static str, sim_secs: u64) -> Row {
+    let mut params = UpcallSaturationParams {
+        duration: SimTime::from_secs(sim_secs),
+        ..Default::default()
+    };
+    match mode {
+        "inline" => params.inline_baseline = true,
+        "bounded" => {}
+        "fair_share" => params.port_quota_per_step = Some(8),
+        other => unreachable!("unknown mode {other}"),
+    }
+    let (sim, handles) = upcall_saturation_scenario(&params);
+    let report = sim.run();
+    let victim = &report.source_totals[handles.victim_source];
+    let up = report.upcall_stats[handles.node];
+    let effective_secs = (params.duration - params.victim_start).as_secs_f64();
+    Row {
+        mode,
+        victim_offered: victim.generated,
+        victim_delivered: victim.delivered,
+        victim_pps: victim.delivered as f64 / effective_secs,
+        victim_upcall_drops: victim.dropped_upcall,
+        victim_drop_rate: victim.dropped_upcall as f64 / victim.generated.max(1) as f64,
+        attacker_upcall_drops: report.source_totals[handles.attack_source].dropped_upcall,
+        mean_install_latency_steps: up.mean_wait_steps(),
+        max_queue_depth: up.max_depth,
+        upcalls_handled: up.handled,
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let sim_secs: u64 = if smoke { 2 } else { 10 };
+    println!("upcall_saturation: {sim_secs} simulated seconds per mode");
+    println!(
+        "{:>11} {:>14} {:>12} {:>12} {:>16} {:>18} {:>15}",
+        "mode",
+        "victim_offered",
+        "victim_pps",
+        "drop_rate",
+        "victim_drops",
+        "latency_steps",
+        "attacker_drops"
+    );
+    let rows: Vec<Row> = ["inline", "bounded", "fair_share"]
+        .into_iter()
+        .map(|mode| run_mode(mode, sim_secs))
+        .collect();
+    for r in &rows {
+        println!(
+            "{:>11} {:>14} {:>12.0} {:>12.4} {:>16} {:>18.2} {:>15}",
+            r.mode,
+            r.victim_offered,
+            r.victim_pps,
+            r.victim_drop_rate,
+            r.victim_upcall_drops,
+            r.mean_install_latency_steps,
+            r.attacker_upcall_drops
+        );
+    }
+
+    let json_rows: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"mode\": \"{}\", \"sim_secs\": {}, \"victim_offered\": {}, \
+                 \"victim_delivered\": {}, \"victim_pps\": {:.1}, \
+                 \"victim_upcall_drops\": {}, \"victim_drop_rate\": {:.4}, \
+                 \"attacker_upcall_drops\": {}, \"mean_install_latency_steps\": {:.3}, \
+                 \"max_queue_depth\": {}, \"upcalls_handled\": {}}}",
+                r.mode,
+                sim_secs,
+                r.victim_offered,
+                r.victim_delivered,
+                r.victim_pps,
+                r.victim_upcall_drops,
+                r.victim_drop_rate,
+                r.attacker_upcall_drops,
+                r.mean_install_latency_steps,
+                r.max_queue_depth,
+                r.upcalls_handled
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"upcall_saturation\",\n  \"scenario\": \"upcall_saturation\",\n  \
+         \"victim_pps_offered\": {},\n  \"attack_bandwidth_bps\": {:.0},\n  \"rows\": [\n{}\n  ]\n}}\n",
+        UpcallSaturationParams::default().victim_pps,
+        UpcallSaturationParams::default().attack_bandwidth_bps,
+        json_rows.join(",\n")
+    );
+    let out = std::env::var("PI_BENCH_UPCALL_OUT").unwrap_or_else(|_| "BENCH_upcall.json".into());
+    std::fs::write(&out, json).expect("write BENCH_upcall.json");
+    println!("\nwrote {out}");
+}

@@ -10,6 +10,7 @@
 //! | `covert_bandwidth` | E6 — how little bandwidth sustains the attack |
 //! | `mitigation_ablation` | E7 — the demo-discussion defenses, quantified |
 //! | `field_scaling` | E8 — the ∏ field-width mask law |
+//! | `upcall_saturation` | the bounded slow path under a paced flood (BENCH_upcall.json) |
 //!
 //! Run with `--release`; each prints an aligned table / ASCII figure and
 //! writes a CSV under `results/`.

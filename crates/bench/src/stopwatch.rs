@@ -30,7 +30,12 @@ impl Measurement {
 /// timed window exceeds `measure` wall time. Returns the measurement and
 /// prints one aligned report line.
 pub fn bench<R>(name: &str, mut f: impl FnMut() -> R) -> Measurement {
-    bench_for(name, Duration::from_millis(300), Duration::from_millis(100), &mut f)
+    bench_for(
+        name,
+        Duration::from_millis(300),
+        Duration::from_millis(100),
+        &mut f,
+    )
 }
 
 /// [`bench`] with explicit measurement and warm-up windows.

@@ -76,7 +76,10 @@ mod tests {
         table.insert(MaskedKey::wildcard(), 1, Action::Deny);
         table.insert(MaskedKey::wildcard(), 5, Action::Allow); // later but higher
         let c = LinearClassifier::new(&table);
-        assert_eq!(c.classify(&FlowKey::default()).unwrap().action, Action::Allow);
+        assert_eq!(
+            c.classify(&FlowKey::default()).unwrap().action,
+            Action::Allow
+        );
     }
 
     #[test]
@@ -87,7 +90,10 @@ mod tests {
         table.insert(MaskedKey::wildcard(), 3, Action::Allow);
         table.insert(MaskedKey::wildcard(), 3, Action::Deny);
         let c = LinearClassifier::new(&table);
-        assert_eq!(c.classify(&FlowKey::default()).unwrap().action, Action::Allow);
+        assert_eq!(
+            c.classify(&FlowKey::default()).unwrap().action,
+            Action::Allow
+        );
     }
 
     #[test]

@@ -205,12 +205,7 @@ pub fn reachable_megaflow_mask_count(table: &FlowTable, trie_fields: &[Field]) -
 /// a coarse diagnostic, not the megaflow mask count.
 pub fn distinct_rule_masks(table: &FlowTable) -> usize {
     let mut masks: Vec<FlowMask> = table.iter().map(|r| *r.matcher.mask()).collect();
-    masks.sort_by_key(|m| {
-        ALL_FIELDS
-            .iter()
-            .map(|f| m.field(*f))
-            .collect::<Vec<u64>>()
-    });
+    masks.sort_by_key(|m| ALL_FIELDS.iter().map(|f| m.field(*f)).collect::<Vec<u64>>());
     masks.dedup();
     masks.len()
 }
@@ -264,10 +259,7 @@ mod tests {
         assert_eq!(active.field(Field::IpSrc), Field::IpSrc.prefix_mask(8));
         assert_eq!(active.field(Field::TpDst), 0xffff);
         assert_eq!(active.field(Field::TpSrc), 0);
-        assert_eq!(
-            t.active_fields(),
-            vec![Field::IpSrc, Field::TpDst]
-        );
+        assert_eq!(t.active_fields(), vec![Field::IpSrc, Field::TpDst]);
     }
 
     #[test]

@@ -190,8 +190,7 @@ impl PrefixTrie {
         let mut stack: Vec<(usize, u8)> = vec![(0, 0)];
         while let Some((n, depth)) = stack.pop() {
             let node = &self.nodes[n];
-            let child_count =
-                node.children.iter().filter(|c| c.is_some()).count();
+            let child_count = node.children.iter().filter(|c| c.is_some()).count();
             if node.is_end && child_count == 0 {
                 out.insert(depth);
             }
@@ -278,7 +277,7 @@ mod tests {
         assert_eq!(t.unwildcard_bits(0b0000_1010), 8); // full match
         assert_eq!(t.unwildcard_bits(0b0000_1011), 8); // diverge at bit 7
         assert_eq!(t.unwildcard_bits(0b1000_0000), 1); // outside /2, bit 0
-        // Inside /2, diverging from /8 at bit 4.
+                                                       // Inside /2, diverging from /8 at bit 4.
         assert_eq!(t.unwildcard_bits(0b0001_0000), 4);
     }
 
@@ -350,7 +349,10 @@ mod tests {
         t.insert(0x0a00_0001, 32);
         let r = t.reachable_unwildcard_bits();
         assert_eq!(r.len(), 32);
-        assert_eq!(r.iter().copied().collect::<Vec<_>>(), (1..=32).collect::<Vec<_>>());
+        assert_eq!(
+            r.iter().copied().collect::<Vec<_>>(),
+            (1..=32).collect::<Vec<_>>()
+        );
         // 16-bit port, exact: factor 16.
         let mut p = PrefixTrie::new(Field::TpDst);
         p.insert(80, 16);
@@ -363,7 +365,10 @@ mod tests {
         let mut t = PrefixTrie::new(Field::IpSrc);
         t.insert(0x0a00_0000, 8);
         assert_eq!(
-            t.reachable_unwildcard_bits().iter().copied().collect::<Vec<_>>(),
+            t.reachable_unwildcard_bits()
+                .iter()
+                .copied()
+                .collect::<Vec<_>>(),
             (1..=8).collect::<Vec<_>>()
         );
     }
@@ -420,7 +425,8 @@ mod tests {
         assert_eq!(by_len[0], 0);
         for l in 1..=7u32 {
             assert_eq!(
-                by_len[l as usize], 1usize << (8 - l),
+                by_len[l as usize],
+                1usize << (8 - l),
                 "values needing {l} bits"
             );
         }

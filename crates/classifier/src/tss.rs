@@ -325,11 +325,7 @@ impl<V> TupleSpaceSearch<V> {
 
     /// [`TupleSpaceSearch::lookup_mut`] with the packet's words already
     /// extracted — the datapath's hot path.
-    pub fn lookup_mut_with(
-        &mut self,
-        packet: &FlowKey,
-        words: &KeyWords,
-    ) -> LookupOutcome<&mut V> {
+    pub fn lookup_mut_with(&mut self, packet: &FlowKey, words: &KeyWords) -> LookupOutcome<&mut V> {
         self.maybe_resort();
         self.stats.lookups += 1;
         self.lookups_since_resort += 1;
@@ -369,9 +365,7 @@ impl<V> TupleSpaceSearch<V> {
                 let st = &mut self.subtables[i];
                 let mask = st.mask;
                 LookupOutcome {
-                    value: st
-                        .entries
-                        .get_mut_by_hash(hash, |k| mask.key_eq(k, packet)),
+                    value: st.entries.get_mut_by_hash(hash, |k| mask.key_eq(k, packet)),
                     probes,
                     stage_checks,
                 }
@@ -617,9 +611,7 @@ mod tests {
 
     #[test]
     fn hit_count_ordering_floats_hot_subtable_forward() {
-        let mut tss = TupleSpaceSearch::new(SubtableOrder::HitCountDescending {
-            resort_every: 10,
-        });
+        let mut tss = TupleSpaceSearch::new(SubtableOrder::HitCountDescending { resort_every: 10 });
         // 20 cold masks inserted first…
         for len in 1..=20u8 {
             tss.insert(prefix_mk([10, 0, 0, 0], len), len);
@@ -739,8 +731,8 @@ mod tests {
         assert_eq!(out_plain.stage_checks, 48, "full hash work per probe");
         // When the mismatch is only at the last stage, staged lookup
         // saves nothing: same-port wrong-dst-port packet.
-        let same_port_wrong_dst = FlowKey::tcp([10, 0, 0, 1], [0, 0, 0, 0], 0, 81)
-            .with(Field::InPort, 1);
+        let same_port_wrong_dst =
+            FlowKey::tcp([10, 0, 0, 1], [0, 0, 0, 0], 0, 81).with(Field::InPort, 1);
         let staged_out = tss.lookup(&same_port_wrong_dst);
         let plain_out = plain.lookup(&same_port_wrong_dst);
         assert_eq!(staged_out.value, None);

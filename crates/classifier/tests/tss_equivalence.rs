@@ -47,7 +47,12 @@ fn rand_packet(rng: &mut SplitMix64) -> FlowKey {
     FlowKey::tcp(std::net::Ipv4Addr::from(ip), [192, 168, 0, 1], 1234, port)
 }
 
-fn rand_vec<T>(rng: &mut SplitMix64, lo: u64, hi: u64, mut gen: impl FnMut(&mut SplitMix64) -> T) -> Vec<T> {
+fn rand_vec<T>(
+    rng: &mut SplitMix64,
+    lo: u64,
+    hi: u64,
+    mut gen: impl FnMut(&mut SplitMix64) -> T,
+) -> Vec<T> {
     let n = lo + rng.gen_range(hi - lo);
     (0..n).map(|_| gen(rng)).collect()
 }
@@ -70,7 +75,15 @@ fn tss_equals_linear_on_non_overlapping() {
         let mut table = FlowTable::new();
         for (i, mk) in chosen.iter().enumerate() {
             tss.insert(*mk, i);
-            table.insert(*mk, 0, if i % 2 == 0 { Action::Allow } else { Action::Deny });
+            table.insert(
+                *mk,
+                0,
+                if i % 2 == 0 {
+                    Action::Allow
+                } else {
+                    Action::Deny
+                },
+            );
         }
         let linear = LinearClassifier::new(&table);
         for pkt in &packets {
@@ -87,7 +100,9 @@ fn tss_equals_linear_on_non_overlapping() {
 #[test]
 fn priority_tss_equals_linear_on_overlapping() {
     pi_core::for_cases(CASES, 0x12, |rng| {
-        let entries = rand_vec(rng, 1, 40, |rng| (rand_masked_key(rng), rng.gen_range(4) as u32));
+        let entries = rand_vec(rng, 1, 40, |rng| {
+            (rand_masked_key(rng), rng.gen_range(4) as u32)
+        });
         let packets = rand_vec(rng, 1, 40, rand_packet);
         let mut tss: TupleSpaceSearch<(u32, u64)> = TupleSpaceSearch::default();
         let mut table = FlowTable::new();
@@ -291,8 +306,7 @@ fn insert_remove_is_identity() {
         for (i, mk) in base.iter().enumerate() {
             tss.insert(*mk, i as u64);
         }
-        let before: Vec<Option<u64>> =
-            probes.iter().map(|p| tss.peek(p).value.copied()).collect();
+        let before: Vec<Option<u64>> = probes.iter().map(|p| tss.peek(p).value.copied()).collect();
         let had = tss.get(&extra).copied();
         tss.insert(extra, 999_999);
         match had {
@@ -303,8 +317,7 @@ fn insert_remove_is_identity() {
                 tss.remove(&extra);
             }
         }
-        let after: Vec<Option<u64>> =
-            probes.iter().map(|p| tss.peek(p).value.copied()).collect();
+        let after: Vec<Option<u64>> = probes.iter().map(|p| tss.peek(p).value.copied()).collect();
         assert_eq!(before, after);
     });
 }

@@ -76,7 +76,11 @@ impl fmt::Display for CmsError {
         match self {
             CmsError::NoSuchPod(p) => write!(f, "{p} does not exist"),
             CmsError::NotYourPod { tenant, owner } => {
-                write!(f, "tenant {} cannot configure tenant {}'s pod", tenant.0, owner.0)
+                write!(
+                    f,
+                    "tenant {} cannot configure tenant {}'s pod",
+                    tenant.0, owner.0
+                )
             }
             CmsError::TooManyRules { got, limit } => {
                 write!(f, "policy compiles to {got} rules, limit {limit}")
@@ -217,7 +221,10 @@ impl Cloud {
         count: usize,
         strategy: PlacementStrategy,
     ) -> Vec<PodId> {
-        assert!(!self.nodes.is_empty(), "cannot place pods in a node-less cloud");
+        assert!(
+            !self.nodes.is_empty(),
+            "cannot place pods in a node-less cloud"
+        );
         (0..count)
             .map(|_| {
                 let node = self.pick_node(tenant, &strategy);
@@ -475,8 +482,7 @@ mod tests {
             cloud.add_node();
         }
         let vpods = cloud.place_pods(victim, 2, PlacementStrategy::RoundRobin);
-        let victim_nodes: Vec<NodeId> =
-            vpods.iter().map(|p| cloud.pod(*p).unwrap().node).collect();
+        let victim_nodes: Vec<NodeId> = vpods.iter().map(|p| cloud.pod(*p).unwrap().node).collect();
         let apods = cloud.place_pods(attacker, 4, PlacementStrategy::Colocate(victim));
         for p in &apods {
             assert!(

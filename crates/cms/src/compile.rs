@@ -95,9 +95,10 @@ impl PolicyCompiler {
                 rule.ports
                     .iter()
                     .flat_map(|(proto, port)| {
-                        proto.numbers().iter().map(move |&n| {
-                            (Some(n), port.map(|p| (p, 16)))
-                        })
+                        proto
+                            .numbers()
+                            .iter()
+                            .map(move |&n| (Some(n), port.map(|p| (p, 16))))
                     })
                     .collect()
             };
@@ -299,9 +300,7 @@ mod tests {
         );
         // The compiled table's active fields include TpSrc — the
         // attack-surface difference, observable structurally.
-        assert!(table
-            .active_fields()
-            .contains(&pi_core::Field::TpSrc));
+        assert!(table.active_fields().contains(&pi_core::Field::TpSrc));
     }
 
     #[test]

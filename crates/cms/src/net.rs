@@ -76,8 +76,9 @@ impl FromStr for Cidr {
             ),
             None => (s, 32),
         };
-        let addr: std::net::Ipv4Addr =
-            ip.parse().map_err(|_| CoreError::ParseAddr(s.to_string()))?;
+        let addr: std::net::Ipv4Addr = ip
+            .parse()
+            .map_err(|_| CoreError::ParseAddr(s.to_string()))?;
         Cidr::new(u32::from(addr), len)
     }
 }
@@ -155,7 +156,11 @@ pub fn port_range_to_prefixes(range: PortRange) -> Vec<(u16, u8)> {
     let hi = range.max as u32;
     while lo <= hi {
         // Largest power-of-two block starting at `lo` that fits.
-        let max_align = if lo == 0 { 16 } else { lo.trailing_zeros().min(16) };
+        let max_align = if lo == 0 {
+            16
+        } else {
+            lo.trailing_zeros().min(16)
+        };
         let mut size_log = max_align;
         while size_log > 0 && lo + (1 << size_log) - 1 > hi {
             size_log -= 1;
@@ -225,7 +230,10 @@ mod tests {
 
     #[test]
     fn single_port_is_one_exact_prefix() {
-        assert_eq!(port_range_to_prefixes(PortRange::single(80)), vec![(80, 16)]);
+        assert_eq!(
+            port_range_to_prefixes(PortRange::single(80)),
+            vec![(80, 16)]
+        );
     }
 
     #[test]

@@ -55,7 +55,10 @@ impl fmt::Display for CoreError {
                 "value {value:#x} does not fit the {width}-bit field {field}"
             ),
             CoreError::PrefixTooLong { field, len, width } => {
-                write!(f, "prefix /{len} too long for the {width}-bit field {field}")
+                write!(
+                    f,
+                    "prefix /{len} too long for the {width}-bit field {field}"
+                )
             }
             CoreError::Truncated { what, needed, got } => {
                 write!(f, "{what}: buffer too short ({got} bytes, need {needed})")

@@ -308,10 +308,7 @@ mod tests {
     fn checked_prefix_mask_rejects_overlong() {
         assert!(Field::TpSrc.checked_prefix_mask(17).is_err());
         assert!(Field::IpSrc.checked_prefix_mask(33).is_err());
-        assert_eq!(
-            Field::IpSrc.checked_prefix_mask(32).unwrap(),
-            0xffff_ffff
-        );
+        assert_eq!(Field::IpSrc.checked_prefix_mask(32).unwrap(), 0xffff_ffff);
     }
 
     #[test]

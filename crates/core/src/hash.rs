@@ -196,7 +196,10 @@ mod tests {
         for_cases(64, 0x4a7, |rng| {
             let k = rand_key(rng);
             let exact = MaskWords::of(&FlowMask::exact());
-            assert_eq!(KeyWords::of(&k).full_hash(), KeyWords::of(&k).masked_hash(&exact));
+            assert_eq!(
+                KeyWords::of(&k).full_hash(),
+                KeyWords::of(&k).masked_hash(&exact)
+            );
         });
     }
 

@@ -52,7 +52,12 @@ pub struct FlowKey {
 impl FlowKey {
     /// Creates a TCP flow key with sensible L2 defaults — the common case
     /// in tests and generators.
-    pub fn tcp(ip_src: impl Into<Ipv4Addr>, ip_dst: impl Into<Ipv4Addr>, tp_src: u16, tp_dst: u16) -> Self {
+    pub fn tcp(
+        ip_src: impl Into<Ipv4Addr>,
+        ip_dst: impl Into<Ipv4Addr>,
+        tp_src: u16,
+        tp_dst: u16,
+    ) -> Self {
         FlowKey {
             eth_type: ETHERTYPE_IPV4,
             ip_src: u32::from(ip_src.into()),
@@ -66,7 +71,12 @@ impl FlowKey {
     }
 
     /// Creates a UDP flow key with sensible L2 defaults.
-    pub fn udp(ip_src: impl Into<Ipv4Addr>, ip_dst: impl Into<Ipv4Addr>, tp_src: u16, tp_dst: u16) -> Self {
+    pub fn udp(
+        ip_src: impl Into<Ipv4Addr>,
+        ip_dst: impl Into<Ipv4Addr>,
+        tp_src: u16,
+        tp_dst: u16,
+    ) -> Self {
         FlowKey {
             ip_proto: IPPROTO_UDP,
             ..Self::tcp(ip_src, ip_dst, tp_src, tp_dst)

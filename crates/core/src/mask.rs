@@ -139,9 +139,7 @@ impl FlowMask {
 
     /// True if every bit of every field is significant.
     pub fn is_exact(&self) -> bool {
-        ALL_FIELDS
-            .iter()
-            .all(|f| self.field(*f) == f.full_mask())
+        ALL_FIELDS.iter().all(|f| self.field(*f) == f.full_mask())
     }
 
     /// Total number of significant (exact-match) bits across all fields.
@@ -421,7 +419,10 @@ mod tests {
         assert!(ten_one16.overlaps(&ten8));
         assert!(!ten8.overlaps(&eleven8));
         // Orthogonal fields always overlap.
-        let port = MaskedKey::new(k([0, 0, 0, 0], 80), FlowMask::default().with_exact(Field::TpDst));
+        let port = MaskedKey::new(
+            k([0, 0, 0, 0], 80),
+            FlowMask::default().with_exact(Field::TpDst),
+        );
         assert!(ten8.overlaps(&port));
     }
 

@@ -40,7 +40,10 @@ impl Port {
         match self {
             Port::Uplink => Self::UPLINK_RAW,
             Port::Local(v) => {
-                assert!(v != Self::UPLINK_RAW, "local vport collides with uplink sentinel");
+                assert!(
+                    v != Self::UPLINK_RAW,
+                    "local vport collides with uplink sentinel"
+                );
                 v
             }
         }

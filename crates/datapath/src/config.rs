@@ -3,6 +3,8 @@
 use pi_classifier::SubtableOrder;
 use pi_core::{Field, SimTime};
 
+use crate::upcall::PipelineMode;
+
 /// Tunables of one virtual switch, with defaults matching the OVS
 /// deployment the paper attacks.
 #[derive(Debug, Clone)]
@@ -33,6 +35,11 @@ pub struct DpConfig {
     pub staged_lookup: bool,
     /// Subtable walk order (mitigation ablation uses hit-count sorting).
     pub subtable_order: SubtableOrder,
+    /// How megaflow misses reach the slow path: synchronously
+    /// ([`PipelineMode::Inline`], the historical semantics) or through
+    /// the bounded per-port upcall pipeline
+    /// ([`PipelineMode::Bounded`]).
+    pub pipeline: PipelineMode,
     /// Seed for the datapath's internal randomness (EMC way eviction,
     /// probabilistic insertion).
     pub seed: u64,
@@ -50,6 +57,7 @@ impl Default for DpConfig {
             trie_fields: vec![Field::IpSrc, Field::IpDst, Field::TpSrc, Field::TpDst],
             staged_lookup: false,
             subtable_order: SubtableOrder::Insertion,
+            pipeline: PipelineMode::Inline,
             seed: 0x05_eed0_f0e5,
         }
     }
@@ -90,6 +98,7 @@ mod tests {
         assert!(c.trie_fields.contains(&Field::TpDst));
         assert!(!c.staged_lookup);
         assert_eq!(c.subtable_order, SubtableOrder::Insertion);
+        assert_eq!(c.pipeline, PipelineMode::Inline, "inline is the default");
     }
 
     #[test]

@@ -55,17 +55,41 @@ impl Default for CostModel {
 impl CostModel {
     /// Cycles for a packet that took `path`, excluding parse (charged
     /// separately because frames may arrive pre-parsed in tests).
+    ///
+    /// Deferred paths ([`PathTaken::UpcallQueued`],
+    /// [`PathTaken::UpcallDropped`]) cover only the fast-path share of
+    /// the miss (EMC probe + failed subtable walk); the handler share is
+    /// priced separately by [`CostModel::handler_cycles`], and the two
+    /// sum to exactly the inline [`PathTaken::Upcall`] cost.
     pub fn path_cycles(&self, path: &PathTaken) -> u64 {
         match path {
             PathTaken::MicroflowHit => self.emc_probe,
+            PathTaken::UpcallQueued {
+                probes,
+                stage_checks,
+                emc_probed,
+                ..
+            }
+            | PathTaken::UpcallDropped {
+                probes,
+                stage_checks,
+                emc_probed,
+            } => {
+                let mut c =
+                    *probes as u64 * self.per_subtable + *stage_checks as u64 * self.per_stage_hash;
+                if *emc_probed {
+                    c += self.emc_probe;
+                }
+                c
+            }
             PathTaken::MegaflowHit {
                 probes,
                 stage_checks,
                 emc_probed,
                 emc_inserted,
             } => {
-                let mut c = *probes as u64 * self.per_subtable
-                    + *stage_checks as u64 * self.per_stage_hash;
+                let mut c =
+                    *probes as u64 * self.per_subtable + *stage_checks as u64 * self.per_stage_hash;
                 if *emc_probed {
                     c += self.emc_probe;
                 }
@@ -103,6 +127,28 @@ impl CostModel {
     /// Total cycles for a packet: parse + path.
     pub fn packet_cycles(&self, path: &PathTaken) -> u64 {
         self.parse + self.path_cycles(path)
+    }
+
+    /// Handler-side cycles of resolving one deferred upcall: the
+    /// slow-path round trip, linear classification, the (batched)
+    /// megaflow install and the EMC promotion. Together with the
+    /// [`PathTaken::UpcallQueued`] fast-path share this equals the
+    /// inline upcall cost — the bounded pipeline moves work, it never
+    /// invents or loses any.
+    pub fn handler_cycles(
+        &self,
+        rules_examined: usize,
+        installed: bool,
+        emc_inserted: bool,
+    ) -> u64 {
+        let mut c = self.upcall_fixed + rules_examined as u64 * self.per_rule;
+        if installed {
+            c += self.mfc_install;
+        }
+        if emc_inserted {
+            c += self.emc_insert;
+        }
+        c
     }
 }
 
@@ -169,6 +215,34 @@ mod tests {
             (1_500..5_000).contains(&pps),
             "expected a few-kpps ceiling under full walks, got {pps} ({per_packet} cycles/pkt)"
         );
+    }
+
+    #[test]
+    fn deferred_shares_sum_to_the_inline_upcall_cost() {
+        let m = CostModel::default();
+        let inline = m.packet_cycles(&PathTaken::Upcall {
+            probes: 17,
+            stage_checks: 23,
+            rules_examined: 2,
+            installed: true,
+            emc_probed: true,
+            emc_inserted: true,
+        });
+        let queued = m.packet_cycles(&PathTaken::UpcallQueued {
+            probes: 17,
+            stage_checks: 23,
+            emc_probed: true,
+            token: 0,
+        });
+        let handler = m.handler_cycles(2, true, true);
+        assert_eq!(queued + handler, inline);
+        // A dropped upcall is charged exactly the fast-path share.
+        let dropped = m.packet_cycles(&PathTaken::UpcallDropped {
+            probes: 17,
+            stage_checks: 23,
+            emc_probed: true,
+        });
+        assert_eq!(dropped, queued);
     }
 
     #[test]

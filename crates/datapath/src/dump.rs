@@ -124,16 +124,15 @@ mod tests {
         let lines: Vec<&str> = dump.lines().collect();
         assert_eq!(lines.len(), 2);
         // The allowed /8 flow.
-        assert!(
-            dump.contains("ip_src(10.0.0.0/255.0.0.0)"),
-            "dump:\n{dump}"
-        );
+        assert!(dump.contains("ip_src(10.0.0.0/255.0.0.0)"), "dump:\n{dump}");
         assert!(dump.contains("actions:allow"));
         // The denied /1 flow.
         assert!(dump.contains("ip_src(128.0.0.0/128.0.0.0)"));
         assert!(dump.contains("actions:deny"));
         // ip_dst pinned by routing on every line.
-        assert!(lines.iter().all(|l| l.contains("ip_dst(10.1.0.66/255.255.255.255)")));
+        assert!(lines
+            .iter()
+            .all(|l| l.contains("ip_dst(10.1.0.66/255.255.255.255)")));
         // Ages rendered from `now`.
         assert!(dump.contains("used:2.000s") || dump.contains("used:1.000s"));
     }

@@ -133,13 +133,7 @@ impl MicroflowCache {
 
     /// Inserts (subject to the probabilistic filter), evicting the LRU
     /// way on a full set. Returns whether an insertion happened.
-    pub fn insert(
-        &mut self,
-        key: &FlowKey,
-        action: Action,
-        generation: u64,
-        now: SimTime,
-    ) -> bool {
+    pub fn insert(&mut self, key: &FlowKey, action: Action, generation: u64, now: SimTime) -> bool {
         self.insert_hashed(flow_hash(key), key, action, generation, now)
     }
 

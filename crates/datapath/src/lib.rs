@@ -18,6 +18,12 @@
 //! [`CostModel`]; the [`Revalidator`] implements idle timeout and flow
 //! limits, which set the covert bandwidth the attacker needs.
 //!
+//! Misses reach the slow path either synchronously
+//! ([`PipelineMode::Inline`]) or through the bounded per-port **upcall
+//! pipeline** ([`upcall`]): finite queues, a per-step handler cycle
+//! budget, and batched megaflow installs — the machinery a slow-path
+//! DoS saturates.
+//!
 //! The cycle accounting is mechanical — cycles are a linear function of
 //! the counted hash probes, stage checks, rules examined — so throughput
 //! collapse in the simulator is a *consequence* of the data structure
@@ -33,13 +39,17 @@ pub mod emc;
 pub mod megaflow;
 pub mod revalidator;
 pub mod slowpath;
+pub mod upcall;
 pub mod vswitch;
 
 pub use config::DpConfig;
-pub use dump::{dump_flows, mask_summary};
 pub use cost::CostModel;
+pub use dump::{dump_flows, mask_summary};
 pub use emc::MicroflowCache;
 pub use megaflow::{InstallOutcome, MegaflowCache, MegaflowEntry};
 pub use revalidator::{Revalidator, RevalidatorReport};
 pub use slowpath::SlowPath;
-pub use vswitch::{PathTaken, ProcessOutcome, SwitchStats, VSwitch};
+pub use upcall::{
+    PipelineMode, PortUpcallStats, UpcallPipelineConfig, UpcallStats, UNROUTABLE_QUEUE,
+};
+pub use vswitch::{PathTaken, ProcessOutcome, ResolvedUpcall, SwitchStats, VSwitch};

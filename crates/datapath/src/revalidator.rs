@@ -34,8 +34,11 @@ pub struct Revalidator {
 
 impl Revalidator {
     /// A revalidator sweeping every `interval`, evicting entries idle
-    /// longer than `idle_timeout`.
+    /// longer than `idle_timeout`. A zero `interval` is clamped to 1 ns
+    /// (a sweep every observation) — it would otherwise wedge the
+    /// catch-up loop in [`Revalidator::maybe_sweep`].
     pub fn new(interval: SimTime, idle_timeout: SimTime) -> Self {
+        let interval = interval.max(SimTime::from_nanos(1));
         Revalidator {
             interval,
             idle_timeout,
@@ -46,6 +49,14 @@ impl Revalidator {
     /// The configured idle timeout.
     pub fn idle_timeout(&self) -> SimTime {
         self.idle_timeout
+    }
+
+    /// When the next sweep is due. Always a whole multiple of the
+    /// interval: a step that overshoots (a long simulation gap, or a
+    /// handler drain that ran past the boundary) re-anchors to the
+    /// interval grid instead of drifting to `overshoot + interval`.
+    pub fn next_due(&self) -> SimTime {
+        self.next_due
     }
 
     /// Runs the sweep if it is due; returns a report when it ran.
@@ -107,7 +118,9 @@ mod tests {
         assert_eq!(report.evicted_idle, 0);
         assert_eq!(report.remaining, 3);
         // Not due again until t = 2 s.
-        assert!(r.maybe_sweep(&mut mfc, SimTime::from_millis(1500)).is_none());
+        assert!(r
+            .maybe_sweep(&mut mfc, SimTime::from_millis(1500))
+            .is_none());
     }
 
     #[test]
@@ -132,9 +145,50 @@ mod tests {
         assert_eq!(report.evicted_idle, 2);
         // Next due strictly after now.
         assert!(r.maybe_sweep(&mut mfc, SimTime::from_secs(60)).is_none());
+        assert!(r.maybe_sweep(&mut mfc, SimTime::from_secs(61)).is_some());
+    }
+
+    #[test]
+    fn eviction_boundary_is_exact_idle_timeout() {
+        // An entry is kept at *exactly* idle_timeout of idleness and
+        // evicted one nanosecond past it — the boundary the covert
+        // stream's refresh economics are computed against.
+        let r = Revalidator::new(SimTime::from_secs(1), SimTime::from_secs(10));
+        let mut mfc = cache_with(1, SimTime::ZERO);
+        let at_boundary = r.sweep_now(&mut mfc, SimTime::from_secs(10));
+        assert_eq!(at_boundary.evicted_idle, 0, "idle == timeout survives");
+        let past = r.sweep_now(&mut mfc, SimTime::from_secs(10) + SimTime::from_nanos(1));
+        assert_eq!(past.evicted_idle, 1, "idle > timeout is reclaimed");
+    }
+
+    #[test]
+    fn next_due_stays_on_the_interval_grid_after_overshoot() {
+        let mut r = Revalidator::new(SimTime::from_secs(1), SimTime::from_secs(10));
+        let mut mfc = cache_with(1, SimTime::ZERO);
+        assert_eq!(r.next_due(), SimTime::from_secs(1));
+        // A step overshoots the boundary by 0.7 s: the sweep runs, and
+        // the next deadline is the *grid* point 3.0 s — not 3.7 s.
         assert!(r
-            .maybe_sweep(&mut mfc, SimTime::from_secs(61))
+            .maybe_sweep(&mut mfc, SimTime::from_millis(2_700))
             .is_some());
+        assert_eq!(r.next_due(), SimTime::from_secs(3));
+        // Landing exactly on the deadline sweeps and advances one step.
+        assert!(r.maybe_sweep(&mut mfc, SimTime::from_secs(3)).is_some());
+        assert_eq!(r.next_due(), SimTime::from_secs(4));
+        // Repeated overshoots never accumulate drift.
+        for s in 4..20u64 {
+            r.maybe_sweep(&mut mfc, SimTime::from_secs(s) + SimTime::from_millis(999));
+            assert_eq!(r.next_due(), SimTime::from_secs(s + 1));
+        }
+    }
+
+    #[test]
+    fn zero_interval_is_clamped_not_wedged() {
+        let mut r = Revalidator::new(SimTime::ZERO, SimTime::from_secs(10));
+        let mut mfc = cache_with(1, SimTime::ZERO);
+        // Must terminate (pre-fix this looped forever) and sweep.
+        assert!(r.maybe_sweep(&mut mfc, SimTime::from_secs(5)).is_some());
+        assert!(r.next_due() > SimTime::from_secs(5));
     }
 
     #[test]

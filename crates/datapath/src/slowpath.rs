@@ -1,5 +1,12 @@
 //! The slow path: full classification + megaflow generation.
 //!
+//! [`SlowPath`] is a *pure* classifier: it never touches caches, queues
+//! or statistics, so the same code serves both pipeline modes — invoked
+//! synchronously from [`crate::VSwitch::process`] under
+//! [`crate::PipelineMode::Inline`], and from handler steps
+//! ([`crate::VSwitch::drain_upcalls`]) under
+//! [`crate::PipelineMode::Bounded`].
+//!
 //! This is where the paper's Fig. 2 happens. Classification itself is a
 //! linear scan (correct, slow — that's why it's cached). The interesting
 //! part is **un-wildcarding**: after deciding a packet's fate, the slow

@@ -25,6 +25,9 @@ use crate::emc::MicroflowCache;
 use crate::megaflow::{InstallOutcome, MegaflowCache};
 use crate::revalidator::{Revalidator, RevalidatorReport};
 use crate::slowpath::SlowPath;
+use crate::upcall::{
+    PendingUpcall, PipelineMode, PortUpcallStats, UpcallQueue, UpcallStats, UNROUTABLE_QUEUE,
+};
 
 /// Which level of the pipeline resolved a packet, with the cost-bearing
 /// counters of that path.
@@ -58,6 +61,33 @@ pub enum PathTaken {
         /// Whether the flow was promoted into the microflow cache.
         emc_inserted: bool,
     },
+    /// Megaflow miss deferred into the bounded upcall pipeline
+    /// ([`PipelineMode::Bounded`]): the packet sits on its port's upcall
+    /// queue until a [`VSwitch::drain_upcalls`] step resolves it. The
+    /// outcome's verdict is a placeholder ([`Action::Controller`], "sent
+    /// to the slow path") and its cycles cover only the fast-path share
+    /// of the miss.
+    UpcallQueued {
+        /// Subtables visited during the (missing) megaflow lookup.
+        probes: usize,
+        /// Stage-hash units of work.
+        stage_checks: usize,
+        /// Whether the microflow cache was probed first (and missed).
+        emc_probed: bool,
+        /// Handle matching this packet to its later [`ResolvedUpcall`].
+        token: u64,
+    },
+    /// Megaflow miss tail-dropped at a full upcall queue — the
+    /// handler-saturation loss the bounded pipeline makes expressible.
+    /// No verdict is ever rendered for the packet.
+    UpcallDropped {
+        /// Subtables visited during the (missing) megaflow lookup.
+        probes: usize,
+        /// Stage-hash units of work.
+        stage_checks: usize,
+        /// Whether the microflow cache was probed first (and missed).
+        emc_probed: bool,
+    },
 }
 
 impl PathTaken {
@@ -76,11 +106,25 @@ impl PathTaken {
         matches!(self, PathTaken::Upcall { .. })
     }
 
+    /// True when the packet was deferred into the upcall pipeline (its
+    /// verdict arrives later, from [`VSwitch::drain_upcalls`]).
+    pub fn is_queued(&self) -> bool {
+        matches!(self, PathTaken::UpcallQueued { .. })
+    }
+
+    /// True when the packet was tail-dropped at a full upcall queue.
+    pub fn is_upcall_dropped(&self) -> bool {
+        matches!(self, PathTaken::UpcallDropped { .. })
+    }
+
     /// Subtables probed on this path (0 for a microflow hit).
     pub fn probes(&self) -> usize {
         match self {
             PathTaken::MicroflowHit => 0,
-            PathTaken::MegaflowHit { probes, .. } | PathTaken::Upcall { probes, .. } => *probes,
+            PathTaken::MegaflowHit { probes, .. }
+            | PathTaken::Upcall { probes, .. }
+            | PathTaken::UpcallQueued { probes, .. }
+            | PathTaken::UpcallDropped { probes, .. } => *probes,
         }
     }
 }
@@ -96,6 +140,20 @@ pub struct ProcessOutcome {
     pub path: PathTaken,
     /// CPU cycles charged (parse + path) under the switch's cost model.
     pub cycles: u64,
+}
+
+/// One deferred upcall resolved by a [`VSwitch::drain_upcalls`] step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResolvedUpcall {
+    /// The token handed out by the matching
+    /// [`PathTaken::UpcallQueued`].
+    pub token: u64,
+    /// The packet the verdict applies to.
+    pub key: FlowKey,
+    /// The handler's outcome: a real verdict, the full
+    /// [`PathTaken::Upcall`] path record, and the *handler-side* cycles
+    /// (the fast-path share was already charged at enqueue time).
+    pub outcome: ProcessOutcome,
 }
 
 /// Aggregate switch statistics.
@@ -168,6 +226,8 @@ pub struct VSwitch {
     /// Bumped on policy changes / evictions to invalidate the EMC.
     generation: u64,
     stats: SwitchStats,
+    /// The bounded upcall pipeline (idle under [`PipelineMode::Inline`]).
+    pipeline: UpcallQueue,
     rng: SplitMix64,
 }
 
@@ -201,6 +261,7 @@ impl VSwitch {
             routes: HashMap::new(),
             generation: 0,
             stats: SwitchStats::default(),
+            pipeline: UpcallQueue::default(),
             rng,
         }
     }
@@ -265,6 +326,11 @@ impl VSwitch {
 
     fn invalidate_caches(&mut self) {
         self.mfc.clear();
+        // Staged installs were generated under the old policy — landing
+        // them now would cache stale verdicts. Queued upcalls stay: a
+        // handler classifies them under whatever policy is live when it
+        // reaches them, exactly like real OVS.
+        self.pipeline.discard_installs();
         self.generation += 1;
     }
 
@@ -304,7 +370,14 @@ impl VSwitch {
     }
 
     /// Runs the revalidator if due (call once per simulated tick).
+    ///
+    /// Under the bounded pipeline the revalidator shares the sweep
+    /// clock with handler draining: any installs still staged (from an
+    /// interrupted or external drain) are flushed first, so a sweep
+    /// never races a half-landed install batch — it always sees the
+    /// cache as of the last completed handler step.
     pub fn revalidate(&mut self, now: SimTime) -> Option<RevalidatorReport> {
+        self.flush_staged_installs();
         let report = self.revalidator.maybe_sweep(&mut self.mfc, now);
         if let Some(r) = &report {
             if r.evicted_idle > 0 {
@@ -400,8 +473,10 @@ impl VSwitch {
         let out = self.mfc.lookup_with(key, words, now);
         self.stats.subtable_probes += out.probes as u64;
         if let Some(action) = out.value {
-            let emc_inserted =
-                emc_probed && self.emc.insert_hashed(hash, key, action, self.generation, now);
+            let emc_inserted = emc_probed
+                && self
+                    .emc
+                    .insert_hashed(hash, key, action, self.generation, now);
             let path = PathTaken::MegaflowHit {
                 probes: out.probes,
                 stage_checks: out.stage_checks,
@@ -411,7 +486,50 @@ impl VSwitch {
             return self.finish(action, path, key);
         }
 
-        // Level 3: upcall — route on ip_dst, then the pod's ingress ACL.
+        // Level 3: the slow path. Under the bounded pipeline the miss is
+        // deferred onto the destination port's upcall queue (tail-drop
+        // when full); only the fast-path share of the work is charged
+        // here — the handler share lands in `drain_upcalls`.
+        if let PipelineMode::Bounded(cfg) = self.config.pipeline {
+            let queue = self
+                .routes
+                .get(&key.ip_dst)
+                .map(|p| p.vport)
+                .unwrap_or(UNROUTABLE_QUEUE);
+            let path = match self.pipeline.try_enqueue(
+                queue,
+                crate::upcall::queue_capacity_of(queue, cfg.queue_capacity),
+                key,
+                hash,
+                out.probes,
+                out.stage_checks,
+                emc_probed,
+            ) {
+                Some(token) => PathTaken::UpcallQueued {
+                    probes: out.probes,
+                    stage_checks: out.stage_checks,
+                    emc_probed,
+                    token,
+                },
+                None => PathTaken::UpcallDropped {
+                    probes: out.probes,
+                    stage_checks: out.stage_checks,
+                    emc_probed,
+                },
+            };
+            let cycles = self.cost.packet_cycles(&path);
+            self.stats.cycles += cycles;
+            // Not a policy drop and not (yet) an upcall: the pending /
+            // dropped packet only shows up in the upcall statistics.
+            return ProcessOutcome {
+                verdict: Action::Controller,
+                output: None,
+                path,
+                cycles,
+            };
+        }
+
+        // Inline slow path: route on ip_dst, then the pod's ingress ACL.
         let (action, acl_mask, rules_examined) = match self.routes.get(&key.ip_dst) {
             Some(port) => {
                 let up = port.slowpath.process_upcall(key);
@@ -430,8 +548,10 @@ impl VSwitch {
             self.mfc.install(megaflow, action, now),
             InstallOutcome::Installed
         );
-        let emc_inserted =
-            emc_probed && self.emc.insert_hashed(hash, key, action, self.generation, now);
+        let emc_inserted = emc_probed
+            && self
+                .emc
+                .insert_hashed(hash, key, action, self.generation, now);
         let path = PathTaken::Upcall {
             probes: out.probes,
             stage_checks: out.stage_checks,
@@ -448,6 +568,9 @@ impl VSwitch {
             PathTaken::MicroflowHit => self.stats.microflow_hits += 1,
             PathTaken::MegaflowHit { .. } => self.stats.megaflow_hits += 1,
             PathTaken::Upcall { .. } => self.stats.upcalls += 1,
+            PathTaken::UpcallQueued { .. } | PathTaken::UpcallDropped { .. } => {
+                unreachable!("deferred paths return before finish()")
+            }
         }
         let output = if verdict.permits() {
             self.routes.get(&key.ip_dst).map(|p| p.vport)
@@ -465,6 +588,164 @@ impl VSwitch {
             path,
             cycles,
         }
+    }
+
+    /// Runs one handler step of the bounded upcall pipeline: port
+    /// queues are serviced **deepest backlog first** (batch-greedy
+    /// handlers drain the busiest socket — the wakeup-amortising
+    /// discipline that structurally starves sparse ports under a
+    /// flood), FIFO within each queue, under the configured per-step
+    /// cycle budget. `port_quota_per_step` caps each port's resolutions
+    /// per step — the fair-share fix for exactly that starvation; an
+    /// over-quota port keeps its backlog queued. `sink` receives each
+    /// [`ResolvedUpcall`]. Megaflow installs generated during the step
+    /// are batched and land at the **end** of the step — packets
+    /// processed between a miss and this flush still miss (and upcall),
+    /// like real OVS.
+    ///
+    /// Budget semantics mirror the simulator's per-tick drain: an
+    /// upcall is resolved iff the budget is still positive when its turn
+    /// comes, and an overrun carries into the next step as debt. Returns
+    /// the number of upcalls resolved. No-op under
+    /// [`PipelineMode::Inline`].
+    pub fn drain_upcalls(&mut self, now: SimTime, mut sink: impl FnMut(ResolvedUpcall)) -> usize {
+        let PipelineMode::Bounded(cfg) = self.config.pipeline else {
+            return 0;
+        };
+        let mut budget = self.pipeline.begin_step(&cfg);
+        let mut handled = 0usize;
+        'step: for queue in self.pipeline.service_order() {
+            let mut served = 0u32;
+            while budget > 0 {
+                if cfg.port_quota_per_step.is_some_and(|q| served >= q) {
+                    if self.pipeline.depth_of(queue) > 0 {
+                        self.pipeline.note_quota_deferral();
+                    }
+                    break;
+                }
+                let Some(pending) = self.pipeline.pop_from(queue) else {
+                    break;
+                };
+                let resolved = self.resolve_upcall(pending, now);
+                budget -= resolved.outcome.cycles as i64;
+                served += 1;
+                handled += 1;
+                sink(resolved);
+            }
+            if budget <= 0 {
+                break 'step;
+            }
+        }
+        self.pipeline.end_step(budget);
+        self.flush_staged_installs();
+        handled
+    }
+
+    /// Services one pending upcall: full classification against the
+    /// destination pod's ACL, megaflow generation (staged, not yet
+    /// installed), and the EMC promotion.
+    fn resolve_upcall(&mut self, pending: PendingUpcall, now: SimTime) -> ResolvedUpcall {
+        let key = pending.key;
+        let (action, acl_mask, rules_examined) = match self.routes.get(&key.ip_dst) {
+            Some(port) => {
+                let up = port.slowpath.process_upcall(&key);
+                (up.action, *up.megaflow.mask(), up.rules_examined)
+            }
+            None => (Action::Deny, pi_core::FlowMask::WILDCARD, 0),
+        };
+        let mut mask = acl_mask;
+        mask.unwildcard(Field::IpDst, Field::IpDst.full_mask());
+        let megaflow = pi_core::MaskedKey::new(key, mask);
+
+        // Predict what the end-of-step flush will do, mirroring
+        // `MegaflowCache::install` against the cache *plus* the installs
+        // already staged this step.
+        let already = self.mfc.get(&megaflow).is_some() || self.pipeline.install_staged(&megaflow);
+        let installed =
+            !already && self.mfc.len() + self.pipeline.fresh_staged() < self.config.flow_limit;
+        self.pipeline
+            .stage_install(megaflow, action, now, installed);
+
+        let emc_inserted = pending.emc_probed
+            && self
+                .emc
+                .insert_hashed(pending.hash, &key, action, self.generation, now);
+        let path = PathTaken::Upcall {
+            probes: pending.probes,
+            stage_checks: pending.stage_checks,
+            rules_examined,
+            installed,
+            emc_probed: pending.emc_probed,
+            emc_inserted,
+        };
+        self.stats.upcalls += 1;
+        let output = if action.permits() {
+            self.routes.get(&key.ip_dst).map(|p| p.vport)
+        } else {
+            None
+        };
+        if output.is_none() {
+            self.stats.policy_drops += 1;
+        }
+        let cycles = self
+            .cost
+            .handler_cycles(rules_examined, installed, emc_inserted);
+        self.stats.cycles += cycles;
+        let wait = self
+            .pipeline
+            .step()
+            .saturating_sub(1)
+            .saturating_sub(pending.enqueued_step);
+        self.pipeline.note_resolved(pending.queue, wait);
+        ResolvedUpcall {
+            token: pending.token,
+            key,
+            outcome: ProcessOutcome {
+                verdict: action,
+                output,
+                path,
+                cycles,
+            },
+        }
+    }
+
+    /// Lands the step's batched megaflow installs. Called at the end of
+    /// every drain step and defensively before a revalidator sweep.
+    fn flush_staged_installs(&mut self) {
+        for staged in self.pipeline.take_installs() {
+            let outcome = self.mfc.install(staged.megaflow, staged.action, staged.at);
+            // The resolution-time prediction (reported as `installed`
+            // in the packet's outcome) must agree with what the flush
+            // actually did — a divergence means the prediction logic
+            // no longer mirrors `MegaflowCache::install`.
+            debug_assert_eq!(
+                matches!(outcome, InstallOutcome::Installed),
+                staged.fresh,
+                "staged-install prediction diverged from the flush outcome"
+            );
+        }
+    }
+
+    /// Aggregate upcall-pipeline counters (all zero under
+    /// [`PipelineMode::Inline`]).
+    pub fn upcall_stats(&self) -> UpcallStats {
+        self.pipeline.stats()
+    }
+
+    /// Per-port upcall-pipeline counters, ascending queue-id order.
+    /// The [`UNROUTABLE_QUEUE`] id collects destination-less upcalls.
+    pub fn upcall_port_stats(&self) -> Vec<(u32, PortUpcallStats)> {
+        self.pipeline.port_stats()
+    }
+
+    /// Total pending upcalls across all port queues.
+    pub fn upcall_queue_depth(&self) -> usize {
+        self.pipeline.total_depth()
+    }
+
+    /// Pending upcalls on one port's queue.
+    pub fn upcall_queue_depth_of(&self, queue: u32) -> usize {
+        self.pipeline.depth_of(queue)
     }
 
     /// Deterministic tie-break helper for tests that need switch-side
@@ -593,10 +874,7 @@ mod tests {
         sw.process(&p, SimTime::ZERO);
         assert_eq!(sw.megaflow_count(), 1);
         // Replace the ACL with deny-everything.
-        assert!(sw.install_acl(
-            u32::from_be_bytes(POD_IP),
-            whitelist_with_default_deny(&[])
-        ));
+        assert!(sw.install_acl(u32::from_be_bytes(POD_IP), whitelist_with_default_deny(&[])));
         assert_eq!(sw.megaflow_count(), 0);
         let o = sw.process(&p, SimTime::ZERO);
         assert!(o.path.is_upcall(), "EMC must not serve stale verdicts");
@@ -679,6 +957,165 @@ mod tests {
             PathTaken::MegaflowHit { emc_probed, .. } => assert!(!emc_probed),
             _ => unreachable!(),
         }
+    }
+
+    fn bounded_switch(cfg: crate::upcall::UpcallPipelineConfig) -> VSwitch {
+        let mut sw = VSwitch::new(DpConfig {
+            trie_fields: vec![Field::IpSrc],
+            pipeline: PipelineMode::Bounded(cfg),
+            ..DpConfig::default()
+        });
+        sw.attach_pod(u32::from_be_bytes(POD_IP), POD_VPORT);
+        let allow = MaskedKey::new(
+            FlowKey::tcp([10, 0, 0, 0], [0, 0, 0, 0], 0, 0),
+            FlowMask::default().with_prefix(Field::IpSrc, 8),
+        );
+        sw.install_acl(
+            u32::from_be_bytes(POD_IP),
+            whitelist_with_default_deny(&[allow]),
+        );
+        sw
+    }
+
+    #[test]
+    fn bounded_miss_defers_then_resolves() {
+        let mut sw = bounded_switch(crate::upcall::UpcallPipelineConfig::unbounded());
+        let t = SimTime::from_millis(1);
+        let p = pkt([10, 1, 1, 1], 1000);
+        let o = sw.process(&p, t);
+        assert!(o.path.is_queued());
+        assert_eq!(o.verdict, Action::Controller, "placeholder verdict");
+        assert_eq!(o.output, None);
+        assert_eq!(sw.stats().upcalls, 0, "not an upcall until resolved");
+        assert_eq!(sw.upcall_queue_depth_of(POD_VPORT), 1);
+        let mut resolved = Vec::new();
+        assert_eq!(sw.drain_upcalls(t, |r| resolved.push(r)), 1);
+        assert_eq!(resolved[0].outcome.verdict, Action::Allow);
+        assert_eq!(resolved[0].outcome.output, Some(POD_VPORT));
+        assert!(resolved[0].outcome.path.is_upcall());
+        assert_eq!(sw.stats().upcalls, 1);
+        assert_eq!(sw.megaflow_count(), 1, "batched install landed at step end");
+        // The next packet of the flow is now a cache hit.
+        let o2 = sw.process(&p, t + SimTime::from_millis(1));
+        assert!(o2.path.is_microflow());
+    }
+
+    #[test]
+    fn same_step_packets_of_one_flow_all_upcall_then_dedup() {
+        // The miss-to-install window: until the step's install flush,
+        // every packet of the flow re-upcalls; the batch dedups into a
+        // single fresh install (the rest report installed=false).
+        let mut sw = bounded_switch(crate::upcall::UpcallPipelineConfig::unbounded());
+        let t = SimTime::from_millis(1);
+        let p = pkt([10, 1, 1, 1], 1000);
+        // Disable the EMC promotion's interference by using distinct
+        // exact keys that share one megaflow (/8 allow).
+        let q = pkt([10, 2, 2, 2], 2000);
+        assert!(sw.process(&p, t).path.is_queued());
+        assert!(sw.process(&q, t).path.is_queued(), "install not yet landed");
+        let mut installs = Vec::new();
+        sw.drain_upcalls(t, |r| {
+            if let PathTaken::Upcall { installed, .. } = r.outcome.path {
+                installs.push(installed);
+            }
+        });
+        assert_eq!(installs, vec![true, false], "one fresh install, one dedup");
+        assert_eq!(sw.megaflow_count(), 1);
+        assert_eq!(sw.mfc_stats().installs, 1);
+    }
+
+    #[test]
+    fn full_queue_tail_drops_with_distinct_counters() {
+        let mut sw = bounded_switch(crate::upcall::UpcallPipelineConfig {
+            queue_capacity: 2,
+            handler_cycles_per_step: u64::MAX,
+            port_quota_per_step: None,
+        });
+        let t = SimTime::from_millis(1);
+        for i in 0..5u16 {
+            let o = sw.process(&pkt([10, 9, (i >> 8) as u8, i as u8], 7000 + i), t);
+            if i < 2 {
+                assert!(o.path.is_queued());
+            } else {
+                assert!(o.path.is_upcall_dropped(), "tail drop at capacity");
+            }
+        }
+        let up = sw.upcall_stats();
+        assert_eq!(up.enqueued, 2);
+        assert_eq!(up.queue_drops, 3);
+        assert_eq!(
+            sw.stats().policy_drops,
+            0,
+            "queue drops are not policy drops"
+        );
+        assert_eq!(sw.stats().upcalls, 0);
+        // Drain frees capacity again (an off-net source still misses:
+        // the freshly installed /8 allow megaflow does not cover it).
+        sw.drain_upcalls(t, |_| {});
+        assert_eq!(sw.upcall_queue_depth_of(POD_VPORT), 0);
+        assert!(sw.process(&pkt([200, 8, 8, 8], 9999), t).path.is_queued());
+    }
+
+    #[test]
+    fn handler_budget_carries_debt_across_steps() {
+        // Budget covers exactly one default-cost upcall and overruns:
+        // the debt suppresses part of the next step.
+        let cost = CostModel::default();
+        let one_upcall = cost.handler_cycles(2, true, true);
+        let mut sw = bounded_switch(crate::upcall::UpcallPipelineConfig {
+            queue_capacity: 64,
+            handler_cycles_per_step: one_upcall / 2,
+            port_quota_per_step: None,
+        });
+        let t = SimTime::from_millis(1);
+        for i in 0..3u16 {
+            sw.process(&pkt([10, 9, 0, i as u8], 7000 + i), t);
+        }
+        assert_eq!(sw.drain_upcalls(t, |_| {}), 1, "budget>0 admits one");
+        // Debt ≈ one_upcall/2: the next half-budget step nets ~0.
+        assert_eq!(sw.drain_upcalls(t, |_| {}), 0, "carry debt repaid first");
+        assert_eq!(sw.drain_upcalls(t, |_| {}), 1);
+        assert_eq!(sw.upcall_queue_depth(), 1);
+    }
+
+    #[test]
+    fn port_quota_defers_over_quota_ports_only() {
+        let other_ip = [10, 0, 0, 98];
+        let mut sw =
+            bounded_switch(crate::upcall::UpcallPipelineConfig::unbounded().with_port_quota(1));
+        sw.attach_pod(u32::from_be_bytes(other_ip), 5);
+        let t = SimTime::from_millis(1);
+        // Three misses for the pod, one for the other port, interleaved
+        // so FIFO order alone would serve the pod thrice first.
+        sw.process(&pkt([10, 9, 0, 1], 7001), t);
+        sw.process(&pkt([10, 9, 0, 2], 7002), t);
+        sw.process(&pkt([10, 9, 0, 3], 7003), t);
+        sw.process(&FlowKey::tcp([10, 3, 3, 3], other_ip, 1, 1), t);
+        let mut served = Vec::new();
+        sw.drain_upcalls(t, |r| served.push(r.outcome.output));
+        assert_eq!(
+            served,
+            vec![Some(POD_VPORT), Some(5)],
+            "one per port per step under quota"
+        );
+        assert_eq!(sw.upcall_queue_depth_of(POD_VPORT), 2);
+        assert!(sw.upcall_stats().quota_deferrals >= 1);
+        // Next step serves the pod's backlog one at a time.
+        sw.drain_upcalls(t, |_| {});
+        assert_eq!(sw.upcall_queue_depth_of(POD_VPORT), 1);
+    }
+
+    #[test]
+    fn acl_change_discards_staged_installs_and_reclassifies_queued() {
+        let mut sw = bounded_switch(crate::upcall::UpcallPipelineConfig::unbounded());
+        let t = SimTime::from_millis(1);
+        let p = pkt([10, 1, 1, 1], 1000);
+        assert!(sw.process(&p, t).path.is_queued());
+        // Policy flips to deny-everything while the upcall is pending.
+        assert!(sw.install_acl(u32::from_be_bytes(POD_IP), whitelist_with_default_deny(&[])));
+        let mut verdicts = Vec::new();
+        sw.drain_upcalls(t, |r| verdicts.push(r.outcome.verdict));
+        assert_eq!(verdicts, vec![Action::Deny], "classified under the new ACL");
     }
 
     #[test]

@@ -67,12 +67,7 @@ fn packet_sequence(n: usize, seed: u64) -> Vec<FlowKey> {
                 if rng.gen_bool(0.3) {
                     FlowKey::tcp([10, 1, 1, 1], [172, 16, 0, 9], 555, 80)
                 } else {
-                    FlowKey::tcp(
-                        [(rng.gen_range(100) + 100) as u8, 0, 0, 1],
-                        dst,
-                        1000,
-                        5201,
-                    )
+                    FlowKey::tcp([(rng.gen_range(100) + 100) as u8, 0, 0, 1], dst, 1000, 5201)
                 }
             }
         };
@@ -166,7 +161,10 @@ fn large_batches_equal_sequential_at_fixed_time() {
         // Microflow hits must actually occur within batches for the
         // equivalence to mean anything.
         let emc_hits = got.iter().filter(|o| o.path.is_microflow()).count();
-        assert!(emc_hits > 100, "want intra-batch EMC traffic, got {emc_hits}");
+        assert!(
+            emc_hits > 100,
+            "want intra-batch EMC traffic, got {emc_hits}"
+        );
     }
 }
 

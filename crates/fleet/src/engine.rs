@@ -102,11 +102,7 @@ impl FleetBuilder {
 
     /// Registers a traffic source injecting at `host`; returns its
     /// global source index (order of registration).
-    pub fn add_source(
-        &mut self,
-        host: usize,
-        source: Box<dyn TrafficSource + Send>,
-    ) -> usize {
+    pub fn add_source(&mut self, host: usize, source: Box<dyn TrafficSource + Send>) -> usize {
         self.sources.push((host, source));
         self.sources.len() - 1
     }
@@ -176,9 +172,7 @@ impl FleetBuilder {
         let mut commands: Vec<(u64, usize, HostCmd)> = Vec::new();
         for m in migrations {
             let tick = m.at.as_nanos() / tick_ns;
-            let from = *location
-                .get(&m.ip)
-                .expect("migrating pod must be attached");
+            let from = *location.get(&m.ip).expect("migrating pod must be attached");
             if from == m.to_host {
                 continue;
             }
@@ -233,12 +227,8 @@ enum ToWorker {
 }
 
 enum FromWorker {
-    Ticked {
-        outputs: Vec<(usize, ShardOutput)>,
-    },
-    Done {
-        shards: Vec<HostShard>,
-    },
+    Ticked { outputs: Vec<(usize, ShardOutput)> },
+    Done { shards: Vec<HostShard> },
 }
 
 fn worker_loop(

@@ -127,6 +127,81 @@ mod tests {
     }
 
     #[test]
+    fn shards_inherit_the_bounded_pipeline_and_report_upcall_drops() {
+        use pi_attack::{AttackSchedule, AttackSpec, CovertSequence};
+        use pi_datapath::{PipelineMode, UpcallPipelineConfig};
+        use pi_traffic::ChurnSource;
+
+        let run = |quota: Option<u32>, workers: usize| {
+            let dp = DpConfig {
+                flow_limit: 64,
+                pipeline: PipelineMode::Bounded(UpcallPipelineConfig {
+                    queue_capacity: 16,
+                    handler_cycles_per_step: 200_000,
+                    port_quota_per_step: quota,
+                }),
+                ..DpConfig::default()
+            };
+            let mut b = FleetBuilder::new(small_cfg(4, workers));
+            let h0 = b.add_host(dp.clone());
+            let h1 = b.add_host(dp);
+            b.add_pod(h0, ip([10, 0, 0, 2])); // victim service pod
+            b.add_pod(h1, ip([10, 1, 0, 2])); // attacker client pod
+                                              // Victim churn: fresh connections from host 1 over the
+                                              // fabric, starting after the flood has filled host 0's
+                                              // flow limit (so its flows keep upcalling).
+            b.add_source(
+                h1,
+                Box::new(
+                    ChurnSource::new(ip([10, 0, 10, 0]), ip([10, 0, 0, 2]), 80, 64, 2_000.0)
+                        .starting_at(SimTime::from_secs(1))
+                        .named("victim"),
+                ),
+            );
+            // Attacker upcall flood injected directly at host 0.
+            let spec = AttackSpec::masks_512(pi_cms::PolicyDialect::Kubernetes);
+            let schedule = AttackSchedule::new(
+                CovertSequence::new(spec.build_target(ip([10, 1, 0, 2]))),
+                10e6, // ~19.5 kpps of 64-B frames
+                SimTime::ZERO,
+            )
+            .upcall_flood();
+            b.add_source(h0, Box::new(schedule));
+            b.build().run()
+        };
+
+        let unfair = run(None, 2);
+        // The flood saturates host 0's handlers: the victim's fresh
+        // flows tail-drop at the upcall queue and the blast radius
+        // names the host.
+        assert!(
+            unfair.source_totals[0].dropped_upcall > 0,
+            "victim upcall drops: {:?}",
+            unfair.source_totals[0]
+        );
+        // Host 1 only upcalls to set up the churn stream's uplink
+        // megaflow — its slow path is otherwise idle.
+        assert!(unfair.upcall_stats[1].enqueued < 10);
+        assert_eq!(unfair.upcall_stats[1].queue_drops, 0);
+        let blast = unfair.blast_radius(SimTime::from_secs(1), &[0], 0.5, 1e9);
+        assert_eq!(blast.upcall_drops.len(), 1);
+        assert_eq!(blast.upcall_drops[0].0, 0, "host 0 carries the drops");
+
+        // The per-port fair-share quota restores the victim.
+        let fair = run(Some(4), 2);
+        assert_eq!(
+            fair.source_totals[0].dropped_upcall, 0,
+            "quota must restore the victim: {:?}",
+            fair.source_totals[0]
+        );
+
+        // Determinism across worker counts holds for the pipeline too.
+        let single = run(None, 1);
+        assert_eq!(single.source_totals, unfair.source_totals);
+        assert_eq!(single.upcall_stats, unfair.upcall_stats);
+    }
+
+    #[test]
     fn worker_count_does_not_change_results() {
         let run = |workers: usize| {
             let mut b = FleetBuilder::new(small_cfg(3, workers));
@@ -135,12 +210,7 @@ mod tests {
                 b.add_pod(host, ip([10, h as u8, 0, 1]));
             }
             for h in 0..3u8 {
-                let key = FlowKey::tcp(
-                    [10, h, 0, 1],
-                    [10, (h + 1) % 3, 0, 1],
-                    1000 + h as u16,
-                    80,
-                );
+                let key = FlowKey::tcp([10, h, 0, 1], [10, (h + 1) % 3, 0, 1], 1000 + h as u16, 80);
                 b.add_source(h as usize, Box::new(CbrSource::new(key, 800, 500.0)));
             }
             b.build().run()
@@ -149,10 +219,7 @@ mod tests {
         let b = run(3);
         assert_eq!(a.source_totals, b.source_totals);
         for (sa, sb) in a.throughput_bps.iter().zip(&b.throughput_bps) {
-            assert_eq!(
-                sa.iter().collect::<Vec<_>>(),
-                sb.iter().collect::<Vec<_>>()
-            );
+            assert_eq!(sa.iter().collect::<Vec<_>>(), sb.iter().collect::<Vec<_>>());
         }
     }
 }

@@ -106,11 +106,7 @@ impl ClusterBuilder {
 
     /// Registers a traffic source injecting at `host`; returns its
     /// global source index.
-    pub fn add_source(
-        &mut self,
-        host: usize,
-        source: Box<dyn TrafficSource + Send>,
-    ) -> usize {
+    pub fn add_source(&mut self, host: usize, source: Box<dyn TrafficSource + Send>) -> usize {
         self.fleet.add_source(host, source)
     }
 

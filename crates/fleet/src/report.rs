@@ -2,7 +2,7 @@
 //! blast-radius metrics the multi-tenant threat model is about.
 
 use pi_core::SimTime;
-use pi_datapath::SwitchStats;
+use pi_datapath::{SwitchStats, UpcallStats};
 use pi_metrics::{degradation_ratio, sum_series, TimeSeries};
 use pi_sim::SourceTotals;
 
@@ -27,8 +27,14 @@ pub struct FleetReport {
     pub megaflows: Vec<TimeSeries>,
     /// Per-host CPU utilisation of the datapath budget, 0–1.
     pub cpu_util: Vec<TimeSeries>,
+    /// Per-host slow-path handler CPU, cycles/second (zero under the
+    /// inline pipeline).
+    pub handler_cps: Vec<TimeSeries>,
     /// Final switch statistics per host.
     pub switch_stats: Vec<SwitchStats>,
+    /// Final upcall-pipeline statistics per host (all zero under
+    /// [`pi_datapath::PipelineMode::Inline`]).
+    pub upcall_stats: Vec<UpcallStats>,
     /// Per-source totals (global source order).
     pub source_totals: Vec<SourceTotals>,
 }
@@ -45,6 +51,10 @@ pub struct BlastRadius {
     /// Hosts whose megaflow mask count exceeded the mask threshold
     /// after the attack start (the attack's direct footprint).
     pub affected_hosts: Vec<usize>,
+    /// Upcall-queue tail drops per host (host index, drops), listing
+    /// only hosts with a nonzero count — the handler-saturation
+    /// footprint of the attack, visible even when throughput holds up.
+    pub upcall_drops: Vec<(usize, u64)>,
 }
 
 impl BlastRadius {
@@ -68,12 +78,16 @@ impl FleetReport {
         let mut masks = Vec::with_capacity(hosts);
         let mut megaflows = Vec::with_capacity(hosts);
         let mut cpu = Vec::with_capacity(hosts);
+        let mut handler_cps = Vec::with_capacity(hosts);
         let mut stats = Vec::with_capacity(hosts);
+        let mut upcall = Vec::with_capacity(hosts);
         for shard in shards {
             stats.push(shard.stats());
+            upcall.push(shard.node.switch().upcall_stats());
             masks.push(shard.masks);
             megaflows.push(shard.megaflows);
             cpu.push(shard.cpu);
+            handler_cps.push(shard.handler_cps);
             for slot in shard.slots {
                 let g = slot.global;
                 throughput[g] = Some(slot.throughput);
@@ -84,6 +98,7 @@ impl FleetReport {
                     delivered: slot.total_delivered,
                     dropped_capacity: slot.total_dropped_capacity,
                     dropped_policy: slot.total_dropped_policy,
+                    dropped_upcall: slot.total_dropped_upcall,
                 });
             }
         }
@@ -95,7 +110,9 @@ impl FleetReport {
             masks,
             megaflows,
             cpu_util: cpu,
+            handler_cps,
             switch_stats: stats,
+            upcall_stats: upcall,
             source_totals: totals.into_iter().map(|t| t.expect("source")).collect(),
         }
     }
@@ -137,8 +154,7 @@ impl FleetReport {
 
     /// Aggregate delivered throughput of the given sources.
     pub fn aggregate_throughput(&self, sources: &[usize], name: &str) -> TimeSeries {
-        let picked: Vec<&TimeSeries> =
-            sources.iter().map(|&i| &self.throughput_bps[i]).collect();
+        let picked: Vec<&TimeSeries> = sources.iter().map(|&i| &self.throughput_bps[i]).collect();
         sum_series(name, &picked)
     }
 
@@ -175,10 +191,18 @@ impl FleetReport {
             })
             .map(|(i, _)| i)
             .collect();
+        let upcall_drops = self
+            .upcall_stats
+            .iter()
+            .enumerate()
+            .filter(|(_, u)| u.queue_drops > 0)
+            .map(|(i, u)| (i, u.queue_drops))
+            .collect();
         BlastRadius {
             ratios,
             degraded_sources,
             affected_hosts,
+            upcall_drops,
         }
     }
 }
@@ -193,6 +217,7 @@ mod tests {
             ratios: vec![],
             degraded_sources: vec![],
             affected_hosts: vec![],
+            upcall_drops: vec![],
         };
         assert_eq!(b.degraded_fraction(), 0.0);
     }

@@ -186,22 +186,24 @@ pub fn fleet_colocation(params: &ColocationParams) -> (FleetSim, ColocationHandl
             let pod = cb.place_pod_on(bg_tenant, host);
             let dst = cb.pod(pod).ip;
             let src_host = (host + 1) % params.hosts;
-            background_sources.push(cb.add_source(
-                src_host,
-                Box::new(
-                    PoissonFlowSource::new(
-                        (0..8u32)
-                            .map(|i| (u32::from_be_bytes([10, 0, 200, i as u8]), dst))
-                            .collect(),
-                        10.0,
-                        20.0,
-                        200.0,
-                        200,
-                        params.seed ^ host as u64,
-                    )
-                    .named(&format!("background{host}")),
+            background_sources.push(
+                cb.add_source(
+                    src_host,
+                    Box::new(
+                        PoissonFlowSource::new(
+                            (0..8u32)
+                                .map(|i| (u32::from_be_bytes([10, 0, 200, i as u8]), dst))
+                                .collect(),
+                            10.0,
+                            20.0,
+                            200.0,
+                            200,
+                            params.seed ^ host as u64,
+                        )
+                        .named(&format!("background{host}")),
+                    ),
                 ),
-            ));
+            );
         }
     }
 

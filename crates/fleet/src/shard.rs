@@ -33,9 +33,13 @@ pub(crate) struct TickCtx {
 /// What happened to one packet, reported back to its source's shard.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(crate) enum Outcome {
-    Delivered { bytes: u64 },
+    Delivered {
+        bytes: u64,
+    },
     DroppedCapacity,
     DroppedPolicy,
+    /// Tail-dropped at a switch's bounded upcall queue.
+    DroppedUpcall,
 }
 
 /// A delivery/drop report travelling back to the source's home shard.
@@ -104,6 +108,7 @@ pub(crate) struct FleetSlot {
     pub total_delivered: u64,
     pub total_dropped_capacity: u64,
     pub total_dropped_policy: u64,
+    pub total_dropped_upcall: u64,
     pub throughput: TimeSeries,
     pub offered: TimeSeries,
 }
@@ -125,6 +130,7 @@ impl FleetSlot {
             total_delivered: 0,
             total_dropped_capacity: 0,
             total_dropped_policy: 0,
+            total_dropped_upcall: 0,
         }
     }
 
@@ -141,6 +147,10 @@ impl FleetSlot {
             }
             Outcome::DroppedPolicy => {
                 self.total_dropped_policy += 1;
+            }
+            Outcome::DroppedUpcall => {
+                self.tick_dropped += 1;
+                self.total_dropped_upcall += 1;
             }
         }
     }
@@ -160,6 +170,7 @@ pub(crate) struct HostShard {
     pub masks: TimeSeries,
     pub megaflows: TimeSeries,
     pub cpu: TimeSeries,
+    pub handler_cps: TimeSeries,
     genbuf: Vec<GenPacket>,
 }
 
@@ -180,6 +191,7 @@ impl HostShard {
             masks: TimeSeries::new(&format!("host{id}_masks")),
             megaflows: TimeSeries::new(&format!("host{id}_megaflows")),
             cpu: TimeSeries::new(&format!("host{id}_cpu")),
+            handler_cps: TimeSeries::new(&format!("host{id}_handler_cps")),
             id,
             node,
             routes,
@@ -298,6 +310,7 @@ impl HostShard {
                     },
                 )),
                 Routing::Denied => settlements.push((pkt.source, Outcome::DroppedPolicy)),
+                Routing::UpcallDropped => settlements.push((pkt.source, Outcome::DroppedUpcall)),
             }
         });
         for (source, outcome) in settlements {
@@ -316,10 +329,14 @@ impl HostShard {
         if (tick + 1).is_multiple_of(ctx.sample_every_ticks) {
             let t = next;
             for slot in self.slots.iter_mut() {
-                slot.throughput
-                    .push(t, slot.window_delivered_bytes as f64 * 8.0 / ctx.window_secs);
-                slot.offered
-                    .push(t, slot.window_generated_bytes as f64 * 8.0 / ctx.window_secs);
+                slot.throughput.push(
+                    t,
+                    slot.window_delivered_bytes as f64 * 8.0 / ctx.window_secs,
+                );
+                slot.offered.push(
+                    t,
+                    slot.window_generated_bytes as f64 * 8.0 / ctx.window_secs,
+                );
                 slot.window_delivered_bytes = 0;
                 slot.window_generated_bytes = 0;
             }
@@ -329,6 +346,10 @@ impl HostShard {
             let budget_window = ctx.cpu_cycles_per_sec as f64 * ctx.window_secs;
             self.cpu
                 .push(t, self.node.take_window_cycles() as f64 / budget_window);
+            self.handler_cps.push(
+                t,
+                self.node.take_window_handler_cycles() as f64 / ctx.window_secs,
+            );
         }
 
         out

@@ -30,7 +30,11 @@ impl Histogram {
 
     /// Records a sample.
     pub fn record(&mut self, v: u64) {
-        let b = if v == 0 { 0 } else { 63 - v.leading_zeros() as usize };
+        let b = if v == 0 {
+            0
+        } else {
+            63 - v.leading_zeros() as usize
+        };
         self.buckets[b] += 1;
         self.count += 1;
         self.sum += v;

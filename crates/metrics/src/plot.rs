@@ -58,7 +58,12 @@ pub fn ascii_plot(series: &[&TimeSeries], width: usize, height: usize) -> String
     out.push('+');
     out.push_str(&"-".repeat(width));
     out.push('\n');
-    out.push_str(&format!("  0 s{:>width$.1$} s\n", t_max, 1, width = width - 4));
+    out.push_str(&format!(
+        "  0 s{:>width$.1$} s\n",
+        t_max,
+        1,
+        width = width - 4
+    ));
     out
 }
 

@@ -156,8 +156,8 @@ impl CachelessSwitch {
 mod tests {
     use super::*;
     use pi_attack::{AttackSpec, CovertSequence};
-    use pi_cms::{PolicyCompiler, PolicyDialect};
     use pi_classifier::LinearClassifier;
+    use pi_cms::{PolicyCompiler, PolicyDialect};
 
     fn attack_table() -> FlowTable {
         match AttackSpec::masks_512(PolicyDialect::Kubernetes).build_policy() {
@@ -206,7 +206,11 @@ mod tests {
     fn cacheless_switch_is_attack_immune() {
         let mut sw = CachelessSwitch::new();
         let pod_ip = 0x0a01_0042;
-        sw.attach_pod(pod_ip, 1, CompiledAcl::compile(&attack_table(), Action::Deny));
+        sw.attach_pod(
+            pod_ip,
+            1,
+            CompiledAcl::compile(&attack_table(), Action::Deny),
+        );
         let spec = AttackSpec::masks_512(PolicyDialect::Kubernetes);
         let seq = CovertSequence::new(spec.build_target(pod_ip));
         // Populate + scan: measure average cost.

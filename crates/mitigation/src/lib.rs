@@ -21,6 +21,10 @@
 //!   so the covert stream has nothing to amplify.
 //! * [`attribution`] — **detection**: per-destination mask accounting
 //!   that names the pod (hence tenant) whose ACL carries the explosion.
+//! * [`upcall_fair_share_config`] — **slow-path fair sharing**: the
+//!   OVS-style per-port flow-setup rate limit for the bounded upcall
+//!   pipeline, so one tenant's upcall flood tail-drops its own traffic
+//!   instead of starving its neighbours' flow setups.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -29,8 +33,10 @@ pub mod attribution;
 pub mod budget;
 pub mod compiled;
 pub mod heuristics;
+pub mod quota;
 
 pub use attribution::{attribute_masks, detect_offenders, MaskAttribution};
 pub use budget::{AdmissionDecision, MaskBudget};
 pub use compiled::{CachelessSwitch, CompiledAcl};
 pub use heuristics::{hit_sort_config, staged_config};
+pub use quota::upcall_fair_share_config;

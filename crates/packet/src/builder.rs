@@ -164,8 +164,8 @@ mod tests {
 
     #[test]
     fn tcp_build_extract_round_trip() {
-        let key = FlowKey::tcp([10, 1, 2, 3], [10, 4, 5, 6], 33000, 443)
-            .with(pi_core::Field::InPort, 5);
+        let key =
+            FlowKey::tcp([10, 1, 2, 3], [10, 4, 5, 6], 33000, 443).with(pi_core::Field::InPort, 5);
         let frame = PacketBuilder::new().payload_len(64).build(&key).unwrap();
         assert_eq!(extract_flow_key(&frame, 5).unwrap(), key);
     }

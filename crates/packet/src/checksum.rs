@@ -37,10 +37,7 @@ pub fn checksum(data: &[u8]) -> u16 {
 /// `src`/`dst` are host-order IPv4 addresses, `proto` the IP protocol
 /// number, `len` the transport header+payload length.
 pub fn pseudo_header_sum(src: u32, dst: u32, proto: u8, len: u16) -> u32 {
-    sum(&src.to_be_bytes())
-        + sum(&dst.to_be_bytes())
-        + u32::from(proto)
-        + u32::from(len)
+    sum(&src.to_be_bytes()) + sum(&dst.to_be_bytes()) + u32::from(proto) + u32::from(len)
 }
 
 /// Verifies a checksummed region: the folded sum over data that *includes*
@@ -65,7 +62,10 @@ mod tests {
     #[test]
     fn odd_length_pads_with_zero() {
         assert_eq!(sum(&[0xab]), sum(&[0xab, 0x00]));
-        assert_eq!(checksum(&[0x12, 0x34, 0x56]), checksum(&[0x12, 0x34, 0x56, 0x00]));
+        assert_eq!(
+            checksum(&[0x12, 0x34, 0x56]),
+            checksum(&[0x12, 0x34, 0x56, 0x00])
+        );
     }
 
     #[test]
@@ -75,7 +75,10 @@ mod tests {
 
     #[test]
     fn inserting_checksum_verifies() {
-        let mut data = vec![0x45u8, 0x00, 0x00, 0x1c, 0x00, 0x01, 0x00, 0x00, 0x40, 0x11, 0, 0, 10, 0, 0, 1, 10, 0, 0, 2];
+        let mut data = vec![
+            0x45u8, 0x00, 0x00, 0x1c, 0x00, 0x01, 0x00, 0x00, 0x40, 0x11, 0, 0, 10, 0, 0, 1, 10, 0,
+            0, 2,
+        ];
         let c = checksum(&data);
         data[10] = (c >> 8) as u8;
         data[11] = (c & 0xff) as u8;

@@ -156,7 +156,14 @@ mod tests {
     #[test]
     fn new_checked_rejects_short() {
         let err = EthernetFrame::new_checked(&SAMPLE[..10]).unwrap_err();
-        assert!(matches!(err, CoreError::Truncated { needed: 14, got: 10, .. }));
+        assert!(matches!(
+            err,
+            CoreError::Truncated {
+                needed: 14,
+                got: 10,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -166,7 +173,9 @@ mod tests {
         let mut out = vec![0u8; repr.header_len() + 4];
         let mut new_frame = EthernetFrame::new_unchecked(&mut out[..]);
         repr.emit(&mut new_frame);
-        new_frame.payload_mut().copy_from_slice(&[0xde, 0xad, 0xbe, 0xef]);
+        new_frame
+            .payload_mut()
+            .copy_from_slice(&[0xde, 0xad, 0xbe, 0xef]);
         assert_eq!(&out[..], &SAMPLE[..]);
     }
 

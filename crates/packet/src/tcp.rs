@@ -208,11 +208,7 @@ pub struct TcpRepr {
 
 impl TcpRepr {
     /// Parses a segment view, verifying its checksum.
-    pub fn parse<T: AsRef<[u8]>>(
-        seg: &TcpSegment<T>,
-        src: u32,
-        dst: u32,
-    ) -> pi_core::Result<Self> {
+    pub fn parse<T: AsRef<[u8]>>(seg: &TcpSegment<T>, src: u32, dst: u32) -> pi_core::Result<Self> {
         if !seg.verify_checksum(src, dst) {
             return Err(CoreError::Malformed("tcp checksum"));
         }
@@ -233,12 +229,7 @@ impl TcpRepr {
     }
 
     /// Writes the header and checksum into a segment view.
-    pub fn emit<T: AsRef<[u8]> + AsMut<[u8]>>(
-        &self,
-        seg: &mut TcpSegment<T>,
-        src: u32,
-        dst: u32,
-    ) {
+    pub fn emit<T: AsRef<[u8]> + AsMut<[u8]>>(&self, seg: &mut TcpSegment<T>, src: u32, dst: u32) {
         seg.set_src_port(self.src_port);
         seg.set_dst_port(self.dst_port);
         seg.set_seq(self.seq);

@@ -9,7 +9,7 @@ use std::collections::HashMap;
 
 use pi_classifier::FlowTable;
 use pi_core::{Port, SimTime};
-use pi_datapath::{CostModel, DpConfig, SwitchStats};
+use pi_datapath::{CostModel, DpConfig, SwitchStats, UpcallStats};
 use pi_metrics::TimeSeries;
 use pi_traffic::{GenPacket, TrafficSource};
 
@@ -30,6 +30,7 @@ struct SourceSlot {
     total_delivered: u64,
     total_dropped_capacity: u64,
     total_dropped_policy: u64,
+    total_dropped_upcall: u64,
 }
 
 /// Builder for a [`Simulation`].
@@ -139,6 +140,7 @@ impl SimBuilder {
                 total_delivered: 0,
                 total_dropped_capacity: 0,
                 total_dropped_policy: 0,
+                total_dropped_upcall: 0,
             })
             .collect();
 
@@ -152,6 +154,12 @@ impl SimBuilder {
 }
 
 /// Per-source run totals.
+///
+/// Totals do **not** conserve at the run boundary: packets still in
+/// flight when the clock stops — sitting in a node's ingress queue, on
+/// the fabric, or parked in a bounded upcall pipeline awaiting a
+/// handler — are in no bucket, so `generated` may exceed the sum of
+/// the outcome counters by up to the in-flight population.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SourceTotals {
     /// Source label (`label#index`).
@@ -164,6 +172,10 @@ pub struct SourceTotals {
     pub dropped_capacity: u64,
     /// Packets denied by policy.
     pub dropped_policy: u64,
+    /// Packets tail-dropped at a switch's bounded upcall queue (always
+    /// zero under [`pi_datapath::PipelineMode::Inline`]). Kept separate
+    /// from `dropped_capacity` so slow-path starvation is attributable.
+    pub dropped_upcall: u64,
 }
 
 /// Everything a run produces.
@@ -179,8 +191,15 @@ pub struct SimReport {
     pub megaflows: Vec<TimeSeries>,
     /// Per-node CPU utilisation of the datapath budget, 0–1.
     pub cpu_util: Vec<TimeSeries>,
+    /// Per-node slow-path handler CPU, cycles/second (zero under the
+    /// inline pipeline — handlers are a separate budget, so this is a
+    /// rate, not a fraction of the datapath budget).
+    pub handler_cps: Vec<TimeSeries>,
     /// Final switch statistics per node.
     pub switch_stats: Vec<SwitchStats>,
+    /// Final upcall-pipeline statistics per node (all zero under the
+    /// inline pipeline).
+    pub upcall_stats: Vec<UpcallStats>,
     /// Per-source totals.
     pub source_totals: Vec<SourceTotals>,
 }
@@ -223,12 +242,14 @@ impl Simulation {
         let mut cpu: Vec<TimeSeries> = (0..nodes.len())
             .map(|i| TimeSeries::new(&format!("node{i}_cpu")))
             .collect();
+        let mut handler_cps: Vec<TimeSeries> = (0..nodes.len())
+            .map(|i| TimeSeries::new(&format!("node{i}_handler_cps")))
+            .collect();
 
         let mut genbuf: Vec<GenPacket> = Vec::new();
         let mut forward: Vec<Vec<NodePacket<usize>>> =
             (0..nodes.len()).map(|_| Vec::new()).collect();
-        let sample_every_ticks =
-            (cfg.sample_interval.as_nanos() / cfg.tick.as_nanos()).max(1);
+        let sample_every_ticks = (cfg.sample_interval.as_nanos() / cfg.tick.as_nanos()).max(1);
         let window_secs = cfg.sample_interval.as_secs_f64();
 
         for tick in 0..ticks {
@@ -287,6 +308,11 @@ impl Simulation {
                     Routing::Denied => {
                         sources[pkt.source].total_dropped_policy += 1;
                     }
+                    Routing::UpcallDropped => {
+                        let s = &mut sources[pkt.source];
+                        s.tick_dropped += 1;
+                        s.total_dropped_upcall += 1;
+                    }
                 });
                 node.revalidate(next);
             }
@@ -314,10 +340,8 @@ impl Simulation {
             if (tick + 1) % sample_every_ticks == 0 {
                 let t = next;
                 for (si, slot) in sources.iter_mut().enumerate() {
-                    throughput[si]
-                        .push(t, slot.window_delivered_bytes as f64 * 8.0 / window_secs);
-                    offered[si]
-                        .push(t, slot.window_generated_bytes as f64 * 8.0 / window_secs);
+                    throughput[si].push(t, slot.window_delivered_bytes as f64 * 8.0 / window_secs);
+                    offered[si].push(t, slot.window_generated_bytes as f64 * 8.0 / window_secs);
                     slot.window_delivered_bytes = 0;
                     slot.window_generated_bytes = 0;
                 }
@@ -326,6 +350,7 @@ impl Simulation {
                     megaflows[ni].push(t, node.switch().megaflow_count() as f64);
                     let budget_window = cfg.cpu_cycles_per_sec as f64 * window_secs;
                     cpu[ni].push(t, node.take_window_cycles() as f64 / budget_window);
+                    handler_cps[ni].push(t, node.take_window_handler_cycles() as f64 / window_secs);
                 }
             }
         }
@@ -336,7 +361,9 @@ impl Simulation {
             masks,
             megaflows,
             cpu_util: cpu,
+            handler_cps,
             switch_stats: nodes.iter().map(|n| n.switch().stats()).collect(),
+            upcall_stats: nodes.iter().map(|n| n.switch().upcall_stats()).collect(),
             source_totals: sources
                 .iter()
                 .map(|s| SourceTotals {
@@ -345,6 +372,7 @@ impl Simulation {
                     delivered: s.total_delivered,
                     dropped_capacity: s.total_dropped_capacity,
                     dropped_policy: s.total_dropped_policy,
+                    dropped_upcall: s.total_dropped_upcall,
                 })
                 .collect(),
         }

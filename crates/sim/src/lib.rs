@@ -26,4 +26,7 @@ pub mod scenario;
 pub use config::SimConfig;
 pub use engine::{SimBuilder, SimReport, Simulation, SourceTotals};
 pub use node::{NodeCell, NodePacket, Routing};
-pub use scenario::{fig3_scenario, measure_capacity, CapacityReport, Fig3Params};
+pub use scenario::{
+    fig3_scenario, measure_capacity, upcall_saturation_scenario, CapacityReport, Fig3Params,
+    UpcallSaturationHandles, UpcallSaturationParams,
+};

@@ -9,10 +9,10 @@
 //! two engines cannot drift apart on the core modelling rule
 //! ("throughput is never scripted").
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 
 use pi_core::{FlowKey, Port, SimTime};
-use pi_datapath::{CostModel, DpConfig, VSwitch};
+use pi_datapath::{CostModel, DpConfig, PathTaken, VSwitch};
 
 /// A packet sitting in a node's ingress queue, tagged with an opaque
 /// source handle `T` (the engine uses its source index; the fleet uses a
@@ -36,6 +36,11 @@ pub enum Routing {
     Uplink,
     /// Denied by policy (or the destination is unknown to the switch).
     Denied,
+    /// Tail-dropped at the switch's bounded upcall queue
+    /// ([`pi_datapath::PipelineMode::Bounded`]) — a *capacity* loss of
+    /// the slow-path pipeline, distinct from both the node
+    /// ingress-queue drop (enqueue refusal) and policy denial.
+    UpcallDropped,
 }
 
 /// One host: an OVS-like switch plus its ingress queue and the per-tick
@@ -48,6 +53,13 @@ pub struct NodeCell<T> {
     cycle_carry: i64,
     /// Cycles spent during the current sample window.
     window_cycles: u64,
+    /// Handler cycles spent during the current sample window (the
+    /// bounded upcall pipeline's separate CPU — not charged against the
+    /// datapath budget, like OVS handler threads vs the PMD core).
+    window_handler_cycles: u64,
+    /// Frame size + source handle of packets deferred into the switch's
+    /// upcall pipeline, keyed by the pending token.
+    deferred: HashMap<u64, (usize, T)>,
 }
 
 impl<T> NodeCell<T> {
@@ -58,6 +70,8 @@ impl<T> NodeCell<T> {
             queue: VecDeque::new(),
             cycle_carry: 0,
             window_cycles: 0,
+            window_handler_cycles: 0,
+            deferred: HashMap::new(),
         }
     }
 
@@ -87,9 +101,11 @@ impl<T> NodeCell<T> {
         }
     }
 
-    /// Drains the ingress queue under this tick's cycle budget, invoking
-    /// `sink` with each processed packet and its routing verdict. Carry
-    /// from an overrun packet is charged against the next tick.
+    /// Drains the ingress queue under this tick's cycle budget, then
+    /// runs one handler step of the switch's upcall pipeline (a no-op
+    /// under [`pi_datapath::PipelineMode::Inline`]), invoking `sink`
+    /// with each completed packet and its routing verdict. Carry from an
+    /// overrun packet is charged against the next tick.
     ///
     /// Packets are handed to the switch through
     /// [`VSwitch::process_batch`] in runs of up to
@@ -99,6 +115,15 @@ impl<T> NodeCell<T> {
     /// still positive when its turn comes (the batch aborts mid-run the
     /// moment the budget goes non-positive), so results are bit-identical
     /// to the sequential drain.
+    ///
+    /// Under a bounded pipeline a megaflow miss defers the packet: its
+    /// frame size and source handle park here until a handler step
+    /// resolves the upcall (same tick or later), at which point the
+    /// packet flows to `sink` with its real routing; a miss that
+    /// tail-drops at a full upcall queue reaches `sink` immediately as
+    /// [`Routing::UpcallDropped`]. The handler step's cycles are the
+    /// pipeline's own budget (separate CPU), tracked in
+    /// [`NodeCell::take_window_handler_cycles`].
     pub fn step(
         &mut self,
         now: SimTime,
@@ -117,20 +142,58 @@ impl<T> NodeCell<T> {
             let switch = &mut self.switch;
             let queue = &mut self.queue;
             let window_cycles = &mut self.window_cycles;
+            let deferred = &mut self.deferred;
             switch.process_batch(&keys[..n], now, |_, outcome| {
                 let pkt = queue.pop_front().expect("batch mirrors the queue head");
                 budget -= outcome.cycles as i64;
                 *window_cycles += outcome.cycles;
-                let routing = match outcome.output.map(Port::from_raw) {
-                    Some(Port::Uplink) => Routing::Uplink,
-                    Some(Port::Local(vport)) => Routing::Local(vport),
-                    None => Routing::Denied,
-                };
-                sink(pkt, routing);
+                match outcome.path {
+                    PathTaken::UpcallQueued { token, .. } => {
+                        deferred.insert(token, (pkt.bytes, pkt.source));
+                    }
+                    PathTaken::UpcallDropped { .. } => sink(pkt, Routing::UpcallDropped),
+                    _ => {
+                        let routing = match outcome.output.map(Port::from_raw) {
+                            Some(Port::Uplink) => Routing::Uplink,
+                            Some(Port::Local(vport)) => Routing::Local(vport),
+                            None => Routing::Denied,
+                        };
+                        sink(pkt, routing);
+                    }
+                }
                 budget > 0
             });
         }
         self.cycle_carry = budget.min(0);
+
+        // One handler step per tick: resolved upcalls complete their
+        // packets' journey through the same sink.
+        let switch = &mut self.switch;
+        let deferred = &mut self.deferred;
+        let window_handler_cycles = &mut self.window_handler_cycles;
+        switch.drain_upcalls(now, |r| {
+            *window_handler_cycles += r.outcome.cycles;
+            if let Some((bytes, source)) = deferred.remove(&r.token) {
+                let routing = match r.outcome.output.map(Port::from_raw) {
+                    Some(Port::Uplink) => Routing::Uplink,
+                    Some(Port::Local(vport)) => Routing::Local(vport),
+                    None => Routing::Denied,
+                };
+                sink(
+                    NodePacket {
+                        key: r.key,
+                        bytes,
+                        source,
+                    },
+                    routing,
+                );
+            }
+        });
+    }
+
+    /// Packets currently parked in the switch's upcall pipeline.
+    pub fn deferred_len(&self) -> usize {
+        self.deferred.len()
     }
 
     /// Runs the revalidator at the end of a tick.
@@ -142,6 +205,12 @@ impl<T> NodeCell<T> {
     pub fn take_window_cycles(&mut self) -> u64 {
         std::mem::take(&mut self.window_cycles)
     }
+
+    /// Returns and resets the handler cycles consumed this sample
+    /// window (zero under the inline pipeline).
+    pub fn take_window_handler_cycles(&mut self) -> u64 {
+        std::mem::take(&mut self.window_handler_cycles)
+    }
 }
 
 #[cfg(test)]
@@ -151,7 +220,8 @@ mod tests {
 
     fn node() -> NodeCell<usize> {
         let mut n = NodeCell::new(DpConfig::default(), CostModel::default());
-        n.switch_mut().attach_pod(u32::from_be_bytes([10, 0, 0, 2]), 1);
+        n.switch_mut()
+            .attach_pod(u32::from_be_bytes([10, 0, 0, 2]), 1);
         n.switch_mut()
             .attach_pod(u32::from_be_bytes([10, 1, 0, 2]), Port::Uplink.raw());
         n
@@ -172,7 +242,9 @@ mod tests {
         assert!(n.enqueue(pkt([10, 1, 0, 2]), 10));
         assert!(n.enqueue(pkt([10, 9, 9, 9]), 10));
         let mut got = Vec::new();
-        n.step(SimTime::from_millis(1), 1_000_000, |p, r| got.push((p.source, r)));
+        n.step(SimTime::from_millis(1), 1_000_000, |p, r| {
+            got.push((p.source, r))
+        });
         assert_eq!(
             got,
             vec![
@@ -192,6 +264,89 @@ mod tests {
         assert!(n.enqueue(pkt([10, 0, 0, 2]), 1));
         assert!(!n.enqueue(pkt([10, 0, 0, 2]), 1), "tail drop at capacity");
         assert_eq!(n.queue_len(), 1);
+    }
+
+    #[test]
+    fn enqueue_capacity_drops_are_distinct_from_upcall_queue_drops() {
+        use pi_datapath::{PipelineMode, UpcallPipelineConfig};
+        // Ingress queue capacity 4; upcall queue capacity 2. Six fresh
+        // flows offered: 2 tail-drop at the node ingress (enqueue
+        // returns false — the switch never sees them), 2 enter the
+        // upcall pipeline, 2 tail-drop at the *upcall* queue. The two
+        // drop mechanisms must stay independently observable.
+        let mut n: NodeCell<usize> = NodeCell::new(
+            DpConfig {
+                pipeline: PipelineMode::Bounded(UpcallPipelineConfig {
+                    queue_capacity: 2,
+                    handler_cycles_per_step: 0, // handlers fully starved
+                    port_quota_per_step: None,
+                }),
+                ..DpConfig::default()
+            },
+            CostModel::default(),
+        );
+        n.switch_mut()
+            .attach_pod(u32::from_be_bytes([10, 0, 0, 2]), 1);
+        let mut ingress_drops = 0;
+        for i in 0..6u16 {
+            let pkt = NodePacket {
+                key: FlowKey::tcp(
+                    [10, 0, (i >> 8) as u8, i as u8 + 1],
+                    [10, 0, 0, 2],
+                    7000 + i,
+                    80,
+                ),
+                bytes: 100,
+                source: i as usize,
+            };
+            if !n.enqueue(pkt, 4) {
+                ingress_drops += 1;
+            }
+        }
+        assert_eq!(ingress_drops, 2, "node ingress tail drop");
+        assert_eq!(n.queue_len(), 4);
+        let mut upcall_drops = 0;
+        n.step(SimTime::from_millis(1), 10_000_000, |_, r| {
+            assert_eq!(r, Routing::UpcallDropped);
+            upcall_drops += 1;
+        });
+        assert_eq!(upcall_drops, 2, "upcall queue tail drop");
+        assert_eq!(n.switch().upcall_stats().queue_drops, 2);
+        assert_eq!(n.deferred_len(), 2, "two parked awaiting handlers");
+        // The switch-level counter only saw the 4 packets the ingress
+        // queue admitted — the two drop accounts never mix.
+        assert_eq!(n.switch().stats().packets, 4);
+    }
+
+    #[test]
+    fn deferred_packets_resolve_via_the_handler_step() {
+        use pi_datapath::{PipelineMode, UpcallPipelineConfig};
+        let mut n: NodeCell<usize> = NodeCell::new(
+            DpConfig {
+                pipeline: PipelineMode::Bounded(UpcallPipelineConfig::unbounded()),
+                ..DpConfig::default()
+            },
+            CostModel::default(),
+        );
+        n.switch_mut()
+            .attach_pod(u32::from_be_bytes([10, 0, 0, 2]), 1);
+        n.enqueue(
+            NodePacket {
+                key: FlowKey::tcp([10, 0, 0, 1], [10, 0, 0, 2], 1000, 80),
+                bytes: 1500,
+                source: 42,
+            },
+            10,
+        );
+        let mut got = Vec::new();
+        n.step(SimTime::from_millis(1), 1_000_000, |p, r| {
+            got.push((p.source, p.bytes, r))
+        });
+        // Same tick: the handler step resolved the miss and delivered.
+        assert_eq!(got, vec![(42, 1500, Routing::Local(1))]);
+        assert_eq!(n.deferred_len(), 0);
+        assert!(n.take_window_handler_cycles() > 0);
+        assert_eq!(n.take_window_handler_cycles(), 0, "window resets");
     }
 
     #[test]

@@ -3,8 +3,8 @@
 use pi_attack::{AttackSchedule, AttackSpec, CovertSequence};
 use pi_cms::{Cidr, IngressRule, NetworkPolicy, PolicyCompiler, Protocol};
 use pi_core::{FlowKey, SimTime};
-use pi_datapath::{DpConfig, VSwitch};
-use pi_traffic::{IperfSource, PoissonFlowSource};
+use pi_datapath::{DpConfig, PipelineMode, UpcallPipelineConfig, VSwitch};
+use pi_traffic::{ChurnSource, IperfSource, PoissonFlowSource};
 
 use crate::engine::{SimBuilder, Simulation};
 use crate::SimConfig;
@@ -159,6 +159,149 @@ pub fn fig3_scenario(params: &Fig3Params) -> (Simulation, Fig3Handles) {
     )
 }
 
+/// Parameters of the handler-saturation scenario.
+#[derive(Debug, Clone)]
+pub struct UpcallSaturationParams {
+    /// Run length.
+    pub duration: SimTime,
+    /// When the victim's connection churn begins (after the flood has
+    /// filled the flow limit, so victim flows keep upcalling).
+    pub victim_start: SimTime,
+    /// Victim connection rate, new flows/second.
+    pub victim_pps: f64,
+    /// Attacker flood bandwidth, bits/second of 64-B frames.
+    pub attack_bandwidth_bps: f64,
+    /// Megaflow table limit (small: the flood exhausts it in the first
+    /// second, which is what keeps the victim in the slow path).
+    pub flow_limit: usize,
+    /// Per-port upcall queue capacity.
+    pub queue_capacity: usize,
+    /// Handler cycle budget per tick.
+    pub handler_cycles_per_step: u64,
+    /// Per-port fair-share quota (the mitigation), if any.
+    pub port_quota_per_step: Option<u32>,
+    /// Runs the same traffic against the historical *inline* slow path
+    /// instead of the bounded pipeline (the bench's baseline row; the
+    /// queue/budget/quota knobs are ignored).
+    pub inline_baseline: bool,
+    /// Fast-path CPU budget (generous by default — the bottleneck under
+    /// study is the handler pipeline, not the megaflow walk).
+    pub cpu_cycles_per_sec: u64,
+}
+
+impl Default for UpcallSaturationParams {
+    fn default() -> Self {
+        UpcallSaturationParams {
+            duration: SimTime::from_secs(6),
+            victim_start: SimTime::from_secs(1),
+            victim_pps: 2_000.0,
+            attack_bandwidth_bps: 10e6, // ≈19.5 kpps of 64-B frames
+            flow_limit: 2_048,
+            queue_capacity: 64,
+            handler_cycles_per_step: 400_000, // ≈13 upcalls/ms
+            port_quota_per_step: None,
+            inline_baseline: false,
+            cpu_cycles_per_sec: SimConfig::default().cpu_cycles_per_sec,
+        }
+    }
+}
+
+/// Source/node indices of the built saturation scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UpcallSaturationHandles {
+    /// The victim churn source.
+    pub victim_source: usize,
+    /// The attacker flood source.
+    pub attack_source: usize,
+    /// The single simulated node.
+    pub node: usize,
+    /// The victim pod's vport (its upcall queue id).
+    pub victim_vport: u32,
+}
+
+/// Builds the handler-saturation experiment: one node whose bounded
+/// upcall pipeline is the resource under attack. An attacker pod's
+/// client sprays never-before-seen destinations
+/// ([`AttackSchedule::upcall_flood`]) — every packet upcalls, the flood
+/// fills the megaflow table to its limit within the first second and
+/// keeps the shared unroutable queue pinned at capacity. The victim is
+/// a connection-churn service ([`ChurnSource`]): its fresh flows find
+/// the flow table full (installs refused), so every connection needs a
+/// slow-path handler — which the flood has monopolised. Victim upcalls
+/// tail-drop; the per-port fair-share quota
+/// (`port_quota_per_step`) restores them.
+pub fn upcall_saturation_scenario(
+    params: &UpcallSaturationParams,
+) -> (Simulation, UpcallSaturationHandles) {
+    let cfg = SimConfig {
+        duration: params.duration,
+        cpu_cycles_per_sec: params.cpu_cycles_per_sec,
+        ..SimConfig::default()
+    };
+    let pipeline = if params.inline_baseline {
+        PipelineMode::Inline
+    } else {
+        PipelineMode::Bounded(UpcallPipelineConfig {
+            queue_capacity: params.queue_capacity,
+            handler_cycles_per_step: params.handler_cycles_per_step,
+            port_quota_per_step: params.port_quota_per_step,
+        })
+    };
+    let dp = DpConfig {
+        flow_limit: params.flow_limit,
+        pipeline,
+        ..DpConfig::default()
+    };
+    let mut b = SimBuilder::new(cfg);
+    let node = b.add_node(dp);
+
+    let victim_ip = u32::from_be_bytes([10, 1, 0, 10]);
+    let attacker_ip = u32::from_be_bytes([10, 1, 0, 66]);
+    let victim_vport = b.add_pod(node, victim_ip);
+    b.add_pod(node, attacker_ip);
+
+    // Victim: short-lived connections from the cluster block, starting
+    // once the flood owns the flow table.
+    let victim_source = b.add_source(
+        node,
+        Box::new(
+            ChurnSource::new(
+                u32::from_be_bytes([10, 2, 0, 0]),
+                victim_ip,
+                5201,
+                64,
+                params.victim_pps,
+            )
+            .starting_at(params.victim_start)
+            .named("victim"),
+        ),
+    );
+
+    // Attacker: the paced destination spray.
+    let spec = AttackSpec::masks_512(pi_cms::PolicyDialect::Kubernetes);
+    let attack_source = b.add_source(
+        node,
+        Box::new(
+            AttackSchedule::new(
+                CovertSequence::new(spec.build_target(attacker_ip)),
+                params.attack_bandwidth_bps,
+                SimTime::ZERO,
+            )
+            .upcall_flood(),
+        ),
+    );
+
+    (
+        b.build(),
+        UpcallSaturationHandles {
+            victim_source,
+            attack_source,
+            node,
+            victim_vport,
+        },
+    )
+}
+
 /// Peak-capacity measurement (E3/E4): how many packets/second one
 /// datapath core sustains as a function of the injected mask count.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -240,8 +383,7 @@ mod tests {
     #[test]
     fn capacity_collapses_with_masks() {
         let spec = AttackSpec::masks_512(PolicyDialect::Kubernetes);
-        let (base, attacked) =
-            measure_capacity(DpConfig::default(), 1_200_000_000, &spec, 2_000);
+        let (base, attacked) = measure_capacity(DpConfig::default(), 1_200_000_000, &spec, 2_000);
         assert!(base.masks <= 2, "baseline masks = {}", base.masks);
         // The baseline scan's full-exact mask is itself one of the 512,
         // so populate adds exactly the remaining 511.
@@ -254,6 +396,37 @@ mod tests {
             base.capacity_pps,
             attacked.capacity_pps
         );
+    }
+
+    #[test]
+    fn upcall_saturation_starves_then_quota_restores() {
+        let run = |quota: Option<u32>| {
+            let params = UpcallSaturationParams {
+                duration: SimTime::from_secs(4),
+                port_quota_per_step: quota,
+                ..Default::default()
+            };
+            let (sim, handles) = upcall_saturation_scenario(&params);
+            let report = sim.run();
+            let victim = report.source_totals[handles.victim_source].clone();
+            let up = report.upcall_stats[handles.node];
+            (victim, up)
+        };
+        let (victim, up) = run(None);
+        assert!(
+            victim.dropped_upcall > victim.delivered,
+            "saturated handlers drop most victim connections: {victim:?}"
+        );
+        assert!(up.queue_drops > 0);
+        assert!(up.mean_wait_steps() > 0.0, "install latency visible");
+
+        let (victim, _) = run(Some(8));
+        let offered = victim.generated;
+        assert!(
+            victim.dropped_upcall * 100 <= offered,
+            "fair share restores the victim to <1% drops: {victim:?}"
+        );
+        assert!(victim.delivered * 10 >= offered * 9, "≥90% delivered");
     }
 
     #[test]

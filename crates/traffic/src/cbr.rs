@@ -134,8 +134,8 @@ mod tests {
 
     #[test]
     fn window_bounds_emission() {
-        let mut src =
-            CbrSource::new(key(), 64, 1000.0).active_between(SimTime::from_secs(2), SimTime::from_secs(3));
+        let mut src = CbrSource::new(key(), 64, 1000.0)
+            .active_between(SimTime::from_secs(2), SimTime::from_secs(3));
         let mut out = Vec::new();
         src.generate(SimTime::ZERO, SimTime::from_secs(1), &mut out);
         assert!(out.is_empty(), "before start");

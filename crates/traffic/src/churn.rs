@@ -1,0 +1,159 @@
+//! Connection-churn source: every packet opens a brand-new flow.
+//!
+//! Models a service whose clients are short-lived (one request per
+//! connection — the unhappy common case for flow caches): each emitted
+//! packet carries a fresh `(ip_src, tp_src)` pair, so nothing it sends
+//! is ever a microflow hit and — whenever megaflow installs are refused
+//! (flow-limit pressure) or not yet landed (the bounded pipeline's
+//! miss-to-install window) — every packet is a slow-path upcall. This is
+//! the victim workload of the handler-saturation scenarios.
+
+use pi_core::{FlowKey, SimTime};
+
+use crate::source::{GenPacket, TrafficSource};
+
+/// Constant-rate stream of single-packet flows towards one destination.
+#[derive(Debug, Clone)]
+pub struct ChurnSource {
+    /// Destination pod (host order) and service port.
+    dst_ip: u32,
+    dst_port: u16,
+    /// Client address block the unique sources are drawn from.
+    src_base: u32,
+    frame_bytes: usize,
+    pps: f64,
+    start: SimTime,
+    active_ns: u64,
+    emitted: u64,
+    counter: u64,
+    label: String,
+}
+
+/// Ephemeral source ports cycled per client address (IANA-ish range).
+const PORTS_PER_CLIENT: u64 = 28_000;
+
+impl ChurnSource {
+    /// A churn stream of `pps` new connections/second of `frame_bytes`
+    /// frames from the `src_base` block towards `dst_ip:dst_port`.
+    pub fn new(src_base: u32, dst_ip: u32, dst_port: u16, frame_bytes: usize, pps: f64) -> Self {
+        ChurnSource {
+            dst_ip,
+            dst_port,
+            src_base,
+            frame_bytes,
+            pps,
+            start: SimTime::ZERO,
+            active_ns: 0,
+            emitted: 0,
+            counter: 0,
+            label: "churn".to_string(),
+        }
+    }
+
+    /// Delays the first connection until `start`.
+    #[must_use]
+    pub fn starting_at(mut self, start: SimTime) -> Self {
+        self.start = start;
+        self
+    }
+
+    /// Names the source for reports.
+    #[must_use]
+    pub fn named(mut self, label: &str) -> Self {
+        self.label = label.to_string();
+        self
+    }
+
+    /// The configured connection rate.
+    pub fn pps(&self) -> f64 {
+        self.pps
+    }
+
+    /// The `n`-th connection's flow key (deterministic; exposed so
+    /// tests can predict the stream).
+    pub fn flow(&self, n: u64) -> FlowKey {
+        let src = self.src_base.wrapping_add((n / PORTS_PER_CLIENT) as u32);
+        let sport = 1024 + (n % PORTS_PER_CLIENT) as u16;
+        FlowKey::tcp(
+            src.to_be_bytes(),
+            self.dst_ip.to_be_bytes(),
+            sport,
+            self.dst_port,
+        )
+    }
+}
+
+impl TrafficSource for ChurnSource {
+    fn generate(&mut self, from: SimTime, to: SimTime, out: &mut Vec<GenPacket>) {
+        let from = from.max(self.start);
+        if from >= to {
+            return;
+        }
+        self.active_ns += (to - from).as_nanos();
+        let target = (self.pps * self.active_ns as f64 / 1e9).floor() as u64;
+        let n = target.saturating_sub(self.emitted);
+        self.emitted = target;
+        for _ in 0..n {
+            let key = self.flow(self.counter);
+            self.counter += 1;
+            out.push(GenPacket {
+                key,
+                bytes: self.frame_bytes,
+            });
+        }
+    }
+
+    fn label(&self) -> &str {
+        &self.label
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    fn drive(s: &mut ChurnSource, from_ms: u64, to_ms: u64) -> Vec<GenPacket> {
+        let mut out = Vec::new();
+        for ms in from_ms..to_ms {
+            s.generate(
+                SimTime::from_millis(ms),
+                SimTime::from_millis(ms + 1),
+                &mut out,
+            );
+        }
+        out
+    }
+
+    #[test]
+    fn every_packet_is_a_new_flow() {
+        let mut s = ChurnSource::new(0x0a00_0a00, 0x0a01_000a, 5201, 64, 5_000.0);
+        let out = drive(&mut s, 0, 2_000);
+        assert_eq!(out.len(), 10_000, "2 s at 5 kpps");
+        let distinct: HashSet<_> = out.iter().map(|p| (p.key.ip_src, p.key.tp_src)).collect();
+        assert_eq!(distinct.len(), out.len(), "flows never repeat");
+        for p in &out {
+            assert_eq!(p.key.ip_dst, 0x0a01_000a);
+            assert_eq!(p.key.tp_dst, 5201);
+        }
+    }
+
+    #[test]
+    fn silent_before_start_and_rate_is_exact() {
+        let mut s = ChurnSource::new(1, 2, 80, 100, 1_000.0).starting_at(SimTime::from_secs(1));
+        assert!(drive(&mut s, 0, 1_000).is_empty());
+        let out = drive(&mut s, 1_000, 4_000);
+        assert_eq!(out.len(), 3_000);
+    }
+
+    #[test]
+    fn flow_sequence_is_deterministic_and_rolls_clients() {
+        let s = ChurnSource::new(0x0a00_0a00, 2, 80, 64, 1.0);
+        assert_eq!(s.flow(0), s.flow(0));
+        assert_eq!(s.flow(0).tp_src, 1024);
+        // Past the per-client port window, the client address advances.
+        let rolled = s.flow(PORTS_PER_CLIENT);
+        assert_eq!(rolled.ip_src, 0x0a00_0a01);
+        assert_eq!(rolled.tp_src, 1024);
+    }
+}

@@ -110,7 +110,11 @@ mod tests {
     }
 
     /// Drives the source for `secs` with a per-tick delivery function.
-    fn run(src: &mut IperfSource, secs: u64, mut deliver: impl FnMut(u64, usize) -> usize) -> Vec<usize> {
+    fn run(
+        src: &mut IperfSource,
+        secs: u64,
+        mut deliver: impl FnMut(u64, usize) -> usize,
+    ) -> Vec<usize> {
         let mut per_sec = Vec::new();
         let mut out = Vec::new();
         for s in 0..secs {
@@ -146,13 +150,7 @@ mod tests {
     fn sustained_loss_collapses_rate() {
         let mut src = IperfSource::new(key(), 1500, 1e9);
         // From t=2 s, the path can only carry 5% of offered load.
-        let per_sec = run(&mut src, 8, |s, sent| {
-            if s < 2 {
-                sent
-            } else {
-                sent / 20
-            }
-        });
+        let per_sec = run(&mut src, 8, |s, sent| if s < 2 { sent } else { sent / 20 });
         let before = per_sec[1] as f64;
         let after = per_sec[7] as f64;
         assert!(

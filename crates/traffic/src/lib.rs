@@ -10,6 +10,9 @@
 //! * [`PoissonFlowSource`] — background pod-to-pod chatter: flow
 //!   arrivals are Poisson, each flow sends a bounded burst. Keeps the
 //!   caches honest in scenarios.
+//! * [`ChurnSource`] — connection churn: every packet is a brand-new
+//!   flow, the workload that keeps a switch's slow path busy (the
+//!   victim of the handler-saturation scenarios).
 //!
 //! Every source implements [`TrafficSource`]: the simulator asks for the
 //! packets of each tick interval and feeds delivery/drop counts back.
@@ -18,11 +21,13 @@
 #![warn(missing_docs)]
 
 pub mod cbr;
+pub mod churn;
 pub mod iperf;
 pub mod poisson;
 pub mod source;
 
 pub use cbr::CbrSource;
+pub use churn::ChurnSource;
 pub use iperf::IperfSource;
 pub use poisson::PoissonFlowSource;
 pub use source::{GenPacket, TrafficSource};

@@ -75,8 +75,7 @@ impl PoissonFlowSource {
     }
 
     fn spawn_flow(&mut self) {
-        let (src, dst) =
-            self.endpoints[self.rng.gen_range(self.endpoints.len() as u64) as usize];
+        let (src, dst) = self.endpoints[self.rng.gen_range(self.endpoints.len() as u64) as usize];
         let sport = self.next_sport;
         self.next_sport = self.next_sport.wrapping_add(1).max(10_000);
         // Geometric length with the configured mean, at least 1.
@@ -171,8 +170,16 @@ mod tests {
         let mut out_a = Vec::new();
         let mut out_b = Vec::new();
         for ms in 0..5_000u64 {
-            a.generate(SimTime::from_millis(ms), SimTime::from_millis(ms + 1), &mut out_a);
-            b.generate(SimTime::from_millis(ms), SimTime::from_millis(ms + 1), &mut out_b);
+            a.generate(
+                SimTime::from_millis(ms),
+                SimTime::from_millis(ms + 1),
+                &mut out_a,
+            );
+            b.generate(
+                SimTime::from_millis(ms),
+                SimTime::from_millis(ms + 1),
+                &mut out_b,
+            );
         }
         assert_eq!(out_a.len(), out_b.len());
         assert!(out_a.iter().zip(&out_b).all(|(x, y)| x.key == y.key));
@@ -180,7 +187,11 @@ mod tests {
         let mut c = PoissonFlowSource::new(endpoints(), 5.0, 10.0, 50.0, 200, 8);
         let mut out_c = Vec::new();
         for ms in 0..5_000u64 {
-            c.generate(SimTime::from_millis(ms), SimTime::from_millis(ms + 1), &mut out_c);
+            c.generate(
+                SimTime::from_millis(ms),
+                SimTime::from_millis(ms + 1),
+                &mut out_c,
+            );
         }
         assert_ne!(
             out_a.iter().map(|p| p.key.tp_src).collect::<Vec<_>>(),
@@ -194,7 +205,11 @@ mod tests {
         let mut src = PoissonFlowSource::new(eps.clone(), 50.0, 5.0, 1000.0, 200, 3);
         let mut out = Vec::new();
         for ms in 0..2_000u64 {
-            src.generate(SimTime::from_millis(ms), SimTime::from_millis(ms + 1), &mut out);
+            src.generate(
+                SimTime::from_millis(ms),
+                SimTime::from_millis(ms + 1),
+                &mut out,
+            );
         }
         assert!(!out.is_empty());
         for p in &out {
@@ -209,12 +224,20 @@ mod tests {
         let mut src = PoissonFlowSource::new(endpoints(), 2.0, 3.0, 100.0, 200, 5);
         let mut out = Vec::new();
         for ms in 0..10_000u64 {
-            src.generate(SimTime::from_millis(ms), SimTime::from_millis(ms + 1), &mut out);
+            src.generate(
+                SimTime::from_millis(ms),
+                SimTime::from_millis(ms + 1),
+                &mut out,
+            );
         }
         // After arrivals stop being generated (rate set to 0), the pool drains.
         src.arrival_rate = 0.0;
         for ms in 10_000..40_000u64 {
-            src.generate(SimTime::from_millis(ms), SimTime::from_millis(ms + 1), &mut out);
+            src.generate(
+                SimTime::from_millis(ms),
+                SimTime::from_millis(ms + 1),
+                &mut out,
+            );
         }
         assert_eq!(src.live_flows(), 0, "all bounded flows must finish");
     }

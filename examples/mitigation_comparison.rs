@@ -66,7 +66,11 @@ fn main() {
     // Cache-less compiled datapath: cost bounded by the policy.
     let mut cacheless = CachelessSwitch::new();
     let pod_ip = 0x0a01_0042;
-    cacheless.attach_pod(pod_ip, 1, CompiledAcl::compile(&compile(&spec), Action::Deny));
+    cacheless.attach_pod(
+        pod_ip,
+        1,
+        CompiledAcl::compile(&compile(&spec), Action::Deny),
+    );
     let seq = CovertSequence::new(spec.build_target(pod_ip));
     for p in seq.populate_packets() {
         cacheless.process(&p);

@@ -75,15 +75,18 @@ pub mod prelude {
         CalicoPolicy, Cidr, Cloud, NetworkPolicy, PolicyCompiler, PolicyDialect, SecurityGroup,
     };
     pub use pi_core::{Field, FlowKey, FlowMask, MaskedKey, Port, SimTime};
-    pub use pi_datapath::{DpConfig, PathTaken, VSwitch};
+    pub use pi_datapath::{
+        DpConfig, PathTaken, PipelineMode, UpcallPipelineConfig, UpcallStats, VSwitch,
+    };
     pub use pi_fleet::{
         fleet_colocation, fleet_migration, BlastRadius, ClusterBuilder, ColocationParams,
         FleetBuilder, FleetConfig, FleetReport, MigrationParams,
     };
     pub use pi_metrics::{ascii_plot, CsvTable, Summary, TimeSeries};
-    pub use pi_mitigation::{CompiledAcl, MaskBudget};
+    pub use pi_mitigation::{upcall_fair_share_config, CompiledAcl, MaskBudget};
     pub use pi_sim::{
-        fig3_scenario, measure_capacity, Fig3Params, SimBuilder, SimConfig, SimReport,
+        fig3_scenario, measure_capacity, upcall_saturation_scenario, Fig3Params, SimBuilder,
+        SimConfig, SimReport, UpcallSaturationParams,
     };
-    pub use pi_traffic::{CbrSource, IperfSource, PoissonFlowSource, TrafficSource};
+    pub use pi_traffic::{CbrSource, ChurnSource, IperfSource, PoissonFlowSource, TrafficSource};
 }

@@ -34,8 +34,7 @@ fn identical_acls_share_masks_entries_add() {
     let pods: Vec<u32> = (1..=4u32)
         .map(|i| u32::from_be_bytes([10, 1, 1, i as u8]))
         .collect();
-    let attack =
-        MultiPodAttack::uniform(&pods, AttackSpec::masks_512(PolicyDialect::Kubernetes));
+    let attack = MultiPodAttack::uniform(&pods, AttackSpec::masks_512(PolicyDialect::Kubernetes));
     let (masks, entries) = run_campaign(&attack);
     assert_eq!(masks as u64, attack.predicted_masks(), "masks shared");
     assert_eq!(masks, 512);
@@ -62,8 +61,7 @@ fn attribution_still_separates_multi_pod_campaigns() {
     let pods: Vec<u32> = (1..=3u32)
         .map(|i| u32::from_be_bytes([10, 1, 1, i as u8]))
         .collect();
-    let attack =
-        MultiPodAttack::uniform(&pods, AttackSpec::masks_512(PolicyDialect::Kubernetes));
+    let attack = MultiPodAttack::uniform(&pods, AttackSpec::masks_512(PolicyDialect::Kubernetes));
     let mut sw = VSwitch::new(DpConfig::default());
     for (i, (ip, spec)) in attack.specs.iter().enumerate() {
         sw.attach_pod(*ip, i as u32 + 1);

@@ -63,7 +63,10 @@ fn attribution_names_the_attacker_amid_noise() {
             &FlowKey::tcp([10, 0, 0, 10], [10, 1, 0, 10], 40_000 + i, 5201),
             t,
         );
-        sw.process(&FlowKey::tcp([10, 0, 1, 9], [10, 1, 0, 20], 9_000 + i, 80), t);
+        sw.process(
+            &FlowKey::tcp([10, 0, 1, 9], [10, 1, 0, 20], 9_000 + i, 80),
+            t,
+        );
         t += SimTime::from_micros(10);
     }
     // Covert populate.
@@ -76,7 +79,10 @@ fn attribution_names_the_attacker_amid_noise() {
     assert_eq!(report[0].ip_dst, attacker_ip);
     assert_eq!(report[0].masks, 8192);
     let others: usize = report[1..].iter().map(|a| a.masks).sum();
-    assert!(others <= 4, "honest pods carry trivial mask counts: {others}");
+    assert!(
+        others <= 4,
+        "honest pods carry trivial mask counts: {others}"
+    );
 }
 
 /// Compiled ACLs agree with the linear reference on random whitelist
@@ -126,7 +132,10 @@ fn compiled_acl_equals_linear() {
                 *sport,
                 *dport,
             );
-            let expected = linear.classify(&pkt).map(|r| r.action).unwrap_or(Action::Deny);
+            let expected = linear
+                .classify(&pkt)
+                .map(|r| r.action)
+                .unwrap_or(Action::Deny);
             let (got, checks) = compiled.classify(&pkt);
             assert_eq!(got, expected, "packet {}", pkt);
             assert!(checks <= compiled.worst_case_checks());
@@ -157,7 +166,9 @@ fn budget_monotonicity() {
         let expected = spec.predicted_masks();
         let reported = match d1 {
             pi_mitigation::AdmissionDecision::Admit { predicted_masks } => predicted_masks,
-            pi_mitigation::AdmissionDecision::Reject { predicted_masks, .. } => predicted_masks,
+            pi_mitigation::AdmissionDecision::Reject {
+                predicted_masks, ..
+            } => predicted_masks,
         };
         assert_eq!(reported, expected);
     });

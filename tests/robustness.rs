@@ -80,6 +80,12 @@ fn dpdk_like_emc_still_vulnerable() {
 /// collision pressure: before the attack the victim's repeat packets
 /// are microflow hits; after sustained scanning, a significant share
 /// fall through to the megaflow walk.
+///
+/// The assertions are *behavioral* — warm residency is high, and the
+/// attack knocks out a large fraction of it — rather than exact counts:
+/// where each key lands is a function of the flow hash, so exact-count
+/// assertions turn any hash change into a collision lottery (this test
+/// used to pin the EMC set-index segment shift for that reason).
 #[test]
 fn emc_thrash_pushes_victim_to_megaflow_path() {
     let victim_ip = u32::from_be_bytes([10, 1, 0, 10]);
@@ -112,7 +118,14 @@ fn emc_thrash_pushes_victim_to_megaflow_path() {
         }
         t += SimTime::from_micros(10);
     }
-    assert_eq!(warm_hits, victim_keys.len(), "pre-attack: all EMC hits");
+    // Behavioral: warm flows are overwhelmingly EMC-resident. (Not
+    // exactly all 32 — a 3-way set collision among the victim's own
+    // keys is legal under any hash and thrashes one slot under LRU.)
+    assert!(
+        warm_hits * 4 >= victim_keys.len() * 3,
+        "pre-attack: ≥¾ EMC residency expected, got {warm_hits}/{}",
+        victim_keys.len()
+    );
 
     // Attack: thousands of unique covert keys through the same EMC.
     let seq = CovertSequence::new(spec.build_target(attacker_ip));
@@ -131,10 +144,12 @@ fn emc_thrash_pushes_victim_to_megaflow_path() {
         }
         t += SimTime::from_micros(10);
     }
+    // Behavioral: the thrash is observed *relative to* the warm
+    // baseline — most of the victim's residency is gone.
     assert!(
-        post_hits < victim_keys.len() / 2,
-        "attack must evict most victim EMC entries: {post_hits}/{} still hits",
-        victim_keys.len()
+        post_hits * 2 < warm_hits,
+        "attack must evict most victim EMC entries: \
+         {post_hits}/{warm_hits} warm hits survive"
     );
 }
 
