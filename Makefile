@@ -2,7 +2,7 @@
 
 CARGO ?= cargo
 
-.PHONY: build test fmt-check clippy bench bench-fleet bench-hotpath bench-upcall example-fleet clean
+.PHONY: build test fmt-check clippy bench bench-fleet bench-hotpath bench-upcall bench-detect example-fleet clean
 
 build:
 	$(CARGO) build --release
@@ -38,6 +38,13 @@ bench-hotpath:
 # BENCH_upcall.json. See README "Slow-path pipeline".
 bench-upcall:
 	$(CARGO) run --release -p pi_bench --bin upcall_saturation
+
+# Closed-loop defense sweep: time-to-detect, victim recovery and
+# benign false positives under none / static / adaptive defenses;
+# writes BENCH_detect.json. See README "Online detection & adaptive
+# defense".
+bench-detect:
+	$(CARGO) run --release -p pi_bench --bin detection_roc
 
 example-fleet:
 	$(CARGO) run --release --example fleet_blast_radius

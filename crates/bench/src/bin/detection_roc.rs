@@ -1,0 +1,217 @@
+//! `detection_roc` — the closed-loop defense, quantified.
+//!
+//! Runs the `adaptive_defense` scenario (benign churn from t = 0, an
+//! ACL-injection `upcall_flood` onset at `attack_start`, victim
+//! connection churn from the onset) under five defenses:
+//!
+//! * `none` — the starvation baseline;
+//! * `static_fair_share` — the per-port quota configured before the
+//!   run (the always-on mitigation the ablation bench studies);
+//! * `adaptive` — the [`pi_detect::DefenseController`] with default
+//!   detector tuning;
+//! * `adaptive_tight` / `adaptive_loose` — the same loop re-tuned
+//!   along the ROC trade-off. A step attack this loud saturates any
+//!   threshold magnitude, so the *reaction* axis is what actually
+//!   moves: tight halves the detector floors **and** escalates on the
+//!   first alarming sample (`confirm_samples = 1` — fastest
+//!   mitigation, most exposed to single-sample benign blips); loose
+//!   doubles the floors and demands four consecutive alarms (slowest
+//!   mitigation, most robust to blips).
+//!
+//! Per row: time-to-detect and time-to-mitigate (ms after onset),
+//! benign-phase detections/activations (the false-positive axis),
+//! victim recovery (mean delivered pps over the final window vs the
+//! offered rate), and the report-exposed top offender. The scenario is
+//! fully deterministic — one run per row.
+//!
+//! Output: `BENCH_detect.json` (override with `PI_BENCH_DETECT_OUT`).
+//! `--smoke` shrinks the run for CI.
+
+use pi_core::SimTime;
+use pi_detect::{ControllerConfig, DetectorConfig, SignalConfig};
+use pi_sim::{adaptive_defense_scenario, AdaptiveDefenseParams, DefenseMode};
+
+struct Row {
+    mode: &'static str,
+    time_to_detect_ms: Option<f64>,
+    time_to_mitigate_ms: Option<f64>,
+    benign_detections: u64,
+    benign_activations: u64,
+    activations: u64,
+    victim_offered: u64,
+    victim_delivered: u64,
+    victim_upcall_drops: u64,
+    recovery_pps: f64,
+    recovery_ratio: f64,
+    top_offender_masks: usize,
+}
+
+fn scaled(cfg: SignalConfig, f: f64) -> SignalConfig {
+    SignalConfig {
+        abs_min: cfg.abs_min * f,
+        dev_floor: cfg.dev_floor * f,
+        ..cfg
+    }
+}
+
+fn detector_scaled(f: f64) -> DetectorConfig {
+    let d = DetectorConfig::default();
+    DetectorConfig {
+        probe_depth: scaled(d.probe_depth, f),
+        mask_growth: scaled(d.mask_growth, f),
+        upcall_backlog: scaled(d.upcall_backlog, f),
+        upcall_drops: scaled(d.upcall_drops, f),
+        emc_thrash: scaled(d.emc_thrash, f),
+        ..d
+    }
+}
+
+fn run_mode(mode: &'static str, sim_secs: u64, attack_secs: u64, window_secs: u64) -> Row {
+    let defense = match mode {
+        "none" => DefenseMode::Undefended,
+        "static_fair_share" => DefenseMode::StaticFairShare(8),
+        "adaptive" => DefenseMode::adaptive(ControllerConfig::default()),
+        "adaptive_tight" => DefenseMode::adaptive(ControllerConfig {
+            detector: detector_scaled(0.5),
+            confirm_samples: 1,
+            ..ControllerConfig::default()
+        }),
+        "adaptive_loose" => DefenseMode::adaptive(ControllerConfig {
+            detector: detector_scaled(2.0),
+            confirm_samples: 4,
+            ..ControllerConfig::default()
+        }),
+        other => unreachable!("unknown mode {other}"),
+    };
+    let params = AdaptiveDefenseParams {
+        duration: SimTime::from_secs(sim_secs),
+        attack_start: SimTime::from_secs(attack_secs),
+        defense,
+        ..Default::default()
+    };
+    let (sim, handles) = adaptive_defense_scenario(&params);
+    let report = sim.run();
+    let victim = &report.source_totals[handles.victim_source];
+    let attack_start = params.attack_start;
+    let ms_after_onset = |t: SimTime| (t.as_nanos() as f64 - attack_start.as_nanos() as f64) / 1e6;
+    let (detect, mitigate, benign_detections, benign_activations, activations) =
+        match &report.defense[handles.node] {
+            Some(d) => (
+                d.first_detection().map(ms_after_onset),
+                d.first_mitigation().map(ms_after_onset),
+                d.detections.iter().filter(|e| e.at < attack_start).count() as u64,
+                d.timeline
+                    .iter()
+                    .filter(|t| t.at < attack_start && t.to == pi_detect::DefenseState::Mitigating)
+                    .count() as u64,
+                d.activations,
+            ),
+            None => (None, None, 0, 0, 0),
+        };
+    // Recovery: mean victim delivered pps over the final window,
+    // against the offered churn rate.
+    let end = params.duration;
+    let from = end - SimTime::from_secs(window_secs);
+    let recovery_bps = report.throughput_bps[handles.victim_source]
+        .mean_between(from, end + SimTime::from_nanos(1));
+    let recovery_pps = recovery_bps / (64.0 * 8.0);
+    let top_offender_masks = report.attribution[handles.node]
+        .first()
+        .map(|a| a.masks)
+        .unwrap_or(0);
+    Row {
+        mode,
+        time_to_detect_ms: detect,
+        time_to_mitigate_ms: mitigate,
+        benign_detections,
+        benign_activations,
+        activations,
+        victim_offered: victim.generated,
+        victim_delivered: victim.delivered,
+        victim_upcall_drops: victim.dropped_upcall,
+        recovery_pps,
+        recovery_ratio: recovery_pps / params.victim_pps,
+        top_offender_masks,
+    }
+}
+
+fn fmt_opt(v: Option<f64>) -> String {
+    v.map(|v| format!("{v:.0}"))
+        .unwrap_or_else(|| "null".into())
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (sim_secs, attack_secs, window_secs) = if smoke { (4, 2, 1) } else { (12, 4, 3) };
+    println!(
+        "detection_roc: {sim_secs} simulated seconds per mode, onset at {attack_secs} s, \
+         recovery window {window_secs} s"
+    );
+    println!(
+        "{:>18} {:>10} {:>12} {:>11} {:>10} {:>13} {:>15}",
+        "mode", "detect_ms", "mitigate_ms", "benign_fp", "recovery", "recovery_pps", "victim_drops"
+    );
+    let modes = [
+        "none",
+        "static_fair_share",
+        "adaptive",
+        "adaptive_tight",
+        "adaptive_loose",
+    ];
+    let rows: Vec<Row> = modes
+        .into_iter()
+        .map(|m| run_mode(m, sim_secs, attack_secs, window_secs))
+        .collect();
+    for r in &rows {
+        println!(
+            "{:>18} {:>10} {:>12} {:>11} {:>10.3} {:>13.0} {:>15}",
+            r.mode,
+            fmt_opt(r.time_to_detect_ms),
+            fmt_opt(r.time_to_mitigate_ms),
+            r.benign_activations,
+            r.recovery_ratio,
+            r.recovery_pps,
+            r.victim_upcall_drops
+        );
+    }
+
+    let json_rows: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"mode\": \"{}\", \"time_to_detect_ms\": {}, \
+                 \"time_to_mitigate_ms\": {}, \"benign_detections\": {}, \
+                 \"benign_activations\": {}, \"activations\": {}, \
+                 \"victim_offered\": {}, \"victim_delivered\": {}, \
+                 \"victim_upcall_drops\": {}, \"recovery_pps\": {:.1}, \
+                 \"recovery_ratio\": {:.4}, \"top_offender_masks\": {}}}",
+                r.mode,
+                fmt_opt(r.time_to_detect_ms),
+                fmt_opt(r.time_to_mitigate_ms),
+                r.benign_detections,
+                r.benign_activations,
+                r.activations,
+                r.victim_offered,
+                r.victim_delivered,
+                r.victim_upcall_drops,
+                r.recovery_pps,
+                r.recovery_ratio,
+                r.top_offender_masks
+            )
+        })
+        .collect();
+    let defaults = AdaptiveDefenseParams::default();
+    let json = format!(
+        "{{\n  \"bench\": \"detection_roc\",\n  \"scenario\": \"adaptive_defense\",\n  \
+         \"sim_secs\": {sim_secs},\n  \"attack_start_secs\": {attack_secs},\n  \
+         \"recovery_window_secs\": {window_secs},\n  \"victim_pps_offered\": {},\n  \
+         \"benign_pps\": {},\n  \"attack_bandwidth_bps\": {:.0},\n  \"rows\": [\n{}\n  ]\n}}\n",
+        defaults.victim_pps,
+        defaults.benign_pps,
+        defaults.attack_bandwidth_bps,
+        json_rows.join(",\n")
+    );
+    let out = std::env::var("PI_BENCH_DETECT_OUT").unwrap_or_else(|_| "BENCH_detect.json".into());
+    std::fs::write(&out, json).expect("write BENCH_detect.json");
+    println!("\nwrote {out}");
+}

@@ -168,6 +168,32 @@ impl<V> TupleSpaceSearch<V> {
         self
     }
 
+    /// Whether staged lookup is currently enabled.
+    pub fn staged_lookup(&self) -> bool {
+        self.staged_enabled
+    }
+
+    /// Toggles staged lookup at runtime. Enabling retrofits a
+    /// [`StagedIndex`] onto every existing subtable (one pass over its
+    /// entries), so lookups behave exactly as if the classifier had been
+    /// built staged from the start; disabling drops the indexes. A
+    /// no-op when the flag already matches.
+    pub fn set_staged_lookup(&mut self, enabled: bool) {
+        if self.staged_enabled == enabled {
+            return;
+        }
+        self.staged_enabled = enabled;
+        for st in &mut self.subtables {
+            st.staged = enabled.then(|| {
+                let mut staged = StagedIndex::new(&st.mask);
+                for (key, _) in st.entries.iter() {
+                    staged.insert(key);
+                }
+                staged
+            });
+        }
+    }
+
     /// Total entries across all subtables.
     pub fn len(&self) -> usize {
         self.entry_count
@@ -739,6 +765,52 @@ mod tests {
         assert_eq!(plain_out.value, None);
         assert_eq!(staged_out.stage_checks, 48);
         assert_eq!(plain_out.stage_checks, 48);
+    }
+
+    #[test]
+    fn set_staged_lookup_retrofits_existing_subtables() {
+        // Same population as the mismatch test, but staged lookup is
+        // flipped on *after* the entries exist: the retrofit must make
+        // the classifier behave exactly like a natively staged one.
+        let build = || {
+            let mut tss = TupleSpaceSearch::default();
+            for len in 1..=16u8 {
+                let mk = MaskedKey::new(
+                    FlowKey::tcp([10, 0, 0, 0], [0, 0, 0, 0], 0, 80).with(Field::InPort, 1),
+                    pi_core::FlowMask::default()
+                        .with_exact(Field::InPort)
+                        .with_prefix(Field::IpSrc, len)
+                        .with_exact(Field::TpDst),
+                );
+                tss.insert(mk, len);
+            }
+            tss
+        };
+        let mut retrofitted = build();
+        assert!(!retrofitted.staged_lookup());
+        retrofitted.set_staged_lookup(true);
+        assert!(retrofitted.staged_lookup());
+        let native = build();
+        // Rebuild natively staged for comparison.
+        let mut staged_native = TupleSpaceSearch::default().with_staged_lookup();
+        for (mk, v) in native.iter() {
+            staged_native.insert(mk, *v);
+        }
+        let mut foreign = FlowKey::tcp([10, 0, 0, 1], [0, 0, 0, 0], 0, 80);
+        foreign.in_port = 2;
+        let a = retrofitted.lookup(&foreign);
+        let b = staged_native.lookup(&foreign);
+        assert_eq!(a.value, b.value);
+        assert_eq!(a.probes, b.probes);
+        assert_eq!(a.stage_checks, b.stage_checks);
+        assert_eq!(a.stage_checks, 16, "staged abort at stage 1");
+        // Hits are still found, and toggling back off restores full
+        // hash work.
+        let member = FlowKey::tcp([10, 0, 0, 1], [0, 0, 0, 0], 0, 80).with(Field::InPort, 1);
+        assert!(retrofitted.lookup(&member).value.is_some());
+        retrofitted.set_staged_lookup(false);
+        let off = retrofitted.lookup(&foreign);
+        assert_eq!(off.stage_checks, 48, "full hash work once disabled");
     }
 
     #[test]

@@ -143,6 +143,31 @@ impl MegaflowCache {
         InstallOutcome::Installed
     }
 
+    /// Toggles staged subtable lookup at runtime (retrofitting or
+    /// dropping the per-subtable stage indexes) — the adaptive defense
+    /// controller's actuator for the staged-lookup mitigation.
+    pub fn set_staged_lookup(&mut self, enabled: bool) {
+        self.tss.set_staged_lookup(enabled);
+    }
+
+    /// Evicts every megaflow whose mask pins `ip_dst` exactly to `ip` —
+    /// the offender-quarantine actuator: because this pipeline's
+    /// megaflows always pin the destination, this removes precisely the
+    /// entries (and, once empty, the masks) one pod's ACL generated.
+    /// Returns how many entries were removed.
+    pub fn evict_destination(&mut self, ip: u32) -> usize {
+        let full = pi_core::Field::IpDst.full_mask();
+        let mut evicted = 0;
+        self.tss.retain(|mk, _| {
+            let doomed = mk.mask().field(pi_core::Field::IpDst) == full && mk.key().ip_dst == ip;
+            if doomed {
+                evicted += 1;
+            }
+            !doomed
+        });
+        evicted
+    }
+
     /// Evicts entries idle for longer than `idle_timeout`; returns how
     /// many were removed. Empty subtables (masks) disappear with their
     /// last entry, which is what lets a victim recover after an attack
@@ -285,6 +310,54 @@ mod tests {
         let out = c.lookup(&FlowKey::tcp([200, 0, 0, 1], [0, 0, 0, 0], 0, 0), t);
         assert_eq!(out.value, None);
         assert_eq!(out.probes, 16);
+    }
+
+    #[test]
+    fn evict_destination_removes_only_the_pinned_dst() {
+        let mut c = cache();
+        let t = SimTime::ZERO;
+        let pinned = |dst: [u8; 4], len: u8| {
+            MaskedKey::new(
+                FlowKey::tcp([10, 0, 0, 0], dst, 0, 0),
+                FlowMask::default()
+                    .with_prefix(Field::IpSrc, len)
+                    .with_exact(Field::IpDst),
+            )
+        };
+        c.install(pinned([10, 0, 0, 9], 8), Action::Deny, t);
+        c.install(pinned([10, 0, 0, 9], 16), Action::Deny, t);
+        c.install(pinned([10, 0, 0, 7], 8), Action::Allow, t);
+        // A dst-wildcarded megaflow (not produced by this pipeline, but
+        // legal in the cache) must never be evicted by dst.
+        c.install(mk([12, 0, 0, 0], 8), Action::Allow, t);
+        assert_eq!(c.evict_destination(u32::from_be_bytes([10, 0, 0, 9])), 2);
+        assert_eq!(c.len(), 2);
+        assert!(c.get(&pinned([10, 0, 0, 7], 8)).is_some());
+        assert!(c.get(&mk([12, 0, 0, 0], 8)).is_some());
+        assert_eq!(c.evict_destination(u32::from_be_bytes([9, 9, 9, 9])), 0);
+        // The quarantined destination's masks disappeared with it: only
+        // the /8+dst mask (shared with .7) and the wildcard-dst mask
+        // remain.
+        assert_eq!(c.mask_count(), 2);
+    }
+
+    #[test]
+    fn staged_lookup_toggles_at_runtime() {
+        let mut c = cache();
+        c.install(mk([10, 0, 0, 0], 8), Action::Allow, SimTime::ZERO);
+        c.set_staged_lookup(true);
+        // Still finds its entries after the retrofit.
+        let out = c.lookup(
+            &FlowKey::tcp([10, 1, 1, 1], [0, 0, 0, 0], 0, 0),
+            SimTime::ZERO,
+        );
+        assert_eq!(out.value, Some(Action::Allow));
+        c.set_staged_lookup(false);
+        let out = c.lookup(
+            &FlowKey::tcp([10, 1, 1, 1], [0, 0, 0, 0], 0, 0),
+            SimTime::ZERO,
+        );
+        assert_eq!(out.value, Some(Action::Allow));
     }
 
     #[test]

@@ -155,6 +155,10 @@ pub struct UpcallStats {
     /// per (port, step) whose backlog was left waiting — not once per
     /// waiting upcall.
     pub quota_deferrals: u64,
+    /// Megaflow misses refused service because their destination was
+    /// quarantined by the defense controller — these never reach a
+    /// queue (and are charged only the fast-path share of the miss).
+    pub quarantine_drops: u64,
     /// Total whole steps handled upcalls spent queued (0 = resolved at
     /// the first drain after arrival).
     pub wait_steps: u64,
@@ -337,6 +341,13 @@ impl UpcallQueue {
     /// port per step, not per waiting upcall).
     pub fn note_quota_deferral(&mut self) {
         self.stats.quota_deferrals += 1;
+    }
+
+    /// Records a miss refused service because its destination is
+    /// quarantined (works under both pipeline modes — quarantine is a
+    /// slow-path admission decision, not a queue property).
+    pub fn note_quarantine_drop(&mut self) {
+        self.stats.quarantine_drops += 1;
     }
 
     /// Records a resolution: per-port counters and the wait-step

@@ -13,7 +13,7 @@
 //! isolation gap the attack exploits: masks created by feeding one
 //! tenant's ACL are walked by every other tenant's packets.
 
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 
 use pi_classifier::{Action, FlowTable};
 use pi_core::{Field, FlowKey, KeyWords, SimTime, SplitMix64};
@@ -228,6 +228,9 @@ pub struct VSwitch {
     stats: SwitchStats,
     /// The bounded upcall pipeline (idle under [`PipelineMode::Inline`]).
     pipeline: UpcallQueue,
+    /// Destination IPs under quarantine: their megaflow misses are
+    /// refused slow-path service (BTreeSet for deterministic listing).
+    quarantined: BTreeSet<u32>,
     rng: SplitMix64,
 }
 
@@ -262,6 +265,7 @@ impl VSwitch {
             generation: 0,
             stats: SwitchStats::default(),
             pipeline: UpcallQueue::default(),
+            quarantined: BTreeSet::new(),
             rng,
         }
     }
@@ -269,6 +273,92 @@ impl VSwitch {
     /// The active configuration.
     pub fn config(&self) -> &DpConfig {
         &self.config
+    }
+
+    // --- Runtime-mutable knobs -------------------------------------
+    //
+    // The adaptive defense controller (`pi_detect`) flips mitigations
+    // while the switch serves traffic. Each setter keeps the live
+    // `DpConfig` in sync, so mutating a fresh switch to a config is
+    // observably identical to constructing it with that config (pinned
+    // by `tests/adaptive_defense.rs`).
+
+    /// Sets the per-port fair-share quota of the bounded upcall
+    /// pipeline at runtime. Returns false (and changes nothing) when
+    /// the switch runs the inline pipeline — the quota is a property of
+    /// bounded handler service.
+    pub fn set_port_quota(&mut self, quota: Option<u32>) -> bool {
+        match &mut self.config.pipeline {
+            PipelineMode::Bounded(cfg) => {
+                cfg.port_quota_per_step = quota;
+                true
+            }
+            PipelineMode::Inline => false,
+        }
+    }
+
+    /// Switches the slow-path pipeline mode at runtime. Switching away
+    /// from a bounded pipeline is refused (returns false) while upcalls
+    /// are still queued — the caller must drain first, otherwise the
+    /// pending packets would strand with no handler to resolve them.
+    /// Bounded→Bounded retunes the live queue/budget/quota knobs
+    /// without touching queued work.
+    pub fn set_pipeline(&mut self, mode: PipelineMode) -> bool {
+        if matches!(mode, PipelineMode::Inline)
+            && self.config.pipeline.is_bounded()
+            && self.pipeline.total_depth() > 0
+        {
+            return false;
+        }
+        self.config.pipeline = mode;
+        true
+    }
+
+    /// Toggles staged subtable lookup at runtime, retrofitting (or
+    /// dropping) the per-subtable stage indexes of the live megaflow
+    /// cache.
+    pub fn set_staged_lookup(&mut self, enabled: bool) {
+        self.config.staged_lookup = enabled;
+        self.mfc.set_staged_lookup(enabled);
+    }
+
+    /// Quarantines the destination `ip`: its cached megaflows are
+    /// evicted immediately (with the EMC invalidated if anything was
+    /// removed) and, until released, its megaflow misses are refused
+    /// slow-path service — counted in
+    /// [`UpcallStats::quarantine_drops`] and surfaced to callers as
+    /// [`PathTaken::UpcallDropped`]. Returns the number of megaflows
+    /// evicted.
+    ///
+    /// This is the offender actuator for the mask-inflation attack:
+    /// the megaflows carrying the injected masks are attributable by
+    /// `ip_dst` (every megaflow pins it), so eviction removes exactly
+    /// the attacker's subtables, and the refusal stops the covert
+    /// stream from rebuilding them.
+    pub fn quarantine(&mut self, ip: u32) -> usize {
+        self.quarantined.insert(ip);
+        let evicted = self.mfc.evict_destination(ip);
+        if evicted > 0 {
+            // Evicted megaflows may back EMC entries.
+            self.generation += 1;
+        }
+        evicted
+    }
+
+    /// Lifts the quarantine on `ip`; its traffic reaches the slow path
+    /// again. Returns whether it was quarantined.
+    pub fn release_quarantine(&mut self, ip: u32) -> bool {
+        self.quarantined.remove(&ip)
+    }
+
+    /// Whether `ip` is currently quarantined.
+    pub fn is_quarantined(&self, ip: u32) -> bool {
+        self.quarantined.contains(&ip)
+    }
+
+    /// Currently quarantined destinations, ascending.
+    pub fn quarantined_destinations(&self) -> Vec<u32> {
+        self.quarantined.iter().copied().collect()
     }
 
     /// The cycle cost model in force.
@@ -486,6 +576,28 @@ impl VSwitch {
             return self.finish(action, path, key);
         }
 
+        // Quarantine gate: a miss towards a quarantined destination is
+        // refused slow-path service outright — no classification, no
+        // megaflow, no queue slot, no handler cycles. Only the
+        // fast-path share of the miss was spent. This is what starves
+        // an offender's covert stream of its amplification.
+        if !self.quarantined.is_empty() && self.quarantined.contains(&key.ip_dst) {
+            self.pipeline.note_quarantine_drop();
+            let path = PathTaken::UpcallDropped {
+                probes: out.probes,
+                stage_checks: out.stage_checks,
+                emc_probed,
+            };
+            let cycles = self.cost.packet_cycles(&path);
+            self.stats.cycles += cycles;
+            return ProcessOutcome {
+                verdict: Action::Controller,
+                output: None,
+                path,
+                cycles,
+            };
+        }
+
         // Level 3: the slow path. Under the bounded pipeline the miss is
         // deferred onto the destination port's upcall queue (tail-drop
         // when full); only the fast-path share of the work is charged
@@ -644,8 +756,34 @@ impl VSwitch {
     /// Services one pending upcall: full classification against the
     /// destination pod's ACL, megaflow generation (staged, not yet
     /// installed), and the EMC promotion.
+    ///
+    /// A pending upcall whose destination was quarantined *after* it
+    /// was queued is refused here instead: no classification, no
+    /// install, no handler cycles — otherwise the backlog queued
+    /// before the quarantine would re-install the offender's
+    /// megaflows right after [`VSwitch::quarantine`] evicted them.
     fn resolve_upcall(&mut self, pending: PendingUpcall, now: SimTime) -> ResolvedUpcall {
         let key = pending.key;
+        if !self.quarantined.is_empty() && self.quarantined.contains(&key.ip_dst) {
+            self.pipeline.note_quarantine_drop();
+            let path = PathTaken::UpcallDropped {
+                probes: pending.probes,
+                stage_checks: pending.stage_checks,
+                emc_probed: pending.emc_probed,
+            };
+            return ResolvedUpcall {
+                token: pending.token,
+                key,
+                outcome: ProcessOutcome {
+                    verdict: Action::Controller,
+                    output: None,
+                    path,
+                    // The fast-path share was charged at enqueue;
+                    // refusing costs the handler nothing.
+                    cycles: 0,
+                },
+            };
+        }
         let (action, acl_mask, rules_examined) = match self.routes.get(&key.ip_dst) {
             Some(port) => {
                 let up = port.slowpath.process_upcall(&key);
@@ -1116,6 +1254,107 @@ mod tests {
         let mut verdicts = Vec::new();
         sw.drain_upcalls(t, |r| verdicts.push(r.outcome.verdict));
         assert_eq!(verdicts, vec![Action::Deny], "classified under the new ACL");
+    }
+
+    #[test]
+    fn quarantine_evicts_and_refuses_slow_path_in_inline_mode() {
+        let mut sw = switch_with_fig2_acl();
+        let t = SimTime::from_millis(1);
+        let pod_ip = u32::from_be_bytes(POD_IP);
+        // Build some megaflows (one allow, one deny mask).
+        sw.process(&pkt([10, 1, 1, 1], 1000), t);
+        sw.process(&pkt([128, 0, 0, 1], 1), t);
+        assert!(sw.megaflow_count() >= 2);
+        let evicted = sw.quarantine(pod_ip);
+        assert_eq!(evicted, sw.mfc_stats().installs as usize);
+        assert_eq!(sw.megaflow_count(), 0, "offender megaflows evicted");
+        assert!(sw.is_quarantined(pod_ip));
+        assert_eq!(sw.quarantined_destinations(), vec![pod_ip]);
+        // Traffic to the quarantined pod is refused cheaply: no upcall,
+        // no policy classification, EMC no longer serves stale hits.
+        let o = sw.process(&pkt([10, 1, 1, 1], 1000), t + SimTime::from_millis(1));
+        assert!(o.path.is_upcall_dropped());
+        assert_eq!(o.verdict, Action::Controller);
+        assert_eq!(sw.upcall_stats().quarantine_drops, 1);
+        assert_eq!(sw.stats().policy_drops, 1, "only the pre-quarantine deny");
+        assert_eq!(sw.megaflow_count(), 0, "nothing rebuilt");
+        // Release restores normal service.
+        assert!(sw.release_quarantine(pod_ip));
+        assert!(!sw.release_quarantine(pod_ip));
+        let o = sw.process(&pkt([10, 1, 1, 1], 1000), t + SimTime::from_millis(2));
+        assert!(o.path.is_upcall());
+        assert_eq!(o.verdict, Action::Allow);
+    }
+
+    #[test]
+    fn quarantine_refuses_before_the_bounded_queue() {
+        let mut sw = bounded_switch(crate::upcall::UpcallPipelineConfig::unbounded());
+        let t = SimTime::from_millis(1);
+        sw.quarantine(u32::from_be_bytes(POD_IP));
+        let o = sw.process(&pkt([10, 1, 1, 1], 1000), t);
+        assert!(o.path.is_upcall_dropped());
+        let up = sw.upcall_stats();
+        assert_eq!(up.quarantine_drops, 1);
+        assert_eq!(up.enqueued, 0, "never reached a queue");
+        assert_eq!(up.queue_drops, 0, "distinct from capacity tail drops");
+        assert_eq!(sw.upcall_queue_depth(), 0);
+    }
+
+    #[test]
+    fn quarantine_refuses_the_backlog_queued_before_it() {
+        // Misses queued *before* the quarantine must not resolve into
+        // fresh megaflows afterwards — that would rebuild exactly the
+        // state the quarantine evicted.
+        let mut sw = bounded_switch(crate::upcall::UpcallPipelineConfig::unbounded());
+        let t = SimTime::from_millis(1);
+        for i in 0..4u16 {
+            assert!(sw
+                .process(&pkt([10, 9, 0, i as u8 + 1], 7000 + i), t)
+                .path
+                .is_queued());
+        }
+        sw.quarantine(u32::from_be_bytes(POD_IP));
+        let mut refused = 0;
+        sw.drain_upcalls(t, |r| {
+            assert!(r.outcome.path.is_upcall_dropped());
+            assert_eq!(r.outcome.verdict, Action::Controller);
+            refused += 1;
+        });
+        assert_eq!(refused, 4);
+        assert_eq!(sw.megaflow_count(), 0, "backlog must not rebuild megaflows");
+        assert_eq!(sw.mask_count(), 0);
+        assert_eq!(sw.upcall_stats().quarantine_drops, 4);
+        assert_eq!(sw.stats().upcalls, 0, "refusals are not resolutions");
+        assert_eq!(sw.upcall_queue_depth(), 0, "queue fully drained");
+    }
+
+    #[test]
+    fn runtime_quota_and_pipeline_knobs() {
+        let mut sw = switch_with_fig2_acl();
+        // Inline: quota is meaningless.
+        assert!(!sw.set_port_quota(Some(4)));
+        // Inline → bounded is always allowed.
+        assert!(sw.set_pipeline(PipelineMode::Bounded(
+            crate::upcall::UpcallPipelineConfig::unbounded(),
+        )));
+        assert!(sw.set_port_quota(Some(4)));
+        match sw.config().pipeline {
+            PipelineMode::Bounded(cfg) => assert_eq!(cfg.port_quota_per_step, Some(4)),
+            PipelineMode::Inline => unreachable!(),
+        }
+        // Queue a miss; bounded → inline must be refused while pending.
+        let t = SimTime::from_millis(1);
+        assert!(sw.process(&pkt([10, 1, 1, 1], 1000), t).path.is_queued());
+        assert!(!sw.set_pipeline(PipelineMode::Inline));
+        sw.drain_upcalls(t, |_| {});
+        assert!(sw.set_pipeline(PipelineMode::Inline));
+        assert_eq!(sw.config().pipeline, PipelineMode::Inline);
+        // Staged lookup toggles live and tracks the config.
+        assert!(!sw.config().staged_lookup);
+        sw.set_staged_lookup(true);
+        assert!(sw.config().staged_lookup);
+        let o = sw.process(&pkt([10, 2, 2, 2], 2000), t + SimTime::from_millis(1));
+        assert!(o.verdict.permits(), "cache still serves after retrofit");
     }
 
     #[test]

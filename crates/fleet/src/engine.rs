@@ -21,6 +21,7 @@ use std::thread;
 use pi_classifier::FlowTable;
 use pi_core::{Port, SimTime};
 use pi_datapath::{CostModel, DpConfig};
+use pi_detect::DefenseController;
 use pi_sim::NodeCell;
 use pi_traffic::TrafficSource;
 
@@ -46,6 +47,7 @@ pub struct FleetBuilder {
     acls: Vec<(u32, FlowTable)>,
     sources: Vec<(usize, Box<dyn TrafficSource + Send>)>,
     migrations: Vec<MigrationSpec>,
+    defenses: Vec<(usize, DefenseController)>,
 }
 
 impl FleetBuilder {
@@ -60,6 +62,7 @@ impl FleetBuilder {
             acls: Vec::new(),
             sources: Vec::new(),
             migrations: Vec::new(),
+            defenses: Vec::new(),
         }
     }
 
@@ -115,6 +118,14 @@ impl FleetBuilder {
         self.migrations.push(MigrationSpec { at, ip, to_host });
     }
 
+    /// Attaches a shard-local closed-loop defense controller to `host`,
+    /// run every [`pi_sim::SimConfig::defense_interval`]. Controllers
+    /// are strictly shard-local state, so worker-count determinism is
+    /// preserved.
+    pub fn attach_defense(&mut self, host: usize, controller: DefenseController) {
+        self.defenses.push((host, controller));
+    }
+
     /// Finalises the topology.
     pub fn build(self) -> FleetSim {
         assert!(!self.hosts.is_empty(), "need at least one host");
@@ -146,6 +157,10 @@ impl FleetBuilder {
             let ok = nodes[host].switch_mut().install_acl(ip, table.clone());
             assert!(ok, "ACL install must succeed on the home switch");
             acl_map.insert(ip, table);
+        }
+
+        for (host, controller) in self.defenses {
+            nodes[host].attach_defense(controller);
         }
 
         let source_home: Vec<usize> = self.sources.iter().map(|(h, _)| *h).collect();
@@ -289,6 +304,7 @@ impl FleetSim {
             sample_every_ticks: (sim.sample_interval.as_nanos() / sim.tick.as_nanos()).max(1),
             window_secs: sim.sample_interval.as_secs_f64(),
             cpu_cycles_per_sec: sim.cpu_cycles_per_sec,
+            defense_every_ticks: sim.defense_every_ticks(),
         };
         let tick_ns = sim.tick.as_nanos();
         let ticks = sim.tick_count();

@@ -202,6 +202,88 @@ mod tests {
     }
 
     #[test]
+    fn shard_local_controllers_detect_and_mitigate_deterministically() {
+        use pi_attack::{AttackSchedule, AttackSpec, CovertSequence};
+        use pi_datapath::{PipelineMode, UpcallPipelineConfig};
+        use pi_detect::DefenseController;
+        use pi_traffic::ChurnSource;
+
+        let run = |workers: usize| {
+            let dp = DpConfig {
+                flow_limit: 64,
+                pipeline: PipelineMode::Bounded(UpcallPipelineConfig {
+                    queue_capacity: 16,
+                    // ~12 upcalls/step: the controller's default quota
+                    // (8) must leave handler headroom for the victim —
+                    // a quota above the whole budget protects nobody.
+                    handler_cycles_per_step: 400_000,
+                    port_quota_per_step: None,
+                }),
+                ..DpConfig::default()
+            };
+            let mut b = FleetBuilder::new(small_cfg(5, workers));
+            let h0 = b.add_host(dp.clone());
+            let h1 = b.add_host(dp);
+            b.add_pod(h0, ip([10, 0, 0, 2])); // victim service pod
+            b.add_pod(h1, ip([10, 1, 0, 2])); // attacker client pod
+            b.add_source(
+                h1,
+                Box::new(
+                    ChurnSource::new(ip([10, 0, 10, 0]), ip([10, 0, 0, 2]), 80, 64, 2_000.0)
+                        .starting_at(SimTime::from_secs(2))
+                        .named("victim"),
+                ),
+            );
+            // Flood at host 0 from t = 1 s (1 s of benign warm-up for
+            // the host-0 controller's baselines).
+            let spec = AttackSpec::masks_512(pi_cms::PolicyDialect::Kubernetes);
+            b.add_source(
+                h0,
+                Box::new(
+                    AttackSchedule::new(
+                        CovertSequence::new(spec.build_target(ip([10, 1, 0, 2]))),
+                        10e6,
+                        SimTime::from_secs(1),
+                    )
+                    .upcall_flood(),
+                ),
+            );
+            // Controllers on both hosts; host 1 sees nothing.
+            b.attach_defense(h0, DefenseController::with_defaults());
+            b.attach_defense(h1, DefenseController::with_defaults());
+            b.build().run()
+        };
+
+        let report = run(2);
+        let d0 = report.defense[0].as_ref().expect("host 0 defended");
+        let d1 = report.defense[1].as_ref().expect("host 1 defended");
+        assert!(d0.activations >= 1, "host 0 must mitigate: {d0:?}");
+        assert_eq!(d1.activations, 0, "host 1 stays quiet");
+        assert!(d1.detections.is_empty());
+        // The blast radius names host 0's detection and mitigation.
+        let blast = report.blast_radius(SimTime::from_secs(1), &[0], 0.5, 1e9);
+        assert_eq!(blast.detections.len(), 1);
+        assert_eq!(blast.detections[0].0, 0);
+        assert!(blast.detections[0].1 >= SimTime::from_secs(1), "post-onset");
+        assert_eq!(blast.mitigations.len(), 1);
+        assert!(blast.mitigations[0].1 >= blast.detections[0].1);
+        // The mitigated victim outperforms the unfair static baseline
+        // of `shards_inherit_the_bounded_pipeline...`: most of its
+        // post-mitigation connections complete.
+        let victim = &report.source_totals[0];
+        assert!(
+            victim.delivered > victim.dropped_upcall,
+            "quota restores the victim: {victim:?}"
+        );
+        // Determinism: controllers are shard-local, so worker count
+        // changes nothing — totals, defense timelines, attribution.
+        let single = run(1);
+        assert_eq!(single.source_totals, report.source_totals);
+        assert_eq!(single.defense, report.defense);
+        assert_eq!(single.attribution, report.attribution);
+    }
+
+    #[test]
     fn worker_count_does_not_change_results() {
         let run = |workers: usize| {
             let mut b = FleetBuilder::new(small_cfg(3, workers));

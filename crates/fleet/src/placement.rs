@@ -116,6 +116,11 @@ impl ClusterBuilder {
         self.fleet.schedule_migration(at, ip, to_host);
     }
 
+    /// Attaches a shard-local defense controller to `host`.
+    pub fn attach_defense(&mut self, host: usize, controller: pi_detect::DefenseController) {
+        self.fleet.attach_defense(host, controller);
+    }
+
     /// Finalises the cluster.
     pub fn build(self) -> FleetSim {
         self.fleet.build()

@@ -3,6 +3,7 @@
 
 use pi_core::SimTime;
 use pi_datapath::{SwitchStats, UpcallStats};
+use pi_detect::{attribute_masks, DefenseReport, MaskAttribution};
 use pi_metrics::{degradation_ratio, sum_series, TimeSeries};
 use pi_sim::SourceTotals;
 
@@ -37,6 +38,12 @@ pub struct FleetReport {
     pub upcall_stats: Vec<UpcallStats>,
     /// Per-source totals (global source order).
     pub source_totals: Vec<SourceTotals>,
+    /// Per-host defense-controller reports, `None` for undefended
+    /// hosts.
+    pub defense: Vec<Option<DefenseReport>>,
+    /// Final per-destination mask attribution per host — the offender
+    /// list, assembled once so benches never re-walk megaflow caches.
+    pub attribution: Vec<Vec<MaskAttribution>>,
 }
 
 /// How far one injected policy reaches: which co-located tenants and
@@ -55,6 +62,12 @@ pub struct BlastRadius {
     /// only hosts with a nonzero count — the handler-saturation
     /// footprint of the attack, visible even when throughput holds up.
     pub upcall_drops: Vec<(usize, u64)>,
+    /// Detection timeline: defended hosts whose controller raised at
+    /// least one detection, with the first detection time.
+    pub detections: Vec<(usize, SimTime)>,
+    /// Mitigation timeline: defended hosts that escalated to
+    /// Mitigating, with the time mitigations were first applied.
+    pub mitigations: Vec<(usize, SimTime)>,
 }
 
 impl BlastRadius {
@@ -81,9 +94,13 @@ impl FleetReport {
         let mut handler_cps = Vec::with_capacity(hosts);
         let mut stats = Vec::with_capacity(hosts);
         let mut upcall = Vec::with_capacity(hosts);
-        for shard in shards {
+        let mut defense = Vec::with_capacity(hosts);
+        let mut attribution = Vec::with_capacity(hosts);
+        for mut shard in shards {
             stats.push(shard.stats());
             upcall.push(shard.node.switch().upcall_stats());
+            attribution.push(attribute_masks(shard.node.switch()));
+            defense.push(shard.node.take_defense_report());
             masks.push(shard.masks);
             megaflows.push(shard.megaflows);
             cpu.push(shard.cpu);
@@ -114,7 +131,15 @@ impl FleetReport {
             switch_stats: stats,
             upcall_stats: upcall,
             source_totals: totals.into_iter().map(|t| t.expect("source")).collect(),
+            defense,
+            attribution,
         }
+    }
+
+    /// Offenders on `host`: destinations whose final mask count
+    /// exceeds `threshold`.
+    pub fn offenders(&self, host: usize, threshold: usize) -> Vec<MaskAttribution> {
+        pi_detect::offenders(&self.attribution[host], threshold)
     }
 
     /// Total packets the fleet's switches processed — the work metric
@@ -198,11 +223,25 @@ impl FleetReport {
             .filter(|(_, u)| u.queue_drops > 0)
             .map(|(i, u)| (i, u.queue_drops))
             .collect();
+        let detections = self
+            .defense
+            .iter()
+            .enumerate()
+            .filter_map(|(i, d)| Some((i, d.as_ref()?.first_detection()?)))
+            .collect();
+        let mitigations = self
+            .defense
+            .iter()
+            .enumerate()
+            .filter_map(|(i, d)| Some((i, d.as_ref()?.first_mitigation()?)))
+            .collect();
         BlastRadius {
             ratios,
             degraded_sources,
             affected_hosts,
             upcall_drops,
+            detections,
+            mitigations,
         }
     }
 }
@@ -218,6 +257,8 @@ mod tests {
             degraded_sources: vec![],
             affected_hosts: vec![],
             upcall_drops: vec![],
+            detections: vec![],
+            mitigations: vec![],
         };
         assert_eq!(b.degraded_fraction(), 0.0);
     }

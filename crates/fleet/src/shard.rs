@@ -28,6 +28,7 @@ pub(crate) struct TickCtx {
     pub sample_every_ticks: u64,
     pub window_secs: f64,
     pub cpu_cycles_per_sec: u64,
+    pub defense_every_ticks: u64,
 }
 
 /// What happened to one packet, reported back to its source's shard.
@@ -317,6 +318,12 @@ impl HostShard {
             self.settle(source, outcome, &mut out);
         }
         self.node.revalidate(next);
+        // 4.5 Shard-local defense control loop (no-op when no
+        //     controller is attached). Strictly local state: worker
+        //     count cannot influence what a controller observes.
+        if (tick + 1).is_multiple_of(ctx.defense_every_ticks) {
+            self.node.run_defense(next);
+        }
 
         // 5. Feedback to local sources.
         for slot in self.slots.iter_mut() {

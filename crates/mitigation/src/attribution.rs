@@ -9,7 +9,7 @@
 
 use std::collections::HashMap;
 
-use pi_core::Field;
+use pi_core::{Field, MaskedKey};
 use pi_datapath::VSwitch;
 
 /// Mask accounting for one destination IP.
@@ -23,12 +23,15 @@ pub struct MaskAttribution {
     pub entries: usize,
 }
 
-/// Groups the switch's megaflows by destination pod and counts distinct
-/// masks per pod, descending.
-pub fn attribute_masks(switch: &VSwitch) -> Vec<MaskAttribution> {
+/// The one-pass attribution core: groups any stream of megaflow masked
+/// keys by destination pod and counts distinct masks and entries per
+/// pod, descending by mask count. [`attribute_masks`],
+/// [`detect_offenders`], the `pi_detect` telemetry tap and the
+/// sim/fleet report assembly all share this single pass.
+pub fn attribute_entries(megaflows: impl Iterator<Item = MaskedKey>) -> Vec<MaskAttribution> {
     let mut per_dst: HashMap<u32, (std::collections::HashSet<pi_core::FlowMask>, usize)> =
         HashMap::new();
-    for (mk, _entry) in switch.megaflows().iter() {
+    for mk in megaflows {
         let dst = mk.key().ip_dst;
         // Only fully-pinned destinations are attributable; megaflows
         // with a wildcarded ip_dst (none in this pipeline) would fall
@@ -52,13 +55,29 @@ pub fn attribute_masks(switch: &VSwitch) -> Vec<MaskAttribution> {
     out
 }
 
-/// Destinations whose mask count exceeds `threshold` — the eviction /
-/// throttling candidates.
-pub fn detect_offenders(switch: &VSwitch, threshold: usize) -> Vec<MaskAttribution> {
-    attribute_masks(switch)
-        .into_iter()
+/// Groups the switch's megaflows by destination pod and counts distinct
+/// masks per pod, descending.
+pub fn attribute_masks(switch: &VSwitch) -> Vec<MaskAttribution> {
+    attribute_entries(switch.megaflows().iter().map(|(mk, _)| mk))
+}
+
+/// Filters an existing attribution down to destinations whose mask
+/// count exceeds `threshold` — so consumers that already hold an
+/// attribution (sim/fleet reports, the telemetry tap) never recompute
+/// the pass.
+pub fn offenders(attribution: &[MaskAttribution], threshold: usize) -> Vec<MaskAttribution> {
+    attribution
+        .iter()
         .filter(|a| a.masks > threshold)
+        .copied()
         .collect()
+}
+
+/// Destinations whose mask count exceeds `threshold` — the eviction /
+/// throttling candidates. One attribution pass with the threshold
+/// applied as a filter.
+pub fn detect_offenders(switch: &VSwitch, threshold: usize) -> Vec<MaskAttribution> {
+    offenders(&attribute_masks(switch), threshold)
 }
 
 #[cfg(test)]

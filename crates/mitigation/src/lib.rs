@@ -35,7 +35,9 @@ pub mod compiled;
 pub mod heuristics;
 pub mod quota;
 
-pub use attribution::{attribute_masks, detect_offenders, MaskAttribution};
+pub use attribution::{
+    attribute_entries, attribute_masks, detect_offenders, offenders, MaskAttribution,
+};
 pub use budget::{AdmissionDecision, MaskBudget};
 pub use compiled::{CachelessSwitch, CompiledAcl};
 pub use heuristics::{hit_sort_config, staged_config};

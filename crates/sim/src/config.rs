@@ -24,6 +24,11 @@ pub struct SimConfig {
     pub link_bps: f64,
     /// Reporting interval for the time series.
     pub sample_interval: SimTime,
+    /// Cadence of the per-node defense control loop (telemetry sample +
+    /// detector + state machine), for nodes with an attached
+    /// [`pi_detect::DefenseController`]. Faster than `sample_interval`
+    /// by default: detection latency is a measured quantity.
+    pub defense_interval: SimTime,
 }
 
 impl Default for SimConfig {
@@ -35,6 +40,7 @@ impl Default for SimConfig {
             queue_capacity: 8_192,
             link_bps: 1e9,
             sample_interval: SimTime::from_secs(1),
+            defense_interval: SimTime::from_millis(100),
         }
     }
 }
@@ -54,6 +60,11 @@ impl SimConfig {
     pub fn tick_count(&self) -> u64 {
         self.duration.as_nanos() / self.tick.as_nanos()
     }
+
+    /// Ticks between defense control-loop iterations (at least one).
+    pub fn defense_every_ticks(&self) -> u64 {
+        (self.defense_interval.as_nanos() / self.tick.as_nanos()).max(1)
+    }
 }
 
 #[cfg(test)]
@@ -66,6 +77,7 @@ mod tests {
         assert_eq!(c.cycles_per_tick(), 1_200_000);
         assert_eq!(c.link_bytes_per_tick(), 125_000.0);
         assert_eq!(c.tick_count(), 150_000);
+        assert_eq!(c.defense_every_ticks(), 100);
     }
 
     #[test]

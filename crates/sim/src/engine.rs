@@ -10,6 +10,7 @@ use std::collections::HashMap;
 use pi_classifier::FlowTable;
 use pi_core::{Port, SimTime};
 use pi_datapath::{CostModel, DpConfig, SwitchStats, UpcallStats};
+use pi_detect::{attribute_masks, DefenseController, DefenseReport, MaskAttribution};
 use pi_metrics::TimeSeries;
 use pi_traffic::{GenPacket, TrafficSource};
 
@@ -42,6 +43,7 @@ pub struct SimBuilder {
     acls: Vec<(u32, FlowTable)>,
     sources: Vec<(usize, Box<dyn TrafficSource>)>,
     next_vport: Vec<u32>,
+    defenses: Vec<(usize, DefenseController)>,
 }
 
 impl SimBuilder {
@@ -55,6 +57,7 @@ impl SimBuilder {
             acls: Vec::new(),
             sources: Vec::new(),
             next_vport: Vec::new(),
+            defenses: Vec::new(),
         }
     }
 
@@ -95,6 +98,12 @@ impl SimBuilder {
         self.sources.len() - 1
     }
 
+    /// Attaches a closed-loop defense controller to `node`, run every
+    /// [`crate::SimConfig::defense_interval`].
+    pub fn attach_defense(&mut self, node: usize, controller: DefenseController) {
+        self.defenses.push((node, controller));
+    }
+
     /// Finalises the topology.
     pub fn build(self) -> Simulation {
         assert!(!self.dp_configs.is_empty(), "need at least one node");
@@ -123,6 +132,9 @@ impl SimBuilder {
                 .expect("ACL target pod must be attached");
             let ok = nodes[node].switch_mut().install_acl(ip, table);
             assert!(ok, "ACL install must succeed on the home switch");
+        }
+        for (node, controller) in self.defenses {
+            nodes[node].attach_defense(controller);
         }
         let sources = self
             .sources
@@ -202,6 +214,21 @@ pub struct SimReport {
     pub upcall_stats: Vec<UpcallStats>,
     /// Per-source totals.
     pub source_totals: Vec<SourceTotals>,
+    /// Per-node defense-controller reports (detections + state
+    /// timeline), `None` for undefended nodes.
+    pub defense: Vec<Option<DefenseReport>>,
+    /// Final per-destination mask attribution per node — the offender
+    /// list, computed once here so benches never re-walk the megaflow
+    /// cache themselves.
+    pub attribution: Vec<Vec<MaskAttribution>>,
+}
+
+impl SimReport {
+    /// Offenders on `node`: destinations whose final mask count exceeds
+    /// `threshold`.
+    pub fn offenders(&self, node: usize, threshold: usize) -> Vec<MaskAttribution> {
+        pi_detect::offenders(&self.attribution[node], threshold)
+    }
 }
 
 /// A runnable simulation.
@@ -251,6 +278,7 @@ impl Simulation {
             (0..nodes.len()).map(|_| Vec::new()).collect();
         let sample_every_ticks = (cfg.sample_interval.as_nanos() / cfg.tick.as_nanos()).max(1);
         let window_secs = cfg.sample_interval.as_secs_f64();
+        let defense_every_ticks = cfg.defense_every_ticks();
 
         for tick in 0..ticks {
             let now = SimTime::from_nanos(tick * cfg.tick.as_nanos());
@@ -315,6 +343,11 @@ impl Simulation {
                     }
                 });
                 node.revalidate(next);
+                // The defense control loop observes the post-tick
+                // switch state at its own cadence.
+                if (tick + 1) % defense_every_ticks == 0 {
+                    node.run_defense(next);
+                }
             }
 
             // 3. Fabric hand-off (next tick's queues).
@@ -364,6 +397,8 @@ impl Simulation {
             handler_cps,
             switch_stats: nodes.iter().map(|n| n.switch().stats()).collect(),
             upcall_stats: nodes.iter().map(|n| n.switch().upcall_stats()).collect(),
+            attribution: nodes.iter().map(|n| attribute_masks(n.switch())).collect(),
+            defense: nodes.iter_mut().map(|n| n.take_defense_report()).collect(),
             source_totals: sources
                 .iter()
                 .map(|s| SourceTotals {

@@ -27,6 +27,7 @@ pub use config::SimConfig;
 pub use engine::{SimBuilder, SimReport, Simulation, SourceTotals};
 pub use node::{NodeCell, NodePacket, Routing};
 pub use scenario::{
-    fig3_scenario, measure_capacity, upcall_saturation_scenario, CapacityReport, Fig3Params,
+    adaptive_defense_scenario, fig3_scenario, measure_capacity, upcall_saturation_scenario,
+    AdaptiveDefenseHandles, AdaptiveDefenseParams, CapacityReport, DefenseMode, Fig3Params,
     UpcallSaturationHandles, UpcallSaturationParams,
 };

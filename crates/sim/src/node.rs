@@ -13,6 +13,7 @@ use std::collections::{HashMap, VecDeque};
 
 use pi_core::{FlowKey, Port, SimTime};
 use pi_datapath::{CostModel, DpConfig, PathTaken, VSwitch};
+use pi_detect::{DefenseAction, DefenseController, DefenseReport};
 
 /// A packet sitting in a node's ingress queue, tagged with an opaque
 /// source handle `T` (the engine uses its source index; the fleet uses a
@@ -60,6 +61,11 @@ pub struct NodeCell<T> {
     /// Frame size + source handle of packets deferred into the switch's
     /// upcall pipeline, keyed by the pending token.
     deferred: HashMap<u64, (usize, T)>,
+    /// Optional closed-loop defense controller, run by the engines at
+    /// their configured defense cadence. Living on the node (not the
+    /// engine) means both the two-node engine and the fleet shards get
+    /// the identical control loop.
+    defense: Option<DefenseController>,
 }
 
 impl<T> NodeCell<T> {
@@ -72,6 +78,7 @@ impl<T> NodeCell<T> {
             window_cycles: 0,
             window_handler_cycles: 0,
             deferred: HashMap::new(),
+            defense: None,
         }
     }
 
@@ -174,10 +181,17 @@ impl<T> NodeCell<T> {
         switch.drain_upcalls(now, |r| {
             *window_handler_cycles += r.outcome.cycles;
             if let Some((bytes, source)) = deferred.remove(&r.token) {
-                let routing = match r.outcome.output.map(Port::from_raw) {
-                    Some(Port::Uplink) => Routing::Uplink,
-                    Some(Port::Local(vport)) => Routing::Local(vport),
-                    None => Routing::Denied,
+                // A queued miss refused by a quarantine imposed after
+                // enqueue surfaces as an upcall drop, exactly like the
+                // pre-queue refusal — not as a policy denial.
+                let routing = if r.outcome.path.is_upcall_dropped() {
+                    Routing::UpcallDropped
+                } else {
+                    match r.outcome.output.map(Port::from_raw) {
+                        Some(Port::Uplink) => Routing::Uplink,
+                        Some(Port::Local(vport)) => Routing::Local(vport),
+                        None => Routing::Denied,
+                    }
                 };
                 sink(
                     NodePacket {
@@ -210,6 +224,36 @@ impl<T> NodeCell<T> {
     /// window (zero under the inline pipeline).
     pub fn take_window_handler_cycles(&mut self) -> u64 {
         std::mem::take(&mut self.window_handler_cycles)
+    }
+
+    /// Attaches a closed-loop defense controller to this node.
+    pub fn attach_defense(&mut self, controller: DefenseController) {
+        self.defense = Some(controller);
+    }
+
+    /// Whether a defense controller is attached.
+    pub fn has_defense(&self) -> bool {
+        self.defense.is_some()
+    }
+
+    /// The attached controller's report so far.
+    pub fn defense_report(&self) -> Option<&DefenseReport> {
+        self.defense.as_ref().map(|c| c.report())
+    }
+
+    /// Detaches the controller and yields its report (end of run).
+    pub fn take_defense_report(&mut self) -> Option<DefenseReport> {
+        self.defense.take().map(|c| c.into_report())
+    }
+
+    /// Runs one defense control-loop iteration against this node's
+    /// switch (no-op without an attached controller). Returns the
+    /// actions performed.
+    pub fn run_defense(&mut self, now: SimTime) -> Vec<DefenseAction> {
+        match &mut self.defense {
+            Some(c) => c.step(&mut self.switch, now),
+            None => Vec::new(),
+        }
     }
 }
 

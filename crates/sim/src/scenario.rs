@@ -4,6 +4,7 @@ use pi_attack::{AttackSchedule, AttackSpec, CovertSequence};
 use pi_cms::{Cidr, IngressRule, NetworkPolicy, PolicyCompiler, Protocol};
 use pi_core::{FlowKey, SimTime};
 use pi_datapath::{DpConfig, PipelineMode, UpcallPipelineConfig, VSwitch};
+use pi_detect::{ControllerConfig, DefenseController};
 use pi_traffic::{ChurnSource, IperfSource, PoissonFlowSource};
 
 use crate::engine::{SimBuilder, Simulation};
@@ -30,6 +31,9 @@ pub struct Fig3Params {
     pub background: bool,
     /// Seed for the background workload.
     pub seed: u64,
+    /// Optional closed-loop defense: one controller per node with this
+    /// tuning (the adaptive counterpart of the static `dp` knobs).
+    pub defense: Option<ControllerConfig>,
 }
 
 impl Default for Fig3Params {
@@ -44,6 +48,7 @@ impl Default for Fig3Params {
             dp: DpConfig::default(),
             background: true,
             seed: 2018,
+            defense: None,
         }
     }
 }
@@ -147,6 +152,11 @@ pub fn fig3_scenario(params: &Fig3Params) -> (Simulation, Fig3Handles) {
             ),
         )
     });
+
+    if let Some(ctrl) = &params.defense {
+        b.attach_defense(client_node, DefenseController::new(*ctrl));
+        b.attach_defense(server_node, DefenseController::new(*ctrl));
+    }
 
     (
         b.build(),
@@ -302,6 +312,202 @@ pub fn upcall_saturation_scenario(
     )
 }
 
+/// How the adaptive-defense scenario defends (or doesn't).
+#[derive(Debug, Clone)]
+pub enum DefenseMode {
+    /// No defense at all — the starvation baseline.
+    Undefended,
+    /// The static mitigation: a per-port fair-share quota configured
+    /// before the run (what `pi_mitigation::upcall_fair_share_config`
+    /// encodes), always on.
+    StaticFairShare(u32),
+    /// The closed loop: a [`DefenseController`] per node that detects
+    /// the onset and flips mitigations at runtime. Boxed: the
+    /// controller tuning dwarfs the other variants.
+    Adaptive(Box<ControllerConfig>),
+}
+
+impl DefenseMode {
+    /// The adaptive mode with the given controller tuning.
+    pub fn adaptive(cfg: ControllerConfig) -> Self {
+        DefenseMode::Adaptive(Box::new(cfg))
+    }
+}
+
+/// Parameters of the adaptive-defense scenario.
+#[derive(Debug, Clone)]
+pub struct AdaptiveDefenseParams {
+    /// Run length.
+    pub duration: SimTime,
+    /// When the upcall flood begins. Everything before it is the
+    /// benign phase the false-positive rate is judged on.
+    pub attack_start: SimTime,
+    /// Victim connection churn, new flows/second (starts with the
+    /// attack, when the flood has the flow table pinned — the same
+    /// arrangement as the `upcall_saturation` scenario).
+    pub victim_pps: f64,
+    /// Benign churn load during the whole run, new connections/second
+    /// towards the background pod (its megaflow is cached, so this is
+    /// fast-path churn — the detector must not alarm on it).
+    pub benign_pps: f64,
+    /// Attacker flood bandwidth, bits/second of 64-B frames.
+    pub attack_bandwidth_bps: f64,
+    /// Megaflow table limit (small: the flood exhausts it quickly).
+    pub flow_limit: usize,
+    /// Per-port upcall queue capacity.
+    pub queue_capacity: usize,
+    /// Handler cycle budget per tick.
+    pub handler_cycles_per_step: u64,
+    /// The defense under test.
+    pub defense: DefenseMode,
+    /// Control-loop cadence (the `defense_interval` of the run).
+    pub defense_interval: SimTime,
+    /// Fast-path CPU budget.
+    pub cpu_cycles_per_sec: u64,
+    /// Seed for the background workload.
+    pub seed: u64,
+}
+
+impl Default for AdaptiveDefenseParams {
+    fn default() -> Self {
+        AdaptiveDefenseParams {
+            duration: SimTime::from_secs(12),
+            attack_start: SimTime::from_secs(4),
+            victim_pps: 2_000.0,
+            benign_pps: 500.0,
+            attack_bandwidth_bps: 10e6,
+            flow_limit: 2_048,
+            queue_capacity: 64,
+            handler_cycles_per_step: 400_000,
+            defense: DefenseMode::adaptive(ControllerConfig::default()),
+            defense_interval: SimTime::from_millis(100),
+            cpu_cycles_per_sec: SimConfig::default().cpu_cycles_per_sec,
+            seed: 2018,
+        }
+    }
+}
+
+/// Source/node indices of the built adaptive-defense scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdaptiveDefenseHandles {
+    /// The victim churn source.
+    pub victim_source: usize,
+    /// The benign churn source (active from t = 0).
+    pub benign_source: usize,
+    /// The attacker flood source.
+    pub attack_source: usize,
+    /// The single simulated node.
+    pub node: usize,
+    /// The victim pod's vport.
+    pub victim_vport: u32,
+}
+
+/// Builds the closed-loop defense experiment: one node under benign
+/// churn from t = 0, hit by an `upcall_flood` destination spray at
+/// `attack_start`. The flood fills the megaflow table and monopolises
+/// the bounded slow path, so the victim's connection churn (starting
+/// with the attack) tail-drops — unless a defense intervenes. The
+/// three [`DefenseMode`]s make the static-vs-adaptive comparison:
+/// time-to-detect and the benign-phase false-positive count come from
+/// the report's [`pi_detect::DefenseReport`].
+pub fn adaptive_defense_scenario(
+    params: &AdaptiveDefenseParams,
+) -> (Simulation, AdaptiveDefenseHandles) {
+    let cfg = SimConfig {
+        duration: params.duration,
+        cpu_cycles_per_sec: params.cpu_cycles_per_sec,
+        defense_interval: params.defense_interval,
+        ..SimConfig::default()
+    };
+    let quota = match params.defense {
+        DefenseMode::StaticFairShare(q) => Some(q),
+        _ => None,
+    };
+    let dp = DpConfig {
+        flow_limit: params.flow_limit,
+        pipeline: PipelineMode::Bounded(UpcallPipelineConfig {
+            queue_capacity: params.queue_capacity,
+            handler_cycles_per_step: params.handler_cycles_per_step,
+            port_quota_per_step: quota,
+        }),
+        ..DpConfig::default()
+    };
+    let mut b = SimBuilder::new(cfg);
+    let node = b.add_node(dp);
+
+    let victim_ip = u32::from_be_bytes([10, 1, 0, 10]);
+    let benign_ip = u32::from_be_bytes([10, 1, 0, 20]);
+    let attacker_ip = u32::from_be_bytes([10, 1, 0, 66]);
+    let victim_vport = b.add_pod(node, victim_ip);
+    b.add_pod(node, benign_ip);
+    b.add_pod(node, attacker_ip);
+
+    // Benign churn for the whole run: short-lived connections to the
+    // background pod. Its dst-pinned megaflow caches after the first
+    // packet, so this is sustained fast-path churn — EMC pressure and
+    // packet rate without slow-path distress.
+    let benign_source = b.add_source(
+        node,
+        Box::new(
+            ChurnSource::new(
+                u32::from_be_bytes([10, 3, 0, 0]),
+                benign_ip,
+                80,
+                200,
+                params.benign_pps,
+            )
+            .named("benign"),
+        ),
+    );
+
+    // Victim churn from attack onset: the flood owns the flow table by
+    // then, so every victim connection needs a slow-path handler.
+    let victim_source = b.add_source(
+        node,
+        Box::new(
+            ChurnSource::new(
+                u32::from_be_bytes([10, 2, 0, 0]),
+                victim_ip,
+                5201,
+                64,
+                params.victim_pps,
+            )
+            .starting_at(params.attack_start)
+            .named("victim"),
+        ),
+    );
+
+    // The ACL-injection flood: the covert sequence of a 512-mask
+    // Kubernetes injection, re-paced as a unique-destination spray.
+    let spec = AttackSpec::masks_512(pi_cms::PolicyDialect::Kubernetes);
+    let attack_source = b.add_source(
+        node,
+        Box::new(
+            AttackSchedule::new(
+                CovertSequence::new(spec.build_target(attacker_ip)),
+                params.attack_bandwidth_bps,
+                params.attack_start,
+            )
+            .upcall_flood(),
+        ),
+    );
+
+    if let DefenseMode::Adaptive(ctrl) = &params.defense {
+        b.attach_defense(node, DefenseController::new(**ctrl));
+    }
+
+    (
+        b.build(),
+        AdaptiveDefenseHandles {
+            victim_source,
+            benign_source,
+            attack_source,
+            node,
+            victim_vport,
+        },
+    )
+}
+
 /// Peak-capacity measurement (E3/E4): how many packets/second one
 /// datapath core sustains as a function of the injected mask count.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -427,6 +633,57 @@ mod tests {
             "fair share restores the victim to <1% drops: {victim:?}"
         );
         assert!(victim.delivered * 10 >= offered * 9, "≥90% delivered");
+    }
+
+    #[test]
+    fn adaptive_defense_detects_and_restores_the_victim() {
+        let run = |defense: DefenseMode| {
+            let params = AdaptiveDefenseParams {
+                duration: SimTime::from_secs(6),
+                attack_start: SimTime::from_secs(2),
+                defense,
+                ..Default::default()
+            };
+            let (sim, handles) = adaptive_defense_scenario(&params);
+            (sim.run(), handles)
+        };
+
+        // Undefended: the flood starves the victim's flow setups.
+        let (report, h) = run(DefenseMode::Undefended);
+        let victim = &report.source_totals[h.victim_source];
+        assert!(
+            victim.dropped_upcall > victim.delivered,
+            "undefended victim must starve: {victim:?}"
+        );
+        assert!(report.defense[h.node].is_none());
+
+        // Adaptive: detection within a second of onset, then recovery.
+        let (report, h) = run(DefenseMode::adaptive(ControllerConfig::default()));
+        let victim = &report.source_totals[h.victim_source];
+        let defense = report.defense[h.node].as_ref().expect("controller");
+        let detect = defense.first_detection().expect("attack detected");
+        assert!(detect >= SimTime::from_secs(2), "no benign-phase detection");
+        assert!(
+            detect <= SimTime::from_secs(3),
+            "detection within 1 s of onset, got {detect:?}"
+        );
+        assert!(defense.first_mitigation().is_some());
+        assert_eq!(defense.activations, 1, "one clean activation");
+        // All detections and activations happened after the onset: the
+        // benign phase is false-positive-free.
+        assert!(defense
+            .detections
+            .iter()
+            .all(|e| e.at >= SimTime::from_secs(2)));
+        // Post-mitigation recovery: the victim's delivered fraction
+        // beats the undefended run by an order of magnitude.
+        assert!(
+            victim.delivered * 10 >= victim.generated * 8,
+            "quota restores most victim connections: {victim:?}"
+        );
+        // The benign source never suffered either way.
+        let benign = &report.source_totals[h.benign_source];
+        assert_eq!(benign.dropped_upcall, 0);
     }
 
     #[test]

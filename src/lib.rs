@@ -22,6 +22,7 @@
 //! | [`pi_traffic`] | victim and background workload generators |
 //! | [`pi_attack`] | malicious ACLs, mask prediction, covert sequences, pacing |
 //! | [`pi_mitigation`] | mask budgets, OVS heuristics, cache-less datapath, detection |
+//! | [`pi_detect`] | telemetry taps, streaming detectors, closed-loop adaptive defense |
 //! | [`pi_metrics`] | time series, histograms, CSV, ASCII plots |
 //! | [`pi_sim`] | the discrete-time two-node testbed of the paper's Fig. 1 |
 //! | [`pi_fleet`] | sharded multi-host cluster simulator with parallel per-host workers |
@@ -58,6 +59,7 @@ pub use pi_classifier;
 pub use pi_cms;
 pub use pi_core;
 pub use pi_datapath;
+pub use pi_detect;
 pub use pi_fleet;
 pub use pi_metrics;
 pub use pi_mitigation;
@@ -78,6 +80,10 @@ pub mod prelude {
     pub use pi_datapath::{
         DpConfig, PathTaken, PipelineMode, UpcallPipelineConfig, UpcallStats, VSwitch,
     };
+    pub use pi_detect::{
+        ControllerConfig, DefenseController, DefenseReport, DefenseState, DetectionEvent,
+        DetectorConfig, TelemetryTap,
+    };
     pub use pi_fleet::{
         fleet_colocation, fleet_migration, BlastRadius, ClusterBuilder, ColocationParams,
         FleetBuilder, FleetConfig, FleetReport, MigrationParams,
@@ -85,8 +91,9 @@ pub mod prelude {
     pub use pi_metrics::{ascii_plot, CsvTable, Summary, TimeSeries};
     pub use pi_mitigation::{upcall_fair_share_config, CompiledAcl, MaskBudget};
     pub use pi_sim::{
-        fig3_scenario, measure_capacity, upcall_saturation_scenario, Fig3Params, SimBuilder,
-        SimConfig, SimReport, UpcallSaturationParams,
+        adaptive_defense_scenario, fig3_scenario, measure_capacity, upcall_saturation_scenario,
+        AdaptiveDefenseParams, DefenseMode, Fig3Params, SimBuilder, SimConfig, SimReport,
+        UpcallSaturationParams,
     };
     pub use pi_traffic::{CbrSource, ChurnSource, IperfSource, PoissonFlowSource, TrafficSource};
 }
