@@ -2,7 +2,7 @@
 
 CARGO ?= cargo
 
-.PHONY: build test fmt-check clippy bench bench-fleet bench-hotpath bench-upcall bench-detect example-fleet clean
+.PHONY: build test fmt-check clippy bench bench-fleet bench-hotpath bench-upcall bench-detect bench-policy example-fleet clean
 
 build:
 	$(CARGO) build --release
@@ -45,6 +45,12 @@ bench-upcall:
 # defense".
 bench-detect:
 	$(CARGO) run --release -p pi_bench --bin detection_roc
+
+# Control-plane churn sweep: benign updates vs the zero-packet
+# policy-flap flush storm vs the scoped-invalidation ablation; writes
+# BENCH_policy.json. See README "Control-plane churn".
+bench-policy:
+	$(CARGO) run --release -p pi_bench --bin policy_churn
 
 example-fleet:
 	$(CARGO) run --release --example fleet_blast_radius

@@ -152,6 +152,39 @@ impl AttackSchedule {
         self
     }
 
+    /// The **policy-flap** attack: a control-plane program that
+    /// re-installs the attacker's *own* ACL at `acl_ip` once every
+    /// `period` from `start` until `until` — entirely through the
+    /// CMS's sanctioned policy API, with **zero attack packets**.
+    ///
+    /// Each re-install is policy-wise a no-op (the same table lands
+    /// again), but the switch cannot know that: every install triggers
+    /// a cache invalidation, and under OVS's global-flush semantics
+    /// that wipes *every* tenant's megaflows and microflows. The
+    /// co-located victims pay the rebuild — one slow-path upcall per
+    /// live flow per flap — while the attacker pays nothing but API
+    /// calls. This is the paper's control-plane seam taken to its
+    /// logical end: no covert stream, no bandwidth budget, just churn.
+    ///
+    /// Feed the returned program to
+    /// `SimBuilder::attach_control_plane` / a fleet host; pair with
+    /// the scoped-invalidation ablation to measure exactly how much of
+    /// the damage the global flush is responsible for.
+    pub fn policy_flap(
+        acl_ip: u32,
+        table: &pi_classifier::FlowTable,
+        start: SimTime,
+        until: SimTime,
+        period: SimTime,
+    ) -> pi_cms::ControlPlaneProgram {
+        assert!(period > SimTime::ZERO, "flap period must be positive");
+        assert!(until > start, "flap window must be non-empty");
+        let count = (until - start).as_nanos().div_ceil(period.as_nanos());
+        let mut program = pi_cms::ControlPlaneProgram::new();
+        program.install_acl_every(start, period, count as usize, acl_ip, table);
+        program
+    }
+
     /// Fans one attack spec out across a fleet: one paced schedule per
     /// attacker pod, each targeting its own pod's ACL, with starts
     /// staggered by `stagger` (a synchronized fleet-wide burst is easy
@@ -351,6 +384,34 @@ mod tests {
         }
         // No populate/refresh machinery runs in flood mode.
         assert!(!s.populated());
+    }
+
+    #[test]
+    fn policy_flap_builds_a_zero_packet_install_train() {
+        let table = pi_cms::PolicyCompiler.compile_k8s(&pi_cms::NetworkPolicy {
+            name: "attacker".into(),
+            ingress: vec![],
+        });
+        let program = AttackSchedule::policy_flap(
+            0x0a01_0042,
+            &table,
+            SimTime::from_secs(60),
+            SimTime::from_secs(61),
+            SimTime::from_millis(10),
+        );
+        // 1 s of flapping at 10 ms = 100 installs, all at the same IP,
+        // and not a single packet anywhere.
+        assert_eq!(program.len(), 100);
+        assert!(program.updates().iter().all(|u| matches!(
+            u.update,
+            pi_cms::PolicyUpdate::InstallAcl {
+                ip: 0x0a01_0042,
+                ..
+            }
+        )));
+        let mut cp = program.compile();
+        assert!(cp.due(SimTime::from_millis(59_999)).is_empty());
+        assert_eq!(cp.due(SimTime::from_secs(61)).len(), 100);
     }
 
     #[test]

@@ -1,0 +1,170 @@
+//! `policy_churn` — the control-plane flush storm, measured.
+//!
+//! Runs the single-node policy-churn scenario
+//! ([`pi_sim::policy_churn_scenario`]) in three configurations:
+//!
+//! * `benign_churn` — routine control-plane activity only (an ACL
+//!   install/remove on a background pod once a second): the baseline
+//!   every other row is judged against;
+//! * `policy_flap` — a co-located attacker re-installs its own ACL
+//!   every 20 ms through the CMS API
+//!   ([`pi_attack::AttackSchedule::policy_flap`]). **Zero attack
+//!   packets**: the whole attack is the global cache flush each
+//!   install triggers, which forces one slow-path rebuild per
+//!   whitelisted victim client per flap;
+//! * `policy_flap_scoped` — the same flap under destination-scoped
+//!   invalidation ([`pi_datapath::DpConfig::scoped_invalidation`]):
+//!   each install
+//!   evicts only the updated pod's megaflows, so the victim's
+//!   fast-path state survives and throughput recovers. Caveat: the EMC
+//!   is still invalidated wholesale (its entries carry no destination
+//!   index), so recovery is "megaflow hit + EMC re-promotion", not
+//!   zero-cost.
+//!
+//! Per row: victim delivered pps and retained ratio vs the benign
+//! baseline, policy updates, effective cache flushes, flushed
+//! megaflows, and the control-plane cycles charged. Fully
+//! deterministic — one run per row.
+//!
+//! Output: `BENCH_policy.json` (override with `PI_BENCH_POLICY_OUT`).
+//! `--smoke` shrinks the run for CI.
+
+use pi_core::SimTime;
+use pi_sim::{policy_churn_scenario, PolicyChurnParams};
+
+struct Row {
+    mode: &'static str,
+    victim_offered: u64,
+    victim_delivered: u64,
+    victim_pps: f64,
+    victim_dropped_capacity: u64,
+    attack_packets: u64,
+    policy_updates: u64,
+    cache_flushes: u64,
+    flushed_megaflows: u64,
+    control_cycles: u64,
+    upcalls: u64,
+}
+
+fn run_mode(mode: &'static str, sim_secs: u64) -> Row {
+    let mut params = PolicyChurnParams {
+        duration: SimTime::from_secs(sim_secs),
+        attack_start: SimTime::from_secs(sim_secs.min(2)),
+        ..Default::default()
+    };
+    match mode {
+        "benign_churn" => params.flap = false,
+        "policy_flap" => {}
+        "policy_flap_scoped" => params.scoped_invalidation = true,
+        other => unreachable!("unknown mode {other}"),
+    }
+    let (sim, handles) = policy_churn_scenario(&params);
+    let report = sim.run();
+    let victim = &report.source_totals[handles.victim_source];
+    let stats = report.switch_stats[handles.node];
+    Row {
+        mode,
+        victim_offered: victim.generated,
+        victim_delivered: victim.delivered,
+        victim_pps: victim.delivered as f64 / params.duration.as_secs_f64(),
+        victim_dropped_capacity: victim.dropped_capacity,
+        // The attacker has no traffic source at all: the attack is
+        // pure control plane. Recorded explicitly so the JSON carries
+        // the claim.
+        attack_packets: 0,
+        policy_updates: stats.policy_updates,
+        cache_flushes: stats.cache_flushes,
+        flushed_megaflows: stats.flushed_megaflows,
+        control_cycles: stats.control_cycles,
+        upcalls: stats.upcalls,
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let sim_secs: u64 = if smoke { 4 } else { 10 };
+    let defaults = PolicyChurnParams::default();
+    println!("policy_churn: {sim_secs} simulated seconds per mode");
+    println!(
+        "{:>18} {:>12} {:>12} {:>10} {:>9} {:>9} {:>12} {:>12}",
+        "mode",
+        "victim_pps",
+        "retained",
+        "updates",
+        "flushes",
+        "upcalls",
+        "flushed_mf",
+        "ctrl_cycles"
+    );
+    let rows: Vec<Row> = ["benign_churn", "policy_flap", "policy_flap_scoped"]
+        .into_iter()
+        .map(|mode| run_mode(mode, sim_secs))
+        .collect();
+    let baseline_pps = rows[0].victim_pps;
+    for r in &rows {
+        println!(
+            "{:>18} {:>12.0} {:>12.3} {:>10} {:>9} {:>9} {:>12} {:>12}",
+            r.mode,
+            r.victim_pps,
+            r.victim_pps / baseline_pps,
+            r.policy_updates,
+            r.cache_flushes,
+            r.upcalls,
+            r.flushed_megaflows,
+            r.control_cycles
+        );
+    }
+
+    let json_rows: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"mode\": \"{}\", \"sim_secs\": {}, \"victim_offered\": {}, \
+                 \"victim_delivered\": {}, \"victim_pps\": {:.1}, \
+                 \"retained_vs_benign\": {:.4}, \"victim_dropped_capacity\": {}, \
+                 \"attack_packets\": {}, \"policy_updates\": {}, \"cache_flushes\": {}, \
+                 \"flushed_megaflows\": {}, \"control_cycles\": {}, \"upcalls\": {}}}",
+                r.mode,
+                sim_secs,
+                r.victim_offered,
+                r.victim_delivered,
+                r.victim_pps,
+                r.victim_pps / baseline_pps,
+                r.victim_dropped_capacity,
+                r.attack_packets,
+                r.policy_updates,
+                r.cache_flushes,
+                r.flushed_megaflows,
+                r.control_cycles,
+                r.upcalls
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"policy_churn\",\n  \"scenario\": \"policy_churn\",\n  \
+         \"clients\": {},\n  \"victim_pps_offered\": {:.0},\n  \"flap_period_ms\": {},\n  \
+         \"benign_update_period_ms\": {},\n  \"rows\": [\n{}\n  ]\n}}\n",
+        defaults.clients,
+        defaults.victim_pps,
+        defaults.flap_period.as_nanos() / 1_000_000,
+        defaults.benign_update_period.as_nanos() / 1_000_000,
+        json_rows.join(",\n")
+    );
+    let out = std::env::var("PI_BENCH_POLICY_OUT").unwrap_or_else(|_| "BENCH_policy.json".into());
+    std::fs::write(&out, json).expect("write BENCH_policy.json");
+    println!("\nwrote {out}");
+
+    // Keep the bench honest about its own claims: the flap must
+    // collapse the victim and scoped invalidation must restore it.
+    // The smoke run's attacked window is only half the run (2 s of 4),
+    // so its collapse bar is proportionally looser.
+    let collapse_bar = if smoke { 0.75 } else { 0.6 };
+    assert!(
+        rows[1].victim_pps < collapse_bar * baseline_pps,
+        "policy_flap failed to collapse the victim"
+    );
+    assert!(
+        rows[2].victim_pps > 0.9 * baseline_pps,
+        "scoped invalidation failed to restore the victim"
+    );
+}

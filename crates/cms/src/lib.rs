@@ -19,17 +19,23 @@
 //!   DoS of Fig. 3).
 //! * [`PolicyCompiler`] — dialect → [`pi_classifier::FlowTable`],
 //!   including textbook range-to-prefix decomposition for port ranges.
+//! * [`ControlPlane`] / [`ControlPlaneProgram`] — timed, deterministic
+//!   policy-update schedules (install/remove/attach with propagation
+//!   delay), the driver behind mid-run policy churn and the
+//!   policy-flap attack.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod cloud;
 pub mod compile;
+pub mod control;
 pub mod net;
 pub mod policy;
 
 pub use cloud::{Cloud, CmsError, NodeId, PlacementStrategy, Pod, PodId, TenantId};
 pub use compile::{PolicyCompiler, COMPILED_PRIORITY_ALLOW};
+pub use control::{ControlPlane, ControlPlaneProgram, PolicyUpdate, ScheduledUpdate};
 pub use net::{port_range_to_prefixes, Cidr, PortRange, Protocol};
 pub use policy::{
     CalicoPolicy, CalicoRule, IngressRule, NetworkPolicy, PolicyDialect, SecurityGroup, SgRule,

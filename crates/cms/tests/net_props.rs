@@ -1,0 +1,111 @@
+//! Randomised property tests of the network primitives behind policy
+//! compilation (`port_range_to_prefixes`, `Cidr`), in the PR 1
+//! deterministic style: no external `proptest`, a fixed case count from
+//! the in-house `SplitMix64` stream (`pi_core::for_cases`) — same
+//! coverage intent, perfectly reproducible failures.
+//!
+//! These matter because the attack's mask arithmetic (32·16·16 = 8192)
+//! is *built* on the range-to-prefix decomposition: an off-by-one in
+//! coverage would silently change every predicted and measured mask
+//! count in the repo.
+
+use pi_cms::{port_range_to_prefixes, Cidr, PortRange};
+
+const CASES: u64 = 512;
+
+/// Does `(value, prefix_len)` cover port `p`?
+fn covers(prefix: (u16, u8), p: u16) -> bool {
+    let (v, len) = prefix;
+    if len == 0 {
+        return true;
+    }
+    let shift = 16 - len as u32;
+    (p as u32) >> shift == (v as u32) >> shift
+}
+
+#[test]
+fn prefixes_cover_exactly_the_range_with_no_overlap() {
+    pi_core::for_cases(CASES, 0x51, |rng| {
+        let a = (rng.next_u64() & 0xffff) as u16;
+        let b = (rng.next_u64() & 0xffff) as u16;
+        let range = PortRange::new(a.min(b), a.max(b)).unwrap();
+        let prefixes = port_range_to_prefixes(range);
+        if range.is_all() {
+            assert!(prefixes.is_empty(), "all-ports is the empty constraint");
+            return;
+        }
+        // Round trip: every port in the range is covered by exactly one
+        // prefix; every port outside is covered by none. "Exactly one"
+        // is the no-overlap half — overlapping prefixes would compile
+        // into duplicate ACL rules and distort the mask counts.
+        for p in 0..=65_535u16 {
+            let n = prefixes.iter().filter(|&&pre| covers(pre, p)).count();
+            if range.contains(p) {
+                assert_eq!(n, 1, "port {p} of {range:?} covered {n} times");
+            } else {
+                assert_eq!(n, 0, "port {p} outside {range:?} covered");
+            }
+        }
+        // Minimality bound: the textbook decomposition never needs more
+        // than 2·16 − 2 prefixes.
+        assert!(
+            prefixes.len() <= 30,
+            "{range:?} → {} prefixes",
+            prefixes.len()
+        );
+        // Prefix values are canonical (host bits clear).
+        for &(v, len) in &prefixes {
+            if len < 16 {
+                assert_eq!(v & ((1 << (16 - len)) - 1), 0, "non-canonical {v}/{len}");
+            }
+        }
+    });
+}
+
+#[test]
+fn single_port_ranges_round_trip_to_one_exact_prefix() {
+    pi_core::for_cases(CASES, 0x52, |rng| {
+        let p = (rng.next_u64() & 0xffff) as u16;
+        assert_eq!(port_range_to_prefixes(PortRange::single(p)), vec![(p, 16)]);
+    });
+}
+
+#[test]
+fn cidr_parse_display_round_trips_and_contains_matches_mask() {
+    pi_core::for_cases(CASES, 0x53, |rng| {
+        let addr = rng.next_u64() as u32;
+        let len = (rng.next_u64() % 33) as u8;
+        let c = Cidr::new(addr, len).unwrap();
+        // Canonicalisation: host bits are cleared, and re-canonicalising
+        // is a fixed point.
+        assert_eq!(c.addr & !c.mask(), 0, "host bits must be zero");
+        assert_eq!(Cidr::new(c.addr, c.len).unwrap(), c);
+        // Display → FromStr round trip.
+        let reparsed: Cidr = c.to_string().parse().unwrap();
+        assert_eq!(reparsed, c);
+        // contains() agrees with the mask arithmetic on random probes
+        // and on the block's own boundary addresses.
+        assert!(c.contains(c.addr));
+        assert!(c.contains(c.addr | !c.mask()), "broadcast edge inside");
+        for _ in 0..8 {
+            let probe = rng.next_u64() as u32;
+            assert_eq!(c.contains(probe), (probe ^ c.addr) & c.mask() == 0);
+        }
+        // The original (un-canonicalised) address is always inside.
+        assert!(c.contains(addr));
+    });
+}
+
+#[test]
+fn cidr_edge_lengths_behave() {
+    // /0 contains everything; /32 contains exactly itself; /33 errors.
+    assert!(Cidr::ANY.contains(0));
+    assert!(Cidr::ANY.contains(u32::MAX));
+    let host = Cidr::new(0xdead_beef, 32).unwrap();
+    assert!(host.contains(0xdead_beef));
+    assert!(!host.contains(0xdead_bee0));
+    assert!(Cidr::new(0, 33).is_err());
+    // Zero-length mask is 0 (no 1<<32 overflow).
+    assert_eq!(Cidr::ANY.mask(), 0);
+    assert_eq!(host.mask(), u32::MAX);
+}

@@ -27,6 +27,20 @@ pub struct DpConfig {
     /// revalidator if unused this long. Sets the covert refresh
     /// bandwidth the attack needs (paper: 1–2 Mb/s).
     pub idle_timeout: SimTime,
+    /// Cadence of the revalidator's idle sweep (OVS sweeps roughly once
+    /// a second). Values of zero are clamped to 1 ns by the
+    /// revalidator. Runtime-adjustable via
+    /// [`crate::VSwitch::set_revalidator_interval`].
+    pub revalidator_interval: SimTime,
+    /// Scope of the cache invalidation a policy change triggers. False
+    /// (the OVS behaviour the paper attacks) flushes the megaflow cache
+    /// wholesale; true evicts only the megaflows pinned to the updated
+    /// destination ([`crate::MegaflowCache::evict_destination`] — sound
+    /// because this pipeline's megaflows always pin `ip_dst`), leaving
+    /// other tenants' fast-path state intact. Either way the EMC is
+    /// invalidated in full: its entries carry no per-destination index,
+    /// so scoping stops at the megaflow layer (the ablation's caveat).
+    pub scoped_invalidation: bool,
     /// Fields with prefix tries enabled for megaflow generation. The
     /// paper's mask counts (8 / 512 / 8192) require tries on the IP
     /// source and the L4 ports, matching the demo's OVS configuration.
@@ -54,6 +68,8 @@ impl Default for DpConfig {
             emc_insert_prob: 1.0,
             flow_limit: 200_000,
             idle_timeout: SimTime::from_secs(10),
+            revalidator_interval: SimTime::from_secs(1),
+            scoped_invalidation: false,
             trie_fields: vec![Field::IpSrc, Field::IpDst, Field::TpSrc, Field::TpDst],
             staged_lookup: false,
             subtable_order: SubtableOrder::Insertion,
@@ -93,6 +109,8 @@ mod tests {
         assert_eq!(c.emc_ways, 2);
         assert_eq!(c.flow_limit, 200_000);
         assert_eq!(c.idle_timeout, SimTime::from_secs(10));
+        assert_eq!(c.revalidator_interval, SimTime::from_secs(1));
+        assert!(!c.scoped_invalidation, "global flush is the OVS default");
         assert!(c.trie_fields.contains(&Field::IpSrc));
         assert!(c.trie_fields.contains(&Field::TpSrc));
         assert!(c.trie_fields.contains(&Field::TpDst));

@@ -35,6 +35,15 @@ pub struct CostModel {
     pub per_rule: u64,
     /// Installing a generated megaflow entry.
     pub mfc_install: u64,
+    /// Fixed datapath-side cost of one control-plane policy update
+    /// landing on the switch (netlink round trip, table swap) —
+    /// charged per applied ACL install/removal or pod attach.
+    pub acl_update_fixed: u64,
+    /// Tearing down one cached megaflow during a policy-change
+    /// invalidation — what makes a flush storm's *direct* cost scale
+    /// with cache occupancy (the rebuild upcalls are priced on top, by
+    /// the ordinary miss path).
+    pub flush_per_entry: u64,
 }
 
 impl Default for CostModel {
@@ -48,6 +57,8 @@ impl Default for CostModel {
             upcall_fixed: 30_000,
             per_rule: 300,
             mfc_install: 2_000,
+            acl_update_fixed: 50_000,
+            flush_per_entry: 120,
         }
     }
 }
@@ -127,6 +138,17 @@ impl CostModel {
     /// Total cycles for a packet: parse + path.
     pub fn packet_cycles(&self, path: &PathTaken) -> u64 {
         self.parse + self.path_cycles(path)
+    }
+
+    /// Cycles one control-plane policy update costs the datapath: the
+    /// fixed update handling plus the teardown of every megaflow its
+    /// invalidation flushed. This is the *direct* price of a flush; the
+    /// indirect price — every flushed flow's next packet re-upcalling —
+    /// emerges from the ordinary miss accounting, which is what makes
+    /// the policy-flap storm's amplification honest rather than
+    /// scripted.
+    pub fn control_update_cycles(&self, flushed_megaflows: usize) -> u64 {
+        self.acl_update_fixed + flushed_megaflows as u64 * self.flush_per_entry
     }
 
     /// Handler-side cycles of resolving one deferred upcall: the
@@ -243,6 +265,20 @@ mod tests {
             emc_probed: true,
         });
         assert_eq!(dropped, queued);
+    }
+
+    #[test]
+    fn control_update_cost_scales_with_flushed_entries() {
+        let m = CostModel::default();
+        assert_eq!(m.control_update_cycles(0), m.acl_update_fixed);
+        assert_eq!(
+            m.control_update_cycles(1_000) - m.control_update_cycles(0),
+            1_000 * m.flush_per_entry
+        );
+        // A full-table flush (200 k entries) costs cycles comparable to
+        // hundreds of upcalls — expensive, but the dominant damage is
+        // the rebuild, which the miss path prices separately.
+        assert!(m.control_update_cycles(200_000) > 100 * m.upcall_fixed);
     }
 
     #[test]

@@ -52,4 +52,6 @@ pub use slowpath::SlowPath;
 pub use upcall::{
     PipelineMode, PortUpcallStats, UpcallPipelineConfig, UpcallStats, UNROUTABLE_QUEUE,
 };
-pub use vswitch::{PathTaken, ProcessOutcome, ResolvedUpcall, SwitchStats, VSwitch};
+pub use vswitch::{
+    PathTaken, PolicyUpdateOutcome, ProcessOutcome, ResolvedUpcall, SwitchStats, VSwitch,
+};

@@ -169,10 +169,25 @@ pub struct SwitchStats {
     pub upcalls: u64,
     /// Packets denied by policy (or unroutable).
     pub policy_drops: u64,
-    /// Total cycles consumed.
+    /// Total cycles consumed (packet processing plus costed
+    /// control-plane updates; the control share is also tracked
+    /// separately in `control_cycles`).
     pub cycles: u64,
     /// Total subtable probes across all fast-path lookups.
     pub subtable_probes: u64,
+    /// Control-plane policy updates applied (ACL installs/removals and
+    /// pod attaches) — the churn counter the policy-flap detector
+    /// watches.
+    pub policy_updates: u64,
+    /// Cache invalidations that actually flushed state (no-op flushes
+    /// on a clean cache are coalesced away and not counted).
+    pub cache_flushes: u64,
+    /// Megaflow entries discarded by those invalidations.
+    pub flushed_megaflows: u64,
+    /// Cycles charged for costed control-plane updates (a subset of
+    /// `cycles`; zero when every update arrived through the free
+    /// build-time setters).
+    pub control_cycles: u64,
 }
 
 impl SwitchStats {
@@ -212,6 +227,26 @@ struct PodPort {
     slowpath: SlowPath,
 }
 
+/// Outcome of one costed control-plane update
+/// ([`VSwitch::apply_install_acl`] and friends): what changed, what was
+/// flushed, and the datapath cycles the update consumed under the
+/// switch's [`CostModel`]. The simulator charges `cycles` against the
+/// node's tick budget — a flush storm eats the same CPU the packets
+/// need.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PolicyUpdateOutcome {
+    /// Whether the update changed switch state (false e.g. for an ACL
+    /// install at an unattached IP).
+    pub applied: bool,
+    /// Megaflow entries discarded by the triggered invalidation.
+    pub flushed_megaflows: usize,
+    /// Whether the invalidation was scoped to the updated destination
+    /// ([`DpConfig::scoped_invalidation`]) rather than a global flush.
+    pub scoped: bool,
+    /// Datapath cycles charged for the update.
+    pub cycles: u64,
+}
+
 /// An OVS-like virtual switch: shared microflow + megaflow caches in
 /// front of per-pod ingress ACL slow paths.
 #[derive(Debug)]
@@ -225,6 +260,13 @@ pub struct VSwitch {
     routes: HashMap<u32, PodPort>,
     /// Bumped on policy changes / evictions to invalidate the EMC.
     generation: u64,
+    /// Whether anything has been cached (EMC insert, megaflow install,
+    /// staged install) since the last global flush. A policy change on
+    /// a clean cache has nothing to invalidate: the flush is coalesced
+    /// away — no clear, no generation bump, no flush cost — which is
+    /// what keeps the attach-pod → install-acl setup sequence from
+    /// burning a generation per call.
+    cache_dirty: bool,
     stats: SwitchStats,
     /// The bounded upcall pipeline (idle under [`PipelineMode::Inline`]).
     pipeline: UpcallQueue,
@@ -253,7 +295,7 @@ impl VSwitch {
             config.subtable_order,
             config.staged_lookup,
         );
-        let revalidator = Revalidator::new(SimTime::from_secs(1), config.idle_timeout);
+        let revalidator = Revalidator::new(config.revalidator_interval, config.idle_timeout);
         let rng = SplitMix64::new(config.seed ^ 0x575);
         VSwitch {
             config,
@@ -263,6 +305,7 @@ impl VSwitch {
             revalidator,
             routes: HashMap::new(),
             generation: 0,
+            cache_dirty: false,
             stats: SwitchStats::default(),
             pipeline: UpcallQueue::default(),
             quarantined: BTreeSet::new(),
@@ -322,6 +365,35 @@ impl VSwitch {
         self.mfc.set_staged_lookup(enabled);
     }
 
+    /// Changes the revalidator's sweep cadence at runtime, re-arming
+    /// its next deadline on the new interval's grid (the smallest grid
+    /// point strictly after `now`). The live [`DpConfig`] is kept in
+    /// sync.
+    pub fn set_revalidator_interval(&mut self, interval: SimTime, now: SimTime) {
+        self.config.revalidator_interval = interval;
+        self.revalidator.set_interval(interval, now);
+    }
+
+    /// When the next revalidator sweep is due.
+    pub fn next_revalidation(&self) -> SimTime {
+        self.revalidator.next_due()
+    }
+
+    /// Switches between global and destination-scoped cache
+    /// invalidation at runtime ([`DpConfig::scoped_invalidation`]) —
+    /// the control-plane counterpart of the other mitigation knobs.
+    /// Takes effect from the next policy update.
+    pub fn set_scoped_invalidation(&mut self, scoped: bool) {
+        self.config.scoped_invalidation = scoped;
+    }
+
+    /// The EMC generation counter — bumped by every effective cache
+    /// invalidation, exposed so tests can pin that coalesced no-op
+    /// flushes do not burn generations.
+    pub fn emc_generation(&self) -> u64 {
+        self.generation
+    }
+
     /// Quarantines the destination `ip`: its cached megaflows are
     /// evicted immediately (with the EMC invalidated if anything was
     /// removed) and, until released, its megaflow misses are refused
@@ -366,17 +438,39 @@ impl VSwitch {
         &self.cost
     }
 
-    /// Attaches a pod: traffic to `ip` is delivered out of `vport`,
-    /// initially with no ACL (everything allowed).
-    pub fn attach_pod(&mut self, ip: u32, vport: u32) {
-        self.routes.insert(
-            ip,
-            PodPort {
-                vport,
-                slowpath: SlowPath::permissive(Action::Allow),
-            },
-        );
-        self.invalidate_caches();
+    /// Attaches a pod: traffic to `ip` is delivered out of `vport`.
+    /// Returns true for a fresh attach (the pod starts with no ACL —
+    /// everything allowed); false for a re-attach of an
+    /// already-present IP, which re-homes the vport but **preserves
+    /// the existing slow path** — a vport move must never silently
+    /// replace an installed deny ACL with a permissive one.
+    pub fn attach_pod(&mut self, ip: u32, vport: u32) -> bool {
+        self.do_attach_pod(ip, vport).0
+    }
+
+    fn do_attach_pod(&mut self, ip: u32, vport: u32) -> (bool, usize) {
+        self.stats.policy_updates += 1;
+        let fresh = match self.routes.get_mut(&ip) {
+            Some(port) => {
+                port.vport = vport;
+                false
+            }
+            None => {
+                self.routes.insert(
+                    ip,
+                    PodPort {
+                        vport,
+                        slowpath: SlowPath::permissive(Action::Allow),
+                    },
+                );
+                true
+            }
+        };
+        // A fresh attach may shadow a cached unroutable-deny megaflow
+        // for `ip`; a re-attach models OVS's port-change revalidation.
+        // Either way the (coalesced) invalidation keeps verdicts sound.
+        let flushed = self.invalidate_for(ip);
+        (fresh, flushed)
     }
 
     /// Installs (or replaces) the ingress ACL protecting the pod at
@@ -385,6 +479,10 @@ impl VSwitch {
     ///
     /// Returns false if no pod is attached at `ip`.
     pub fn install_acl(&mut self, ip: u32, table: FlowTable) -> bool {
+        self.do_install_acl(ip, table).0
+    }
+
+    fn do_install_acl(&mut self, ip: u32, table: FlowTable) -> (bool, usize) {
         let trie_fields = self.config.trie_fields.clone();
         let installed = match self.routes.get_mut(&ip) {
             Some(port) => {
@@ -393,14 +491,19 @@ impl VSwitch {
             }
             None => false,
         };
-        if installed {
-            self.invalidate_caches();
+        if !installed {
+            return (false, 0);
         }
-        installed
+        self.stats.policy_updates += 1;
+        (true, self.invalidate_for(ip))
     }
 
     /// Removes the ACL at `ip` (pod reverts to allow-all).
     pub fn remove_acl(&mut self, ip: u32) -> bool {
+        self.do_remove_acl(ip).0
+    }
+
+    fn do_remove_acl(&mut self, ip: u32) -> (bool, usize) {
         let removed = match self.routes.get_mut(&ip) {
             Some(port) => {
                 port.slowpath = SlowPath::permissive(Action::Allow);
@@ -408,20 +511,89 @@ impl VSwitch {
             }
             None => false,
         };
-        if removed {
-            self.invalidate_caches();
+        if !removed {
+            return (false, 0);
         }
-        removed
+        self.stats.policy_updates += 1;
+        (true, self.invalidate_for(ip))
     }
 
-    fn invalidate_caches(&mut self) {
-        self.mfc.clear();
-        // Staged installs were generated under the old policy — landing
-        // them now would cache stale verdicts. Queued upcalls stay: a
-        // handler classifies them under whatever policy is live when it
-        // reaches them, exactly like real OVS.
+    // --- Costed control-plane entry points -------------------------
+    //
+    // The timed control plane (`pi_cms::ControlPlane`, driven through
+    // `pi_sim::NodeCell`) applies updates through these wrappers, which
+    // price each update — fixed handling plus per-flushed-entry
+    // teardown — so a flush storm competes with packets for the same
+    // cycle budget. The plain setters above stay free: they model
+    // build-time topology assembly, before the simulated clock starts.
+
+    /// [`VSwitch::install_acl`], costed: counts the flush and charges
+    /// [`CostModel::control_update_cycles`] against the switch.
+    pub fn apply_install_acl(&mut self, ip: u32, table: FlowTable) -> PolicyUpdateOutcome {
+        let (applied, flushed) = self.do_install_acl(ip, table);
+        self.charge_update(applied, flushed)
+    }
+
+    /// [`VSwitch::remove_acl`], costed.
+    pub fn apply_remove_acl(&mut self, ip: u32) -> PolicyUpdateOutcome {
+        let (applied, flushed) = self.do_remove_acl(ip);
+        self.charge_update(applied, flushed)
+    }
+
+    /// [`VSwitch::attach_pod`], costed. `applied` reports a *fresh*
+    /// attach (false = vport re-home preserving the slow path).
+    pub fn apply_attach_pod(&mut self, ip: u32, vport: u32) -> PolicyUpdateOutcome {
+        let (fresh, flushed) = self.do_attach_pod(ip, vport);
+        self.charge_update(fresh, flushed)
+    }
+
+    fn charge_update(&mut self, applied: bool, flushed_megaflows: usize) -> PolicyUpdateOutcome {
+        let cycles = self.cost.control_update_cycles(flushed_megaflows);
+        self.stats.cycles += cycles;
+        self.stats.control_cycles += cycles;
+        PolicyUpdateOutcome {
+            applied,
+            flushed_megaflows,
+            scoped: self.config.scoped_invalidation,
+            cycles,
+        }
+    }
+
+    /// Invalidates cached state after a policy change at `ip`.
+    ///
+    /// * Clean cache (nothing inserted since the last global flush):
+    ///   nothing to invalidate — the no-op is coalesced away without a
+    ///   generation bump, so repeated setup calls can never exhaust
+    ///   the generation counter.
+    /// * `scoped_invalidation`: only the megaflows pinned to `ip` are
+    ///   evicted (sound — every megaflow this pipeline generates pins
+    ///   `ip_dst`); the EMC is still invalidated wholesale, because
+    ///   its entries carry no destination index (the ablation's
+    ///   caveat).
+    /// * Global (the OVS behaviour the paper attacks): the whole
+    ///   megaflow cache is cleared and the EMC generation bumped.
+    ///
+    /// Staged installs are discarded either way — they were generated
+    /// under the old policy; landing them would cache stale verdicts.
+    /// Queued upcalls stay: a handler classifies them under whatever
+    /// policy is live when it reaches them, exactly like real OVS.
+    fn invalidate_for(&mut self, ip: u32) -> usize {
+        if !self.cache_dirty {
+            return 0;
+        }
         self.pipeline.discard_installs();
+        self.stats.cache_flushes += 1;
+        let flushed = if self.config.scoped_invalidation {
+            self.mfc.evict_destination(ip)
+        } else {
+            let all = self.mfc.len();
+            self.mfc.clear();
+            self.cache_dirty = false;
+            all
+        };
         self.generation += 1;
+        self.stats.flushed_megaflows += flushed as u64;
+        flushed
     }
 
     /// The megaflow mask count — Fig. 3's right-hand axis.
@@ -567,6 +739,7 @@ impl VSwitch {
                 && self
                     .emc
                     .insert_hashed(hash, key, action, self.generation, now);
+            self.cache_dirty |= emc_inserted;
             let path = PathTaken::MegaflowHit {
                 probes: out.probes,
                 stage_checks: out.stage_checks,
@@ -664,6 +837,7 @@ impl VSwitch {
             && self
                 .emc
                 .insert_hashed(hash, key, action, self.generation, now);
+        self.cache_dirty |= installed || emc_inserted;
         let path = PathTaken::Upcall {
             probes: out.probes,
             stage_checks: out.stage_checks,
@@ -803,6 +977,9 @@ impl VSwitch {
             !already && self.mfc.len() + self.pipeline.fresh_staged() < self.config.flow_limit;
         self.pipeline
             .stage_install(megaflow, action, now, installed);
+        // Staged installs land at the step-end flush: the cache is no
+        // longer clean the moment one exists.
+        self.cache_dirty = true;
 
         let emc_inserted = pending.emc_probed
             && self
@@ -1355,6 +1532,169 @@ mod tests {
         assert!(sw.config().staged_lookup);
         let o = sw.process(&pkt([10, 2, 2, 2], 2000), t + SimTime::from_millis(1));
         assert!(o.verdict.permits(), "cache still serves after retrofit");
+    }
+
+    #[test]
+    fn reattach_preserves_the_installed_acl() {
+        // Regression: a vport move (or a buggy double-attach) must not
+        // silently replace a deny ACL with a permissive slow path.
+        let mut sw = switch_with_fig2_acl();
+        let denied = pkt([99, 1, 1, 1], 1);
+        assert_eq!(sw.process(&denied, SimTime::ZERO).verdict, Action::Deny);
+        // Re-attach the same IP at a new vport: not a fresh attach.
+        assert!(!sw.attach_pod(u32::from_be_bytes(POD_IP), 9));
+        let o = sw.process(&denied, SimTime::from_millis(1));
+        assert_eq!(o.verdict, Action::Deny, "deny rule survives re-attach");
+        // Allowed traffic now exits the new vport.
+        let o = sw.process(&pkt([10, 1, 1, 1], 7), SimTime::from_millis(1));
+        assert_eq!(o.verdict, Action::Allow);
+        assert_eq!(o.output, Some(9));
+        // A genuinely new IP is a fresh attach.
+        assert!(sw.attach_pod(u32::from_be_bytes([10, 0, 0, 50]), 4));
+    }
+
+    #[test]
+    fn setup_sequence_flushes_coalesce_on_a_clean_cache() {
+        // attach_pod → install_acl per pod, many pods: zero generation
+        // bumps and zero counted flushes, because nothing was ever
+        // cached in between. This is the generation-overflow-free pin.
+        let mut sw = VSwitch::new(DpConfig::default());
+        for i in 0..64u32 {
+            assert!(sw.attach_pod(0x0a00_0100 + i, i + 1));
+            assert!(sw.install_acl(0x0a00_0100 + i, whitelist_with_default_deny(&[])));
+        }
+        assert_eq!(sw.emc_generation(), 0, "no generation burned");
+        let s = sw.stats();
+        assert_eq!(s.cache_flushes, 0);
+        assert_eq!(s.flushed_megaflows, 0);
+        assert_eq!(s.policy_updates, 128, "updates still counted");
+        // Once traffic caches something, the next update really flushes
+        // — exactly one generation per effective flush.
+        sw.remove_acl(0x0a00_0100);
+        sw.process(
+            &FlowKey::tcp([10, 1, 1, 1], [10, 0, 1, 0], 5, 5),
+            SimTime::ZERO,
+        );
+        assert_eq!(sw.emc_generation(), 0);
+        assert!(sw.install_acl(0x0a00_0100, whitelist_with_default_deny(&[])));
+        assert_eq!(sw.emc_generation(), 1);
+        assert_eq!(sw.stats().cache_flushes, 1);
+        assert_eq!(sw.stats().flushed_megaflows, 1);
+        // And the follow-up update on the again-clean cache coalesces.
+        sw.remove_acl(0x0a00_0100);
+        assert_eq!(sw.emc_generation(), 1);
+    }
+
+    #[test]
+    fn scoped_invalidation_spares_other_destinations() {
+        let other_ip = [10, 0, 0, 98];
+        let mut sw = VSwitch::new(DpConfig {
+            trie_fields: vec![Field::IpSrc],
+            scoped_invalidation: true,
+            ..DpConfig::default()
+        });
+        sw.attach_pod(u32::from_be_bytes(POD_IP), POD_VPORT);
+        sw.attach_pod(u32::from_be_bytes(other_ip), 5);
+        let allow = MaskedKey::new(
+            FlowKey::tcp([10, 0, 0, 0], [0, 0, 0, 0], 0, 0),
+            FlowMask::default().with_prefix(Field::IpSrc, 8),
+        );
+        sw.install_acl(
+            u32::from_be_bytes(POD_IP),
+            whitelist_with_default_deny(&[allow]),
+        );
+        let t = SimTime::from_millis(1);
+        // Cache state for both destinations.
+        sw.process(&pkt([10, 1, 1, 1], 1000), t);
+        sw.process(&FlowKey::tcp([10, 3, 3, 3], other_ip, 1, 1), t);
+        assert_eq!(sw.megaflow_count(), 2);
+        // Re-installing the pod's ACL evicts only the pod's megaflow.
+        assert!(sw.install_acl(
+            u32::from_be_bytes(POD_IP),
+            whitelist_with_default_deny(&[allow]),
+        ));
+        assert_eq!(sw.megaflow_count(), 1, "other pod's megaflow survives");
+        assert_eq!(sw.stats().flushed_megaflows, 1);
+        // The other pod's traffic rides its megaflow (EMC was bumped —
+        // the caveat — so the first packet is a megaflow hit, not EMC).
+        let o = sw.process(&FlowKey::tcp([10, 3, 3, 3], other_ip, 1, 1), t);
+        assert!(o.path.is_megaflow(), "no re-upcall for the bystander");
+        // The updated pod rebuilds through the slow path as it must.
+        let o = sw.process(&pkt([10, 1, 1, 1], 1000), t);
+        assert!(o.path.is_upcall());
+        // The runtime knob flips back to global flushes.
+        sw.set_scoped_invalidation(false);
+        assert!(!sw.config().scoped_invalidation);
+        assert!(sw.install_acl(
+            u32::from_be_bytes(POD_IP),
+            whitelist_with_default_deny(&[allow]),
+        ));
+        assert_eq!(sw.megaflow_count(), 0, "global flush takes everything");
+    }
+
+    #[test]
+    fn costed_updates_charge_the_cycle_budget() {
+        let mut sw = switch_with_fig2_acl();
+        let pod_ip = u32::from_be_bytes(POD_IP);
+        let cost = *sw.cost_model();
+        let allow = MaskedKey::new(
+            FlowKey::tcp([10, 0, 0, 0], [0, 0, 0, 0], 0, 0),
+            FlowMask::default().with_prefix(Field::IpSrc, 8),
+        );
+        // Clean cache: the update costs the fixed share only.
+        let o = sw.apply_install_acl(pod_ip, whitelist_with_default_deny(&[allow]));
+        assert!(o.applied);
+        assert_eq!(o.flushed_megaflows, 0);
+        assert_eq!(o.cycles, cost.control_update_cycles(0));
+        // Populate two megaflows, then flush them through the costed
+        // path: the per-entry teardown is charged.
+        let t = SimTime::from_millis(1);
+        sw.process(&pkt([10, 1, 1, 1], 1), t);
+        sw.process(&pkt([128, 1, 1, 1], 1), t);
+        let cached = sw.megaflow_count();
+        assert!(cached >= 2);
+        let packet_cycles = sw.stats().cycles - o.cycles;
+        let o2 = sw.apply_remove_acl(pod_ip);
+        assert!(o2.applied);
+        assert!(!o2.scoped);
+        assert_eq!(o2.flushed_megaflows, cached);
+        assert_eq!(o2.cycles, cost.control_update_cycles(cached));
+        let s = sw.stats();
+        assert_eq!(s.control_cycles, o.cycles + o2.cycles);
+        assert_eq!(s.cycles, packet_cycles + s.control_cycles);
+        assert_eq!(s.policy_updates, 2 + 2, "setup install + attach + 2 costed");
+        // An update on an unattached IP applies nothing but still
+        // costs the control-plane round trip.
+        let o3 = sw.apply_remove_acl(0xdead_beef);
+        assert!(!o3.applied);
+        assert_eq!(o3.cycles, cost.control_update_cycles(0));
+    }
+
+    #[test]
+    fn revalidator_interval_is_configurable_and_rearmable() {
+        // Construction honours DpConfig::revalidator_interval...
+        let mut sw = VSwitch::new(DpConfig {
+            revalidator_interval: SimTime::from_millis(250),
+            ..DpConfig::default()
+        });
+        sw.attach_pod(u32::from_be_bytes(POD_IP), POD_VPORT);
+        assert_eq!(sw.next_revalidation(), SimTime::from_millis(250));
+        assert!(sw.revalidate(SimTime::from_millis(249)).is_none());
+        assert!(sw.revalidate(SimTime::from_millis(250)).is_some());
+        assert_eq!(sw.next_revalidation(), SimTime::from_millis(500));
+        // ...and the runtime setter re-arms on the new grid, keeping
+        // the live config in sync.
+        sw.set_revalidator_interval(SimTime::from_secs(2), SimTime::from_millis(300));
+        assert_eq!(sw.config().revalidator_interval, SimTime::from_secs(2));
+        assert_eq!(sw.next_revalidation(), SimTime::from_secs(2));
+        assert!(sw.revalidate(SimTime::from_millis(1_999)).is_none());
+        assert!(sw.revalidate(SimTime::from_secs(2)).is_some());
+        // The sweep still evicts on the idle-timeout boundary.
+        let p = pkt([10, 1, 1, 1], 1000);
+        sw.process(&p, SimTime::from_secs(2));
+        assert_eq!(sw.megaflow_count(), 1);
+        assert!(sw.revalidate(SimTime::from_secs(14)).is_some());
+        assert_eq!(sw.megaflow_count(), 0, "idled out under the new grid");
     }
 
     #[test]

@@ -406,6 +406,8 @@ mod tests {
             upcalls: 10,
             upcall_backlog: backlog,
             upcall_drops: drops,
+            policy_updates: 0,
+            cache_flushes: 0,
             top_offenders: vec![],
         }
     }

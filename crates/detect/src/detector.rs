@@ -26,16 +26,21 @@ pub enum Signal {
     UpcallDrops,
     /// EMC collision evictions per packet (cache pollution).
     EmcThrash,
+    /// Control-plane policy updates per window (the policy-flap
+    /// attack's packet-free signature: ACL churn forcing flush
+    /// storms).
+    PolicyChurn,
 }
 
 impl Signal {
     /// All signals, in reporting order.
-    pub const ALL: [Signal; 5] = [
+    pub const ALL: [Signal; 6] = [
         Signal::ProbeDepth,
         Signal::MaskGrowth,
         Signal::UpcallBacklog,
         Signal::UpcallDrops,
         Signal::EmcThrash,
+        Signal::PolicyChurn,
     ];
 
     /// Extracts this signal's value from a sample. Mask growth is
@@ -47,6 +52,7 @@ impl Signal {
             Signal::UpcallBacklog => s.upcall_backlog as f64,
             Signal::UpcallDrops => s.upcall_drops as f64,
             Signal::EmcThrash => s.emc_thrash,
+            Signal::PolicyChurn => s.policy_updates as f64,
         }
     }
 }
@@ -82,6 +88,8 @@ pub struct DetectorConfig {
     pub upcall_drops: SignalConfig,
     /// EMC-thrash tuning.
     pub emc_thrash: SignalConfig,
+    /// Policy-churn tuning.
+    pub policy_churn: SignalConfig,
     /// Destinations with *more than* this many masks are named as
     /// offenders (event attribution and the quarantine actuator share
     /// the filter: [`crate::TelemetrySample::offenders`]).
@@ -123,6 +131,17 @@ impl Default for DetectorConfig {
                 dev_floor: 0.05,
                 abs_min: 0.2,
             },
+            // Routine operations install or remove the odd ACL — zero
+            // or one update in almost every window; a flap attack runs
+            // orders of magnitude hotter. The floor of 4 updates per
+            // window keeps slow rollouts (a policy a second against a
+            // 100 ms window) below the radar.
+            policy_churn: SignalConfig {
+                k_on: 4.0,
+                k_off: 2.0,
+                dev_floor: 0.5,
+                abs_min: 4.0,
+            },
             offender_mask_threshold: 64,
         }
     }
@@ -137,6 +156,7 @@ impl DetectorConfig {
             Signal::UpcallBacklog => self.upcall_backlog,
             Signal::UpcallDrops => self.upcall_drops,
             Signal::EmcThrash => self.emc_thrash,
+            Signal::PolicyChurn => self.policy_churn,
         }
     }
 }
@@ -238,11 +258,11 @@ pub struct DetectionEvent {
     pub offenders: Vec<u32>,
 }
 
-/// All five signal detectors over one switch's telemetry stream.
+/// All six signal detectors over one switch's telemetry stream.
 #[derive(Debug, Clone)]
 pub struct DetectorBank {
     cfg: DetectorConfig,
-    detectors: [ChangePointDetector; 5],
+    detectors: [ChangePointDetector; 6],
 }
 
 impl DetectorBank {
@@ -257,6 +277,7 @@ impl DetectorBank {
                 mk(Signal::UpcallBacklog),
                 mk(Signal::UpcallDrops),
                 mk(Signal::EmcThrash),
+                mk(Signal::PolicyChurn),
             ],
         }
     }
@@ -407,6 +428,8 @@ mod tests {
             upcalls: 5,
             upcall_backlog: 0,
             upcall_drops: 0,
+            policy_updates: 0,
+            cache_flushes: 0,
             top_offenders: vec![],
         };
         for _ in 0..6 {
@@ -434,5 +457,35 @@ mod tests {
             bank.active_signals(),
             vec![Signal::UpcallBacklog, Signal::UpcallDrops]
         );
+    }
+
+    #[test]
+    fn policy_churn_alarms_on_flap_rates_not_rollouts() {
+        let mut bank = DetectorBank::new(DetectorConfig::default());
+        let with_updates = |updates: u64| TelemetrySample {
+            at: SimTime::ZERO,
+            packets: 1000,
+            avg_probe_depth: 1.0,
+            mask_count: 4,
+            mask_growth: 0,
+            emc_thrash: 0.0,
+            upcalls: 5,
+            upcall_backlog: 0,
+            upcall_drops: 0,
+            policy_updates: updates,
+            cache_flushes: updates,
+            top_offenders: vec![],
+        };
+        // Warm-up plus a slow rollout (one update every other window):
+        // stays quiet under the abs_min floor.
+        for i in 0..12u64 {
+            let events = bank.observe(&with_updates(i % 2));
+            assert!(events.is_empty(), "rollout churn must not alarm");
+        }
+        // A flap at 10 updates/window is a rising edge on PolicyChurn.
+        let events = bank.observe(&with_updates(10));
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].signal, Signal::PolicyChurn);
+        assert!(bank.active_signals().contains(&Signal::PolicyChurn));
     }
 }

@@ -50,6 +50,13 @@ pub struct TelemetrySample {
     pub upcall_backlog: usize,
     /// Upcalls tail-dropped at full queues this window.
     pub upcall_drops: u64,
+    /// Control-plane policy updates applied this window (ACL
+    /// installs/removals, pod attaches) — the policy-flap attack's
+    /// direct signature: churn without packets.
+    pub policy_updates: u64,
+    /// Effective cache invalidations this window (coalesced no-op
+    /// flushes are not counted).
+    pub cache_flushes: u64,
     /// Top destinations by current mask count, with their per-window
     /// growth, descending (at most the tap's `top_k`).
     pub top_offenders: Vec<OffenderDelta>,
@@ -79,6 +86,8 @@ pub struct TelemetryTap {
     prev_upcalls: u64,
     prev_drops: u64,
     prev_masks: usize,
+    prev_policy_updates: u64,
+    prev_flushes: u64,
     prev_attr: HashMap<u32, usize>,
 }
 
@@ -104,6 +113,8 @@ impl TelemetryTap {
             prev_upcalls: 0,
             prev_drops: 0,
             prev_masks: 0,
+            prev_policy_updates: 0,
+            prev_flushes: 0,
             prev_attr: HashMap::new(),
         }
     }
@@ -137,6 +148,8 @@ impl TelemetryTap {
         let mask_growth = mask_count as i64 - self.prev_masks as i64;
         let upcalls = stats.upcalls - self.prev_upcalls;
         let upcall_drops = up.queue_drops - self.prev_drops;
+        let policy_updates = stats.policy_updates - self.prev_policy_updates;
+        let cache_flushes = stats.cache_flushes - self.prev_flushes;
 
         // One attribution pass; per-destination growth vs the previous
         // sample's attribution.
@@ -161,6 +174,8 @@ impl TelemetryTap {
         self.prev_upcalls = stats.upcalls;
         self.prev_drops = up.queue_drops;
         self.prev_masks = mask_count;
+        self.prev_policy_updates = stats.policy_updates;
+        self.prev_flushes = stats.cache_flushes;
         self.prev_attr = attr_now;
 
         TelemetrySample {
@@ -173,6 +188,8 @@ impl TelemetryTap {
             upcalls,
             upcall_backlog: switch.upcall_queue_depth(),
             upcall_drops,
+            policy_updates,
+            cache_flushes,
             top_offenders,
         }
     }
@@ -193,6 +210,8 @@ mod tests {
         let s0 = tap.sample(&sw, SimTime::ZERO);
         assert_eq!(s0.packets, 0);
         assert_eq!(s0.mask_count, 0);
+        assert_eq!(s0.policy_updates, 1, "the build-time attach");
+        assert_eq!(s0.cache_flushes, 0, "clean-cache flush coalesced");
 
         for i in 0..10u16 {
             sw.process(
@@ -220,5 +239,13 @@ mod tests {
         assert_eq!(s2.mask_growth, 0);
         assert_eq!(s2.avg_probe_depth, 0.0);
         assert_eq!(s2.top_offenders[0].growth, 0);
+        assert_eq!(s2.policy_updates, 0);
+
+        // A runtime ACL install on the now-dirty cache is one update
+        // and one effective flush in the next window's delta.
+        sw.install_acl(dst, pi_classifier::table::whitelist_with_default_deny(&[]));
+        let s3 = tap.sample(&sw, SimTime::from_millis(4));
+        assert_eq!(s3.policy_updates, 1);
+        assert_eq!(s3.cache_flushes, 1);
     }
 }

@@ -19,6 +19,7 @@ use std::sync::mpsc::{Receiver, SyncSender};
 use std::thread;
 
 use pi_classifier::FlowTable;
+use pi_cms::ControlPlaneProgram;
 use pi_core::{Port, SimTime};
 use pi_datapath::{CostModel, DpConfig};
 use pi_detect::DefenseController;
@@ -48,6 +49,7 @@ pub struct FleetBuilder {
     sources: Vec<(usize, Box<dyn TrafficSource + Send>)>,
     migrations: Vec<MigrationSpec>,
     defenses: Vec<(usize, DefenseController)>,
+    control_planes: Vec<(usize, ControlPlaneProgram)>,
 }
 
 impl FleetBuilder {
@@ -63,6 +65,7 @@ impl FleetBuilder {
             sources: Vec::new(),
             migrations: Vec::new(),
             defenses: Vec::new(),
+            control_planes: Vec::new(),
         }
     }
 
@@ -126,6 +129,16 @@ impl FleetBuilder {
         self.defenses.push((host, controller));
     }
 
+    /// Attaches a timed control-plane program to `host`: its scheduled
+    /// policy updates land on the epoch grid (tick boundaries), each
+    /// charged against the host's cycle budget. The driver is strictly
+    /// shard-local state, so worker-count determinism is preserved —
+    /// including the policy-update timelines in the report. Multiple
+    /// programs for one host are merged.
+    pub fn attach_control_plane(&mut self, host: usize, program: ControlPlaneProgram) {
+        self.control_planes.push((host, program));
+    }
+
     /// Finalises the topology.
     pub fn build(self) -> FleetSim {
         assert!(!self.hosts.is_empty(), "need at least one host");
@@ -161,6 +174,13 @@ impl FleetBuilder {
 
         for (host, controller) in self.defenses {
             nodes[host].attach_defense(controller);
+        }
+        let mut programs: HashMap<usize, ControlPlaneProgram> = HashMap::new();
+        for (host, program) in self.control_planes {
+            programs.entry(host).or_default().merge(program);
+        }
+        for (host, program) in programs {
+            nodes[host].attach_control_plane(program.compile());
         }
 
         let source_home: Vec<usize> = self.sources.iter().map(|(h, _)| *h).collect();

@@ -31,6 +31,11 @@ pub struct FleetReport {
     /// Per-host slow-path handler CPU, cycles/second (zero under the
     /// inline pipeline).
     pub handler_cps: Vec<TimeSeries>,
+    /// Per-host policy-update timeline: cumulative control-plane
+    /// updates applied to the host's switch, sampled per window. Flat
+    /// at the build-time setup count for hosts with no runtime churn;
+    /// a policy-flap attack shows up as a steady ramp.
+    pub policy_updates: Vec<TimeSeries>,
     /// Final switch statistics per host.
     pub switch_stats: Vec<SwitchStats>,
     /// Final upcall-pipeline statistics per host (all zero under
@@ -62,6 +67,11 @@ pub struct BlastRadius {
     /// only hosts with a nonzero count — the handler-saturation
     /// footprint of the attack, visible even when throughput holds up.
     pub upcall_drops: Vec<(usize, u64)>,
+    /// Control-plane churn per host (host index, effective cache
+    /// flushes), listing only hosts whose switch flushed at least once
+    /// — the policy-flap attack's footprint: a host can be collapsing
+    /// under flush storms while receiving zero attack packets.
+    pub policy_churn: Vec<(usize, u64)>,
     /// Detection timeline: defended hosts whose controller raised at
     /// least one detection, with the first detection time.
     pub detections: Vec<(usize, SimTime)>,
@@ -92,6 +102,7 @@ impl FleetReport {
         let mut megaflows = Vec::with_capacity(hosts);
         let mut cpu = Vec::with_capacity(hosts);
         let mut handler_cps = Vec::with_capacity(hosts);
+        let mut policy_updates = Vec::with_capacity(hosts);
         let mut stats = Vec::with_capacity(hosts);
         let mut upcall = Vec::with_capacity(hosts);
         let mut defense = Vec::with_capacity(hosts);
@@ -105,6 +116,7 @@ impl FleetReport {
             megaflows.push(shard.megaflows);
             cpu.push(shard.cpu);
             handler_cps.push(shard.handler_cps);
+            policy_updates.push(shard.policy_updates);
             for slot in shard.slots {
                 let g = slot.global;
                 throughput[g] = Some(slot.throughput);
@@ -128,6 +140,7 @@ impl FleetReport {
             megaflows,
             cpu_util: cpu,
             handler_cps,
+            policy_updates,
             switch_stats: stats,
             upcall_stats: upcall,
             source_totals: totals.into_iter().map(|t| t.expect("source")).collect(),
@@ -165,6 +178,10 @@ impl FleetReport {
                 policy_drops,
                 cycles,
                 subtable_probes,
+                policy_updates,
+                cache_flushes,
+                flushed_megaflows,
+                control_cycles,
             } = *s;
             total.packets += packets;
             total.microflow_hits += microflow_hits;
@@ -173,6 +190,10 @@ impl FleetReport {
             total.policy_drops += policy_drops;
             total.cycles += cycles;
             total.subtable_probes += subtable_probes;
+            total.policy_updates += policy_updates;
+            total.cache_flushes += cache_flushes;
+            total.flushed_megaflows += flushed_megaflows;
+            total.control_cycles += control_cycles;
         }
         total
     }
@@ -223,6 +244,13 @@ impl FleetReport {
             .filter(|(_, u)| u.queue_drops > 0)
             .map(|(i, u)| (i, u.queue_drops))
             .collect();
+        let policy_churn = self
+            .switch_stats
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.cache_flushes > 0)
+            .map(|(i, s)| (i, s.cache_flushes))
+            .collect();
         let detections = self
             .defense
             .iter()
@@ -240,6 +268,7 @@ impl FleetReport {
             degraded_sources,
             affected_hosts,
             upcall_drops,
+            policy_churn,
             detections,
             mitigations,
         }
@@ -257,6 +286,7 @@ mod tests {
             degraded_sources: vec![],
             affected_hosts: vec![],
             upcall_drops: vec![],
+            policy_churn: vec![],
             detections: vec![],
             mitigations: vec![],
         };

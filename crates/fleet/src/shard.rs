@@ -172,6 +172,9 @@ pub(crate) struct HostShard {
     pub megaflows: TimeSeries,
     pub cpu: TimeSeries,
     pub handler_cps: TimeSeries,
+    /// Cumulative control-plane policy updates applied to this host's
+    /// switch, sampled per window — the policy-churn timeline.
+    pub policy_updates: TimeSeries,
     genbuf: Vec<GenPacket>,
 }
 
@@ -193,6 +196,7 @@ impl HostShard {
             megaflows: TimeSeries::new(&format!("host{id}_megaflows")),
             cpu: TimeSeries::new(&format!("host{id}_cpu")),
             handler_cps: TimeSeries::new(&format!("host{id}_handler_cps")),
+            policy_updates: TimeSeries::new(&format!("host{id}_policy_updates")),
             id,
             node,
             routes,
@@ -235,7 +239,12 @@ impl HostShard {
                     self.routes.insert(*ip, *shard);
                 }
                 HostCmd::DetachToUplink { ip } => {
+                    // attach_pod preserves an installed slow path on
+                    // re-attach; the departed pod's ACL must not keep
+                    // filtering at this host's uplink hop — enforcement
+                    // moves with the pod.
                     self.node.switch_mut().attach_pod(*ip, Port::Uplink.raw());
+                    self.node.switch_mut().remove_acl(*ip);
                 }
                 HostCmd::AttachLocal { ip, vport, acl } => {
                     self.node.switch_mut().attach_pod(*ip, *vport);
@@ -357,6 +366,8 @@ impl HostShard {
                 t,
                 self.node.take_window_handler_cycles() as f64 / ctx.window_secs,
             );
+            self.policy_updates
+                .push(t, self.node.switch().stats().policy_updates as f64);
         }
 
         out

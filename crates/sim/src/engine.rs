@@ -8,6 +8,7 @@
 use std::collections::HashMap;
 
 use pi_classifier::FlowTable;
+use pi_cms::ControlPlaneProgram;
 use pi_core::{Port, SimTime};
 use pi_datapath::{CostModel, DpConfig, SwitchStats, UpcallStats};
 use pi_detect::{attribute_masks, DefenseController, DefenseReport, MaskAttribution};
@@ -44,6 +45,7 @@ pub struct SimBuilder {
     sources: Vec<(usize, Box<dyn TrafficSource>)>,
     next_vport: Vec<u32>,
     defenses: Vec<(usize, DefenseController)>,
+    control_planes: Vec<(usize, ControlPlaneProgram)>,
 }
 
 impl SimBuilder {
@@ -58,6 +60,7 @@ impl SimBuilder {
             sources: Vec::new(),
             next_vport: Vec::new(),
             defenses: Vec::new(),
+            control_planes: Vec::new(),
         }
     }
 
@@ -104,6 +107,14 @@ impl SimBuilder {
         self.defenses.push((node, controller));
     }
 
+    /// Attaches a timed control-plane program to `node`: its scheduled
+    /// policy updates land at tick boundaries mid-run, each charged
+    /// against the node's cycle budget. Multiple programs for one node
+    /// are merged (each keeps its own timings).
+    pub fn attach_control_plane(&mut self, node: usize, program: ControlPlaneProgram) {
+        self.control_planes.push((node, program));
+    }
+
     /// Finalises the topology.
     pub fn build(self) -> Simulation {
         assert!(!self.dp_configs.is_empty(), "need at least one node");
@@ -135,6 +146,13 @@ impl SimBuilder {
         }
         for (node, controller) in self.defenses {
             nodes[node].attach_defense(controller);
+        }
+        let mut programs: HashMap<usize, ControlPlaneProgram> = HashMap::new();
+        for (node, program) in self.control_planes {
+            programs.entry(node).or_default().merge(program);
+        }
+        for (node, program) in programs {
+            nodes[node].attach_control_plane(program.compile());
         }
         let sources = self
             .sources

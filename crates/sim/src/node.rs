@@ -11,6 +11,7 @@
 
 use std::collections::{HashMap, VecDeque};
 
+use pi_cms::{ControlPlane, PolicyUpdate};
 use pi_core::{FlowKey, Port, SimTime};
 use pi_datapath::{CostModel, DpConfig, PathTaken, VSwitch};
 use pi_detect::{DefenseAction, DefenseController, DefenseReport};
@@ -66,6 +67,12 @@ pub struct NodeCell<T> {
     /// engine) means both the two-node engine and the fleet shards get
     /// the identical control loop.
     defense: Option<DefenseController>,
+    /// Optional timed control plane: scheduled policy updates applied
+    /// at the start of each tick (the epoch grid), with their flush
+    /// cost charged against the tick's cycle budget. Node-local state,
+    /// so both engines — and any fleet worker count — see the same
+    /// updates at the same ticks.
+    control: Option<ControlPlane>,
 }
 
 impl<T> NodeCell<T> {
@@ -79,7 +86,24 @@ impl<T> NodeCell<T> {
             window_handler_cycles: 0,
             deferred: HashMap::new(),
             defense: None,
+            control: None,
         }
+    }
+
+    /// Attaches a compiled control-plane driver: its updates land at
+    /// tick boundaries during [`NodeCell::step`].
+    pub fn attach_control_plane(&mut self, driver: ControlPlane) {
+        self.control = Some(driver);
+    }
+
+    /// Whether a control plane is attached.
+    pub fn has_control_plane(&self) -> bool {
+        self.control.is_some()
+    }
+
+    /// Control-plane updates still waiting for their apply time.
+    pub fn control_plane_pending(&self) -> usize {
+        self.control.as_ref().map_or(0, |c| c.pending())
     }
 
     /// The node's switch.
@@ -138,6 +162,24 @@ impl<T> NodeCell<T> {
         mut sink: impl FnMut(NodePacket<T>, Routing),
     ) {
         let mut budget = cycles_per_tick as i64 + self.cycle_carry;
+        // Control-plane updates land first (start-of-tick grid) and
+        // consume the same datapath budget packets run under — an
+        // install-triggered flush storm is paid for, not free.
+        if let Some(cp) = &mut self.control {
+            let switch = &mut self.switch;
+            let window_cycles = &mut self.window_cycles;
+            for scheduled in cp.due(now) {
+                let outcome = match &scheduled.update {
+                    PolicyUpdate::InstallAcl { ip, table } => {
+                        switch.apply_install_acl(*ip, table.clone())
+                    }
+                    PolicyUpdate::RemoveAcl { ip } => switch.apply_remove_acl(*ip),
+                    PolicyUpdate::AttachPod { ip, vport } => switch.apply_attach_pod(*ip, *vport),
+                };
+                budget -= outcome.cycles as i64;
+                *window_cycles += outcome.cycles;
+            }
+        }
         let mut keys = [FlowKey::default(); VSwitch::BATCH_SIZE];
         while budget > 0 && !self.queue.is_empty() {
             let n = self.queue.len().min(VSwitch::BATCH_SIZE);
@@ -391,6 +433,67 @@ mod tests {
         assert_eq!(n.deferred_len(), 0);
         assert!(n.take_window_handler_cycles() > 0);
         assert_eq!(n.take_window_handler_cycles(), 0, "window resets");
+    }
+
+    #[test]
+    fn control_plane_updates_land_on_the_tick_grid_and_cost_budget() {
+        use pi_classifier::table::whitelist_with_default_deny;
+        use pi_cms::ControlPlaneProgram;
+
+        let mut n = node();
+        let pod = u32::from_be_bytes([10, 0, 0, 2]);
+        let mut program = ControlPlaneProgram::new();
+        // Deny-everything ACL lands at 2 ms.
+        program.install_acl(
+            SimTime::from_millis(2),
+            pod,
+            whitelist_with_default_deny(&[]),
+        );
+        n.attach_control_plane(program.compile());
+        assert!(n.has_control_plane());
+        assert_eq!(n.control_plane_pending(), 1);
+
+        // Tick 1: update not due; traffic flows.
+        n.enqueue(pkt([10, 0, 0, 2]), 10);
+        let mut got = Vec::new();
+        n.step(SimTime::from_millis(1), 1_000_000, |p, r| {
+            got.push((p.source, r))
+        });
+        assert_eq!(got, vec![(7, Routing::Local(1))]);
+        assert_eq!(n.control_plane_pending(), 1);
+        let cycles_before = n.switch().stats().control_cycles;
+        assert_eq!(cycles_before, 0);
+
+        // Tick 2: the ACL lands at tick start — the same tick's
+        // packets are already classified under the new policy, and the
+        // update's cycles come out of the tick budget.
+        n.enqueue(pkt([10, 0, 0, 2]), 10);
+        let mut got = Vec::new();
+        n.step(SimTime::from_millis(2), 1_000_000, |p, r| {
+            got.push((p.source, r))
+        });
+        assert_eq!(got, vec![(7, Routing::Denied)], "new ACL in force");
+        assert_eq!(n.control_plane_pending(), 0);
+        let control = n.switch().stats().control_cycles;
+        assert!(control > 0, "the update was charged");
+        // The window cycles include the control share.
+        assert!(n.take_window_cycles() >= control);
+
+        // A microscopic budget still applies the update (control-plane
+        // work is not optional) but the overrun suppresses packets.
+        let mut n2 = node();
+        let mut program = ControlPlaneProgram::new();
+        program.install_acl(
+            SimTime::from_millis(1),
+            pod,
+            whitelist_with_default_deny(&[]),
+        );
+        n2.attach_control_plane(program.compile());
+        n2.enqueue(pkt([10, 0, 0, 2]), 10);
+        let mut count = 0;
+        n2.step(SimTime::from_millis(1), 1, |_, _| count += 1);
+        assert_eq!(count, 0, "budget consumed by the update");
+        assert_eq!(n2.queue_len(), 1, "packet waits for the debt to clear");
     }
 
     #[test]

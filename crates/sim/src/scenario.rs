@@ -1,11 +1,11 @@
 //! Pre-built scenarios for the paper's experiments.
 
 use pi_attack::{AttackSchedule, AttackSpec, CovertSequence};
-use pi_cms::{Cidr, IngressRule, NetworkPolicy, PolicyCompiler, Protocol};
+use pi_cms::{Cidr, ControlPlaneProgram, IngressRule, NetworkPolicy, PolicyCompiler, Protocol};
 use pi_core::{FlowKey, SimTime};
 use pi_datapath::{DpConfig, PipelineMode, UpcallPipelineConfig, VSwitch};
 use pi_detect::{ControllerConfig, DefenseController};
-use pi_traffic::{ChurnSource, IperfSource, PoissonFlowSource};
+use pi_traffic::{ChurnSource, FanSource, IperfSource, PoissonFlowSource};
 
 use crate::engine::{SimBuilder, Simulation};
 use crate::SimConfig;
@@ -508,6 +508,219 @@ pub fn adaptive_defense_scenario(
     )
 }
 
+/// Parameters of the policy-churn (control-plane flush storm)
+/// scenario.
+#[derive(Debug, Clone)]
+pub struct PolicyChurnParams {
+    /// Run length.
+    pub duration: SimTime,
+    /// When the policy-flap train begins (everything before it is the
+    /// benign phase).
+    pub attack_start: SimTime,
+    /// Whether the attacker flaps at all (false = the benign baseline:
+    /// only routine control-plane churn).
+    pub flap: bool,
+    /// Interval between the attacker's ACL re-installs.
+    pub flap_period: SimTime,
+    /// Cache-invalidation scope of every policy update on the node
+    /// ([`DpConfig::scoped_invalidation`]) — the ablation knob: global
+    /// flushes are what give the flap its amplification.
+    pub scoped_invalidation: bool,
+    /// Whitelisted victim clients. Each client is a distinct /32 rule
+    /// in the victim's ACL, so each owns a distinct megaflow — a full
+    /// flush forces one slow-path rebuild *per client*.
+    pub clients: usize,
+    /// Victim aggregate rate, packets/second across all clients.
+    pub victim_pps: f64,
+    /// Victim frame size, bytes.
+    pub victim_frame_bytes: usize,
+    /// Cadence of the routine (benign) control-plane churn: an ACL
+    /// install/remove alternation on the background pod. Present in
+    /// every run so the flap rows are judged against live-but-sane
+    /// control-plane activity, not silence.
+    pub benign_update_period: SimTime,
+    /// CMS → switch propagation delay of the benign updates.
+    pub benign_propagation_delay: SimTime,
+    /// Datapath CPU budget, cycles/second.
+    pub cpu_cycles_per_sec: u64,
+    /// Datapath configuration (scoped_invalidation is overridden by
+    /// the field above).
+    pub dp: DpConfig,
+    /// Optional closed-loop defense (the policy-churn detector's
+    /// integration point).
+    pub defense: Option<ControllerConfig>,
+}
+
+impl Default for PolicyChurnParams {
+    fn default() -> Self {
+        PolicyChurnParams {
+            duration: SimTime::from_secs(10),
+            attack_start: SimTime::from_secs(2),
+            flap: true,
+            flap_period: SimTime::from_millis(20),
+            scoped_invalidation: false,
+            clients: 512,
+            victim_pps: 40_000.0,
+            victim_frame_bytes: 400,
+            benign_update_period: SimTime::from_secs(1),
+            benign_propagation_delay: SimTime::from_millis(50),
+            cpu_cycles_per_sec: SimConfig::default().cpu_cycles_per_sec,
+            dp: DpConfig::default(),
+            defense: None,
+        }
+    }
+}
+
+/// Source/node indices of the built policy-churn scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PolicyChurnHandles {
+    /// The victim fan source.
+    pub victim_source: usize,
+    /// The single simulated node.
+    pub node: usize,
+    /// The victim pod's IP.
+    pub victim_ip: u32,
+    /// The attacker pod's IP (the flapped ACL's target).
+    pub attacker_ip: u32,
+}
+
+/// Builds the policy-churn experiment: one node hosting a victim
+/// service (an ACL whitelisting `clients` individual /32 peers, each
+/// peer a live flow) and a co-located attacker pod. The attacker sends
+/// **zero packets**; its entire attack is the control plane —
+/// [`AttackSchedule::policy_flap`] re-installs the attacker's own ACL
+/// every `flap_period`, and under global-flush invalidation every
+/// re-install wipes the victim's per-client megaflows and the whole
+/// EMC. The victim pays one slow-path rebuild per client per flap (an
+/// upcall plus a linear scan of its own whitelist), which exhausts the
+/// shared cycle budget; every flush is also charged its own teardown
+/// cost ([`pi_datapath::CostModel::control_update_cycles`]). Routine
+/// benign churn (install/remove on a background pod once a second,
+/// with a CMS propagation delay) runs in every configuration so the
+/// baseline is live control-plane activity, not silence. The
+/// scoped-invalidation ablation confines each update's eviction to the
+/// updated destination, which is what restores the victim.
+pub fn policy_churn_scenario(params: &PolicyChurnParams) -> (Simulation, PolicyChurnHandles) {
+    let cfg = SimConfig {
+        duration: params.duration,
+        cpu_cycles_per_sec: params.cpu_cycles_per_sec,
+        ..SimConfig::default()
+    };
+    let dp = DpConfig {
+        scoped_invalidation: params.scoped_invalidation,
+        ..params.dp.clone()
+    };
+    let mut b = SimBuilder::new(cfg);
+    let node = b.add_node(dp);
+
+    let victim_ip = u32::from_be_bytes([10, 1, 0, 10]);
+    let attacker_ip = u32::from_be_bytes([10, 1, 0, 66]);
+    let background_ip = u32::from_be_bytes([10, 1, 0, 20]);
+    b.add_pod(node, victim_ip);
+    b.add_pod(node, attacker_ip);
+    b.add_pod(node, background_ip);
+
+    // The victim's microsegmentation: one /32 whitelist entry per
+    // client peer — realistic for a service with a pinned client set,
+    // and the reason a global flush costs one rebuild per client.
+    assert!(params.clients > 0 && params.clients <= 65_536);
+    let client_ip = |i: usize| [10, 2, (i >> 8) as u8, (i & 0xff) as u8];
+    let victim_policy = NetworkPolicy {
+        name: "victim-peers".into(),
+        ingress: vec![IngressRule {
+            from: (0..params.clients)
+                .map(|i| Cidr::host(client_ip(i)))
+                .collect(),
+            ports: vec![(Protocol::Tcp, Some(5201))],
+        }],
+    };
+    b.install_acl(victim_ip, PolicyCompiler.compile_k8s(&victim_policy));
+
+    // The victim's standing traffic: every whitelisted client sends
+    // continuously (round-robin fan at the aggregate rate).
+    let victim_keys: Vec<FlowKey> = (0..params.clients)
+        .map(|i| {
+            FlowKey::tcp(
+                client_ip(i),
+                victim_ip.to_be_bytes(),
+                40_000 + (i % 16_000) as u16,
+                5201,
+            )
+        })
+        .collect();
+    let victim_source = b.add_source(
+        node,
+        Box::new(
+            FanSource::new(victim_keys, params.victim_frame_bytes, params.victim_pps)
+                .named("victim"),
+        ),
+    );
+
+    // The attacker's own, innocuous-looking ACL — installed once at
+    // build like any tenant policy...
+    let attacker_policy = NetworkPolicy {
+        name: "attacker-web".into(),
+        ingress: vec![IngressRule {
+            from: vec![Cidr::new(u32::from_be_bytes([10, 0, 0, 0]), 8).unwrap()],
+            ports: vec![(Protocol::Tcp, Some(8080))],
+        }],
+    };
+    let attacker_table = PolicyCompiler.compile_k8s(&attacker_policy);
+    b.install_acl(attacker_ip, attacker_table.clone());
+
+    // ...and then re-installed ad nauseam: the policy-flap train.
+    if params.flap {
+        b.attach_control_plane(
+            node,
+            AttackSchedule::policy_flap(
+                attacker_ip,
+                &attacker_table,
+                params.attack_start,
+                params.duration,
+                params.flap_period,
+            ),
+        );
+    }
+
+    // Routine churn: operations installs/removes an ACL on the
+    // background pod once per period, with CMS propagation delay.
+    let bg_table = PolicyCompiler.compile_k8s(&NetworkPolicy {
+        name: "background".into(),
+        ingress: vec![IngressRule {
+            from: vec![Cidr::new(u32::from_be_bytes([10, 0, 0, 0]), 8).unwrap()],
+            ports: vec![(Protocol::Tcp, None)],
+        }],
+    });
+    let mut benign =
+        ControlPlaneProgram::new().with_propagation_delay(params.benign_propagation_delay);
+    let mut at = params.benign_update_period;
+    let mut install = true;
+    while at < params.duration {
+        if install {
+            benign.install_acl(at, background_ip, bg_table.clone());
+        } else {
+            benign.remove_acl(at, background_ip);
+        }
+        install = !install;
+        at += params.benign_update_period;
+    }
+    b.attach_control_plane(node, benign);
+
+    if let Some(ctrl) = &params.defense {
+        b.attach_defense(node, DefenseController::new(*ctrl));
+    }
+
+    (
+        b.build(),
+        PolicyChurnHandles {
+            victim_source,
+            node,
+            victim_ip,
+            attacker_ip,
+        },
+    )
+}
+
 /// Peak-capacity measurement (E3/E4): how many packets/second one
 /// datapath core sustains as a function of the injected mask count.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -684,6 +897,80 @@ mod tests {
         // The benign source never suffered either way.
         let benign = &report.source_totals[h.benign_source];
         assert_eq!(benign.dropped_upcall, 0);
+    }
+
+    #[test]
+    fn policy_flap_collapses_the_victim_and_scoped_invalidation_restores_it() {
+        let run = |flap: bool, scoped: bool| {
+            let params = PolicyChurnParams {
+                duration: SimTime::from_secs(4),
+                attack_start: SimTime::from_secs(1),
+                flap,
+                scoped_invalidation: scoped,
+                ..Default::default()
+            };
+            let (sim, handles) = policy_churn_scenario(&params);
+            let report = sim.run();
+            let victim = report.source_totals[handles.victim_source].clone();
+            let stats = report.switch_stats[handles.node];
+            (victim, stats)
+        };
+
+        // Benign: routine churn costs next to nothing.
+        let (benign, benign_stats) = run(false, false);
+        assert!(
+            benign.delivered * 100 >= benign.generated * 99,
+            "benign churn must not hurt the victim: {benign:?}"
+        );
+        assert!(benign_stats.policy_updates > 0, "benign churn is live");
+
+        // Flap + global flush: the victim collapses with zero attack
+        // packets on the wire.
+        let (flapped, flap_stats) = run(true, false);
+        assert!(
+            flapped.delivered * 2 < benign.delivered,
+            "policy flap must collapse the victim: {flapped:?} vs benign {benign:?}"
+        );
+        assert!(
+            flap_stats.cache_flushes > 100,
+            "the flap is a flush storm: {flap_stats:?}"
+        );
+        assert!(flap_stats.control_cycles > 0, "flushes are not free");
+
+        // Scoped invalidation: same flap, victim's megaflows survive.
+        let (scoped, scoped_stats) = run(true, true);
+        assert!(
+            scoped.delivered * 100 >= scoped.generated * 95,
+            "scoped invalidation must restore the victim: {scoped:?}"
+        );
+        assert!(
+            scoped_stats.cache_flushes > 100,
+            "the flap still churns — it just stops amplifying"
+        );
+    }
+
+    #[test]
+    fn policy_flap_is_detected_as_policy_churn() {
+        use pi_detect::Signal;
+        let params = PolicyChurnParams {
+            duration: SimTime::from_secs(4),
+            attack_start: SimTime::from_secs(2),
+            defense: Some(ControllerConfig::default()),
+            ..Default::default()
+        };
+        let (sim, handles) = policy_churn_scenario(&params);
+        let report = sim.run();
+        let defense = report.defense[handles.node].as_ref().expect("controller");
+        let churn_edges: Vec<_> = defense
+            .detections
+            .iter()
+            .filter(|e| e.signal == Signal::PolicyChurn)
+            .collect();
+        assert!(!churn_edges.is_empty(), "flap must raise PolicyChurn");
+        assert!(
+            churn_edges.iter().all(|e| e.at >= params.attack_start),
+            "benign-phase churn must not alarm: {churn_edges:?}"
+        );
     }
 
     #[test]

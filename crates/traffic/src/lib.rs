@@ -13,6 +13,9 @@
 //! * [`ChurnSource`] — connection churn: every packet is a brand-new
 //!   flow, the workload that keeps a switch's slow path busy (the
 //!   victim of the handler-saturation scenarios).
+//! * [`FanSource`] — a fixed population of concurrent flows served
+//!   round-robin at a constant aggregate rate (the victim of the
+//!   policy-churn scenarios: every flush forces a rebuild per flow).
 //!
 //! Every source implements [`TrafficSource`]: the simulator asks for the
 //! packets of each tick interval and feeds delivery/drop counts back.
@@ -22,12 +25,14 @@
 
 pub mod cbr;
 pub mod churn;
+pub mod fan;
 pub mod iperf;
 pub mod poisson;
 pub mod source;
 
 pub use cbr::CbrSource;
 pub use churn::ChurnSource;
+pub use fan::FanSource;
 pub use iperf::IperfSource;
 pub use poisson::PoissonFlowSource;
 pub use source::{GenPacket, TrafficSource};

@@ -74,7 +74,8 @@ pub mod prelude {
     };
     pub use pi_classifier::{Action, FlowTable, LinearClassifier, TupleSpaceSearch};
     pub use pi_cms::{
-        CalicoPolicy, Cidr, Cloud, NetworkPolicy, PolicyCompiler, PolicyDialect, SecurityGroup,
+        CalicoPolicy, Cidr, Cloud, ControlPlane, ControlPlaneProgram, NetworkPolicy,
+        PolicyCompiler, PolicyDialect, PolicyUpdate, SecurityGroup,
     };
     pub use pi_core::{Field, FlowKey, FlowMask, MaskedKey, Port, SimTime};
     pub use pi_datapath::{
@@ -91,9 +92,11 @@ pub mod prelude {
     pub use pi_metrics::{ascii_plot, CsvTable, Summary, TimeSeries};
     pub use pi_mitigation::{upcall_fair_share_config, CompiledAcl, MaskBudget};
     pub use pi_sim::{
-        adaptive_defense_scenario, fig3_scenario, measure_capacity, upcall_saturation_scenario,
-        AdaptiveDefenseParams, DefenseMode, Fig3Params, SimBuilder, SimConfig, SimReport,
-        UpcallSaturationParams,
+        adaptive_defense_scenario, fig3_scenario, measure_capacity, policy_churn_scenario,
+        upcall_saturation_scenario, AdaptiveDefenseParams, DefenseMode, Fig3Params,
+        PolicyChurnParams, SimBuilder, SimConfig, SimReport, UpcallSaturationParams,
     };
-    pub use pi_traffic::{CbrSource, ChurnSource, IperfSource, PoissonFlowSource, TrafficSource};
+    pub use pi_traffic::{
+        CbrSource, ChurnSource, FanSource, IperfSource, PoissonFlowSource, TrafficSource,
+    };
 }

@@ -22,6 +22,8 @@ fn drop_sample(at_ms: u64, drops: u64) -> TelemetrySample {
         upcalls: 10,
         upcall_backlog: 0,
         upcall_drops: drops,
+        policy_updates: 0,
+        cache_flushes: 0,
         top_offenders: vec![],
     }
 }
