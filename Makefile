@@ -2,7 +2,7 @@
 
 CARGO ?= cargo
 
-.PHONY: build test fmt-check clippy bench bench-fleet bench-hotpath bench-upcall bench-detect bench-policy example-fleet clean
+.PHONY: build test fmt-check clippy bench bench-fleet bench-hotpath bench-upcall bench-detect bench-policy bench-backends example-fleet clean
 
 build:
 	$(CARGO) build --release
@@ -51,6 +51,12 @@ bench-detect:
 # BENCH_policy.json. See README "Control-plane churn".
 bench-policy:
 	$(CARGO) run --release -p pi_bench --bin policy_churn
+
+# Cross-backend immunity matrix: {backend x attack x defense} cells
+# with retained-capacity ratios over all four dataplane backends;
+# writes BENCH_backends.json. See README "Dataplane backends".
+bench-backends:
+	$(CARGO) run --release -p pi_bench --bin backend_matrix
 
 example-fleet:
 	$(CARGO) run --release --example fleet_blast_radius

@@ -1,0 +1,220 @@
+//! The [`DataplaneBackend`] trait: one contract over every dataplane
+//! architecture the matrix compares.
+//!
+//! The trait is deliberately shaped after the surface `pi_sim::NodeCell`,
+//! the fleet shards and the `pi_detect` telemetry tap already consumed
+//! from [`VSwitch`] — implementing it for the OVS pipeline is pure
+//! delegation, which is what lets the differential test pin the adapter
+//! bit-identical to the direct path. Everything is object-safe: sinks
+//! are `&mut dyn FnMut`, and the simulators hold a
+//! `Box<dyn DataplaneBackend>`.
+
+use pi_classifier::FlowTable;
+use pi_core::{FlowKey, SimTime};
+use pi_datapath::emc::EmcStats;
+use pi_datapath::{
+    BackendKind, CostModel, DpConfig, PolicyUpdateOutcome, ProcessOutcome, ResolvedUpcall,
+    SwitchStats, UpcallStats, VSwitch,
+};
+use pi_mitigation::MaskAttribution;
+
+/// Maximum packets hashed per [`DataplaneBackend::process_batch`] phase
+/// (OVS's `NETDEV_MAX_BURST`; the other backends adopt the same batching
+/// granularity so tick loops need no per-backend array sizes).
+pub const BATCH_SIZE: usize = VSwitch::BATCH_SIZE;
+
+/// One dataplane architecture: classification, policy hooks, telemetry
+/// and cycle charging behind a uniform, object-safe contract.
+///
+/// ## Contract
+///
+/// * **Verdict soundness** — for any packet, the verdict must equal what
+///   the destination pod's ACL (ground truth: linear classification)
+///   decides; backends differ in *cost* and *cached state*, never in
+///   policy semantics.
+/// * **Mechanical costing** — every `ProcessOutcome::cycles` and
+///   `PolicyUpdateOutcome::cycles` is derived from counted work units
+///   priced by the shared [`CostModel`]; no backend may invent a flat
+///   "attack effect" constant.
+/// * **Determinism** — identical call sequences produce identical
+///   results; any internal randomness must come from the seeded
+///   `DpConfig` (the fleet replays nodes across worker counts and pins
+///   bit-identical reports).
+/// * **Telemetry** — the statistics snapshots reuse the OVS vocabulary
+///   ([`SwitchStats`], [`EmcStats`], [`UpcallStats`]); backends without
+///   a given structure report zeros for its counters, so the `pi_detect`
+///   tap runs unchanged everywhere.
+pub trait DataplaneBackend: std::fmt::Debug + Send {
+    /// Which architecture this is.
+    fn kind(&self) -> BackendKind;
+
+    /// The live configuration (kept in sync by the runtime setters, as
+    /// [`VSwitch`] does).
+    fn config(&self) -> &DpConfig;
+
+    /// The cycle cost model in force.
+    fn cost_model(&self) -> &CostModel;
+
+    // --- Build-time topology (free, before the simulated clock) -----
+
+    /// Attaches a pod: traffic to `ip` is delivered out of `vport`.
+    /// Returns true for a fresh attach (see [`VSwitch::attach_pod`] for
+    /// the re-attach semantics every backend mirrors).
+    fn attach_pod(&mut self, ip: u32, vport: u32) -> bool;
+
+    /// Installs (or replaces) the ingress ACL protecting the pod at
+    /// `ip`. Returns false if no pod is attached there.
+    fn install_acl(&mut self, ip: u32, table: FlowTable) -> bool;
+
+    /// Removes the ACL at `ip` (pod reverts to allow-all).
+    fn remove_acl(&mut self, ip: u32) -> bool;
+
+    // --- Costed control-plane entry points --------------------------
+
+    /// [`DataplaneBackend::install_acl`], costed: the outcome carries
+    /// the datapath cycles the update consumed (fixed handling plus
+    /// whatever invalidation/recompilation the architecture performs).
+    fn apply_install_acl(&mut self, ip: u32, table: FlowTable) -> PolicyUpdateOutcome;
+
+    /// [`DataplaneBackend::remove_acl`], costed.
+    fn apply_remove_acl(&mut self, ip: u32) -> PolicyUpdateOutcome;
+
+    /// [`DataplaneBackend::attach_pod`], costed.
+    fn apply_attach_pod(&mut self, ip: u32, vport: u32) -> PolicyUpdateOutcome;
+
+    // --- The datapath -----------------------------------------------
+
+    /// Processes a run of pre-parsed flow keys in arrival order. `sink`
+    /// receives each packet's index and outcome and returns whether to
+    /// continue; returning `false` stops the run (the simulator's
+    /// per-tick cycle budget), leaving later packets untouched. Returns
+    /// the number of packets processed.
+    fn process_batch(
+        &mut self,
+        keys: &[FlowKey],
+        now: SimTime,
+        sink: &mut dyn FnMut(usize, ProcessOutcome) -> bool,
+    ) -> usize;
+
+    /// Runs one handler step of the backend's deferred slow-path
+    /// pipeline, if it has one. Backends that resolve every packet
+    /// inline return 0 and never call `sink`.
+    fn drain_upcalls(&mut self, now: SimTime, sink: &mut dyn FnMut(ResolvedUpcall)) -> usize;
+
+    /// Runs the backend's periodic maintenance if due (idle eviction,
+    /// table aging). Call once per simulated tick.
+    fn revalidate(&mut self, now: SimTime);
+
+    // --- Telemetry (the `pi_detect` tap surface) --------------------
+
+    /// Aggregate statistics so far.
+    fn stats(&self) -> SwitchStats;
+
+    /// Resets packet/cycle counters (not cached state).
+    fn reset_stats(&mut self);
+
+    /// Exact-match/first-level cache statistics (zeros when the
+    /// architecture has no such structure).
+    fn emc_stats(&self) -> EmcStats;
+
+    /// Deferred-pipeline statistics (zeros for inline-only backends;
+    /// `quarantine_drops` is meaningful everywhere).
+    fn upcall_stats(&self) -> UpcallStats;
+
+    /// Distinct wildcard masks in the backend's flow cache — the
+    /// paper's Fig. 3 observable. Architectures without a wildcard
+    /// cache report 0: *there is no mask space to explode*.
+    fn mask_count(&self) -> usize;
+
+    /// Cached flow entries (megaflows, exact entries, offloaded flows —
+    /// whatever the architecture stores per flow).
+    fn megaflow_count(&self) -> usize;
+
+    /// Pending deferred upcalls (0 for inline-only backends).
+    fn upcall_queue_depth(&self) -> usize;
+
+    /// Per-destination attribution of cached state (the offender
+    ///-detection input). Backends without per-flow caches return an
+    /// empty vector.
+    fn attribution(&self) -> Vec<MaskAttribution>;
+
+    // --- Defense actuators (the `pi_detect` controller surface) -----
+
+    /// Sets the per-port fair-share quota of a bounded deferred
+    /// pipeline. Returns false (and changes nothing) when the backend
+    /// has no such pipeline.
+    fn set_port_quota(&mut self, quota: Option<u32>) -> bool;
+
+    /// Toggles staged subtable lookup (meaningful only for tuple-space
+    /// architectures; a no-op elsewhere).
+    fn set_staged_lookup(&mut self, enabled: bool);
+
+    /// Switches between global and destination-scoped invalidation
+    /// (a no-op for architectures that never flush wholesale).
+    fn set_scoped_invalidation(&mut self, scoped: bool);
+
+    /// Quarantines destination `ip`: its cached state is evicted and,
+    /// until released, its slow-path service refused. Returns entries
+    /// evicted.
+    fn quarantine(&mut self, ip: u32) -> usize;
+
+    /// Lifts the quarantine on `ip`. Returns whether it was quarantined.
+    fn release_quarantine(&mut self, ip: u32) -> bool;
+
+    /// Whether `ip` is currently quarantined.
+    fn is_quarantined(&self, ip: u32) -> bool;
+
+    // --- Escape hatch -----------------------------------------------
+
+    /// Downcast to the OVS pipeline for OVS-only diagnostics (megaflow
+    /// dumps, mask decompositions). `None` for every other backend.
+    fn as_vswitch(&self) -> Option<&VSwitch> {
+        None
+    }
+
+    /// Mutable variant of [`DataplaneBackend::as_vswitch`].
+    fn as_vswitch_mut(&mut self) -> Option<&mut VSwitch> {
+        None
+    }
+
+    /// Convenience: processes a single pre-parsed key (examples and
+    /// tests; simulators use [`DataplaneBackend::process_batch`]).
+    fn process_one(&mut self, key: &FlowKey, now: SimTime) -> ProcessOutcome
+    where
+        Self: Sized,
+    {
+        let mut out = None;
+        self.process_batch(std::slice::from_ref(key), now, &mut |_, o| {
+            out = Some(o);
+            true
+        });
+        out.expect("one key in, one outcome out")
+    }
+}
+
+/// Processes a single key through a boxed/borrowed backend (the
+/// object-safe counterpart of [`DataplaneBackend::process_one`]).
+pub fn process_one(
+    backend: &mut dyn DataplaneBackend,
+    key: &FlowKey,
+    now: SimTime,
+) -> ProcessOutcome {
+    let mut out = None;
+    backend.process_batch(std::slice::from_ref(key), now, &mut |_, o| {
+        out = Some(o);
+        true
+    });
+    out.expect("one key in, one outcome out")
+}
+
+/// Resolves `config.backend` into a concrete pipeline. This is the
+/// scenario-setup dispatch point: the returned object is driven through
+/// flat `dyn` calls from then on — no per-packet branching on the kind.
+pub fn build_backend(config: DpConfig, cost: CostModel) -> Box<dyn DataplaneBackend> {
+    match config.backend {
+        BackendKind::OvsCache => Box::new(VSwitch::with_cost_model(config, cost)),
+        BackendKind::ExactHash => Box::new(crate::ExactHash::new(config, cost)),
+        BackendKind::LpmTier => Box::new(crate::LpmTier::new(config, cost)),
+        BackendKind::NicOffload => Box::new(crate::NicOffload::new(config, cost)),
+    }
+}

@@ -1,0 +1,47 @@
+//! # pi-backend — pluggable dataplane backends
+//!
+//! The paper's attack exploits one specific architecture: the OVS-style
+//! EMC → TSS → upcall cache hierarchy. This crate abstracts "the thing
+//! that forwards a tenant's packets" behind the [`DataplaneBackend`]
+//! trait so the same scenarios, attack schedules and telemetry taps can
+//! be replayed against the architectures real clouds actually deploy —
+//! turning the reproduction into a portable attack-class study:
+//!
+//! | backend | architecture | policy-injection surface |
+//! |---|---|---|
+//! | [`BackendKind::OvsCache`] ([`VSwitch`]) | shared EMC + tuple-space megaflow cache + slow path | **full**: mask explosion, EMC thrash, upcall flood, flush storms |
+//! | [`BackendKind::ExactHash`] ([`ExactHash`]) | eBPF/Cilium-style exact-match connection map | per-flow setup cost only — no mask space to explode |
+//! | [`BackendKind::LpmTier`] ([`LpmTier`]) | DPDK-style compiled longest-prefix tier, no flow cache | fixed per-packet walk — immune to cache-state attacks |
+//! | [`BackendKind::NicOffload`] ([`NicOffload`]) | bounded SmartNIC offload table + costed host fallback | **partial**: offload-table thrash re-exposes the host CPU |
+//!
+//! Every backend charges cycles through the same [`CostModel`] — costs
+//! are a function of the *counted work* each architecture performs
+//! (probes, trie strides, rules scanned), never a per-backend constant,
+//! so cross-backend capacity ratios are consequences of data-structure
+//! dynamics, exactly like the single-switch reproduction.
+//!
+//! [`build_backend`] resolves a [`DpConfig`]'s
+//! [`backend`](DpConfig::backend) field into a boxed trait object at
+//! scenario-setup time; `pi_sim::NodeCell` and the fleet shards drive
+//! whatever it returns. The [`VSwitch`] implementation is a direct
+//! delegation — pinned bit-identical to the pre-trait pipeline by
+//! `tests/backend_differential.rs` at the workspace root.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod api;
+pub mod exact;
+pub mod host;
+pub mod lpm;
+pub mod nic;
+pub mod ovs;
+
+pub use api::{build_backend, process_one, DataplaneBackend, BATCH_SIZE};
+pub use exact::ExactHash;
+pub use lpm::LpmTier;
+pub use nic::NicOffload;
+
+// Re-exported so backend consumers need only this crate for the common
+// vocabulary types.
+pub use pi_datapath::{BackendKind, CostModel, DpConfig, VSwitch};

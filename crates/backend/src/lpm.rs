@@ -1,0 +1,451 @@
+//! [`LpmTier`]: a DPDK-style compiled longest-prefix-match pipeline.
+//!
+//! Architecture: no flow cache at all. Policies are compiled into fixed
+//! lookup tiers — a routing tier (an LPM walk over the attached pod
+//! addresses, reusing [`PrefixTrie`] as the stride structure) followed
+//! by per-field ACL tiers, one 8-bit stride per byte of every compiled
+//! field. Every packet walks the same number of strides, so the
+//! per-packet cost is a **compile-time constant**: nothing a covert
+//! stream does can change what the next packet costs.
+//!
+//! This is the `rte_lpm`/`rte_acl` run-to-completion design: costs
+//! count stride loads (`per_subtable` per stride for the table index
+//! step, `per_stage_hash` per stride for the node fetch+branch), so
+//! the fixed walk is priced through the same [`CostModel`] vocabulary
+//! as the cache hierarchy it replaces.
+//!
+//! What the architecture pays instead:
+//!
+//! * **every packet walks the full pipeline** — there is no O(1) hit
+//!   path, so the *benign* baseline is slower than a warm cache,
+//! * **policy updates recompile** — an update costs `acl_update_fixed`
+//!   plus `per_rule` for every rule recompiled into the tiers (the
+//!   attack surface that remains: update *rate*, not datapath state).
+
+use pi_classifier::{Action, FlowTable, PrefixTrie};
+use pi_core::{Field, FlowKey, SimTime};
+use pi_datapath::emc::EmcStats;
+use pi_datapath::{
+    BackendKind, CostModel, DpConfig, PathTaken, PolicyUpdateOutcome, ProcessOutcome,
+    ResolvedUpcall, SwitchStats, UpcallStats,
+};
+use pi_mitigation::MaskAttribution;
+
+use crate::api::DataplaneBackend;
+use crate::host::PodTable;
+
+/// Stride width of the compiled tiers, in bits (DPDK's LPM/ACL designs
+/// are byte-oriented).
+const STRIDE_BITS: u8 = 8;
+
+/// The compiled longest-prefix-match backend. See the module docs for
+/// the architecture and its threat surface.
+#[derive(Debug)]
+pub struct LpmTier {
+    config: DpConfig,
+    cost: CostModel,
+    pods: PodTable,
+    /// The routing tier: attached pod addresses as /32 prefixes. The
+    /// walk depth (width / stride) is what the route lookup costs.
+    routes: PrefixTrie,
+    /// Strides in the routing tier walk.
+    route_strides: usize,
+    /// Strides across the compiled ACL tiers (one tier per configured
+    /// classification field, one stride per byte of field width).
+    acl_strides: usize,
+    stats: SwitchStats,
+    upcall: UpcallStats,
+}
+
+impl LpmTier {
+    /// Builds the backend from a datapath config. `trie_fields` decides
+    /// which fields the ACL tiers compile (hence the fixed walk length);
+    /// the cache/EMC/pipeline knobs have no counterpart here.
+    pub fn new(config: DpConfig, cost: CostModel) -> Self {
+        let route_strides = stride_count(Field::IpDst);
+        let acl_strides = config.trie_fields.iter().copied().map(stride_count).sum();
+        LpmTier {
+            config,
+            cost,
+            pods: PodTable::new(),
+            routes: PrefixTrie::new(Field::IpDst),
+            route_strides,
+            acl_strides,
+            stats: SwitchStats::default(),
+            upcall: UpcallStats::default(),
+        }
+    }
+
+    /// The compile-time per-packet walk length, in strides.
+    pub fn strides_per_packet(&self) -> usize {
+        self.route_strides + self.acl_strides
+    }
+
+    fn charge_update(&mut self, applied: bool, rules_recompiled: usize) -> PolicyUpdateOutcome {
+        // Recompilation: fixed control-plane handling plus one rule-visit
+        // per rule folded into the tiers. Nothing is flushed — there is
+        // no cached state to invalidate.
+        let cycles =
+            self.cost.control_update_cycles(0) + rules_recompiled as u64 * self.cost.per_rule;
+        self.stats.cycles += cycles;
+        self.stats.control_cycles += cycles;
+        PolicyUpdateOutcome {
+            applied,
+            flushed_megaflows: 0,
+            scoped: true,
+            cycles,
+        }
+    }
+
+    fn process_with(&mut self, key: &FlowKey, now: SimTime) -> ProcessOutcome {
+        let _ = now; // stateless: nothing ages, nothing is stamped
+        self.stats.packets += 1;
+
+        // Tier 1: the routing walk. An unroutable destination terminates
+        // the pipeline here — only the route strides are spent.
+        let routable = self.routes.longest_match(key.ip_dst as u64) == Some(32);
+        if !routable {
+            let path = fixed_walk(self.route_strides);
+            let cycles = self.cost.packet_cycles(&path);
+            self.stats.cycles += cycles;
+            self.stats.subtable_probes += self.route_strides as u64;
+            self.stats.policy_drops += 1;
+            self.stats.megaflow_hits += 1;
+            return ProcessOutcome {
+                verdict: Action::Deny,
+                output: None,
+                path,
+                cycles,
+            };
+        }
+
+        // Quarantine gate, applied after routing like the OVS upcall
+        // gate: the destination's pipeline service is refused.
+        if self.pods.is_quarantined(key.ip_dst) {
+            self.upcall.quarantine_drops += 1;
+            let path = PathTaken::UpcallDropped {
+                probes: self.route_strides,
+                stage_checks: self.route_strides,
+                emc_probed: false,
+            };
+            let cycles = self.cost.packet_cycles(&path);
+            self.stats.cycles += cycles;
+            self.stats.subtable_probes += self.route_strides as u64;
+            return ProcessOutcome {
+                verdict: Action::Controller,
+                output: None,
+                path,
+                cycles,
+            };
+        }
+
+        // Tier 2: the compiled ACL walk — constant strides, verdict from
+        // the pod's policy (the compiled tiers are semantically exact).
+        let (action, _rules, output) = self.pods.classify(key);
+        let strides = self.strides_per_packet();
+        let path = fixed_walk(strides);
+        let cycles = self.cost.packet_cycles(&path);
+        self.stats.cycles += cycles;
+        self.stats.subtable_probes += strides as u64;
+        self.stats.megaflow_hits += 1;
+        if output.is_none() {
+            self.stats.policy_drops += 1;
+        }
+        ProcessOutcome {
+            verdict: action,
+            output,
+            path,
+            cycles,
+        }
+    }
+}
+
+/// Strides needed to walk one field's compiled tier.
+fn stride_count(field: Field) -> usize {
+    field.width().div_ceil(STRIDE_BITS) as usize
+}
+
+/// The fixed compiled walk as a path: `strides` table-index steps priced
+/// `per_subtable` each plus `strides` node fetches priced
+/// `per_stage_hash` each; no EMC exists to probe.
+fn fixed_walk(strides: usize) -> PathTaken {
+    PathTaken::MegaflowHit {
+        probes: strides,
+        stage_checks: strides,
+        emc_probed: false,
+        emc_inserted: false,
+    }
+}
+
+impl DataplaneBackend for LpmTier {
+    fn kind(&self) -> BackendKind {
+        BackendKind::LpmTier
+    }
+
+    fn config(&self) -> &DpConfig {
+        &self.config
+    }
+
+    fn cost_model(&self) -> &CostModel {
+        &self.cost
+    }
+
+    fn attach_pod(&mut self, ip: u32, vport: u32) -> bool {
+        self.stats.policy_updates += 1;
+        self.routes.insert(ip as u64, 32);
+        self.pods.attach_pod(ip, vport)
+    }
+
+    fn install_acl(&mut self, ip: u32, table: FlowTable) -> bool {
+        let trie_fields = self.config.trie_fields.clone();
+        if !self.pods.install_acl(ip, table, &trie_fields) {
+            return false;
+        }
+        self.stats.policy_updates += 1;
+        true
+    }
+
+    fn remove_acl(&mut self, ip: u32) -> bool {
+        if !self.pods.remove_acl(ip) {
+            return false;
+        }
+        self.stats.policy_updates += 1;
+        true
+    }
+
+    fn apply_install_acl(&mut self, ip: u32, table: FlowTable) -> PolicyUpdateOutcome {
+        let rules = table.len();
+        if !DataplaneBackend::install_acl(self, ip, table) {
+            return self.charge_update(false, 0);
+        }
+        self.charge_update(true, rules)
+    }
+
+    fn apply_remove_acl(&mut self, ip: u32) -> PolicyUpdateOutcome {
+        // Recompiling *out* the old ACL revisits its rules.
+        let rules = self.pods.rules_at(ip);
+        if !DataplaneBackend::remove_acl(self, ip) {
+            return self.charge_update(false, 0);
+        }
+        self.charge_update(true, rules)
+    }
+
+    fn apply_attach_pod(&mut self, ip: u32, vport: u32) -> PolicyUpdateOutcome {
+        let fresh = DataplaneBackend::attach_pod(self, ip, vport);
+        self.charge_update(fresh, 0)
+    }
+
+    fn process_batch(
+        &mut self,
+        keys: &[FlowKey],
+        now: SimTime,
+        sink: &mut dyn FnMut(usize, ProcessOutcome) -> bool,
+    ) -> usize {
+        for (i, key) in keys.iter().enumerate() {
+            let outcome = self.process_with(key, now);
+            if !sink(i, outcome) {
+                return i + 1;
+            }
+        }
+        keys.len()
+    }
+
+    fn drain_upcalls(&mut self, _now: SimTime, _sink: &mut dyn FnMut(ResolvedUpcall)) -> usize {
+        0 // run-to-completion: no slow path exists
+    }
+
+    fn revalidate(&mut self, _now: SimTime) {
+        // Stateless: nothing to age or revalidate.
+    }
+
+    fn stats(&self) -> SwitchStats {
+        self.stats
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats = SwitchStats::default();
+    }
+
+    fn emc_stats(&self) -> EmcStats {
+        EmcStats::default() // no first-level cache exists
+    }
+
+    fn upcall_stats(&self) -> UpcallStats {
+        self.upcall
+    }
+
+    fn mask_count(&self) -> usize {
+        0 // no wildcard cache: there is no mask space to explode
+    }
+
+    fn megaflow_count(&self) -> usize {
+        0 // no per-flow state at all
+    }
+
+    fn upcall_queue_depth(&self) -> usize {
+        0
+    }
+
+    fn attribution(&self) -> Vec<MaskAttribution> {
+        Vec::new() // nothing cached, nothing to attribute
+    }
+
+    fn set_port_quota(&mut self, _quota: Option<u32>) -> bool {
+        false // no deferred pipeline to meter
+    }
+
+    fn set_staged_lookup(&mut self, _enabled: bool) {
+        // No tuple-space walk to stage.
+    }
+
+    fn set_scoped_invalidation(&mut self, scoped: bool) {
+        // Nothing is ever flushed; the config mirror is kept so
+        // controllers observe their writes.
+        self.config.scoped_invalidation = scoped;
+    }
+
+    fn quarantine(&mut self, ip: u32) -> usize {
+        self.pods.quarantine(ip);
+        0 // no cached state to evict
+    }
+
+    fn release_quarantine(&mut self, ip: u32) -> bool {
+        self.pods.release_quarantine(ip)
+    }
+
+    fn is_quarantined(&self, ip: u32) -> bool {
+        self.pods.is_quarantined(ip)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pi_classifier::table::whitelist_with_default_deny;
+    use pi_core::{FlowMask, MaskedKey};
+
+    const POD_IP: [u8; 4] = [10, 0, 0, 99];
+
+    fn backend_with_fig2_acl() -> LpmTier {
+        let mut be = LpmTier::new(DpConfig::default(), CostModel::default());
+        be.attach_pod(u32::from_be_bytes(POD_IP), 3);
+        let allow = MaskedKey::new(
+            FlowKey::tcp([10, 0, 0, 0], [0, 0, 0, 0], 0, 0),
+            FlowMask::default().with_prefix(Field::IpSrc, 8),
+        );
+        DataplaneBackend::install_acl(
+            &mut be,
+            u32::from_be_bytes(POD_IP),
+            whitelist_with_default_deny(&[allow]),
+        );
+        be
+    }
+
+    fn pkt(src: [u8; 4], tp_src: u16) -> FlowKey {
+        FlowKey::tcp(src, POD_IP, tp_src, 5201)
+    }
+
+    #[test]
+    fn every_packet_costs_the_compiled_walk() {
+        let mut be = backend_with_fig2_acl();
+        // Default fields: IpSrc + IpDst + TpSrc + TpDst = 12 ACL strides
+        // plus 4 routing strides.
+        assert_eq!(be.strides_per_packet(), 16);
+        let cm = CostModel::default();
+        let expected = cm.parse + 16 * (cm.per_subtable + cm.per_stage_hash);
+        let t = SimTime::from_millis(1);
+        let o1 = crate::api::process_one(&mut be, &pkt([10, 1, 1, 1], 1000), t);
+        assert_eq!(o1.verdict, Action::Allow);
+        assert_eq!(o1.output, Some(3));
+        assert_eq!(o1.cycles, expected);
+        // Repeats cost exactly the same — there is no cache to warm.
+        let o2 = crate::api::process_one(&mut be, &pkt([10, 1, 1, 1], 1000), t);
+        assert_eq!(o2.cycles, expected);
+    }
+
+    #[test]
+    fn covert_stream_cannot_perturb_the_walk() {
+        let mut be = backend_with_fig2_acl();
+        let t = SimTime::from_millis(1);
+        let victim = pkt([10, 1, 1, 1], 1000);
+        let before = crate::api::process_one(&mut be, &victim, t).cycles;
+        for i in 0..4096u32 {
+            let covert = FlowKey::tcp(
+                [172, (i >> 8) as u8, i as u8, 1],
+                POD_IP,
+                (i % 60_000) as u16 + 1,
+                5201,
+            );
+            crate::api::process_one(&mut be, &covert, t);
+        }
+        let after = crate::api::process_one(&mut be, &victim, t).cycles;
+        assert_eq!(before, after, "fixed-cost pipeline is attack-invariant");
+        assert_eq!(be.mask_count(), 0);
+        assert_eq!(be.megaflow_count(), 0, "no per-flow state accumulates");
+    }
+
+    #[test]
+    fn verdicts_match_ground_truth() {
+        let mut be = backend_with_fig2_acl();
+        let allowed = crate::api::process_one(&mut be, &pkt([10, 1, 1, 1], 1), SimTime::ZERO);
+        assert_eq!(allowed.verdict, Action::Allow);
+        let denied = crate::api::process_one(&mut be, &pkt([99, 1, 1, 1], 1), SimTime::ZERO);
+        assert_eq!(denied.verdict, Action::Deny);
+        assert_eq!(denied.output, None);
+        assert_eq!(be.stats().policy_drops, 1);
+    }
+
+    #[test]
+    fn unroutable_destination_stops_at_the_route_tier() {
+        let mut be = backend_with_fig2_acl();
+        let stray = FlowKey::tcp([10, 1, 1, 1], [192, 168, 0, 1], 1, 1);
+        let o = crate::api::process_one(&mut be, &stray, SimTime::ZERO);
+        assert_eq!(o.verdict, Action::Deny);
+        let cm = CostModel::default();
+        assert_eq!(
+            o.cycles,
+            cm.parse + 4 * (cm.per_subtable + cm.per_stage_hash)
+        );
+    }
+
+    #[test]
+    fn policy_update_costs_recompilation_not_flushes() {
+        let mut be = backend_with_fig2_acl();
+        let allow = MaskedKey::new(
+            FlowKey::tcp([10, 0, 0, 0], [0, 0, 0, 0], 0, 0),
+            FlowMask::default().with_prefix(Field::IpSrc, 16),
+        );
+        let o = be.apply_install_acl(
+            u32::from_be_bytes(POD_IP),
+            whitelist_with_default_deny(&[allow]),
+        );
+        assert!(o.applied);
+        assert_eq!(o.flushed_megaflows, 0, "nothing cached, nothing flushed");
+        let cm = CostModel::default();
+        // 2 rules recompiled: the whitelist entry + the default-deny.
+        assert_eq!(o.cycles, cm.control_update_cycles(0) + 2 * cm.per_rule);
+        // An update at an unattached IP is refused but still costs the
+        // fixed control-plane handling.
+        let miss = be.apply_install_acl(
+            u32::from_be_bytes([9, 9, 9, 9]),
+            whitelist_with_default_deny(&[]),
+        );
+        assert!(!miss.applied);
+        assert_eq!(miss.cycles, cm.control_update_cycles(0));
+    }
+
+    #[test]
+    fn quarantine_gates_after_routing() {
+        let mut be = backend_with_fig2_acl();
+        DataplaneBackend::quarantine(&mut be, u32::from_be_bytes(POD_IP));
+        let o = crate::api::process_one(&mut be, &pkt([10, 1, 1, 1], 1), SimTime::ZERO);
+        assert!(o.path.is_upcall_dropped());
+        assert_eq!(be.upcall_stats().quarantine_drops, 1);
+        assert!(DataplaneBackend::release_quarantine(
+            &mut be,
+            u32::from_be_bytes(POD_IP)
+        ));
+        let o = crate::api::process_one(&mut be, &pkt([10, 1, 1, 1], 1), SimTime::ZERO);
+        assert_eq!(o.verdict, Action::Allow);
+    }
+}

@@ -1,0 +1,518 @@
+//! [`NicOffload`]: a SmartNIC flow-offload model with a costed host
+//! fallback.
+//!
+//! Architecture: a **hardware-bounded** exact-match offload table (the
+//! Mellanox/ConnectX `flower`-offload shape) in front of the host slow
+//! path. Offloaded flows forward at first-level-hit cost; everything
+//! else falls back to the host CPU for a full classification and is
+//! then programmed into the NIC, evicting the oldest offloaded flow
+//! once the table is full (FIFO replacement, the usual firmware
+//! policy).
+//!
+//! The threat surface sits between the exact-hash and OVS extremes:
+//! there is still no wildcard mask space to explode, but the offload
+//! table is *small and shared*. A covert stream of fresh flows cycles
+//! the FIFO, evicting benign tenants' offloaded flows, so victims
+//! periodically re-fault onto the host CPU — capacity degrades in
+//! proportion to eviction pressure rather than collapsing. The
+//! `collision_evictions` counter is the thrash observable the detector
+//! watches.
+
+use std::collections::VecDeque;
+
+use pi_classifier::{Action, FlatTable, FlowTable};
+use pi_core::{FlowKey, KeyWords, SimTime};
+use pi_datapath::emc::EmcStats;
+use pi_datapath::{
+    BackendKind, CostModel, DpConfig, PathTaken, PolicyUpdateOutcome, ProcessOutcome,
+    ResolvedUpcall, SwitchStats, UpcallStats,
+};
+use pi_mitigation::MaskAttribution;
+
+use crate::api::DataplaneBackend;
+use crate::host::PodTable;
+
+/// Hardware flow-table capacity. Fixed by the modelled NIC, not by the
+/// host's `flow_limit` — the asymmetry between a ~2k offload table and
+/// a ~200k host cache is exactly what re-exposes the host CPU under
+/// churn.
+pub const OFFLOAD_CAPACITY: usize = 2048;
+
+/// One offloaded flow: verdict, last-use stamp for the idle sweep, and
+/// the insertion sequence number its FIFO record must match (stale
+/// records are skipped lazily at eviction time).
+type Entry = (Action, SimTime, u64);
+
+/// The SmartNIC-offload backend. See the module docs for the
+/// architecture and its threat surface.
+#[derive(Debug)]
+pub struct NicOffload {
+    config: DpConfig,
+    cost: CostModel,
+    table: FlatTable<Entry>,
+    /// Insertion order for FIFO replacement: `(hash, key, seq)`. A
+    /// record is live iff the table still holds that key with the same
+    /// sequence number; dead records are popped and skipped lazily.
+    fifo: VecDeque<(u64, FlowKey, u64)>,
+    next_seq: u64,
+    pods: PodTable,
+    stats: SwitchStats,
+    emc: EmcStats,
+    upcall: UpcallStats,
+    next_sweep: SimTime,
+}
+
+impl NicOffload {
+    /// Builds the backend from a datapath config (uses `idle_timeout`,
+    /// `revalidator_interval` and `trie_fields`; the table size is the
+    /// hardware constant [`OFFLOAD_CAPACITY`]).
+    pub fn new(config: DpConfig, cost: CostModel) -> Self {
+        let next_sweep = config.revalidator_interval.max(SimTime::from_nanos(1));
+        NicOffload {
+            config,
+            cost,
+            table: FlatTable::new(),
+            fifo: VecDeque::new(),
+            next_seq: 0,
+            pods: PodTable::new(),
+            stats: SwitchStats::default(),
+            emc: EmcStats::default(),
+            upcall: UpcallStats::default(),
+            next_sweep,
+        }
+    }
+
+    /// Programs a flow into the offload table, FIFO-evicting the oldest
+    /// live offloaded flow if the hardware table is full.
+    fn offload(&mut self, hash: u64, key: FlowKey, action: Action, now: SimTime) {
+        if self.table.len() >= OFFLOAD_CAPACITY {
+            while let Some((h, k, seq)) = self.fifo.pop_front() {
+                let live = self
+                    .table
+                    .get(h, &k)
+                    .is_some_and(|(_, _, entry_seq)| *entry_seq == seq);
+                if live {
+                    self.table.remove(h, &k);
+                    self.emc.collision_evictions += 1;
+                    break;
+                }
+                // Stale record (idle-swept, policy-evicted or
+                // re-offloaded since): skip it.
+            }
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.table.insert(hash, key, (action, now, seq));
+        self.fifo.push_back((hash, key, seq));
+        self.emc.inserts += 1;
+    }
+
+    /// Evicts the offloaded flows towards `ip` plus the shared flush
+    /// bookkeeping (scoped by construction, like every exact-match
+    /// structure).
+    fn evict_destination(&mut self, ip: u32) -> usize {
+        let before = self.table.len();
+        self.table.retain(|k, _| k.ip_dst != ip);
+        let evicted = before - self.table.len();
+        if evicted > 0 {
+            self.stats.cache_flushes += 1;
+            self.stats.flushed_megaflows += evicted as u64;
+        }
+        evicted
+    }
+
+    fn charge_update(&mut self, applied: bool, flushed: usize) -> PolicyUpdateOutcome {
+        let cycles = self.cost.control_update_cycles(flushed);
+        self.stats.cycles += cycles;
+        self.stats.control_cycles += cycles;
+        PolicyUpdateOutcome {
+            applied,
+            flushed_megaflows: flushed,
+            scoped: true,
+            cycles,
+        }
+    }
+
+    fn process_with(&mut self, key: &FlowKey, now: SimTime) -> ProcessOutcome {
+        self.stats.packets += 1;
+        let hash = KeyWords::of(key).full_hash();
+
+        // Hardware hit: forwarded without touching the host CPU.
+        if let Some((action, last_used, _)) = self.table.get_mut(hash, key) {
+            *last_used = now;
+            let action = *action;
+            self.emc.hits += 1;
+            self.stats.microflow_hits += 1;
+            let path = PathTaken::MicroflowHit;
+            let cycles = self.cost.packet_cycles(&path);
+            self.stats.cycles += cycles;
+            let output = if action.permits() {
+                self.pods.get(key.ip_dst).map(|p| p.vport)
+            } else {
+                None
+            };
+            if output.is_none() {
+                self.stats.policy_drops += 1;
+            }
+            return ProcessOutcome {
+                verdict: action,
+                output,
+                path,
+                cycles,
+            };
+        }
+        self.emc.misses += 1;
+
+        // Host fallback refuses quarantined destinations outright.
+        if self.pods.is_quarantined(key.ip_dst) {
+            self.upcall.quarantine_drops += 1;
+            let path = PathTaken::UpcallDropped {
+                probes: 0,
+                stage_checks: 0,
+                emc_probed: true,
+            };
+            let cycles = self.cost.packet_cycles(&path);
+            self.stats.cycles += cycles;
+            return ProcessOutcome {
+                verdict: Action::Controller,
+                output: None,
+                path,
+                cycles,
+            };
+        }
+
+        // Host fallback: full classification on the host CPU, then the
+        // NIC is programmed with the result (`installed` prices the
+        // firmware round trip).
+        let (action, rules_examined, output) = self.pods.classify(key);
+        self.offload(hash, *key, action, now);
+        self.stats.upcalls += 1;
+        if output.is_none() {
+            self.stats.policy_drops += 1;
+        }
+        let path = PathTaken::Upcall {
+            probes: 0,
+            stage_checks: 0,
+            rules_examined,
+            installed: true,
+            emc_probed: true,
+            emc_inserted: false,
+        };
+        let cycles = self.cost.packet_cycles(&path);
+        self.stats.cycles += cycles;
+        ProcessOutcome {
+            verdict: action,
+            output,
+            path,
+            cycles,
+        }
+    }
+}
+
+impl DataplaneBackend for NicOffload {
+    fn kind(&self) -> BackendKind {
+        BackendKind::NicOffload
+    }
+
+    fn config(&self) -> &DpConfig {
+        &self.config
+    }
+
+    fn cost_model(&self) -> &CostModel {
+        &self.cost
+    }
+
+    fn attach_pod(&mut self, ip: u32, vport: u32) -> bool {
+        self.stats.policy_updates += 1;
+        let fresh = self.pods.attach_pod(ip, vport);
+        self.evict_destination(ip);
+        fresh
+    }
+
+    fn install_acl(&mut self, ip: u32, table: FlowTable) -> bool {
+        let trie_fields = self.config.trie_fields.clone();
+        if !self.pods.install_acl(ip, table, &trie_fields) {
+            return false;
+        }
+        self.stats.policy_updates += 1;
+        self.evict_destination(ip);
+        true
+    }
+
+    fn remove_acl(&mut self, ip: u32) -> bool {
+        if !self.pods.remove_acl(ip) {
+            return false;
+        }
+        self.stats.policy_updates += 1;
+        self.evict_destination(ip);
+        true
+    }
+
+    fn apply_install_acl(&mut self, ip: u32, table: FlowTable) -> PolicyUpdateOutcome {
+        let trie_fields = self.config.trie_fields.clone();
+        if !self.pods.install_acl(ip, table, &trie_fields) {
+            return self.charge_update(false, 0);
+        }
+        self.stats.policy_updates += 1;
+        let flushed = self.evict_destination(ip);
+        self.charge_update(true, flushed)
+    }
+
+    fn apply_remove_acl(&mut self, ip: u32) -> PolicyUpdateOutcome {
+        if !self.pods.remove_acl(ip) {
+            return self.charge_update(false, 0);
+        }
+        self.stats.policy_updates += 1;
+        let flushed = self.evict_destination(ip);
+        self.charge_update(true, flushed)
+    }
+
+    fn apply_attach_pod(&mut self, ip: u32, vport: u32) -> PolicyUpdateOutcome {
+        self.stats.policy_updates += 1;
+        let fresh = self.pods.attach_pod(ip, vport);
+        let flushed = self.evict_destination(ip);
+        self.charge_update(fresh, flushed)
+    }
+
+    fn process_batch(
+        &mut self,
+        keys: &[FlowKey],
+        now: SimTime,
+        sink: &mut dyn FnMut(usize, ProcessOutcome) -> bool,
+    ) -> usize {
+        for (i, key) in keys.iter().enumerate() {
+            let outcome = self.process_with(key, now);
+            if !sink(i, outcome) {
+                return i + 1;
+            }
+        }
+        keys.len()
+    }
+
+    fn drain_upcalls(&mut self, _now: SimTime, _sink: &mut dyn FnMut(ResolvedUpcall)) -> usize {
+        0 // the host fallback resolves inline
+    }
+
+    fn revalidate(&mut self, now: SimTime) {
+        if now < self.next_sweep {
+            return;
+        }
+        let interval = self.config.revalidator_interval.max(SimTime::from_nanos(1));
+        while self.next_sweep <= now {
+            self.next_sweep += interval;
+        }
+        let idle_timeout = self.config.idle_timeout;
+        self.table
+            .retain(|_, (_, last_used, _)| *last_used + idle_timeout > now);
+    }
+
+    fn stats(&self) -> SwitchStats {
+        self.stats
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats = SwitchStats::default();
+    }
+
+    fn emc_stats(&self) -> EmcStats {
+        self.emc
+    }
+
+    fn upcall_stats(&self) -> UpcallStats {
+        self.upcall
+    }
+
+    fn mask_count(&self) -> usize {
+        0 // exact offload entries: no mask space to explode
+    }
+
+    fn megaflow_count(&self) -> usize {
+        self.table.len()
+    }
+
+    fn upcall_queue_depth(&self) -> usize {
+        0
+    }
+
+    fn attribution(&self) -> Vec<MaskAttribution> {
+        crate::host::attribute_exact(self.table.iter().map(|(k, _)| k))
+    }
+
+    fn set_port_quota(&mut self, _quota: Option<u32>) -> bool {
+        false // no deferred pipeline to meter
+    }
+
+    fn set_staged_lookup(&mut self, _enabled: bool) {
+        // No tuple-space walk to stage.
+    }
+
+    fn set_scoped_invalidation(&mut self, scoped: bool) {
+        // Invalidations are destination-scoped by construction; the
+        // config mirror is kept so controllers observe their writes.
+        self.config.scoped_invalidation = scoped;
+    }
+
+    fn quarantine(&mut self, ip: u32) -> usize {
+        self.pods.quarantine(ip);
+        self.evict_destination(ip)
+    }
+
+    fn release_quarantine(&mut self, ip: u32) -> bool {
+        self.pods.release_quarantine(ip)
+    }
+
+    fn is_quarantined(&self, ip: u32) -> bool {
+        self.pods.is_quarantined(ip)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pi_classifier::table::whitelist_with_default_deny;
+    use pi_core::{Field, FlowMask, MaskedKey};
+
+    const POD_IP: [u8; 4] = [10, 0, 0, 99];
+
+    fn backend_with_fig2_acl() -> NicOffload {
+        let mut be = NicOffload::new(DpConfig::default(), CostModel::default());
+        be.attach_pod(u32::from_be_bytes(POD_IP), 3);
+        let allow = MaskedKey::new(
+            FlowKey::tcp([10, 0, 0, 0], [0, 0, 0, 0], 0, 0),
+            FlowMask::default().with_prefix(Field::IpSrc, 8),
+        );
+        DataplaneBackend::install_acl(
+            &mut be,
+            u32::from_be_bytes(POD_IP),
+            whitelist_with_default_deny(&[allow]),
+        );
+        be
+    }
+
+    fn pkt(src: [u8; 4], tp_src: u16) -> FlowKey {
+        FlowKey::tcp(src, POD_IP, tp_src, 5201)
+    }
+
+    fn covert(i: u32) -> FlowKey {
+        FlowKey::tcp(
+            [172, (i >> 8) as u8, i as u8, 1],
+            POD_IP,
+            (i % 60_000) as u16 + 1,
+            5201,
+        )
+    }
+
+    #[test]
+    fn miss_offloads_then_hardware_hits() {
+        let mut be = backend_with_fig2_acl();
+        let t = SimTime::from_millis(1);
+        let p = pkt([10, 1, 1, 1], 1000);
+        let o1 = crate::api::process_one(&mut be, &p, t);
+        assert!(o1.path.is_upcall());
+        assert_eq!(o1.verdict, Action::Allow);
+        let o2 = crate::api::process_one(&mut be, &p, t);
+        assert!(o2.path.is_microflow());
+        assert!(o2.cycles < o1.cycles);
+        assert_eq!(be.megaflow_count(), 1);
+    }
+
+    #[test]
+    fn table_is_hardware_bounded_with_fifo_replacement() {
+        let mut be = backend_with_fig2_acl();
+        let t = SimTime::from_millis(1);
+        let victim = pkt([10, 1, 1, 1], 1000);
+        crate::api::process_one(&mut be, &victim, t);
+        // A covert churn of fresh flows cycles the FIFO...
+        for i in 0..OFFLOAD_CAPACITY as u32 {
+            crate::api::process_one(&mut be, &covert(i), t);
+        }
+        assert_eq!(be.megaflow_count(), OFFLOAD_CAPACITY, "hardware bound");
+        assert!(
+            be.emc_stats().collision_evictions > 0,
+            "thrash observable counts"
+        );
+        // ...and the victim (oldest flow) was evicted: it re-faults onto
+        // the host CPU — the partial vulnerability of this architecture.
+        let o = crate::api::process_one(&mut be, &victim, t);
+        assert!(o.path.is_upcall(), "victim re-faults after FIFO eviction");
+    }
+
+    #[test]
+    fn stale_fifo_records_are_skipped() {
+        let mut be = backend_with_fig2_acl();
+        let other = u32::from_be_bytes([10, 0, 0, 98]);
+        be.attach_pod(other, 5);
+        let t = SimTime::from_millis(1);
+        // The victim (towards the *other* pod) offloads first, then 100
+        // covert flows queue behind it.
+        let victim = FlowKey::tcp([10, 3, 3, 3], [10, 0, 0, 98], 1, 1);
+        crate::api::process_one(&mut be, &victim, t);
+        for i in 0..100 {
+            crate::api::process_one(&mut be, &covert(i), t);
+        }
+        // A policy update at the other pod evicts the victim's entry —
+        // its FIFO record (still at the queue front) goes stale — and
+        // the flow then re-offloads *behind* the coverts.
+        assert_eq!(be.apply_remove_acl(other).flushed_megaflows, 1);
+        crate::api::process_one(&mut be, &victim, t);
+        // Fill to capacity and force one eviction: the replacement must
+        // skip the victim's stale front record and evict the oldest
+        // *live* flow (the first covert) instead.
+        for i in 100..OFFLOAD_CAPACITY as u32 + 1 {
+            crate::api::process_one(&mut be, &covert(i), t);
+        }
+        assert_eq!(be.megaflow_count(), OFFLOAD_CAPACITY);
+        assert!(
+            crate::api::process_one(&mut be, &victim, t)
+                .path
+                .is_microflow(),
+            "re-offloaded flow survives its stale FIFO record"
+        );
+        assert!(
+            crate::api::process_one(&mut be, &covert(0), t)
+                .path
+                .is_upcall(),
+            "the oldest live flow was the one evicted"
+        );
+    }
+
+    #[test]
+    fn policy_update_evicts_only_that_destination() {
+        let mut be = backend_with_fig2_acl();
+        let other = u32::from_be_bytes([10, 0, 0, 98]);
+        be.attach_pod(other, 5);
+        let t = SimTime::from_millis(1);
+        crate::api::process_one(&mut be, &pkt([10, 1, 1, 1], 1000), t);
+        let bystander = FlowKey::tcp([10, 3, 3, 3], [10, 0, 0, 98], 1, 1);
+        crate::api::process_one(&mut be, &bystander, t);
+        let o = be.apply_remove_acl(u32::from_be_bytes(POD_IP));
+        assert!(o.applied && o.scoped);
+        assert_eq!(o.flushed_megaflows, 1);
+        let ob = crate::api::process_one(&mut be, &bystander, t);
+        assert!(ob.path.is_microflow(), "bystander keeps its offload entry");
+    }
+
+    #[test]
+    fn idle_sweep_and_quarantine() {
+        let mut be = backend_with_fig2_acl();
+        crate::api::process_one(&mut be, &pkt([10, 1, 1, 1], 1000), SimTime::from_millis(1));
+        be.revalidate(SimTime::from_secs(15));
+        assert_eq!(be.megaflow_count(), 0, "idle timeout enforced");
+        DataplaneBackend::quarantine(&mut be, u32::from_be_bytes(POD_IP));
+        let o = crate::api::process_one(&mut be, &pkt([10, 1, 1, 1], 1000), SimTime::from_secs(15));
+        assert!(o.path.is_upcall_dropped());
+        assert_eq!(be.upcall_stats().quarantine_drops, 1);
+    }
+
+    #[test]
+    fn deny_verdicts_are_offloaded_too() {
+        let mut be = backend_with_fig2_acl();
+        let bad = pkt([99, 1, 1, 1], 1);
+        let o = crate::api::process_one(&mut be, &bad, SimTime::ZERO);
+        assert_eq!(o.verdict, Action::Deny);
+        let o = crate::api::process_one(&mut be, &bad, SimTime::ZERO);
+        assert!(o.path.is_microflow());
+        assert_eq!(o.verdict, Action::Deny);
+        assert_eq!(o.output, None);
+    }
+}

@@ -1,0 +1,139 @@
+//! The OVS-cache backend: [`VSwitch`] behind the trait.
+//!
+//! This is a pure delegation — every method forwards to the inherent
+//! `VSwitch` method of the same name, so putting the switch behind
+//! `dyn DataplaneBackend` cannot change verdicts, statistics, cycle
+//! accounting or cache dynamics. The workspace-level differential test
+//! (`tests/backend_differential.rs`) pins this bit-identically against
+//! the direct `VSwitch` path on the fig3 and upcall-saturation
+//! workloads.
+
+use pi_classifier::FlowTable;
+use pi_core::{FlowKey, SimTime};
+use pi_datapath::emc::EmcStats;
+use pi_datapath::{
+    BackendKind, CostModel, DpConfig, PolicyUpdateOutcome, ProcessOutcome, ResolvedUpcall,
+    SwitchStats, UpcallStats, VSwitch,
+};
+use pi_mitigation::MaskAttribution;
+
+use crate::api::DataplaneBackend;
+
+impl DataplaneBackend for VSwitch {
+    fn kind(&self) -> BackendKind {
+        BackendKind::OvsCache
+    }
+
+    fn config(&self) -> &DpConfig {
+        VSwitch::config(self)
+    }
+
+    fn cost_model(&self) -> &CostModel {
+        VSwitch::cost_model(self)
+    }
+
+    fn attach_pod(&mut self, ip: u32, vport: u32) -> bool {
+        VSwitch::attach_pod(self, ip, vport)
+    }
+
+    fn install_acl(&mut self, ip: u32, table: FlowTable) -> bool {
+        VSwitch::install_acl(self, ip, table)
+    }
+
+    fn remove_acl(&mut self, ip: u32) -> bool {
+        VSwitch::remove_acl(self, ip)
+    }
+
+    fn apply_install_acl(&mut self, ip: u32, table: FlowTable) -> PolicyUpdateOutcome {
+        VSwitch::apply_install_acl(self, ip, table)
+    }
+
+    fn apply_remove_acl(&mut self, ip: u32) -> PolicyUpdateOutcome {
+        VSwitch::apply_remove_acl(self, ip)
+    }
+
+    fn apply_attach_pod(&mut self, ip: u32, vport: u32) -> PolicyUpdateOutcome {
+        VSwitch::apply_attach_pod(self, ip, vport)
+    }
+
+    fn process_batch(
+        &mut self,
+        keys: &[FlowKey],
+        now: SimTime,
+        sink: &mut dyn FnMut(usize, ProcessOutcome) -> bool,
+    ) -> usize {
+        VSwitch::process_batch(self, keys, now, sink)
+    }
+
+    fn drain_upcalls(&mut self, now: SimTime, sink: &mut dyn FnMut(ResolvedUpcall)) -> usize {
+        VSwitch::drain_upcalls(self, now, sink)
+    }
+
+    fn revalidate(&mut self, now: SimTime) {
+        VSwitch::revalidate(self, now);
+    }
+
+    fn stats(&self) -> SwitchStats {
+        VSwitch::stats(self)
+    }
+
+    fn reset_stats(&mut self) {
+        VSwitch::reset_stats(self)
+    }
+
+    fn emc_stats(&self) -> EmcStats {
+        VSwitch::emc_stats(self)
+    }
+
+    fn upcall_stats(&self) -> UpcallStats {
+        VSwitch::upcall_stats(self)
+    }
+
+    fn mask_count(&self) -> usize {
+        VSwitch::mask_count(self)
+    }
+
+    fn megaflow_count(&self) -> usize {
+        VSwitch::megaflow_count(self)
+    }
+
+    fn upcall_queue_depth(&self) -> usize {
+        VSwitch::upcall_queue_depth(self)
+    }
+
+    fn attribution(&self) -> Vec<MaskAttribution> {
+        pi_mitigation::attribute_masks(self)
+    }
+
+    fn set_port_quota(&mut self, quota: Option<u32>) -> bool {
+        VSwitch::set_port_quota(self, quota)
+    }
+
+    fn set_staged_lookup(&mut self, enabled: bool) {
+        VSwitch::set_staged_lookup(self, enabled)
+    }
+
+    fn set_scoped_invalidation(&mut self, scoped: bool) {
+        VSwitch::set_scoped_invalidation(self, scoped)
+    }
+
+    fn quarantine(&mut self, ip: u32) -> usize {
+        VSwitch::quarantine(self, ip)
+    }
+
+    fn release_quarantine(&mut self, ip: u32) -> bool {
+        VSwitch::release_quarantine(self, ip)
+    }
+
+    fn is_quarantined(&self, ip: u32) -> bool {
+        VSwitch::is_quarantined(self, ip)
+    }
+
+    fn as_vswitch(&self) -> Option<&VSwitch> {
+        Some(self)
+    }
+
+    fn as_vswitch_mut(&mut self) -> Option<&mut VSwitch> {
+        Some(self)
+    }
+}

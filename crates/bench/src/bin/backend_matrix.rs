@@ -1,0 +1,310 @@
+//! `backend_matrix` — the cross-backend policy-injection immunity
+//! matrix: every dataplane architecture ([`pi_backend`]) against every
+//! attack class in the repo, with and without that attack's canonical
+//! defense.
+//!
+//! Rows are `{backend × attack × defense}` cells. Each cell runs the
+//! attack's scenario twice — benign baseline and attacked — on the same
+//! backend and reports the victim's **retained capacity**: the attacked
+//! victim metric over the baseline one (1.0 = immune, → 0 = collapse).
+//!
+//! The attacks:
+//!
+//! * `tuple_space` — the paper's policy injection against an
+//!   *established* victim flow, measured by
+//!   [`pi_sim::measure_backend_capacity`] with a sustained 8:1
+//!   covert:victim interleave. This tier probes first-level cache
+//!   *residency*: EMC collision churn on the OVS pipeline, FIFO
+//!   replacement on the bounded NIC offload table.
+//! * `tuple_space_churn` — the same injection against a victim
+//!   *accepting fresh connections* (the paper's E3/E4 EMC-missing
+//!   probe methodology). This tier is where the megaflow mask
+//!   explosion lands; the `OvsCache` row reproduces the Fig. 3 / E3
+//!   collapse, and is the matrix's anchor baseline.
+//! * `upcall_flood` — the handler-saturation attack
+//!   ([`pi_sim::upcall_saturation_scenario`]): a unique-destination
+//!   spray monopolises the bounded slow path while a victim's
+//!   connection churn needs it.
+//! * `policy_flap` — the control-plane attack
+//!   ([`pi_sim::policy_churn_scenario`]): zero attack packets, just ACL
+//!   re-installs whose global cache flushes destroy co-located
+//!   tenants' fast-path state.
+//!
+//! The defense column is each attack's canonical mitigation, applied
+//! uniformly (backends without the corresponding structure treat the
+//! knob as a no-op, which is itself a matrix result): staged subtable
+//! lookup for the tuple-space rows, the per-port fair-share quota for
+//! the flood, destination-scoped invalidation for the flap.
+//!
+//! Output: `BENCH_backends.json` (override with
+//! `PI_BENCH_BACKENDS_OUT`), written through the shared
+//! [`pi_bench::report`] envelope. `--smoke` shrinks every cell for CI
+//! while still covering all four backends. The bench asserts its own
+//! headline claims: the exact-match pipeline retains ≥ 0.9 of its
+//! connection-setup capacity under the very injection that collapses
+//! the OVS pipeline.
+
+use pi_attack::AttackSpec;
+use pi_bench::report::{Fields, Report};
+use pi_core::SimTime;
+use pi_datapath::{BackendKind, DpConfig};
+use pi_sim::{
+    measure_backend_capacity, policy_churn_scenario, upcall_saturation_scenario, CapacityWorkload,
+    PolicyChurnParams, UpcallSaturationParams,
+};
+
+/// One matrix cell.
+struct Cell {
+    backend: BackendKind,
+    attack: &'static str,
+    defense: &'static str,
+    defended: bool,
+    baseline_pps: f64,
+    attacked_pps: f64,
+    retained: f64,
+    /// Wildcard masks present after the attack (the Fig. 3 observable;
+    /// 0 for architectures without a mask space, and for the scenario
+    /// cells where it isn't the interesting axis).
+    masks_attacked: usize,
+}
+
+/// The covert-budget knobs one smoke/full switch controls.
+struct Scale {
+    capacity_samples: u64,
+    covert_per_victim: u64,
+    flood_secs: u64,
+    flap_secs: u64,
+}
+
+fn capacity_cell(
+    backend: BackendKind,
+    workload: CapacityWorkload,
+    defended: bool,
+    scale: &Scale,
+) -> Cell {
+    let dp = DpConfig {
+        backend,
+        staged_lookup: defended,
+        ..DpConfig::default()
+    };
+    let spec = AttackSpec::masks_8192();
+    let cpu = 1_200_000_000u64;
+    let (base, attacked) = measure_backend_capacity(
+        dp,
+        cpu,
+        &spec,
+        workload,
+        scale.capacity_samples,
+        scale.covert_per_victim,
+    );
+    Cell {
+        backend,
+        attack: match workload {
+            CapacityWorkload::CachedFlow => "tuple_space",
+            CapacityWorkload::ConnectionSetup => "tuple_space_churn",
+        },
+        defense: "staged_lookup",
+        defended,
+        baseline_pps: base.capacity_pps,
+        attacked_pps: attacked.capacity_pps,
+        retained: attacked.capacity_pps / base.capacity_pps,
+        masks_attacked: attacked.masks,
+    }
+}
+
+fn flood_cell(backend: BackendKind, defended: bool, scale: &Scale) -> Cell {
+    let run = |attack: bool| {
+        let params = UpcallSaturationParams {
+            duration: SimTime::from_secs(scale.flood_secs),
+            backend,
+            attack,
+            port_quota_per_step: defended.then_some(8),
+            ..Default::default()
+        };
+        let (sim, handles) = upcall_saturation_scenario(&params);
+        let report = sim.run();
+        let victim = &report.source_totals[handles.victim_source];
+        let window = (params.duration - params.victim_start).as_secs_f64();
+        victim.delivered as f64 / window
+    };
+    let baseline_pps = run(false);
+    let attacked_pps = run(true);
+    Cell {
+        backend,
+        attack: "upcall_flood",
+        defense: "fair_share_quota",
+        defended,
+        baseline_pps,
+        attacked_pps,
+        retained: attacked_pps / baseline_pps,
+        masks_attacked: 0,
+    }
+}
+
+fn flap_cell(backend: BackendKind, defended: bool, scale: &Scale) -> Cell {
+    let run = |flap: bool| {
+        let params = PolicyChurnParams {
+            duration: SimTime::from_secs(scale.flap_secs),
+            attack_start: SimTime::from_secs(1),
+            flap,
+            scoped_invalidation: defended,
+            dp: DpConfig {
+                backend,
+                ..DpConfig::default()
+            },
+            ..Default::default()
+        };
+        let (sim, handles) = policy_churn_scenario(&params);
+        let report = sim.run();
+        let victim = &report.source_totals[handles.victim_source];
+        victim.delivered as f64 / params.duration.as_secs_f64()
+    };
+    let baseline_pps = run(false);
+    let attacked_pps = run(true);
+    Cell {
+        backend,
+        attack: "policy_flap",
+        defense: "scoped_invalidation",
+        defended,
+        baseline_pps,
+        attacked_pps,
+        retained: attacked_pps / baseline_pps,
+        masks_attacked: 0,
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let scale = if smoke {
+        Scale {
+            // 400 x 8 = 3200 covert flows: enough to wrap the 2048-entry
+            // NIC offload FIFO, so its replacement-churn cell is visible
+            // even in the smoke run.
+            capacity_samples: 400,
+            covert_per_victim: 8,
+            flood_secs: 3,
+            flap_secs: 3,
+        }
+    } else {
+        Scale {
+            capacity_samples: 2_000,
+            covert_per_victim: 8,
+            flood_secs: 6,
+            flap_secs: 4,
+        }
+    };
+
+    println!(
+        "backend_matrix: {} backends x 4 attacks x 2 defense settings{}",
+        BackendKind::ALL.len(),
+        if smoke { " (smoke)" } else { "" }
+    );
+    println!(
+        "{:>11} {:>18} {:>20} {:>9} {:>14} {:>14} {:>9} {:>7}",
+        "backend",
+        "attack",
+        "defense",
+        "defended",
+        "baseline_pps",
+        "attacked_pps",
+        "retained",
+        "masks"
+    );
+
+    let mut cells: Vec<Cell> = Vec::new();
+    for backend in BackendKind::ALL {
+        for defended in [false, true] {
+            cells.push(capacity_cell(
+                backend,
+                CapacityWorkload::CachedFlow,
+                defended,
+                &scale,
+            ));
+            cells.push(capacity_cell(
+                backend,
+                CapacityWorkload::ConnectionSetup,
+                defended,
+                &scale,
+            ));
+            cells.push(flood_cell(backend, defended, &scale));
+            cells.push(flap_cell(backend, defended, &scale));
+        }
+    }
+    for c in &cells {
+        println!(
+            "{:>11} {:>18} {:>20} {:>9} {:>14.0} {:>14.0} {:>9.3} {:>7}",
+            c.backend.name(),
+            c.attack,
+            c.defense,
+            c.defended,
+            c.baseline_pps,
+            c.attacked_pps,
+            c.retained,
+            c.masks_attacked
+        );
+    }
+
+    let mut report = Report::new("backend_matrix", "backend_immunity_matrix").params(
+        Fields::new()
+            .b("smoke", smoke)
+            .u("capacity_samples", scale.capacity_samples)
+            .u("covert_per_victim", scale.covert_per_victim)
+            .u("flood_secs", scale.flood_secs)
+            .u("flap_secs", scale.flap_secs)
+            .s("tuple_space_spec", "masks_8192"),
+    );
+    for c in &cells {
+        report.row(
+            Fields::new()
+                .s("backend", c.backend.name())
+                .s("attack", c.attack)
+                .s("defense", c.defense)
+                .b("defended", c.defended)
+                .f("baseline_pps", c.baseline_pps, 1)
+                .f("attacked_pps", c.attacked_pps, 1)
+                .f("retained", c.retained, 4)
+                .zu("masks_attacked", c.masks_attacked),
+        );
+    }
+    let out = report.write("BENCH_backends.json", "PI_BENCH_BACKENDS_OUT");
+    println!("\nwrote {}", out.display());
+
+    // The matrix's headline claims, asserted so a regression fails the
+    // bench rather than silently shipping a wrong artefact.
+    let cell = |backend: BackendKind, attack: &str, defended: bool| {
+        cells
+            .iter()
+            .find(|c| c.backend == backend && c.attack == attack && c.defended == defended)
+            .expect("cell")
+    };
+    let ovs = cell(BackendKind::OvsCache, "tuple_space_churn", false);
+    assert!(
+        ovs.retained < 0.2,
+        "OvsCache must reproduce the tuple-space collapse: retained = {:.3}",
+        ovs.retained
+    );
+    let exact = cell(BackendKind::ExactHash, "tuple_space_churn", false);
+    assert!(
+        exact.retained >= 0.9,
+        "ExactHash must retain >= 0.9 under the injection: retained = {:.3}",
+        exact.retained
+    );
+    let flood = cell(BackendKind::OvsCache, "upcall_flood", false);
+    let flood_exact = cell(BackendKind::ExactHash, "upcall_flood", false);
+    assert!(
+        flood.retained < 0.5 && flood_exact.retained > 0.9,
+        "the flood starves the bounded OVS slow path ({:.3}) but not the inline \
+         exact pipeline ({:.3})",
+        flood.retained,
+        flood_exact.retained
+    );
+    let flap = cell(BackendKind::OvsCache, "policy_flap", false);
+    let flap_scoped = cell(BackendKind::OvsCache, "policy_flap", true);
+    assert!(
+        flap.retained < 0.6 && flap_scoped.retained > 0.9,
+        "the flap collapses global-flush OVS ({:.3}) and scoped invalidation \
+         restores it ({:.3})",
+        flap.retained,
+        flap_scoped.retained
+    );
+}

@@ -27,6 +27,7 @@
 //! Output: `BENCH_detect.json` (override with `PI_BENCH_DETECT_OUT`).
 //! `--smoke` shrinks the run for CI.
 
+use pi_bench::report::{Fields, Report};
 use pi_core::SimTime;
 use pi_detect::{ControllerConfig, DetectorConfig, SignalConfig};
 use pi_sim::{adaptive_defense_scenario, AdaptiveDefenseParams, DefenseMode};
@@ -175,43 +176,33 @@ fn main() {
         );
     }
 
-    let json_rows: Vec<String> = rows
-        .iter()
-        .map(|r| {
-            format!(
-                "    {{\"mode\": \"{}\", \"time_to_detect_ms\": {}, \
-                 \"time_to_mitigate_ms\": {}, \"benign_detections\": {}, \
-                 \"benign_activations\": {}, \"activations\": {}, \
-                 \"victim_offered\": {}, \"victim_delivered\": {}, \
-                 \"victim_upcall_drops\": {}, \"recovery_pps\": {:.1}, \
-                 \"recovery_ratio\": {:.4}, \"top_offender_masks\": {}}}",
-                r.mode,
-                fmt_opt(r.time_to_detect_ms),
-                fmt_opt(r.time_to_mitigate_ms),
-                r.benign_detections,
-                r.benign_activations,
-                r.activations,
-                r.victim_offered,
-                r.victim_delivered,
-                r.victim_upcall_drops,
-                r.recovery_pps,
-                r.recovery_ratio,
-                r.top_offender_masks
-            )
-        })
-        .collect();
     let defaults = AdaptiveDefenseParams::default();
-    let json = format!(
-        "{{\n  \"bench\": \"detection_roc\",\n  \"scenario\": \"adaptive_defense\",\n  \
-         \"sim_secs\": {sim_secs},\n  \"attack_start_secs\": {attack_secs},\n  \
-         \"recovery_window_secs\": {window_secs},\n  \"victim_pps_offered\": {},\n  \
-         \"benign_pps\": {},\n  \"attack_bandwidth_bps\": {:.0},\n  \"rows\": [\n{}\n  ]\n}}\n",
-        defaults.victim_pps,
-        defaults.benign_pps,
-        defaults.attack_bandwidth_bps,
-        json_rows.join(",\n")
+    let mut report = Report::new("detection_roc", "adaptive_defense").params(
+        Fields::new()
+            .u("sim_secs", sim_secs)
+            .u("attack_start_secs", attack_secs)
+            .u("recovery_window_secs", window_secs)
+            .f("victim_pps_offered", defaults.victim_pps, 0)
+            .f("benign_pps", defaults.benign_pps, 0)
+            .f("attack_bandwidth_bps", defaults.attack_bandwidth_bps, 0),
     );
-    let out = std::env::var("PI_BENCH_DETECT_OUT").unwrap_or_else(|_| "BENCH_detect.json".into());
-    std::fs::write(&out, json).expect("write BENCH_detect.json");
-    println!("\nwrote {out}");
+    for r in &rows {
+        report.row(
+            Fields::new()
+                .s("mode", r.mode)
+                .opt_f("time_to_detect_ms", r.time_to_detect_ms, 0)
+                .opt_f("time_to_mitigate_ms", r.time_to_mitigate_ms, 0)
+                .u("benign_detections", r.benign_detections)
+                .u("benign_activations", r.benign_activations)
+                .u("activations", r.activations)
+                .u("victim_offered", r.victim_offered)
+                .u("victim_delivered", r.victim_delivered)
+                .u("victim_upcall_drops", r.victim_upcall_drops)
+                .f("recovery_pps", r.recovery_pps, 1)
+                .f("recovery_ratio", r.recovery_ratio, 4)
+                .zu("top_offender_masks", r.top_offender_masks),
+        );
+    }
+    let out = report.write("BENCH_detect.json", "PI_BENCH_DETECT_OUT");
+    println!("\nwrote {}", out.display());
 }

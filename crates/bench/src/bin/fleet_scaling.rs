@@ -20,6 +20,7 @@
 
 use std::time::Instant;
 
+use pi_bench::report::{Fields, Report};
 use pi_bench::stopwatch::{sample, SampleStats};
 use pi_fleet::fleet_colocation;
 use pi_metrics::CsvTable;
@@ -183,39 +184,28 @@ fn main() {
     csv.write_csv(&csv_path).expect("write csv");
 
     // BENCH_fleet.json for the repo-level bench target.
-    let json_rows: Vec<String> = rows
-        .iter()
-        .map(|r| {
-            format!(
-                "    {{\"hosts\": {}, \"workers\": {}, \"median_wall_secs\": {:.6}, \
-                 \"p95_wall_secs\": {:.6}, \"switch_packets\": {}, \"pps\": {:.1}, \
-                 \"speedup_vs_1_worker\": {:.3}, \"avg_subtable_probes\": {:.3}, \
-                 \"emc_hit_rate\": {:.4}}}",
-                r.hosts,
-                r.workers,
-                r.stats.median_secs,
-                r.stats.p95_secs,
-                r.switch_packets,
-                r.pps,
-                r.speedup,
-                r.avg_probes,
-                r.emc_hit_rate
-            )
-        })
-        .collect();
-    let json = format!(
-        "{{\n  \"bench\": \"fleet_scaling\",\n  \"scenario\": \"fleet_colocation\",\n  \
-         \"simulated_secs_per_cell\": {},\n  \"warmup_runs\": {},\n  \"timed_repeats\": {},\n  \
-         \"available_cores\": {},\n  \"rows\": [\n{}\n  ]\n}}\n",
-        duration_secs,
-        warmup,
-        repeats,
-        cores,
-        json_rows.join(",\n")
+    let mut report = Report::new("fleet_scaling", "fleet_colocation").params(
+        Fields::new()
+            .u("simulated_secs_per_cell", duration_secs)
+            .u("warmup_runs", warmup as u64)
+            .u("timed_repeats", repeats as u64),
     );
-    let out = std::env::var("PI_BENCH_FLEET_OUT").unwrap_or_else(|_| "BENCH_fleet.json".into());
-    std::fs::write(&out, json).expect("write BENCH_fleet.json");
-    println!("\nwrote {out} and {}", csv_path.display());
+    for r in &rows {
+        report.row(
+            Fields::new()
+                .zu("hosts", r.hosts)
+                .zu("workers", r.workers)
+                .f("median_wall_secs", r.stats.median_secs, 6)
+                .f("p95_wall_secs", r.stats.p95_secs, 6)
+                .u("switch_packets", r.switch_packets)
+                .f("pps", r.pps, 1)
+                .f("speedup_vs_1_worker", r.speedup, 3)
+                .f("avg_subtable_probes", r.avg_probes, 3)
+                .f("emc_hit_rate", r.emc_hit_rate, 4),
+        );
+    }
+    let out = report.write("BENCH_fleet.json", "PI_BENCH_FLEET_OUT");
+    println!("\nwrote {} and {}", out.display(), csv_path.display());
 
     let eight = |w: usize| rows.iter().find(|r| r.hosts == 8 && r.workers == w);
     if let (Some(r1), Some(r4)) = (eight(1), eight(4)) {

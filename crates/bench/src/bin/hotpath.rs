@@ -28,6 +28,7 @@
 
 use std::time::Instant;
 
+use pi_bench::report::{extract_rows, Fields, Report};
 use pi_bench::stopwatch::{sample, SampleStats};
 use pi_fleet::fleet_colocation;
 
@@ -40,27 +41,6 @@ struct Row {
     pps: f64,
     avg_probes: f64,
     emc_hit_rate: f64,
-}
-
-/// Extracts the one-row-per-line contents of the `"rows": [ ... ]`
-/// array from a previous output file (our own JSON writer's shape, not
-/// a general parser), **excluding** rows labelled `drop_variant` —
-/// those are about to be re-measured and replaced.
-fn extract_other_rows(json: &str, drop_variant: &str) -> Vec<String> {
-    let Some(start) = json.find("\"rows\": [") else {
-        return Vec::new();
-    };
-    let start = start + "\"rows\": [".len();
-    let Some(end) = json[start..].rfind(']') else {
-        return Vec::new();
-    };
-    let needle = format!("\"variant\": \"{drop_variant}\"");
-    json[start..start + end]
-        .lines()
-        .map(|l| l.trim_end_matches(',').trim_end())
-        .filter(|l| !l.trim().is_empty() && !l.contains(&needle))
-        .map(String::from)
-        .collect()
 }
 
 fn main() {
@@ -120,40 +100,35 @@ fn main() {
     }
 
     let out = std::env::var("PI_BENCH_HOTPATH_OUT").unwrap_or_else(|_| "BENCH_hotpath.json".into());
+    let mut report = Report::new("hotpath", "fleet_colocation").params(Fields::new());
     // Default merge source is the output file itself: re-running the
     // bench refreshes this variant's rows and keeps every other
     // variant's (the baseline rows predate the rebuild and cannot be
     // re-measured).
     let merge_path = std::env::var("PI_BENCH_HOTPATH_MERGE").unwrap_or_else(|_| out.clone());
-    let mut json_rows: Vec<String> = match std::fs::read_to_string(&merge_path) {
-        Ok(prev) => extract_other_rows(&prev, &variant),
-        Err(_) => Vec::new(),
-    };
-    json_rows.extend(rows.iter().map(|r| {
-        format!(
-            "    {{\"variant\": \"{}\", \"hosts\": {}, \"workers\": 1, \"sim_secs\": {}, \
-             \"warmup\": {}, \"repeats\": {}, \"median_wall_secs\": {:.6}, \
-             \"p95_wall_secs\": {:.6}, \"switch_packets\": {}, \"pps\": {:.1}, \
-             \"avg_subtable_probes\": {:.3}, \"emc_hit_rate\": {:.4}}}",
-            r.variant,
-            r.hosts,
-            r.sim_secs,
-            r.stats.warmup,
-            r.stats.repeats,
-            r.stats.median_secs,
-            r.stats.p95_secs,
-            r.switch_packets,
-            r.pps,
-            r.avg_probes,
-            r.emc_hit_rate
-        )
-    }));
-    let json = format!(
-        "{{\n  \"bench\": \"hotpath\",\n  \"scenario\": \"fleet_colocation\",\n  \
-         \"available_cores\": {},\n  \"rows\": [\n{}\n  ]\n}}\n",
-        cores,
-        json_rows.join(",\n")
-    );
-    std::fs::write(&out, json).expect("write BENCH_hotpath.json");
-    println!("\nwrote {out}");
+    if let Ok(prev) = std::fs::read_to_string(&merge_path) {
+        let needle = format!("\"variant\": \"{variant}\"");
+        for line in extract_rows(&prev, &needle) {
+            report.carry_row(line);
+        }
+    }
+    for r in &rows {
+        report.row(
+            Fields::new()
+                .s("variant", &r.variant)
+                .zu("hosts", r.hosts)
+                .u("workers", 1)
+                .u("sim_secs", r.sim_secs)
+                .u("warmup", r.stats.warmup as u64)
+                .u("repeats", r.stats.repeats as u64)
+                .f("median_wall_secs", r.stats.median_secs, 6)
+                .f("p95_wall_secs", r.stats.p95_secs, 6)
+                .u("switch_packets", r.switch_packets)
+                .f("pps", r.pps, 1)
+                .f("avg_subtable_probes", r.avg_probes, 3)
+                .f("emc_hit_rate", r.emc_hit_rate, 4),
+        );
+    }
+    let out = report.write("BENCH_hotpath.json", "PI_BENCH_HOTPATH_OUT");
+    println!("\nwrote {}", out.display());
 }

@@ -29,6 +29,7 @@
 //! Output: `BENCH_policy.json` (override with `PI_BENCH_POLICY_OUT`).
 //! `--smoke` shrinks the run for CI.
 
+use pi_bench::report::{Fields, Report};
 use pi_core::SimTime;
 use pi_sim::{policy_churn_scenario, PolicyChurnParams};
 
@@ -115,44 +116,39 @@ fn main() {
         );
     }
 
-    let json_rows: Vec<String> = rows
-        .iter()
-        .map(|r| {
-            format!(
-                "    {{\"mode\": \"{}\", \"sim_secs\": {}, \"victim_offered\": {}, \
-                 \"victim_delivered\": {}, \"victim_pps\": {:.1}, \
-                 \"retained_vs_benign\": {:.4}, \"victim_dropped_capacity\": {}, \
-                 \"attack_packets\": {}, \"policy_updates\": {}, \"cache_flushes\": {}, \
-                 \"flushed_megaflows\": {}, \"control_cycles\": {}, \"upcalls\": {}}}",
-                r.mode,
-                sim_secs,
-                r.victim_offered,
-                r.victim_delivered,
-                r.victim_pps,
-                r.victim_pps / baseline_pps,
-                r.victim_dropped_capacity,
-                r.attack_packets,
-                r.policy_updates,
-                r.cache_flushes,
-                r.flushed_megaflows,
-                r.control_cycles,
-                r.upcalls
+    let mut report = Report::new("policy_churn", "policy_churn").params(
+        Fields::new()
+            .zu("clients", defaults.clients)
+            .f("victim_pps_offered", defaults.victim_pps, 0)
+            .u(
+                "flap_period_ms",
+                defaults.flap_period.as_nanos() / 1_000_000,
             )
-        })
-        .collect();
-    let json = format!(
-        "{{\n  \"bench\": \"policy_churn\",\n  \"scenario\": \"policy_churn\",\n  \
-         \"clients\": {},\n  \"victim_pps_offered\": {:.0},\n  \"flap_period_ms\": {},\n  \
-         \"benign_update_period_ms\": {},\n  \"rows\": [\n{}\n  ]\n}}\n",
-        defaults.clients,
-        defaults.victim_pps,
-        defaults.flap_period.as_nanos() / 1_000_000,
-        defaults.benign_update_period.as_nanos() / 1_000_000,
-        json_rows.join(",\n")
+            .u(
+                "benign_update_period_ms",
+                defaults.benign_update_period.as_nanos() / 1_000_000,
+            ),
     );
-    let out = std::env::var("PI_BENCH_POLICY_OUT").unwrap_or_else(|_| "BENCH_policy.json".into());
-    std::fs::write(&out, json).expect("write BENCH_policy.json");
-    println!("\nwrote {out}");
+    for r in &rows {
+        report.row(
+            Fields::new()
+                .s("mode", r.mode)
+                .u("sim_secs", sim_secs)
+                .u("victim_offered", r.victim_offered)
+                .u("victim_delivered", r.victim_delivered)
+                .f("victim_pps", r.victim_pps, 1)
+                .f("retained_vs_benign", r.victim_pps / baseline_pps, 4)
+                .u("victim_dropped_capacity", r.victim_dropped_capacity)
+                .u("attack_packets", r.attack_packets)
+                .u("policy_updates", r.policy_updates)
+                .u("cache_flushes", r.cache_flushes)
+                .u("flushed_megaflows", r.flushed_megaflows)
+                .u("control_cycles", r.control_cycles)
+                .u("upcalls", r.upcalls),
+        );
+    }
+    let out = report.write("BENCH_policy.json", "PI_BENCH_POLICY_OUT");
+    println!("\nwrote {}", out.display());
 
     // Keep the bench honest about its own claims: the flap must
     // collapse the victim and scoped invalidation must restore it.

@@ -27,6 +27,7 @@
 //! connections still parked in the pipeline when the clock stops (see
 //! `SourceTotals` — totals don't conserve at the run boundary).
 
+use pi_bench::report::{Fields, Report};
 use pi_core::SimTime;
 use pi_sim::{upcall_saturation_scenario, UpcallSaturationParams};
 
@@ -104,37 +105,32 @@ fn main() {
         );
     }
 
-    let json_rows: Vec<String> = rows
-        .iter()
-        .map(|r| {
-            format!(
-                "    {{\"mode\": \"{}\", \"sim_secs\": {}, \"victim_offered\": {}, \
-                 \"victim_delivered\": {}, \"victim_pps\": {:.1}, \
-                 \"victim_upcall_drops\": {}, \"victim_drop_rate\": {:.4}, \
-                 \"attacker_upcall_drops\": {}, \"mean_install_latency_steps\": {:.3}, \
-                 \"max_queue_depth\": {}, \"upcalls_handled\": {}}}",
-                r.mode,
-                sim_secs,
-                r.victim_offered,
-                r.victim_delivered,
-                r.victim_pps,
-                r.victim_upcall_drops,
-                r.victim_drop_rate,
-                r.attacker_upcall_drops,
-                r.mean_install_latency_steps,
-                r.max_queue_depth,
-                r.upcalls_handled
-            )
-        })
-        .collect();
-    let json = format!(
-        "{{\n  \"bench\": \"upcall_saturation\",\n  \"scenario\": \"upcall_saturation\",\n  \
-         \"victim_pps_offered\": {},\n  \"attack_bandwidth_bps\": {:.0},\n  \"rows\": [\n{}\n  ]\n}}\n",
-        UpcallSaturationParams::default().victim_pps,
-        UpcallSaturationParams::default().attack_bandwidth_bps,
-        json_rows.join(",\n")
+    let defaults = UpcallSaturationParams::default();
+    let mut report = Report::new("upcall_saturation", "upcall_saturation").params(
+        Fields::new()
+            .f("victim_pps_offered", defaults.victim_pps, 0)
+            .f("attack_bandwidth_bps", defaults.attack_bandwidth_bps, 0),
     );
-    let out = std::env::var("PI_BENCH_UPCALL_OUT").unwrap_or_else(|_| "BENCH_upcall.json".into());
-    std::fs::write(&out, json).expect("write BENCH_upcall.json");
-    println!("\nwrote {out}");
+    for r in &rows {
+        report.row(
+            Fields::new()
+                .s("mode", r.mode)
+                .u("sim_secs", sim_secs)
+                .u("victim_offered", r.victim_offered)
+                .u("victim_delivered", r.victim_delivered)
+                .f("victim_pps", r.victim_pps, 1)
+                .u("victim_upcall_drops", r.victim_upcall_drops)
+                .f("victim_drop_rate", r.victim_drop_rate, 4)
+                .u("attacker_upcall_drops", r.attacker_upcall_drops)
+                .f(
+                    "mean_install_latency_steps",
+                    r.mean_install_latency_steps,
+                    3,
+                )
+                .zu("max_queue_depth", r.max_queue_depth)
+                .u("upcalls_handled", r.upcalls_handled),
+        );
+    }
+    let out = report.write("BENCH_upcall.json", "PI_BENCH_UPCALL_OUT");
+    println!("\nwrote {}", out.display());
 }

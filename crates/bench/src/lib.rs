@@ -24,6 +24,7 @@
 
 use std::path::PathBuf;
 
+pub mod report;
 pub mod stopwatch;
 
 /// Resolves the shared results directory (`<workspace>/results`),

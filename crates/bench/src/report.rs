@@ -1,0 +1,306 @@
+//! The shared bench-report writer: every `BENCH_*.json` artefact is
+//! emitted through [`Report`], so they all carry the same envelope —
+//!
+//! ```json
+//! {
+//!   "bench": "...",            // binary name (back-compat alias)
+//!   "scenario": "...",         // which scenario produced the rows
+//!   "git_rev": "...",          // short commit of the measured tree
+//!   "available_cores": 4,      // host parallelism during the run
+//!   "params": { ... },         // scenario-level parameters
+//!   "rows": [ {...}, ... ]     // one object per measured row
+//! }
+//! ```
+//!
+//! Rows are rendered one per line (4-space indent) so downstream
+//! tooling — and the `hotpath` bench's own merge-on-rerun — can operate
+//! line-wise without a JSON parser. The writer is hand-rolled on
+//! purpose: the repo takes no serialization dependency for five small
+//! artefacts.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+/// One JSON scalar, with explicit float precision so re-runs produce
+/// stable, diffable artefacts.
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// `null` (e.g. a time-to-detect that never happened).
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// An unsigned counter.
+    UInt(u64),
+    /// A signed integer.
+    Int(i64),
+    /// A float printed with the given number of decimals. Non-finite
+    /// values render as `null` (JSON has no NaN).
+    Float(f64, usize),
+    /// A string (escaped on render).
+    Str(String),
+}
+
+impl Value {
+    fn render(&self, out: &mut String) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => {
+                let _ = write!(out, "{b}");
+            }
+            Value::UInt(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Value::Int(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Value::Float(v, prec) => {
+                if v.is_finite() {
+                    let _ = write!(out, "{v:.prec$}");
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Value::Str(s) => {
+                out.push('"');
+                for c in s.chars() {
+                    match c {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        '\n' => out.push_str("\\n"),
+                        c if (c as u32) < 0x20 => {
+                            let _ = write!(out, "\\u{:04x}", c as u32);
+                        }
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+            }
+        }
+    }
+}
+
+/// An ordered field list — one report row, or the params object.
+#[derive(Debug, Clone, Default)]
+pub struct Fields {
+    entries: Vec<(String, Value)>,
+}
+
+impl Fields {
+    /// An empty field list.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends any [`Value`].
+    pub fn push(mut self, key: &str, value: Value) -> Self {
+        self.entries.push((key.to_string(), value));
+        self
+    }
+
+    /// Appends a string field.
+    pub fn s(self, key: &str, v: &str) -> Self {
+        self.push(key, Value::Str(v.to_string()))
+    }
+
+    /// Appends an unsigned counter.
+    pub fn u(self, key: &str, v: u64) -> Self {
+        self.push(key, Value::UInt(v))
+    }
+
+    /// Appends a usize counter.
+    pub fn zu(self, key: &str, v: usize) -> Self {
+        self.push(key, Value::UInt(v as u64))
+    }
+
+    /// Appends a boolean.
+    pub fn b(self, key: &str, v: bool) -> Self {
+        self.push(key, Value::Bool(v))
+    }
+
+    /// Appends a float with `prec` decimals.
+    pub fn f(self, key: &str, v: f64, prec: usize) -> Self {
+        self.push(key, Value::Float(v, prec))
+    }
+
+    /// Appends an optional float (`None` → `null`).
+    pub fn opt_f(self, key: &str, v: Option<f64>, prec: usize) -> Self {
+        self.push(key, v.map_or(Value::Null, |v| Value::Float(v, prec)))
+    }
+
+    fn render(&self, out: &mut String) {
+        out.push('{');
+        for (i, (k, v)) in self.entries.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "\"{k}\": ");
+            v.render(out);
+        }
+        out.push('}');
+    }
+}
+
+/// One `BENCH_*.json` artefact under construction.
+#[derive(Debug, Clone)]
+pub struct Report {
+    bench: String,
+    scenario: String,
+    params: Fields,
+    /// Pre-rendered row lines (merged from a previous artefact) that
+    /// precede the freshly measured rows.
+    carried_rows: Vec<String>,
+    rows: Vec<Fields>,
+}
+
+impl Report {
+    /// A new report for `bench` (the binary) over `scenario`.
+    pub fn new(bench: &str, scenario: &str) -> Self {
+        Report {
+            bench: bench.to_string(),
+            scenario: scenario.to_string(),
+            params: Fields::new(),
+            carried_rows: Vec::new(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Sets the scenario-level parameter object.
+    pub fn params(mut self, params: Fields) -> Self {
+        self.params = params;
+        self
+    }
+
+    /// Appends a measured row.
+    pub fn row(&mut self, row: Fields) {
+        self.rows.push(row);
+    }
+
+    /// Appends an already-rendered row line (no trailing comma) ahead
+    /// of the measured rows — the `hotpath` merge-on-rerun path.
+    pub fn carry_row(&mut self, line: String) {
+        self.carried_rows.push(line);
+    }
+
+    /// Renders the artefact.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"bench\": \"{}\",", self.bench);
+        let _ = writeln!(out, "  \"scenario\": \"{}\",", self.scenario);
+        let _ = writeln!(out, "  \"git_rev\": \"{}\",", git_rev());
+        let _ = writeln!(out, "  \"available_cores\": {},", available_cores());
+        out.push_str("  \"params\": ");
+        self.params.render(&mut out);
+        out.push_str(",\n  \"rows\": [\n");
+        let mut lines: Vec<String> = self.carried_rows.clone();
+        for row in &self.rows {
+            let mut line = String::from("    ");
+            row.render(&mut line);
+            lines.push(line);
+        }
+        out.push_str(&lines.join(",\n"));
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+
+    /// Writes the artefact to `$env_var`, or `default_name` in the
+    /// working directory when the override is unset. Returns the path.
+    pub fn write(&self, default_name: &str, env_var: &str) -> PathBuf {
+        let out = std::env::var(env_var).unwrap_or_else(|_| default_name.to_string());
+        std::fs::write(&out, self.render()).unwrap_or_else(|e| panic!("write {out}: {e}"));
+        PathBuf::from(out)
+    }
+}
+
+/// Extracts the row lines of a previous artefact's `"rows": [ ... ]`
+/// array (this writer's line-per-row shape, not a general parser),
+/// excluding rows containing `drop_needle` — those are about to be
+/// re-measured and replaced.
+pub fn extract_rows(json: &str, drop_needle: &str) -> Vec<String> {
+    let Some(start) = json.find("\"rows\": [") else {
+        return Vec::new();
+    };
+    let start = start + "\"rows\": [".len();
+    let Some(end) = json[start..].rfind(']') else {
+        return Vec::new();
+    };
+    json[start..start + end]
+        .lines()
+        .map(|l| l.trim_end_matches(',').trim_end())
+        .filter(|l| !l.trim().is_empty() && !l.contains(drop_needle))
+        .map(String::from)
+        .collect()
+}
+
+/// Host parallelism during the run (1 when unknown).
+pub fn available_cores() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Short commit hash of the measured tree (`"unknown"` outside a git
+/// checkout or without a `git` binary).
+pub fn git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn envelope_has_the_shared_schema() {
+        let mut r =
+            Report::new("demo", "demo_scenario").params(Fields::new().u("n", 3).f("rate", 0.5, 2));
+        r.row(
+            Fields::new()
+                .s("mode", "a")
+                .u("count", 1)
+                .opt_f("t", None, 1),
+        );
+        r.row(
+            Fields::new()
+                .s("mode", "b")
+                .f("ratio", 0.25, 3)
+                .b("ok", true),
+        );
+        let json = r.render();
+        for key in [
+            "\"bench\": \"demo\"",
+            "\"scenario\": \"demo_scenario\"",
+            "\"git_rev\": ",
+            "\"available_cores\": ",
+            "\"params\": {\"n\": 3, \"rate\": 0.50}",
+            "\"t\": null",
+            "\"ratio\": 0.250",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        // One row per line: the merge contract.
+        let rows = extract_rows(&json, "\"mode\": \"zzz\"");
+        assert_eq!(rows.len(), 2);
+        let kept = extract_rows(&json, "\"mode\": \"a\"");
+        assert_eq!(kept.len(), 1);
+        assert!(kept[0].contains("\"mode\": \"b\""));
+    }
+
+    #[test]
+    fn strings_are_escaped_and_nonfinite_floats_are_null() {
+        let mut out = String::new();
+        Value::Str("a\"b\\c\nd".into()).render(&mut out);
+        assert_eq!(out, "\"a\\\"b\\\\c\\nd\"");
+        let mut out = String::new();
+        Value::Float(f64::NAN, 3).render(&mut out);
+        assert_eq!(out, "null");
+    }
+}

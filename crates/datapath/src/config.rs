@@ -5,6 +5,68 @@ use pi_core::{Field, SimTime};
 
 use crate::upcall::PipelineMode;
 
+/// Which dataplane architecture a node runs. The enum lives here (not in
+/// `pi_backend`, where the implementations do) so a [`DpConfig`] can name
+/// a backend without a dependency cycle: `pi_backend` depends on this
+/// crate and resolves the kind into a concrete pipeline at build time.
+///
+/// The variants mirror the architectures deployed across real clouds:
+///
+/// * [`BackendKind::OvsCache`] — the EMC→TSS→upcall hierarchy the paper
+///   attacks ([`crate::VSwitch`], unchanged).
+/// * [`BackendKind::ExactHash`] — an eBPF/Cilium-style exact-match hash
+///   pipeline: no wildcard cache, so no mask space to explode.
+/// * [`BackendKind::LpmTier`] — a DPDK-style compiled longest-prefix
+///   tier: fixed per-packet trie walk, no flow cache at all.
+/// * [`BackendKind::NicOffload`] — a SmartNIC with a bounded exact-match
+///   offload table and a costed host slow path behind it.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum BackendKind {
+    /// The OVS-like three-level cache hierarchy (the paper's target).
+    #[default]
+    OvsCache,
+    /// Exact-match hash pipeline (eBPF/Cilium-style connection map).
+    ExactHash,
+    /// Compiled longest-prefix-match tier (DPDK-style, cacheless).
+    LpmTier,
+    /// Bounded SmartNIC offload table with host fallback.
+    NicOffload,
+}
+
+impl BackendKind {
+    /// All backends, in matrix/report order.
+    pub const ALL: [BackendKind; 4] = [
+        BackendKind::OvsCache,
+        BackendKind::ExactHash,
+        BackendKind::LpmTier,
+        BackendKind::NicOffload,
+    ];
+
+    /// The stable lowercase identifier used in CLI arguments and bench
+    /// output rows.
+    pub fn name(self) -> &'static str {
+        match self {
+            BackendKind::OvsCache => "ovs_cache",
+            BackendKind::ExactHash => "exact_hash",
+            BackendKind::LpmTier => "lpm_tier",
+            BackendKind::NicOffload => "nic_offload",
+        }
+    }
+
+    /// Parses the identifier produced by [`BackendKind::name`]
+    /// (case-insensitive, `-` and `_` interchangeable).
+    pub fn parse(s: &str) -> Option<BackendKind> {
+        let canon = s.to_ascii_lowercase().replace('-', "_");
+        BackendKind::ALL.into_iter().find(|k| k.name() == canon)
+    }
+}
+
+impl std::fmt::Display for BackendKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// Tunables of one virtual switch, with defaults matching the OVS
 /// deployment the paper attacks.
 #[derive(Debug, Clone)]
@@ -37,9 +99,11 @@ pub struct DpConfig {
     /// wholesale; true evicts only the megaflows pinned to the updated
     /// destination ([`crate::MegaflowCache::evict_destination`] — sound
     /// because this pipeline's megaflows always pin `ip_dst`), leaving
-    /// other tenants' fast-path state intact. Either way the EMC is
-    /// invalidated in full: its entries carry no per-destination index,
-    /// so scoping stops at the megaflow layer (the ablation's caveat).
+    /// other tenants' fast-path state intact. The scoped path also
+    /// scopes the microflow cache: only EMC entries keyed to the updated
+    /// destination are evicted
+    /// ([`crate::MicroflowCache::evict_destination`]), so benign flows
+    /// keep their EMC hits across an unrelated tenant's ACL install.
     pub scoped_invalidation: bool,
     /// Fields with prefix tries enabled for megaflow generation. The
     /// paper's mask counts (8 / 512 / 8192) require tries on the IP
@@ -57,6 +121,12 @@ pub struct DpConfig {
     /// Seed for the datapath's internal randomness (EMC way eviction,
     /// probabilistic insertion).
     pub seed: u64,
+    /// Which dataplane architecture to build when this config reaches a
+    /// simulator node (`pi_backend::build_backend`). [`crate::VSwitch`]
+    /// itself ignores the field — constructing one directly always
+    /// yields the OVS-style pipeline the other variants are compared
+    /// against.
+    pub backend: BackendKind,
 }
 
 impl Default for DpConfig {
@@ -75,6 +145,7 @@ impl Default for DpConfig {
             subtable_order: SubtableOrder::Insertion,
             pipeline: PipelineMode::Inline,
             seed: 0x05_eed0_f0e5,
+            backend: BackendKind::OvsCache,
         }
     }
 }
@@ -117,11 +188,30 @@ mod tests {
         assert!(!c.staged_lookup);
         assert_eq!(c.subtable_order, SubtableOrder::Insertion);
         assert_eq!(c.pipeline, PipelineMode::Inline, "inline is the default");
+        assert_eq!(
+            c.backend,
+            BackendKind::OvsCache,
+            "the paper's target pipeline is the default architecture"
+        );
     }
 
     #[test]
     fn variants() {
         assert_eq!(DpConfig::dpdk_like().emc_insert_prob, 0.01);
         assert!(!DpConfig::no_emc().emc_enabled);
+    }
+
+    #[test]
+    fn backend_kind_names_round_trip() {
+        for kind in BackendKind::ALL {
+            assert_eq!(BackendKind::parse(kind.name()), Some(kind));
+            assert_eq!(
+                BackendKind::parse(&kind.name().replace('_', "-")),
+                Some(kind)
+            );
+            assert_eq!(format!("{kind}"), kind.name());
+        }
+        assert_eq!(BackendKind::parse("OVS_CACHE"), Some(BackendKind::OvsCache));
+        assert_eq!(BackendKind::parse("not-a-backend"), None);
     }
 }

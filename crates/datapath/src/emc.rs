@@ -193,6 +193,25 @@ impl MicroflowCache {
         true
     }
 
+    /// Evicts every entry whose flow is addressed **to** `ip` (host
+    /// byte order), returning the number of slots freed. This is the
+    /// destination-scoped invalidation path: EMC entries are exact
+    /// matches, so the destination of each cached verdict is known and
+    /// a policy change at one pod need not touch any other tenant's
+    /// entries. Stale-generation entries for `ip` are swept too — they
+    /// are already unreachable, and dropping them keeps the slot free
+    /// for live flows.
+    pub fn evict_destination(&mut self, ip: u32) -> usize {
+        let mut evicted = 0;
+        for slot in &mut self.slots {
+            if slot.as_ref().is_some_and(|e| e.key.ip_dst == ip) {
+                *slot = None;
+                evicted += 1;
+            }
+        }
+        evicted
+    }
+
     /// Drops every entry (tests / explicit cache flush).
     pub fn clear(&mut self) {
         self.slots.iter_mut().for_each(|s| *s = None);
@@ -226,6 +245,27 @@ mod tests {
         let s = c.stats();
         assert_eq!(s.hits, 1);
         assert_eq!(s.misses, 1);
+    }
+
+    #[test]
+    fn evict_destination_removes_only_that_dst() {
+        let mut c = cache();
+        let t = SimTime::from_millis(1);
+        // Two flows to 10.0.0.1 (the `key` helper's dst) and one to
+        // another pod.
+        assert!(c.insert(&key(1), Action::Allow, 0, t));
+        assert!(c.insert(&key(2), Action::Allow, 0, t));
+        let other = FlowKey::tcp([10, 9, 9, 9], [10, 0, 0, 2], 7, 80);
+        assert!(c.insert(&other, Action::Allow, 0, t));
+        assert_eq!(c.evict_destination(u32::from_be_bytes([10, 0, 0, 1])), 2);
+        assert_eq!(c.lookup(&key(1), 0, t), None);
+        assert_eq!(c.lookup(&key(2), 0, t), None);
+        assert_eq!(
+            c.lookup(&other, 0, t),
+            Some(Action::Allow),
+            "bystander entry survives the scoped eviction"
+        );
+        assert_eq!(c.evict_destination(u32::from_be_bytes([1, 2, 3, 4])), 0);
     }
 
     #[test]

@@ -42,7 +42,7 @@ pub mod slowpath;
 pub mod upcall;
 pub mod vswitch;
 
-pub use config::DpConfig;
+pub use config::{BackendKind, DpConfig};
 pub use cost::CostModel;
 pub use dump::{dump_flows, mask_summary};
 pub use emc::MicroflowCache;

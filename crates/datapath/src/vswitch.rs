@@ -567,9 +567,11 @@ impl VSwitch {
     ///   the generation counter.
     /// * `scoped_invalidation`: only the megaflows pinned to `ip` are
     ///   evicted (sound — every megaflow this pipeline generates pins
-    ///   `ip_dst`); the EMC is still invalidated wholesale, because
-    ///   its entries carry no destination index (the ablation's
-    ///   caveat).
+    ///   `ip_dst`), and only the EMC entries addressed to `ip` are
+    ///   dropped ([`MicroflowCache::evict_destination`] — exact-match
+    ///   entries know their destination). Benign flows towards other
+    ///   pods keep both their megaflows *and* their microflow hits
+    ///   across the update.
     /// * Global (the OVS behaviour the paper attacks): the whole
     ///   megaflow cache is cleared and the EMC generation bumped.
     ///
@@ -584,14 +586,15 @@ impl VSwitch {
         self.pipeline.discard_installs();
         self.stats.cache_flushes += 1;
         let flushed = if self.config.scoped_invalidation {
+            self.emc.evict_destination(ip);
             self.mfc.evict_destination(ip)
         } else {
             let all = self.mfc.len();
             self.mfc.clear();
             self.cache_dirty = false;
+            self.generation += 1;
             all
         };
-        self.generation += 1;
         self.stats.flushed_megaflows += flushed as u64;
         flushed
     }
@@ -1615,11 +1618,17 @@ mod tests {
         ));
         assert_eq!(sw.megaflow_count(), 1, "other pod's megaflow survives");
         assert_eq!(sw.stats().flushed_megaflows, 1);
-        // The other pod's traffic rides its megaflow (EMC was bumped —
-        // the caveat — so the first packet is a megaflow hit, not EMC).
+        // The other pod's traffic keeps its *microflow* hit: scoped
+        // invalidation evicts only the updated destination's EMC
+        // entries, so an unrelated ACL install costs the bystander
+        // nothing at all.
         let o = sw.process(&FlowKey::tcp([10, 3, 3, 3], other_ip, 1, 1), t);
-        assert!(o.path.is_megaflow(), "no re-upcall for the bystander");
-        // The updated pod rebuilds through the slow path as it must.
+        assert!(
+            o.path.is_microflow(),
+            "bystander keeps its EMC hit across the unrelated install"
+        );
+        // The updated pod rebuilds through the slow path as it must —
+        // its own EMC entry was evicted along with its megaflows.
         let o = sw.process(&pkt([10, 1, 1, 1], 1000), t);
         assert!(o.path.is_upcall());
         // The runtime knob flips back to global flushes.

@@ -10,8 +10,8 @@
 //! fair-share upcall quota, staged subtable lookup, offender-port
 //! quarantine — and on returning to Idle it restores what it changed.
 
+use pi_backend::DataplaneBackend;
 use pi_core::SimTime;
-use pi_datapath::VSwitch;
 
 use crate::detector::{DetectionEvent, DetectorBank, DetectorConfig};
 use crate::telemetry::{TelemetrySample, TelemetryTap};
@@ -199,8 +199,8 @@ impl DefenseController {
     /// detectors, advance the state machine, actuate. Call at a fixed
     /// cadence (the engines use [`pi_core::SimTime`]-derived sample
     /// windows). Returns the actions performed this step.
-    pub fn step(&mut self, switch: &mut VSwitch, now: SimTime) -> Vec<DefenseAction> {
-        let sample = self.tap.sample(switch, now);
+    pub fn step(&mut self, switch: &mut dyn DataplaneBackend, now: SimTime) -> Vec<DefenseAction> {
+        let sample = self.tap.sample(&*switch, now);
         self.observe(&sample, Some(switch))
     }
 
@@ -210,7 +210,7 @@ impl DefenseController {
     pub fn observe(
         &mut self,
         sample: &TelemetrySample,
-        mut switch: Option<&mut VSwitch>,
+        mut switch: Option<&mut dyn DataplaneBackend>,
     ) -> Vec<DefenseAction> {
         self.report.samples += 1;
         let events = self.bank.observe(sample);
@@ -285,7 +285,7 @@ impl DefenseController {
     /// Enters Mitigating and applies the actuators.
     fn escalate(
         &mut self,
-        switch: &mut Option<&mut VSwitch>,
+        switch: &mut Option<&mut dyn DataplaneBackend>,
         offenders: &[u32],
         actions: &mut Vec<DefenseAction>,
     ) {
@@ -297,7 +297,7 @@ impl DefenseController {
 
     fn apply_mitigations(
         &mut self,
-        switch: &mut Option<&mut VSwitch>,
+        switch: &mut Option<&mut dyn DataplaneBackend>,
         offenders: &[u32],
         actions: &mut Vec<DefenseAction>,
     ) {
@@ -332,7 +332,7 @@ impl DefenseController {
 
     fn quarantine_new(
         &mut self,
-        switch: &mut Option<&mut VSwitch>,
+        switch: &mut Option<&mut dyn DataplaneBackend>,
         offenders: &[u32],
         actions: &mut Vec<DefenseAction>,
     ) {
@@ -353,7 +353,7 @@ impl DefenseController {
 
     fn revert_mitigations(
         &mut self,
-        switch: &mut Option<&mut VSwitch>,
+        switch: &mut Option<&mut dyn DataplaneBackend>,
         actions: &mut Vec<DefenseAction>,
     ) {
         if let Some(saved) = self.saved_quota.take() {
@@ -382,9 +382,9 @@ impl DefenseController {
     }
 }
 
-/// The switch's current per-port quota (None under the inline
+/// The backend's current per-port quota (None under the inline
 /// pipeline, where the knob does not exist).
-fn current_quota(sw: &VSwitch) -> Option<u32> {
+fn current_quota(sw: &dyn DataplaneBackend) -> Option<u32> {
     match sw.config().pipeline {
         pi_datapath::PipelineMode::Bounded(cfg) => cfg.port_quota_per_step,
         pi_datapath::PipelineMode::Inline => None,

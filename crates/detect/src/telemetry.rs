@@ -1,17 +1,20 @@
-//! Lightweight per-window telemetry taps over a [`VSwitch`].
+//! Lightweight per-window telemetry taps over a dataplane backend.
 //!
 //! The tap holds the previous window's cumulative counters and turns
 //! each call into a *delta* sample — the dataplane keeps its existing
 //! counters, nothing new is charged on the packet path. One attribution
-//! pass per sample ([`pi_mitigation::attribute_masks`]) provides the
+//! pass per sample ([`DataplaneBackend::attribution`], the shared
+//! `pi_mitigation` pass on the OVS pipeline) provides the
 //! per-destination mask deltas that make detections attributable to a
-//! pod.
+//! pod. The tap reads only the [`DataplaneBackend`] trait surface, so
+//! the same detectors run unchanged over every backend in the matrix —
+//! architectures without a given structure report zero for its
+//! counters and the corresponding signals simply stay quiet.
 
 use std::collections::HashMap;
 
+use pi_backend::DataplaneBackend;
 use pi_core::SimTime;
-use pi_datapath::VSwitch;
-use pi_mitigation::attribute_masks;
 
 /// Per-destination mask movement within one sample window.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -122,7 +125,7 @@ impl TelemetryTap {
     /// Reads the switch and produces the delta sample for the window
     /// since the previous call (the first call's window starts at the
     /// switch's zeroed counters).
-    pub fn sample(&mut self, switch: &VSwitch, at: SimTime) -> TelemetrySample {
+    pub fn sample(&mut self, switch: &dyn DataplaneBackend, at: SimTime) -> TelemetrySample {
         let stats = switch.stats();
         let emc = switch.emc_stats();
         let up = switch.upcall_stats();
@@ -153,7 +156,7 @@ impl TelemetryTap {
 
         // One attribution pass; per-destination growth vs the previous
         // sample's attribution.
-        let attribution = attribute_masks(switch);
+        let attribution = switch.attribution();
         let mut attr_now: HashMap<u32, usize> = HashMap::with_capacity(attribution.len());
         let mut top_offenders = Vec::with_capacity(self.top_k.min(attribution.len()));
         for a in attribution.iter().take(self.top_k) {
@@ -199,7 +202,7 @@ impl TelemetryTap {
 mod tests {
     use super::*;
     use pi_core::FlowKey;
-    use pi_datapath::DpConfig;
+    use pi_datapath::{DpConfig, VSwitch};
 
     #[test]
     fn deltas_reset_each_window_and_attribute_growth() {

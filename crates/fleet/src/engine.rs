@@ -161,13 +161,13 @@ impl FleetBuilder {
         for &(host, ip, vport) in &self.pods {
             for (i, node) in nodes.iter_mut().enumerate() {
                 let raw = if i == host { vport } else { Port::Uplink.raw() };
-                node.switch_mut().attach_pod(ip, raw);
+                node.backend_mut().attach_pod(ip, raw);
             }
         }
         let mut acl_map: HashMap<u32, FlowTable> = HashMap::new();
         for (ip, table) in self.acls {
             let host = *routes.get(&ip).expect("ACL target pod must be attached");
-            let ok = nodes[host].switch_mut().install_acl(ip, table.clone());
+            let ok = nodes[host].backend_mut().install_acl(ip, table.clone());
             assert!(ok, "ACL install must succeed on the home switch");
             acl_map.insert(ip, table);
         }

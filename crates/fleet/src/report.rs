@@ -3,7 +3,7 @@
 
 use pi_core::SimTime;
 use pi_datapath::{SwitchStats, UpcallStats};
-use pi_detect::{attribute_masks, DefenseReport, MaskAttribution};
+use pi_detect::{DefenseReport, MaskAttribution};
 use pi_metrics::{degradation_ratio, sum_series, TimeSeries};
 use pi_sim::SourceTotals;
 
@@ -109,8 +109,8 @@ impl FleetReport {
         let mut attribution = Vec::with_capacity(hosts);
         for mut shard in shards {
             stats.push(shard.stats());
-            upcall.push(shard.node.switch().upcall_stats());
-            attribution.push(attribute_masks(shard.node.switch()));
+            upcall.push(shard.node.backend().upcall_stats());
+            attribution.push(shard.node.backend().attribution());
             defense.push(shard.node.take_defense_report());
             masks.push(shard.masks);
             megaflows.push(shard.megaflows);

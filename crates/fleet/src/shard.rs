@@ -243,13 +243,13 @@ impl HostShard {
                     // re-attach; the departed pod's ACL must not keep
                     // filtering at this host's uplink hop — enforcement
                     // moves with the pod.
-                    self.node.switch_mut().attach_pod(*ip, Port::Uplink.raw());
-                    self.node.switch_mut().remove_acl(*ip);
+                    self.node.backend_mut().attach_pod(*ip, Port::Uplink.raw());
+                    self.node.backend_mut().remove_acl(*ip);
                 }
                 HostCmd::AttachLocal { ip, vport, acl } => {
-                    self.node.switch_mut().attach_pod(*ip, *vport);
+                    self.node.backend_mut().attach_pod(*ip, *vport);
                     if let Some(table) = acl {
-                        self.node.switch_mut().install_acl(*ip, table.clone());
+                        self.node.backend_mut().install_acl(*ip, table.clone());
                     }
                 }
             }
@@ -356,9 +356,9 @@ impl HostShard {
                 slot.window_delivered_bytes = 0;
                 slot.window_generated_bytes = 0;
             }
-            self.masks.push(t, self.node.switch().mask_count() as f64);
+            self.masks.push(t, self.node.backend().mask_count() as f64);
             self.megaflows
-                .push(t, self.node.switch().megaflow_count() as f64);
+                .push(t, self.node.backend().megaflow_count() as f64);
             let budget_window = ctx.cpu_cycles_per_sec as f64 * ctx.window_secs;
             self.cpu
                 .push(t, self.node.take_window_cycles() as f64 / budget_window);
@@ -367,13 +367,13 @@ impl HostShard {
                 self.node.take_window_handler_cycles() as f64 / ctx.window_secs,
             );
             self.policy_updates
-                .push(t, self.node.switch().stats().policy_updates as f64);
+                .push(t, self.node.backend().stats().policy_updates as f64);
         }
 
         out
     }
 
     pub fn stats(&self) -> SwitchStats {
-        self.node.switch().stats()
+        self.node.backend().stats()
     }
 }

@@ -11,7 +11,7 @@ use pi_classifier::FlowTable;
 use pi_cms::ControlPlaneProgram;
 use pi_core::{Port, SimTime};
 use pi_datapath::{CostModel, DpConfig, SwitchStats, UpcallStats};
-use pi_detect::{attribute_masks, DefenseController, DefenseReport, MaskAttribution};
+use pi_detect::{DefenseController, DefenseReport, MaskAttribution};
 use pi_metrics::TimeSeries;
 use pi_traffic::{GenPacket, TrafficSource};
 
@@ -128,12 +128,12 @@ impl SimBuilder {
         for &(node, ip, vport) in &self.pods {
             pod_locations.insert(ip, node);
             // Local attachment.
-            nodes[node].switch_mut().attach_pod(ip, vport);
+            nodes[node].backend_mut().attach_pod(ip, vport);
             // Remote pods are reachable via the uplink on every other
             // switch (L3 fabric forwarding, no ACL).
             for (i, other) in nodes.iter_mut().enumerate() {
                 if i != node {
-                    other.switch_mut().attach_pod(ip, Port::Uplink.raw());
+                    other.backend_mut().attach_pod(ip, Port::Uplink.raw());
                 }
             }
         }
@@ -141,7 +141,7 @@ impl SimBuilder {
             let node = *pod_locations
                 .get(&ip)
                 .expect("ACL target pod must be attached");
-            let ok = nodes[node].switch_mut().install_acl(ip, table);
+            let ok = nodes[node].backend_mut().install_acl(ip, table);
             assert!(ok, "ACL install must succeed on the home switch");
         }
         for (node, controller) in self.defenses {
@@ -397,8 +397,8 @@ impl Simulation {
                     slot.window_generated_bytes = 0;
                 }
                 for (ni, node) in nodes.iter_mut().enumerate() {
-                    masks[ni].push(t, node.switch().mask_count() as f64);
-                    megaflows[ni].push(t, node.switch().megaflow_count() as f64);
+                    masks[ni].push(t, node.backend().mask_count() as f64);
+                    megaflows[ni].push(t, node.backend().megaflow_count() as f64);
                     let budget_window = cfg.cpu_cycles_per_sec as f64 * window_secs;
                     cpu[ni].push(t, node.take_window_cycles() as f64 / budget_window);
                     handler_cps[ni].push(t, node.take_window_handler_cycles() as f64 / window_secs);
@@ -413,9 +413,9 @@ impl Simulation {
             megaflows,
             cpu_util: cpu,
             handler_cps,
-            switch_stats: nodes.iter().map(|n| n.switch().stats()).collect(),
-            upcall_stats: nodes.iter().map(|n| n.switch().upcall_stats()).collect(),
-            attribution: nodes.iter().map(|n| attribute_masks(n.switch())).collect(),
+            switch_stats: nodes.iter().map(|n| n.backend().stats()).collect(),
+            upcall_stats: nodes.iter().map(|n| n.backend().upcall_stats()).collect(),
+            attribution: nodes.iter().map(|n| n.backend().attribution()).collect(),
             defense: nodes.iter_mut().map(|n| n.take_defense_report()).collect(),
             source_totals: sources
                 .iter()

@@ -11,9 +11,10 @@
 
 use std::collections::{HashMap, VecDeque};
 
+use pi_backend::{build_backend, DataplaneBackend, BATCH_SIZE};
 use pi_cms::{ControlPlane, PolicyUpdate};
 use pi_core::{FlowKey, Port, SimTime};
-use pi_datapath::{CostModel, DpConfig, PathTaken, VSwitch};
+use pi_datapath::{CostModel, DpConfig, PathTaken};
 use pi_detect::{DefenseAction, DefenseController, DefenseReport};
 
 /// A packet sitting in a node's ingress queue, tagged with an opaque
@@ -45,11 +46,13 @@ pub enum Routing {
     UpcallDropped,
 }
 
-/// One host: an OVS-like switch plus its ingress queue and the per-tick
-/// cycle accounting the attack exhausts.
+/// One host: a dataplane backend (the OVS-like switch by default —
+/// [`pi_backend::BackendKind`] in the node's `DpConfig` selects the
+/// architecture) plus its ingress queue and the per-tick cycle
+/// accounting the attack exhausts.
 #[derive(Debug)]
 pub struct NodeCell<T> {
-    switch: VSwitch,
+    backend: Box<dyn DataplaneBackend>,
     queue: VecDeque<NodePacket<T>>,
     /// Negative carry when a packet overran the tick budget.
     cycle_carry: i64,
@@ -76,10 +79,12 @@ pub struct NodeCell<T> {
 }
 
 impl<T> NodeCell<T> {
-    /// Builds a node around a freshly configured switch.
+    /// Builds a node around a freshly configured backend
+    /// (`dp.backend` selects the architecture; the OVS pipeline is the
+    /// default).
     pub fn new(dp: DpConfig, cost: CostModel) -> Self {
         NodeCell {
-            switch: VSwitch::with_cost_model(dp, cost),
+            backend: build_backend(dp, cost),
             queue: VecDeque::new(),
             cycle_carry: 0,
             window_cycles: 0,
@@ -106,14 +111,14 @@ impl<T> NodeCell<T> {
         self.control.as_ref().map_or(0, |c| c.pending())
     }
 
-    /// The node's switch.
-    pub fn switch(&self) -> &VSwitch {
-        &self.switch
+    /// The node's dataplane backend.
+    pub fn backend(&self) -> &dyn DataplaneBackend {
+        &*self.backend
     }
 
-    /// Mutable access to the switch (pod attachment, ACL installs).
-    pub fn switch_mut(&mut self) -> &mut VSwitch {
-        &mut self.switch
+    /// Mutable access to the backend (pod attachment, ACL installs).
+    pub fn backend_mut(&mut self) -> &mut dyn DataplaneBackend {
+        &mut *self.backend
     }
 
     /// Current ingress-queue depth, packets.
@@ -166,7 +171,7 @@ impl<T> NodeCell<T> {
         // consume the same datapath budget packets run under — an
         // install-triggered flush storm is paid for, not free.
         if let Some(cp) = &mut self.control {
-            let switch = &mut self.switch;
+            let switch = &mut *self.backend;
             let window_cycles = &mut self.window_cycles;
             for scheduled in cp.due(now) {
                 let outcome = match &scheduled.update {
@@ -180,19 +185,19 @@ impl<T> NodeCell<T> {
                 *window_cycles += outcome.cycles;
             }
         }
-        let mut keys = [FlowKey::default(); VSwitch::BATCH_SIZE];
+        let mut keys = [FlowKey::default(); BATCH_SIZE];
         while budget > 0 && !self.queue.is_empty() {
-            let n = self.queue.len().min(VSwitch::BATCH_SIZE);
+            let n = self.queue.len().min(BATCH_SIZE);
             for (slot, pkt) in keys.iter_mut().zip(self.queue.iter()) {
                 *slot = pkt.key;
             }
-            // Split borrows: the switch runs the batch while the sink
+            // Split borrows: the backend runs the batch while the sink
             // closure pops the matching packets off the queue.
-            let switch = &mut self.switch;
+            let switch = &mut *self.backend;
             let queue = &mut self.queue;
             let window_cycles = &mut self.window_cycles;
             let deferred = &mut self.deferred;
-            switch.process_batch(&keys[..n], now, |_, outcome| {
+            switch.process_batch(&keys[..n], now, &mut |_, outcome| {
                 let pkt = queue.pop_front().expect("batch mirrors the queue head");
                 budget -= outcome.cycles as i64;
                 *window_cycles += outcome.cycles;
@@ -217,10 +222,10 @@ impl<T> NodeCell<T> {
 
         // One handler step per tick: resolved upcalls complete their
         // packets' journey through the same sink.
-        let switch = &mut self.switch;
+        let switch = &mut *self.backend;
         let deferred = &mut self.deferred;
         let window_handler_cycles = &mut self.window_handler_cycles;
-        switch.drain_upcalls(now, |r| {
+        switch.drain_upcalls(now, &mut |r| {
             *window_handler_cycles += r.outcome.cycles;
             if let Some((bytes, source)) = deferred.remove(&r.token) {
                 // A queued miss refused by a quarantine imposed after
@@ -254,7 +259,7 @@ impl<T> NodeCell<T> {
 
     /// Runs the revalidator at the end of a tick.
     pub fn revalidate(&mut self, next: SimTime) {
-        self.switch.revalidate(next);
+        self.backend.revalidate(next);
     }
 
     /// Returns and resets the cycles consumed this sample window.
@@ -293,7 +298,7 @@ impl<T> NodeCell<T> {
     /// actions performed.
     pub fn run_defense(&mut self, now: SimTime) -> Vec<DefenseAction> {
         match &mut self.defense {
-            Some(c) => c.step(&mut self.switch, now),
+            Some(c) => c.step(&mut *self.backend, now),
             None => Vec::new(),
         }
     }
@@ -306,9 +311,9 @@ mod tests {
 
     fn node() -> NodeCell<usize> {
         let mut n = NodeCell::new(DpConfig::default(), CostModel::default());
-        n.switch_mut()
+        n.backend_mut()
             .attach_pod(u32::from_be_bytes([10, 0, 0, 2]), 1);
-        n.switch_mut()
+        n.backend_mut()
             .attach_pod(u32::from_be_bytes([10, 1, 0, 2]), Port::Uplink.raw());
         n
     }
@@ -371,7 +376,7 @@ mod tests {
             },
             CostModel::default(),
         );
-        n.switch_mut()
+        n.backend_mut()
             .attach_pod(u32::from_be_bytes([10, 0, 0, 2]), 1);
         let mut ingress_drops = 0;
         for i in 0..6u16 {
@@ -397,11 +402,11 @@ mod tests {
             upcall_drops += 1;
         });
         assert_eq!(upcall_drops, 2, "upcall queue tail drop");
-        assert_eq!(n.switch().upcall_stats().queue_drops, 2);
+        assert_eq!(n.backend().upcall_stats().queue_drops, 2);
         assert_eq!(n.deferred_len(), 2, "two parked awaiting handlers");
         // The switch-level counter only saw the 4 packets the ingress
         // queue admitted — the two drop accounts never mix.
-        assert_eq!(n.switch().stats().packets, 4);
+        assert_eq!(n.backend().stats().packets, 4);
     }
 
     #[test]
@@ -414,7 +419,7 @@ mod tests {
             },
             CostModel::default(),
         );
-        n.switch_mut()
+        n.backend_mut()
             .attach_pod(u32::from_be_bytes([10, 0, 0, 2]), 1);
         n.enqueue(
             NodePacket {
@@ -461,7 +466,7 @@ mod tests {
         });
         assert_eq!(got, vec![(7, Routing::Local(1))]);
         assert_eq!(n.control_plane_pending(), 1);
-        let cycles_before = n.switch().stats().control_cycles;
+        let cycles_before = n.backend().stats().control_cycles;
         assert_eq!(cycles_before, 0);
 
         // Tick 2: the ACL lands at tick start — the same tick's
@@ -474,7 +479,7 @@ mod tests {
         });
         assert_eq!(got, vec![(7, Routing::Denied)], "new ACL in force");
         assert_eq!(n.control_plane_pending(), 0);
-        let control = n.switch().stats().control_cycles;
+        let control = n.backend().stats().control_cycles;
         assert!(control > 0, "the update was charged");
         // The window cycles include the control share.
         assert!(n.take_window_cycles() >= control);

@@ -1,9 +1,10 @@
 //! Pre-built scenarios for the paper's experiments.
 
 use pi_attack::{AttackSchedule, AttackSpec, CovertSequence};
+use pi_backend::{build_backend, DataplaneBackend};
 use pi_cms::{Cidr, ControlPlaneProgram, IngressRule, NetworkPolicy, PolicyCompiler, Protocol};
 use pi_core::{FlowKey, SimTime};
-use pi_datapath::{DpConfig, PipelineMode, UpcallPipelineConfig, VSwitch};
+use pi_datapath::{BackendKind, CostModel, DpConfig, PipelineMode, UpcallPipelineConfig, VSwitch};
 use pi_detect::{ControllerConfig, DefenseController};
 use pi_traffic::{ChurnSource, FanSource, IperfSource, PoissonFlowSource};
 
@@ -194,6 +195,11 @@ pub struct UpcallSaturationParams {
     /// instead of the bounded pipeline (the bench's baseline row; the
     /// queue/budget/quota knobs are ignored).
     pub inline_baseline: bool,
+    /// Whether the flood runs at all (false = the benign baseline the
+    /// immunity matrix's retained ratios are computed against).
+    pub attack: bool,
+    /// Which dataplane architecture the node runs.
+    pub backend: BackendKind,
     /// Fast-path CPU budget (generous by default — the bottleneck under
     /// study is the handler pipeline, not the megaflow walk).
     pub cpu_cycles_per_sec: u64,
@@ -211,6 +217,8 @@ impl Default for UpcallSaturationParams {
             handler_cycles_per_step: 400_000, // ≈13 upcalls/ms
             port_quota_per_step: None,
             inline_baseline: false,
+            attack: true,
+            backend: BackendKind::OvsCache,
             cpu_cycles_per_sec: SimConfig::default().cpu_cycles_per_sec,
         }
     }
@@ -260,6 +268,7 @@ pub fn upcall_saturation_scenario(
     let dp = DpConfig {
         flow_limit: params.flow_limit,
         pipeline,
+        backend: params.backend,
         ..DpConfig::default()
     };
     let mut b = SimBuilder::new(cfg);
@@ -287,7 +296,14 @@ pub fn upcall_saturation_scenario(
         ),
     );
 
-    // Attacker: the paced destination spray.
+    // Attacker: the paced destination spray. The benign baseline keeps
+    // the source (so report vectors stay shaped the same) but starts it
+    // past the end of the run.
+    let attack_start = if params.attack {
+        SimTime::ZERO
+    } else {
+        params.duration
+    };
     let spec = AttackSpec::masks_512(pi_cms::PolicyDialect::Kubernetes);
     let attack_source = b.add_source(
         node,
@@ -295,7 +311,7 @@ pub fn upcall_saturation_scenario(
             AttackSchedule::new(
                 CovertSequence::new(spec.build_target(attacker_ip)),
                 params.attack_bandwidth_bps,
-                SimTime::ZERO,
+                attack_start,
             )
             .upcall_flood(),
         ),
@@ -360,6 +376,8 @@ pub struct AdaptiveDefenseParams {
     pub handler_cycles_per_step: u64,
     /// The defense under test.
     pub defense: DefenseMode,
+    /// Which dataplane architecture the node runs.
+    pub backend: BackendKind,
     /// Control-loop cadence (the `defense_interval` of the run).
     pub defense_interval: SimTime,
     /// Fast-path CPU budget.
@@ -380,6 +398,7 @@ impl Default for AdaptiveDefenseParams {
             queue_capacity: 64,
             handler_cycles_per_step: 400_000,
             defense: DefenseMode::adaptive(ControllerConfig::default()),
+            backend: BackendKind::OvsCache,
             defense_interval: SimTime::from_millis(100),
             cpu_cycles_per_sec: SimConfig::default().cpu_cycles_per_sec,
             seed: 2018,
@@ -430,6 +449,7 @@ pub fn adaptive_defense_scenario(
             handler_cycles_per_step: params.handler_cycles_per_step,
             port_quota_per_step: quota,
         }),
+        backend: params.backend,
         ..DpConfig::default()
     };
     let mut b = SimBuilder::new(cfg);
@@ -794,6 +814,147 @@ pub fn measure_capacity(
     (baseline, attacked)
 }
 
+/// What the victim side of [`measure_backend_capacity`] looks like on
+/// the wire — the two workloads probe different cache tiers, so the
+/// immunity matrix reports both.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CapacityWorkload {
+    /// One established, cache-resident flow (steady iperf traffic): the
+    /// measurement shows whether the covert stream can evict the
+    /// victim's first-level cached state (EMC collision churn on the
+    /// OVS pipeline, FIFO replacement on the bounded offload table).
+    CachedFlow,
+    /// A fresh connection per sample (a service accepting clients): the
+    /// measurement shows what a cache-missing packet costs, which is
+    /// where the tuple-space explosion lands — the paper's E3/E4
+    /// EMC-missing probe methodology.
+    ConnectionSetup,
+}
+
+impl CapacityWorkload {
+    /// Stable row label for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            CapacityWorkload::CachedFlow => "cached_flow",
+            CapacityWorkload::ConnectionSetup => "connection_setup",
+        }
+    }
+}
+
+/// Backend-generic retained-capacity measurement: how many victim
+/// packets/second the architecture selected by `dp.backend` sustains
+/// with and without a tuple-space-explosion covert stream running
+/// alongside. Unlike [`measure_capacity`] (which probes the attacked
+/// *state* with the attack stream itself), this measures a distinct
+/// victim workload under a *sustained* interleaved attack —
+/// `covert_per_victim` never-before-seen covert packets between
+/// consecutive victim samples — so backends whose weakness is
+/// replacement churn (bounded offload tables) are exercised, not just
+/// backends whose weakness is lookup cost. Returns
+/// `(baseline, attacked)`; the immunity-matrix cell is their ratio.
+pub fn measure_backend_capacity(
+    dp: DpConfig,
+    cpu_cycles_per_sec: u64,
+    spec: &AttackSpec,
+    workload: CapacityWorkload,
+    victim_samples: u64,
+    covert_per_victim: u64,
+) -> (CapacityReport, CapacityReport) {
+    let victim_ip = u32::from_be_bytes([10, 1, 0, 10]);
+    let attacker_pod_ip = u32::from_be_bytes([10, 1, 0, 66]);
+    let seq = CovertSequence::new(spec.build_target(attacker_pod_ip));
+
+    // The victim's flows: one pinned key for the established workload,
+    // a fresh source port per sample for connection setup. Its ACL is
+    // the legitimate fig3 microsegmentation (cluster block → iperf
+    // port), so every architecture classifies the same ground truth.
+    let victim_key = |sample: u64| {
+        let tp_src = match workload {
+            CapacityWorkload::CachedFlow => 40_000,
+            CapacityWorkload::ConnectionSetup => 1_024 + (sample % 60_000) as u16,
+        };
+        FlowKey::tcp(
+            std::net::Ipv4Addr::from(u32::from_be_bytes([10, 0, 0, 10])),
+            std::net::Ipv4Addr::from(victim_ip),
+            tp_src,
+            5201,
+        )
+    };
+
+    let build = || -> Box<dyn DataplaneBackend> {
+        let mut be = build_backend(dp.clone(), CostModel::default());
+        be.attach_pod(victim_ip, 1);
+        be.attach_pod(attacker_pod_ip, 2);
+        let victim_policy = NetworkPolicy {
+            name: "victim-iperf".into(),
+            ingress: vec![IngressRule {
+                from: vec![Cidr::new(u32::from_be_bytes([10, 0, 0, 0]), 8).unwrap()],
+                ports: vec![(Protocol::Tcp, Some(5201))],
+            }],
+        };
+        be.install_acl(victim_ip, PolicyCompiler.compile_k8s(&victim_policy));
+        let table = match spec.build_policy() {
+            pi_attack::MaliciousAcl::K8s(p) => PolicyCompiler.compile_k8s(&p),
+            pi_attack::MaliciousAcl::OpenStack(p) => PolicyCompiler.compile_security_group(&p),
+            pi_attack::MaliciousAcl::Calico(p) => PolicyCompiler.compile_calico(&p),
+        };
+        be.install_acl(attacker_pod_ip, table);
+        be
+    };
+
+    // One measured run: per sample, `covert` covert packets (each a
+    // never-before-seen flow) and then one victim packet whose cycles
+    // are the sample. The clock advances a microsecond per packet so
+    // revalidation runs at its real cadence without idling anyone out.
+    let measure = |be: &mut dyn DataplaneBackend, covert: u64| -> CapacityReport {
+        let mut now = SimTime::from_secs(10);
+        let tick = SimTime::from_micros(1);
+        // Establish the victim's cached state before measuring.
+        pi_backend::process_one(be, &victim_key(0), now);
+        be.drain_upcalls(now, &mut |_| {});
+        let mut covert_n = 1u64; // 0 warmed the attacked state's scan mask
+        let mut victim_cycles = 0u64;
+        for sample in 0..victim_samples {
+            for _ in 0..covert {
+                now += tick;
+                be.process_batch(&[seq.scan_packet(covert_n)], now, &mut |_, _| true);
+                covert_n += 1;
+            }
+            be.drain_upcalls(now, &mut |_| {});
+            now += tick;
+            let out = pi_backend::process_one(be, &victim_key(sample), now);
+            victim_cycles += out.cycles;
+            be.revalidate(now);
+        }
+        let avg = victim_cycles as f64 / victim_samples as f64;
+        CapacityReport {
+            masks: be.mask_count(),
+            avg_cycles: avg,
+            capacity_pps: cpu_cycles_per_sec as f64 / avg,
+        }
+    };
+
+    let mut baseline_be = build();
+    let baseline = measure(&mut *baseline_be, 0);
+
+    // The injection: populate the policy's flow space (on the OVS
+    // pipeline this is what creates the mask explosion), then measure
+    // under the sustained covert interleave.
+    let mut attacked_be = build();
+    for (i, pkt) in seq.populate_packets().enumerate() {
+        attacked_be.process_batch(
+            &[pkt],
+            SimTime::from_secs(2) + SimTime::from_micros(i as u64),
+            &mut |_, _| true,
+        );
+    }
+    attacked_be.process_batch(&[seq.scan_packet(0)], SimTime::from_secs(9), &mut |_, _| {
+        true
+    });
+    let attacked = measure(&mut *attacked_be, covert_per_victim);
+    (baseline, attacked)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -970,6 +1131,57 @@ mod tests {
         assert!(
             churn_edges.iter().all(|e| e.at >= params.attack_start),
             "benign-phase churn must not alarm: {churn_edges:?}"
+        );
+    }
+
+    #[test]
+    fn backend_capacity_matrix_cells() {
+        let spec = AttackSpec::masks_512(PolicyDialect::Kubernetes);
+        let cell = |backend: BackendKind, workload: CapacityWorkload| {
+            let dp = DpConfig {
+                backend,
+                ..DpConfig::default()
+            };
+            let (base, attacked) =
+                measure_backend_capacity(dp, 1_200_000_000, &spec, workload, 500, 8);
+            attacked.capacity_pps / base.capacity_pps
+        };
+        // Connection setup is where the mask explosion lands: the OVS
+        // pipeline collapses, the exact-match pipeline is immune.
+        let ovs = cell(BackendKind::OvsCache, CapacityWorkload::ConnectionSetup);
+        assert!(ovs < 0.2, "OvsCache must collapse: retained = {ovs:.3}");
+        let exact = cell(BackendKind::ExactHash, CapacityWorkload::ConnectionSetup);
+        assert!(exact >= 0.9, "ExactHash must retain ≥0.9: {exact:.3}");
+        let lpm = cell(BackendKind::LpmTier, CapacityWorkload::ConnectionSetup);
+        assert!(lpm >= 0.9, "LpmTier is cacheless: {lpm:.3}");
+        // The bounded offload table's weakness is replacement churn on
+        // established flows: partial degradation, not collapse.
+        let nic = cell(BackendKind::NicOffload, CapacityWorkload::CachedFlow);
+        assert!(nic < 0.9, "NicOffload pays host fallback: {nic:.3}");
+        assert!(nic > 0.1, "NicOffload degrades, not collapses: {nic:.3}");
+    }
+
+    #[test]
+    fn upcall_flood_immunity_depends_on_backend() {
+        let run = |backend: BackendKind| {
+            let params = UpcallSaturationParams {
+                duration: SimTime::from_secs(3),
+                backend,
+                ..Default::default()
+            };
+            let (sim, handles) = upcall_saturation_scenario(&params);
+            let report = sim.run();
+            report.source_totals[handles.victim_source].clone()
+        };
+        let ovs = run(BackendKind::OvsCache);
+        assert!(
+            ovs.dropped_upcall > ovs.delivered,
+            "bounded OVS handlers starve the victim: {ovs:?}"
+        );
+        let exact = run(BackendKind::ExactHash);
+        assert!(
+            exact.delivered * 10 >= exact.generated * 9,
+            "the inline exact-match pipeline has no handler to saturate: {exact:?}"
         );
     }
 

@@ -5,15 +5,32 @@
 //! cargo run --example policy_explorer -- 10.0.0.0/8
 //! cargo run --example policy_explorer -- 203.0.113.7/32 443
 //! cargo run --example policy_explorer -- 203.0.113.7/32 443 4444
+//! cargo run --example policy_explorer -- --backend=lpm_tier 10.0.0.0/8 443
 //! ```
 //!
-//! Arguments: `<allow-cidr> [dst-port [src-port]]` — the third form is
-//! the Calico shape that reaches 8192 masks.
+//! Arguments: `[--backend=<name>] <allow-cidr> [dst-port [src-port]]` —
+//! the three-port form is the Calico shape that reaches 8192 masks.
+//! `--backend` selects the dataplane (`ovs_cache` | `exact_hash` |
+//! `lpm_tier` | `nic_offload`); the Fig. 2b mask decomposition only
+//! exists on `ovs_cache`, the others show what the same injection does
+//! to an architecture without a tuple space.
 
 use policy_injection::prelude::*;
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut backend = BackendKind::OvsCache;
+    let args: Vec<String> = std::env::args()
+        .skip(1)
+        .filter(|a| {
+            if let Some(name) = a.strip_prefix("--backend=") {
+                backend =
+                    BackendKind::parse(name).unwrap_or_else(|| panic!("unknown backend {name:?}"));
+                false
+            } else {
+                true
+            }
+        })
+        .collect();
     let cidr: Cidr = args
         .first()
         .map(|s| s.parse().expect("bad CIDR"))
@@ -37,11 +54,16 @@ fn main() {
         src_port.map(|p| format!(" from :{p}")).unwrap_or_default(),
         spec.dialect
     );
+    println!("backend: {backend}");
     println!("predicted megaflow masks: {}\n", spec.predicted_masks());
 
     // Install on a switch and feed the covert sequence.
     let pod_ip = u32::from_be_bytes([10, 1, 0, 66]);
-    let mut sw = VSwitch::new(DpConfig::default());
+    let dp = DpConfig {
+        backend,
+        ..DpConfig::default()
+    };
+    let mut sw = build_backend(dp, CostModel::default());
     sw.attach_pod(pod_ip, 1);
     let table = match spec.build_policy() {
         MaliciousAcl::K8s(p) => PolicyCompiler.compile_k8s(&p),
@@ -52,7 +74,7 @@ fn main() {
     let seq = CovertSequence::new(spec.build_target(pod_ip));
     let mut t = SimTime::from_millis(1);
     for p in seq.populate_packets() {
-        sw.process(&p, t);
+        process_one(&mut *sw, &p, t);
         t += SimTime::from_micros(100);
     }
     println!(
@@ -61,7 +83,13 @@ fn main() {
         sw.megaflow_count()
     );
 
-    // Print the decomposition, Fig. 2b style (up to a screenful).
+    // Print the decomposition, Fig. 2b style (up to a screenful). Only
+    // the OVS pipeline has a mask space to decompose; for the others
+    // the numbers above are the whole story.
+    let Some(sw) = sw.as_vswitch() else {
+        println!("({backend} has no megaflow mask decomposition to print)");
+        return;
+    };
     let mut rows: Vec<(String, String, String)> = sw
         .megaflows()
         .iter()

@@ -72,6 +72,7 @@ pub mod prelude {
     pub use pi_attack::{
         predicted_mask_count, AttackSchedule, AttackSpec, CovertSequence, MaliciousAcl,
     };
+    pub use pi_backend::{build_backend, process_one, DataplaneBackend};
     pub use pi_classifier::{Action, FlowTable, LinearClassifier, TupleSpaceSearch};
     pub use pi_cms::{
         CalicoPolicy, Cidr, Cloud, ControlPlane, ControlPlaneProgram, NetworkPolicy,
@@ -79,7 +80,8 @@ pub mod prelude {
     };
     pub use pi_core::{Field, FlowKey, FlowMask, MaskedKey, Port, SimTime};
     pub use pi_datapath::{
-        DpConfig, PathTaken, PipelineMode, UpcallPipelineConfig, UpcallStats, VSwitch,
+        BackendKind, CostModel, DpConfig, PathTaken, PipelineMode, UpcallPipelineConfig,
+        UpcallStats, VSwitch,
     };
     pub use pi_detect::{
         ControllerConfig, DefenseController, DefenseReport, DefenseState, DetectionEvent,
@@ -92,9 +94,10 @@ pub mod prelude {
     pub use pi_metrics::{ascii_plot, CsvTable, Summary, TimeSeries};
     pub use pi_mitigation::{upcall_fair_share_config, CompiledAcl, MaskBudget};
     pub use pi_sim::{
-        adaptive_defense_scenario, fig3_scenario, measure_capacity, policy_churn_scenario,
-        upcall_saturation_scenario, AdaptiveDefenseParams, DefenseMode, Fig3Params,
-        PolicyChurnParams, SimBuilder, SimConfig, SimReport, UpcallSaturationParams,
+        adaptive_defense_scenario, fig3_scenario, measure_backend_capacity, measure_capacity,
+        policy_churn_scenario, upcall_saturation_scenario, AdaptiveDefenseParams, CapacityWorkload,
+        DefenseMode, Fig3Params, PolicyChurnParams, SimBuilder, SimConfig, SimReport,
+        UpcallSaturationParams,
     };
     pub use pi_traffic::{
         CbrSource, ChurnSource, FanSource, IperfSource, PoissonFlowSource, TrafficSource,
