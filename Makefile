@@ -2,7 +2,7 @@
 
 CARGO ?= cargo
 
-.PHONY: build test fmt-check clippy bench bench-fleet bench-hotpath bench-upcall bench-detect bench-policy bench-backends example-fleet clean
+.PHONY: build test fmt-check clippy bench bench-fleet bench-hotpath bench-upcall bench-detect bench-policy bench-backends bench-fault bench-check example-fleet clean
 
 build:
 	$(CARGO) build --release
@@ -57,6 +57,18 @@ bench-policy:
 # writes BENCH_backends.json. See README "Dataplane backends".
 bench-backends:
 	$(CARGO) run --release -p pi_bench --bin backend_matrix
+
+# Crash-recovery matrix: {crash} x {policy_flap, upcall_flood} x
+# {fire-and-forget, retry+reconcile} — wrong verdicts, recovery time
+# and retry cost; writes BENCH_fault.json. See README "Fault injection
+# & recovery".
+bench-fault:
+	$(CARGO) run --release -p pi_bench --bin fault_matrix
+
+# Static regression gate over the checked-in BENCH_*.json headline
+# cells (no benches are re-run).
+bench-check:
+	$(CARGO) run --release -p pi_bench --bin bench_check
 
 example-fleet:
 	$(CARGO) run --release --example fleet_blast_radius

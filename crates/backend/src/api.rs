@@ -14,7 +14,7 @@ use pi_core::{FlowKey, SimTime};
 use pi_datapath::emc::EmcStats;
 use pi_datapath::{
     BackendKind, CostModel, DpConfig, PolicyUpdateOutcome, ProcessOutcome, ResolvedUpcall,
-    SwitchStats, UpcallStats, VSwitch,
+    RestartOutcome, SwitchStats, UpcallStats, VSwitch,
 };
 use pi_mitigation::MaskAttribution;
 
@@ -137,6 +137,21 @@ pub trait DataplaneBackend: std::fmt::Debug + Send {
     ///-detection input). Backends without per-flow caches return an
     /// empty vector.
     fn attribution(&self) -> Vec<MaskAttribution>;
+
+    // --- Crash/restart (the `pi_fault` surface) ---------------------
+
+    /// Crashes and restarts the backend process: cached per-flow state,
+    /// deferred work, quarantine markings and every installed ACL are
+    /// lost (ports revert to allow-all); port attachments and lifetime
+    /// statistics survive — see [`VSwitch::crash_restart`] for the
+    /// reference semantics every backend mirrors. The fixed restart
+    /// price ([`CostModel::restart_fixed`]) is charged by the caller.
+    fn crash_restart(&mut self) -> RestartOutcome;
+
+    /// Destination IPs with an installed (default-deny) ACL, ascending
+    /// — what the reconciliation loop diffs against the CMS's desired
+    /// state.
+    fn installed_acl_ips(&self) -> Vec<u32>;
 
     // --- Defense actuators (the `pi_detect` controller surface) -----
 

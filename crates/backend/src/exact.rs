@@ -27,7 +27,7 @@ use pi_core::{FlowKey, KeyWords, SimTime};
 use pi_datapath::emc::EmcStats;
 use pi_datapath::{
     BackendKind, CostModel, DpConfig, PathTaken, PolicyUpdateOutcome, ProcessOutcome,
-    ResolvedUpcall, SwitchStats, UpcallStats,
+    ResolvedUpcall, RestartOutcome, SwitchStats, UpcallStats,
 };
 use pi_mitigation::MaskAttribution;
 
@@ -304,6 +304,22 @@ impl DataplaneBackend for ExactHash {
 
     fn attribution(&self) -> Vec<MaskAttribution> {
         crate::host::attribute_exact(self.table.iter().map(|(k, _)| k))
+    }
+
+    fn crash_restart(&mut self) -> RestartOutcome {
+        let flows_lost = self.table.len();
+        self.table = FlatTable::new();
+        let (acls_lost, quarantines_lost) = self.pods.crash_reset();
+        RestartOutcome {
+            acls_lost,
+            flows_lost,
+            upcalls_lost: 0, // everything resolves inline; nothing queued
+            quarantines_lost,
+        }
+    }
+
+    fn installed_acl_ips(&self) -> Vec<u32> {
+        self.pods.acl_ips()
     }
 
     fn set_port_quota(&mut self, _quota: Option<u32>) -> bool {

@@ -113,6 +113,35 @@ impl PodTable {
         self.routes.get(&ip).map_or(0, |p| p.slowpath.table().len())
     }
 
+    /// Destination IPs with an installed (default-deny) ACL, ascending.
+    pub fn acl_ips(&self) -> Vec<u32> {
+        let mut ips: Vec<u32> = self
+            .routes
+            .iter()
+            .filter(|(_, pod)| pod.slowpath.default_action() == Action::Deny)
+            .map(|(ip, _)| *ip)
+            .collect();
+        ips.sort_unstable();
+        ips
+    }
+
+    /// Crash wipe of the policy/quarantine half of a restart: every
+    /// installed ACL reverts to allow-all and quarantine markings are
+    /// lost; attachments survive (the node agent re-plumbs vports).
+    /// Returns `(acls_lost, quarantines_lost)`.
+    pub fn crash_reset(&mut self) -> (usize, usize) {
+        let mut acls_lost = 0;
+        for pod in self.routes.values_mut() {
+            if pod.slowpath.default_action() == Action::Deny {
+                pod.slowpath = SlowPath::permissive(Action::Allow);
+                acls_lost += 1;
+            }
+        }
+        let quarantines_lost = self.quarantined.len();
+        self.quarantined.clear();
+        (acls_lost, quarantines_lost)
+    }
+
     /// Marks `ip` quarantined. Returns whether it was newly added.
     pub fn quarantine(&mut self, ip: u32) -> bool {
         self.quarantined.insert(ip)

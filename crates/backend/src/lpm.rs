@@ -27,7 +27,7 @@ use pi_core::{Field, FlowKey, SimTime};
 use pi_datapath::emc::EmcStats;
 use pi_datapath::{
     BackendKind, CostModel, DpConfig, PathTaken, PolicyUpdateOutcome, ProcessOutcome,
-    ResolvedUpcall, SwitchStats, UpcallStats,
+    ResolvedUpcall, RestartOutcome, SwitchStats, UpcallStats,
 };
 use pi_mitigation::MaskAttribution;
 
@@ -288,6 +288,25 @@ impl DataplaneBackend for LpmTier {
 
     fn attribution(&self) -> Vec<MaskAttribution> {
         Vec::new() // nothing cached, nothing to attribute
+    }
+
+    fn crash_restart(&mut self) -> RestartOutcome {
+        // The datapath is stateless — no flow cache or deferred work to
+        // lose. Only the policy half dies with the process: installed
+        // ACLs and quarantine markings. (The compiled tiers are rebuilt
+        // from the surviving attachments at respawn; their walk depth is
+        // config-derived, so nothing observable changes there.)
+        let (acls_lost, quarantines_lost) = self.pods.crash_reset();
+        RestartOutcome {
+            acls_lost,
+            flows_lost: 0,
+            upcalls_lost: 0,
+            quarantines_lost,
+        }
+    }
+
+    fn installed_acl_ips(&self) -> Vec<u32> {
+        self.pods.acl_ips()
     }
 
     fn set_port_quota(&mut self, _quota: Option<u32>) -> bool {

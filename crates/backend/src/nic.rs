@@ -25,7 +25,7 @@ use pi_core::{FlowKey, KeyWords, SimTime};
 use pi_datapath::emc::EmcStats;
 use pi_datapath::{
     BackendKind, CostModel, DpConfig, PathTaken, PolicyUpdateOutcome, ProcessOutcome,
-    ResolvedUpcall, SwitchStats, UpcallStats,
+    ResolvedUpcall, RestartOutcome, SwitchStats, UpcallStats,
 };
 use pi_mitigation::MaskAttribution;
 
@@ -336,6 +336,28 @@ impl DataplaneBackend for NicOffload {
 
     fn attribution(&self) -> Vec<MaskAttribution> {
         crate::host::attribute_exact(self.table.iter().map(|(k, _)| k))
+    }
+
+    fn crash_restart(&mut self) -> RestartOutcome {
+        // A host restart reprograms the NIC from scratch: the offload
+        // table and its FIFO replacement record go together. The
+        // sequence counter keeps running — stale FIFO records are
+        // already skipped lazily, and a fresh counter could resurrect
+        // them as live.
+        let flows_lost = self.table.len();
+        self.table = FlatTable::new();
+        self.fifo.clear();
+        let (acls_lost, quarantines_lost) = self.pods.crash_reset();
+        RestartOutcome {
+            acls_lost,
+            flows_lost,
+            upcalls_lost: 0,
+            quarantines_lost,
+        }
+    }
+
+    fn installed_acl_ips(&self) -> Vec<u32> {
+        self.pods.acl_ips()
     }
 
     fn set_port_quota(&mut self, _quota: Option<u32>) -> bool {

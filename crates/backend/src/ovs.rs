@@ -13,7 +13,7 @@ use pi_core::{FlowKey, SimTime};
 use pi_datapath::emc::EmcStats;
 use pi_datapath::{
     BackendKind, CostModel, DpConfig, PolicyUpdateOutcome, ProcessOutcome, ResolvedUpcall,
-    SwitchStats, UpcallStats, VSwitch,
+    RestartOutcome, SwitchStats, UpcallStats, VSwitch,
 };
 use pi_mitigation::MaskAttribution;
 
@@ -103,6 +103,14 @@ impl DataplaneBackend for VSwitch {
 
     fn attribution(&self) -> Vec<MaskAttribution> {
         pi_mitigation::attribute_masks(self)
+    }
+
+    fn crash_restart(&mut self) -> RestartOutcome {
+        VSwitch::crash_restart(self)
+    }
+
+    fn installed_acl_ips(&self) -> Vec<u32> {
+        VSwitch::installed_acl_ips(self)
     }
 
     fn set_port_quota(&mut self, quota: Option<u32>) -> bool {

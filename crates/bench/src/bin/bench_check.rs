@@ -1,0 +1,153 @@
+//! `bench_check` — static regression gate over the checked-in
+//! `BENCH_*.json` artefacts.
+//!
+//! Re-running every bench on every commit is too slow for CI, but the
+//! artefacts are checked in — so their **headline cells** can be
+//! re-validated for free. This binary parses the committed JSON (the
+//! writer's line-per-row shape, via [`pi_bench::report::extract_rows`])
+//! and fails when a headline claim no longer holds — e.g. someone
+//! regenerated `BENCH_fault.json` from a tree where reconciliation
+//! stopped closing the verdict hole, and committed it without reading
+//! the numbers.
+//!
+//! Checks are deliberately on the *committed* files, not a fresh run:
+//! the gate catches regressions that made it into an artefact, while
+//! the benches' own trailing `assert!`s catch them at generation time.
+//!
+//! Exit code: 0 when every check passes, 1 otherwise.
+
+use pi_bench::report::extract_rows;
+
+/// Extracts `"key": <number>` from one rendered row line.
+fn num(line: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\": ");
+    let start = line.find(&needle)? + needle.len();
+    let rest = &line[start..];
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    rest[..end].trim().parse().ok()
+}
+
+/// Finds the row whose `key` field equals `value`.
+fn find_row<'a>(rows: &'a [String], key: &str, value: &str) -> Option<&'a String> {
+    let needle = format!("\"{key}\": \"{value}\"");
+    rows.iter().find(|r| r.contains(&needle))
+}
+
+struct Gate {
+    failures: Vec<String>,
+    checked: usize,
+}
+
+impl Gate {
+    fn new() -> Self {
+        Gate {
+            failures: Vec::new(),
+            checked: 0,
+        }
+    }
+
+    fn check(&mut self, what: &str, ok: bool) {
+        self.checked += 1;
+        if ok {
+            println!("  ok   {what}");
+        } else {
+            println!("  FAIL {what}");
+            self.failures.push(what.to_string());
+        }
+    }
+
+    /// Loads an artefact's rows, or records a failure.
+    fn load(&mut self, path: &str) -> Option<Vec<String>> {
+        match std::fs::read_to_string(path) {
+            Ok(json) => {
+                // A needle no rendered row can contain: keep every row.
+                let rows = extract_rows(&json, "\u{7f}");
+                if rows.is_empty() {
+                    self.check(&format!("{path}: has rows"), false);
+                    None
+                } else {
+                    println!("{path}: {} rows", rows.len());
+                    Some(rows)
+                }
+            }
+            Err(e) => {
+                self.check(&format!("{path}: readable ({e})"), false);
+                None
+            }
+        }
+    }
+}
+
+fn check_fault(gate: &mut Gate) {
+    let Some(rows) = gate.load("BENCH_fault.json") else {
+        return;
+    };
+    let cell = |v| find_row(&rows, "cell", v);
+    let (Some(baseline), Some(off), Some(on)) = (
+        cell("baseline"),
+        cell("policy_flap_fire_forget"),
+        cell("policy_flap_reliable"),
+    ) else {
+        gate.check("fault: headline cells present", false);
+        return;
+    };
+    gate.check(
+        "fault: baseline denies the prober (wrong_verdicts == 0)",
+        num(baseline, "wrong_verdicts") == Some(0.0),
+    );
+    let wrong_off = num(off, "wrong_verdicts").unwrap_or(-1.0);
+    let wrong_on = num(on, "wrong_verdicts").unwrap_or(f64::MAX);
+    gate.check(
+        "fault: fire-and-forget crash leaves a standing verdict hole",
+        wrong_off > 0.0,
+    );
+    gate.check(
+        "fault: reconciliation closes most of the hole (5x)",
+        wrong_on * 5.0 < wrong_off,
+    );
+    let recovery = num(on, "recovery_ticks").unwrap_or(0.0);
+    gate.check(
+        "fault: reliable convergence is bounded (0 < recovery_ticks <= 2000)",
+        recovery > 0.0 && recovery <= 2_000.0,
+    );
+    gate.check(
+        "fault: capacity holds through flap-during-recovery (>= 0.9)",
+        num(on, "retained_vs_baseline").unwrap_or(0.0) >= 0.9,
+    );
+}
+
+fn check_policy(gate: &mut Gate) {
+    let Some(rows) = gate.load("BENCH_policy.json") else {
+        return;
+    };
+    let mode = |v| find_row(&rows, "mode", v);
+    let (Some(flap), Some(scoped)) = (mode("policy_flap"), mode("policy_flap_scoped")) else {
+        gate.check("policy: headline cells present", false);
+        return;
+    };
+    gate.check(
+        "policy: the flap collapses the victim (< 0.75)",
+        num(flap, "retained_vs_benign").unwrap_or(1.0) < 0.75,
+    );
+    gate.check(
+        "policy: scoped invalidation restores the victim (> 0.9)",
+        num(scoped, "retained_vs_benign").unwrap_or(0.0) > 0.9,
+    );
+}
+
+fn main() {
+    let mut gate = Gate::new();
+    check_fault(&mut gate);
+    check_policy(&mut gate);
+    println!(
+        "\nbench_check: {}/{} checks passed",
+        gate.checked - gate.failures.len(),
+        gate.checked
+    );
+    if !gate.failures.is_empty() {
+        for f in &gate.failures {
+            eprintln!("bench_check FAILED: {f}");
+        }
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,253 @@
+//! `fault_matrix` — crash recovery under attack, measured.
+//!
+//! Runs the crash-recovery scenario ([`pi_sim::crash_recovery_scenario`])
+//! across the {fault} × {attack} × {retry+reconcile on/off} matrix:
+//!
+//! * `baseline` — no crash, no attack: the capacity denominator and the
+//!   zero-wrong-verdict reference;
+//! * `policy_flap` × {`fire_and_forget`, `reliable`} — the switch
+//!   crashes mid-run while a co-located attacker flaps its own ACL
+//!   every 20 ms through the same CMS path the recovery needs. The
+//!   **headline pair**: with fire-and-forget control the victim's deny
+//!   rule vanishes in the crash and never comes back (every delivered
+//!   prober packet is a wrong verdict — a standing security hole);
+//!   at-least-once delivery + reconciliation closes the hole within a
+//!   bounded window even with the flap competing for the control plane;
+//! * `upcall_flood` × {`fire_and_forget`, `reliable`} — the same crash
+//!   with the covert mask flood saturating the bounded slow path from
+//!   the restart instant.
+//!
+//! Every crash row sends control traffic through a lossy, duplicating,
+//! jittered CMS→switch channel, so the reliable rows also pay (and
+//! report) retries. Fully deterministic — one run per cell.
+//!
+//! Output: `BENCH_fault.json` (override with `PI_BENCH_FAULT_OUT`).
+//! `--smoke` shrinks the run for CI.
+
+use pi_bench::report::{Fields, Report};
+use pi_core::SimTime;
+use pi_fault::{ChannelFaultConfig, NodeFaultReport, ReliabilityConfig};
+use pi_sim::{crash_recovery_scenario, CrashRecoveryAttack, CrashRecoveryParams};
+
+struct Row {
+    label: &'static str,
+    attack: CrashRecoveryAttack,
+    reliable: bool,
+    crash: bool,
+    victim_offered: u64,
+    victim_delivered: u64,
+    victim_pps: f64,
+    wrong_verdicts: u64,
+    faults: NodeFaultReport,
+}
+
+fn run_cell(
+    label: &'static str,
+    attack: CrashRecoveryAttack,
+    reliable: bool,
+    crash: bool,
+    sim_secs: u64,
+) -> Row {
+    let params = CrashRecoveryParams {
+        duration: SimTime::from_secs(sim_secs),
+        crash,
+        crash_at: SimTime::from_secs(sim_secs / 3),
+        attack,
+        reliable: reliable.then(ReliabilityConfig::default),
+        // The CMS→switch path of every crash cell is hostile: losses,
+        // duplicates and jittered (reordering) delays. Fire-and-forget
+        // delivery never even sees it — which is the point.
+        channel: crash.then(|| ChannelFaultConfig {
+            drop_p: 0.05,
+            dup_p: 0.05,
+            delay: SimTime::from_millis(2),
+            jitter: SimTime::from_millis(3),
+            ..ChannelFaultConfig::default()
+        }),
+        ..CrashRecoveryParams::default()
+    };
+    let (sim, handles) = crash_recovery_scenario(&params);
+    let report = sim.run();
+    let victim = &report.source_totals[handles.victim_source];
+    let prober = &report.source_totals[handles.prober_source];
+    Row {
+        label,
+        attack,
+        reliable,
+        crash,
+        victim_offered: victim.generated,
+        victim_delivered: victim.delivered,
+        victim_pps: victim.delivered as f64 / params.duration.as_secs_f64(),
+        // Every delivered prober packet passed a deny rule that was
+        // supposed to be installed: a wrong verdict.
+        wrong_verdicts: prober.delivered,
+        faults: report.faults[handles.node].clone().unwrap_or_default(),
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let sim_secs: u64 = if smoke { 6 } else { 12 };
+    let defaults = CrashRecoveryParams::default();
+    println!(
+        "fault_matrix: {sim_secs} simulated seconds per cell, crash at {}s",
+        sim_secs / 3
+    );
+    println!(
+        "{:>26} {:>12} {:>10} {:>8} {:>10} {:>9} {:>8} {:>10}",
+        "cell", "victim_pps", "retained", "wrong", "recovery", "retries", "repush", "events"
+    );
+    let rows: Vec<Row> = vec![
+        run_cell(
+            "baseline",
+            CrashRecoveryAttack::None,
+            false,
+            false,
+            sim_secs,
+        ),
+        run_cell(
+            "policy_flap_fire_forget",
+            CrashRecoveryAttack::PolicyFlap,
+            false,
+            true,
+            sim_secs,
+        ),
+        run_cell(
+            "policy_flap_reliable",
+            CrashRecoveryAttack::PolicyFlap,
+            true,
+            true,
+            sim_secs,
+        ),
+        run_cell(
+            "upcall_flood_fire_forget",
+            CrashRecoveryAttack::UpcallFlood,
+            false,
+            true,
+            sim_secs,
+        ),
+        run_cell(
+            "upcall_flood_reliable",
+            CrashRecoveryAttack::UpcallFlood,
+            true,
+            true,
+            sim_secs,
+        ),
+    ];
+    let baseline_pps = rows[0].victim_pps;
+    for r in &rows {
+        println!(
+            "{:>26} {:>12.0} {:>10.3} {:>8} {:>10} {:>9} {:>8} {:>10}",
+            r.label,
+            r.victim_pps,
+            r.victim_pps / baseline_pps,
+            r.wrong_verdicts,
+            r.faults.recovery_ticks,
+            r.faults.channel.retries,
+            r.faults.channel.reconcile_pushes,
+            r.faults.fault_events(),
+        );
+    }
+
+    let mut report = Report::new("fault_matrix", "crash_recovery").params(
+        Fields::new()
+            .u("sim_secs", sim_secs)
+            .u("crash_at_secs", sim_secs / 3)
+            .u("down_for_ms", defaults.down_for.as_nanos() / 1_000_000)
+            .u(
+                "flap_period_ms",
+                defaults.flap_period.as_nanos() / 1_000_000,
+            )
+            .zu("clients", defaults.clients)
+            .f("victim_pps_offered", defaults.victim_pps, 0)
+            .f("prober_pps", defaults.prober_pps, 0)
+            .f("channel_drop_p", 0.05, 2)
+            .f("channel_dup_p", 0.05, 2),
+    );
+    for r in &rows {
+        let f = &r.faults;
+        report.row(
+            Fields::new()
+                .s("cell", r.label)
+                .s("attack", r.attack.name())
+                .b("reliable", r.reliable)
+                .b("crash", r.crash)
+                .u("victim_offered", r.victim_offered)
+                .u("victim_delivered", r.victim_delivered)
+                .f("victim_pps", r.victim_pps, 1)
+                .f("retained_vs_baseline", r.victim_pps / baseline_pps, 4)
+                .u("wrong_verdicts", r.wrong_verdicts)
+                .u("crashes", f.crashes)
+                .u("acls_lost", f.acls_lost)
+                .u("flows_lost", f.flows_lost)
+                .u("recovery_ticks", f.recovery_ticks)
+                .u("fault_events", f.fault_events())
+                .u("channel_dropped", f.channel.dropped)
+                .u("channel_duplicated", f.channel.duplicated)
+                .u("retries", f.channel.retries)
+                .u("gave_up", f.channel.gave_up)
+                .u("dup_suppressed", f.channel.dup_suppressed)
+                .u("lost_to_downtime", f.channel.lost_to_downtime)
+                .u("reconcile_pushes", f.channel.reconcile_pushes),
+        );
+    }
+    let out = report.write("BENCH_fault.json", "PI_BENCH_FAULT_OUT");
+    println!("\nwrote {}", out.display());
+
+    // Keep the bench honest about its own claims.
+    assert_eq!(
+        rows[0].wrong_verdicts, 0,
+        "healthy run must deny the prober"
+    );
+    for r in &rows[1..] {
+        assert_eq!(r.faults.crashes, 1, "{}: the crash must fire", r.label);
+        assert!(r.faults.acls_lost >= 2, "{}: crash wipes the ACLs", r.label);
+        if r.reliable {
+            // At-least-once + reconciliation: convergence is bounded.
+            assert!(
+                r.faults.recovery_ticks > 0 && r.faults.recovery_ticks <= 2_000,
+                "{}: convergence must be bounded, got {} ticks",
+                r.label,
+                r.faults.recovery_ticks
+            );
+        } else {
+            // Fire-and-forget: the deny rule is gone for good — wrong
+            // verdicts accumulate for the rest of the run, or (flood)
+            // capacity collapses.
+            assert!(
+                r.wrong_verdicts > 0 || r.victim_pps <= 0.4 * baseline_pps,
+                "{}: the unprotected crash must leave damage",
+                r.label
+            );
+            assert_eq!(
+                r.faults.recovery_ticks, 0,
+                "{}: nothing reconciles",
+                r.label
+            );
+        }
+    }
+    // The headline pair: the flap riding the recovery window. Without
+    // the reliable layer the verdict hole stays open; with it the hole
+    // closes and the victim's capacity holds.
+    let (off, on) = (&rows[1], &rows[2]);
+    assert!(off.wrong_verdicts > 0, "flap/fire-forget: standing hole");
+    assert!(
+        on.wrong_verdicts * 5 < off.wrong_verdicts,
+        "flap/reliable: reconciliation must close most of the verdict hole \
+         ({} vs {})",
+        on.wrong_verdicts,
+        off.wrong_verdicts
+    );
+    assert!(
+        on.victim_pps >= 0.9 * baseline_pps,
+        "flap/reliable: capacity must hold through recovery ({:.0} vs {baseline_pps:.0})",
+        on.victim_pps
+    );
+    // The flood's capacity collapse is delivery-independent — restoring
+    // it is the defense controller's job, not the control plane's. The
+    // reliable row must simply not be *worse*.
+    assert!(
+        rows[4].victim_pps >= 0.95 * rows[3].victim_pps,
+        "flood/reliable must not worsen capacity"
+    );
+}

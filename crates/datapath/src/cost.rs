@@ -44,6 +44,12 @@ pub struct CostModel {
     /// with cache occupancy (the rebuild upcalls are priced on top, by
     /// the ordinary miss path).
     pub flush_per_entry: u64,
+    /// Fixed cost of a switch crash/restart: process respawn, datapath
+    /// re-registration, port re-attach. Charged once against the
+    /// node's budget at restart; the *indirect* price — every flow
+    /// cold-missing into the wiped caches — emerges from the ordinary
+    /// miss accounting, exactly like a flush storm's rebuild.
+    pub restart_fixed: u64,
 }
 
 impl Default for CostModel {
@@ -59,6 +65,7 @@ impl Default for CostModel {
             mfc_install: 2_000,
             acl_update_fixed: 50_000,
             flush_per_entry: 120,
+            restart_fixed: 2_000_000,
         }
     }
 }

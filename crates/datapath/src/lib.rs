@@ -53,5 +53,6 @@ pub use upcall::{
     PipelineMode, PortUpcallStats, UpcallPipelineConfig, UpcallStats, UNROUTABLE_QUEUE,
 };
 pub use vswitch::{
-    PathTaken, PolicyUpdateOutcome, ProcessOutcome, ResolvedUpcall, SwitchStats, VSwitch,
+    PathTaken, PolicyUpdateOutcome, ProcessOutcome, ResolvedUpcall, RestartOutcome, SwitchStats,
+    VSwitch,
 };

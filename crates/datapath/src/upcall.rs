@@ -410,6 +410,19 @@ impl UpcallQueue {
         self.staged_fresh = 0;
     }
 
+    /// Crash wipe: every queued upcall and staged install is lost with
+    /// the switch process. Lifetime counters, per-port stats, the token
+    /// sequence and the step clock survive — they model the node
+    /// agent's accounting, not switch memory. Returns the number of
+    /// pending upcalls discarded.
+    pub fn crash_clear(&mut self) -> usize {
+        let lost = self.pending_total;
+        self.queues.clear();
+        self.pending_total = 0;
+        self.discard_installs();
+        lost
+    }
+
     /// The current drain-step counter.
     pub fn step(&self) -> u64 {
         self.step

@@ -247,6 +247,21 @@ pub struct PolicyUpdateOutcome {
     pub cycles: u64,
 }
 
+/// What one switch crash/restart wiped ([`VSwitch::crash_restart`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RestartOutcome {
+    /// Installed ACLs lost — each one an unenforced deny policy until
+    /// the control plane re-pushes it.
+    pub acls_lost: usize,
+    /// Cached flow entries (megaflows, or a flat/offload backend's
+    /// table) discarded.
+    pub flows_lost: usize,
+    /// Queued upcalls discarded with the switch process.
+    pub upcalls_lost: usize,
+    /// Quarantine markings lost (the defense must re-detect).
+    pub quarantines_lost: usize,
+}
+
 /// An OVS-like virtual switch: shared microflow + megaflow caches in
 /// front of per-pod ingress ACL slow paths.
 #[derive(Debug)]
@@ -597,6 +612,56 @@ impl VSwitch {
         };
         self.stats.flushed_megaflows += flushed as u64;
         flushed
+    }
+
+    // --- Crash/restart ---------------------------------------------
+
+    /// Crashes and restarts the switch process: both flow caches,
+    /// queued upcalls, staged installs, quarantine markings and every
+    /// installed ACL are lost (ports revert to allow-all — the
+    /// vanished deny rules are the security hole reconciliation
+    /// exists to close). Port attachments survive (the node agent
+    /// re-plumbs vports on respawn) and so do the lifetime `stats` —
+    /// they are the node agent's accounting, not switch memory. The
+    /// fixed restart price ([`CostModel::restart_fixed`]) is charged by
+    /// the caller against the node's budget, not here.
+    pub fn crash_restart(&mut self) -> RestartOutcome {
+        let flows_lost = self.mfc.len();
+        if self.cache_dirty {
+            self.mfc.clear();
+            self.generation += 1; // EMC entries die by lazy generation check.
+            self.cache_dirty = false;
+        }
+        let upcalls_lost = self.pipeline.crash_clear();
+        let quarantines_lost = self.quarantined.len();
+        self.quarantined.clear();
+        let mut acls_lost = 0;
+        for port in self.routes.values_mut() {
+            if port.slowpath.default_action() == Action::Deny {
+                port.slowpath = SlowPath::permissive(Action::Allow);
+                acls_lost += 1;
+            }
+        }
+        RestartOutcome {
+            acls_lost,
+            flows_lost,
+            upcalls_lost,
+            quarantines_lost,
+        }
+    }
+
+    /// Destination IPs with an installed (default-deny) ACL, ascending
+    /// — the switch-reported state the reconciliation loop diffs
+    /// against the CMS's desired state.
+    pub fn installed_acl_ips(&self) -> Vec<u32> {
+        let mut ips: Vec<u32> = self
+            .routes
+            .iter()
+            .filter(|(_, port)| port.slowpath.default_action() == Action::Deny)
+            .map(|(ip, _)| *ip)
+            .collect();
+        ips.sort_unstable();
+        ips
     }
 
     /// The megaflow mask count — Fig. 3's right-hand axis.
@@ -1120,6 +1185,37 @@ mod tests {
         assert_eq!(s.upcalls, 1);
         assert_eq!(s.microflow_hits, 1);
         assert_eq!(s.packets, 2);
+    }
+
+    #[test]
+    fn crash_restart_wipes_caches_acls_and_quarantines_but_not_routes() {
+        let mut sw = switch_with_fig2_acl();
+        let ip = u32::from_be_bytes(POD_IP);
+        let t = SimTime::from_millis(1);
+        sw.process(&pkt([10, 1, 1, 1], 1000), t);
+        sw.quarantine(0xdead);
+        assert_eq!(sw.installed_acl_ips(), vec![ip]);
+        assert!(sw.megaflow_count() > 0);
+        let stats_before = sw.stats();
+
+        let out = sw.crash_restart();
+        assert_eq!(out.acls_lost, 1);
+        assert!(out.flows_lost > 0);
+        assert_eq!(out.quarantines_lost, 1);
+        assert!(sw.installed_acl_ips().is_empty());
+        assert_eq!(sw.megaflow_count(), 0);
+        assert!(!sw.is_quarantined(0xdead));
+        assert_eq!(sw.stats(), stats_before, "lifetime counters survive");
+
+        // The vanished deny ACL is the vulnerability: a previously
+        // denied source is now delivered.
+        let o = sw.process(&pkt([99, 1, 1, 1], 1000), t + SimTime::from_millis(1));
+        assert_eq!(o.verdict, Action::Allow, "deny policy silently gone");
+        assert_eq!(o.output, Some(POD_VPORT), "route survived the crash");
+
+        // Idempotent: a second crash on the already-wiped switch loses
+        // nothing more.
+        assert_eq!(sw.crash_restart().acls_lost, 0);
     }
 
     #[test]

@@ -204,6 +204,40 @@ impl DefenseController {
         self.observe(&sample, Some(switch))
     }
 
+    /// Resets the control loop after a switch crash/restart.
+    ///
+    /// The restarted switch already lost every actuation (quarantines,
+    /// quota, staged-lookup overrides die with the process), and the
+    /// telemetry baselines learned from the pre-crash switch are wrong
+    /// for the post-crash one — the cold-cache refill looks exactly
+    /// like an upcall-flood attack to a stale EWMA, so carrying the
+    /// baseline over would false-alarm on every restart. The controller
+    /// therefore **deterministically resets to Idle**: fresh tap, fresh
+    /// detector bank, no streaks, no quarantine record, no saved knob
+    /// values (there is nothing left on the switch to restore them to).
+    /// An interrupted Mitigating/Cooldown episode is closed with a
+    /// timeline transition at `now`, so reports show the truncation
+    /// instead of silently forgetting it.
+    pub fn on_switch_restart(&mut self, now: SimTime) {
+        if self.state != DefenseState::Idle {
+            self.report.timeline.push(DefenseTransition {
+                at: now,
+                from: self.state,
+                to: DefenseState::Idle,
+                actions: Vec::new(),
+            });
+        }
+        self.state = DefenseState::Idle;
+        self.alarm_streak = 0;
+        self.quiet_streak = 0;
+        self.mitigation_dwell = 0;
+        self.quarantined.clear();
+        self.saved_quota = None;
+        self.saved_staged = None;
+        self.tap = TelemetryTap::new();
+        self.bank = DetectorBank::new(self.cfg.detector);
+    }
+
     /// State-machine advance on an externally produced sample. With
     /// `switch` absent (synthetic-sample tests) the actions are
     /// *decided* but not applied.
@@ -461,6 +495,45 @@ mod tests {
         assert!(reverted.contains(&DefenseAction::SetPortQuota(None)));
         assert!(reverted.contains(&DefenseAction::SetStagedLookup(false)));
         assert_eq!(c.report().activations, 1, "one activation for the episode");
+    }
+
+    #[test]
+    fn switch_restart_resets_to_idle_with_fresh_baseline() {
+        let mut c = controller();
+        let mut t = 0u64;
+        let mut feed = |c: &mut DefenseController, drops, backlog| {
+            t += 1;
+            c.observe(&sample(t, drops, backlog), None);
+            c.state()
+        };
+        // Warm up, then drive into Mitigating mid-episode.
+        for _ in 0..7 {
+            feed(&mut c, 0, 0);
+        }
+        feed(&mut c, 500, 400);
+        assert_eq!(feed(&mut c, 500, 400), DefenseState::Mitigating);
+
+        // Crash: deterministic reset to Idle, episode closed on the
+        // timeline with no (unapplicable) revert actions.
+        c.on_switch_restart(SimTime::from_millis(10));
+        assert_eq!(c.state(), DefenseState::Idle);
+        let last = c.report().timeline.last().unwrap();
+        assert_eq!(last.from, DefenseState::Mitigating);
+        assert_eq!(last.to, DefenseState::Idle);
+        assert!(last.actions.is_empty(), "nothing on the switch to revert");
+
+        // The detector bank genuinely starts over: samples that would
+        // instantly re-escalate a warmed (stale) bank sit out the fresh
+        // bank's warm-up instead — the cold-cache refill after a real
+        // restart cannot false-alarm.
+        for _ in 0..3 {
+            assert_eq!(feed(&mut c, 500, 400), DefenseState::Idle);
+        }
+
+        // Restarting while already Idle adds no timeline noise.
+        let len = c.report().timeline.len();
+        c.on_switch_restart(SimTime::from_millis(20));
+        assert_eq!(c.report().timeline.len(), len);
     }
 
     #[test]

@@ -1,0 +1,242 @@
+//! A deterministic lossy message channel.
+//!
+//! Models the CMS→switch control path as real clouds see it: messages
+//! can be dropped, duplicated, and delayed by a jittered amount —
+//! and because each message draws its own delay, two messages sent in
+//! order can arrive reordered. All randomness comes from a seeded
+//! [`SplitMix64`] owned by the channel, and delivery order is a total
+//! order on `(deliver_at, send sequence)`, so a channel with the same
+//! seed replays the same fault pattern in every run and under every
+//! fleet worker count.
+
+use pi_core::{SimTime, SplitMix64};
+
+/// Fault parameters for one direction of a control channel.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChannelFaultConfig {
+    /// Probability a message is silently dropped.
+    pub drop_p: f64,
+    /// Probability a delivered message is duplicated (the copy draws
+    /// its own, independent delay — duplicates usually arrive later
+    /// and out of order).
+    pub dup_p: f64,
+    /// Fixed propagation delay added to every message.
+    pub delay: SimTime,
+    /// Maximum extra random delay, uniform in `[0, jitter]`. Any
+    /// nonzero jitter makes reordering possible.
+    pub jitter: SimTime,
+    /// Seed for the channel's private random stream.
+    pub seed: u64,
+}
+
+impl Default for ChannelFaultConfig {
+    fn default() -> Self {
+        ChannelFaultConfig {
+            drop_p: 0.0,
+            dup_p: 0.0,
+            delay: SimTime::ZERO,
+            jitter: SimTime::ZERO,
+            seed: 0xFA17,
+        }
+    }
+}
+
+/// Delivery counters for one channel direction.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChannelStats {
+    /// Messages offered to the channel.
+    pub sent: u64,
+    /// Messages handed out by [`Channel::deliver`].
+    pub delivered: u64,
+    /// Messages dropped in flight.
+    pub dropped: u64,
+    /// Extra copies injected by duplication.
+    pub duplicated: u64,
+}
+
+/// A lossy, delaying, duplicating channel for messages of type `T`.
+///
+/// Not a queue: [`Channel::deliver`] hands out every message whose
+/// delivery time has arrived, sorted by `(deliver_at, send sequence)`.
+#[derive(Debug, Clone)]
+pub struct Channel<T> {
+    cfg: ChannelFaultConfig,
+    rng: SplitMix64,
+    in_flight: Vec<(SimTime, u64, T)>,
+    next_tag: u64,
+    stats: ChannelStats,
+}
+
+impl<T: Clone> Channel<T> {
+    /// A channel with the given fault model.
+    pub fn new(cfg: ChannelFaultConfig) -> Self {
+        Channel {
+            rng: SplitMix64::new(cfg.seed),
+            cfg,
+            in_flight: Vec::new(),
+            next_tag: 0,
+            stats: ChannelStats::default(),
+        }
+    }
+
+    /// A perfect channel: no loss, no delay, no duplication.
+    pub fn perfect() -> Self {
+        Self::new(ChannelFaultConfig::default())
+    }
+
+    fn draw_deliver_at(&mut self, now: SimTime) -> SimTime {
+        let mut at = now + self.cfg.delay;
+        let jitter_ns = self.cfg.jitter.as_nanos();
+        if jitter_ns > 0 {
+            at += SimTime::from_nanos(self.rng.gen_range(jitter_ns + 1));
+        }
+        at
+    }
+
+    fn enqueue(&mut self, deliver_at: SimTime, msg: T) {
+        let tag = self.next_tag;
+        self.next_tag += 1;
+        self.in_flight.push((deliver_at, tag, msg));
+    }
+
+    /// Offers `msg` to the channel at `now`. It may be dropped,
+    /// duplicated, and will arrive after the configured delay+jitter.
+    pub fn send(&mut self, now: SimTime, msg: T) {
+        self.stats.sent += 1;
+        if self.cfg.drop_p > 0.0 && self.rng.gen_bool(self.cfg.drop_p) {
+            self.stats.dropped += 1;
+            return;
+        }
+        let deliver_at = self.draw_deliver_at(now);
+        if self.cfg.dup_p > 0.0 && self.rng.gen_bool(self.cfg.dup_p) {
+            self.stats.duplicated += 1;
+            let dup_at = self.draw_deliver_at(now);
+            self.enqueue(dup_at, msg.clone());
+        }
+        self.enqueue(deliver_at, msg);
+    }
+
+    /// Hands out every message due at `now`, in `(deliver_at, send
+    /// sequence)` order.
+    pub fn deliver(&mut self, now: SimTime) -> Vec<T> {
+        let mut due: Vec<(SimTime, u64, T)> = Vec::new();
+        let mut i = 0;
+        while i < self.in_flight.len() {
+            if self.in_flight[i].0 <= now {
+                due.push(self.in_flight.swap_remove(i));
+            } else {
+                i += 1;
+            }
+        }
+        due.sort_by_key(|(at, tag, _)| (*at, *tag));
+        self.stats.delivered += due.len() as u64;
+        due.into_iter().map(|(_, _, msg)| msg).collect()
+    }
+
+    /// Messages still in flight.
+    pub fn in_flight(&self) -> usize {
+        self.in_flight.len()
+    }
+
+    /// Delivery counters so far.
+    pub fn stats(&self) -> ChannelStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> SimTime {
+        SimTime::from_millis(v)
+    }
+
+    #[test]
+    fn perfect_channel_delivers_in_send_order_immediately() {
+        let mut ch: Channel<u32> = Channel::perfect();
+        ch.send(ms(1), 10);
+        ch.send(ms(1), 20);
+        ch.send(ms(1), 30);
+        assert_eq!(ch.deliver(ms(1)), vec![10, 20, 30]);
+        assert_eq!(ch.deliver(ms(2)), Vec::<u32>::new());
+        let s = ch.stats();
+        assert_eq!((s.sent, s.delivered, s.dropped, s.duplicated), (3, 3, 0, 0));
+    }
+
+    #[test]
+    fn delay_holds_messages_until_due() {
+        let mut ch: Channel<u32> = Channel::new(ChannelFaultConfig {
+            delay: ms(5),
+            ..ChannelFaultConfig::default()
+        });
+        ch.send(ms(0), 1);
+        assert!(ch.deliver(ms(4)).is_empty());
+        assert_eq!(ch.deliver(ms(5)), vec![1]);
+    }
+
+    #[test]
+    fn drops_and_duplicates_are_counted_and_deterministic() {
+        let run = |seed: u64| {
+            let mut ch: Channel<u32> = Channel::new(ChannelFaultConfig {
+                drop_p: 0.3,
+                dup_p: 0.3,
+                delay: ms(1),
+                jitter: ms(4),
+                seed,
+            });
+            for i in 0..200 {
+                ch.send(ms(i), i as u32);
+            }
+            let got = ch.deliver(ms(1000));
+            (got, ch.stats())
+        };
+        let (a, sa) = run(7);
+        let (b, sb) = run(7);
+        assert_eq!(a, b, "same seed, same fault pattern");
+        assert_eq!(sa, sb);
+        assert!(sa.dropped > 0, "{sa:?}");
+        assert!(sa.duplicated > 0, "{sa:?}");
+        assert_eq!(sa.delivered, sa.sent - sa.dropped + sa.duplicated);
+        let (c, _) = run(8);
+        assert_ne!(a, c, "different seed, different pattern");
+    }
+
+    #[test]
+    fn jitter_reorders_messages() {
+        let mut ch: Channel<u32> = Channel::new(ChannelFaultConfig {
+            jitter: ms(50),
+            seed: 3,
+            ..ChannelFaultConfig::default()
+        });
+        for i in 0..50 {
+            ch.send(SimTime::from_micros(i * 10), i as u32);
+        }
+        let got = ch.deliver(ms(1000));
+        assert_eq!(got.len(), 50, "jitter never loses messages");
+        assert!(
+            got.windows(2).any(|w| w[0] > w[1]),
+            "expected at least one reordering: {got:?}"
+        );
+        let mut sorted = got.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn partial_delivery_respects_deadlines() {
+        let mut ch: Channel<u32> = Channel::new(ChannelFaultConfig {
+            delay: ms(2),
+            jitter: ms(6),
+            seed: 11,
+            ..ChannelFaultConfig::default()
+        });
+        for i in 0..20 {
+            ch.send(ms(0), i);
+        }
+        let early = ch.deliver(ms(4));
+        let late = ch.deliver(ms(100));
+        assert_eq!(early.len() + late.len(), 20);
+        assert!(!early.is_empty() && !late.is_empty(), "split expected");
+    }
+}

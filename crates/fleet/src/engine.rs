@@ -23,6 +23,7 @@ use pi_cms::ControlPlaneProgram;
 use pi_core::{Port, SimTime};
 use pi_datapath::{CostModel, DpConfig};
 use pi_detect::DefenseController;
+use pi_fault::{FaultSchedule, ReliabilityConfig, ReliableControlPlane};
 use pi_sim::NodeCell;
 use pi_traffic::TrafficSource;
 
@@ -50,6 +51,8 @@ pub struct FleetBuilder {
     migrations: Vec<MigrationSpec>,
     defenses: Vec<(usize, DefenseController)>,
     control_planes: Vec<(usize, ControlPlaneProgram)>,
+    faults: Vec<(usize, FaultSchedule)>,
+    reliable_controls: Vec<(usize, ControlPlaneProgram, ReliabilityConfig)>,
 }
 
 impl FleetBuilder {
@@ -66,6 +69,8 @@ impl FleetBuilder {
             migrations: Vec::new(),
             defenses: Vec::new(),
             control_planes: Vec::new(),
+            faults: Vec::new(),
+            reliable_controls: Vec::new(),
         }
     }
 
@@ -139,6 +144,30 @@ impl FleetBuilder {
         self.control_planes.push((host, program));
     }
 
+    /// Attaches a fault program to `host`: crash/restart events, host
+    /// stalls and the CMS→switch channel fault model. Faults are
+    /// strictly shard-local state (compiled cursors owned by the
+    /// node), so worker-count determinism is preserved even under
+    /// crashes and reordered control channels. Multiple schedules for
+    /// one host merge.
+    pub fn attach_faults(&mut self, host: usize, schedule: FaultSchedule) {
+        self.faults.push((host, schedule));
+    }
+
+    /// Attaches an at-least-once control plane to `host`: `program`'s
+    /// updates travel through the host's faulty channel (from its
+    /// [`FaultSchedule`], perfect if none) with acks, retry/backoff
+    /// and periodic reconciliation per `cfg`. Multiple programs for
+    /// one host merge; the last `cfg` wins.
+    pub fn attach_reliable_control_plane(
+        &mut self,
+        host: usize,
+        program: ControlPlaneProgram,
+        cfg: ReliabilityConfig,
+    ) {
+        self.reliable_controls.push((host, program, cfg));
+    }
+
     /// Finalises the topology.
     pub fn build(self) -> FleetSim {
         assert!(!self.hosts.is_empty(), "need at least one host");
@@ -181,6 +210,26 @@ impl FleetBuilder {
         }
         for (host, program) in programs {
             nodes[host].attach_control_plane(program.compile());
+        }
+        let mut fault_schedules: HashMap<usize, FaultSchedule> = HashMap::new();
+        for (host, schedule) in self.faults {
+            fault_schedules.entry(host).or_default().merge(schedule);
+        }
+        let mut reliable: HashMap<usize, (ControlPlaneProgram, ReliabilityConfig)> = HashMap::new();
+        for (host, program, rcfg) in self.reliable_controls {
+            let entry = reliable.entry(host).or_default();
+            entry.0.merge(program);
+            entry.1 = rcfg;
+        }
+        for (host, (program, rcfg)) in reliable {
+            // The reliable layer sends through the host's faulty
+            // channel, if its schedule models one.
+            let channel = fault_schedules.get(&host).and_then(|s| s.channel_config());
+            nodes[host]
+                .attach_reliable_control_plane(ReliableControlPlane::new(program, rcfg, channel));
+        }
+        for (host, schedule) in fault_schedules {
+            nodes[host].attach_faults(schedule.compile());
         }
 
         let source_home: Vec<usize> = self.sources.iter().map(|(h, _)| *h).collect();
@@ -429,6 +478,7 @@ impl FleetSim {
 
         FleetReport::assemble(
             workers,
+            sim.tick,
             final_shards
                 .into_iter()
                 .map(|s| s.expect("all shards returned"))

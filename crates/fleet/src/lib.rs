@@ -284,6 +284,91 @@ mod tests {
     }
 
     #[test]
+    fn fault_injection_preserves_worker_count_determinism_on_every_backend() {
+        use pi_backend::BackendKind;
+        use pi_cms::{
+            Cidr, ControlPlaneProgram, IngressRule, NetworkPolicy, PolicyCompiler, Protocol,
+        };
+        use pi_fault::{ChannelFaultConfig, FaultSchedule, ReliabilityConfig};
+
+        let run = |kind: BackendKind, workers: usize| {
+            let dp = DpConfig {
+                backend: kind,
+                ..DpConfig::default()
+            };
+            let mut b = FleetBuilder::new(small_cfg(5, workers));
+            let h0 = b.add_host(dp.clone());
+            let h1 = b.add_host(dp);
+            let victim = ip([10, 0, 0, 2]);
+            b.add_pod(h0, victim);
+            b.add_pod(h1, ip([10, 1, 0, 2]));
+            // The victim whitelists its one legitimate client; the
+            // prober below is outside the whitelist.
+            let policy = NetworkPolicy {
+                name: "victim-peers".into(),
+                ingress: vec![IngressRule {
+                    from: vec![Cidr::host([10, 1, 0, 2])],
+                    ports: vec![(Protocol::Tcp, Some(80))],
+                }],
+            };
+            let mut program = ControlPlaneProgram::default();
+            program.install_acl(
+                SimTime::from_millis(200),
+                victim,
+                PolicyCompiler.compile_k8s(&policy),
+            );
+            // At-least-once delivery over a hostile channel (loss,
+            // duplication, jittered delays → reordering), plus a
+            // mid-run crash that wipes the installed ACL.
+            b.attach_reliable_control_plane(h0, program, ReliabilityConfig::default());
+            b.attach_faults(
+                h0,
+                FaultSchedule::new()
+                    .crash(SimTime::from_secs(2), SimTime::from_millis(100))
+                    .channel(ChannelFaultConfig {
+                        drop_p: 0.25,
+                        dup_p: 0.25,
+                        delay: SimTime::from_millis(2),
+                        jitter: SimTime::from_millis(7),
+                        seed: 0xDE7E12,
+                    }),
+            );
+            let key = FlowKey::tcp([10, 1, 0, 2], [10, 0, 0, 2], 1000, 80);
+            b.add_source(h1, Box::new(CbrSource::new(key, 400, 2_000.0)));
+            let probe = FlowKey::tcp([10, 9, 0, 1], [10, 0, 0, 2], 40_000, 80);
+            b.add_source(h1, Box::new(CbrSource::new(probe, 64, 500.0)));
+            b.build().run()
+        };
+
+        for kind in [
+            BackendKind::OvsCache,
+            BackendKind::ExactHash,
+            BackendKind::LpmTier,
+            BackendKind::NicOffload,
+        ] {
+            let one = run(kind, 1);
+            let many = run(kind, 2);
+            // Totals, switch counters and the fault/recovery report
+            // are bit-identical across worker counts: the fault plan,
+            // channel RNG and reliable-delivery state are all
+            // shard-local.
+            assert_eq!(one.source_totals, many.source_totals, "{kind:?}");
+            assert_eq!(one.switch_stats, many.switch_stats, "{kind:?}");
+            assert_eq!(one.faults, many.faults, "{kind:?}");
+            let f = one.faults[0].as_ref().expect("host 0 has faults");
+            assert_eq!(f.crashes, 1, "{kind:?}");
+            assert!(f.fault_events() >= 1, "{kind:?}: {f:?}");
+            assert!(f.acls_lost >= 1, "{kind:?}: {f:?}");
+            assert!(f.channel.applied >= 1, "{kind:?}: {f:?}");
+            assert!(one.faults[1].is_none(), "host 1 runs fault-free");
+            // The blast radius names host 0's faults.
+            let blast = one.blast_radius(SimTime::from_secs(2), &[0], 0.5, 1e9);
+            assert_eq!(blast.fault_events.len(), 1, "{kind:?}");
+            assert_eq!(blast.fault_events[0].0, 0, "{kind:?}");
+        }
+    }
+
+    #[test]
     fn worker_count_does_not_change_results() {
         let run = |workers: usize| {
             let mut b = FleetBuilder::new(small_cfg(3, workers));

@@ -4,6 +4,7 @@
 use pi_core::SimTime;
 use pi_datapath::{SwitchStats, UpcallStats};
 use pi_detect::{DefenseReport, MaskAttribution};
+use pi_fault::NodeFaultReport;
 use pi_metrics::{degradation_ratio, sum_series, TimeSeries};
 use pi_sim::SourceTotals;
 
@@ -46,6 +47,9 @@ pub struct FleetReport {
     /// Per-host defense-controller reports, `None` for undefended
     /// hosts.
     pub defense: Vec<Option<DefenseReport>>,
+    /// Per-host fault/recovery reports, `None` for hosts with neither
+    /// a fault schedule nor a reliable control plane attached.
+    pub faults: Vec<Option<NodeFaultReport>>,
     /// Final per-destination mask attribution per host — the offender
     /// list, assembled once so benches never re-walk megaflow caches.
     pub attribution: Vec<Vec<MaskAttribution>>,
@@ -78,6 +82,18 @@ pub struct BlastRadius {
     /// Mitigation timeline: defended hosts that escalated to
     /// Mitigating, with the time mitigations were first applied.
     pub mitigations: Vec<(usize, SimTime)>,
+    /// Injected fault events per host (host index, count): crashes,
+    /// stall ticks, control-channel drops/duplicates and deliveries
+    /// lost to switch downtime. Only hosts with a nonzero count.
+    pub fault_events: Vec<(usize, u64)>,
+    /// Ticks each host spent between a crash and reconciliation
+    /// convergence (host index, ticks), summed over recovery episodes.
+    /// Only hosts that actually recovered at least once.
+    pub recovery_ticks: Vec<(usize, u64)>,
+    /// Control-plane retransmissions per host (host index, count) —
+    /// the price of at-least-once delivery over a faulty channel.
+    /// Only hosts with a nonzero count.
+    pub retries: Vec<(usize, u64)>,
 }
 
 impl BlastRadius {
@@ -92,7 +108,7 @@ impl BlastRadius {
 }
 
 impl FleetReport {
-    pub(crate) fn assemble(workers: usize, shards: Vec<HostShard>) -> FleetReport {
+    pub(crate) fn assemble(workers: usize, tick: SimTime, shards: Vec<HostShard>) -> FleetReport {
         let hosts = shards.len();
         let n_sources = shards.iter().map(|s| s.slots.len()).sum();
         let mut throughput: Vec<Option<TimeSeries>> = (0..n_sources).map(|_| None).collect();
@@ -107,8 +123,10 @@ impl FleetReport {
         let mut upcall = Vec::with_capacity(hosts);
         let mut defense = Vec::with_capacity(hosts);
         let mut attribution = Vec::with_capacity(hosts);
+        let mut faults = Vec::with_capacity(hosts);
         for mut shard in shards {
             stats.push(shard.stats());
+            faults.push(shard.node.fault_report(tick));
             upcall.push(shard.node.backend().upcall_stats());
             attribution.push(shard.node.backend().attribution());
             defense.push(shard.node.take_defense_report());
@@ -145,6 +163,7 @@ impl FleetReport {
             upcall_stats: upcall,
             source_totals: totals.into_iter().map(|t| t.expect("source")).collect(),
             defense,
+            faults,
             attribution,
         }
     }
@@ -263,6 +282,33 @@ impl FleetReport {
             .enumerate()
             .filter_map(|(i, d)| Some((i, d.as_ref()?.first_mitigation()?)))
             .collect();
+        let fault_events = self
+            .faults
+            .iter()
+            .enumerate()
+            .filter_map(|(i, f)| {
+                let events = f.as_ref()?.fault_events();
+                (events > 0).then_some((i, events))
+            })
+            .collect();
+        let recovery_ticks = self
+            .faults
+            .iter()
+            .enumerate()
+            .filter_map(|(i, f)| {
+                let ticks = f.as_ref()?.recovery_ticks;
+                (ticks > 0).then_some((i, ticks))
+            })
+            .collect();
+        let retries = self
+            .faults
+            .iter()
+            .enumerate()
+            .filter_map(|(i, f)| {
+                let retries = f.as_ref()?.channel.retries;
+                (retries > 0).then_some((i, retries))
+            })
+            .collect();
         BlastRadius {
             ratios,
             degraded_sources,
@@ -271,6 +317,9 @@ impl FleetReport {
             policy_churn,
             detections,
             mitigations,
+            fault_events,
+            recovery_ticks,
+            retries,
         }
     }
 }
@@ -289,6 +338,9 @@ mod tests {
             policy_churn: vec![],
             detections: vec![],
             mitigations: vec![],
+            fault_events: vec![],
+            recovery_ticks: vec![],
+            retries: vec![],
         };
         assert_eq!(b.degraded_fraction(), 0.0);
     }

@@ -12,6 +12,7 @@ use pi_cms::ControlPlaneProgram;
 use pi_core::{Port, SimTime};
 use pi_datapath::{CostModel, DpConfig, SwitchStats, UpcallStats};
 use pi_detect::{DefenseController, DefenseReport, MaskAttribution};
+use pi_fault::{FaultSchedule, NodeFaultReport, ReliabilityConfig, ReliableControlPlane};
 use pi_metrics::TimeSeries;
 use pi_traffic::{GenPacket, TrafficSource};
 
@@ -46,6 +47,8 @@ pub struct SimBuilder {
     next_vport: Vec<u32>,
     defenses: Vec<(usize, DefenseController)>,
     control_planes: Vec<(usize, ControlPlaneProgram)>,
+    faults: Vec<(usize, FaultSchedule)>,
+    reliable_controls: Vec<(usize, ControlPlaneProgram, ReliabilityConfig)>,
 }
 
 impl SimBuilder {
@@ -61,6 +64,8 @@ impl SimBuilder {
             next_vport: Vec::new(),
             defenses: Vec::new(),
             control_planes: Vec::new(),
+            faults: Vec::new(),
+            reliable_controls: Vec::new(),
         }
     }
 
@@ -115,6 +120,27 @@ impl SimBuilder {
         self.control_planes.push((node, program));
     }
 
+    /// Attaches a fault program to `node`: crash/restart events, host
+    /// stalls and the CMS→switch channel fault model. Multiple
+    /// schedules for one node merge.
+    pub fn attach_faults(&mut self, node: usize, schedule: FaultSchedule) {
+        self.faults.push((node, schedule));
+    }
+
+    /// Attaches an at-least-once control plane to `node`: `program`'s
+    /// updates travel through the node's faulty channel (from its
+    /// [`FaultSchedule`], perfect if none) with acks, retry/backoff and
+    /// periodic reconciliation per `cfg`. Multiple programs for one
+    /// node merge; the last `cfg` wins.
+    pub fn attach_reliable_control_plane(
+        &mut self,
+        node: usize,
+        program: ControlPlaneProgram,
+        cfg: ReliabilityConfig,
+    ) {
+        self.reliable_controls.push((node, program, cfg));
+    }
+
     /// Finalises the topology.
     pub fn build(self) -> Simulation {
         assert!(!self.dp_configs.is_empty(), "need at least one node");
@@ -153,6 +179,26 @@ impl SimBuilder {
         }
         for (node, program) in programs {
             nodes[node].attach_control_plane(program.compile());
+        }
+        let mut fault_schedules: HashMap<usize, FaultSchedule> = HashMap::new();
+        for (node, schedule) in self.faults {
+            fault_schedules.entry(node).or_default().merge(schedule);
+        }
+        let mut reliable: HashMap<usize, (ControlPlaneProgram, ReliabilityConfig)> = HashMap::new();
+        for (node, program, cfg) in self.reliable_controls {
+            let entry = reliable.entry(node).or_default();
+            entry.0.merge(program);
+            entry.1 = cfg;
+        }
+        for (node, (program, cfg)) in reliable {
+            // The reliable layer sends through the node's faulty
+            // channel, if its schedule models one.
+            let channel = fault_schedules.get(&node).and_then(|s| s.channel_config());
+            nodes[node]
+                .attach_reliable_control_plane(ReliableControlPlane::new(program, cfg, channel));
+        }
+        for (node, schedule) in fault_schedules {
+            nodes[node].attach_faults(schedule.compile());
         }
         let sources = self
             .sources
@@ -235,6 +281,9 @@ pub struct SimReport {
     /// Per-node defense-controller reports (detections + state
     /// timeline), `None` for undefended nodes.
     pub defense: Vec<Option<DefenseReport>>,
+    /// Per-node fault/recovery counters, `None` for nodes with neither
+    /// a fault program nor a reliable control plane attached.
+    pub faults: Vec<Option<NodeFaultReport>>,
     /// Final per-destination mask attribution per node — the offender
     /// list, computed once here so benches never re-walk the megaflow
     /// cache themselves.
@@ -416,6 +465,7 @@ impl Simulation {
             switch_stats: nodes.iter().map(|n| n.backend().stats()).collect(),
             upcall_stats: nodes.iter().map(|n| n.backend().upcall_stats()).collect(),
             attribution: nodes.iter().map(|n| n.backend().attribution()).collect(),
+            faults: nodes.iter().map(|n| n.fault_report(cfg.tick)).collect(),
             defense: nodes.iter_mut().map(|n| n.take_defense_report()).collect(),
             source_totals: sources
                 .iter()

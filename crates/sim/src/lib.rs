@@ -27,8 +27,9 @@ pub use config::SimConfig;
 pub use engine::{SimBuilder, SimReport, Simulation, SourceTotals};
 pub use node::{NodeCell, NodePacket, Routing};
 pub use scenario::{
-    adaptive_defense_scenario, fig3_scenario, measure_backend_capacity, measure_capacity,
-    policy_churn_scenario, upcall_saturation_scenario, AdaptiveDefenseHandles,
-    AdaptiveDefenseParams, CapacityReport, CapacityWorkload, DefenseMode, Fig3Params,
-    PolicyChurnHandles, PolicyChurnParams, UpcallSaturationHandles, UpcallSaturationParams,
+    adaptive_defense_scenario, crash_recovery_scenario, fig3_scenario, measure_backend_capacity,
+    measure_capacity, policy_churn_scenario, upcall_saturation_scenario, AdaptiveDefenseHandles,
+    AdaptiveDefenseParams, CapacityReport, CapacityWorkload, CrashRecoveryAttack,
+    CrashRecoveryHandles, CrashRecoveryParams, DefenseMode, Fig3Params, PolicyChurnHandles,
+    PolicyChurnParams, UpcallSaturationHandles, UpcallSaturationParams,
 };

@@ -16,6 +16,7 @@ use pi_cms::{ControlPlane, PolicyUpdate};
 use pi_core::{FlowKey, Port, SimTime};
 use pi_datapath::{CostModel, DpConfig, PathTaken};
 use pi_detect::{DefenseAction, DefenseController, DefenseReport};
+use pi_fault::{ControlChannelStats, FaultPlan, NodeFaultReport, ReliableControlPlane};
 
 /// A packet sitting in a node's ingress queue, tagged with an opaque
 /// source handle `T` (the engine uses its source index; the fleet uses a
@@ -76,6 +77,28 @@ pub struct NodeCell<T> {
     /// so both engines — and any fleet worker count — see the same
     /// updates at the same ticks.
     control: Option<ControlPlane>,
+    /// Optional compiled fault program: crash/restart events and host
+    /// stalls injected at tick boundaries. Shard-local like everything
+    /// else, so fault injection cannot disturb the bit-identical
+    /// worker-count invariant.
+    faults: Option<FaultPlan>,
+    /// Optional at-least-once control-plane layer (acks + retry +
+    /// reconciliation) — the hardened alternative to the fire-and-forget
+    /// `control` driver above.
+    reliable: Option<ReliableControlPlane>,
+    /// While `Some(t)` and `now < t`, the switch process is down:
+    /// nothing is processed, the ingress queue fills, and fire-and-forget
+    /// control-plane updates are consumed and lost.
+    down_until: Option<SimTime>,
+    // Fault bookkeeping (reported via `fault_report`, kept out of
+    // `SwitchStats` so the switch-counter contract is untouched).
+    crashes: u64,
+    stall_ticks: u64,
+    restart_cycles: u64,
+    acls_lost: u64,
+    flows_lost: u64,
+    upcalls_lost: u64,
+    deferred_dropped: u64,
 }
 
 impl<T> NodeCell<T> {
@@ -92,7 +115,67 @@ impl<T> NodeCell<T> {
             deferred: HashMap::new(),
             defense: None,
             control: None,
+            faults: None,
+            reliable: None,
+            down_until: None,
+            crashes: 0,
+            stall_ticks: 0,
+            restart_cycles: 0,
+            acls_lost: 0,
+            flows_lost: 0,
+            upcalls_lost: 0,
+            deferred_dropped: 0,
         }
+    }
+
+    /// Attaches a compiled fault program: its crash and stall events
+    /// fire at tick boundaries during [`NodeCell::step`].
+    pub fn attach_faults(&mut self, plan: FaultPlan) {
+        self.faults = Some(plan);
+    }
+
+    /// Attaches the at-least-once control-plane layer. Its deliveries
+    /// land during [`NodeCell::step`] and are charged against the tick
+    /// budget exactly like the fire-and-forget driver's.
+    pub fn attach_reliable_control_plane(&mut self, rcp: ReliableControlPlane) {
+        self.reliable = Some(rcp);
+    }
+
+    /// The attached reliable control plane, if any.
+    pub fn reliable_control_plane(&self) -> Option<&ReliableControlPlane> {
+        self.reliable.as_ref()
+    }
+
+    /// Whether the switch process is down at `now`.
+    pub fn is_down(&self, now: SimTime) -> bool {
+        self.down_until.is_some_and(|t| now < t)
+    }
+
+    /// The node's fault/recovery counters, present when a fault program
+    /// or a reliable control plane is attached. `tick` converts the
+    /// reliable layer's recovery time into ticks.
+    pub fn fault_report(&self, tick: SimTime) -> Option<NodeFaultReport> {
+        if self.faults.is_none() && self.reliable.is_none() {
+            return None;
+        }
+        let (channel, recovery_ticks) = match &self.reliable {
+            Some(r) => (
+                r.stats(),
+                r.recovery_time().as_nanos() / tick.as_nanos().max(1),
+            ),
+            None => (ControlChannelStats::default(), 0),
+        };
+        Some(NodeFaultReport {
+            crashes: self.crashes,
+            stall_ticks: self.stall_ticks,
+            restart_cycles: self.restart_cycles,
+            acls_lost: self.acls_lost,
+            flows_lost: self.flows_lost,
+            upcalls_lost: self.upcalls_lost,
+            deferred_dropped: self.deferred_dropped,
+            recovery_ticks,
+            channel,
+        })
     }
 
     /// Attaches a compiled control-plane driver: its updates land at
@@ -166,14 +249,84 @@ impl<T> NodeCell<T> {
         cycles_per_tick: u64,
         mut sink: impl FnMut(NodePacket<T>, Routing),
     ) {
-        let mut budget = cycles_per_tick as i64 + self.cycle_carry;
+        // Fault events fire first: a crash wipes the switch's soft
+        // state and starts the blackout window; overlapping stall
+        // windows starve the tick's fresh budget.
+        let mut crashed = false;
+        let mut stalled = false;
+        if let Some(plan) = self.faults.as_mut() {
+            while let Some(c) = plan.next_crash(now) {
+                crashed = true;
+                self.crashes += 1;
+                let back_up = c.at + c.down_for;
+                self.down_until = Some(self.down_until.map_or(back_up, |d| d.max(back_up)));
+            }
+            stalled = plan.stalled(now);
+        }
+        if crashed {
+            let outcome = self.backend.crash_restart();
+            self.acls_lost += outcome.acls_lost as u64;
+            self.flows_lost += outcome.flows_lost as u64;
+            self.upcalls_lost += outcome.upcalls_lost as u64;
+            // The fixed respawn price lands as cycle debt the first
+            // post-restart ticks must repay.
+            let restart = self.backend.cost_model().restart_fixed;
+            self.cycle_carry -= restart as i64;
+            self.restart_cycles += restart;
+            self.window_cycles += restart;
+            // Packets parked awaiting handlers died with the process.
+            // Their keys are gone with the upcall queue; token order
+            // keeps the drain deterministic.
+            let mut tokens: Vec<u64> = self.deferred.keys().copied().collect();
+            tokens.sort_unstable();
+            for token in tokens {
+                let (bytes, source) = self.deferred.remove(&token).expect("token listed");
+                self.deferred_dropped += 1;
+                sink(
+                    NodePacket {
+                        key: FlowKey::default(),
+                        bytes,
+                        source,
+                    },
+                    Routing::UpcallDropped,
+                );
+            }
+            if let Some(d) = &mut self.defense {
+                d.on_switch_restart(now);
+            }
+            if let Some(r) = &mut self.reliable {
+                r.on_switch_crash(now);
+            }
+        }
+        let down = self.is_down(now);
+        if !down {
+            self.down_until = None;
+        }
+        if stalled {
+            self.stall_ticks += 1;
+        }
+        // A stall starves the fresh budget; a blackout window processes
+        // nothing at all. Cycle carry (including restart debt) persists
+        // either way.
+        let fresh = if stalled || down {
+            0
+        } else {
+            cycles_per_tick as i64
+        };
+        let mut budget = fresh + self.cycle_carry;
         // Control-plane updates land first (start-of-tick grid) and
         // consume the same datapath budget packets run under — an
-        // install-triggered flush storm is paid for, not free.
+        // install-triggered flush storm is paid for, not free. While
+        // the switch is down, the fire-and-forget driver's updates are
+        // consumed and silently lost — the hole the reliable layer
+        // below closes.
         if let Some(cp) = &mut self.control {
             let switch = &mut *self.backend;
             let window_cycles = &mut self.window_cycles;
             for scheduled in cp.due(now) {
+                if down {
+                    continue;
+                }
                 let outcome = match &scheduled.update {
                     PolicyUpdate::InstallAcl { ip, table } => {
                         switch.apply_install_acl(*ip, table.clone())
@@ -185,8 +338,30 @@ impl<T> NodeCell<T> {
                 *window_cycles += outcome.cycles;
             }
         }
+        // Reliable control-plane deliveries (acked, deduplicated,
+        // retried), charged like any other control work. Reconciliation
+        // runs at its cadence against the switch's reported state.
+        if let Some(rcp) = &mut self.reliable {
+            let switch = &mut *self.backend;
+            let window_cycles = &mut self.window_cycles;
+            for update in rcp.poll(now, !down) {
+                let outcome = match &update {
+                    PolicyUpdate::InstallAcl { ip, table } => {
+                        switch.apply_install_acl(*ip, table.clone())
+                    }
+                    PolicyUpdate::RemoveAcl { ip } => switch.apply_remove_acl(*ip),
+                    PolicyUpdate::AttachPod { ip, vport } => switch.apply_attach_pod(*ip, *vport),
+                };
+                budget -= outcome.cycles as i64;
+                *window_cycles += outcome.cycles;
+            }
+            if !down && rcp.reconcile_due(now) {
+                let installed = switch.installed_acl_ips();
+                rcp.reconcile(now, &installed);
+            }
+        }
         let mut keys = [FlowKey::default(); BATCH_SIZE];
-        while budget > 0 && !self.queue.is_empty() {
+        while !down && budget > 0 && !self.queue.is_empty() {
             let n = self.queue.len().min(BATCH_SIZE);
             for (slot, pkt) in keys.iter_mut().zip(self.queue.iter()) {
                 *slot = pkt.key;
@@ -219,6 +394,9 @@ impl<T> NodeCell<T> {
             });
         }
         self.cycle_carry = budget.min(0);
+        if down {
+            return;
+        }
 
         // One handler step per tick: resolved upcalls complete their
         // packets' journey through the same sink.
@@ -257,8 +435,12 @@ impl<T> NodeCell<T> {
         self.deferred.len()
     }
 
-    /// Runs the revalidator at the end of a tick.
+    /// Runs the revalidator at the end of a tick (skipped while the
+    /// switch process is down — the revalidator died with it).
     pub fn revalidate(&mut self, next: SimTime) {
+        if self.is_down(next) {
+            return;
+        }
         self.backend.revalidate(next);
     }
 
@@ -297,6 +479,11 @@ impl<T> NodeCell<T> {
     /// switch (no-op without an attached controller). Returns the
     /// actions performed.
     pub fn run_defense(&mut self, now: SimTime) -> Vec<DefenseAction> {
+        if self.is_down(now) {
+            // No switch to observe or actuate while the process is
+            // down; the controller is reset at restart instead.
+            return Vec::new();
+        }
         match &mut self.defense {
             Some(c) => c.step(&mut *self.backend, now),
             None => Vec::new(),
@@ -499,6 +686,116 @@ mod tests {
         n2.step(SimTime::from_millis(1), 1, |_, _| count += 1);
         assert_eq!(count, 0, "budget consumed by the update");
         assert_eq!(n2.queue_len(), 1, "packet waits for the debt to clear");
+    }
+
+    #[test]
+    fn crash_wipes_acls_charges_restart_debt_and_reports() {
+        use pi_classifier::table::whitelist_with_default_deny;
+        use pi_fault::FaultSchedule;
+        let ms = SimTime::from_millis;
+        let pod = u32::from_be_bytes([10, 0, 0, 2]);
+        let mut n = node();
+        n.backend_mut()
+            .install_acl(pod, whitelist_with_default_deny(&[]));
+        n.attach_faults(FaultSchedule::new().crash(ms(5), SimTime::ZERO).compile());
+        // Before the crash the deny-everything ACL holds.
+        n.enqueue(pkt([10, 0, 0, 2]), 10);
+        let mut got = Vec::new();
+        n.step(ms(1), 10_000_000, |_, r| got.push(r));
+        assert_eq!(got, vec![Routing::Denied]);
+        // The crash tick (down_for zero: instant restart): the ACL is
+        // gone, so the same packet now delivers.
+        n.enqueue(pkt([10, 0, 0, 2]), 10);
+        let mut got = Vec::new();
+        n.step(ms(5), 10_000_000, |_, r| got.push(r));
+        assert_eq!(got, vec![Routing::Local(1)], "deny rule vanished");
+        let rep = n.fault_report(ms(1)).expect("fault program attached");
+        assert_eq!(rep.crashes, 1);
+        assert_eq!(rep.acls_lost, 1);
+        assert!(rep.restart_cycles > 0, "respawn price charged");
+        assert_eq!(rep.fault_events(), 1);
+    }
+
+    #[test]
+    fn blackout_queues_packets_and_resumes_after_restart() {
+        use pi_fault::FaultSchedule;
+        let ms = SimTime::from_millis;
+        let mut n = node();
+        n.attach_faults(FaultSchedule::new().crash(ms(2), ms(3)).compile());
+        for t in 2..5u64 {
+            assert!(n.is_down(ms(t)) || t == 2);
+            n.enqueue(pkt([10, 0, 0, 2]), 10);
+            let mut got = 0;
+            n.step(ms(t), 10_000_000, |_, _| got += 1);
+            assert_eq!(got, 0, "nothing processed while down (t = {t})");
+        }
+        assert_eq!(n.queue_len(), 3, "ingress queue kept filling");
+        let mut got = 0;
+        n.step(ms(5), 10_000_000, |_, _| got += 1);
+        assert_eq!(got, 3, "backlog drains once the switch is back");
+        assert!(!n.is_down(ms(5)));
+    }
+
+    #[test]
+    fn stall_starves_the_tick_budget() {
+        use pi_fault::FaultSchedule;
+        let ms = SimTime::from_millis;
+        let mut n = node();
+        n.attach_faults(FaultSchedule::new().stall(ms(1), ms(2)).compile());
+        n.enqueue(pkt([10, 0, 0, 2]), 10);
+        let mut got = 0;
+        n.step(ms(1), 10_000_000, |_, _| got += 1);
+        n.step(ms(2), 10_000_000, |_, _| got += 1);
+        assert_eq!(got, 0, "stalled ticks have no fresh budget");
+        n.step(ms(3), 10_000_000, |_, _| got += 1);
+        assert_eq!(got, 1, "stall over");
+        let rep = n.fault_report(ms(1)).expect("fault program attached");
+        assert_eq!(rep.stall_ticks, 2);
+        assert_eq!(rep.crashes, 0);
+    }
+
+    #[test]
+    fn fire_and_forget_update_dies_in_the_blackout_reliable_survives() {
+        use pi_classifier::table::whitelist_with_default_deny;
+        use pi_cms::ControlPlaneProgram;
+        use pi_fault::{FaultSchedule, ReliabilityConfig, ReliableControlPlane};
+        let ms = SimTime::from_millis;
+        let pod = u32::from_be_bytes([10, 0, 0, 2]);
+        let program = || {
+            let mut p = ControlPlaneProgram::new();
+            p.install_acl(ms(3), pod, whitelist_with_default_deny(&[]));
+            p
+        };
+        let drive = |n: &mut NodeCell<usize>| {
+            for t in 1..=2_000u64 {
+                n.step(ms(t), 10_000_000, |_, _| {});
+                n.revalidate(ms(t + 1));
+            }
+        };
+        // Fire and forget: the install falls due inside the blackout
+        // and is consumed unseen — the deny rule never exists.
+        let mut n = node();
+        n.attach_control_plane(program().compile());
+        n.attach_faults(FaultSchedule::new().crash(ms(2), ms(5)).compile());
+        drive(&mut n);
+        assert!(
+            n.backend().installed_acl_ips().is_empty(),
+            "update silently lost"
+        );
+        // At-least-once: the delivery is discarded while down, but the
+        // unacked update retries until the restarted switch applies it.
+        let mut n = node();
+        n.attach_reliable_control_plane(ReliableControlPlane::new(
+            program(),
+            ReliabilityConfig::default(),
+            None,
+        ));
+        n.attach_faults(FaultSchedule::new().crash(ms(2), ms(5)).compile());
+        drive(&mut n);
+        assert_eq!(n.backend().installed_acl_ips(), vec![pod]);
+        let rep = n.fault_report(ms(1)).expect("reliable layer attached");
+        assert!(rep.channel.applied >= 1);
+        assert!(rep.channel.lost_to_downtime >= 1);
     }
 
     #[test]

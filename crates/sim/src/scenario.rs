@@ -6,6 +6,7 @@ use pi_cms::{Cidr, ControlPlaneProgram, IngressRule, NetworkPolicy, PolicyCompil
 use pi_core::{FlowKey, SimTime};
 use pi_datapath::{BackendKind, CostModel, DpConfig, PipelineMode, UpcallPipelineConfig, VSwitch};
 use pi_detect::{ControllerConfig, DefenseController};
+use pi_fault::{ChannelFaultConfig, FaultSchedule, ReliabilityConfig};
 use pi_traffic::{ChurnSource, FanSource, IperfSource, PoissonFlowSource};
 
 use crate::engine::{SimBuilder, Simulation};
@@ -741,6 +742,297 @@ pub fn policy_churn_scenario(params: &PolicyChurnParams) -> (Simulation, PolicyC
     )
 }
 
+/// Which attack runs alongside the crash/recovery window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashRecoveryAttack {
+    /// No attack: the pure fault/recovery baseline.
+    None,
+    /// The control-plane flap train, timed to start at the crash: every
+    /// re-install competes with the recovery's own control-plane work
+    /// for the same cycle budget.
+    PolicyFlap,
+    /// The unique-destination upcall spray from the crash instant: the
+    /// post-restart cold cache must refill through a monopolised slow
+    /// path.
+    UpcallFlood,
+}
+
+impl CrashRecoveryAttack {
+    /// Stable row label for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            CrashRecoveryAttack::None => "none",
+            CrashRecoveryAttack::PolicyFlap => "policy_flap",
+            CrashRecoveryAttack::UpcallFlood => "upcall_flood",
+        }
+    }
+}
+
+/// Parameters of the crash-recovery scenario.
+#[derive(Debug, Clone)]
+pub struct CrashRecoveryParams {
+    /// Run length.
+    pub duration: SimTime,
+    /// When the CMS program installs the victim's ACL (it is also
+    /// installed at build, so the prober is denied from t = 0; the
+    /// program copy is what reconciliation's desired state replays).
+    pub acl_install_at: SimTime,
+    /// When the unauthorized prober starts (after the ACL landed, so
+    /// every delivered prober packet is a wrong verdict).
+    pub prober_start: SimTime,
+    /// Whether the switch crashes at all (false = the never-crashed
+    /// baseline the verdicts are compared against).
+    pub crash: bool,
+    /// When the switch process dies.
+    pub crash_at: SimTime,
+    /// Blackout before the restart completes.
+    pub down_for: SimTime,
+    /// The attack riding the recovery window.
+    pub attack: CrashRecoveryAttack,
+    /// Interval of the flap train's re-installs.
+    pub flap_period: SimTime,
+    /// Upcall-flood bandwidth, bits/second of 64-B frames.
+    pub attack_bandwidth_bps: f64,
+    /// `Some` = the CMS sends through the at-least-once layer (acks +
+    /// retry + reconciliation); `None` = fire-and-forget delivery, the
+    /// vulnerable baseline.
+    pub reliable: Option<ReliabilityConfig>,
+    /// CMS→switch channel fault model (drops/duplicates/delay), if any.
+    pub channel: Option<ChannelFaultConfig>,
+    /// Whitelisted victim clients (each a /32 rule and a live flow).
+    pub clients: usize,
+    /// Victim aggregate rate, packets/second across all clients.
+    pub victim_pps: f64,
+    /// Victim frame size, bytes.
+    pub victim_frame_bytes: usize,
+    /// Unauthorized prober rate, packets/second.
+    pub prober_pps: f64,
+    /// Which dataplane architecture the node runs.
+    pub backend: BackendKind,
+    /// Datapath CPU budget, cycles/second.
+    pub cpu_cycles_per_sec: u64,
+}
+
+impl Default for CrashRecoveryParams {
+    fn default() -> Self {
+        CrashRecoveryParams {
+            duration: SimTime::from_secs(12),
+            acl_install_at: SimTime::from_millis(500),
+            prober_start: SimTime::from_secs(1),
+            crash: true,
+            crash_at: SimTime::from_secs(4),
+            down_for: SimTime::from_millis(200),
+            attack: CrashRecoveryAttack::PolicyFlap,
+            flap_period: SimTime::from_millis(20),
+            attack_bandwidth_bps: 10e6,
+            reliable: None,
+            channel: None,
+            clients: 256,
+            victim_pps: 20_000.0,
+            victim_frame_bytes: 400,
+            prober_pps: 1_000.0,
+            backend: BackendKind::OvsCache,
+            cpu_cycles_per_sec: SimConfig::default().cpu_cycles_per_sec,
+        }
+    }
+}
+
+/// Source/node indices of the built crash-recovery scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashRecoveryHandles {
+    /// The victim fan source.
+    pub victim_source: usize,
+    /// The unauthorized prober — every packet of it the switch
+    /// *delivers* is a wrong verdict (a vanished deny rule).
+    pub prober_source: usize,
+    /// The upcall-flood source, when that attack is selected.
+    pub attack_source: Option<usize>,
+    /// The single simulated node.
+    pub node: usize,
+    /// The victim pod's IP.
+    pub victim_ip: u32,
+    /// The attacker pod's IP.
+    pub attacker_ip: u32,
+}
+
+/// Builds the crash-recovery experiment: one node hosting a victim
+/// service behind a client-whitelist ACL, an unauthorized prober
+/// hammering that service, and a switch crash mid-run. The crash wipes
+/// every installed ACL (the datapath restarts permissive, as OVS does
+/// until the controller re-pushes flows), so the prober's packets —
+/// denied from t = 0 — suddenly *deliver*: each one is a wrong verdict,
+/// a security hole the report makes countable. Under fire-and-forget
+/// control (`reliable: None`) the hole stays open for the rest of the
+/// run: the install was consumed long ago and nothing ever re-sends it.
+/// The at-least-once layer closes it — reconciliation diffs desired
+/// against installed state and re-pushes the ACL within a bounded
+/// window. The headline cell rides an attack on the recovery:
+/// [`CrashRecoveryAttack::PolicyFlap`] floods the control plane with
+/// re-installs from the crash instant, so the recovery's own updates
+/// compete with the attack's for the same budget.
+pub fn crash_recovery_scenario(params: &CrashRecoveryParams) -> (Simulation, CrashRecoveryHandles) {
+    let cfg = SimConfig {
+        duration: params.duration,
+        cpu_cycles_per_sec: params.cpu_cycles_per_sec,
+        ..SimConfig::default()
+    };
+    // Scoped invalidation throughout: PR 5 settled that ablation — here
+    // the subject is recovery, so the flap must not win by global
+    // flushes alone. The flood variant needs the bounded slow path to
+    // have something to monopolise.
+    let pipeline = match params.attack {
+        CrashRecoveryAttack::UpcallFlood => PipelineMode::Bounded(UpcallPipelineConfig {
+            queue_capacity: 64,
+            handler_cycles_per_step: 400_000,
+            port_quota_per_step: None,
+        }),
+        _ => PipelineMode::Inline,
+    };
+    let dp = DpConfig {
+        scoped_invalidation: true,
+        pipeline,
+        backend: params.backend,
+        ..DpConfig::default()
+    };
+    let mut b = SimBuilder::new(cfg);
+    let node = b.add_node(dp);
+
+    let victim_ip = u32::from_be_bytes([10, 1, 0, 10]);
+    let attacker_ip = u32::from_be_bytes([10, 1, 0, 66]);
+    b.add_pod(node, victim_ip);
+    b.add_pod(node, attacker_ip);
+
+    // The victim's microsegmentation: one /32 whitelist entry per
+    // client peer.
+    assert!(params.clients > 0 && params.clients <= 65_536);
+    let client_ip = |i: usize| [10, 2, (i >> 8) as u8, (i & 0xff) as u8];
+    let victim_policy = NetworkPolicy {
+        name: "victim-peers".into(),
+        ingress: vec![IngressRule {
+            from: (0..params.clients)
+                .map(|i| Cidr::host(client_ip(i)))
+                .collect(),
+            ports: vec![(Protocol::Tcp, Some(5201))],
+        }],
+    };
+    let victim_table = PolicyCompiler.compile_k8s(&victim_policy);
+    b.install_acl(victim_ip, victim_table.clone());
+
+    // Whitelisted clients, sending for the whole run.
+    let victim_keys: Vec<FlowKey> = (0..params.clients)
+        .map(|i| {
+            FlowKey::tcp(
+                client_ip(i),
+                victim_ip.to_be_bytes(),
+                40_000 + (i % 16_000) as u16,
+                5201,
+            )
+        })
+        .collect();
+    let victim_source = b.add_source(
+        node,
+        Box::new(
+            FanSource::new(victim_keys, params.victim_frame_bytes, params.victim_pps)
+                .named("victim"),
+        ),
+    );
+
+    // The unauthorized prober: a peer outside the whitelist, starting
+    // after the ACL landed. In a healthy run its delivered count is
+    // exactly zero.
+    let prober_keys = vec![FlowKey::tcp(
+        [10, 9, 0, 1],
+        victim_ip.to_be_bytes(),
+        40_000,
+        5201,
+    )];
+    let prober_source = b.add_source(
+        node,
+        Box::new(
+            FanSource::new(prober_keys, 64, params.prober_pps)
+                .starting_at(params.prober_start)
+                .named("prober"),
+        ),
+    );
+
+    // The attacker's own innocuous ACL, installed at build like any
+    // tenant policy.
+    let attacker_policy = NetworkPolicy {
+        name: "attacker-web".into(),
+        ingress: vec![IngressRule {
+            from: vec![Cidr::new(u32::from_be_bytes([10, 0, 0, 0]), 8).unwrap()],
+            ports: vec![(Protocol::Tcp, Some(8080))],
+        }],
+    };
+    let attacker_table = PolicyCompiler.compile_k8s(&attacker_policy);
+    b.install_acl(attacker_ip, attacker_table.clone());
+
+    // Everything the CMS sends travels one path: the victim's program
+    // install, and — for the flap attack — the attacker's re-install
+    // train (the CMS retries tenants' updates indiscriminately).
+    let mut program = ControlPlaneProgram::new();
+    program.install_acl(params.acl_install_at, victim_ip, victim_table);
+    // The attacker's ACL is desired state too: were it absent from the
+    // program, reconciliation would strip the build-time install as
+    // unknown (and, under the flap, oscillate against the re-install
+    // train).
+    program.install_acl(params.acl_install_at, attacker_ip, attacker_table.clone());
+    if params.attack == CrashRecoveryAttack::PolicyFlap {
+        program.merge(AttackSchedule::policy_flap(
+            attacker_ip,
+            &attacker_table,
+            params.crash_at,
+            params.duration,
+            params.flap_period,
+        ));
+    }
+    match &params.reliable {
+        Some(rcfg) => b.attach_reliable_control_plane(node, program, *rcfg),
+        None => b.attach_control_plane(node, program),
+    }
+
+    // The upcall-flood variant sprays from the crash instant.
+    let attack_source = (params.attack == CrashRecoveryAttack::UpcallFlood).then(|| {
+        let spec = AttackSpec::masks_512(pi_cms::PolicyDialect::Kubernetes);
+        b.add_source(
+            node,
+            Box::new(
+                AttackSchedule::new(
+                    CovertSequence::new(spec.build_target(attacker_ip)),
+                    params.attack_bandwidth_bps,
+                    params.crash_at,
+                )
+                .upcall_flood(),
+            ),
+        )
+    });
+
+    // The fault program: the crash, plus the channel fault model the
+    // reliable layer (if any) sends through.
+    let mut faults = FaultSchedule::new();
+    if params.crash {
+        faults = faults.crash(params.crash_at, params.down_for);
+    }
+    if let Some(ch) = params.channel {
+        faults = faults.channel(ch);
+    }
+    if !faults.is_empty() {
+        b.attach_faults(node, faults);
+    }
+
+    (
+        b.build(),
+        CrashRecoveryHandles {
+            victim_source,
+            prober_source,
+            attack_source,
+            node,
+            victim_ip,
+            attacker_ip,
+        },
+    )
+}
+
 /// Peak-capacity measurement (E3/E4): how many packets/second one
 /// datapath core sustains as a function of the injected mask count.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -1131,6 +1423,61 @@ mod tests {
         assert!(
             churn_edges.iter().all(|e| e.at >= params.attack_start),
             "benign-phase churn must not alarm: {churn_edges:?}"
+        );
+    }
+
+    #[test]
+    fn crash_opens_a_verdict_hole_and_reliable_delivery_closes_it() {
+        let run = |crash: bool, reliable: Option<ReliabilityConfig>| {
+            let params = CrashRecoveryParams {
+                duration: SimTime::from_secs(8),
+                crash_at: SimTime::from_secs(3),
+                crash,
+                reliable,
+                ..Default::default()
+            };
+            let (sim, h) = crash_recovery_scenario(&params);
+            (sim.run(), h)
+        };
+
+        // Never crashed: the deny rule holds for the whole run.
+        let (report, h) = run(false, None);
+        assert_eq!(
+            report.source_totals[h.prober_source].delivered, 0,
+            "healthy run has zero wrong verdicts"
+        );
+        assert!(report.faults[h.node].is_none(), "no fault program");
+
+        // Crash + fire-and-forget: the install was consumed long ago,
+        // nothing re-sends it — the hole stays open to the end.
+        let (report, h) = run(true, None);
+        let wrong_off = report.source_totals[h.prober_source].delivered;
+        assert!(wrong_off > 3_000, "hole stays open: {wrong_off}");
+        let faults = report.faults[h.node].as_ref().expect("fault report");
+        assert_eq!(faults.crashes, 1);
+        assert!(faults.acls_lost >= 2, "victim + attacker ACLs wiped");
+
+        // Crash + at-least-once: reconciliation re-pushes the ACL
+        // within a bounded window, even with the flap riding recovery.
+        let (report, h) = run(true, Some(ReliabilityConfig::default()));
+        let wrong_on = report.source_totals[h.prober_source].delivered;
+        assert!(
+            wrong_on < wrong_off / 5,
+            "reconciliation bounds the hole: {wrong_on} vs {wrong_off}"
+        );
+        let faults = report.faults[h.node].as_ref().expect("fault report");
+        assert!(faults.channel.reconcile_pushes >= 1);
+        assert!(faults.recovery_ticks > 0, "a recovery episode closed");
+        assert!(
+            faults.recovery_ticks <= 1_500,
+            "bounded convergence: {} ticks",
+            faults.recovery_ticks
+        );
+        // The victim's own traffic rides out the blackout in the queue.
+        let victim = &report.source_totals[h.victim_source];
+        assert!(
+            victim.delivered * 10 >= victim.generated * 9,
+            "victim retains ≥90%: {victim:?}"
         );
     }
 

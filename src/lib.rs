@@ -23,6 +23,7 @@
 //! | [`pi_attack`] | malicious ACLs, mask prediction, covert sequences, pacing |
 //! | [`pi_mitigation`] | mask budgets, OVS heuristics, cache-less datapath, detection |
 //! | [`pi_detect`] | telemetry taps, streaming detectors, closed-loop adaptive defense |
+//! | [`pi_fault`] | deterministic fault injection, lossy control channels, at-least-once delivery + reconciliation |
 //! | [`pi_metrics`] | time series, histograms, CSV, ASCII plots |
 //! | [`pi_sim`] | the discrete-time two-node testbed of the paper's Fig. 1 |
 //! | [`pi_fleet`] | sharded multi-host cluster simulator with parallel per-host workers |
@@ -60,6 +61,7 @@ pub use pi_cms;
 pub use pi_core;
 pub use pi_datapath;
 pub use pi_detect;
+pub use pi_fault;
 pub use pi_fleet;
 pub use pi_metrics;
 pub use pi_mitigation;
@@ -87,6 +89,9 @@ pub mod prelude {
         ControllerConfig, DefenseController, DefenseReport, DefenseState, DetectionEvent,
         DetectorConfig, TelemetryTap,
     };
+    pub use pi_fault::{
+        ChannelFaultConfig, FaultSchedule, NodeFaultReport, ReliabilityConfig, ReliableControlPlane,
+    };
     pub use pi_fleet::{
         fleet_colocation, fleet_migration, BlastRadius, ClusterBuilder, ColocationParams,
         FleetBuilder, FleetConfig, FleetReport, MigrationParams,
@@ -94,10 +99,11 @@ pub mod prelude {
     pub use pi_metrics::{ascii_plot, CsvTable, Summary, TimeSeries};
     pub use pi_mitigation::{upcall_fair_share_config, CompiledAcl, MaskBudget};
     pub use pi_sim::{
-        adaptive_defense_scenario, fig3_scenario, measure_backend_capacity, measure_capacity,
-        policy_churn_scenario, upcall_saturation_scenario, AdaptiveDefenseParams, CapacityWorkload,
-        DefenseMode, Fig3Params, PolicyChurnParams, SimBuilder, SimConfig, SimReport,
-        UpcallSaturationParams,
+        adaptive_defense_scenario, crash_recovery_scenario, fig3_scenario,
+        measure_backend_capacity, measure_capacity, policy_churn_scenario,
+        upcall_saturation_scenario, AdaptiveDefenseParams, CapacityWorkload, CrashRecoveryAttack,
+        CrashRecoveryParams, DefenseMode, Fig3Params, PolicyChurnParams, SimBuilder, SimConfig,
+        SimReport, UpcallSaturationParams,
     };
     pub use pi_traffic::{
         CbrSource, ChurnSource, FanSource, IperfSource, PoissonFlowSource, TrafficSource,
