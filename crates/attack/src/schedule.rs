@@ -268,6 +268,10 @@ impl TrafficSource for AttackSchedule {
     fn label(&self) -> &str {
         &self.label
     }
+
+    fn next_activity(&self, from: SimTime) -> SimTime {
+        from.max(self.start)
+    }
 }
 
 #[cfg(test)]

@@ -105,6 +105,18 @@ pub trait DataplaneBackend: std::fmt::Debug + Send {
     /// table aging). Call once per simulated tick.
     fn revalidate(&mut self, now: SimTime);
 
+    /// The next instant at which this backend performs observable
+    /// background work on its own (a deferred-pipeline handler step or
+    /// a maintenance sweep over live state), assuming no new packets or
+    /// policy updates arrive. `Some(now)` means "busy right now";
+    /// `None` means fully quiescent — `drain_upcalls` and `revalidate`
+    /// calls strictly before the returned time are provable no-ops, so
+    /// the event-driven engines may skip those ticks entirely. The
+    /// conservative default never skips.
+    fn next_background_event(&self, now: SimTime) -> Option<SimTime> {
+        Some(now)
+    }
+
     // --- Telemetry (the `pi_detect` tap surface) --------------------
 
     /// Aggregate statistics so far.

@@ -258,6 +258,10 @@ impl DataplaneBackend for LpmTier {
         // Stateless: nothing to age or revalidate.
     }
 
+    fn next_background_event(&self, _now: SimTime) -> Option<SimTime> {
+        None // run-to-completion and stateless: never busy on its own
+    }
+
     fn stats(&self) -> SwitchStats {
         self.stats
     }

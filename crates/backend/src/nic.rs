@@ -306,6 +306,14 @@ impl DataplaneBackend for NicOffload {
             .retain(|_, (_, last_used, _)| *last_used + idle_timeout > now);
     }
 
+    fn next_background_event(&self, _now: SimTime) -> Option<SimTime> {
+        if self.table.is_empty() {
+            None // empty sweeps are no-ops; the deadline self-corrects
+        } else {
+            Some(self.next_sweep)
+        }
+    }
+
     fn stats(&self) -> SwitchStats {
         self.stats
     }

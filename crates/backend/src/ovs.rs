@@ -73,6 +73,10 @@ impl DataplaneBackend for VSwitch {
         VSwitch::revalidate(self, now);
     }
 
+    fn next_background_event(&self, now: SimTime) -> Option<SimTime> {
+        VSwitch::next_background_event(self, now)
+    }
+
     fn stats(&self) -> SwitchStats {
         VSwitch::stats(self)
     }

@@ -33,6 +33,17 @@ fn find_row<'a>(rows: &'a [String], key: &str, value: &str) -> Option<&'a String
     rows.iter().find(|r| r.contains(&needle))
 }
 
+/// Finds the row containing every `"key": value` pair. Values are
+/// matched as rendered, so string values must be passed pre-quoted
+/// (`"\"event\""`) while numbers and bools go bare (`"8"`, `"false"`).
+fn find_where<'a>(rows: &'a [String], preds: &[(&str, &str)]) -> Option<&'a String> {
+    rows.iter().find(|r| {
+        preds
+            .iter()
+            .all(|(k, v)| r.contains(&format!("\"{k}\": {v}")))
+    })
+}
+
 struct Gate {
     failures: Vec<String>,
     checked: usize,
@@ -135,10 +146,172 @@ fn check_policy(gate: &mut Gate) {
     );
 }
 
+fn check_backends(gate: &mut Gate) {
+    let Some(rows) = gate.load("BENCH_backends.json") else {
+        return;
+    };
+    let cell = |backend: &str, attack: &str, defended: &str| {
+        find_where(
+            &rows,
+            &[
+                ("backend", &format!("\"{backend}\"")),
+                ("attack", &format!("\"{attack}\"")),
+                ("defended", defended),
+            ],
+        )
+    };
+    let (Some(churn_open), Some(flood_def), Some(exact_churn)) = (
+        cell("ovs_cache", "tuple_space_churn", "false"),
+        cell("ovs_cache", "upcall_flood", "true"),
+        cell("exact_hash", "tuple_space_churn", "false"),
+    ) else {
+        gate.check("backends: headline cells present", false);
+        return;
+    };
+    gate.check(
+        "backends: churn collapses the undefended tuple-space cache (< 0.01)",
+        num(churn_open, "retained").unwrap_or(1.0) < 0.01,
+    );
+    gate.check(
+        "backends: fair-share quota defeats the upcall flood (>= 0.99)",
+        num(flood_def, "retained").unwrap_or(0.0) >= 0.99,
+    );
+    gate.check(
+        "backends: exact-hash is immune to churn by construction (>= 0.99)",
+        num(exact_churn, "retained").unwrap_or(0.0) >= 0.99,
+    );
+}
+
+fn check_detect(gate: &mut Gate) {
+    let Some(rows) = gate.load("BENCH_detect.json") else {
+        return;
+    };
+    let mode = |v| find_row(&rows, "mode", v);
+    let (Some(none), Some(stat), Some(adaptive)) =
+        (mode("none"), mode("static_fair_share"), mode("adaptive"))
+    else {
+        gate.check("detect: headline cells present", false);
+        return;
+    };
+    gate.check(
+        "detect: undefended victim never recovers (ratio == 0)",
+        num(none, "recovery_ratio") == Some(0.0),
+    );
+    gate.check(
+        "detect: static fair share recovers fully (ratio >= 1)",
+        num(stat, "recovery_ratio").unwrap_or(0.0) >= 1.0,
+    );
+    gate.check(
+        "detect: adaptive detects within one control interval (100 ms)",
+        num(adaptive, "time_to_detect_ms") == Some(100.0),
+    );
+    gate.check(
+        "detect: adaptive recovers fully with no benign activations",
+        num(adaptive, "recovery_ratio").unwrap_or(0.0) >= 1.0
+            && num(adaptive, "benign_activations") == Some(0.0),
+    );
+}
+
+fn check_hotpath(gate: &mut Gate) {
+    let Some(rows) = gate.load("BENCH_hotpath.json") else {
+        return;
+    };
+    let variant = |v: &str| find_where(&rows, &[("variant", &format!("\"{v}\"")), ("hosts", "8")]);
+    let (Some(base), Some(flat)) = (variant("baseline_hashmap"), variant("flat_onepass")) else {
+        gate.check("hotpath: headline cells present", false);
+        return;
+    };
+    let base_pps = num(base, "pps").unwrap_or(f64::MAX);
+    let flat_pps = num(flat, "pps").unwrap_or(0.0);
+    gate.check(
+        "hotpath: one-pass flat table beats the hashmap baseline (>= 2x at 8 hosts)",
+        flat_pps >= 2.0 * base_pps,
+    );
+    gate.check(
+        "hotpath: the rewrite did not change the work (same switch_packets)",
+        num(base, "switch_packets").is_some()
+            && num(base, "switch_packets") == num(flat, "switch_packets"),
+    );
+}
+
+fn check_upcall(gate: &mut Gate) {
+    let Some(rows) = gate.load("BENCH_upcall.json") else {
+        return;
+    };
+    let mode = |v| find_row(&rows, "mode", v);
+    let (Some(inline), Some(bounded), Some(fair)) =
+        (mode("inline"), mode("bounded"), mode("fair_share"))
+    else {
+        gate.check("upcall: headline cells present", false);
+        return;
+    };
+    gate.check(
+        "upcall: inline pipeline never drops the victim",
+        num(inline, "victim_drop_rate") == Some(0.0),
+    );
+    gate.check(
+        "upcall: bounded pipeline starves the victim (> 0.9 drop rate)",
+        num(bounded, "victim_drop_rate").unwrap_or(0.0) > 0.9,
+    );
+    gate.check(
+        "upcall: fair-share quota restores the victim (0 drop rate)",
+        num(fair, "victim_drop_rate") == Some(0.0),
+    );
+}
+
+fn check_fleet(gate: &mut Gate) {
+    let Some(rows) = gate.load("BENCH_fleet.json") else {
+        return;
+    };
+    let sparse = |engine: &str| {
+        find_where(
+            &rows,
+            &[
+                ("scenario", "\"fleet_sparse\""),
+                ("engine", &format!("\"{engine}\"")),
+            ],
+        )
+    };
+    let (Some(stepped), Some(event)) = (sparse("stepped"), sparse("event")) else {
+        gate.check("fleet: sparse cells present", false);
+        return;
+    };
+    gate.check(
+        "fleet: event engine >= 5x on the idle-heavy sparse fleet",
+        num(event, "speedup").unwrap_or(0.0) >= 5.0,
+    );
+    gate.check(
+        "fleet: the stepped reference never skips",
+        num(stepped, "ticks_skipped") == Some(0.0),
+    );
+    gate.check(
+        "fleet: the event engine actually skips",
+        num(event, "ticks_skipped").unwrap_or(0.0) > 0.0,
+    );
+    gate.check(
+        "fleet: both engines agree on the work done (events_processed)",
+        num(stepped, "events_processed").is_some()
+            && num(stepped, "events_processed") == num(event, "events_processed"),
+    );
+    gate.check(
+        "fleet: dense colocation cells present on the event engine",
+        find_where(
+            &rows,
+            &[("scenario", "\"fleet_colocation\""), ("hosts", "8")],
+        )
+        .is_some(),
+    );
+}
+
 fn main() {
     let mut gate = Gate::new();
     check_fault(&mut gate);
     check_policy(&mut gate);
+    check_backends(&mut gate);
+    check_detect(&mut gate);
+    check_hotpath(&mut gate);
+    check_upcall(&mut gate);
+    check_fleet(&mut gate);
     println!(
         "\nbench_check: {}/{} checks passed",
         gate.checked - gate.failures.len(),

@@ -1,31 +1,53 @@
 //! `fleet_scaling` — does the sharded cluster simulator actually scale?
 //!
-//! Sweeps host count × worker threads over the `fleet_colocation`
-//! scenario (every host under active policy injection), measuring wall
-//! time and aggregate switch packets/second. Each cell runs through
+//! Two sections, one artefact:
+//!
+//! 1. **Dense scaling** — sweeps host count × worker threads over the
+//!    `fleet_colocation` scenario (every host under active policy
+//!    injection), measuring wall time and aggregate switch
+//!    packets/second. Rows record the hot-path counters — mean subtable
+//!    probes per packet and the EMC hit rate — so a throughput
+//!    regression is attributable to a pipeline level, not just
+//!    observed.
+//! 2. **Sparse skipping** — runs `fleet_sparse` (a 128-host fleet where
+//!    only 4 hosts see traffic) on the tick-stepped reference and the
+//!    event-driven engine, same build, and reports the wall-clock
+//!    ratio. This is the event core's headline number: the stepped
+//!    engine walks every idle host every tick, the event engine skips
+//!    them wholesale.
+//!
+//! Every row records `events_processed` (identical across engines and
+//! worker counts — the work is the same, only the visiting order
+//! differs) and `ticks_skipped` (zero for the stepped engine, the whole
+//! point for the event engine). Each cell runs through
 //! `pi_bench::stopwatch::sample` (warm-up + repeated timed runs, median
-//! and p95 reported) rather than a single wall-clock sample. Rows also
-//! record the hot-path counters — mean subtable probes per packet and
-//! the EMC hit rate — so a throughput regression is attributable to a
-//! pipeline level, not just observed.
+//! and p95 reported) rather than a single wall-clock sample.
 //!
 //! Writes `BENCH_fleet.json` (path overridable via `PI_BENCH_FLEET_OUT`)
-//! plus a CSV under `results/`, and prints an aligned table. Knobs:
-//! `PI_FLEET_BENCH_SECS` (simulated seconds per cell, default 4),
+//! plus a CSV under `results/`, and prints aligned tables. Knobs:
+//! `PI_FLEET_BENCH_SECS` (simulated seconds per dense cell, default 4),
+//! `PI_FLEET_SPARSE_SECS` (simulated seconds per sparse cell, default
+//! 10), `PI_FLEET_SPARSE_HOSTS` (sparse fleet size, default 128),
 //! `PI_FLEET_BENCH_REPEATS` (timed repeats, default 3),
-//! `PI_FLEET_BENCH_WARMUP` (warm-up runs, default 1).
+//! `PI_FLEET_BENCH_WARMUP` (warm-up runs, default 1). `--smoke` shrinks
+//! everything for CI: tiny cells, one repeat, and a hard assert that
+//! the event engine actually skipped ticks.
 //!
-//! The workspace acceptance bar: ≥ 2× aggregate packets/sec going from
-//! 1 to 4 workers on the 8-host topology (needs ≥ 4 physical cores).
+//! The workspace acceptance bars: ≥ 2× aggregate packets/sec going from
+//! 1 to 4 workers on the 8-host topology (needs ≥ 4 physical cores),
+//! and ≥ 5× median wall-clock going stepped → event on the sparse
+//! fleet (single worker, any machine).
 
 use std::time::Instant;
 
 use pi_bench::report::{Fields, Report};
 use pi_bench::stopwatch::{sample, SampleStats};
-use pi_fleet::fleet_colocation;
+use pi_fleet::{fleet_colocation, fleet_sparse, EngineStats, SparseParams};
 use pi_metrics::CsvTable;
 
 struct Row {
+    scenario: &'static str,
+    engine: &'static str,
     hosts: usize,
     workers: usize,
     stats: SampleStats,
@@ -34,6 +56,7 @@ struct Row {
     speedup: f64,
     avg_probes: f64,
     emc_hit_rate: f64,
+    engine_stats: EngineStats,
 }
 
 fn env_u64(name: &str, default: u64) -> u64 {
@@ -49,16 +72,24 @@ struct Cell {
     workers: usize,
     avg_probes: f64,
     emc_hit_rate: f64,
+    engine_stats: EngineStats,
 }
 
-/// Measures one (hosts, workers) cell: warm-up + repeated timed runs.
-/// The engine clamps the configured worker count to the host count; the
-/// clamped value is returned.
-fn run_cell(hosts: usize, workers: usize, duration_secs: u64, warmup: u32, repeats: u32) -> Cell {
+/// Measures one dense (hosts, workers) cell: warm-up + repeated timed
+/// runs. The engine clamps the configured worker count to the host
+/// count; the clamped value is returned.
+fn run_dense_cell(
+    hosts: usize,
+    workers: usize,
+    duration_secs: u64,
+    warmup: u32,
+    repeats: u32,
+) -> Cell {
     let mut switch_packets = 0u64;
     let mut used_workers = workers;
     let mut avg_probes = 0.0;
     let mut emc_hit_rate = 0.0;
+    let mut engine_stats = EngineStats::default();
     let stats = sample(warmup, repeats, || {
         let (sim, _handles) =
             fleet_colocation(&pi_bench::colocation_cell(hosts, workers, duration_secs));
@@ -70,6 +101,7 @@ fn run_cell(hosts: usize, workers: usize, duration_secs: u64, warmup: u32, repea
         used_workers = report.workers;
         avg_probes = total.avg_probes();
         emc_hit_rate = total.emc_hit_rate();
+        engine_stats = report.engine;
         wall
     });
     Cell {
@@ -78,22 +110,103 @@ fn run_cell(hosts: usize, workers: usize, duration_secs: u64, warmup: u32, repea
         workers: used_workers,
         avg_probes,
         emc_hit_rate,
+        engine_stats,
     }
 }
 
+/// Measures one sparse cell on the chosen engine.
+fn run_sparse_cell(
+    hosts: usize,
+    duration_secs: u64,
+    event_driven: bool,
+    warmup: u32,
+    repeats: u32,
+) -> Cell {
+    let mut switch_packets = 0u64;
+    let mut used_workers = 1;
+    let mut avg_probes = 0.0;
+    let mut emc_hit_rate = 0.0;
+    let mut engine_stats = EngineStats::default();
+    let stats = sample(warmup, repeats, || {
+        let (sim, _handles) = fleet_sparse(&SparseParams {
+            hosts,
+            duration: pi_core::SimTime::from_secs(duration_secs),
+            event_driven,
+            ..Default::default()
+        });
+        let start = Instant::now();
+        let report = sim.run();
+        let wall = start.elapsed();
+        let total = report.total_switch_stats();
+        switch_packets = total.packets;
+        used_workers = report.workers;
+        avg_probes = total.avg_probes();
+        emc_hit_rate = total.emc_hit_rate();
+        engine_stats = report.engine;
+        wall
+    });
+    Cell {
+        stats,
+        switch_packets,
+        workers: used_workers,
+        avg_probes,
+        emc_hit_rate,
+        engine_stats,
+    }
+}
+
+fn print_header() {
+    println!(
+        "{:>14} {:>8} {:>6} {:>8} {:>10} {:>10} {:>14} {:>12} {:>9} {:>13} {:>13}",
+        "scenario",
+        "engine",
+        "hosts",
+        "workers",
+        "median_s",
+        "p95_s",
+        "switch_pkts",
+        "pps",
+        "speedup",
+        "events",
+        "ticks_skipped"
+    );
+}
+
+fn print_row(r: &Row) {
+    println!(
+        "{:>14} {:>8} {:>6} {:>8} {:>10.3} {:>10.3} {:>14} {:>12.0} {:>8.2}x {:>13} {:>13}",
+        r.scenario,
+        r.engine,
+        r.hosts,
+        r.workers,
+        r.stats.median_secs,
+        r.stats.p95_secs,
+        r.switch_packets,
+        r.pps,
+        r.speedup,
+        r.engine_stats.events_processed,
+        r.engine_stats.shard_ticks_skipped
+    );
+}
+
 fn main() {
-    let duration_secs = env_u64("PI_FLEET_BENCH_SECS", 4);
-    let repeats = env_u64("PI_FLEET_BENCH_REPEATS", 3) as u32;
-    let warmup = env_u64("PI_FLEET_BENCH_WARMUP", 1) as u32;
-    let host_counts = [2usize, 4, 8];
-    let worker_counts = [1usize, 2, 4];
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let duration_secs = env_u64("PI_FLEET_BENCH_SECS", if smoke { 1 } else { 4 });
+    let sparse_secs = env_u64("PI_FLEET_SPARSE_SECS", if smoke { 2 } else { 10 });
+    let sparse_hosts = env_u64("PI_FLEET_SPARSE_HOSTS", if smoke { 16 } else { 128 }) as usize;
+    let repeats = env_u64("PI_FLEET_BENCH_REPEATS", if smoke { 1 } else { 3 }) as u32;
+    let warmup = env_u64("PI_FLEET_BENCH_WARMUP", if smoke { 0 } else { 1 }) as u32;
+    let host_counts: &[usize] = if smoke { &[2, 4] } else { &[2, 4, 8] };
+    let worker_counts: &[usize] = if smoke { &[1, 2] } else { &[1, 2, 4] };
     let cores = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
 
     println!(
-        "fleet_scaling: {duration_secs} simulated seconds per cell, \
-         {warmup} warm-up + {repeats} timed repeats, {cores} CPU core(s)"
+        "fleet_scaling{}: {duration_secs} simulated seconds per dense cell, \
+         {sparse_secs} s × {sparse_hosts} hosts sparse, \
+         {warmup} warm-up + {repeats} timed repeats, {cores} CPU core(s)",
+        if smoke { " (smoke)" } else { "" }
     );
     if cores < 4 {
         println!(
@@ -102,47 +215,28 @@ fn main() {
         );
     }
     println!();
-    println!(
-        "{:>6} {:>8} {:>12} {:>12} {:>16} {:>14} {:>10} {:>11} {:>13}",
-        "hosts",
-        "workers",
-        "median_s",
-        "p95_s",
-        "switch_packets",
-        "pps",
-        "speedup",
-        "avg_probes",
-        "emc_hit_rate"
-    );
+    print_header();
 
     let mut rows: Vec<Row> = Vec::new();
-    for &hosts in &host_counts {
+
+    // Section 1: dense scaling (colocation, event engine — the default).
+    for &hosts in host_counts {
         let mut base_pps = 0.0;
-        for &requested in &worker_counts {
+        for &requested in worker_counts {
             // The engine clamps workers to the host count; skip requests
             // that would just re-measure an already-recorded cell.
             if requested > hosts {
                 continue;
             }
-            let cell = run_cell(hosts, requested, duration_secs, warmup, repeats);
+            let cell = run_dense_cell(hosts, requested, duration_secs, warmup, repeats);
             let pps = cell.switch_packets as f64 / cell.stats.median_secs;
             if cell.workers == 1 {
                 base_pps = pps;
             }
             let speedup = if base_pps > 0.0 { pps / base_pps } else { 1.0 };
-            println!(
-                "{:>6} {:>8} {:>12.3} {:>12.3} {:>16} {:>14.0} {:>9.2}x {:>11.2} {:>13.4}",
-                hosts,
-                cell.workers,
-                cell.stats.median_secs,
-                cell.stats.p95_secs,
-                cell.switch_packets,
-                pps,
-                speedup,
-                cell.avg_probes,
-                cell.emc_hit_rate
-            );
-            rows.push(Row {
+            let row = Row {
+                scenario: "fleet_colocation",
+                engine: "event",
                 hosts,
                 workers: cell.workers,
                 stats: cell.stats,
@@ -151,12 +245,65 @@ fn main() {
                 speedup,
                 avg_probes: cell.avg_probes,
                 emc_hit_rate: cell.emc_hit_rate,
-            });
+                engine_stats: cell.engine_stats,
+            };
+            print_row(&row);
+            rows.push(row);
         }
     }
 
+    // Section 2: sparse skipping — stepped reference vs event engine on
+    // the identical build, single worker.
+    let mut stepped_median = 0.0;
+    let mut sparse_speedup = 1.0;
+    for &(engine, event_driven) in &[("stepped", false), ("event", true)] {
+        let cell = run_sparse_cell(sparse_hosts, sparse_secs, event_driven, warmup, repeats);
+        let pps = cell.switch_packets as f64 / cell.stats.median_secs;
+        if !event_driven {
+            stepped_median = cell.stats.median_secs;
+        } else if cell.stats.median_secs > 0.0 {
+            sparse_speedup = stepped_median / cell.stats.median_secs;
+        }
+        let row = Row {
+            scenario: "fleet_sparse",
+            engine,
+            hosts: sparse_hosts,
+            workers: cell.workers,
+            stats: cell.stats,
+            switch_packets: cell.switch_packets,
+            pps,
+            speedup: if event_driven { sparse_speedup } else { 1.0 },
+            avg_probes: cell.avg_probes,
+            emc_hit_rate: cell.emc_hit_rate,
+            engine_stats: cell.engine_stats,
+        };
+        print_row(&row);
+        rows.push(row);
+    }
+
+    // The sparse pair must agree on the work done: the engines may only
+    // differ in which ticks they *visit*.
+    let sparse: Vec<&Row> = rows
+        .iter()
+        .filter(|r| r.scenario == "fleet_sparse")
+        .collect();
+    assert_eq!(
+        sparse[0].engine_stats.events_processed, sparse[1].engine_stats.events_processed,
+        "engines disagree on events_processed — skip-safety broken"
+    );
+    assert_eq!(
+        sparse[0].engine_stats.shard_ticks_skipped, 0,
+        "the stepped reference must not skip"
+    );
+    assert!(
+        sparse[1].engine_stats.shard_ticks_skipped > 0,
+        "the event engine skipped nothing on an idle-heavy fleet"
+    );
+
     // CSV alongside the other experiment artefacts.
     let mut csv = CsvTable::new(&[
+        "scenario",
+        "engine",
         "hosts",
         "workers",
         "median_wall_secs",
@@ -166,50 +313,71 @@ fn main() {
         "speedup",
         "avg_subtable_probes",
         "emc_hit_rate",
+        "events_processed",
+        "ticks_skipped",
     ]);
     for r in &rows {
-        csv.push_numeric_row(&[
-            r.hosts as f64,
-            r.workers as f64,
-            r.stats.median_secs,
-            r.stats.p95_secs,
-            r.switch_packets as f64,
-            r.pps,
-            r.speedup,
-            r.avg_probes,
-            r.emc_hit_rate,
+        csv.push_row(&[
+            r.scenario.to_string(),
+            r.engine.to_string(),
+            r.hosts.to_string(),
+            r.workers.to_string(),
+            format!("{:.6}", r.stats.median_secs),
+            format!("{:.6}", r.stats.p95_secs),
+            r.switch_packets.to_string(),
+            format!("{:.1}", r.pps),
+            format!("{:.3}", r.speedup),
+            format!("{:.3}", r.avg_probes),
+            format!("{:.4}", r.emc_hit_rate),
+            r.engine_stats.events_processed.to_string(),
+            r.engine_stats.shard_ticks_skipped.to_string(),
         ]);
     }
     let csv_path = pi_bench::results_dir().join("fleet_scaling.csv");
     csv.write_csv(&csv_path).expect("write csv");
 
     // BENCH_fleet.json for the repo-level bench target.
-    let mut report = Report::new("fleet_scaling", "fleet_colocation").params(
+    let mut report = Report::new("fleet_scaling", "fleet_colocation+fleet_sparse").params(
         Fields::new()
             .u("simulated_secs_per_cell", duration_secs)
+            .u("sparse_simulated_secs", sparse_secs)
+            .zu("sparse_hosts", sparse_hosts)
             .u("warmup_runs", warmup as u64)
-            .u("timed_repeats", repeats as u64),
+            .u("timed_repeats", repeats as u64)
+            .b("smoke", smoke),
     );
     for r in &rows {
         report.row(
             Fields::new()
+                .s("scenario", r.scenario)
+                .s("engine", r.engine)
                 .zu("hosts", r.hosts)
                 .zu("workers", r.workers)
                 .f("median_wall_secs", r.stats.median_secs, 6)
                 .f("p95_wall_secs", r.stats.p95_secs, 6)
                 .u("switch_packets", r.switch_packets)
                 .f("pps", r.pps, 1)
-                .f("speedup_vs_1_worker", r.speedup, 3)
+                .f("speedup", r.speedup, 3)
                 .f("avg_subtable_probes", r.avg_probes, 3)
-                .f("emc_hit_rate", r.emc_hit_rate, 4),
+                .f("emc_hit_rate", r.emc_hit_rate, 4)
+                .u("events_processed", r.engine_stats.events_processed)
+                .u("ticks_stepped", r.engine_stats.shard_ticks_stepped)
+                .u("ticks_skipped", r.engine_stats.shard_ticks_skipped),
         );
     }
     let out = report.write("BENCH_fleet.json", "PI_BENCH_FLEET_OUT");
     println!("\nwrote {} and {}", out.display(), csv_path.display());
 
-    let eight = |w: usize| rows.iter().find(|r| r.hosts == 8 && r.workers == w);
+    let eight = |w: usize| {
+        rows.iter()
+            .find(|r| r.scenario == "fleet_colocation" && r.hosts == 8 && r.workers == w)
+    };
     if let (Some(r1), Some(r4)) = (eight(1), eight(4)) {
         let scaling = r4.pps / r1.pps;
         println!("8-host 1→4 worker scaling: {scaling:.2}x");
+    }
+    println!("sparse stepped→event wall-clock speedup: {sparse_speedup:.2}x");
+    if smoke {
+        println!("smoke OK: engines agree on events_processed, event engine skipped ticks");
     }
 }

@@ -19,6 +19,10 @@ impl SimTime {
     /// The scenario start instant.
     pub const ZERO: SimTime = SimTime(0);
 
+    /// A sentinel later than any reachable simulation instant ("this
+    /// event never fires"). Compare against it; adding to it saturates.
+    pub const NEVER: SimTime = SimTime(u64::MAX);
+
     /// Creates a time from nanoseconds.
     pub const fn from_nanos(ns: u64) -> Self {
         SimTime(ns)

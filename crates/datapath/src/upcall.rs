@@ -371,6 +371,20 @@ impl UpcallQueue {
         self.staged_fresh
     }
 
+    /// Total installs staged for the end-of-step flush (fresh entries
+    /// and refreshes alike — a refresh still moves a usage stamp, so a
+    /// non-empty staging area means pending observable work).
+    pub fn staged_installs(&self) -> usize {
+        self.installs.len()
+    }
+
+    /// The handler budget carry (always ≤ 0: an overrun owed to the
+    /// next drain step). While it is negative, even an empty drain step
+    /// changes state by repaying the debt.
+    pub fn handler_carry(&self) -> i64 {
+        self.handler_carry
+    }
+
     /// Stages an install for the end-of-step flush. Re-staging an
     /// already-staged megaflow updates its verdict and usage stamp in
     /// place — exactly the net effect of the refreshes the inline path

@@ -719,6 +719,28 @@ impl VSwitch {
         report
     }
 
+    /// The earliest future instant at which the switch's background
+    /// machinery can change observable state without a new packet
+    /// arriving. `Some(now)` means "busy right now" (queued upcalls,
+    /// staged installs, or handler-budget debt that an empty drain step
+    /// would repay); with only cached megaflows the next observable
+    /// change is the revalidator sweep that could evict them; `None`
+    /// means fully quiescent — [`VSwitch::revalidate`] and
+    /// [`VSwitch::drain_upcalls`] are provable no-ops at any future
+    /// time. Used by the event-driven engines to skip idle ticks.
+    pub fn next_background_event(&self, now: SimTime) -> Option<SimTime> {
+        if self.pipeline.total_depth() > 0
+            || self.pipeline.staged_installs() > 0
+            || self.pipeline.handler_carry() < 0
+        {
+            return Some(now);
+        }
+        if !self.mfc.is_empty() {
+            return Some(self.revalidator.next_due());
+        }
+        None
+    }
+
     /// Processes a raw frame arriving on `in_port`.
     pub fn process_frame(
         &mut self,

@@ -138,6 +138,14 @@ impl<T: Clone> Channel<T> {
         self.in_flight.len()
     }
 
+    /// The earliest in-flight delivery time, if anything is in flight.
+    /// A [`Channel::deliver`] call strictly before this time hands out
+    /// nothing and mutates nothing (no RNG draw) — the fact the
+    /// event-driven engines rely on to skip idle polls.
+    pub fn next_delivery(&self) -> Option<SimTime> {
+        self.in_flight.iter().map(|(at, _, _)| *at).min()
+    }
+
     /// Delivery counters so far.
     pub fn stats(&self) -> ChannelStats {
         self.stats

@@ -386,6 +386,35 @@ impl ReliableControlPlane {
         self.in_flight.len()
     }
 
+    /// The earliest future instant at which this layer has anything to
+    /// do: a program update falling due, a retry timer expiring, a
+    /// forward or ack delivery arriving, or a reconciliation boundary.
+    /// A [`ReliableControlPlane::poll`] strictly before this time
+    /// returns nothing and mutates nothing, so the event-driven engines
+    /// may skip it. `None` means the layer is permanently idle.
+    pub fn next_activity(&self) -> Option<SimTime> {
+        let mut next: Option<SimTime> = None;
+        let mut fold = |t: SimTime| {
+            next = Some(next.map_or(t, |n| n.min(t)));
+        };
+        if self.cursor < self.updates.len() {
+            fold(self.updates[self.cursor].applies_at);
+        }
+        if let Some(t) = self.in_flight.values().map(|f| f.next_retry).min() {
+            fold(t);
+        }
+        if let Some(t) = self.forward.next_delivery() {
+            fold(t);
+        }
+        if let Some(t) = self.acks.next_delivery() {
+            fold(t);
+        }
+        if self.cfg.reconcile {
+            fold(self.next_reconcile);
+        }
+        next
+    }
+
     /// Program updates not yet issued.
     pub fn pending(&self) -> usize {
         self.updates.len() - self.cursor

@@ -162,6 +162,26 @@ impl FaultPlan {
     pub fn pending_crashes(&self) -> usize {
         self.crashes.len() - self.crash_cursor
     }
+
+    /// The next instant at which this plan affects the node: `now`
+    /// itself while a stall window is open (every stalled tick starves
+    /// the budget and must be stepped), otherwise the earliest pending
+    /// crash or stall start. `None` once the program is exhausted —
+    /// polls strictly before the returned time observe and mutate
+    /// nothing, so the event-driven engines may skip them.
+    pub fn next_event(&self, now: SimTime) -> Option<SimTime> {
+        if now < self.stalled_until {
+            return Some(now);
+        }
+        let crash = self.crashes.get(self.crash_cursor).map(|c| c.at);
+        let stall = self.stalls.get(self.stall_cursor).map(|s| s.at);
+        match (crash, stall) {
+            (Some(c), Some(s)) => Some(c.min(s)),
+            (Some(c), None) => Some(c),
+            (None, Some(s)) => Some(s),
+            (None, None) => None,
+        }
+    }
 }
 
 #[cfg(test)]

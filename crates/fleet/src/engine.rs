@@ -1,20 +1,36 @@
-//! The cluster engine: builder, worker pool and the epoch loop.
+//! The cluster engine: builder, worker pool and the event loop.
 //!
-//! Execution model (rustasim-style conservative synchronization,
+//! Execution model (conservative parallel discrete-event simulation,
 //! specialised to a constant one-tick fabric latency):
 //!
-//! * every host shard is stepped once per epoch (= one simulation
-//!   tick), workers own disjoint shard sets and step them in shard-id
-//!   order;
-//! * cross-host packets and delivery receipts produced during epoch
+//! * each worker owns a disjoint shard set and merges that set's event
+//!   sources — pending cross-host deliveries, topology commands,
+//!   per-shard wake deadlines ([`HostShard::next_wake`]) and the
+//!   global sample grid — into one monotonic tick iterator; shards
+//!   with no event at a tick are skipped entirely, which is where the
+//!   idle-heavy speedup comes from;
+//! * cross-host packets and delivery receipts produced during tick
 //!   `t` are exchanged through bounded channels and delivered at the
-//!   start of epoch `t + 1`;
-//! * the coordinator merges per-destination traffic **in sending-shard
-//!   order**, so the bytes a shard observes never depend on worker
-//!   count or thread scheduling — the property the determinism test
-//!   pins.
+//!   start of tick `t + 1`;
+//! * workers synchronise by bounded lookahead instead of a global
+//!   epoch barrier: every flush to a peer carries the promise "I will
+//!   deliver nothing at ticks ≤ `safe`", a worker executes tick `e`
+//!   only once every peer has promised `safe ≥ e`, and a flush with no
+//!   items is exactly a CMB null message. Because a worker that has
+//!   executed through its horizon `h` can always promise `h + 1`
+//!   (its next execution is at least `h + 1`, so its next emission
+//!   lands at `h + 2` at the earliest), every exchange advances the
+//!   fleet and the protocol cannot deadlock — even when a shard
+//!   sends no traffic at all;
+//! * each shard merges per-destination traffic **in sending-shard
+//!   order** at the tick it consumes it, so the bytes a shard observes
+//!   never depend on worker count or thread scheduling — the property
+//!   the determinism tests pin. The tick-stepped engine
+//!   ([`pi_sim::SimConfig::event_driven`] = false) keeps the original
+//!   one-tick-per-epoch barrier loop as the equivalence reference.
 
-use std::collections::HashMap;
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap, HashMap};
 use std::sync::mpsc::{Receiver, SyncSender};
 use std::thread;
 
@@ -24,12 +40,12 @@ use pi_core::{Port, SimTime};
 use pi_datapath::{CostModel, DpConfig};
 use pi_detect::DefenseController;
 use pi_fault::{FaultSchedule, ReliabilityConfig, ReliableControlPlane};
-use pi_sim::NodeCell;
+use pi_sim::{NodeCell, NodePacket};
 use pi_traffic::TrafficSource;
 
 use crate::config::FleetConfig;
 use crate::report::FleetReport;
-use crate::shard::{FleetSlot, HostCmd, HostShard, Inbound, ShardOutput, TickCtx};
+use crate::shard::{FleetSlot, HostCmd, HostShard, Inbound, Receipt, ShardOutput, TickCtx};
 
 /// A pod migration scheduled at build time.
 #[derive(Debug, Clone)]
@@ -310,6 +326,26 @@ enum ToWorker {
     Finish,
 }
 
+/// One cross-worker delivery: `(deliver_tick, from_shard, dst_shard,
+/// packets, receipts)` — everything `from_shard` emitted towards
+/// `dst_shard` during tick `deliver_tick − 1`.
+type FlushItem = (u64, usize, usize, Vec<NodePacket<usize>>, Vec<Receipt>);
+
+/// One sender's share of a `(tick, shard)` delivery slot:
+/// `(from_shard, packets, receipts)`.
+type Contribution = (usize, Vec<NodePacket<usize>>, Vec<Receipt>);
+
+/// One lookahead exchange between event-loop workers. With empty
+/// `items` this is a pure null message: it carries only the promise.
+struct Flush {
+    from: usize,
+    /// The sender promises to deliver nothing at ticks ≤ `safe` beyond
+    /// the items flushed so far — the receiver may execute through
+    /// `safe` without hearing from this sender again.
+    safe: u64,
+    items: Vec<FlushItem>,
+}
+
 enum FromWorker {
     Ticked { outputs: Vec<(usize, ShardOutput)> },
     Done { shards: Vec<HostShard> },
@@ -349,14 +385,327 @@ fn worker_loop(
     }
 }
 
+/// The per-worker state of the event-driven engine: the shards this
+/// worker owns plus their merged event queue — pending deliveries
+/// keyed by `(tick, local shard)`, the tick-sorted command stream, and
+/// a wake heap lazily invalidated through `wake_at` (an entry is live
+/// only while it equals the shard's authoritative deadline).
+struct EventWorker {
+    me: usize,
+    ctx: TickCtx,
+    tick_ns: u64,
+    ticks: u64,
+    /// Shard id → owning worker.
+    owner: Vec<usize>,
+    /// Owned shards, ascending id.
+    shards: Vec<HostShard>,
+    /// Shard id → index into `shards`.
+    local_index: HashMap<usize, usize>,
+    /// This worker's shards' commands, tick order.
+    commands: Vec<(u64, usize, HostCmd)>,
+    cmd_cursor: usize,
+    /// `(deliver_tick, local shard)` → per-sender contributions, each
+    /// tagged with the sending shard so consumption can merge them in
+    /// sending-shard order regardless of arrival order.
+    pending: BTreeMap<(u64, usize), Vec<Contribution>>,
+    wake_at: Vec<u64>,
+    heap: BinaryHeap<Reverse<(u64, usize)>>,
+    /// Cross-worker emissions awaiting the next flush, by destination
+    /// worker.
+    outbox: Vec<Vec<FlushItem>>,
+}
+
+impl EventWorker {
+    /// The earliest tick ≥ `t` at which any owned shard has an event:
+    /// the next sample boundary (global, mandatory), the next command,
+    /// the earliest pending delivery, or the earliest live wake
+    /// deadline. Stale heap entries are discarded on the way.
+    fn next_event(&mut self, t: u64) -> u64 {
+        let every = self.ctx.sample_every_ticks;
+        let mut e = t + (every - 1 - (t % every));
+        if let Some((ct, _, _)) = self.commands.get(self.cmd_cursor) {
+            e = e.min((*ct).max(t));
+        }
+        if let Some((&(dt, _), _)) = self.pending.first_key_value() {
+            e = e.min(dt.max(t));
+        }
+        while let Some(&Reverse((wt, s))) = self.heap.peek() {
+            if self.wake_at[s] == wt {
+                e = e.min(wt.max(t));
+                break;
+            }
+            self.heap.pop();
+        }
+        e
+    }
+
+    /// Executes tick `e` across the owned shards that have work —
+    /// exactly the work the stepped engine would do, minus the shards
+    /// with provably nothing to observe.
+    fn execute_tick(&mut self, e: u64) {
+        let ctx = self.ctx;
+        let now = SimTime::from_nanos(e * self.tick_ns);
+        let next = SimTime::from_nanos((e + 1) * self.tick_ns);
+        let sample = (e + 1).is_multiple_of(ctx.sample_every_ticks);
+        let mut cmds_for: Vec<Vec<HostCmd>> = vec![Vec::new(); self.shards.len()];
+        while let Some((ct, sid, cmd)) = self.commands.get(self.cmd_cursor) {
+            if *ct > e {
+                break;
+            }
+            cmds_for[self.local_index[sid]].push(cmd.clone());
+            self.cmd_cursor += 1;
+        }
+        for (li, cmds) in cmds_for.iter().enumerate() {
+            let inbound = self.pending.remove(&(e, li)).map(|mut contribs| {
+                contribs.sort_by_key(|(from, _, _)| *from);
+                let mut inb = Inbound::default();
+                for (_, pkts, rcpts) in contribs {
+                    inb.packets.extend(pkts);
+                    inb.receipts.extend(rcpts);
+                }
+                inb
+            });
+            let must = sample || inbound.is_some() || !cmds.is_empty() || self.wake_at[li] <= e;
+            if !must {
+                continue;
+            }
+            let out = self.shards[li].tick(e, now, next, &ctx, inbound.unwrap_or_default(), cmds);
+            let sid = self.shards[li].id;
+            // Emissions from the final tick would deliver past the end
+            // of the run; the stepped engine drops them the same way.
+            if e + 1 < self.ticks {
+                for (dst, (pkts, rcpts)) in out.packets.into_iter().zip(out.receipts).enumerate() {
+                    if pkts.is_empty() && rcpts.is_empty() {
+                        continue;
+                    }
+                    let w = self.owner[dst];
+                    if w == self.me {
+                        self.pending
+                            .entry((e + 1, self.local_index[&dst]))
+                            .or_default()
+                            .push((sid, pkts, rcpts));
+                    } else {
+                        self.outbox[w].push((e + 1, sid, dst, pkts, rcpts));
+                    }
+                }
+            }
+            let w = self.shards[li].next_wake(e + 1, &ctx, self.tick_ns);
+            self.wake_at[li] = w;
+            if w != u64::MAX {
+                self.heap.push(Reverse((w, li)));
+            }
+        }
+        // Every deadline ≤ e belonged to a shard that just ran (a live
+        // wake ≤ e forces `must`) and was re-scheduled past `e`.
+        while let Some(&Reverse((wt, _))) = self.heap.peek() {
+            if wt <= e {
+                self.heap.pop();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Folds one peer flush in: advance that peer's promise, file its
+    /// deliveries.
+    fn absorb(&mut self, frontier: &mut HashMap<usize, u64>, msg: Flush) {
+        let f = frontier
+            .get_mut(&msg.from)
+            .expect("flush from a known peer");
+        *f = (*f).max(msg.safe);
+        for (dt, from, dst, pkts, rcpts) in msg.items {
+            if dt >= self.ticks {
+                continue;
+            }
+            let li = self.local_index[&dst];
+            self.pending
+                .entry((dt, li))
+                .or_default()
+                .push((from, pkts, rcpts));
+        }
+    }
+}
+
+/// The event-driven worker: run ahead to the horizon the peers'
+/// promises allow, executing only event-bearing ticks; flush emissions
+/// plus a `safe = horizon + 1` promise; block until the horizon moves.
+fn worker_event_loop(
+    mut w: EventWorker,
+    peers: Vec<(usize, SyncSender<Flush>)>,
+    rx: Receiver<Flush>,
+) -> Vec<HostShard> {
+    let ticks = w.ticks;
+    let mut frontier: HashMap<usize, u64> = peers.iter().map(|(p, _)| (*p, 0)).collect();
+    let mut t: u64 = 0;
+    loop {
+        let h = frontier
+            .values()
+            .copied()
+            .min()
+            .unwrap_or(u64::MAX)
+            .min(ticks - 1);
+        while t <= h {
+            let e = w.next_event(t);
+            if e > h {
+                break;
+            }
+            w.execute_tick(e);
+            t = e + 1;
+        }
+        // No event in (t, h] — skip straight past the horizon.
+        t = h + 1;
+        if t >= ticks {
+            // Peers may still be behind: leave them a terminal promise
+            // (ignore peers that already finished and hung up).
+            for (p, tx) in &peers {
+                let _ = tx.send(Flush {
+                    from: w.me,
+                    safe: u64::MAX,
+                    items: std::mem::take(&mut w.outbox[*p]),
+                });
+            }
+            return w.shards;
+        }
+        for (p, tx) in &peers {
+            let _ = tx.send(Flush {
+                from: w.me,
+                safe: h + 1,
+                items: std::mem::take(&mut w.outbox[*p]),
+            });
+        }
+        while frontier.values().copied().min().unwrap_or(u64::MAX) <= h {
+            let msg = rx.recv().expect("peer worker hung up mid-run");
+            w.absorb(&mut frontier, msg);
+            while let Ok(m) = rx.try_recv() {
+                w.absorb(&mut frontier, m);
+            }
+        }
+    }
+}
+
 impl FleetSim {
     /// Number of host shards.
     pub fn host_count(&self) -> usize {
         self.shards.len()
     }
 
-    /// Runs to completion and reports.
+    /// Runs to completion and reports. Dispatches on
+    /// [`pi_sim::SimConfig::event_driven`]: the event-driven engine is
+    /// the default; the tick-stepped barrier engine remains available
+    /// as the equivalence reference. Both produce bit-identical
+    /// reports for any worker count.
     pub fn run(self) -> FleetReport {
+        if self.cfg.sim.event_driven {
+            self.run_event()
+        } else {
+            self.run_stepped()
+        }
+    }
+
+    /// The event-driven engine: per-worker event queues with
+    /// bounded-lookahead synchronisation (see the module docs).
+    fn run_event(self) -> FleetReport {
+        let FleetSim {
+            cfg,
+            shards,
+            commands,
+        } = self;
+        let n = shards.len();
+        let workers = cfg.effective_workers().min(n.max(1));
+        let sim = cfg.sim;
+        let ctx = TickCtx {
+            shards: n,
+            cycles_per_tick: sim.cycles_per_tick(),
+            link_bytes_per_tick: sim.link_bytes_per_tick(),
+            queue_capacity: sim.queue_capacity,
+            sample_every_ticks: (sim.sample_interval.as_nanos() / sim.tick.as_nanos()).max(1),
+            window_secs: sim.sample_interval.as_secs_f64(),
+            cpu_cycles_per_sec: sim.cpu_cycles_per_sec,
+            defense_every_ticks: sim.defense_every_ticks(),
+        };
+        let tick_ns = sim.tick.as_nanos().max(1);
+        let ticks = sim.tick_count();
+        if ticks == 0 {
+            return FleetReport::assemble(workers, sim.tick, 0, shards);
+        }
+
+        let owner: Vec<usize> = (0..n).map(|i| i % workers).collect();
+        let mut parts: Vec<Vec<HostShard>> = (0..workers).map(|_| Vec::new()).collect();
+        for shard in shards {
+            parts[shard.id % workers].push(shard);
+        }
+        let mut part_cmds: Vec<Vec<(u64, usize, HostCmd)>> =
+            (0..workers).map(|_| Vec::new()).collect();
+        for (tick, shard, cmd) in commands {
+            part_cmds[owner[shard]].push((tick, shard, cmd));
+        }
+
+        // One receiver per worker; every peer holds a sender clone.
+        // The capacity bounds run-ahead buffering: a worker enqueues at
+        // most a couple of flushes per peer before the peer's next
+        // drain, so sends only ever block briefly.
+        let mut txs: Vec<SyncSender<Flush>> = Vec::with_capacity(workers);
+        let mut rxs: Vec<Receiver<Flush>> = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let (tx, rx) = std::sync::mpsc::sync_channel::<Flush>(8 * workers.max(2));
+            txs.push(tx);
+            rxs.push(rx);
+        }
+        let mut handles = Vec::with_capacity(workers);
+        for (me, ((part, cmds), rx)) in parts.into_iter().zip(part_cmds).zip(rxs).enumerate() {
+            let peers: Vec<(usize, SyncSender<Flush>)> = (0..workers)
+                .filter(|p| *p != me)
+                .map(|p| (p, txs[p].clone()))
+                .collect();
+            let local_index: HashMap<usize, usize> =
+                part.iter().enumerate().map(|(i, s)| (s.id, i)).collect();
+            let wake_at: Vec<u64> = part.iter().map(|s| s.next_wake(0, &ctx, tick_ns)).collect();
+            let heap: BinaryHeap<Reverse<(u64, usize)>> = wake_at
+                .iter()
+                .enumerate()
+                .filter(|(_, w)| **w != u64::MAX)
+                .map(|(i, w)| Reverse((*w, i)))
+                .collect();
+            let ew = EventWorker {
+                me,
+                ctx,
+                tick_ns,
+                ticks,
+                owner: owner.clone(),
+                shards: part,
+                local_index,
+                commands: cmds,
+                cmd_cursor: 0,
+                pending: BTreeMap::new(),
+                wake_at,
+                heap,
+                outbox: (0..workers).map(|_| Vec::new()).collect(),
+            };
+            handles.push(thread::spawn(move || worker_event_loop(ew, peers, rx)));
+        }
+        drop(txs);
+
+        let mut final_shards: Vec<Option<HostShard>> = (0..n).map(|_| None).collect();
+        for handle in handles {
+            for s in handle.join().expect("worker panicked") {
+                let id = s.id;
+                final_shards[id] = Some(s);
+            }
+        }
+        FleetReport::assemble(
+            workers,
+            sim.tick,
+            ticks,
+            final_shards
+                .into_iter()
+                .map(|s| s.expect("all shards returned"))
+                .collect(),
+        )
+    }
+
+    /// The tick-stepped reference engine: every shard steps every tick
+    /// behind a global epoch barrier.
+    fn run_stepped(self) -> FleetReport {
         let FleetSim {
             cfg,
             shards,
@@ -479,6 +828,7 @@ impl FleetSim {
         FleetReport::assemble(
             workers,
             sim.tick,
+            ticks,
             final_shards
                 .into_iter()
                 .map(|s| s.expect("all shards returned"))

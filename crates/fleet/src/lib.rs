@@ -41,10 +41,10 @@ mod shard;
 pub use config::FleetConfig;
 pub use engine::{FleetBuilder, FleetSim};
 pub use placement::ClusterBuilder;
-pub use report::{BlastRadius, FleetReport};
+pub use report::{BlastRadius, EngineStats, FleetReport};
 pub use scenario::{
-    fleet_colocation, fleet_migration, ColocationHandles, ColocationParams, MigrationHandles,
-    MigrationParams,
+    fleet_colocation, fleet_migration, fleet_sparse, ColocationHandles, ColocationParams,
+    MigrationHandles, MigrationParams, SparseHandles, SparseParams,
 };
 
 #[cfg(test)]
@@ -366,6 +366,219 @@ mod tests {
             assert_eq!(blast.fault_events.len(), 1, "{kind:?}");
             assert_eq!(blast.fault_events[0].0, 0, "{kind:?}");
         }
+    }
+
+    /// A scenario exercising every event source at once: cross-host
+    /// traffic, a delayed attack, a migration, a defended host, a
+    /// crash + lossy control channel behind a reliable control plane —
+    /// and one fully idle host the event engine should skip.
+    fn rich_fleet(event: bool, workers: usize) -> FleetReport {
+        use pi_attack::{AttackSchedule, AttackSpec, CovertSequence};
+        use pi_cms::{
+            Cidr, ControlPlaneProgram, IngressRule, NetworkPolicy, PolicyCompiler, Protocol,
+        };
+        use pi_detect::DefenseController;
+        use pi_fault::{ChannelFaultConfig, FaultSchedule, ReliabilityConfig};
+
+        let mut cfg = small_cfg(4, workers);
+        cfg.sim.event_driven = event;
+        let mut b = FleetBuilder::new(cfg);
+        let h0 = b.add_host(DpConfig::default());
+        let h1 = b.add_host(DpConfig::default());
+        let h2 = b.add_host(DpConfig::default());
+        let victim = ip([10, 0, 0, 2]);
+        b.add_pod(h0, victim);
+        b.add_pod(h1, ip([10, 1, 0, 2]));
+        b.add_pod(h2, ip([10, 2, 0, 2])); // pod attached, host otherwise idle
+        let policy = NetworkPolicy {
+            name: "victim-peers".into(),
+            ingress: vec![IngressRule {
+                from: vec![Cidr::host([10, 1, 0, 2])],
+                ports: vec![(Protocol::Tcp, Some(80))],
+            }],
+        };
+        let mut program = ControlPlaneProgram::default();
+        program.install_acl(
+            SimTime::from_millis(200),
+            victim,
+            PolicyCompiler.compile_k8s(&policy),
+        );
+        b.attach_reliable_control_plane(h0, program, ReliabilityConfig::default());
+        b.attach_faults(
+            h0,
+            FaultSchedule::new()
+                .crash(SimTime::from_secs(2), SimTime::from_millis(100))
+                .stall(SimTime::from_millis(2_500), SimTime::from_millis(5))
+                .channel(ChannelFaultConfig {
+                    drop_p: 0.25,
+                    dup_p: 0.25,
+                    delay: SimTime::from_millis(2),
+                    jitter: SimTime::from_millis(7),
+                    seed: 0xDE7E12,
+                }),
+        );
+        b.attach_defense(h0, DefenseController::with_defaults());
+        // Legitimate client, outside-whitelist prober, delayed attack.
+        let key = FlowKey::tcp([10, 1, 0, 2], [10, 0, 0, 2], 1000, 80);
+        b.add_source(h1, Box::new(CbrSource::new(key, 400, 2_000.0)));
+        let probe = FlowKey::tcp([10, 9, 0, 1], [10, 0, 0, 2], 40_000, 80);
+        b.add_source(h1, Box::new(CbrSource::new(probe, 64, 500.0)));
+        let spec = AttackSpec::masks_512(pi_cms::PolicyDialect::Kubernetes);
+        b.add_source(
+            h0,
+            Box::new(
+                AttackSchedule::new(
+                    CovertSequence::new(spec.build_target(ip([10, 1, 0, 2]))),
+                    5e6,
+                    SimTime::from_secs(1),
+                )
+                .upcall_flood(),
+            ),
+        );
+        // The victim pod migrates mid-run to the idle host.
+        b.schedule_migration(SimTime::from_secs(3), victim, h2);
+        b.build().run()
+    }
+
+    fn assert_reports_equal(a: &FleetReport, b: &FleetReport, label: &str) {
+        assert_eq!(a.source_totals, b.source_totals, "{label}: totals");
+        assert_eq!(a.switch_stats, b.switch_stats, "{label}: switch stats");
+        assert_eq!(a.upcall_stats, b.upcall_stats, "{label}: upcall stats");
+        assert_eq!(a.faults, b.faults, "{label}: fault reports");
+        assert_eq!(a.defense, b.defense, "{label}: defense reports");
+        assert_eq!(a.attribution, b.attribution, "{label}: attribution");
+        let series = |r: &FleetReport| {
+            let mut all = Vec::new();
+            for group in [
+                &r.throughput_bps,
+                &r.offered_bps,
+                &r.masks,
+                &r.megaflows,
+                &r.cpu_util,
+                &r.handler_cps,
+                &r.policy_updates,
+            ] {
+                for s in group.iter() {
+                    all.push(s.iter().collect::<Vec<_>>());
+                }
+            }
+            all
+        };
+        assert_eq!(series(a), series(b), "{label}: timelines");
+    }
+
+    #[test]
+    fn event_engine_matches_the_stepped_reference_bit_for_bit() {
+        let ev = rich_fleet(true, 2);
+        let st = rich_fleet(false, 2);
+        assert_reports_equal(&ev, &st, "event vs stepped");
+        // Both engines consume the same events; only the idle-tick
+        // accounting differs.
+        assert_eq!(ev.engine.events_processed, st.engine.events_processed);
+        assert_eq!(st.engine.shard_ticks_skipped, 0, "stepped skips nothing");
+        assert!(
+            ev.engine.shard_ticks_skipped > 0,
+            "the idle host must be skipped: {:?}",
+            ev.engine
+        );
+    }
+
+    #[test]
+    fn worker_matrix_is_bit_identical_on_every_backend_with_faults() {
+        use pi_backend::BackendKind;
+        use pi_cms::{
+            Cidr, ControlPlaneProgram, IngressRule, NetworkPolicy, PolicyCompiler, Protocol,
+        };
+        use pi_fault::{ChannelFaultConfig, FaultSchedule, ReliabilityConfig};
+
+        let run = |kind: BackendKind, workers: usize| {
+            let dp = DpConfig {
+                backend: kind,
+                ..DpConfig::default()
+            };
+            let mut b = FleetBuilder::new(small_cfg(3, workers));
+            let h0 = b.add_host(dp.clone());
+            let h1 = b.add_host(dp.clone());
+            let h2 = b.add_host(dp.clone());
+            let h3 = b.add_host(dp);
+            let victim = ip([10, 0, 0, 2]);
+            b.add_pod(h0, victim);
+            b.add_pod(h1, ip([10, 1, 0, 2]));
+            b.add_pod(h2, ip([10, 2, 0, 2]));
+            b.add_pod(h3, ip([10, 3, 0, 2])); // idle host
+            let policy = NetworkPolicy {
+                name: "victim-peers".into(),
+                ingress: vec![IngressRule {
+                    from: vec![Cidr::host([10, 1, 0, 2])],
+                    ports: vec![(Protocol::Tcp, Some(80))],
+                }],
+            };
+            let mut program = ControlPlaneProgram::default();
+            program.install_acl(
+                SimTime::from_millis(200),
+                victim,
+                PolicyCompiler.compile_k8s(&policy),
+            );
+            b.attach_reliable_control_plane(h0, program, ReliabilityConfig::default());
+            b.attach_faults(
+                h0,
+                FaultSchedule::new()
+                    .crash(SimTime::from_secs(1), SimTime::from_millis(50))
+                    .channel(ChannelFaultConfig {
+                        drop_p: 0.25,
+                        dup_p: 0.25,
+                        delay: SimTime::from_millis(2),
+                        jitter: SimTime::from_millis(7),
+                        seed: 0xBEEF,
+                    }),
+            );
+            let key = FlowKey::tcp([10, 1, 0, 2], [10, 0, 0, 2], 1000, 80);
+            b.add_source(h1, Box::new(CbrSource::new(key, 400, 2_000.0)));
+            let probe = FlowKey::tcp([10, 9, 0, 1], [10, 0, 0, 2], 40_000, 80);
+            b.add_source(h2, Box::new(CbrSource::new(probe, 64, 500.0)));
+            b.build().run()
+        };
+
+        for kind in [
+            BackendKind::OvsCache,
+            BackendKind::ExactHash,
+            BackendKind::LpmTier,
+            BackendKind::NicOffload,
+        ] {
+            let one = run(kind, 1);
+            for workers in [2usize, 4] {
+                let many = run(kind, workers);
+                let label = format!("{kind:?} @ {workers} workers");
+                assert_reports_equal(&one, &many, &label);
+                // The engine accounting itself is worker-invariant.
+                assert_eq!(one.engine, many.engine, "{label}: engine stats");
+            }
+            assert!(
+                one.engine.shard_ticks_skipped > 0,
+                "{kind:?}: idle host must be skipped"
+            );
+        }
+    }
+
+    #[test]
+    fn null_message_exchange_survives_a_silent_shard() {
+        // Two workers, and the second worker's shard receives and
+        // sends no traffic at all: the lookahead protocol must keep
+        // advancing on pure null messages (a deadlock hangs the test).
+        let mut b = FleetBuilder::new(small_cfg(3, 2));
+        let h0 = b.add_host(DpConfig::default());
+        let h1 = b.add_host(DpConfig::default());
+        b.add_pod(h0, ip([10, 0, 0, 1]));
+        b.add_pod(h1, ip([10, 1, 0, 1])); // attached, never addressed
+        let key = FlowKey::tcp([10, 0, 0, 9], [10, 0, 0, 1], 1000, 80);
+        b.add_source(h0, Box::new(CbrSource::new(key, 1500, 1000.0)));
+        let report = b.build().run();
+        assert_eq!(report.source_totals[0].delivered, 3_000);
+        assert!(
+            report.engine.shard_ticks_skipped > 0,
+            "the silent shard must be skipped: {:?}",
+            report.engine
+        );
     }
 
     #[test]

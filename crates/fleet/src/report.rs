@@ -10,6 +10,25 @@ use pi_sim::SourceTotals;
 
 use crate::shard::HostShard;
 
+/// What the engine did to produce a run: executed vs skipped shard
+/// ticks and the events behind them. Purely diagnostic — every count
+/// is derived from shard-local state and the global program, so the
+/// numbers are identical for every worker count (they differ between
+/// the event-driven and tick-stepped engines only in how many ticks
+/// were skipped).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Shard ticks actually executed (summed over hosts).
+    pub shard_ticks_stepped: u64,
+    /// Shard ticks proven idle and skipped (`hosts × ticks −
+    /// stepped`; zero under the tick-stepped engine).
+    pub shard_ticks_skipped: u64,
+    /// Event-bearing causes consumed across executed ticks: inbound
+    /// epochs, topology commands, sample boundaries, defense
+    /// intervals.
+    pub events_processed: u64,
+}
+
 /// Everything a cluster run produces.
 #[derive(Debug)]
 pub struct FleetReport {
@@ -53,6 +72,8 @@ pub struct FleetReport {
     /// Final per-destination mask attribution per host — the offender
     /// list, assembled once so benches never re-walk megaflow caches.
     pub attribution: Vec<Vec<MaskAttribution>>,
+    /// Executed/skipped tick accounting for the run.
+    pub engine: EngineStats,
 }
 
 /// How far one injected policy reaches: which co-located tenants and
@@ -108,8 +129,19 @@ impl BlastRadius {
 }
 
 impl FleetReport {
-    pub(crate) fn assemble(workers: usize, tick: SimTime, shards: Vec<HostShard>) -> FleetReport {
+    pub(crate) fn assemble(
+        workers: usize,
+        tick: SimTime,
+        total_ticks: u64,
+        shards: Vec<HostShard>,
+    ) -> FleetReport {
         let hosts = shards.len();
+        let mut engine = EngineStats::default();
+        for shard in &shards {
+            engine.shard_ticks_stepped += shard.ticks_stepped;
+            engine.events_processed += shard.events_processed;
+        }
+        engine.shard_ticks_skipped = (hosts as u64 * total_ticks) - engine.shard_ticks_stepped;
         let n_sources = shards.iter().map(|s| s.slots.len()).sum();
         let mut throughput: Vec<Option<TimeSeries>> = (0..n_sources).map(|_| None).collect();
         let mut offered: Vec<Option<TimeSeries>> = (0..n_sources).map(|_| None).collect();
@@ -165,6 +197,7 @@ impl FleetReport {
             defense,
             faults,
             attribution,
+            engine,
         }
     }
 

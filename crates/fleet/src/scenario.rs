@@ -5,6 +5,9 @@
 //!   blast-radius question the two-node testbed cannot ask.
 //! * [`fleet_migration`] — victims rescheduled off a saturated host
 //!   mid-run: does moving the tenants away actually restore service?
+//! * [`fleet_sparse`] — a large fleet where only a handful of hosts see
+//!   traffic: the event-driven engine's home turf, and the workload the
+//!   `fleet_scaling` bench uses to measure tick-skipping.
 
 use pi_attack::{AttackSchedule, AttackSpec};
 use pi_cms::{Cidr, IngressRule, NetworkPolicy, PlacementStrategy, Protocol};
@@ -217,6 +220,155 @@ pub fn fleet_colocation(params: &ColocationParams) -> (FleetSim, ColocationHandl
             background_sources,
             victim_hosts,
             attacker_hosts,
+        },
+    )
+}
+
+/// Parameters of the sparse-fleet experiment.
+#[derive(Debug, Clone)]
+pub struct SparseParams {
+    /// Fleet size, hosts. Most are idle: each carries one attached pod
+    /// that never sends or receives.
+    pub hosts: usize,
+    /// Hosts that actually see traffic (the first `hot_hosts` of the
+    /// fleet). Victims, attacker and every client pod stay inside this
+    /// set so the remaining hosts are provably quiescent.
+    pub hot_hosts: usize,
+    /// The injected policy shape on the attacker pod (host 0).
+    pub spec: AttackSpec,
+    /// Covert stream start.
+    pub attack_start: SimTime,
+    /// Covert budget, bits/second.
+    pub attack_bandwidth_bps: f64,
+    /// Victim link-limited rate, bits/second.
+    pub victim_rate_bps: f64,
+    /// Run length.
+    pub duration: SimTime,
+    /// Per-host datapath CPU budget, cycles/second.
+    pub cpu_cycles_per_sec: u64,
+    /// Datapath configuration for every host.
+    pub dp: DpConfig,
+    /// Worker threads.
+    pub workers: usize,
+    /// Engine selection: `true` = event-driven (the default engine),
+    /// `false` = the tick-stepped reference. Exposed so the bench can
+    /// time both on the identical build.
+    pub event_driven: bool,
+}
+
+impl Default for SparseParams {
+    fn default() -> Self {
+        SparseParams {
+            hosts: 96,
+            hot_hosts: 4,
+            spec: AttackSpec::masks_512(pi_cms::PolicyDialect::Kubernetes),
+            attack_start: SimTime::from_secs(2),
+            attack_bandwidth_bps: 1e6,
+            // Modest service traffic, not a saturated iperf: the point
+            // of the sparse fleet is that almost nothing is happening.
+            victim_rate_bps: 2e6,
+            duration: SimTime::from_secs(10),
+            cpu_cycles_per_sec: SimConfig::default().cpu_cycles_per_sec,
+            dp: DpConfig::default(),
+            workers: 1,
+            event_driven: true,
+        }
+    }
+}
+
+/// Source/host indices of the built sparse-fleet scenario.
+#[derive(Debug, Clone)]
+pub struct SparseHandles {
+    /// Victim iperf source per hot host.
+    pub victim_sources: Vec<usize>,
+    /// The covert stream source.
+    pub attack_source: usize,
+    /// Hosts that see traffic.
+    pub hot_hosts: Vec<usize>,
+    /// Hosts that never do.
+    pub idle_hosts: Vec<usize>,
+}
+
+/// Builds the sparse fleet: one victim iperf pair per hot host, the
+/// injected policy and its covert stream on host 0, and `hosts −
+/// hot_hosts` idle hosts each carrying a single silent pod. Idle hosts
+/// have no sources, defenses or scheduled events, so the event-driven
+/// engine skips them for the whole run; the tick-stepped reference
+/// walks all of them every tick.
+pub fn fleet_sparse(params: &SparseParams) -> (FleetSim, SparseHandles) {
+    let hot = params.hot_hosts.clamp(2, params.hosts);
+    let cfg = FleetConfig {
+        sim: SimConfig {
+            duration: params.duration,
+            cpu_cycles_per_sec: params.cpu_cycles_per_sec,
+            event_driven: params.event_driven,
+            ..SimConfig::default()
+        },
+        workers: params.workers,
+    };
+    let mut cb = ClusterBuilder::new(cfg, params.hosts, params.dp.clone());
+
+    let victim_tenant = cb.add_tenant();
+    let attacker_tenant = cb.add_tenant();
+    let idle_tenant = cb.add_tenant();
+
+    // One victim pod + client pair per hot host, clients staying inside
+    // the hot set.
+    let policy = victim_policy();
+    let mut victim_sources = Vec::new();
+    for i in 0..hot {
+        let pod = cb.place_pod_on(victim_tenant, i);
+        cb.apply_and_install(victim_tenant, pod, |c, t, p| {
+            c.apply_k8s_policy(t, p, &policy)
+        })
+        .expect("victim policy admitted");
+        let client_host = (i + 1) % hot;
+        let client = cb.place_pod_on(victim_tenant, client_host);
+        let key = FlowKey::tcp(
+            std::net::Ipv4Addr::from(cb.pod(client).ip),
+            std::net::Ipv4Addr::from(cb.pod(pod).ip),
+            40_000 + i as u16,
+            5201,
+        );
+        victim_sources.push(cb.add_source(
+            client_host,
+            Box::new(
+                IperfSource::new(key, 1500, params.victim_rate_bps).named(&format!("victim{i}")),
+            ),
+        ));
+    }
+
+    // The injected policy on host 0, covert stream from host 1.
+    let attacker_pod = cb.place_pod_on(attacker_tenant, 0);
+    let acl = params.spec.build_policy();
+    cb.apply_and_install(attacker_tenant, attacker_pod, |c, t, p| acl.apply(c, t, p))
+        .expect("injected policy admitted");
+    let attacker_ip = cb.pod(attacker_pod).ip;
+    cb.place_pod_on(attacker_tenant, 1 % hot);
+    let schedule = AttackSchedule::fan_out(
+        &params.spec,
+        &[attacker_ip],
+        params.attack_bandwidth_bps,
+        params.attack_start,
+        SimTime::ZERO,
+    )
+    .remove(0);
+    let attack_source = cb.add_source(1 % hot, Box::new(schedule));
+
+    // The idle bulk: one silent pod per remaining host.
+    let mut idle_hosts = Vec::new();
+    for host in hot..params.hosts {
+        cb.place_pod_on(idle_tenant, host);
+        idle_hosts.push(host);
+    }
+
+    (
+        cb.build(),
+        SparseHandles {
+            victim_sources,
+            attack_source,
+            hot_hosts: (0..hot).collect(),
+            idle_hosts,
         },
     )
 }

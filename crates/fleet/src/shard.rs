@@ -175,6 +175,14 @@ pub(crate) struct HostShard {
     /// Cumulative control-plane policy updates applied to this host's
     /// switch, sampled per window — the policy-churn timeline.
     pub policy_updates: TimeSeries,
+    /// Ticks this shard actually executed (the event-driven engine
+    /// skips provably-idle ones; the stepped engine executes all).
+    pub ticks_stepped: u64,
+    /// Event-bearing causes observed across executed ticks: inbound
+    /// epochs, topology commands, sample boundaries and defense
+    /// intervals. Depends only on shard-local state and the global
+    /// command/traffic program, so it is worker-count invariant.
+    pub events_processed: u64,
     genbuf: Vec<GenPacket>,
 }
 
@@ -203,6 +211,8 @@ impl HostShard {
             source_home,
             slots,
             slot_index,
+            ticks_stepped: 0,
+            events_processed: 0,
             genbuf: Vec::new(),
         }
     }
@@ -231,6 +241,18 @@ impl HostShard {
         cmds: &[HostCmd],
     ) -> ShardOutput {
         let mut out = ShardOutput::new(ctx.shards);
+
+        self.ticks_stepped += 1;
+        self.events_processed += cmds.len() as u64;
+        if !inbound.packets.is_empty() || !inbound.receipts.is_empty() {
+            self.events_processed += 1;
+        }
+        if (tick + 1).is_multiple_of(ctx.sample_every_ticks) {
+            self.events_processed += 1;
+        }
+        if self.node.has_defense() && (tick + 1).is_multiple_of(ctx.defense_every_ticks) {
+            self.events_processed += 1;
+        }
 
         // 0. Topology changes for this epoch.
         for cmd in cmds {
@@ -371,6 +393,52 @@ impl HostShard {
         }
 
         out
+    }
+
+    /// The earliest tick ≥ `from_tick` at which this shard must run
+    /// again, assuming nothing arrives from other shards in between
+    /// (arrivals and commands are folded in by the engine). `u64::MAX`
+    /// means "never on its own". Each event source maps to the tick
+    /// grid the way the tick loop consumes it:
+    ///
+    /// * carried work (queued packets, parked upcalls, cycle debt) and
+    ///   stall windows pin the shard busy at `from_tick`;
+    /// * scheduled events (control-plane applies, reliable-layer
+    ///   timers, fault starts) are polled against tick-*start* `now`,
+    ///   so an event at `T` fires on tick `⌈T/tick_ns⌉`;
+    /// * backend background deadlines (revalidator/aging sweeps) are
+    ///   polled against tick-*end* `next`, so they fire one tick
+    ///   earlier: `⌈T/tick_ns⌉ − 1`;
+    /// * a source emits (or first mutates) at `T` during the tick
+    ///   whose window covers it: `⌊T/tick_ns⌋`;
+    /// * defense controllers run on their configured tick grid.
+    ///
+    /// Sample boundaries are global and handled by the engine, not
+    /// here.
+    pub(crate) fn next_wake(&self, from_tick: u64, ctx: &TickCtx, tick_ns: u64) -> u64 {
+        if !self.node.quiet() {
+            return from_tick;
+        }
+        let from = SimTime::from_nanos(from_tick.saturating_mul(tick_ns));
+        let mut wake = u64::MAX;
+        if let Some(t) = self.node.next_scheduled_event(from) {
+            wake = wake.min(t.as_nanos().div_ceil(tick_ns));
+        }
+        if let Some(t) = self.node.next_background_event(from) {
+            wake = wake.min(t.as_nanos().div_ceil(tick_ns).saturating_sub(1));
+        }
+        for slot in &self.slots {
+            if wake <= from_tick {
+                break;
+            }
+            let t = slot.source.next_activity(from);
+            wake = wake.min(t.as_nanos() / tick_ns);
+        }
+        if self.node.has_defense() {
+            let r = from_tick % ctx.defense_every_ticks;
+            wake = wake.min(from_tick + (ctx.defense_every_ticks - 1 - r));
+        }
+        wake.max(from_tick)
     }
 
     pub fn stats(&self) -> SwitchStats {

@@ -29,6 +29,13 @@ pub struct SimConfig {
     /// [`pi_detect::DefenseController`]. Faster than `sample_interval`
     /// by default: detection latency is a measured quantity.
     pub defense_interval: SimTime,
+    /// Use the event-driven core: ticks on which a node provably has no
+    /// work (empty queues, no scheduled control/fault/maintenance
+    /// events, no active source) are skipped instead of stepped. The
+    /// skipped ticks are exact no-ops, so results are bit-identical to
+    /// the tick-stepped reference (`false`), which remains available
+    /// for equivalence testing.
+    pub event_driven: bool,
 }
 
 impl Default for SimConfig {
@@ -41,6 +48,7 @@ impl Default for SimConfig {
             link_bps: 1e9,
             sample_interval: SimTime::from_secs(1),
             defense_interval: SimTime::from_millis(100),
+            event_driven: true,
         }
     }
 }

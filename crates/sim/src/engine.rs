@@ -306,7 +306,62 @@ pub struct Simulation {
     sources: Vec<SourceSlot>,
 }
 
+/// Earliest tick ≥ `from_tick` on which anything observable can happen,
+/// under the same tick-grid mappings as the fleet engine's
+/// `HostShard::next_wake`: scheduled control/fault events are polled at
+/// tick *start* (`div_ceil`), backend maintenance deadlines at tick
+/// *end* (`div_ceil − 1`), source activity by the tick containing it
+/// (floor). The sample grid bounds the answer, so a finite tick always
+/// comes back; ticks strictly between `from_tick` and the result are
+/// provable no-ops.
+fn next_event_tick(
+    nodes: &[NodeCell<usize>],
+    sources: &[SourceSlot],
+    from_tick: u64,
+    tick_ns: u64,
+    sample_every_ticks: u64,
+    defense_every_ticks: u64,
+) -> u64 {
+    let from = SimTime::from_nanos(from_tick.saturating_mul(tick_ns));
+    let mut wake = from_tick + (sample_every_ticks - 1 - from_tick % sample_every_ticks);
+    for node in nodes {
+        if wake <= from_tick {
+            break;
+        }
+        if !node.quiet() {
+            wake = from_tick;
+            break;
+        }
+        if let Some(t) = node.next_scheduled_event(from) {
+            wake = wake.min(t.as_nanos().div_ceil(tick_ns));
+        }
+        if let Some(t) = node.next_background_event(from) {
+            wake = wake.min(t.as_nanos().div_ceil(tick_ns).saturating_sub(1));
+        }
+        if node.has_defense() {
+            let r = from_tick % defense_every_ticks;
+            wake = wake.min(from_tick + (defense_every_ticks - 1 - r));
+        }
+    }
+    for slot in sources {
+        if wake <= from_tick {
+            break;
+        }
+        let t = slot.source.next_activity(from);
+        wake = wake.min(t.as_nanos() / tick_ns);
+    }
+    wake.max(from_tick)
+}
+
 impl Simulation {
+    /// Overrides the engine selection after construction. The scripted
+    /// scenarios build their own [`crate::SimConfig`]; this lets the
+    /// equivalence tests run the same scenario on the event-driven core
+    /// and the tick-stepped reference and pin the reports equal.
+    pub fn set_event_driven(&mut self, on: bool) {
+        self.cfg.event_driven = on;
+    }
+
     /// Runs to completion and reports.
     pub fn run(self) -> SimReport {
         let Simulation {
@@ -346,8 +401,27 @@ impl Simulation {
         let sample_every_ticks = (cfg.sample_interval.as_nanos() / cfg.tick.as_nanos()).max(1);
         let window_secs = cfg.sample_interval.as_secs_f64();
         let defense_every_ticks = cfg.defense_every_ticks();
+        let tick_ns = cfg.tick.as_nanos();
 
-        for tick in 0..ticks {
+        // Event-driven mode jumps `tick` straight to the next tick with
+        // observable work; the stepped reference visits every tick. The
+        // executed ticks run the identical body either way.
+        let mut tick = 0u64;
+        while tick < ticks {
+            if cfg.event_driven {
+                let e = next_event_tick(
+                    &nodes,
+                    &sources,
+                    tick,
+                    tick_ns,
+                    sample_every_ticks,
+                    defense_every_ticks,
+                );
+                if e >= ticks {
+                    break;
+                }
+                tick = e;
+            }
             let now = SimTime::from_nanos(tick * cfg.tick.as_nanos());
             let next = now + cfg.tick;
 
@@ -412,7 +486,7 @@ impl Simulation {
                 node.revalidate(next);
                 // The defense control loop observes the post-tick
                 // switch state at its own cadence.
-                if (tick + 1) % defense_every_ticks == 0 {
+                if (tick + 1).is_multiple_of(defense_every_ticks) {
                     node.run_defense(next);
                 }
             }
@@ -437,7 +511,7 @@ impl Simulation {
             }
 
             // 5. Sampling.
-            if (tick + 1) % sample_every_ticks == 0 {
+            if (tick + 1).is_multiple_of(sample_every_ticks) {
                 let t = next;
                 for (si, slot) in sources.iter_mut().enumerate() {
                     throughput[si].push(t, slot.window_delivered_bytes as f64 * 8.0 / window_secs);
@@ -453,6 +527,7 @@ impl Simulation {
                     handler_cps[ni].push(t, node.take_window_handler_cycles() as f64 / window_secs);
                 }
             }
+            tick += 1;
         }
 
         SimReport {

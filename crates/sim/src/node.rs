@@ -435,6 +435,46 @@ impl<T> NodeCell<T> {
         self.deferred.len()
     }
 
+    /// True when the node carries no work of its own into the next
+    /// tick: empty ingress queue, nothing parked in the upcall
+    /// pipeline, and no cycle debt (a crash's restart debt keeps the
+    /// node busy through its blackout). A quiet node still wakes for
+    /// scheduled and background events — see
+    /// [`NodeCell::next_scheduled_event`] and
+    /// [`NodeCell::next_background_event`].
+    pub fn quiet(&self) -> bool {
+        self.queue.is_empty() && self.deferred.is_empty() && self.cycle_carry == 0
+    }
+
+    /// The earliest instant at which an attached driver acts on this
+    /// node: a timed control-plane update lands (consumed — and lost —
+    /// even mid-blackout), the reliable layer has a delivery, retry,
+    /// ack or reconciliation due, or the fault program crashes or
+    /// stalls the host. `None` when nothing is pending. A
+    /// [`NodeCell::step`] strictly before the returned time observes
+    /// none of these drivers.
+    pub fn next_scheduled_event(&self, now: SimTime) -> Option<SimTime> {
+        let mut next: Option<SimTime> = None;
+        let mut fold = |t: SimTime| next = Some(next.map_or(t, |n| n.min(t)));
+        if let Some(t) = self.control.as_ref().and_then(|c| c.next_due()) {
+            fold(t);
+        }
+        if let Some(t) = self.reliable.as_ref().and_then(|r| r.next_activity()) {
+            fold(t);
+        }
+        if let Some(t) = self.faults.as_ref().and_then(|f| f.next_event(now)) {
+            fold(t);
+        }
+        next
+    }
+
+    /// The backend's next self-driven work instant (handler steps,
+    /// maintenance sweeps) — see
+    /// [`DataplaneBackend::next_background_event`].
+    pub fn next_background_event(&self, now: SimTime) -> Option<SimTime> {
+        self.backend.next_background_event(now)
+    }
+
     /// Runs the revalidator at the end of a tick (skipped while the
     /// switch process is down — the revalidator died with it).
     pub fn revalidate(&mut self, next: SimTime) {

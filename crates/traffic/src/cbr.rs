@@ -86,6 +86,14 @@ impl TrafficSource for CbrSource {
     fn label(&self) -> &str {
         &self.label
     }
+
+    fn next_activity(&self, from: SimTime) -> SimTime {
+        if self.start >= self.stop || from >= self.stop {
+            SimTime::NEVER
+        } else {
+            from.max(self.start)
+        }
+    }
 }
 
 #[cfg(test)]

@@ -106,6 +106,10 @@ impl TrafficSource for ChurnSource {
     fn label(&self) -> &str {
         &self.label
     }
+
+    fn next_activity(&self, from: SimTime) -> SimTime {
+        from.max(self.start)
+    }
 }
 
 #[cfg(test)]

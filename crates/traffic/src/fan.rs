@@ -91,6 +91,10 @@ impl TrafficSource for FanSource {
     fn label(&self) -> &str {
         &self.label
     }
+
+    fn next_activity(&self, from: SimTime) -> SimTime {
+        from.max(self.start)
+    }
 }
 
 #[cfg(test)]

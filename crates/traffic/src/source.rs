@@ -30,6 +30,17 @@ pub trait TrafficSource {
     fn label(&self) -> &str {
         "source"
     }
+
+    /// The earliest time `t >= from` at which a `generate` call whose
+    /// window contains `t` may emit packets **or mutate source state**.
+    /// The event-driven engines skip a source's host while every window
+    /// before this time is a provable no-op; sources whose `generate`
+    /// touches state on every call (rate adaptation, credit accrual)
+    /// must keep the conservative default of "always active".
+    /// [`SimTime::NEVER`] means the source is finished for good.
+    fn next_activity(&self, from: SimTime) -> SimTime {
+        from
+    }
 }
 
 #[cfg(test)]
