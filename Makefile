@@ -2,7 +2,7 @@
 
 CARGO ?= cargo
 
-.PHONY: build test fmt-check clippy bench bench-fleet bench-hotpath bench-upcall bench-detect bench-policy bench-backends bench-fault bench-check example-fleet clean
+.PHONY: build test fmt-check clippy bench bench-fleet bench-hotpath bench-upcall bench-detect bench-policy bench-backends bench-fault bench-check bench-compare bench-summary trace-forensics example-fleet clean
 
 build:
 	$(CARGO) build --release
@@ -66,9 +66,30 @@ bench-fault:
 	$(CARGO) run --release -p pi_bench --bin fault_matrix
 
 # Static regression gate over the checked-in BENCH_*.json headline
-# cells (no benches are re-run).
+# cells (no benches are re-run), including the tracing-overhead gate
+# on the hotpath trace_off/trace_on rows.
 bench-check:
 	$(CARGO) run --release -p pi_bench --bin bench_check
+
+# Fresh-vs-committed artefact diff with per-cell tolerances: re-runs
+# the deterministic policy-churn bench into a scratch dir and compares
+# every cell against the committed artefact. Exit 1 on regression.
+bench-compare:
+	mkdir -p /tmp/pi_fresh
+	PI_BENCH_POLICY_OUT=/tmp/pi_fresh/BENCH_policy.json \
+		$(CARGO) run --release -p pi_bench --bin policy_churn
+	$(CARGO) run --release -p pi_bench --bin bench_check -- --against /tmp/pi_fresh
+
+# Markdown results index (results/summary.md): the normalized hot-path
+# throughput trajectory plus every artefact's headline cell.
+bench-summary:
+	$(CARGO) run --release -p pi_bench --bin bench_summary
+
+# Traced policy-flap forensics: proves the causal chain (policy update
+# -> cache flush -> attributed rebuild storm -> PolicyChurn detection)
+# and writes results/trace_policy_flap.{json,prom}.
+trace-forensics:
+	$(CARGO) run --release -p pi_bench --bin trace_forensics
 
 example-fleet:
 	$(CARGO) run --release --example fleet_blast_radius

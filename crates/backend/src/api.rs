@@ -17,6 +17,7 @@ use pi_datapath::{
     RestartOutcome, SwitchStats, UpcallStats, VSwitch,
 };
 use pi_mitigation::MaskAttribution;
+use pi_trace::Tracer;
 
 /// Maximum packets hashed per [`DataplaneBackend::process_batch`] phase
 /// (OVS's `NETDEV_MAX_BURST`; the other backends adopt the same batching
@@ -68,6 +69,14 @@ pub trait DataplaneBackend: std::fmt::Debug + Send {
 
     /// Removes the ACL at `ip` (pod reverts to allow-all).
     fn remove_acl(&mut self, ip: u32) -> bool;
+
+    /// Attaches a trace handle: the costed control-plane entry points
+    /// record their policy updates and cache flushes through it
+    /// ([`pi_trace::TraceEventKind::PolicyUpdate`] /
+    /// [`pi_trace::TraceEventKind::CacheFlush`]). The default drops the
+    /// handle — a backend without flushable state may stay untraced —
+    /// and a disabled tracer makes every emission a single no-op branch.
+    fn set_tracer(&mut self, _tracer: Tracer) {}
 
     // --- Costed control-plane entry points --------------------------
 

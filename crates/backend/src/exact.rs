@@ -30,6 +30,7 @@ use pi_datapath::{
     ResolvedUpcall, RestartOutcome, SwitchStats, UpcallStats,
 };
 use pi_mitigation::MaskAttribution;
+use pi_trace::Tracer;
 
 use crate::api::DataplaneBackend;
 use crate::host::PodTable;
@@ -49,6 +50,7 @@ pub struct ExactHash {
     emc: EmcStats,
     upcall: UpcallStats,
     next_sweep: SimTime,
+    tracer: Tracer,
 }
 
 impl ExactHash {
@@ -66,6 +68,7 @@ impl ExactHash {
             emc: EmcStats::default(),
             upcall: UpcallStats::default(),
             next_sweep,
+            tracer: Tracer::disabled(),
         }
     }
 
@@ -83,10 +86,12 @@ impl ExactHash {
         evicted
     }
 
-    fn charge_update(&mut self, applied: bool, flushed: usize) -> PolicyUpdateOutcome {
+    fn charge_update(&mut self, op: u8, applied: bool, flushed: usize) -> PolicyUpdateOutcome {
         let cycles = self.cost.control_update_cycles(flushed);
         self.stats.cycles += cycles;
         self.stats.control_cycles += cycles;
+        self.tracer
+            .emit_policy_update(op, cycles, flushed as u32, true, applied);
         PolicyUpdateOutcome {
             applied,
             flushed_megaflows: flushed,
@@ -216,30 +221,34 @@ impl DataplaneBackend for ExactHash {
         true
     }
 
+    fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
     fn apply_install_acl(&mut self, ip: u32, table: FlowTable) -> PolicyUpdateOutcome {
         let trie_fields = self.config.trie_fields.clone();
         if !self.pods.install_acl(ip, table, &trie_fields) {
-            return self.charge_update(false, 0);
+            return self.charge_update(0, false, 0);
         }
         self.stats.policy_updates += 1;
         let flushed = self.evict_destination(ip);
-        self.charge_update(true, flushed)
+        self.charge_update(0, true, flushed)
     }
 
     fn apply_remove_acl(&mut self, ip: u32) -> PolicyUpdateOutcome {
         if !self.pods.remove_acl(ip) {
-            return self.charge_update(false, 0);
+            return self.charge_update(1, false, 0);
         }
         self.stats.policy_updates += 1;
         let flushed = self.evict_destination(ip);
-        self.charge_update(true, flushed)
+        self.charge_update(1, true, flushed)
     }
 
     fn apply_attach_pod(&mut self, ip: u32, vport: u32) -> PolicyUpdateOutcome {
         self.stats.policy_updates += 1;
         let fresh = self.pods.attach_pod(ip, vport);
         let flushed = self.evict_destination(ip);
-        self.charge_update(fresh, flushed)
+        self.charge_update(2, fresh, flushed)
     }
 
     fn process_batch(

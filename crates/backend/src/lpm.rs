@@ -30,6 +30,7 @@ use pi_datapath::{
     ResolvedUpcall, RestartOutcome, SwitchStats, UpcallStats,
 };
 use pi_mitigation::MaskAttribution;
+use pi_trace::Tracer;
 
 use crate::api::DataplaneBackend;
 use crate::host::PodTable;
@@ -55,6 +56,7 @@ pub struct LpmTier {
     acl_strides: usize,
     stats: SwitchStats,
     upcall: UpcallStats,
+    tracer: Tracer,
 }
 
 impl LpmTier {
@@ -73,6 +75,7 @@ impl LpmTier {
             acl_strides,
             stats: SwitchStats::default(),
             upcall: UpcallStats::default(),
+            tracer: Tracer::disabled(),
         }
     }
 
@@ -81,7 +84,12 @@ impl LpmTier {
         self.route_strides + self.acl_strides
     }
 
-    fn charge_update(&mut self, applied: bool, rules_recompiled: usize) -> PolicyUpdateOutcome {
+    fn charge_update(
+        &mut self,
+        op: u8,
+        applied: bool,
+        rules_recompiled: usize,
+    ) -> PolicyUpdateOutcome {
         // Recompilation: fixed control-plane handling plus one rule-visit
         // per rule folded into the tiers. Nothing is flushed — there is
         // no cached state to invalidate.
@@ -89,6 +97,10 @@ impl LpmTier {
             self.cost.control_update_cycles(0) + rules_recompiled as u64 * self.cost.per_rule;
         self.stats.cycles += cycles;
         self.stats.control_cycles += cycles;
+        // Nothing cached, nothing flushed: the trace shows the update
+        // itself (recompilation cost) with no CacheFlush — the visible
+        // proof of this architecture's immunity.
+        self.tracer.emit_policy_update(op, cycles, 0, true, applied);
         PolicyUpdateOutcome {
             applied,
             flushed_megaflows: 0,
@@ -213,26 +225,30 @@ impl DataplaneBackend for LpmTier {
         true
     }
 
+    fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
     fn apply_install_acl(&mut self, ip: u32, table: FlowTable) -> PolicyUpdateOutcome {
         let rules = table.len();
         if !DataplaneBackend::install_acl(self, ip, table) {
-            return self.charge_update(false, 0);
+            return self.charge_update(0, false, 0);
         }
-        self.charge_update(true, rules)
+        self.charge_update(0, true, rules)
     }
 
     fn apply_remove_acl(&mut self, ip: u32) -> PolicyUpdateOutcome {
         // Recompiling *out* the old ACL revisits its rules.
         let rules = self.pods.rules_at(ip);
         if !DataplaneBackend::remove_acl(self, ip) {
-            return self.charge_update(false, 0);
+            return self.charge_update(1, false, 0);
         }
-        self.charge_update(true, rules)
+        self.charge_update(1, true, rules)
     }
 
     fn apply_attach_pod(&mut self, ip: u32, vport: u32) -> PolicyUpdateOutcome {
         let fresh = DataplaneBackend::attach_pod(self, ip, vport);
-        self.charge_update(fresh, 0)
+        self.charge_update(2, fresh, 0)
     }
 
     fn process_batch(

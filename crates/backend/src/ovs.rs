@@ -16,6 +16,7 @@ use pi_datapath::{
     RestartOutcome, SwitchStats, UpcallStats, VSwitch,
 };
 use pi_mitigation::MaskAttribution;
+use pi_trace::Tracer;
 
 use crate::api::DataplaneBackend;
 
@@ -42,6 +43,10 @@ impl DataplaneBackend for VSwitch {
 
     fn remove_acl(&mut self, ip: u32) -> bool {
         VSwitch::remove_acl(self, ip)
+    }
+
+    fn set_tracer(&mut self, tracer: Tracer) {
+        VSwitch::set_tracer(self, tracer)
     }
 
     fn apply_install_acl(&mut self, ip: u32, table: FlowTable) -> PolicyUpdateOutcome {

@@ -1,48 +1,32 @@
-//! `bench_check` — static regression gate over the checked-in
-//! `BENCH_*.json` artefacts.
+//! `bench_check` — regression gate over the `BENCH_*.json` artefacts.
 //!
-//! Re-running every bench on every commit is too slow for CI, but the
-//! artefacts are checked in — so their **headline cells** can be
-//! re-validated for free. This binary parses the committed JSON (the
-//! writer's line-per-row shape, via [`pi_bench::report::extract_rows`])
-//! and fails when a headline claim no longer holds — e.g. someone
-//! regenerated `BENCH_fault.json` from a tree where reconciliation
-//! stopped closing the verdict hole, and committed it without reading
-//! the numbers.
+//! Two modes:
 //!
-//! Checks are deliberately on the *committed* files, not a fresh run:
-//! the gate catches regressions that made it into an artefact, while
-//! the benches' own trailing `assert!`s catch them at generation time.
+//! * **Static** (no arguments): re-validates the **headline cells** of
+//!   the checked-in artefacts. Re-running every bench on every commit
+//!   is too slow for CI, but the artefacts are checked in — so their
+//!   headline claims can be re-checked for free. Fails when a claim no
+//!   longer holds — e.g. someone regenerated `BENCH_fault.json` from a
+//!   tree where reconciliation stopped closing the verdict hole, and
+//!   committed it without reading the numbers. This mode also carries
+//!   the **trace-overhead gate**: the `trace_off` hot-path variant
+//!   (tracing compiled in, disabled at runtime) must stay within 1% of
+//!   `flat_onepass` (measured before the tracing layer existed).
+//!
+//! * **Comparator** (`--against <dir>`): diffs freshly generated
+//!   artefacts in `<dir>` against the committed ones in the working
+//!   directory, cell by cell, with per-cell tolerances — wall-clock
+//!   cells are skipped, throughput gets a loose lower bound, ratios a
+//!   small absolute window, and everything else a 10% relative band.
+//!   Rows are matched on per-bench identity keys plus `sim_secs`, so a
+//!   `--smoke` row (shorter run) never gets compared against a full
+//!   one — it is skipped with a note. Exit 1 on any regression.
 //!
 //! Exit code: 0 when every check passes, 1 otherwise.
 
+use pi_bench::rows::{field, find_row, find_where, keys, num};
+
 use pi_bench::report::extract_rows;
-
-/// Extracts `"key": <number>` from one rendered row line.
-fn num(line: &str, key: &str) -> Option<f64> {
-    let needle = format!("\"{key}\": ");
-    let start = line.find(&needle)? + needle.len();
-    let rest = &line[start..];
-    let end = rest.find([',', '}']).unwrap_or(rest.len());
-    rest[..end].trim().parse().ok()
-}
-
-/// Finds the row whose `key` field equals `value`.
-fn find_row<'a>(rows: &'a [String], key: &str, value: &str) -> Option<&'a String> {
-    let needle = format!("\"{key}\": \"{value}\"");
-    rows.iter().find(|r| r.contains(&needle))
-}
-
-/// Finds the row containing every `"key": value` pair. Values are
-/// matched as rendered, so string values must be passed pre-quoted
-/// (`"\"event\""`) while numbers and bools go bare (`"8"`, `"false"`).
-fn find_where<'a>(rows: &'a [String], preds: &[(&str, &str)]) -> Option<&'a String> {
-    rows.iter().find(|r| {
-        preds
-            .iter()
-            .all(|(k, v)| r.contains(&format!("\"{k}\": {v}")))
-    })
-}
 
 struct Gate {
     failures: Vec<String>,
@@ -86,6 +70,21 @@ impl Gate {
                 None
             }
         }
+    }
+
+    fn finish(self, label: &str) -> ! {
+        println!(
+            "\n{label}: {}/{} checks passed",
+            self.checked - self.failures.len(),
+            self.checked
+        );
+        if self.failures.is_empty() {
+            std::process::exit(0);
+        }
+        for f in &self.failures {
+            eprintln!("{label} FAILED: {f}");
+        }
+        std::process::exit(1);
     }
 }
 
@@ -232,6 +231,29 @@ fn check_hotpath(gate: &mut Gate) {
         num(base, "switch_packets").is_some()
             && num(base, "switch_packets") == num(flat, "switch_packets"),
     );
+    // The tracing layer's overhead gates. `trace_off` is today's tree
+    // with tracing compiled in but disabled (the guaranteed-no-op
+    // claim); `flat_onepass` was measured before the tracing layer
+    // existed. `trace_on` records every event into the per-host ring.
+    let (Some(off), Some(on)) = (variant("trace_off"), variant("trace_on")) else {
+        gate.check("hotpath: trace variants present", false);
+        return;
+    };
+    let off_pps = num(off, "pps").unwrap_or(0.0);
+    let on_pps = num(on, "pps").unwrap_or(0.0);
+    gate.check(
+        "hotpath: disabled tracing costs < 1% (trace_off >= 0.99x flat_onepass)",
+        off_pps >= 0.99 * flat_pps,
+    );
+    gate.check(
+        "hotpath: enabled tracing stays within 2x (trace_on >= 0.5x flat_onepass)",
+        on_pps >= 0.5 * flat_pps,
+    );
+    gate.check(
+        "hotpath: tracing never changes the work (same switch_packets on/off)",
+        num(off, "switch_packets") == num(flat, "switch_packets")
+            && num(on, "switch_packets") == num(flat, "switch_packets"),
+    );
 }
 
 fn check_upcall(gate: &mut Gate) {
@@ -303,7 +325,162 @@ fn check_fleet(gate: &mut Gate) {
     );
 }
 
+// ---------------------------------------------------------------------
+// `--against <dir>`: fresh-vs-committed artefact comparator.
+// ---------------------------------------------------------------------
+
+/// Per-bench row identity: rows are paired for comparison only when
+/// every one of these cells (plus `sim_secs`, when the row carries it)
+/// renders identically in both artefacts.
+const ARTEFACTS: &[(&str, &[&str])] = &[
+    ("BENCH_fault.json", &["cell"]),
+    ("BENCH_policy.json", &["mode"]),
+    (
+        "BENCH_backends.json",
+        &["backend", "attack", "defended", "defense"],
+    ),
+    ("BENCH_detect.json", &["mode"]),
+    ("BENCH_hotpath.json", &["variant", "hosts"]),
+    ("BENCH_upcall.json", &["mode"]),
+    (
+        "BENCH_fleet.json",
+        &["scenario", "engine", "hosts", "workers"],
+    ),
+];
+
+/// How one cell is compared between a fresh and a baseline row.
+enum Rule {
+    /// Wall-clock / machine-dependent: never compared.
+    Skip,
+    /// Wall-clock throughput: fresh must retain at least this fraction
+    /// of the baseline (upside is never a regression).
+    LowerBound(f64),
+    /// Dimensionless ratio: absolute window.
+    Abs(f64),
+    /// Everything else numeric: relative band (zero must stay zero).
+    Rel(f64),
+}
+
+fn rule_for(key: &str) -> Rule {
+    match key {
+        "median_wall_secs" | "p95_wall_secs" | "speedup" | "warmup" | "repeats" => Rule::Skip,
+        "pps" => Rule::LowerBound(0.5),
+        "retained"
+        | "retained_vs_benign"
+        | "retained_vs_baseline"
+        | "recovery_ratio"
+        | "emc_hit_rate"
+        | "victim_drop_rate" => Rule::Abs(0.05),
+        _ => Rule::Rel(0.10),
+    }
+}
+
+/// The artefact's `"params": {...}` envelope line, used as a whole-file
+/// comparability guard: differing parameters mean the rows measure
+/// different experiments, so the file is skipped rather than failed.
+fn params_line(json: &str) -> Option<&str> {
+    json.lines()
+        .map(str::trim)
+        .find(|l| l.starts_with("\"params\": "))
+}
+
+/// A short identity label for one row, for failure messages.
+fn row_label(row: &str, id_keys: &[&str]) -> String {
+    let mut parts: Vec<String> = Vec::new();
+    for k in id_keys {
+        if let Some(v) = field(row, k) {
+            parts.push(format!("{k}={}", v.trim_matches('"')));
+        }
+    }
+    if let Some(v) = field(row, "sim_secs") {
+        parts.push(format!("sim_secs={v}"));
+    }
+    parts.join(" ")
+}
+
+fn compare_file(gate: &mut Gate, dir: &str, file: &str, id_keys: &[&str]) {
+    let fresh_path = format!("{dir}/{file}");
+    let Ok(fresh_json) = std::fs::read_to_string(&fresh_path) else {
+        println!("{file}: no fresh artefact in {dir}, skipped");
+        return;
+    };
+    let Ok(base_json) = std::fs::read_to_string(file) else {
+        gate.check(&format!("{file}: committed baseline readable"), false);
+        return;
+    };
+    if params_line(&fresh_json) != params_line(&base_json) {
+        println!("{file}: params differ from baseline, skipped (different experiment)");
+        return;
+    }
+    let fresh_rows = extract_rows(&fresh_json, "\u{7f}");
+    let base_rows = extract_rows(&base_json, "\u{7f}");
+    let mut compared = 0usize;
+    let mut skipped = 0usize;
+    for fresh in &fresh_rows {
+        // Identity: the per-bench keys plus sim_secs when present.
+        let mut ids: Vec<&str> = id_keys.to_vec();
+        if field(fresh, "sim_secs").is_some() {
+            ids.push("sim_secs");
+        }
+        let Some(base) = base_rows
+            .iter()
+            .find(|b| ids.iter().all(|k| field(b, k) == field(fresh, k)))
+        else {
+            skipped += 1;
+            continue;
+        };
+        compared += 1;
+        let label = row_label(fresh, id_keys);
+        for key in keys(fresh) {
+            if ids.contains(&key.as_str()) {
+                continue;
+            }
+            let (Some(f), Some(b)) = (field(fresh, &key), field(base, &key)) else {
+                continue; // cell added/removed between versions: not a regression
+            };
+            match (f.parse::<f64>(), b.parse::<f64>()) {
+                (Ok(fv), Ok(bv)) => {
+                    let ok = match rule_for(&key) {
+                        Rule::Skip => continue,
+                        Rule::LowerBound(frac) => fv >= frac * bv,
+                        Rule::Abs(tol) => (fv - bv).abs() <= tol,
+                        Rule::Rel(rel) => {
+                            (fv - bv).abs() <= 1e-9_f64.max(rel * fv.abs().max(bv.abs()))
+                        }
+                    };
+                    gate.check(&format!("{file} [{label}] {key}: {f} vs {b}"), ok);
+                }
+                _ => {
+                    // Non-numeric cells must not drift at all.
+                    gate.check(&format!("{file} [{label}] {key}: {f} vs {b}"), f == b);
+                }
+            }
+        }
+    }
+    println!("{file}: {compared} rows compared, {skipped} without a baseline counterpart");
+}
+
+fn run_against(dir: &str) -> ! {
+    println!("bench_check --against {dir}: fresh artefacts vs committed baselines\n");
+    let mut gate = Gate::new();
+    for (file, id_keys) in ARTEFACTS {
+        compare_file(&mut gate, dir, file, id_keys);
+    }
+    if gate.checked == 0 {
+        println!("note: no comparable rows found (smoke runs compare only when durations match)");
+    }
+    gate.finish("bench_check --against")
+}
+
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(i) = args.iter().position(|a| a == "--against") {
+        let Some(dir) = args.get(i + 1) else {
+            eprintln!("usage: bench_check [--against <dir>]");
+            std::process::exit(2);
+        };
+        run_against(dir);
+    }
     let mut gate = Gate::new();
     check_fault(&mut gate);
     check_policy(&mut gate);
@@ -312,15 +489,5 @@ fn main() {
     check_hotpath(&mut gate);
     check_upcall(&mut gate);
     check_fleet(&mut gate);
-    println!(
-        "\nbench_check: {}/{} checks passed",
-        gate.checked - gate.failures.len(),
-        gate.checked
-    );
-    if !gate.failures.is_empty() {
-        for f in &gate.failures {
-            eprintln!("bench_check FAILED: {f}");
-        }
-        std::process::exit(1);
-    }
+    gate.finish("bench_check")
 }

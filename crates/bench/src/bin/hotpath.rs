@@ -20,7 +20,11 @@
 //! not destroy them. Environment knobs:
 //! * `PI_HOTPATH_VARIANT` — row label (default `flat_onepass`, or
 //!   `smoke` under `--smoke` so a quick check never replaces the full
-//!   measurement rows).
+//!   measurement rows). Two labels change the configuration measured:
+//!   `trace_off` runs today's tree with the tracing layer compiled in
+//!   but disabled (the guaranteed-no-op claim `bench_check` gates at
+//!   < 1% vs `flat_onepass`), and `trace_on` records every event into
+//!   the per-host trace ring.
 //! * `PI_BENCH_HOTPATH_MERGE` — merge source for prior rows (default:
 //!   the output file itself, when present).
 //! * `--smoke` — tiny iteration count for CI: 1 simulated second, one
@@ -30,7 +34,7 @@ use std::time::Instant;
 
 use pi_bench::report::{extract_rows, Fields, Report};
 use pi_bench::stopwatch::{sample, SampleStats};
-use pi_fleet::fleet_colocation;
+use pi_fleet::{fleet_colocation, TraceConfig};
 
 struct Row {
     variant: String,
@@ -71,8 +75,13 @@ fn main() {
         let mut packets = 0u64;
         let mut avg_probes = 0.0f64;
         let mut emc_hit_rate = 0.0f64;
+        let trace_on = variant == "trace_on";
         let stats = sample(warmup, repeats, || {
-            let (sim, _handles) = fleet_colocation(&pi_bench::colocation_cell(hosts, 1, sim_secs));
+            let (mut sim, _handles) =
+                fleet_colocation(&pi_bench::colocation_cell(hosts, 1, sim_secs));
+            if trace_on {
+                sim.set_trace(TraceConfig::enabled());
+            }
             let start = Instant::now();
             let report = sim.run();
             let wall = start.elapsed();

@@ -1,0 +1,145 @@
+//! `trace_forensics` — the traced policy-flap attack, end to end.
+//!
+//! Runs the single-node policy-churn scenario with the flap attack and
+//! the adaptive defense, with structured tracing enabled, and then
+//! walks the merged trace to prove the **causal chain** the tracing
+//! layer exists to expose:
+//!
+//! 1. each of the attacker's `PolicyUpdate` events carries a fresh
+//!    causality id;
+//! 2. the `CacheFlush` it triggers carries the *same* id;
+//! 3. the rebuild storm that follows — `BatchWindow` upcall bursts and
+//!    `MegaflowChurn` — is attributed to that id (the tracer latches
+//!    the most recent flush's cause);
+//! 4. the `PolicyChurn` detection that eventually fires carries a flap
+//!    update's id: the defense can name the update that caused the
+//!    collapse it is mitigating.
+//!
+//! The Chrome trace-event export is written to
+//! `results/trace_policy_flap.json` (loadable in Perfetto /
+//! `chrome://tracing`; validated here with the dependency-free JSON
+//! checker) and the Prometheus-style snapshot to
+//! `results/trace_policy_flap.prom`. CI runs this binary: a tree where
+//! the causal chain breaks — updates stop flushing, rebuilds lose
+//! attribution, or the detector goes silent — fails the build.
+//!
+//! `--smoke` shortens the run; every assertion still holds.
+
+use pi_core::SimTime;
+use pi_detect::ControllerConfig;
+use pi_sim::{policy_churn_scenario, PolicyChurnParams, TraceConfig, TraceEventKind};
+use pi_trace::{chrome_trace_json, prometheus_snapshot, validate_json, CauseId};
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let sim_secs: u64 = if smoke { 6 } else { 12 };
+    let params = PolicyChurnParams {
+        duration: SimTime::from_secs(sim_secs),
+        attack_start: SimTime::from_secs(2),
+        defense: Some(ControllerConfig::default()),
+        ..Default::default()
+    };
+    let (mut sim, handles) = policy_churn_scenario(&params);
+    sim.set_trace(TraceConfig::enabled());
+    let report = sim.run();
+    let trace = &report.trace;
+    assert!(!trace.is_empty(), "enabled tracing must record events");
+    assert_eq!(trace.dropped, 0, "ring must hold the whole run");
+
+    println!(
+        "trace_forensics: {} simulated seconds, {} events ({} dropped)",
+        sim_secs,
+        trace.events.len(),
+        trace.dropped
+    );
+
+    // 1. The attacker's flap updates: ACL installs (op 0) that arrive
+    //    after attack_start and flushed cached state. Each must carry a
+    //    real causality id.
+    let attack_ns = params.attack_start.as_nanos();
+    let mut flap_causes: Vec<CauseId> = Vec::new();
+    let mut flushes_by_cause = 0usize;
+    let mut attributed_windows = 0usize;
+    let mut churn_detections: Vec<CauseId> = Vec::new();
+    for ev in &trace.events {
+        match ev.kind {
+            TraceEventKind::PolicyUpdate {
+                op: 0,
+                flushed,
+                applied: true,
+                ..
+            } if ev.at_ns >= attack_ns && flushed > 0 => {
+                assert!(ev.cause.is_some(), "flap update without a causality id");
+                assert_eq!(
+                    ev.cause.host(),
+                    Some(handles.node as u32),
+                    "cause id must name the updated host"
+                );
+                flap_causes.push(ev.cause);
+            }
+            TraceEventKind::CacheFlush { .. } if flap_causes.contains(&ev.cause) => {
+                flushes_by_cause += 1;
+            }
+            TraceEventKind::BatchWindow { upcalls, .. }
+                if upcalls > 0 && flap_causes.contains(&ev.cause) =>
+            {
+                attributed_windows += 1;
+            }
+            TraceEventKind::MegaflowChurn { .. } if flap_causes.contains(&ev.cause) => {
+                attributed_windows += 1;
+            }
+            // Signal code 5 = PolicyChurn (index into `Signal::ALL`).
+            TraceEventKind::Detection { signal: 5, .. } => {
+                churn_detections.push(ev.cause);
+            }
+            _ => {}
+        }
+    }
+
+    // 2–4. The chain, link by link.
+    assert!(
+        flap_causes.len() >= 10,
+        "expected a train of flap updates, got {}",
+        flap_causes.len()
+    );
+    assert!(
+        flushes_by_cause >= flap_causes.len(),
+        "every flap update must flush under its own cause id \
+         ({flushes_by_cause} flushes for {} updates)",
+        flap_causes.len()
+    );
+    assert!(
+        attributed_windows > 0,
+        "the rebuild storm must be attributed to flap causes"
+    );
+    assert!(
+        !churn_detections.is_empty(),
+        "the PolicyChurn detector must fire on the traced flap"
+    );
+    assert!(
+        churn_detections.iter().any(|c| flap_causes.contains(c)),
+        "a PolicyChurn detection must carry a flap update's cause id"
+    );
+    println!(
+        "causal chain: {} flap updates -> {} flushes -> {} attributed rebuild windows -> {} PolicyChurn detections",
+        flap_causes.len(),
+        flushes_by_cause,
+        attributed_windows,
+        churn_detections.len()
+    );
+
+    // Exports: Chrome trace-event JSON (must parse) + Prometheus text.
+    let chrome = chrome_trace_json(trace);
+    validate_json(&chrome).expect("chrome trace export must be valid JSON");
+    let dir = pi_bench::results_dir();
+    let json_path = dir.join("trace_policy_flap.json");
+    std::fs::write(&json_path, &chrome).expect("write chrome trace");
+    let prom_path = dir.join("trace_policy_flap.prom");
+    std::fs::write(&prom_path, prometheus_snapshot(trace)).expect("write prometheus snapshot");
+    println!(
+        "wrote {} ({} bytes) and {}",
+        json_path.display(),
+        chrome.len(),
+        prom_path.display()
+    );
+}

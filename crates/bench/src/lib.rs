@@ -25,6 +25,7 @@
 use std::path::PathBuf;
 
 pub mod report;
+pub mod rows;
 pub mod stopwatch;
 
 /// Resolves the shared results directory (`<workspace>/results`),

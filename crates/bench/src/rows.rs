@@ -1,0 +1,112 @@
+//! Read-side helpers for the `BENCH_*.json` artefacts.
+//!
+//! The writer ([`crate::report`]) renders one row per line, so the
+//! readers (`bench_check`, `bench_summary`) never need a general JSON
+//! parser: a row is a line, a cell is a `"key": value` pair on it.
+//! These helpers are the shared vocabulary for pulling cells back out.
+
+/// The raw rendered token of `"key": <token>` on one row line —
+/// `"\"event\""` for strings (quotes kept), `"8"` / `"0.25"` for
+/// numbers, `"true"` for bools. `None` when the key is absent.
+pub fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let needle = format!("\"{key}\": ");
+    let start = line.find(&needle)? + needle.len();
+    let rest = &line[start..];
+    let end = if let Some(stripped) = rest.strip_prefix('"') {
+        // String value: scan to the closing quote (the writer escapes
+        // embedded quotes, but row identity values never contain any).
+        stripped.find('"').map(|i| i + 2).unwrap_or(rest.len())
+    } else {
+        rest.find([',', '}']).unwrap_or(rest.len())
+    };
+    Some(rest[..end].trim())
+}
+
+/// Extracts `"key": <number>` from one rendered row line.
+pub fn num(line: &str, key: &str) -> Option<f64> {
+    field(line, key)?.parse().ok()
+}
+
+/// Finds the row whose `key` field equals the string `value`.
+pub fn find_row<'a>(rows: &'a [String], key: &str, value: &str) -> Option<&'a String> {
+    let needle = format!("\"{key}\": \"{value}\"");
+    rows.iter().find(|r| r.contains(&needle))
+}
+
+/// Finds the row containing every `"key": value` pair. Values are
+/// matched as rendered, so string values must be passed pre-quoted
+/// (`"\"event\""`) while numbers and bools go bare (`"8"`, `"false"`).
+pub fn find_where<'a>(rows: &'a [String], preds: &[(&str, &str)]) -> Option<&'a String> {
+    rows.iter().find(|r| {
+        preds
+            .iter()
+            .all(|(k, v)| r.contains(&format!("\"{k}\": {v}")))
+    })
+}
+
+/// Every `key` name appearing on the row line, in row order.
+pub fn keys(line: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let bytes = line.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        // A key is a quoted string immediately followed by `: `.
+        if bytes[i] == b'"' {
+            if let Some(close) = line[i + 1..].find('"') {
+                let end = i + 1 + close;
+                if line[end + 1..].starts_with(": ") {
+                    out.push(line[i + 1..end].to_string());
+                    // Skip the value: strings need their closing quote.
+                    let vstart = end + 3;
+                    if line[vstart..].starts_with('"') {
+                        let vclose = line[vstart + 1..].find('"').unwrap_or(0);
+                        i = vstart + 1 + vclose + 1;
+                    } else {
+                        i = vstart;
+                    }
+                    continue;
+                }
+                i = end + 1;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ROW: &str =
+        "{\"mode\": \"policy_flap\", \"sim_secs\": 10, \"retained\": 0.042, \"ok\": true}";
+
+    #[test]
+    fn field_returns_raw_tokens() {
+        assert_eq!(field(ROW, "mode"), Some("\"policy_flap\""));
+        assert_eq!(field(ROW, "sim_secs"), Some("10"));
+        assert_eq!(field(ROW, "ok"), Some("true"));
+        assert_eq!(field(ROW, "missing"), None);
+    }
+
+    #[test]
+    fn num_parses_numbers_only() {
+        assert_eq!(num(ROW, "retained"), Some(0.042));
+        assert_eq!(num(ROW, "mode"), None);
+    }
+
+    #[test]
+    fn keys_walks_the_row_in_order() {
+        assert_eq!(keys(ROW), vec!["mode", "sim_secs", "retained", "ok"]);
+    }
+
+    #[test]
+    fn finders_match_rendered_values() {
+        let rows = vec![ROW.to_string()];
+        assert!(find_row(&rows, "mode", "policy_flap").is_some());
+        assert!(find_row(&rows, "mode", "benign").is_none());
+        assert!(find_where(&rows, &[("mode", "\"policy_flap\""), ("sim_secs", "10")]).is_some());
+        assert!(find_where(&rows, &[("sim_secs", "11")]).is_none());
+    }
+}

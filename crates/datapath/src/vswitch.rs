@@ -18,6 +18,7 @@ use std::collections::{BTreeSet, HashMap};
 use pi_classifier::{Action, FlowTable};
 use pi_core::{Field, FlowKey, KeyWords, SimTime, SplitMix64};
 use pi_packet::extract_flow_key;
+use pi_trace::Tracer;
 
 use crate::config::DpConfig;
 use crate::cost::CostModel;
@@ -289,6 +290,8 @@ pub struct VSwitch {
     /// refused slow-path service (BTreeSet for deterministic listing).
     quarantined: BTreeSet<u32>,
     rng: SplitMix64,
+    /// Trace handle (disabled by default — a guaranteed no-op).
+    tracer: Tracer,
 }
 
 impl VSwitch {
@@ -325,12 +328,20 @@ impl VSwitch {
             pipeline: UpcallQueue::default(),
             quarantined: BTreeSet::new(),
             rng,
+            tracer: Tracer::disabled(),
         }
     }
 
     /// The active configuration.
     pub fn config(&self) -> &DpConfig {
         &self.config
+    }
+
+    /// Attaches a trace handle: the costed control-plane entry points
+    /// record their policy updates and cache flushes through it. The
+    /// default (disabled) tracer makes every emission a no-op branch.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     // --- Runtime-mutable knobs -------------------------------------
@@ -546,30 +557,38 @@ impl VSwitch {
     /// [`CostModel::control_update_cycles`] against the switch.
     pub fn apply_install_acl(&mut self, ip: u32, table: FlowTable) -> PolicyUpdateOutcome {
         let (applied, flushed) = self.do_install_acl(ip, table);
-        self.charge_update(applied, flushed)
+        self.charge_update(0, applied, flushed)
     }
 
     /// [`VSwitch::remove_acl`], costed.
     pub fn apply_remove_acl(&mut self, ip: u32) -> PolicyUpdateOutcome {
         let (applied, flushed) = self.do_remove_acl(ip);
-        self.charge_update(applied, flushed)
+        self.charge_update(1, applied, flushed)
     }
 
     /// [`VSwitch::attach_pod`], costed. `applied` reports a *fresh*
     /// attach (false = vport re-home preserving the slow path).
     pub fn apply_attach_pod(&mut self, ip: u32, vport: u32) -> PolicyUpdateOutcome {
         let (fresh, flushed) = self.do_attach_pod(ip, vport);
-        self.charge_update(fresh, flushed)
+        self.charge_update(2, fresh, flushed)
     }
 
-    fn charge_update(&mut self, applied: bool, flushed_megaflows: usize) -> PolicyUpdateOutcome {
+    fn charge_update(
+        &mut self,
+        op: u8,
+        applied: bool,
+        flushed_megaflows: usize,
+    ) -> PolicyUpdateOutcome {
         let cycles = self.cost.control_update_cycles(flushed_megaflows);
         self.stats.cycles += cycles;
         self.stats.control_cycles += cycles;
+        let scoped = self.config.scoped_invalidation;
+        self.tracer
+            .emit_policy_update(op, cycles, flushed_megaflows as u32, scoped, applied);
         PolicyUpdateOutcome {
             applied,
             flushed_megaflows,
-            scoped: self.config.scoped_invalidation,
+            scoped,
             cycles,
         }
     }

@@ -12,6 +12,7 @@
 
 use pi_backend::DataplaneBackend;
 use pi_core::SimTime;
+use pi_trace::{TraceEventKind, Tracer};
 
 use crate::detector::{DetectionEvent, DetectorBank, DetectorConfig};
 use crate::telemetry::{TelemetrySample, TelemetryTap};
@@ -29,6 +30,19 @@ pub enum DefenseState {
     /// Signals went quiet under mitigation; waiting out the cooldown
     /// before reverting (absorbs attack lulls).
     Cooldown,
+}
+
+impl DefenseState {
+    /// Stable trace code: 0 = Idle, 1 = Suspect, 2 = Mitigating,
+    /// 3 = Cooldown. `pi_trace` transition events carry it.
+    pub fn code(&self) -> u8 {
+        match self {
+            DefenseState::Idle => 0,
+            DefenseState::Suspect => 1,
+            DefenseState::Mitigating => 2,
+            DefenseState::Cooldown => 3,
+        }
+    }
 }
 
 /// Controller tuning.
@@ -155,6 +169,8 @@ pub struct DefenseController {
     saved_quota: Option<Option<u32>>,
     saved_staged: Option<bool>,
     report: DefenseReport,
+    /// Trace handle (disabled by default — a guaranteed no-op).
+    tracer: Tracer,
 }
 
 impl DefenseController {
@@ -172,7 +188,17 @@ impl DefenseController {
             saved_quota: None,
             saved_staged: None,
             report: DefenseReport::default(),
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Attaches a trace handle: detections and state transitions are
+    /// recorded through it ([`pi_trace::TraceEventKind::Detection`] /
+    /// [`pi_trace::TraceEventKind::DefenseTransition`]), attributed to
+    /// the latched rebuild cause — linking a policy-flap detection back
+    /// to the update that flushed the cache.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// A controller with the default tuning.
@@ -220,6 +246,15 @@ impl DefenseController {
     /// instead of silently forgetting it.
     pub fn on_switch_restart(&mut self, now: SimTime) {
         if self.state != DefenseState::Idle {
+            // Crash truncation starts a new chain; no rebuild cause.
+            self.tracer.emit_uncaused(
+                now.as_nanos(),
+                TraceEventKind::DefenseTransition {
+                    from: self.state.code(),
+                    to: DefenseState::Idle.code(),
+                    actions: 0,
+                },
+            );
             self.report.timeline.push(DefenseTransition {
                 at: now,
                 from: self.state,
@@ -254,6 +289,18 @@ impl DefenseController {
         // must still be quarantined. Same filter the bank applies to
         // event attribution.
         let offenders = sample.offenders(self.cfg.detector.offender_mask_threshold);
+        if self.tracer.is_enabled() {
+            for ev in &events {
+                self.tracer.emit(
+                    ev.at.as_nanos(),
+                    TraceEventKind::Detection {
+                        signal: ev.signal.code(),
+                        value: ev.value,
+                        threshold: ev.threshold,
+                    },
+                );
+            }
+        }
         self.report.detections.extend(events);
         let alarm = self.bank.any_active();
         if alarm {
@@ -306,6 +353,14 @@ impl DefenseController {
             }
         }
         if self.state != from || !actions.is_empty() {
+            self.tracer.emit(
+                sample.at.as_nanos(),
+                TraceEventKind::DefenseTransition {
+                    from: from.code(),
+                    to: self.state.code(),
+                    actions: actions.len() as u32,
+                },
+            );
             self.report.timeline.push(DefenseTransition {
                 at: sample.at,
                 from,

@@ -43,6 +43,15 @@ impl Signal {
         Signal::PolicyChurn,
     ];
 
+    /// Stable wire/trace code: this signal's index in [`Signal::ALL`]
+    /// (`PolicyChurn` = 5). `pi_trace` detection events carry it.
+    pub fn code(&self) -> u8 {
+        Signal::ALL
+            .iter()
+            .position(|s| s == self)
+            .expect("Signal::ALL is exhaustive") as u8
+    }
+
     /// Extracts this signal's value from a sample. Mask growth is
     /// clamped at zero: shrinkage (evictions) is recovery, not attack.
     pub fn value(&self, s: &TelemetrySample) -> f64 {

@@ -26,6 +26,7 @@ use std::collections::{BTreeMap, BTreeSet};
 use pi_classifier::FlowTable;
 use pi_cms::{ControlPlaneProgram, PolicyUpdate, ScheduledUpdate};
 use pi_core::{SimTime, SplitMix64};
+use pi_trace::{TraceEventKind, Tracer};
 
 use crate::channel::{Channel, ChannelFaultConfig};
 
@@ -146,6 +147,8 @@ pub struct ReliableControlPlane {
     applied: u64,
     reconcile_checks: u64,
     reconcile_pushes: u64,
+    /// Trace handle (disabled by default — a guaranteed no-op).
+    tracer: Tracer,
 }
 
 impl ReliableControlPlane {
@@ -188,7 +191,15 @@ impl ReliableControlPlane {
             applied: 0,
             reconcile_checks: 0,
             reconcile_pushes: 0,
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Attaches a trace handle: reconciliation passes record their
+    /// repair pushes through it
+    /// ([`pi_trace::TraceEventKind::Reconcile`]).
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     fn jitter(&mut self, span: SimTime) -> SimTime {
@@ -355,6 +366,12 @@ impl ReliableControlPlane {
             }
         }
         self.reconcile_pushes += pushes as u64;
+        self.tracer.emit_uncaused(
+            now.as_nanos(),
+            TraceEventKind::Reconcile {
+                pushes: pushes as u32,
+            },
+        );
         if pushes > 0 {
             if self.diverged_since.is_none() {
                 self.diverged_since = Some(now);

@@ -41,10 +41,11 @@ use pi_datapath::{CostModel, DpConfig};
 use pi_detect::DefenseController;
 use pi_fault::{FaultSchedule, ReliabilityConfig, ReliableControlPlane};
 use pi_sim::{NodeCell, NodePacket};
+use pi_trace::{CauseId, TraceConfig, TraceEvent, TraceEventKind, Tracer};
 use pi_traffic::TrafficSource;
 
 use crate::config::FleetConfig;
-use crate::report::FleetReport;
+use crate::report::{EngineProfile, FleetReport, FLUSH_LOG_CAP};
 use crate::shard::{FleetSlot, HostCmd, HostShard, Inbound, Receipt, ShardOutput, TickCtx};
 
 /// A pod migration scheduled at build time.
@@ -247,6 +248,11 @@ impl FleetBuilder {
         for (host, schedule) in fault_schedules {
             nodes[host].attach_faults(schedule.compile());
         }
+        if cfg.sim.trace.enabled {
+            for (host, node) in nodes.iter_mut().enumerate() {
+                node.set_tracer(Tracer::for_host(cfg.sim.trace, host as u32));
+            }
+        }
 
         let source_home: Vec<usize> = self.sources.iter().map(|(h, _)| *h).collect();
         let mut per_host_slots: Vec<Vec<FleetSlot>> = (0..n).map(|_| Vec::new()).collect();
@@ -413,6 +419,9 @@ struct EventWorker {
     /// Cross-worker emissions awaiting the next flush, by destination
     /// worker.
     outbox: Vec<Vec<FlushItem>>,
+    /// Harness self-profiling for this worker (heap churn, null
+    /// messages) — diagnostic only, never part of the simulated state.
+    profile: EngineProfile,
 }
 
 impl EventWorker {
@@ -435,6 +444,7 @@ impl EventWorker {
                 break;
             }
             self.heap.pop();
+            self.profile.wake_stale_pops += 1;
         }
         e
     }
@@ -493,6 +503,7 @@ impl EventWorker {
             self.wake_at[li] = w;
             if w != u64::MAX {
                 self.heap.push(Reverse((w, li)));
+                self.profile.wake_pushes += 1;
             }
         }
         // Every deadline ≤ e belonged to a shard that just ran (a live
@@ -500,9 +511,36 @@ impl EventWorker {
         while let Some(&Reverse((wt, _))) = self.heap.peek() {
             if wt <= e {
                 self.heap.pop();
+                self.profile.wake_stale_pops += 1;
             } else {
                 break;
             }
+        }
+    }
+
+    /// Records one outgoing flush in the profile. Terminal promises
+    /// (`safe == u64::MAX`) are counted but not logged — they carry no
+    /// meaningful tick.
+    fn note_flush(&mut self, to: usize, safe: u64, items: usize) {
+        self.profile.flushes += 1;
+        self.profile.flush_items += items as u64;
+        if items == 0 {
+            self.profile.null_messages += 1;
+        }
+        if safe != u64::MAX && self.profile.flush_log.len() < FLUSH_LOG_CAP {
+            let seq = self.profile.flush_log.len() as u32;
+            self.profile.flush_log.push(TraceEvent {
+                at_ns: safe.saturating_mul(self.tick_ns),
+                host: self.me as u32,
+                seq,
+                cause: CauseId::NONE,
+                kind: TraceEventKind::FlushExchange {
+                    from: self.me as u32,
+                    to: to as u32,
+                    safe_tick: safe,
+                    items: items as u32,
+                },
+            });
         }
     }
 
@@ -533,7 +571,7 @@ fn worker_event_loop(
     mut w: EventWorker,
     peers: Vec<(usize, SyncSender<Flush>)>,
     rx: Receiver<Flush>,
-) -> Vec<HostShard> {
+) -> (Vec<HostShard>, EngineProfile) {
     let ticks = w.ticks;
     let mut frontier: HashMap<usize, u64> = peers.iter().map(|(p, _)| (*p, 0)).collect();
     let mut t: u64 = 0;
@@ -558,19 +596,23 @@ fn worker_event_loop(
             // Peers may still be behind: leave them a terminal promise
             // (ignore peers that already finished and hung up).
             for (p, tx) in &peers {
+                let items = std::mem::take(&mut w.outbox[*p]);
+                w.note_flush(*p, u64::MAX, items.len());
                 let _ = tx.send(Flush {
                     from: w.me,
                     safe: u64::MAX,
-                    items: std::mem::take(&mut w.outbox[*p]),
+                    items,
                 });
             }
-            return w.shards;
+            return (w.shards, w.profile);
         }
         for (p, tx) in &peers {
+            let items = std::mem::take(&mut w.outbox[*p]);
+            w.note_flush(*p, h + 1, items.len());
             let _ = tx.send(Flush {
                 from: w.me,
                 safe: h + 1,
-                items: std::mem::take(&mut w.outbox[*p]),
+                items,
             });
         }
         while frontier.values().copied().min().unwrap_or(u64::MAX) <= h {
@@ -587,6 +629,23 @@ impl FleetSim {
     /// Number of host shards.
     pub fn host_count(&self) -> usize {
         self.shards.len()
+    }
+
+    /// Overrides the trace configuration after construction and rewires
+    /// every shard's tracer accordingly — the fleet counterpart of
+    /// [`pi_sim::Simulation::set_trace`]. Tracers are strictly
+    /// shard-local (per-host rings, merged canonically at assembly), so
+    /// enabling tracing cannot disturb worker-count determinism.
+    pub fn set_trace(&mut self, trace: TraceConfig) {
+        self.cfg.sim.trace = trace;
+        for shard in &mut self.shards {
+            let tracer = if trace.enabled {
+                Tracer::for_host(trace, shard.id as u32)
+            } else {
+                Tracer::disabled()
+            };
+            shard.node.set_tracer(tracer);
+        }
     }
 
     /// Runs to completion and reports. Dispatches on
@@ -626,7 +685,14 @@ impl FleetSim {
         let tick_ns = sim.tick.as_nanos().max(1);
         let ticks = sim.tick_count();
         if ticks == 0 {
-            return FleetReport::assemble(workers, sim.tick, 0, shards);
+            return FleetReport::assemble(
+                workers,
+                sim.tick,
+                0,
+                shards,
+                sim.trace,
+                idle_profiles(workers),
+            );
         }
 
         let owner: Vec<usize> = (0..n).map(|i| i % workers).collect();
@@ -680,14 +746,21 @@ impl FleetSim {
                 wake_at,
                 heap,
                 outbox: (0..workers).map(|_| Vec::new()).collect(),
+                profile: EngineProfile {
+                    worker: me,
+                    ..EngineProfile::default()
+                },
             };
             handles.push(thread::spawn(move || worker_event_loop(ew, peers, rx)));
         }
         drop(txs);
 
         let mut final_shards: Vec<Option<HostShard>> = (0..n).map(|_| None).collect();
+        let mut profiles: Vec<EngineProfile> = Vec::with_capacity(workers);
         for handle in handles {
-            for s in handle.join().expect("worker panicked") {
+            let (shards, profile) = handle.join().expect("worker panicked");
+            profiles.push(profile);
+            for s in shards {
                 let id = s.id;
                 final_shards[id] = Some(s);
             }
@@ -700,6 +773,8 @@ impl FleetSim {
                 .into_iter()
                 .map(|s| s.expect("all shards returned"))
                 .collect(),
+            sim.trace,
+            profiles,
         )
     }
 
@@ -833,6 +908,19 @@ impl FleetSim {
                 .into_iter()
                 .map(|s| s.expect("all shards returned"))
                 .collect(),
+            sim.trace,
+            idle_profiles(workers),
         )
     }
+}
+
+/// Zeroed per-worker profiles for engines that do no lookahead
+/// coordination (the tick-stepped barrier engine, zero-tick runs).
+fn idle_profiles(workers: usize) -> Vec<EngineProfile> {
+    (0..workers)
+        .map(|worker| EngineProfile {
+            worker,
+            ..EngineProfile::default()
+        })
+        .collect()
 }

@@ -40,8 +40,9 @@ mod shard;
 
 pub use config::FleetConfig;
 pub use engine::{FleetBuilder, FleetSim};
+pub use pi_sim::{TraceConfig, TraceEvent, TraceEventKind, TraceReport};
 pub use placement::ClusterBuilder;
-pub use report::{BlastRadius, EngineStats, FleetReport};
+pub use report::{BlastRadius, EngineProfile, EngineStats, FleetReport, FLUSH_LOG_CAP};
 pub use scenario::{
     fleet_colocation, fleet_migration, fleet_sparse, ColocationHandles, ColocationParams,
     MigrationHandles, MigrationParams, SparseHandles, SparseParams,

@@ -7,27 +7,43 @@ use pi_detect::{DefenseReport, MaskAttribution};
 use pi_fault::NodeFaultReport;
 use pi_metrics::{degradation_ratio, sum_series, TimeSeries};
 use pi_sim::SourceTotals;
+use pi_trace::{TraceConfig, TraceEvent, TraceReport};
 
 use crate::shard::HostShard;
 
-/// What the engine did to produce a run: executed vs skipped shard
-/// ticks and the events behind them. Purely diagnostic — every count
-/// is derived from shard-local state and the global program, so the
-/// numbers are identical for every worker count (they differ between
-/// the event-driven and tick-stepped engines only in how many ticks
-/// were skipped).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct EngineStats {
-    /// Shard ticks actually executed (summed over hosts).
-    pub shard_ticks_stepped: u64,
-    /// Shard ticks proven idle and skipped (`hosts × ticks −
-    /// stepped`; zero under the tick-stepped engine).
-    pub shard_ticks_skipped: u64,
-    /// Event-bearing causes consumed across executed ticks: inbound
-    /// epochs, topology commands, sample boundaries, defense
-    /// intervals.
-    pub events_processed: u64,
+pub use pi_sim::EngineStats;
+
+/// Per-worker self-profiling of the event-driven core: what the
+/// parallel harness did to coordinate the run. Unlike every other
+/// report field these numbers are **not** worker-count invariant —
+/// they describe the harness (null messages, heap churn), not the
+/// simulated fleet — so they are quarantined here and must never be
+/// fed into determinism comparisons. All zero under the tick-stepped
+/// engine.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct EngineProfile {
+    /// Worker index.
+    pub worker: usize,
+    /// Flushes sent to peers (including pure null messages).
+    pub flushes: u64,
+    /// Flushes that carried no deliveries — pure CMB null messages,
+    /// only a lookahead promise.
+    pub null_messages: u64,
+    /// Cross-worker delivery items carried by those flushes.
+    pub flush_items: u64,
+    /// Wake-heap pushes (shard deadlines scheduled or re-scheduled).
+    pub wake_pushes: u64,
+    /// Wake-heap entries discarded as stale (lazy invalidation churn).
+    pub wake_stale_pops: u64,
+    /// The first [`FLUSH_LOG_CAP`] flush exchanges as
+    /// [`pi_trace::TraceEventKind::FlushExchange`] records (terminal
+    /// promises excluded), for ad-hoc export alongside the canonical
+    /// trace.
+    pub flush_log: Vec<TraceEvent>,
 }
+
+/// Cap on [`EngineProfile::flush_log`] entries per worker.
+pub const FLUSH_LOG_CAP: usize = 256;
 
 /// Everything a cluster run produces.
 #[derive(Debug)]
@@ -51,6 +67,10 @@ pub struct FleetReport {
     /// Per-host slow-path handler CPU, cycles/second (zero under the
     /// inline pipeline).
     pub handler_cps: Vec<TimeSeries>,
+    /// Per-host control-plane CPU, cycles/second — the flush-storm
+    /// share of the datapath budget, sampled per window. Flat zero for
+    /// hosts with no control plane attached.
+    pub control_cps: Vec<TimeSeries>,
     /// Per-host policy-update timeline: cumulative control-plane
     /// updates applied to the host's switch, sampled per window. Flat
     /// at the build-time setup count for hosts with no runtime churn;
@@ -74,6 +94,14 @@ pub struct FleetReport {
     pub attribution: Vec<Vec<MaskAttribution>>,
     /// Executed/skipped tick accounting for the run.
     pub engine: EngineStats,
+    /// Per-worker harness profiling (not worker-count invariant; see
+    /// [`EngineProfile`]).
+    pub profiles: Vec<EngineProfile>,
+    /// The merged structured trace (empty unless
+    /// [`pi_sim::SimConfig::trace`] enabled tracing). Canonical merge
+    /// order `(at_ns, host, seq)` — bit-identical for every worker
+    /// count.
+    pub trace: TraceReport,
 }
 
 /// How far one injected policy reaches: which co-located tenants and
@@ -134,6 +162,8 @@ impl FleetReport {
         tick: SimTime,
         total_ticks: u64,
         shards: Vec<HostShard>,
+        trace_cfg: TraceConfig,
+        profiles: Vec<EngineProfile>,
     ) -> FleetReport {
         let hosts = shards.len();
         let mut engine = EngineStats::default();
@@ -142,6 +172,8 @@ impl FleetReport {
             engine.events_processed += shard.events_processed;
         }
         engine.shard_ticks_skipped = (hosts as u64 * total_ticks) - engine.shard_ticks_stepped;
+        let tracers: Vec<_> = shards.iter().map(|s| s.node.tracer()).collect();
+        let trace = TraceReport::collect(trace_cfg, &tracers);
         let n_sources = shards.iter().map(|s| s.slots.len()).sum();
         let mut throughput: Vec<Option<TimeSeries>> = (0..n_sources).map(|_| None).collect();
         let mut offered: Vec<Option<TimeSeries>> = (0..n_sources).map(|_| None).collect();
@@ -150,6 +182,7 @@ impl FleetReport {
         let mut megaflows = Vec::with_capacity(hosts);
         let mut cpu = Vec::with_capacity(hosts);
         let mut handler_cps = Vec::with_capacity(hosts);
+        let mut control_cps = Vec::with_capacity(hosts);
         let mut policy_updates = Vec::with_capacity(hosts);
         let mut stats = Vec::with_capacity(hosts);
         let mut upcall = Vec::with_capacity(hosts);
@@ -166,6 +199,7 @@ impl FleetReport {
             megaflows.push(shard.megaflows);
             cpu.push(shard.cpu);
             handler_cps.push(shard.handler_cps);
+            control_cps.push(shard.control_cps);
             policy_updates.push(shard.policy_updates);
             for slot in shard.slots {
                 let g = slot.global;
@@ -190,6 +224,7 @@ impl FleetReport {
             megaflows,
             cpu_util: cpu,
             handler_cps,
+            control_cps,
             policy_updates,
             switch_stats: stats,
             upcall_stats: upcall,
@@ -198,6 +233,8 @@ impl FleetReport {
             faults,
             attribution,
             engine,
+            profiles,
+            trace,
         }
     }
 

@@ -172,6 +172,9 @@ pub(crate) struct HostShard {
     pub megaflows: TimeSeries,
     pub cpu: TimeSeries,
     pub handler_cps: TimeSeries,
+    /// Control-plane CPU, cycles/second — the flush-storm share of the
+    /// datapath budget, sampled per window.
+    pub control_cps: TimeSeries,
     /// Cumulative control-plane policy updates applied to this host's
     /// switch, sampled per window — the policy-churn timeline.
     pub policy_updates: TimeSeries,
@@ -204,6 +207,7 @@ impl HostShard {
             megaflows: TimeSeries::new(&format!("host{id}_megaflows")),
             cpu: TimeSeries::new(&format!("host{id}_cpu")),
             handler_cps: TimeSeries::new(&format!("host{id}_handler_cps")),
+            control_cps: TimeSeries::new(&format!("host{id}_control_cps")),
             policy_updates: TimeSeries::new(&format!("host{id}_policy_updates")),
             id,
             node,
@@ -382,6 +386,10 @@ impl HostShard {
             self.megaflows
                 .push(t, self.node.backend().megaflow_count() as f64);
             let budget_window = ctx.cpu_cycles_per_sec as f64 * ctx.window_secs;
+            self.control_cps.push(
+                t,
+                self.node.take_window_control_cycles() as f64 / ctx.window_secs,
+            );
             self.cpu
                 .push(t, self.node.take_window_cycles() as f64 / budget_window);
             self.handler_cps.push(

@@ -1,6 +1,7 @@
 //! Simulation parameters.
 
 use pi_core::SimTime;
+use pi_trace::TraceConfig;
 
 /// Global knobs of a simulation run.
 ///
@@ -36,6 +37,10 @@ pub struct SimConfig {
     /// the tick-stepped reference (`false`), which remains available
     /// for equivalence testing.
     pub event_driven: bool,
+    /// Structured tracing (`pi_trace`). Disabled by default — and a
+    /// disabled tracer is a guaranteed no-op on the hot path; enabled
+    /// traces are bit-identical across engines and worker counts.
+    pub trace: TraceConfig,
 }
 
 impl Default for SimConfig {
@@ -49,6 +54,7 @@ impl Default for SimConfig {
             sample_interval: SimTime::from_secs(1),
             defense_interval: SimTime::from_millis(100),
             event_driven: true,
+            trace: TraceConfig::default(),
         }
     }
 }

@@ -14,9 +14,29 @@ use pi_datapath::{CostModel, DpConfig, SwitchStats, UpcallStats};
 use pi_detect::{DefenseController, DefenseReport, MaskAttribution};
 use pi_fault::{FaultSchedule, NodeFaultReport, ReliabilityConfig, ReliableControlPlane};
 use pi_metrics::TimeSeries;
+use pi_trace::{TraceConfig, TraceReport, Tracer};
 use pi_traffic::{GenPacket, TrafficSource};
 
 use crate::node::{NodeCell, NodePacket, Routing};
+
+/// What the engine did to produce a run: executed vs skipped per-node
+/// ticks and the events behind them. Purely diagnostic — every count is
+/// derived from node-local state and the global schedule, so the
+/// numbers are identical for every worker count in the fleet engine
+/// (they differ between the event-driven and tick-stepped engines only
+/// in how many ticks were skipped).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Node/shard ticks actually executed (summed over hosts).
+    pub shard_ticks_stepped: u64,
+    /// Node/shard ticks proven idle and skipped (`hosts × ticks −
+    /// stepped`; zero under the tick-stepped engine).
+    pub shard_ticks_skipped: u64,
+    /// Event-bearing causes consumed across executed ticks: inbound
+    /// fabric epochs, topology commands, sample boundaries, defense
+    /// intervals.
+    pub events_processed: u64,
+}
 
 struct SourceSlot {
     source: Box<dyn TrafficSource>,
@@ -200,6 +220,11 @@ impl SimBuilder {
         for (node, schedule) in fault_schedules {
             nodes[node].attach_faults(schedule.compile());
         }
+        if self.cfg.trace.enabled {
+            for (host, node) in nodes.iter_mut().enumerate() {
+                node.set_tracer(Tracer::for_host(self.cfg.trace, host as u32));
+            }
+        }
         let sources = self
             .sources
             .into_iter()
@@ -271,6 +296,10 @@ pub struct SimReport {
     /// inline pipeline — handlers are a separate budget, so this is a
     /// rate, not a fraction of the datapath budget).
     pub handler_cps: Vec<TimeSeries>,
+    /// Per-node control-plane CPU, cycles/second — the flush-storm
+    /// share of the datapath budget (a subset of `cpu_util`'s cycles),
+    /// sampled per window. Flat zero for nodes with no control plane.
+    pub control_cps: Vec<TimeSeries>,
     /// Final switch statistics per node.
     pub switch_stats: Vec<SwitchStats>,
     /// Final upcall-pipeline statistics per node (all zero under the
@@ -288,6 +317,12 @@ pub struct SimReport {
     /// list, computed once here so benches never re-walk the megaflow
     /// cache themselves.
     pub attribution: Vec<Vec<MaskAttribution>>,
+    /// Executed/skipped tick accounting for the run (engine
+    /// self-profiling).
+    pub engine: EngineStats,
+    /// The merged structured trace (empty unless
+    /// [`crate::SimConfig::trace`] enabled tracing).
+    pub trace: TraceReport,
 }
 
 impl SimReport {
@@ -362,6 +397,22 @@ impl Simulation {
         self.cfg.event_driven = on;
     }
 
+    /// Overrides the trace configuration after construction and rewires
+    /// every node's tracer accordingly. The scripted scenarios build
+    /// their own [`crate::SimConfig`]; this turns tracing on (or off)
+    /// for an already-built topology without re-plumbing the builder.
+    pub fn set_trace(&mut self, trace: TraceConfig) {
+        self.cfg.trace = trace;
+        for (host, node) in self.nodes.iter_mut().enumerate() {
+            let tracer = if trace.enabled {
+                Tracer::for_host(trace, host as u32)
+            } else {
+                Tracer::disabled()
+            };
+            node.set_tracer(tracer);
+        }
+    }
+
     /// Runs to completion and reports.
     pub fn run(self) -> SimReport {
         let Simulation {
@@ -394,6 +445,10 @@ impl Simulation {
         let mut handler_cps: Vec<TimeSeries> = (0..nodes.len())
             .map(|i| TimeSeries::new(&format!("node{i}_handler_cps")))
             .collect();
+        let mut control_cps: Vec<TimeSeries> = (0..nodes.len())
+            .map(|i| TimeSeries::new(&format!("node{i}_control_cps")))
+            .collect();
+        let mut engine = EngineStats::default();
 
         let mut genbuf: Vec<GenPacket> = Vec::new();
         let mut forward: Vec<Vec<NodePacket<usize>>> =
@@ -424,6 +479,7 @@ impl Simulation {
             }
             let now = SimTime::from_nanos(tick * cfg.tick.as_nanos());
             let next = now + cfg.tick;
+            engine.shard_ticks_stepped += nodes.len() as u64;
 
             // 1. Generation → origin queues.
             for (si, slot) in sources.iter_mut().enumerate() {
@@ -487,12 +543,18 @@ impl Simulation {
                 // The defense control loop observes the post-tick
                 // switch state at its own cadence.
                 if (tick + 1).is_multiple_of(defense_every_ticks) {
+                    if node.has_defense() {
+                        engine.events_processed += 1;
+                    }
                     node.run_defense(next);
                 }
             }
 
             // 3. Fabric hand-off (next tick's queues).
             for (ni, pkts) in forward.iter_mut().enumerate() {
+                if !pkts.is_empty() {
+                    engine.events_processed += 1;
+                }
                 for pkt in pkts.drain(..) {
                     let source = pkt.source;
                     if !nodes[ni].enqueue(pkt, cfg.queue_capacity) {
@@ -512,6 +574,7 @@ impl Simulation {
 
             // 5. Sampling.
             if (tick + 1).is_multiple_of(sample_every_ticks) {
+                engine.events_processed += nodes.len() as u64;
                 let t = next;
                 for (si, slot) in sources.iter_mut().enumerate() {
                     throughput[si].push(t, slot.window_delivered_bytes as f64 * 8.0 / window_secs);
@@ -523,12 +586,16 @@ impl Simulation {
                     masks[ni].push(t, node.backend().mask_count() as f64);
                     megaflows[ni].push(t, node.backend().megaflow_count() as f64);
                     let budget_window = cfg.cpu_cycles_per_sec as f64 * window_secs;
+                    control_cps[ni].push(t, node.take_window_control_cycles() as f64 / window_secs);
                     cpu[ni].push(t, node.take_window_cycles() as f64 / budget_window);
                     handler_cps[ni].push(t, node.take_window_handler_cycles() as f64 / window_secs);
                 }
             }
             tick += 1;
         }
+        engine.shard_ticks_skipped = ticks * nodes.len() as u64 - engine.shard_ticks_stepped;
+        let tracers: Vec<Tracer> = nodes.iter().map(|n| n.tracer()).collect();
+        let trace = TraceReport::collect(cfg.trace, &tracers);
 
         SimReport {
             throughput_bps: throughput,
@@ -537,6 +604,9 @@ impl Simulation {
             megaflows,
             cpu_util: cpu,
             handler_cps,
+            control_cps,
+            engine,
+            trace,
             switch_stats: nodes.iter().map(|n| n.backend().stats()).collect(),
             upcall_stats: nodes.iter().map(|n| n.backend().upcall_stats()).collect(),
             attribution: nodes.iter().map(|n| n.backend().attribution()).collect(),

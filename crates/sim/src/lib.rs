@@ -24,8 +24,9 @@ pub mod node;
 pub mod scenario;
 
 pub use config::SimConfig;
-pub use engine::{SimBuilder, SimReport, Simulation, SourceTotals};
+pub use engine::{EngineStats, SimBuilder, SimReport, Simulation, SourceTotals};
 pub use node::{NodeCell, NodePacket, Routing};
+pub use pi_trace::{TraceConfig, TraceEvent, TraceEventKind, TraceReport, Tracer};
 pub use scenario::{
     adaptive_defense_scenario, crash_recovery_scenario, fig3_scenario, measure_backend_capacity,
     measure_capacity, policy_churn_scenario, upcall_saturation_scenario, AdaptiveDefenseHandles,

@@ -17,6 +17,7 @@ use pi_core::{FlowKey, Port, SimTime};
 use pi_datapath::{CostModel, DpConfig, PathTaken};
 use pi_detect::{DefenseAction, DefenseController, DefenseReport};
 use pi_fault::{ControlChannelStats, FaultPlan, NodeFaultReport, ReliableControlPlane};
+use pi_trace::{TraceEventKind, Tracer};
 
 /// A packet sitting in a node's ingress queue, tagged with an opaque
 /// source handle `T` (the engine uses its source index; the fleet uses a
@@ -99,6 +100,19 @@ pub struct NodeCell<T> {
     flows_lost: u64,
     upcalls_lost: u64,
     deferred_dropped: u64,
+    /// Control-plane cycles spent during the current sample window (a
+    /// subset of `window_cycles` — the flush-storm share the engines
+    /// sample into the `control_cps` series).
+    window_control_cycles: u64,
+    /// Trace handle (disabled by default — a guaranteed no-op). Shared
+    /// with the backend, defense controller and reliable layer so one
+    /// host's components record into one ring.
+    tracer: Tracer,
+    /// Last control-channel counters traced (diffed per executed tick).
+    chan_snapshot: ControlChannelStats,
+    /// Last megaflow/mask occupancy traced (churn events are emitted
+    /// only on change).
+    churn_snapshot: (usize, usize),
 }
 
 impl<T> NodeCell<T> {
@@ -125,7 +139,33 @@ impl<T> NodeCell<T> {
             flows_lost: 0,
             upcalls_lost: 0,
             deferred_dropped: 0,
+            window_control_cycles: 0,
+            tracer: Tracer::disabled(),
+            chan_snapshot: ControlChannelStats::default(),
+            churn_snapshot: (0, 0),
         }
+    }
+
+    /// Attaches a trace handle and fans it out to every component that
+    /// records events (backend, defense controller, reliable layer), so
+    /// the whole host shares one ring. Call before or after the
+    /// `attach_*` methods — both orders wire everything.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.backend.set_tracer(tracer.clone());
+        if let Some(d) = &mut self.defense {
+            d.set_tracer(tracer.clone());
+        }
+        if let Some(r) = &mut self.reliable {
+            r.set_tracer(tracer.clone());
+        }
+        self.tracer = tracer;
+    }
+
+    /// The node's trace handle — disabled unless [`NodeCell::set_tracer`]
+    /// attached an enabled one. The engines collect these at the end of
+    /// a run to assemble the canonical merged [`pi_trace::TraceReport`].
+    pub fn tracer(&self) -> Tracer {
+        self.tracer.clone()
     }
 
     /// Attaches a compiled fault program: its crash and stall events
@@ -137,7 +177,8 @@ impl<T> NodeCell<T> {
     /// Attaches the at-least-once control-plane layer. Its deliveries
     /// land during [`NodeCell::step`] and are charged against the tick
     /// budget exactly like the fire-and-forget driver's.
-    pub fn attach_reliable_control_plane(&mut self, rcp: ReliableControlPlane) {
+    pub fn attach_reliable_control_plane(&mut self, mut rcp: ReliableControlPlane) {
+        rcp.set_tracer(self.tracer.clone());
         self.reliable = Some(rcp);
     }
 
@@ -247,6 +288,106 @@ impl<T> NodeCell<T> {
         &mut self,
         now: SimTime,
         cycles_per_tick: u64,
+        sink: impl FnMut(NodePacket<T>, Routing),
+    ) {
+        // The untraced path is the hot path: one branch, then straight
+        // into the packet loop — no snapshots, no diffs.
+        if !self.tracer.is_enabled() {
+            self.step_inner(now, cycles_per_tick, sink);
+            return;
+        }
+        self.traced_step(now, cycles_per_tick, sink);
+    }
+
+    /// The traced tick: stamp the time, snapshot the counters, run the
+    /// real step, then emit window diffs — packet-batch summary, upcall
+    /// pipeline activity, megaflow churn, control-channel deliveries,
+    /// and crash events — all attributed to the latched rebuild cause.
+    /// Only ever called with tracing enabled; the snapshot/diff cost is
+    /// never paid on the hot path.
+    fn traced_step(
+        &mut self,
+        now: SimTime,
+        cycles_per_tick: u64,
+        sink: impl FnMut(NodePacket<T>, Routing),
+    ) {
+        self.tracer.set_now(now.as_nanos());
+        let stats0 = self.backend.stats();
+        let up0 = self.backend.upcall_stats();
+        let crashes0 = self.crashes;
+        let losses0 = (self.acls_lost, self.flows_lost, self.upcalls_lost);
+        self.step_inner(now, cycles_per_tick, sink);
+        let at = now.as_nanos();
+        if self.crashes > crashes0 {
+            self.tracer.emit_uncaused(
+                at,
+                TraceEventKind::Crash {
+                    acls_lost: (self.acls_lost - losses0.0) as u32,
+                    flows_lost: (self.flows_lost - losses0.1) as u32,
+                    upcalls_lost: (self.upcalls_lost - losses0.2) as u32,
+                },
+            );
+        }
+        let stats = self.backend.stats();
+        if stats.packets > stats0.packets || stats.cycles > stats0.cycles {
+            self.tracer.emit(
+                at,
+                TraceEventKind::BatchWindow {
+                    packets: (stats.packets - stats0.packets) as u32,
+                    microflow_hits: (stats.microflow_hits - stats0.microflow_hits) as u32,
+                    megaflow_hits: (stats.megaflow_hits - stats0.megaflow_hits) as u32,
+                    upcalls: (stats.upcalls - stats0.upcalls) as u32,
+                    policy_drops: (stats.policy_drops - stats0.policy_drops) as u32,
+                    cycles: stats.cycles - stats0.cycles,
+                },
+            );
+        }
+        let up = self.backend.upcall_stats();
+        if up != up0 {
+            self.tracer.emit(
+                at,
+                TraceEventKind::UpcallWindow {
+                    enqueued: (up.enqueued - up0.enqueued) as u32,
+                    queue_drops: (up.queue_drops - up0.queue_drops) as u32,
+                    handled: (up.handled - up0.handled) as u32,
+                    installs: (up.installs_flushed - up0.installs_flushed) as u32,
+                },
+            );
+        }
+        let churn = (self.backend.megaflow_count(), self.backend.mask_count());
+        if churn != self.churn_snapshot {
+            self.churn_snapshot = churn;
+            self.tracer.emit(
+                at,
+                TraceEventKind::MegaflowChurn {
+                    megaflows: churn.0 as u32,
+                    masks: churn.1 as u32,
+                },
+            );
+        }
+        if let Some(r) = &self.reliable {
+            let chan = r.stats();
+            let prev = self.chan_snapshot;
+            if chan != prev {
+                self.chan_snapshot = chan;
+                self.tracer.emit_uncaused(
+                    at,
+                    TraceEventKind::ControlChannel {
+                        delivered: (chan.delivered - prev.delivered) as u32,
+                        dropped: (chan.dropped - prev.dropped) as u32,
+                        retries: (chan.retries - prev.retries) as u32,
+                        lost_to_downtime: (chan.lost_to_downtime - prev.lost_to_downtime) as u32,
+                        applied: (chan.applied - prev.applied) as u32,
+                    },
+                );
+            }
+        }
+    }
+
+    fn step_inner(
+        &mut self,
+        now: SimTime,
+        cycles_per_tick: u64,
         mut sink: impl FnMut(NodePacket<T>, Routing),
     ) {
         // Fault events fire first: a crash wipes the switch's soft
@@ -323,10 +464,16 @@ impl<T> NodeCell<T> {
         if let Some(cp) = &mut self.control {
             let switch = &mut *self.backend;
             let window_cycles = &mut self.window_cycles;
+            let window_control_cycles = &mut self.window_control_cycles;
+            let tracer = &self.tracer;
             for scheduled in cp.due(now) {
                 if down {
                     continue;
                 }
+                // Each update gets a fresh causality id: the flush (and
+                // the rebuild storm after it) is attributed to *this*
+                // update. A no-op branch when tracing is disabled.
+                tracer.begin_update();
                 let outcome = match &scheduled.update {
                     PolicyUpdate::InstallAcl { ip, table } => {
                         switch.apply_install_acl(*ip, table.clone())
@@ -334,8 +481,10 @@ impl<T> NodeCell<T> {
                     PolicyUpdate::RemoveAcl { ip } => switch.apply_remove_acl(*ip),
                     PolicyUpdate::AttachPod { ip, vport } => switch.apply_attach_pod(*ip, *vport),
                 };
+                tracer.end_update();
                 budget -= outcome.cycles as i64;
                 *window_cycles += outcome.cycles;
+                *window_control_cycles += outcome.cycles;
             }
         }
         // Reliable control-plane deliveries (acked, deduplicated,
@@ -344,7 +493,10 @@ impl<T> NodeCell<T> {
         if let Some(rcp) = &mut self.reliable {
             let switch = &mut *self.backend;
             let window_cycles = &mut self.window_cycles;
+            let window_control_cycles = &mut self.window_control_cycles;
+            let tracer = &self.tracer;
             for update in rcp.poll(now, !down) {
+                tracer.begin_update();
                 let outcome = match &update {
                     PolicyUpdate::InstallAcl { ip, table } => {
                         switch.apply_install_acl(*ip, table.clone())
@@ -352,8 +504,10 @@ impl<T> NodeCell<T> {
                     PolicyUpdate::RemoveAcl { ip } => switch.apply_remove_acl(*ip),
                     PolicyUpdate::AttachPod { ip, vport } => switch.apply_attach_pod(*ip, *vport),
                 };
+                tracer.end_update();
                 budget -= outcome.cycles as i64;
                 *window_cycles += outcome.cycles;
+                *window_control_cycles += outcome.cycles;
             }
             if !down && rcp.reconcile_due(now) {
                 let installed = switch.installed_acl_ips();
@@ -495,8 +649,17 @@ impl<T> NodeCell<T> {
         std::mem::take(&mut self.window_handler_cycles)
     }
 
+    /// Returns and resets the control-plane cycles consumed this sample
+    /// window — the flush-storm share of [`NodeCell::take_window_cycles`]
+    /// (call before it; the control share is a subset, tracked
+    /// separately so the engines can sample a `control_cps` series).
+    pub fn take_window_control_cycles(&mut self) -> u64 {
+        std::mem::take(&mut self.window_control_cycles)
+    }
+
     /// Attaches a closed-loop defense controller to this node.
-    pub fn attach_defense(&mut self, controller: DefenseController) {
+    pub fn attach_defense(&mut self, mut controller: DefenseController) {
+        controller.set_tracer(self.tracer.clone());
         self.defense = Some(controller);
     }
 

@@ -1,0 +1,213 @@
+//! A dependency-free recursive-descent JSON validity checker. CI uses
+//! it to prove the Chrome trace export parses; it validates syntax per
+//! RFC 8259 (objects, arrays, strings with escapes, numbers, literals)
+//! without building a document tree.
+
+/// Validates that `input` is exactly one well-formed JSON value.
+/// Returns `Err` with a byte offset and reason on the first violation.
+pub fn validate_json(input: &str) -> Result<(), String> {
+    let bytes = input.as_bytes();
+    let mut pos = 0;
+    skip_ws(bytes, &mut pos);
+    parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing data at byte {pos}"));
+    }
+    Ok(())
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn fail(pos: usize, what: &str) -> String {
+    format!("{what} at byte {pos}")
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<(), String> {
+    match bytes.get(*pos) {
+        None => Err(fail(*pos, "unexpected end of input")),
+        Some(b'{') => parse_object(bytes, pos),
+        Some(b'[') => parse_array(bytes, pos),
+        Some(b'"') => parse_string(bytes, pos),
+        Some(b't') => parse_literal(bytes, pos, b"true"),
+        Some(b'f') => parse_literal(bytes, pos, b"false"),
+        Some(b'n') => parse_literal(bytes, pos, b"null"),
+        Some(b'-' | b'0'..=b'9') => parse_number(bytes, pos),
+        Some(&c) => Err(fail(*pos, &format!("unexpected byte {:#04x}", c))),
+    }
+}
+
+fn parse_literal(bytes: &[u8], pos: &mut usize, lit: &[u8]) -> Result<(), String> {
+    if bytes.len() >= *pos + lit.len() && &bytes[*pos..*pos + lit.len()] == lit {
+        *pos += lit.len();
+        Ok(())
+    } else {
+        Err(fail(*pos, "invalid literal"))
+    }
+}
+
+fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<(), String> {
+    *pos += 1; // '{'
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(());
+    }
+    loop {
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) != Some(&b'"') {
+            return Err(fail(*pos, "expected object key string"));
+        }
+        parse_string(bytes, pos)?;
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) != Some(&b':') {
+            return Err(fail(*pos, "expected ':'"));
+        }
+        *pos += 1;
+        skip_ws(bytes, pos);
+        parse_value(bytes, pos)?;
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(());
+            }
+            _ => return Err(fail(*pos, "expected ',' or '}'")),
+        }
+    }
+}
+
+fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<(), String> {
+    *pos += 1; // '['
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(());
+    }
+    loop {
+        skip_ws(bytes, pos);
+        parse_value(bytes, pos)?;
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(());
+            }
+            _ => return Err(fail(*pos, "expected ',' or ']'")),
+        }
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<(), String> {
+    *pos += 1; // '"'
+    while let Some(&c) = bytes.get(*pos) {
+        match c {
+            b'"' => {
+                *pos += 1;
+                return Ok(());
+            }
+            b'\\' => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => *pos += 1,
+                    Some(b'u') => {
+                        *pos += 1;
+                        for _ in 0..4 {
+                            match bytes.get(*pos) {
+                                Some(h) if h.is_ascii_hexdigit() => *pos += 1,
+                                _ => return Err(fail(*pos, "bad \\u escape")),
+                            }
+                        }
+                    }
+                    _ => return Err(fail(*pos, "bad escape")),
+                }
+            }
+            0x00..=0x1f => return Err(fail(*pos, "raw control char in string")),
+            _ => *pos += 1,
+        }
+    }
+    Err(fail(*pos, "unterminated string"))
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<(), String> {
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    match bytes.get(*pos) {
+        Some(b'0') => *pos += 1,
+        Some(b'1'..=b'9') => {
+            while matches!(bytes.get(*pos), Some(b'0'..=b'9')) {
+                *pos += 1;
+            }
+        }
+        _ => return Err(fail(*pos, "expected digit")),
+    }
+    if bytes.get(*pos) == Some(&b'.') {
+        *pos += 1;
+        if !matches!(bytes.get(*pos), Some(b'0'..=b'9')) {
+            return Err(fail(*pos, "expected fraction digit"));
+        }
+        while matches!(bytes.get(*pos), Some(b'0'..=b'9')) {
+            *pos += 1;
+        }
+    }
+    if matches!(bytes.get(*pos), Some(b'e' | b'E')) {
+        *pos += 1;
+        if matches!(bytes.get(*pos), Some(b'+' | b'-')) {
+            *pos += 1;
+        }
+        if !matches!(bytes.get(*pos), Some(b'0'..=b'9')) {
+            return Err(fail(*pos, "expected exponent digit"));
+        }
+        while matches!(bytes.get(*pos), Some(b'0'..=b'9')) {
+            *pos += 1;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_valid_documents() {
+        for doc in [
+            "null",
+            "true",
+            "-12.5e3",
+            "\"a\\n\\u00e9\"",
+            "[]",
+            "{}",
+            "[1, {\"a\": [false, null]}, \"x\"]",
+            "{\"k\": {\"nested\": [1.0, 2e-2]}}",
+        ] {
+            validate_json(doc).unwrap_or_else(|e| panic!("{doc}: {e}"));
+        }
+    }
+
+    #[test]
+    fn rejects_invalid_documents() {
+        for doc in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\": }",
+            "{\"a\" 1}",
+            "01",
+            "1.",
+            "\"unterminated",
+            "nul",
+            "[1] trailing",
+            "{'a': 1}",
+        ] {
+            assert!(validate_json(doc).is_err(), "should reject: {doc}");
+        }
+    }
+}

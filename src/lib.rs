@@ -25,6 +25,7 @@
 //! | [`pi_detect`] | telemetry taps, streaming detectors, closed-loop adaptive defense |
 //! | [`pi_fault`] | deterministic fault injection, lossy control channels, at-least-once delivery + reconciliation |
 //! | [`pi_metrics`] | time series, histograms, CSV, ASCII plots |
+//! | [`pi_trace`] | deterministic structured tracing: causality ids, per-host event rings, Chrome/Prometheus exporters |
 //! | [`pi_sim`] | the discrete-time two-node testbed of the paper's Fig. 1 |
 //! | [`pi_fleet`] | sharded multi-host cluster simulator with parallel per-host workers |
 //!
@@ -67,6 +68,7 @@ pub use pi_metrics;
 pub use pi_mitigation;
 pub use pi_packet;
 pub use pi_sim;
+pub use pi_trace;
 pub use pi_traffic;
 
 /// The most common imports in one place.
@@ -104,6 +106,10 @@ pub mod prelude {
         upcall_saturation_scenario, AdaptiveDefenseParams, CapacityWorkload, CrashRecoveryAttack,
         CrashRecoveryParams, DefenseMode, Fig3Params, PolicyChurnParams, SimBuilder, SimConfig,
         SimReport, UpcallSaturationParams,
+    };
+    pub use pi_trace::{
+        chrome_trace_json, prometheus_snapshot, validate_json, CauseId, TraceConfig, TraceEvent,
+        TraceEventKind, TraceReport, Tracer,
     };
     pub use pi_traffic::{
         CbrSource, ChurnSource, FanSource, IperfSource, PoissonFlowSource, TrafficSource,
