@@ -2,7 +2,7 @@
 
 CARGO ?= cargo
 
-.PHONY: build test fmt-check clippy bench bench-fleet bench-hotpath bench-upcall bench-detect bench-policy bench-backends bench-fault bench-check bench-compare bench-summary trace-forensics example-fleet clean
+.PHONY: build test audit audit-baseline fmt-check clippy bench bench-fleet bench-hotpath bench-upcall bench-detect bench-policy bench-backends bench-fault bench-check bench-compare bench-summary trace-forensics example-fleet clean
 
 build:
 	$(CARGO) build --release
@@ -10,6 +10,16 @@ build:
 # Tier-1 verification (ROADMAP.md).
 test:
 	$(CARGO) build --release && $(CARGO) test -q
+
+# Workspace invariant linter: determinism / hot-path allocation /
+# panic-surface ratchet / cost accounting / workspace-lints opt-in.
+# Exit 1 on any new violation or a stale audit_baseline.json entry.
+audit:
+	$(CARGO) run --release -p pi_audit -- --check
+
+# Tighten the ratchet after a burn-down (counts may only decrease).
+audit-baseline:
+	$(CARGO) run --release -p pi_audit -- --write-baseline
 
 fmt-check:
 	$(CARGO) fmt --check

@@ -23,9 +23,6 @@
 //! and the packets are ordinary traffic addressed to the attacker's own
 //! pod.
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod acl;
 pub mod amplify;
 pub mod covert;

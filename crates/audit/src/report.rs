@@ -1,0 +1,128 @@
+//! Report rendering: the human crate × rule table and the
+//! machine-readable JSON document.
+//!
+//! The JSON writer is the same hand-rolled style as
+//! `pi_bench::report` — this workspace takes no serialization
+//! dependency — and renders rows one per line so downstream tooling
+//! can grep it.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::baseline::{Baseline, Counts};
+use crate::rules::{Violation, ALL_RULES};
+use crate::scan::ScanResult;
+
+/// Renders the crate × rule count table with baseline allowances
+/// (`current/allowed` in every cell where either is nonzero).
+pub fn human_table(counts: &Counts, baseline: &Baseline) -> String {
+    let name_w = counts
+        .keys()
+        .map(String::len)
+        .max()
+        .unwrap_or(8)
+        .max("crate".len());
+    let mut out = String::new();
+    let _ = write!(out, "{:name_w$}", "crate");
+    for rule in ALL_RULES {
+        let _ = write!(out, "  {rule:>12}");
+    }
+    out.push('\n');
+    for (krate, rules) in counts {
+        let _ = write!(out, "{krate:name_w$}");
+        for rule in ALL_RULES {
+            let current = rules.get(rule).copied().unwrap_or(0);
+            let allowed = baseline.allowed(krate, rule);
+            let cell = if current == 0 && allowed == 0 {
+                "·".to_string()
+            } else if allowed == 0 {
+                format!("{current}!")
+            } else {
+                format!("{current}/{allowed}")
+            };
+            let _ = write!(out, "  {cell:>12}");
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders the machine-readable report.
+pub fn render_json(result: &ScanResult, baseline_total: Option<usize>) -> String {
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"tool\": \"pi_audit\",");
+    let _ = writeln!(out, "  \"files_scanned\": {},", result.files_scanned);
+    let _ = writeln!(out, "  \"total_violations\": {},", result.total());
+    match baseline_total {
+        Some(t) => {
+            let _ = writeln!(out, "  \"baseline_total\": {t},");
+        }
+        None => {
+            let _ = writeln!(out, "  \"baseline_total\": null,");
+        }
+    }
+    out.push_str("  \"counts\": {");
+    let nonzero: BTreeMap<&String, BTreeMap<&String, usize>> = result
+        .counts
+        .iter()
+        .filter_map(|(k, rules)| {
+            let nz: BTreeMap<&String, usize> = rules
+                .iter()
+                .filter(|(_, &n)| n > 0)
+                .map(|(r, &n)| (r, n))
+                .collect();
+            (!nz.is_empty()).then_some((k, nz))
+        })
+        .collect();
+    for (i, (krate, rules)) in nonzero.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\n    \"{krate}\": {{");
+        for (j, (rule, n)) in rules.iter().enumerate() {
+            if j > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "\"{rule}\": {n}");
+        }
+        out.push('}');
+    }
+    out.push_str("\n  },\n  \"violations\": [");
+    for (i, v) in result.violations.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "\n    {{\"crate\": \"{}\", \"file\": \"{}\", \"line\": {}, \"rule\": \"{}\", \"message\": \"{}\"}}",
+            v.krate,
+            v.file,
+            v.line,
+            v.rule,
+            escape(&v.message)
+        );
+    }
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
+/// One-line rendering of a violation for terminal output.
+pub fn render_violation(v: &Violation) -> String {
+    format!("{}:{}: [{}] {}", v.file, v.line, v.rule, v.message)
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}

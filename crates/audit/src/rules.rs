@@ -1,0 +1,418 @@
+//! The four-plus-one rule families and the per-file scanner.
+//!
+//! Every rule is a token-level pattern over the [`crate::lexer`] code
+//! shadow, so comments and string literals can never trigger it. Rules
+//! are waivable through the directive grammar; waivers without reasons
+//! and waivers that match nothing are themselves violations (rule
+//! `directive`), so the escape hatch stays auditable.
+//!
+//! | rule id | invariant |
+//! |---|---|
+//! | `determinism` | no wall clocks or seeded-by-the-OS hashing anywhere; no `HashMap`/`HashSet` in order-sensitive modules (engines, reports, exporters) where iteration order could leak into output |
+//! | `hotpath` | regions annotated `// audit: hotpath` never allocate (`Vec::new`, `vec![`, `format!`, `String::`, `Box::new`, `.collect()`, `.to_vec()`) |
+//! | `panics` | library code does not `unwrap()` / `expect(` / `panic!` (tests, benches, examples and binaries are exempt); burn-down is ratcheted via `audit_baseline.json` |
+//! | `cost` | every `DataplaneBackend` impl file references `CostModel` charging in its packet/control ops |
+//! | `lints` | every workspace crate opts into `[workspace.lints]` (checked in [`crate::walk`]) |
+//! | `directive` | the waiver grammar itself: malformed, unknown-rule, or unused waivers |
+
+use crate::lexer::{lex, DirectiveKind};
+
+/// Rule identifiers, as used in waivers and the baseline file.
+pub const RULE_DETERMINISM: &str = "determinism";
+/// Hot-path allocation rule id.
+pub const RULE_HOTPATH: &str = "hotpath";
+/// Panic-surface rule id.
+pub const RULE_PANICS: &str = "panics";
+/// Cost-accounting rule id.
+pub const RULE_COST: &str = "cost";
+/// Workspace-lints opt-in rule id.
+pub const RULE_LINTS: &str = "lints";
+/// Directive-grammar rule id (malformed/unknown/unused waivers).
+pub const RULE_DIRECTIVE: &str = "directive";
+
+/// All rule ids, in table order.
+pub const ALL_RULES: [&str; 6] = [
+    RULE_DETERMINISM,
+    RULE_HOTPATH,
+    RULE_PANICS,
+    RULE_COST,
+    RULE_LINTS,
+    RULE_DIRECTIVE,
+];
+
+/// Wall-clock / OS-seeded-hash tokens forbidden everywhere.
+const DETERMINISM_TOKENS: [&str; 5] = [
+    "Instant",
+    "SystemTime",
+    "RandomState",
+    "DefaultHasher",
+    "thread_rng",
+];
+
+/// File basenames whose iteration order can reach a report or an
+/// exported artefact; `HashMap`/`HashSet` are forbidden there.
+const ORDER_SENSITIVE_BASENAMES: [&str; 11] = [
+    "engine", "node", "shard", "report", "export", "json", "csv", "summary", "dump", "plot", "agg",
+];
+
+/// Allocation tokens forbidden inside `// audit: hotpath` regions.
+const HOTPATH_TOKENS: [&str; 8] = [
+    "Vec::new",
+    "vec![",
+    "format!",
+    "String::",
+    "Box::new",
+    ".collect(",
+    ".collect::<",
+    ".to_vec(",
+];
+
+/// Panic tokens forbidden in library code.
+const PANIC_TOKENS: [&str; 3] = [".unwrap()", ".expect(", "panic!"];
+
+/// Evidence that a backend impl charges the shared cost model: the
+/// pricing methods and price-field vocabulary of
+/// `pi_datapath::CostModel`.
+const COST_TOKENS: [&str; 14] = [
+    "packet_cycles",
+    "path_cycles",
+    "control_update_cycles",
+    "handler_cycles",
+    "acl_update_fixed",
+    "flush_per_entry",
+    "restart_fixed",
+    "mfc_install",
+    "upcall_fixed",
+    "per_rule",
+    "per_subtable",
+    "per_stage_hash",
+    "emc_probe",
+    "emc_insert",
+];
+
+/// How a file participates in its crate — decides which rules apply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileClass {
+    /// Library source (`src/` outside `src/bin/`): all rules apply.
+    Lib,
+    /// Binary target (`src/bin/` or `src/main.rs`): panic rule exempt.
+    Bin,
+    /// Integration test (`tests/`): panic + order rules exempt.
+    Test,
+    /// Example (`examples/`): panic + order rules exempt.
+    Example,
+    /// Bench target (`benches/`): panic + order rules exempt.
+    Bench,
+}
+
+/// One rule violation at a source location.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Workspace crate the file belongs to.
+    pub krate: String,
+    /// Path relative to the workspace root.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Rule id (one of [`ALL_RULES`]).
+    pub rule: &'static str,
+    /// Human message naming the offending token.
+    pub message: String,
+}
+
+/// Scans one file's source text and returns unwaived violations.
+pub fn scan_file(krate: &str, rel_path: &str, class: FileClass, src: &str) -> Vec<Violation> {
+    let lexed = lex(src);
+    let lines: Vec<&str> = lexed.code.lines().collect();
+    let test_regions = cfg_test_regions(&lines);
+    let hotpath_regions = hotpath_regions(&lexed, &lines);
+    let basename = rel_path
+        .rsplit('/')
+        .next()
+        .unwrap_or(rel_path)
+        .trim_end_matches(".rs");
+    let order_sensitive = class == FileClass::Lib && ORDER_SENSITIVE_BASENAMES.contains(&basename);
+
+    let mut raw: Vec<Violation> = Vec::new();
+    let mut push = |line: u32, rule: &'static str, message: String| {
+        raw.push(Violation {
+            krate: krate.to_string(),
+            file: rel_path.to_string(),
+            line,
+            rule,
+            message,
+        });
+    };
+
+    for (idx, code) in lines.iter().enumerate() {
+        let line_no = idx as u32 + 1;
+        let in_test = in_regions(&test_regions, line_no) || class == FileClass::Test;
+
+        for tok in DETERMINISM_TOKENS {
+            if contains_word(code, tok) {
+                push(
+                    line_no,
+                    RULE_DETERMINISM,
+                    format!("nondeterministic primitive `{tok}`"),
+                );
+            }
+        }
+        if order_sensitive && !in_test {
+            for tok in ["HashMap", "HashSet"] {
+                if contains_word(code, tok) {
+                    push(
+                        line_no,
+                        RULE_DETERMINISM,
+                        format!(
+                            "`{tok}` in order-sensitive module `{basename}` \
+                             (iteration order can reach a report)"
+                        ),
+                    );
+                }
+            }
+        }
+        if !in_test && in_regions(&hotpath_regions, line_no) {
+            for tok in HOTPATH_TOKENS {
+                if code.contains(tok) {
+                    push(
+                        line_no,
+                        RULE_HOTPATH,
+                        format!("allocation `{tok}` inside an `audit: hotpath` region"),
+                    );
+                }
+            }
+        }
+        if class == FileClass::Lib && !in_test {
+            for tok in PANIC_TOKENS {
+                if code.contains(tok) {
+                    push(
+                        line_no,
+                        RULE_PANICS,
+                        format!("panic-surface `{tok}` in library code"),
+                    );
+                }
+            }
+        }
+    }
+
+    // Cost accounting: a DataplaneBackend impl file must show evidence
+    // of CostModel charging somewhere in its code.
+    if let Some(idx) = lines
+        .iter()
+        .position(|l| l.contains("impl DataplaneBackend for"))
+    {
+        let charges = lines
+            .iter()
+            .any(|l| COST_TOKENS.iter().any(|t| contains_word(l, t)));
+        if !charges {
+            push(
+                idx as u32 + 1,
+                RULE_COST,
+                "`DataplaneBackend` impl never references CostModel charging \
+                 (packet/control ops look free)"
+                    .to_string(),
+            );
+        }
+    }
+
+    apply_waivers(&lexed, raw, krate, rel_path)
+}
+
+/// Applies file- and line-level waivers; unused, malformed or
+/// unknown-rule waivers become `directive` violations.
+fn apply_waivers(
+    lexed: &crate::lexer::Lexed,
+    raw: Vec<Violation>,
+    krate: &str,
+    rel_path: &str,
+) -> Vec<Violation> {
+    struct Waiver {
+        line: u32,
+        rule: String,
+        file_level: bool,
+        used: bool,
+    }
+    let mut waivers: Vec<Waiver> = Vec::new();
+    let mut out: Vec<Violation> = Vec::new();
+    for d in &lexed.directives {
+        match &d.kind {
+            DirectiveKind::Allow { rule, .. } | DirectiveKind::AllowFile { rule, .. } => {
+                if !ALL_RULES.contains(&rule.as_str()) {
+                    out.push(Violation {
+                        krate: krate.to_string(),
+                        file: rel_path.to_string(),
+                        line: d.line,
+                        rule: RULE_DIRECTIVE,
+                        message: format!("waiver names unknown rule `{rule}`"),
+                    });
+                } else {
+                    waivers.push(Waiver {
+                        line: d.line,
+                        rule: rule.clone(),
+                        file_level: matches!(d.kind, DirectiveKind::AllowFile { .. }),
+                        used: false,
+                    });
+                }
+            }
+            DirectiveKind::Malformed { text } => {
+                out.push(Violation {
+                    krate: krate.to_string(),
+                    file: rel_path.to_string(),
+                    line: d.line,
+                    rule: RULE_DIRECTIVE,
+                    message: format!(
+                        "malformed audit directive `{text}` (waivers need `-- <reason>`)"
+                    ),
+                });
+            }
+            DirectiveKind::Hotpath => {}
+        }
+    }
+    for v in raw {
+        let waived = waivers.iter_mut().find(|w| {
+            w.rule == v.rule && (w.file_level || w.line == v.line || w.line + 1 == v.line)
+        });
+        match waived {
+            Some(w) => w.used = true,
+            None => out.push(v),
+        }
+    }
+    for w in &waivers {
+        if !w.used {
+            out.push(Violation {
+                krate: krate.to_string(),
+                file: rel_path.to_string(),
+                line: w.line,
+                rule: RULE_DIRECTIVE,
+                message: format!(
+                    "unused waiver for `{}` (nothing to waive — delete it)",
+                    w.rule
+                ),
+            });
+        }
+    }
+    out.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    out
+}
+
+/// Line ranges (1-based, inclusive) of `#[cfg(test)]`-gated blocks.
+fn cfg_test_regions(lines: &[&str]) -> Vec<(u32, u32)> {
+    let mut regions = Vec::new();
+    for (idx, code) in lines.iter().enumerate() {
+        if let Some(col) = code.find("#[cfg(test)]") {
+            if let Some(region) = brace_region(lines, idx, col) {
+                regions.push(region);
+            }
+        }
+    }
+    regions
+}
+
+/// Hot-path regions: each `audit: hotpath` directive covers the next
+/// `fn` item's body (search window: 10 lines); with no `fn` nearby it
+/// covers the whole file (module-level annotation).
+fn hotpath_regions(lexed: &crate::lexer::Lexed, lines: &[&str]) -> Vec<(u32, u32)> {
+    let mut regions = Vec::new();
+    for d in &lexed.directives {
+        if d.kind != DirectiveKind::Hotpath {
+            continue;
+        }
+        let start_idx = d.line as usize; // directive line is 1-based; body starts below
+        let fn_line =
+            (start_idx..lines.len().min(start_idx + 10)).find(|&i| contains_word(lines[i], "fn"));
+        match fn_line {
+            Some(i) => {
+                if let Some(region) = brace_region(lines, i, 0) {
+                    regions.push(region);
+                } else {
+                    regions.push((i as u32 + 1, lines.len() as u32));
+                }
+            }
+            None => regions.push((1, lines.len() as u32)),
+        }
+    }
+    regions
+}
+
+/// Finds the `{ … }` block that starts at or after `(start_idx,
+/// start_col)` and returns its inclusive 1-based line range.
+fn brace_region(lines: &[&str], start_idx: usize, start_col: usize) -> Option<(u32, u32)> {
+    let mut depth: i32 = 0;
+    let mut opened = false;
+    for (idx, code) in lines.iter().enumerate().skip(start_idx) {
+        let code = if idx == start_idx {
+            code.get(start_col..).unwrap_or("")
+        } else {
+            code
+        };
+        for c in code.chars() {
+            match c {
+                '{' => {
+                    depth += 1;
+                    opened = true;
+                }
+                '}' => {
+                    depth -= 1;
+                    if opened && depth == 0 {
+                        return Some((start_idx as u32 + 1, idx as u32 + 1));
+                    }
+                }
+                // An item-ending semicolon before any brace means there
+                // is no block (`mod tests;`).
+                ';' if !opened && depth == 0 => return None,
+                _ => {}
+            }
+        }
+        // Attributes span a line; give up if no brace within 10 lines.
+        if !opened && idx > start_idx + 10 {
+            return None;
+        }
+    }
+    None
+}
+
+fn in_regions(regions: &[(u32, u32)], line: u32) -> bool {
+    regions.iter().any(|&(a, b)| line >= a && line <= b)
+}
+
+/// Word-boundary containment: `tok` not embedded in a larger
+/// identifier (so `InstantLike` or `my_thread_rng2` never match).
+fn contains_word(hay: &str, tok: &str) -> bool {
+    let mut from = 0;
+    while let Some(pos) = hay[from..].find(tok) {
+        let at = from + pos;
+        let before_ok = at == 0
+            || !hay[..at]
+                .chars()
+                .next_back()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        let after = hay[at + tok.len()..].chars().next();
+        let after_ok = !after.is_some_and(|c| c.is_alphanumeric() || c == '_');
+        if before_ok && after_ok {
+            return true;
+        }
+        from = at + tok.len().max(1);
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn word_boundaries() {
+        assert!(contains_word("let t = Instant::now();", "Instant"));
+        assert!(!contains_word("let t = InstantLike::now();", "Instant"));
+        assert!(!contains_word("let t = my_Instant;", "Instant"));
+        assert!(contains_word("use x::{Instant};", "Instant"));
+    }
+
+    #[test]
+    fn cfg_test_region_detection() {
+        let src = "pub fn f() { g().unwrap(); }\n#[cfg(test)]\nmod tests {\n    fn t() { h().unwrap(); }\n}\n";
+        let v = scan_file("c", "crates/c/src/x.rs", FileClass::Lib, src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].line, 1);
+    }
+}

@@ -1,0 +1,245 @@
+//! Workspace discovery: member crates, their source files, and the
+//! `[workspace.lints]` opt-in check (rule `lints`).
+//!
+//! Dependency-free on purpose — the walker reads the root `Cargo.toml`
+//! members list and each member's manifest with a purpose-built string
+//! scan (this workspace's manifests are plain; no TOML parser needed),
+//! then enumerates `.rs` files under each member's `src/`, `tests/`,
+//! `examples/` and `benches/` directories. Directories named
+//! `fixtures` or `target` are skipped: fixture files *contain*
+//! violations by design.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::rules::{FileClass, Violation, RULE_LINTS};
+
+/// One workspace member.
+#[derive(Debug, Clone)]
+pub struct Member {
+    /// Package name from the member's manifest (e.g. `pi_core`).
+    pub name: String,
+    /// Member directory relative to the workspace root (`""` for the
+    /// root package itself).
+    pub rel_dir: String,
+}
+
+/// A source file scheduled for scanning.
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// Owning crate name.
+    pub krate: String,
+    /// Path relative to the workspace root.
+    pub rel_path: String,
+    /// Absolute path on disk.
+    pub abs_path: PathBuf,
+    /// Classification deciding rule applicability.
+    pub class: FileClass,
+}
+
+/// Walks up from `start` to the directory whose `Cargo.toml` declares
+/// `[workspace]`.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d);
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}
+
+/// Parses the workspace members (plus the root package) from the root
+/// manifest.
+pub fn members(root: &Path) -> io::Result<Vec<Member>> {
+    let manifest = fs::read_to_string(root.join("Cargo.toml"))?;
+    let mut out = Vec::new();
+    if let Some(name) = package_name(&manifest) {
+        out.push(Member {
+            name,
+            rel_dir: String::new(),
+        });
+    }
+    for rel in member_dirs(&manifest) {
+        let member_manifest = fs::read_to_string(root.join(&rel).join("Cargo.toml"))?;
+        let name = package_name(&member_manifest).unwrap_or_else(|| rel.clone());
+        out.push(Member { name, rel_dir: rel });
+    }
+    Ok(out)
+}
+
+/// Extracts the quoted entries of `members = [ ... ]`.
+fn member_dirs(manifest: &str) -> Vec<String> {
+    let Some(start) = manifest.find("members") else {
+        return Vec::new();
+    };
+    let Some(open) = manifest[start..].find('[') else {
+        return Vec::new();
+    };
+    let Some(close) = manifest[start + open..].find(']') else {
+        return Vec::new();
+    };
+    let body = &manifest[start + open + 1..start + open + close];
+    body.split('"')
+        .skip(1)
+        .step_by(2)
+        .map(str::to_string)
+        .collect()
+}
+
+/// First `name = "…"` after `[package]`.
+fn package_name(manifest: &str) -> Option<String> {
+    let after = &manifest[manifest.find("[package]")?..];
+    let line = after.lines().find(|l| l.trim_start().starts_with("name"))?;
+    Some(line.split('"').nth(1)?.to_string())
+}
+
+/// Enumerates a member's source files with their [`FileClass`].
+pub fn source_files(root: &Path, member: &Member) -> io::Result<Vec<SourceFile>> {
+    let base = if member.rel_dir.is_empty() {
+        root.to_path_buf()
+    } else {
+        root.join(&member.rel_dir)
+    };
+    let mut out = Vec::new();
+    for (sub, class) in [
+        ("src", FileClass::Lib),
+        ("tests", FileClass::Test),
+        ("examples", FileClass::Example),
+        ("benches", FileClass::Bench),
+    ] {
+        let dir = base.join(sub);
+        if dir.is_dir() {
+            collect_rs(&dir, &mut |path| {
+                let class = classify(path, sub, class);
+                let rel_path = path
+                    .strip_prefix(root)
+                    .unwrap_or(path)
+                    .to_string_lossy()
+                    .replace('\\', "/");
+                out.push(SourceFile {
+                    krate: member.name.clone(),
+                    rel_path,
+                    abs_path: path.to_path_buf(),
+                    class,
+                });
+            })?;
+        }
+    }
+    Ok(out)
+}
+
+/// `src/bin/**` and `src/main.rs` are binary targets.
+fn classify(path: &Path, sub: &str, default: FileClass) -> FileClass {
+    if sub == "src" {
+        let p = path.to_string_lossy();
+        if p.contains("/bin/") || p.ends_with("/main.rs") {
+            return FileClass::Bin;
+        }
+    }
+    default
+}
+
+fn collect_rs(dir: &Path, visit: &mut impl FnMut(&Path)) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            let name = path.file_name().map(|n| n.to_string_lossy().to_string());
+            if matches!(name.as_deref(), Some("fixtures") | Some("target")) {
+                continue;
+            }
+            collect_rs(&path, visit)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            visit(&path);
+        }
+    }
+    Ok(())
+}
+
+/// Rule `lints`: the root manifest must define `[workspace.lints`
+/// (with `unsafe_code` forbidden), and every member manifest must opt
+/// in with `[lints]` / `workspace = true`.
+pub fn check_lints(root: &Path, members: &[Member]) -> io::Result<Vec<Violation>> {
+    let mut out = Vec::new();
+    let root_manifest = fs::read_to_string(root.join("Cargo.toml"))?;
+    if !root_manifest.contains("[workspace.lints") {
+        out.push(Violation {
+            krate: "workspace".to_string(),
+            file: "Cargo.toml".to_string(),
+            line: 1,
+            rule: RULE_LINTS,
+            message: "root Cargo.toml has no [workspace.lints] table".to_string(),
+        });
+    } else if !root_manifest.contains("unsafe_code") {
+        out.push(Violation {
+            krate: "workspace".to_string(),
+            file: "Cargo.toml".to_string(),
+            line: 1,
+            rule: RULE_LINTS,
+            message: "[workspace.lints] does not forbid unsafe_code".to_string(),
+        });
+    }
+    for m in members {
+        let rel = if m.rel_dir.is_empty() {
+            "Cargo.toml".to_string()
+        } else {
+            format!("{}/Cargo.toml", m.rel_dir)
+        };
+        let manifest = fs::read_to_string(root.join(&rel))?;
+        if !opts_into_workspace_lints(&manifest) {
+            out.push(Violation {
+                krate: m.name.clone(),
+                file: rel,
+                line: 1,
+                rule: RULE_LINTS,
+                message: "crate does not opt into [workspace.lints] \
+                          (add `[lints]` with `workspace = true`)"
+                    .to_string(),
+            });
+        }
+    }
+    Ok(out)
+}
+
+/// `[lints]` section containing `workspace = true` before the next
+/// section header.
+fn opts_into_workspace_lints(manifest: &str) -> bool {
+    let Some(start) = manifest.find("[lints]") else {
+        return false;
+    };
+    let body = &manifest[start + "[lints]".len()..];
+    let end = body.find("\n[").unwrap_or(body.len());
+    body[..end]
+        .lines()
+        .any(|l| l.trim().replace(' ', "") == "workspace=true")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn member_list_parses() {
+        let m = "[workspace]\nmembers = [\n  \"crates/a\",\n  \"crates/b\",\n]\n";
+        assert_eq!(member_dirs(m), vec!["crates/a", "crates/b"]);
+    }
+
+    #[test]
+    fn lints_opt_in_detection() {
+        assert!(opts_into_workspace_lints(
+            "[package]\nname = \"x\"\n\n[lints]\nworkspace = true\n\n[dependencies]\n"
+        ));
+        assert!(!opts_into_workspace_lints("[package]\nname = \"x\"\n"));
+        assert!(!opts_into_workspace_lints(
+            "[lints]\n\n[dependencies]\nworkspace = true\n"
+        ));
+    }
+}

@@ -1,0 +1,17 @@
+//! Fixture: the directive rule — an unused waiver, a reasonless
+//! waiver, and a waiver naming an unknown rule.
+
+// audit: allow(panics) -- nothing on this line or the next panics
+pub fn clean() -> u8 {
+    1
+}
+
+// audit: allow(determinism)
+pub fn reasonless() -> u8 {
+    2
+}
+
+// audit: allow(telemetry) -- no such rule
+pub fn unknown_rule() -> u8 {
+    3
+}

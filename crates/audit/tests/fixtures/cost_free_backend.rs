@@ -1,0 +1,8 @@
+//! Fixture: a `DataplaneBackend` impl with no CostModel evidence —
+//! its packet/control ops look free.
+
+impl DataplaneBackend for FreeSwitch {
+    fn process_batch(&mut self) -> usize {
+        0
+    }
+}

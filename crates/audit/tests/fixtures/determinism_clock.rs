@@ -1,0 +1,8 @@
+//! Fixture: wall-clock use in library code (2 determinism hits).
+
+use std::time::{Instant, SystemTime};
+
+pub fn stamp() -> u64 {
+    let _ = Instant::now();
+    0
+}

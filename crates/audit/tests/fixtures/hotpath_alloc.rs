@@ -1,0 +1,12 @@
+//! Fixture: allocation inside an annotated hot-path region, plus an
+//! identical allocation OUTSIDE the region that must not fire.
+
+// audit: hotpath
+pub fn process_batch(keys: &[u32]) -> usize {
+    let copy = keys.to_vec();
+    copy.len()
+}
+
+pub fn cold_setup(keys: &[u32]) -> Vec<u32> {
+    keys.to_vec()
+}

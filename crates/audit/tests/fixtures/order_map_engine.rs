@@ -1,0 +1,18 @@
+//! Fixture: `HashMap` in an order-sensitive module (scanned under the
+//! rel_path `crates/x/src/engine.rs`). The `#[cfg(test)]` block at the
+//! bottom must NOT count.
+
+use std::collections::HashMap;
+
+pub struct Engine {
+    routes: HashMap<u32, usize>,
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashSet;
+
+    fn exempt() {
+        let _ = HashSet::<u8>::new();
+    }
+}

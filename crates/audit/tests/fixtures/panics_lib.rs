@@ -1,0 +1,17 @@
+//! Fixture: panic surface in library code — one `.unwrap()`, one
+//! `.expect(`, one `panic!`. The string literal and the doc comment
+//! mentioning unwrap() must NOT fire.
+
+/// Never call .unwrap() in docs — this line is comment text.
+pub fn first(v: &[u8]) -> u8 {
+    *v.first().unwrap()
+}
+
+pub fn must(v: Option<u8>) -> u8 {
+    v.expect("present")
+}
+
+pub fn boom(msg: &str) -> ! {
+    let _decoy = "call .unwrap() here";
+    panic!("{msg}")
+}

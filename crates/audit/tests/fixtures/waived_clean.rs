@@ -1,0 +1,17 @@
+//! Fixture: every violation carries a reasoned waiver — scan is clean.
+
+// audit: allow-file(determinism) -- fixture demonstrates a file-level waiver
+use std::time::Instant;
+
+pub fn timed() -> Instant {
+    // audit: allow(panics) -- fixture demonstrates a next-line waiver
+    checked().expect("fixture")
+}
+
+pub fn inline() -> u8 {
+    Some(1u8).unwrap() // audit: allow(panics) -- fixture demonstrates a same-line waiver
+}
+
+fn checked() -> Option<Instant> {
+    Some(Instant::now())
+}

@@ -1,0 +1,118 @@
+//! Fixture tests: each file under `tests/fixtures/` exercises one rule
+//! family end-to-end through [`pi_audit::scan_file`]. The fixtures are
+//! real `.rs` sources but live in a `fixtures/` directory, which the
+//! workspace walker skips — so the self-scan never sees them.
+
+use pi_audit::{scan_file, FileClass, Violation};
+
+fn fixture(name: &str) -> String {
+    let path = format!("{}/tests/fixtures/{name}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"))
+}
+
+fn rules_of(violations: &[Violation]) -> Vec<&'static str> {
+    violations.iter().map(|v| v.rule).collect()
+}
+
+#[test]
+fn determinism_flags_wall_clocks() {
+    let v = scan_file(
+        "fx",
+        "crates/fx/src/clock.rs",
+        FileClass::Lib,
+        &fixture("determinism_clock.rs"),
+    );
+    // The `use` line names both Instant and SystemTime; the body names
+    // Instant again.
+    assert_eq!(rules_of(&v), ["determinism"; 3], "{v:?}");
+    assert!(v[0].message.contains("Instant") || v[0].message.contains("SystemTime"));
+}
+
+#[test]
+fn order_sensitive_basename_rejects_hashmap_outside_tests() {
+    let src = fixture("order_map_engine.rs");
+    let v = scan_file("fx", "crates/fx/src/engine.rs", FileClass::Lib, &src);
+    // `use` + field type fire; the HashSet inside #[cfg(test)] must not.
+    assert_eq!(rules_of(&v), ["determinism"; 2], "{v:?}");
+    assert!(v.iter().all(|v| v.message.contains("HashMap")), "{v:?}");
+
+    // Same content under a non-order-sensitive basename: clean.
+    let v = scan_file("fx", "crates/fx/src/builder.rs", FileClass::Lib, &src);
+    assert!(v.is_empty(), "{v:?}");
+}
+
+#[test]
+fn hotpath_region_rejects_allocation_but_cold_code_may_allocate() {
+    let v = scan_file(
+        "fx",
+        "crates/fx/src/hot.rs",
+        FileClass::Lib,
+        &fixture("hotpath_alloc.rs"),
+    );
+    assert_eq!(rules_of(&v), ["hotpath"], "{v:?}");
+    assert!(v[0].message.contains(".to_vec("));
+    // Only the annotated fn fires — the identical allocation in
+    // `cold_setup` is fine.
+    assert_eq!(v.len(), 1);
+}
+
+#[test]
+fn panic_surface_fires_in_lib_but_not_bins_or_tests() {
+    let src = fixture("panics_lib.rs");
+    let v = scan_file("fx", "crates/fx/src/panics.rs", FileClass::Lib, &src);
+    assert_eq!(rules_of(&v), ["panics"; 3], "{v:?}");
+    // The doc comment and the string literal mentioning `.unwrap()`
+    // must not add a 4th hit — check the flagged lines are code lines.
+    let lines: Vec<u32> = v.iter().map(|v| v.line).collect();
+    assert_eq!(lines, [7, 11, 16], "{v:?}");
+
+    for class in [FileClass::Bin, FileClass::Test, FileClass::Bench] {
+        let v = scan_file("fx", "crates/fx/src/bin/x.rs", class, &src);
+        assert!(v.is_empty(), "{class:?} should be exempt: {v:?}");
+    }
+}
+
+#[test]
+fn backend_impl_without_cost_evidence_is_flagged() {
+    let v = scan_file(
+        "fx",
+        "crates/fx/src/free.rs",
+        FileClass::Lib,
+        &fixture("cost_free_backend.rs"),
+    );
+    assert_eq!(rules_of(&v), ["cost"], "{v:?}");
+
+    // Adding any CostModel evidence clears it.
+    let charged = format!(
+        "{}\nfn price(&self) -> u64 {{ self.cost.packet_cycles }}\n",
+        fixture("cost_free_backend.rs")
+    );
+    let v = scan_file("fx", "crates/fx/src/free.rs", FileClass::Lib, &charged);
+    assert!(v.is_empty(), "{v:?}");
+}
+
+#[test]
+fn reasoned_waivers_silence_violations() {
+    let v = scan_file(
+        "fx",
+        "crates/fx/src/waived.rs",
+        FileClass::Lib,
+        &fixture("waived_clean.rs"),
+    );
+    assert!(v.is_empty(), "waived fixture must scan clean: {v:?}");
+}
+
+#[test]
+fn bad_waivers_are_directive_violations() {
+    let v = scan_file(
+        "fx",
+        "crates/fx/src/bad.rs",
+        FileClass::Lib,
+        &fixture("bad_waivers.rs"),
+    );
+    assert_eq!(rules_of(&v), ["directive"; 3], "{v:?}");
+    let messages: String = v.iter().map(|v| v.message.as_str()).collect();
+    assert!(messages.contains("unused waiver"), "{v:?}");
+    assert!(messages.contains("malformed"), "{v:?}");
+    assert!(messages.contains("unknown rule"), "{v:?}");
+}

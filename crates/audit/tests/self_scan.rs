@@ -1,0 +1,74 @@
+//! The self-scan: `pi_audit` run over the workspace that ships it.
+//!
+//! This is the pin that makes the ratchet real — CI runs
+//! `pi_audit --check`, but this test keeps the invariant inside
+//! `cargo test` too, so a violation or a stale baseline fails the
+//! ordinary test suite even where CI is not in the loop.
+
+use pi_audit::{drift, find_workspace_root, scan_file, scan_workspace, Baseline, FileClass};
+
+fn root() -> std::path::PathBuf {
+    find_workspace_root(std::path::Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("workspace root above crates/audit")
+}
+
+#[test]
+fn workspace_scan_matches_the_committed_baseline() {
+    let root = root();
+    let scan = scan_workspace(&root).expect("scan workspace");
+    assert!(
+        scan.files_scanned > 100,
+        "walker found only {} files — member discovery broke",
+        scan.files_scanned
+    );
+
+    let text = std::fs::read_to_string(root.join(pi_audit::BASELINE_FILE))
+        .expect("audit_baseline.json at the workspace root");
+    let baseline = Baseline::parse(&text).expect("parse baseline");
+    let drifts = drift(&scan.counts, &baseline);
+    assert!(
+        drifts.is_empty(),
+        "scan disagrees with audit_baseline.json — regression or stale \
+         ratchet (run `cargo run -p pi_audit -- --write-baseline` after \
+         a burn-down):\n{drifts:#?}"
+    );
+}
+
+#[test]
+fn every_non_panic_rule_is_at_zero() {
+    // The panics debt is ratcheted; everything else is already clean
+    // and must stay clean — the baseline has no allowance for it.
+    let scan = scan_workspace(&root()).expect("scan workspace");
+    for rule in ["determinism", "hotpath", "cost", "lints", "directive"] {
+        let hits: Vec<String> = scan
+            .violations
+            .iter()
+            .filter(|v| v.rule == rule)
+            .map(|v| format!("{}:{}: {}", v.file, v.line, v.message))
+            .collect();
+        assert!(
+            hits.is_empty(),
+            "rule `{rule}` regressed:\n{}",
+            hits.join("\n")
+        );
+    }
+}
+
+#[test]
+fn an_injected_violation_is_detected() {
+    // Sensitivity check: the same scanner that passes the tree above
+    // must flag a violation appended to a real workspace file.
+    let root = root();
+    let path = root.join("crates/core/src/key.rs");
+    let clean = std::fs::read_to_string(&path).expect("read pi_core source");
+    let before = scan_file("pi_core", "crates/core/src/key.rs", FileClass::Lib, &clean).len();
+    let injected = format!("{clean}\npub fn bad() -> u8 {{ None::<u8>.unwrap() }}\n");
+    let after = scan_file(
+        "pi_core",
+        "crates/core/src/key.rs",
+        FileClass::Lib,
+        &injected,
+    )
+    .len();
+    assert_eq!(after, before + 1, "injected `.unwrap()` went undetected");
+}

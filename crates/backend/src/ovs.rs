@@ -20,6 +20,7 @@ use pi_trace::Tracer;
 
 use crate::api::DataplaneBackend;
 
+// audit: allow-file(cost) -- pure delegation: VSwitch itself charges every packet/control op through this CostModel (pinned bit-identical by backend_differential.rs)
 impl DataplaneBackend for VSwitch {
     fn kind(&self) -> BackendKind {
         BackendKind::OvsCache

@@ -266,7 +266,9 @@ fn main() {
                 .zu("masks_attacked", c.masks_attacked),
         );
     }
-    let out = report.write("BENCH_backends.json", "PI_BENCH_BACKENDS_OUT");
+    let out = report
+        .write("BENCH_backends.json", "PI_BENCH_BACKENDS_OUT")
+        .expect("write report");
     println!("\nwrote {}", out.display());
 
     // The matrix's headline claims, asserted so a regression fails the

@@ -88,7 +88,9 @@ fn main() {
         "\nreading: a few hundred kb/s sustains the full 512-mask population — \
          comfortably inside the paper's 1–2 Mb/s budget (which also funds the scan stream)."
     );
-    let path = results_dir().join("covert_bandwidth.csv");
+    let path = results_dir()
+        .expect("results dir")
+        .join("covert_bandwidth.csv");
     csv.write_csv(&path).expect("write csv");
     println!("CSV written to {}", path.display());
 }

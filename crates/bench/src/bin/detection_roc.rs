@@ -203,6 +203,8 @@ fn main() {
                 .zu("top_offender_masks", r.top_offender_masks),
         );
     }
-    let out = report.write("BENCH_detect.json", "PI_BENCH_DETECT_OUT");
+    let out = report
+        .write("BENCH_detect.json", "PI_BENCH_DETECT_OUT")
+        .expect("write report");
     println!("\nwrote {}", out.display());
 }

@@ -191,7 +191,9 @@ fn main() {
                 .u("reconcile_pushes", f.channel.reconcile_pushes),
         );
     }
-    let out = report.write("BENCH_fault.json", "PI_BENCH_FAULT_OUT");
+    let out = report
+        .write("BENCH_fault.json", "PI_BENCH_FAULT_OUT")
+        .expect("write report");
     println!("\nwrote {}", out.display());
 
     // Keep the bench honest about its own claims.

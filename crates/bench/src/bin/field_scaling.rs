@@ -107,7 +107,9 @@ fn main() {
         ]);
     }
     println!("\nall three columns agree on every row: the ∏-width law holds.");
-    let path = results_dir().join("field_scaling.csv");
+    let path = results_dir()
+        .expect("results dir")
+        .join("field_scaling.csv");
     csv.write_csv(&path).expect("write csv");
     println!("CSV written to {}", path.display());
 }

@@ -85,7 +85,9 @@ fn main() {
         out.path.probes()
     );
 
-    let path = results_dir().join("fig2_decomposition.csv");
+    let path = results_dir()
+        .expect("results dir")
+        .join("fig2_decomposition.csv");
     csv.write_csv(&path).expect("write csv");
     println!("\nCSV written to {}", path.display());
 }

@@ -63,7 +63,9 @@ fn main() {
 
     // CSV with the figure's series.
     let table = CsvTable::from_series(&[&victim_gbps, masks, megaflows, cpu]);
-    let path = results_dir().join("fig3_timeseries.csv");
+    let path = results_dir()
+        .expect("results dir")
+        .join("fig3_timeseries.csv");
     table.write_csv(&path).expect("write csv");
     println!("\nCSV written to {}", path.display());
 }

@@ -38,6 +38,7 @@
 //! and ≥ 5× median wall-clock going stepped → event on the sparse
 //! fleet (single worker, any machine).
 
+// audit: allow-file(determinism) -- wall-clock speedup cells are this binary's artefact; report rows gate on sim-deterministic fields only
 use std::time::Instant;
 
 use pi_bench::report::{Fields, Report};
@@ -333,7 +334,9 @@ fn main() {
             r.engine_stats.shard_ticks_skipped.to_string(),
         ]);
     }
-    let csv_path = pi_bench::results_dir().join("fleet_scaling.csv");
+    let csv_path = pi_bench::results_dir()
+        .expect("results dir")
+        .join("fleet_scaling.csv");
     csv.write_csv(&csv_path).expect("write csv");
 
     // BENCH_fleet.json for the repo-level bench target.
@@ -365,7 +368,9 @@ fn main() {
                 .u("ticks_skipped", r.engine_stats.shard_ticks_skipped),
         );
     }
-    let out = report.write("BENCH_fleet.json", "PI_BENCH_FLEET_OUT");
+    let out = report
+        .write("BENCH_fleet.json", "PI_BENCH_FLEET_OUT")
+        .expect("write report");
     println!("\nwrote {} and {}", out.display(), csv_path.display());
 
     let eight = |w: usize| {

@@ -117,7 +117,7 @@ fn main() {
          Shape reproduced; see EXPERIMENTS.md for the constant-factor discussion."
     );
 
-    let path = results_dir().join("mask_sweep.csv");
+    let path = results_dir().expect("results dir").join("mask_sweep.csv");
     csv.write_csv(&path).expect("write csv");
     println!("CSV written to {}", path.display());
 }

@@ -278,7 +278,9 @@ fn main() {
            at runtime — it lands on the static staged row's numbers;\n\
          • the compiled datapath is structurally immune — cost is policy-bounded."
     );
-    let path = results_dir().join("mitigation_ablation.csv");
+    let path = results_dir()
+        .expect("results dir")
+        .join("mitigation_ablation.csv");
     csv.write_csv(&path).expect("write csv");
     println!("CSV written to {}", path.display());
 }

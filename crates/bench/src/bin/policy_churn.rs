@@ -147,7 +147,9 @@ fn main() {
                 .u("upcalls", r.upcalls),
         );
     }
-    let out = report.write("BENCH_policy.json", "PI_BENCH_POLICY_OUT");
+    let out = report
+        .write("BENCH_policy.json", "PI_BENCH_POLICY_OUT")
+        .expect("write report");
     println!("\nwrote {}", out.display());
 
     // Keep the bench honest about its own claims: the flap must

@@ -131,7 +131,7 @@ fn main() {
     // Exports: Chrome trace-event JSON (must parse) + Prometheus text.
     let chrome = chrome_trace_json(trace);
     validate_json(&chrome).expect("chrome trace export must be valid JSON");
-    let dir = pi_bench::results_dir();
+    let dir = pi_bench::results_dir().expect("results dir");
     let json_path = dir.join("trace_policy_flap.json");
     std::fs::write(&json_path, &chrome).expect("write chrome trace");
     let prom_path = dir.join("trace_policy_flap.prom");

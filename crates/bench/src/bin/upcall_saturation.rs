@@ -131,6 +131,8 @@ fn main() {
                 .u("upcalls_handled", r.upcalls_handled),
         );
     }
-    let out = report.write("BENCH_upcall.json", "PI_BENCH_UPCALL_OUT");
+    let out = report
+        .write("BENCH_upcall.json", "PI_BENCH_UPCALL_OUT")
+        .expect("write report");
     println!("\nwrote {}", out.display());
 }

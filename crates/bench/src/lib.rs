@@ -19,9 +19,6 @@
 //! underlying mechanisms (TSS walk, EMC, tries, slow path, compiled
 //! ACLs).
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 use std::path::PathBuf;
 
 pub mod report;
@@ -29,8 +26,9 @@ pub mod rows;
 pub mod stopwatch;
 
 /// Resolves the shared results directory (`<workspace>/results`),
-/// creating it if needed.
-pub fn results_dir() -> PathBuf {
+/// creating it if needed. The error carries the offending path so the
+/// bench binaries' `.expect` calls stay informative.
+pub fn results_dir() -> std::io::Result<PathBuf> {
     let dir = std::env::var("PI_RESULTS_DIR")
         .map(PathBuf::from)
         .unwrap_or_else(|_| {
@@ -38,8 +36,9 @@ pub fn results_dir() -> PathBuf {
                 .join("../..")
                 .join("results")
         });
-    std::fs::create_dir_all(&dir).expect("create results dir");
-    dir
+    std::fs::create_dir_all(&dir)
+        .map_err(|e| std::io::Error::new(e.kind(), format!("create {}: {e}", dir.display())))?;
+    Ok(dir)
 }
 
 /// Compiles an [`pi_attack::AttackSpec`] through the CMS compiler —
@@ -79,7 +78,7 @@ pub fn colocation_cell(
 mod tests {
     #[test]
     fn results_dir_is_creatable() {
-        let d = super::results_dir();
+        let d = super::results_dir().expect("results dir");
         assert!(d.exists());
     }
 

@@ -204,11 +204,14 @@ impl Report {
     }
 
     /// Writes the artefact to `$env_var`, or `default_name` in the
-    /// working directory when the override is unset. Returns the path.
-    pub fn write(&self, default_name: &str, env_var: &str) -> PathBuf {
+    /// working directory when the override is unset. Returns the path
+    /// written, or the error annotated with that path (library code
+    /// must not panic — workspace `panics` audit rule).
+    pub fn write(&self, default_name: &str, env_var: &str) -> std::io::Result<PathBuf> {
         let out = std::env::var(env_var).unwrap_or_else(|_| default_name.to_string());
-        std::fs::write(&out, self.render()).unwrap_or_else(|e| panic!("write {out}: {e}"));
-        PathBuf::from(out)
+        std::fs::write(&out, self.render())
+            .map_err(|e| std::io::Error::new(e.kind(), format!("write {out}: {e}")))?;
+        Ok(PathBuf::from(out))
     }
 }
 

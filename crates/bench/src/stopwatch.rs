@@ -5,6 +5,7 @@
 //! auto-calibrated iteration counts, and a uniform report line of
 //! nanoseconds/iteration plus derived throughput.
 
+// audit: allow-file(determinism) -- the stopwatch IS the wall clock: Instant here prices real runs; simulation code never calls it
 use std::hint::black_box;
 use std::time::{Duration, Instant};
 

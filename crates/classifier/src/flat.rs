@@ -101,6 +101,7 @@ impl<V> FlatTable<V> {
     /// Inserts `value` under `(hash, key)`; returns the previous value
     /// when the exact key was already present. `key` must be canonical
     /// (pre-masked) and `hash` must be its flow hash.
+    // audit: hotpath -- growth is amortised in `grow`, outside this region by design
     pub fn insert(&mut self, hash: u64, key: FlowKey, value: V) -> Option<V> {
         if !self.slots.is_empty() {
             let mask = self.index_mask();
@@ -133,6 +134,7 @@ impl<V> FlatTable<V> {
     /// packet: the predicate is a mask-aware comparison, so no masked
     /// key is ever materialised.
     #[inline]
+    // audit: hotpath
     pub fn get_by_hash(&self, hash: u64, mut eq: impl FnMut(&FlowKey) -> bool) -> Option<&V> {
         if self.slots.is_empty() {
             return None;
@@ -150,6 +152,7 @@ impl<V> FlatTable<V> {
 
     /// Mutable variant of [`FlatTable::get_by_hash`].
     #[inline]
+    // audit: hotpath
     pub fn get_mut_by_hash(
         &mut self,
         hash: u64,
@@ -182,6 +185,7 @@ impl<V> FlatTable<V> {
 
     /// Removes the entry for `(hash, key)` and rebuilds the probe run
     /// behind it (backward-shift deletion — no tombstones).
+    // audit: hotpath
     pub fn remove(&mut self, hash: u64, key: &FlowKey) -> Option<V> {
         if self.slots.is_empty() {
             return None;

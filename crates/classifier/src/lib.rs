@@ -21,9 +21,6 @@
 //!   stage sets: keyed by precomputed deterministic flow hashes
 //!   ([`pi_core::KeyWords`]), linear probing, tombstone-free removal.
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod action;
 pub mod flat;
 pub mod linear;

@@ -24,9 +24,6 @@
 //!   delay), the driver behind mid-run policy churn and the
 //!   policy-flap attack.
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod cloud;
 pub mod compile;
 pub mod control;

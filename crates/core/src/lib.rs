@@ -27,9 +27,6 @@
 //! plain `Copy` structs, mirroring the fixed-size `struct flow` /
 //! `struct flow_wildcards` pair in Open vSwitch.
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod addr;
 pub mod error;
 pub mod fields;

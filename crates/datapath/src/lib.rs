@@ -29,9 +29,6 @@
 //! collapse in the simulator is a *consequence* of the data structure
 //! dynamics, never scripted.
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod config;
 pub mod cost;
 pub mod dump;

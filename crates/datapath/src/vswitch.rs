@@ -798,6 +798,7 @@ impl VSwitch {
     /// whether to continue; returning `false` stops the batch (the
     /// simulator's per-tick cycle budget), leaving later packets
     /// untouched. Returns the number of packets processed.
+    // audit: hotpath
     pub fn process_batch(
         &mut self,
         keys: &[FlowKey],
@@ -1003,6 +1004,7 @@ impl VSwitch {
     /// comes, and an overrun carries into the next step as debt. Returns
     /// the number of upcalls resolved. No-op under
     /// [`PipelineMode::Inline`].
+    // audit: hotpath
     pub fn drain_upcalls(&mut self, now: SimTime, mut sink: impl FnMut(ResolvedUpcall)) -> usize {
         let PipelineMode::Bounded(cfg) = self.config.pipeline else {
             return 0;

@@ -22,9 +22,6 @@
 //! time-to-detect, victim-throughput recovery and the false-positive
 //! rate under benign churn.
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod controller;
 pub mod detector;
 pub mod telemetry;

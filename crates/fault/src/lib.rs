@@ -29,9 +29,6 @@
 //!   state and re-pushes the difference — turning a crash from silent
 //!   policy loss into bounded-time convergence.
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod channel;
 pub mod reliable;
 pub mod schedule;

@@ -30,6 +30,7 @@
 //!   one-tick-per-epoch barrier loop as the equivalence reference.
 
 use std::cmp::Reverse;
+// audit: allow(determinism) -- HashMap backs lookup-only tables here; every decl below is individually waived (never iterated) or uses the ordered BTreeMap
 use std::collections::{BTreeMap, BinaryHeap, HashMap};
 use std::sync::mpsc::{Receiver, SyncSender};
 use std::thread;
@@ -191,6 +192,7 @@ impl FleetBuilder {
         let n = self.hosts.len();
         let cfg = self.cfg;
 
+        // audit: allow(determinism) -- per-packet ip→shard lookup on the hot path; only ever get()/clone(), never iterated
         let mut routes: HashMap<u32, usize> = HashMap::new();
         for &(host, ip, _) in &self.pods {
             assert!(
@@ -210,7 +212,7 @@ impl FleetBuilder {
                 node.backend_mut().attach_pod(ip, raw);
             }
         }
-        let mut acl_map: HashMap<u32, FlowTable> = HashMap::new();
+        let mut acl_map: BTreeMap<u32, FlowTable> = BTreeMap::new();
         for (ip, table) in self.acls {
             let host = *routes.get(&ip).expect("ACL target pod must be attached");
             let ok = nodes[host].backend_mut().install_acl(ip, table.clone());
@@ -221,18 +223,19 @@ impl FleetBuilder {
         for (host, controller) in self.defenses {
             nodes[host].attach_defense(controller);
         }
-        let mut programs: HashMap<usize, ControlPlaneProgram> = HashMap::new();
+        let mut programs: BTreeMap<usize, ControlPlaneProgram> = BTreeMap::new();
         for (host, program) in self.control_planes {
             programs.entry(host).or_default().merge(program);
         }
         for (host, program) in programs {
             nodes[host].attach_control_plane(program.compile());
         }
-        let mut fault_schedules: HashMap<usize, FaultSchedule> = HashMap::new();
+        let mut fault_schedules: BTreeMap<usize, FaultSchedule> = BTreeMap::new();
         for (host, schedule) in self.faults {
             fault_schedules.entry(host).or_default().merge(schedule);
         }
-        let mut reliable: HashMap<usize, (ControlPlaneProgram, ReliabilityConfig)> = HashMap::new();
+        let mut reliable: BTreeMap<usize, (ControlPlaneProgram, ReliabilityConfig)> =
+            BTreeMap::new();
         for (host, program, rcfg) in self.reliable_controls {
             let entry = reliable.entry(host).or_default();
             entry.0.merge(program);
@@ -406,6 +409,7 @@ struct EventWorker {
     /// Owned shards, ascending id.
     shards: Vec<HostShard>,
     /// Shard id → index into `shards`.
+    // audit: allow(determinism) -- keyed get() only, never iterated
     local_index: HashMap<usize, usize>,
     /// This worker's shards' commands, tick order.
     commands: Vec<(u64, usize, HostCmd)>,
@@ -546,6 +550,7 @@ impl EventWorker {
 
     /// Folds one peer flush in: advance that peer's promise, file its
     /// deliveries.
+    // audit: allow(determinism) -- frontier is only get_mut() here and min-folded by the caller; both order-independent
     fn absorb(&mut self, frontier: &mut HashMap<usize, u64>, msg: Flush) {
         let f = frontier
             .get_mut(&msg.from)
@@ -573,6 +578,7 @@ fn worker_event_loop(
     rx: Receiver<Flush>,
 ) -> (Vec<HostShard>, EngineProfile) {
     let ticks = w.ticks;
+    // audit: allow(determinism) -- consumed via a min() fold over values: commutative, order cannot reach the report
     let mut frontier: HashMap<usize, u64> = peers.iter().map(|(p, _)| (*p, 0)).collect();
     let mut t: u64 = 0;
     loop {
@@ -723,6 +729,7 @@ impl FleetSim {
                 .filter(|p| *p != me)
                 .map(|p| (p, txs[p].clone()))
                 .collect();
+            // audit: allow(determinism) -- keyed get() only, never iterated
             let local_index: HashMap<usize, usize> =
                 part.iter().enumerate().map(|(i, s)| (s.id, i)).collect();
             let wake_at: Vec<u64> = part.iter().map(|s| s.next_wake(0, &ctx, tick_ns)).collect();

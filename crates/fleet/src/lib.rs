@@ -28,9 +28,6 @@
 //! * [`scenario`] — the `fleet_colocation` and `fleet_migration`
 //!   experiments; `pi_bench`'s `fleet_scaling` sweeps hosts × workers.
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod config;
 pub mod engine;
 pub mod placement;

@@ -9,6 +9,7 @@
 //! provable: the epoch merge (in shard-id order) is the only place
 //! cross-host ordering is decided.
 
+// audit: allow(determinism) -- HashMap backs the per-packet route/slot lookups below; all get()-only, never iterated
 use std::collections::HashMap;
 
 use pi_classifier::FlowTable;
@@ -162,11 +163,13 @@ pub(crate) struct HostShard {
     pub id: usize,
     pub node: NodeCell<usize>,
     /// Destination IP → home shard, this shard's copy.
+    // audit: allow(determinism) -- per-packet get() on the hot path; migration updates are keyed inserts, never iterated
     pub routes: HashMap<u32, usize>,
     /// Global source index → home shard (immutable, fleet-wide).
     pub source_home: Vec<usize>,
     pub slots: Vec<FleetSlot>,
     /// Global source index → local slot index.
+    // audit: allow(determinism) -- keyed get() only, never iterated
     slot_index: HashMap<usize, usize>,
     pub masks: TimeSeries,
     pub megaflows: TimeSeries,
@@ -193,6 +196,7 @@ impl HostShard {
     pub fn new(
         id: usize,
         node: NodeCell<usize>,
+        // audit: allow(determinism) -- ownership transfer of the waived lookup table above
         routes: HashMap<u32, usize>,
         source_home: Vec<usize>,
         slots: Vec<FleetSlot>,

@@ -5,9 +5,6 @@
 //! reports through these types, so the output formats are uniform and
 //! the figures are regenerable as CSV + ASCII art.
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod agg;
 pub mod csv;
 pub mod histogram;

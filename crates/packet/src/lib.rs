@@ -14,9 +14,6 @@
 //! frame into a [`pi_core::FlowKey`] in one pass — this is the moral
 //! equivalent of OVS's `flow_extract()`.
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod builder;
 pub mod checksum;
 pub mod ethernet;

@@ -5,7 +5,7 @@
 //! module owns the two-node orchestration: fabric hand-off, feedback and
 //! sampling.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use pi_classifier::FlowTable;
 use pi_cms::ControlPlaneProgram;
@@ -170,7 +170,7 @@ impl SimBuilder {
             .map(|dp| NodeCell::new(dp, self.cost))
             .collect();
 
-        let mut pod_locations = HashMap::new();
+        let mut pod_locations = BTreeMap::new();
         for &(node, ip, vport) in &self.pods {
             pod_locations.insert(ip, node);
             // Local attachment.
@@ -193,18 +193,19 @@ impl SimBuilder {
         for (node, controller) in self.defenses {
             nodes[node].attach_defense(controller);
         }
-        let mut programs: HashMap<usize, ControlPlaneProgram> = HashMap::new();
+        let mut programs: BTreeMap<usize, ControlPlaneProgram> = BTreeMap::new();
         for (node, program) in self.control_planes {
             programs.entry(node).or_default().merge(program);
         }
         for (node, program) in programs {
             nodes[node].attach_control_plane(program.compile());
         }
-        let mut fault_schedules: HashMap<usize, FaultSchedule> = HashMap::new();
+        let mut fault_schedules: BTreeMap<usize, FaultSchedule> = BTreeMap::new();
         for (node, schedule) in self.faults {
             fault_schedules.entry(node).or_default().merge(schedule);
         }
-        let mut reliable: HashMap<usize, (ControlPlaneProgram, ReliabilityConfig)> = HashMap::new();
+        let mut reliable: BTreeMap<usize, (ControlPlaneProgram, ReliabilityConfig)> =
+            BTreeMap::new();
         for (node, program, cfg) in self.reliable_controls {
             let entry = reliable.entry(node).or_default();
             entry.0.merge(program);
@@ -337,7 +338,7 @@ impl SimReport {
 pub struct Simulation {
     cfg: crate::SimConfig,
     nodes: Vec<NodeCell<usize>>,
-    pod_locations: HashMap<u32, usize>,
+    pod_locations: BTreeMap<u32, usize>,
     sources: Vec<SourceSlot>,
 }
 

@@ -15,9 +15,6 @@
 //! [`scenario`] packages the paper's experiments; [`engine`] is the
 //! general tick loop usable for new ones.
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod config;
 pub mod engine;
 pub mod node;

@@ -9,7 +9,7 @@
 //! two engines cannot drift apart on the core modelling rule
 //! ("throughput is never scripted").
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 use pi_backend::{build_backend, DataplaneBackend, BATCH_SIZE};
 use pi_cms::{ControlPlane, PolicyUpdate};
@@ -66,7 +66,7 @@ pub struct NodeCell<T> {
     window_handler_cycles: u64,
     /// Frame size + source handle of packets deferred into the switch's
     /// upcall pipeline, keyed by the pending token.
-    deferred: HashMap<u64, (usize, T)>,
+    deferred: BTreeMap<u64, (usize, T)>,
     /// Optional closed-loop defense controller, run by the engines at
     /// their configured defense cadence. Living on the node (not the
     /// engine) means both the two-node engine and the fleet shards get
@@ -126,7 +126,7 @@ impl<T> NodeCell<T> {
             cycle_carry: 0,
             window_cycles: 0,
             window_handler_cycles: 0,
-            deferred: HashMap::new(),
+            deferred: BTreeMap::new(),
             defense: None,
             control: None,
             faults: None,
@@ -416,12 +416,9 @@ impl<T> NodeCell<T> {
             self.restart_cycles += restart;
             self.window_cycles += restart;
             // Packets parked awaiting handlers died with the process.
-            // Their keys are gone with the upcall queue; token order
-            // keeps the drain deterministic.
-            let mut tokens: Vec<u64> = self.deferred.keys().copied().collect();
-            tokens.sort_unstable();
-            for token in tokens {
-                let (bytes, source) = self.deferred.remove(&token).expect("token listed");
+            // Their keys are gone with the upcall queue; the ordered
+            // map drains them in token order, deterministically.
+            for (_token, (bytes, source)) in std::mem::take(&mut self.deferred) {
                 self.deferred_dropped += 1;
                 sink(
                     NodePacket {

@@ -46,6 +46,7 @@ impl TraceCell {
         }
     }
 
+    // audit: hotpath
     fn push(&mut self, at_ns: u64, cause: CauseId, kind: TraceEventKind) {
         let ev = TraceEvent {
             at_ns,

@@ -30,9 +30,6 @@
 //! dependency-free JSON validity checker used by CI to prove the
 //! Chrome export parses.
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod cell;
 pub mod event;
 pub mod export;

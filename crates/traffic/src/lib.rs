@@ -20,9 +20,6 @@
 //! Every source implements [`TrafficSource`]: the simulator asks for the
 //! packets of each tick interval and feeds delivery/drop counts back.
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod cbr;
 pub mod churn;
 pub mod fan;
